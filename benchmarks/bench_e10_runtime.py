@@ -1,0 +1,68 @@
+"""E10 — the performance envelope of the machinery itself.
+
+These are the numbers a user needs to size their own experiments: raw
+simulator step throughput, explorer tree-walk cost (with its replay
+overhead), and the Wing–Gong checker on histories of growing width.
+"""
+
+from conftest import assert_rows_ok
+
+from repro.algorithms.set_consensus_from_family import (
+    partition_set_consensus_spec,
+    set_consensus_spec,
+)
+from repro.analysis.linearizability import is_linearizable
+from repro.experiments.suite import run_e10_runtime
+from repro.objects.register import RegisterSpec
+from repro.runtime.explorer import Explorer
+from repro.runtime.history import History, HistoryEvent
+from repro.runtime.scheduler import RandomScheduler
+
+
+def test_e10_full_table(benchmark):
+    rows = benchmark.pedantic(run_e10_runtime, rounds=2, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e10_simulator_throughput(benchmark):
+    inputs = [f"v{i}" for i in range(48)]
+    spec = partition_set_consensus_spec(2, 1, inputs)
+
+    def run():
+        return spec.run(RandomScheduler(1))
+
+    execution = benchmark(run)
+    assert execution.all_done()
+
+
+def test_e10_explorer_tree_walk(benchmark):
+    inputs = [f"v{i}" for i in range(5)]
+    spec = set_consensus_spec(1, 3, inputs)  # 5 one-step processes: 120
+
+    def run():
+        explorer = Explorer(spec, max_depth=8)
+        return sum(1 for _ in explorer.executions())
+
+    count = benchmark(run)
+    assert count == 120
+
+
+def test_e10_linearizability_checker_width(benchmark):
+    """Checker cost on a register history with 8 concurrent operations."""
+    events = []
+    for i in range(4):
+        events.append(
+            HistoryEvent(
+                pid=i, obj="r", method="write", args=(f"w{i}",),
+                response=None, invoked_at=0, responded_at=100,
+            )
+        )
+        events.append(
+            HistoryEvent(
+                pid=4 + i, obj="r", method="read", args=(),
+                response=f"w{i}", invoked_at=0, responded_at=100,
+            )
+        )
+    history = History(events)
+    result = benchmark(is_linearizable, history, RegisterSpec())
+    assert result

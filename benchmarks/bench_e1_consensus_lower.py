@@ -1,0 +1,30 @@
+"""E1 — consensus lower bound: n processes on one O(n, k) group.
+
+Regenerates the E1 table of EXPERIMENTS.md and measures the exhaustive
+check's cost.
+"""
+
+from conftest import assert_rows_ok
+
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.set_consensus_from_family import consensus_spec
+from repro.experiments.suite import run_e1_consensus
+from repro.tasks import ConsensusTask, check_task_all_schedules
+
+
+def test_e1_full_table(benchmark):
+    rows = benchmark.pedantic(run_e1_consensus, rounds=3, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e1_exhaustive_check_o31(benchmark):
+    inputs = ["a", "b", "c"]
+
+    def run():
+        return check_task_all_schedules(
+            consensus_spec(3, 1, inputs), ConsensusTask(), inputs_dict(inputs)
+        )
+
+    report = benchmark(run)
+    assert report.ok
+    assert report.executions_checked == 6  # 3! one-step schedules

@@ -1,0 +1,43 @@
+"""E2 — the headline (n(k+2), k+1)-set consensus power of O(n, k).
+
+Regenerates the E2 table, and measures its two cost centers separately:
+the exhaustive 720-schedule model check and a single protocol run.
+"""
+
+from conftest import assert_rows_ok
+
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.set_consensus_from_family import set_consensus_spec
+from repro.experiments.suite import run_e2_set_consensus
+from repro.runtime.scheduler import RandomScheduler
+from repro.tasks import KSetConsensusTask, check_task_all_schedules
+
+
+def test_e2_full_table(benchmark):
+    rows = benchmark.pedantic(run_e2_set_consensus, rounds=3, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e2_exhaustive_o21(benchmark):
+    inputs = [f"v{i}" for i in range(6)]
+
+    def run():
+        return check_task_all_schedules(
+            set_consensus_spec(2, 1, inputs),
+            KSetConsensusTask(2),
+            inputs_dict(inputs),
+        )
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.ok
+    assert report.executions_checked == 720
+
+
+def test_e2_single_run_o42(benchmark):
+    inputs = [f"v{i}" for i in range(16)]  # O(4,2): 4 groups x 4 slots
+
+    def run():
+        return set_consensus_spec(4, 2, inputs).run(RandomScheduler(7))
+
+    execution = benchmark(run)
+    assert len(execution.distinct_outputs()) <= 3

@@ -1,0 +1,59 @@
+"""E3 — the impossibility toolbox: counterexample search, certificates,
+critical-configuration walk."""
+
+from conftest import assert_rows_ok
+
+from repro.algorithms.helpers import build_spec
+from repro.analysis.commutativity import commute_or_overwrite_certificate
+from repro.analysis.valency import consensus_counterexample, find_critical_configuration
+from repro.core.family import HierarchyObjectSpec
+from repro.experiments.suite import run_e3_impossibility
+from repro.objects.register import RegisterSpec
+from repro.objects.rmw import TestAndSetSpec
+from repro.runtime.ops import invoke
+
+
+def test_e3_full_table(benchmark):
+    rows = benchmark.pedantic(run_e3_impossibility, rounds=3, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e3_register_counterexample_search(benchmark):
+    def naive(pid, value):
+        yield invoke(f"v{pid}", "write", value)
+        other = yield invoke(f"v{1 - pid}", "read")
+        return value if other is None else min(value, other)
+
+    spec = build_spec({"v0": RegisterSpec(), "v1": RegisterSpec()}, naive, ["b", "a"])
+    witness = benchmark(consensus_counterexample, spec, {0: "b", 1: "a"})
+    assert witness is not None
+
+
+def test_e3_family_certificate(benchmark):
+    spec = HierarchyObjectSpec(2, 1)
+    ops = [
+        ("invoke", (0, 0, "a")),
+        ("invoke", (0, 1, "b")),
+        ("invoke", (1, 0, "c")),
+        ("invoke", (2, 0, "d")),
+    ]
+    report = benchmark(commute_or_overwrite_certificate, spec, ops)
+    assert not report.certified  # the family's power is located
+
+
+def test_e3_critical_configuration_walk(benchmark):
+    def tas_consensus(pid, value):
+        yield invoke(f"v{pid}", "write", value)
+        lost = yield invoke("t", "test_and_set")
+        if lost == 0:
+            return value
+        other = yield invoke(f"v{1 - pid}", "read")
+        return other
+
+    spec = build_spec(
+        {"t": TestAndSetSpec(), "v0": RegisterSpec(), "v1": RegisterSpec()},
+        tas_consensus,
+        ["x", "y"],
+    )
+    report = benchmark(find_critical_configuration, spec)
+    assert report is not None and report.critical

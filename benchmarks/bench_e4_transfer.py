@@ -1,0 +1,42 @@
+"""E4 — set-consensus transfer vs the implementability theorem."""
+
+from conftest import assert_rows_ok
+
+from repro.algorithms.set_consensus_transfer import transfer_spec
+from repro.core.theorem import max_agreement
+from repro.experiments.suite import run_e4_transfer
+from repro.runtime.explorer import Explorer
+from repro.runtime.scheduler import RandomScheduler
+
+
+def test_e4_full_table(benchmark):
+    rows = benchmark.pedantic(run_e4_transfer, rounds=3, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e4_exhaustive_nondeterministic_objects(benchmark):
+    """The explorer branches over object nondeterminism too ((3,2)-SC
+    objects really are nondeterministic: adopt-or-extend, then pick) —
+    measure the 4-process tree walk."""
+    inputs = ["a", "b", "c", "d"]
+
+    def run():
+        explorer = Explorer(transfer_spec(3, 2, inputs), max_depth=10)
+        worst = 0
+        for execution in explorer.executions():
+            worst = max(worst, len(execution.distinct_outputs()))
+        return worst, explorer.stats.executions
+
+    worst, executions = benchmark(run)
+    assert worst == max_agreement(4, 3, 2) == 3
+    assert executions > 24  # nondeterminism multiplies the 4! schedules
+
+
+def test_e4_single_run_large(benchmark):
+    inputs = [f"v{i}" for i in range(30)]
+
+    def run():
+        return transfer_spec(5, 2, inputs).run(RandomScheduler(3))
+
+    execution = benchmark(run)
+    assert len(execution.distinct_outputs()) <= max_agreement(30, 5, 2)

@@ -1,0 +1,31 @@
+"""E5 — the infinite strict hierarchy, plus lattice construction costs."""
+
+from conftest import assert_rows_ok
+
+from repro.core.hierarchy import (
+    family_chain,
+    family_hierarchy_graph,
+    set_consensus_lattice,
+)
+from repro.experiments.suite import run_e5_hierarchy
+
+
+def test_e5_full_table(benchmark):
+    rows = benchmark.pedantic(run_e5_hierarchy, rounds=2, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e5_chain_certificates(benchmark):
+    chain = benchmark(family_chain, 2, 50)
+    assert len(chain) == 50
+    assert all(level.agreement_here + 1 == level.agreement_weaker for level in chain)
+
+
+def test_e5_hierarchy_graph(benchmark):
+    graph = benchmark(family_hierarchy_graph, 3, 20)
+    assert graph.number_of_nodes() == 22  # 20 levels + 2 anchors
+
+
+def test_e5_set_consensus_lattice(benchmark):
+    graph = benchmark(set_consensus_lattice, 12)
+    assert graph.number_of_nodes() == sum(m - 1 for m in range(2, 13))

@@ -1,0 +1,41 @@
+"""E6 — the Common2 refutation, analytic and executable."""
+
+from conftest import assert_rows_ok
+
+from repro.algorithms.consensus_from_n_consensus import (
+    partition_set_consensus_spec as baseline_spec,
+)
+from repro.algorithms.set_consensus_from_family import set_consensus_spec
+from repro.core.common2 import refutation_series
+from repro.experiments.suite import run_e6_common2
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+
+
+def test_e6_full_table(benchmark):
+    rows = benchmark.pedantic(run_e6_common2, rounds=2, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e6_certificate_series(benchmark):
+    series = benchmark(refutation_series, 100)
+    assert all(cert.holds for cert in series)
+
+
+def test_e6_family_side_run(benchmark):
+    inputs = [f"v{i}" for i in range(6)]
+
+    def run():
+        return set_consensus_spec(2, 1, inputs).run(RandomScheduler(11))
+
+    execution = benchmark(run)
+    assert len(execution.distinct_outputs()) <= 2
+
+
+def test_e6_baseline_side_run(benchmark):
+    inputs = [f"v{i}" for i in range(6)]
+
+    def run():
+        return baseline_spec(2, inputs).run(SoloScheduler([0, 2, 4, 1, 3, 5]))
+
+    execution = benchmark(run)
+    assert len(execution.distinct_outputs()) == 3

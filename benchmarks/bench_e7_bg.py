@@ -1,0 +1,41 @@
+"""E7 — the BG simulation: clean-run cost and crash containment."""
+
+from conftest import assert_rows_ok
+
+from repro.algorithms.bg_simulation import simulation_spec, write_scan_protocol
+from repro.experiments.suite import run_e7_bg
+from repro.runtime.scheduler import CrashingScheduler, RoundRobinScheduler
+
+
+def test_e7_full_table(benchmark):
+    rows = benchmark.pedantic(run_e7_bg, rounds=2, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e7_clean_simulation(benchmark):
+    protocol = write_scan_protocol(3)
+
+    def run():
+        spec = simulation_spec(protocol, 2, ["a", "b", "c"])
+        return spec.run(RoundRobinScheduler(), max_steps=40_000)
+
+    execution = benchmark(run)
+    merged = {}
+    for result in execution.outputs.values():
+        merged.update(result)
+    assert len(merged) == 3
+
+
+def test_e7_crashed_simulation(benchmark):
+    protocol = write_scan_protocol(3)
+
+    def run():
+        spec = simulation_spec(protocol, 2, ["a", "b", "c"])
+        scheduler = CrashingScheduler(RoundRobinScheduler(), {0: 15})
+        return spec.run(scheduler, max_steps=40_000)
+
+    execution = benchmark(run)
+    merged = {}
+    for result in execution.outputs.values():
+        merged.update(result)
+    assert len(merged) >= 2  # containment: at most one blocked

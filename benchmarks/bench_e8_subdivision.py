@@ -1,0 +1,30 @@
+"""E8 — the explorer vs combinatorial topology.
+
+Measures the exhaustive enumeration of the immediate-snapshot output
+complex (1 / 3 / 13 maximal simplexes for n = 1 / 2 / 3)."""
+
+from conftest import assert_rows_ok
+
+from repro.algorithms.immediate_snapshot import immediate_snapshot_spec
+from repro.experiments.suite import run_e8_subdivision
+from repro.runtime.explorer import Explorer
+
+
+def test_e8_full_table(benchmark):
+    rows = benchmark.pedantic(run_e8_subdivision, rounds=2, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e8_two_process_complex(benchmark):
+    inputs = ["x0", "x1"]
+
+    def run():
+        spec = immediate_snapshot_spec(inputs)
+        explorer = Explorer(spec, max_depth=24)
+        profiles = set()
+        for execution in explorer.executions():
+            profiles.add(tuple(execution.outputs[p] for p in range(2)))
+        return profiles
+
+    profiles = benchmark(run)
+    assert len(profiles) == 3

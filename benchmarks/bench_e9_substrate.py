@@ -1,0 +1,60 @@
+"""E9 — substrate linearizability: snapshot and universal construction."""
+
+from conftest import assert_rows_ok
+
+from repro.algorithms.snapshot_impl import (
+    annotated_scan,
+    annotated_update,
+    snapshot_objects,
+)
+from repro.algorithms.universal import universal_spec
+from repro.analysis.linearizability import is_linearizable
+from repro.experiments.suite import run_e9_substrate
+from repro.objects.queue_stack import QueueSpec
+from repro.objects.snapshot import AtomicSnapshotSpec
+from repro.runtime.history import history_from_execution
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.system import SystemSpec
+
+
+def test_e9_full_table(benchmark):
+    rows = benchmark.pedantic(run_e9_substrate, rounds=2, iterations=1)
+    assert_rows_ok(rows)
+
+
+def test_e9_snapshot_run_and_check(benchmark):
+    size = 3
+
+    def program(pid):
+        def run():
+            yield from annotated_update("snap", size, pid, f"v{pid}", 1)
+            view = yield from annotated_scan("snap", size)
+            return view
+
+        return run
+
+    spec = SystemSpec(
+        snapshot_objects("snap", size), [program(p) for p in range(size)]
+    )
+
+    def run_and_check():
+        execution = spec.run(RandomScheduler(13))
+        history = history_from_execution(execution)
+        return is_linearizable(history, AtomicSnapshotSpec(size))
+
+    assert benchmark(run_and_check)
+
+
+def test_e9_universal_queue_run_and_check(benchmark):
+    scripts = [
+        [("enqueue", ("a",)), ("dequeue", ())],
+        [("enqueue", ("b",)), ("dequeue", ())],
+    ]
+    spec = universal_spec(QueueSpec(), scripts)
+
+    def run_and_check():
+        execution = spec.run(RandomScheduler(17))
+        history = history_from_execution(execution)
+        return is_linearizable(history, QueueSpec())
+
+    assert benchmark(run_and_check)

@@ -1,0 +1,77 @@
+"""Figure-style sweep: best agreement K(N) as N grows.
+
+A theory paper has no figures, so this bench regenerates the *implicit*
+figure of the result: the agreement curves of n-consensus versus the
+O(n, k) levels.  The separations are where the curves split:
+
+* every O(n, k) curve sits at or below the n-consensus curve, dipping one
+  below it at each full ring (N = n(k+2) multiples);
+* the level-k curve sits at or below the level-(k+1) curve, strictly
+  below at N = n(k+1)+1 — the descending chain, level by level.
+
+The printed series are recorded in EXPERIMENTS.md; the benchmark measures
+the analytic sweep plus a simulated spot-check of one point per curve.
+"""
+
+from math import ceil
+
+from repro.algorithms.set_consensus_from_family import partition_set_consensus_spec
+from repro.core.power import family_agreement
+from repro.runtime.scheduler import RandomScheduler
+
+N_MAX = 30
+N_VALUE = 2  # curves for consensus number 2 (the Common2 setting)
+
+
+def analytic_curves():
+    """Return {label: [K(N) for N in 1..N_MAX]}."""
+    curves = {"2-consensus": [ceil(total / N_VALUE) for total in range(1, N_MAX + 1)]}
+    for k in (1, 2, 3):
+        curves[f"O(2,{k})"] = [
+            family_agreement(N_VALUE, k, total) for total in range(1, N_MAX + 1)
+        ]
+    return curves
+
+
+def simulated_spot_checks():
+    """Worst observed agreement over random schedules at each curve's
+    separation point."""
+    results = {}
+    for k in (1, 2):
+        total = N_VALUE * (k + 1) + 1
+        inputs = [f"v{i}" for i in range(total)]
+        spec = partition_set_consensus_spec(N_VALUE, k, inputs)
+        worst = max(
+            len(spec.run(RandomScheduler(seed)).distinct_outputs())
+            for seed in range(100)
+        )
+        results[f"O(2,{k}) @ N={total}"] = worst
+    return results
+
+
+def test_fig_analytic_curves(benchmark):
+    curves = benchmark(analytic_curves)
+    consensus = curves["2-consensus"]
+    for k in (1, 2, 3):
+        level = curves[f"O(2,{k})"]
+        assert all(a <= b for a, b in zip(level, consensus))
+        # Strictly better exactly at the ring sizes.
+        dip = 2 * (k + 2)
+        assert level[dip - 1] == consensus[dip - 1] - 1
+    # Descending chain, pointwise.
+    assert all(
+        a <= b for a, b in zip(curves["O(2,1)"], curves["O(2,2)"])
+    )
+    print()
+    print("N:          ", list(range(1, N_MAX + 1)))
+    for label, series in curves.items():
+        print(f"{label:12s}", series)
+
+
+def test_fig_simulated_spot_checks(benchmark):
+    results = benchmark.pedantic(simulated_spot_checks, rounds=2, iterations=1)
+    assert results["O(2,1) @ N=5"] <= 2
+    assert results["O(2,2) @ N=7"] <= 3
+    print()
+    for label, worst in results.items():
+        print(f"{label}: worst observed {worst}")

@@ -1,0 +1,60 @@
+"""Substrate task costs: immediate snapshot, approximate agreement, and
+the resilience auditor.
+
+Not tied to a single experiment id — these measure the sub-consensus
+toolbox that frames the paper's contribution (what IS solvable at
+consensus number 1, so the reader can see exactly what the O(n, k)
+family adds)."""
+
+from repro.algorithms.approximate_agreement import approximate_agreement_spec
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.immediate_snapshot import immediate_snapshot_spec
+from repro.analysis.resilience import check_resilience
+from repro.runtime.scheduler import RandomScheduler
+from repro.tasks import KSetConsensusTask
+from repro.tasks.approximate_agreement import ApproximateAgreementTask
+from repro.tasks.immediate_snapshot import ImmediateSnapshotTask
+
+
+def test_immediate_snapshot_run(benchmark):
+    inputs = [f"x{i}" for i in range(8)]
+    spec = immediate_snapshot_spec(inputs)
+
+    def run():
+        return spec.run(RandomScheduler(5))
+
+    execution = benchmark(run)
+    ImmediateSnapshotTask().validate(inputs_dict(inputs), execution.outputs)
+
+
+def test_approximate_agreement_run(benchmark):
+    inputs = [float(i) for i in range(8)]
+    epsilon = 0.25
+    spec = approximate_agreement_spec(inputs, epsilon)
+
+    def run():
+        return spec.run(RandomScheduler(5))
+
+    execution = benchmark(run)
+    ApproximateAgreementTask(epsilon).validate(
+        inputs_dict(inputs), execution.outputs
+    )
+
+
+def test_resilience_audit(benchmark):
+    from repro.algorithms.set_consensus_from_family import set_consensus_spec
+
+    inputs = ["a", "b", "c"]
+    spec = set_consensus_spec(1, 1, inputs)
+
+    def run():
+        return check_resilience(
+            spec,
+            KSetConsensusTask(2),
+            inputs_dict(inputs),
+            max_failures=2,
+            max_depth=10,
+        )
+
+    report = benchmark(run)
+    assert report.resilient

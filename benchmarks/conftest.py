@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+The reproduced paper has no empirical tables/figures (theory venue); the
+benchmark harness regenerates the *experiment suite* of EXPERIMENTS.md —
+one bench module per experiment id — and measures the cost of the
+machinery itself (simulator, explorer, checkers).  Every bench asserts
+its experiment's claim on the produced result, so ``pytest benchmarks/
+--benchmark-only`` is also a correctness pass.
+"""
+
+import pytest
+
+
+def assert_rows_ok(rows):
+    """Fail loudly with the offending row rendered."""
+    bad = [row for row in rows if not row.ok]
+    assert not bad, "failed rows:\n" + "\n".join(row.markdown() for row in bad)

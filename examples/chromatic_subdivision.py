@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Rediscovering the standard chromatic subdivision, experimentally.
+
+The topological view of wait-free computation (the world the paper's
+lower bounds live in) says: the possible output patterns of a one-shot
+immediate snapshot form the *standard chromatic subdivision* of the input
+simplex.  For 2 processes an edge subdivides into 3 edges; for 3
+processes a triangle subdivides into **13** triangles.
+
+This script does not assume any of that: it runs the Borowsky–Gafni
+immediate-snapshot algorithm (registers only) under *every* schedule and
+simply collects the distinct output profiles.  The counts 1 / 3 / 13
+fall out of the exhaustive explorer — combinatorial topology, measured.
+
+Run: ``python examples/chromatic_subdivision.py``
+"""
+
+from collections import Counter
+
+from repro.algorithms.immediate_snapshot import immediate_snapshot_spec
+from repro.runtime.explorer import Explorer
+
+
+def label(view, inputs):
+    members = sorted(pid for pid, _value in view)
+    return "{" + ",".join(str(pid) for pid in members) + "}"
+
+
+def explore(n):
+    inputs = [f"x{i}" for i in range(n)]
+    spec = immediate_snapshot_spec(inputs)
+    explorer = Explorer(spec, max_depth=12 * n)
+    profiles = Counter()
+    for execution in explorer.executions():
+        profile = tuple(
+            label(execution.outputs[pid], inputs) for pid in range(n)
+        )
+        profiles[profile] += 1
+    return profiles, explorer.stats
+
+
+def main() -> None:
+    expected = {1: 1, 2: 3, 3: 13}
+    for n in (1, 2, 3):
+        profiles, stats = explore(n)
+        print(
+            f"n = {n}: {stats.executions} maximal executions -> "
+            f"{len(profiles)} distinct output profiles "
+            f"(standard chromatic subdivision: {expected[n]} simplexes)"
+        )
+        assert len(profiles) == expected[n]
+        if n <= 3:
+            width = max(len(str(p)) for p in profiles)
+            for profile, count in sorted(profiles.items()):
+                views = " ".join(f"p{i}->{v}" for i, v in enumerate(profile))
+                print(f"    {views:<{width + 12}}  reached by {count} schedules")
+        print()
+    print(
+        "Each profile is one maximal simplex of the subdivision; the paper's"
+        "\nimpossibility machinery (BG simulation, set-consensus lower bounds)"
+        "\nis, at bottom, the combinatorics of exactly this structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

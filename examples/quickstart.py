@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: meet O(n, k), the deterministic object beyond consensus.
+
+This walks the library's core loop in five minutes:
+
+1. build a deterministic O(2, 1) object (consensus number 2);
+2. run its headline protocol — 6 processes, (6, 2)-set consensus —
+   under a random adversary;
+3. model-check the 2-agreement claim under *every* schedule;
+4. compare with the best 2-consensus objects can do (3 values).
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    FamilyMember,
+    KSetConsensusTask,
+    RandomScheduler,
+    SoloScheduler,
+    check_task_all_schedules,
+)
+from repro.algorithms.consensus_from_n_consensus import (
+    partition_set_consensus_spec as two_consensus_baseline,
+)
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.set_consensus_from_family import set_consensus_spec
+
+
+def main() -> None:
+    member = FamilyMember(n=2, k=1)
+    print("The object:")
+    print(" ", member.describe())
+    print()
+
+    inputs = ["ada", "bob", "cyd", "dan", "eve", "fay"]
+    spec = set_consensus_spec(member.n, member.k, inputs)
+
+    print("One run under a random adversary (seed 42):")
+    execution = spec.run(RandomScheduler(42))
+    for pid in sorted(execution.outputs):
+        print(f"  p{pid} proposed {inputs[pid]!r:7} decided {execution.outputs[pid]!r}")
+    print(f"  distinct decisions: {len(execution.distinct_outputs())} (claim: <= 2)")
+    print()
+
+    print("Model-checking the claim over ALL schedules:")
+    report = check_task_all_schedules(
+        set_consensus_spec(member.n, member.k, inputs),
+        KSetConsensusTask(2),
+        inputs_dict(inputs),
+    )
+    print(
+        f"  {report.executions_checked} maximal executions checked — "
+        f"{'every one satisfied 2-agreement' if report.ok else report.reason}"
+    )
+    print(f"  decision-count histogram: {dict(sorted(report.distinct_output_counts.items()))}")
+    print()
+
+    print("What 2-consensus objects (queue, stack, TAS, ...) can do at N=6:")
+    baseline = two_consensus_baseline(2, inputs)
+    forced = baseline.run(SoloScheduler([0, 2, 4, 1, 3, 5]))
+    print(
+        f"  partition protocol, solo adversary: "
+        f"{len(forced.distinct_outputs())} distinct decisions "
+        "(ceil(6/2) = 3 — provably unbeatable for them)"
+    )
+    print()
+    print(
+        "Same consensus number, different power: that is the paper's "
+        "refutation of the consensus hierarchy's precision (and of Common2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

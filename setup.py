@@ -1,0 +1,4 @@
+"""Setuptools shim for environments without PEP 660 editable support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,200 @@
+"""repro — deterministic objects beyond the consensus hierarchy.
+
+A shared-memory distributed-computing laboratory reproducing
+"Deterministic Objects: Life Beyond Consensus" (Afek–Ellen–Gafni,
+PODC 2016): the deterministic object families that share a consensus
+number yet differ in synchronization power, together with every substrate
+the result stands on — a deterministic asynchronous-shared-memory
+simulator with exhaustive schedule exploration, the classical object zoo,
+task solvability checking, wait-free protocol constructions
+(set-consensus transfer, safe agreement, BG simulation, renaming,
+snapshots, universal construction), and automated proof tools
+(linearizability, valency, commutativity certificates).
+
+Quickstart::
+
+    from repro import FamilyMember, common2_refutation
+    member = FamilyMember(n=2, k=1)
+    print(member.describe())
+    print(common2_refutation(k=1).statement())
+
+See README.md for the architecture tour, DESIGN.md for the system
+inventory (and the paper-text mismatch notice), and EXPERIMENTS.md for the
+per-claim experiment index.
+"""
+
+from repro.errors import (
+    ExplorationLimitError,
+    IllegalOperationError,
+    ImplementabilityError,
+    NotLinearizableError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    TaskViolationError,
+)
+from repro.runtime import (
+    Annotation,
+    Execution,
+    Explorer,
+    History,
+    Operation,
+    Process,
+    ProcessStatus,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ScriptedScheduler,
+    SoloScheduler,
+    System,
+    SystemSpec,
+    check_all_executions,
+    explore_executions,
+    find_execution,
+    history_from_execution,
+    invoke,
+)
+from repro.objects import (
+    ArraySpec,
+    AtomicSnapshotSpec,
+    CompareAndSwapSpec,
+    CounterSpec,
+    DeterministicObjectSpec,
+    DoorwaySpec,
+    FetchAndAddSpec,
+    NConsensusSpec,
+    ObjectSpec,
+    QueueSpec,
+    RegisterSpec,
+    SetConsensusSpec,
+    StackSpec,
+    StickyBitSpec,
+    StickyRegisterSpec,
+    SwapSpec,
+    TestAndSetSpec,
+)
+from repro.tasks import (
+    ConsensusTask,
+    ElectionTask,
+    KSetConsensusTask,
+    KSetElectionTask,
+    RenamingTask,
+    StrongKSetElectionTask,
+    Task,
+    check_task_all_schedules,
+    check_task_random_schedules,
+    run_task_protocol,
+)
+from repro.core import (
+    Common2Refutation,
+    FamilyMember,
+    HierarchyObjectSpec,
+    SetConsensusPower,
+    common2_refutation,
+    consensus_number_of,
+    cover_agreement,
+    family_agreement,
+    family_chain,
+    family_hierarchy_graph,
+    family_profile,
+    implementability_conditions,
+    is_implementable,
+    max_agreement,
+    set_consensus_lattice,
+    strictness_witness,
+)
+from repro.analysis import (
+    check_linearizable,
+    classify_valence,
+    commute_or_overwrite_certificate,
+    consensus_counterexample,
+    find_critical_configuration,
+    is_linearizable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "IllegalOperationError",
+    "ImplementabilityError",
+    "ProtocolError",
+    "SchedulingError",
+    "ExplorationLimitError",
+    "NotLinearizableError",
+    "TaskViolationError",
+    # runtime
+    "Operation",
+    "Annotation",
+    "invoke",
+    "Process",
+    "ProcessStatus",
+    "System",
+    "SystemSpec",
+    "Execution",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "ScriptedScheduler",
+    "SoloScheduler",
+    "Explorer",
+    "explore_executions",
+    "check_all_executions",
+    "find_execution",
+    "History",
+    "history_from_execution",
+    # objects
+    "ObjectSpec",
+    "DeterministicObjectSpec",
+    "RegisterSpec",
+    "ArraySpec",
+    "CounterSpec",
+    "DoorwaySpec",
+    "AtomicSnapshotSpec",
+    "TestAndSetSpec",
+    "SwapSpec",
+    "FetchAndAddSpec",
+    "CompareAndSwapSpec",
+    "QueueSpec",
+    "StackSpec",
+    "StickyBitSpec",
+    "StickyRegisterSpec",
+    "NConsensusSpec",
+    "SetConsensusSpec",
+    # tasks
+    "Task",
+    "ConsensusTask",
+    "ElectionTask",
+    "KSetConsensusTask",
+    "KSetElectionTask",
+    "StrongKSetElectionTask",
+    "RenamingTask",
+    "run_task_protocol",
+    "check_task_all_schedules",
+    "check_task_random_schedules",
+    # core
+    "HierarchyObjectSpec",
+    "FamilyMember",
+    "SetConsensusPower",
+    "max_agreement",
+    "is_implementable",
+    "implementability_conditions",
+    "cover_agreement",
+    "family_profile",
+    "family_agreement",
+    "family_chain",
+    "family_hierarchy_graph",
+    "set_consensus_lattice",
+    "strictness_witness",
+    "Common2Refutation",
+    "common2_refutation",
+    "consensus_number_of",
+    # analysis
+    "is_linearizable",
+    "check_linearizable",
+    "classify_valence",
+    "find_critical_configuration",
+    "consensus_counterexample",
+    "commute_or_overwrite_certificate",
+]

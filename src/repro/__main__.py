@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``describe N K``
+    Print the data sheet of O(N, K): geometry, consensus number, task,
+    separation witnesses, agreement profile.
+``curves N [--kmax K] [--nmax NMAX]``
+    Print the agreement curves K(N) for consensus number N and family
+    levels 1..K — the repository's implicit figure.
+``check N K``
+    Model-check O(N, K)'s headline claims live (consensus, exhaustive or
+    sampled set consensus) and print the verdict.
+``report``
+    Run the full experiment suite and print the EXPERIMENTS.md tables
+    (equivalent to ``python -m repro.experiments.report``).
+``common2 [--levels L]``
+    Print the Common2 refutation certificates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from math import ceil
+
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.set_consensus_from_family import (
+    consensus_spec,
+    set_consensus_spec,
+)
+from repro.core.common2 import refutation_series
+from repro.core.family import FamilyMember
+from repro.core.power import family_agreement
+from repro.tasks import (
+    ConsensusTask,
+    KSetConsensusTask,
+    check_task_all_schedules,
+    check_task_random_schedules,
+)
+
+
+def cmd_describe(args) -> int:
+    member = FamilyMember(args.n, args.k)
+    print(member.describe())
+    profile = member.profile()
+    values = ", ".join(
+        f"{c}->{profile(c)}" for c in range(1, member.ports + 1)
+    )
+    print(f"agreement profile (cohort -> decisions): {values}")
+    print(
+        f"separation vs O({args.n},{args.k + 1}): N = "
+        f"{member.separation_system_size} (paper's ascending-chain "
+        f"constant: {member.paper_separation_system_size})"
+    )
+    return 0
+
+
+def cmd_curves(args) -> int:
+    n = args.n
+    print(f"Best agreement K(N), consensus number {n} (lower = stronger):")
+    width = args.nmax
+    print("  N            " + " ".join(f"{N:3d}" for N in range(1, width + 1)))
+    consensus_curve = [ceil(N / n) for N in range(1, width + 1)]
+    print(f"  {n}-consensus  " + " ".join(f"{v:3d}" for v in consensus_curve))
+    for k in range(1, args.kmax + 1):
+        curve = [family_agreement(n, k, N) for N in range(1, width + 1)]
+        print(f"  O({n},{k})       " + " ".join(f"{v:3d}" for v in curve))
+    return 0
+
+
+def cmd_check(args) -> int:
+    member = FamilyMember(args.n, args.k)
+    inputs = [f"v{i}" for i in range(member.n)]
+    report = check_task_all_schedules(
+        consensus_spec(args.n, args.k, inputs),
+        ConsensusTask(),
+        inputs_dict(inputs),
+    )
+    print(
+        f"[1/2] consensus, {member.n} processes, all schedules: "
+        f"{'OK' if report.ok else 'FAILED: ' + report.reason} "
+        f"({report.executions_checked} executions)"
+    )
+    inputs = [f"v{i}" for i in range(member.ports)]
+    spec = set_consensus_spec(args.n, args.k, inputs)
+    task = KSetConsensusTask(args.k + 1)
+    if member.ports <= 6:
+        full = check_task_all_schedules(spec, task, inputs_dict(inputs))
+        mode = f"all {full.executions_checked} schedules"
+    else:
+        full = check_task_random_schedules(
+            spec, task, inputs_dict(inputs), seeds=range(300)
+        )
+        mode = "300 random schedules"
+    print(
+        f"[2/2] ({member.ports}, {args.k + 1})-set consensus, {mode}: "
+        f"{'OK' if full.ok else 'FAILED: ' + full.reason}"
+    )
+    return 0 if report.ok and full.ok else 1
+
+
+def cmd_report(_args) -> int:
+    from repro.experiments.report import main as report_main
+
+    return report_main(["--check"])
+
+
+def cmd_common2(args) -> int:
+    for cert in refutation_series(args.levels):
+        print(cert.statement())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deterministic objects beyond the consensus hierarchy",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="data sheet of O(n, k)")
+    describe.add_argument("n", type=int)
+    describe.add_argument("k", type=int)
+    describe.set_defaults(func=cmd_describe)
+
+    curves = sub.add_parser("curves", help="agreement curves K(N)")
+    curves.add_argument("n", type=int)
+    curves.add_argument("--kmax", type=int, default=3)
+    curves.add_argument("--nmax", type=int, default=24)
+    curves.set_defaults(func=cmd_curves)
+
+    check = sub.add_parser("check", help="model-check O(n, k) live")
+    check.add_argument("n", type=int)
+    check.add_argument("k", type=int)
+    check.set_defaults(func=cmd_check)
+
+    report = sub.add_parser("report", help="run the experiment suite")
+    report.set_defaults(func=cmd_report)
+
+    common2 = sub.add_parser("common2", help="Common2 refutation certificates")
+    common2.add_argument("--levels", type=int, default=3)
+    common2.set_defaults(func=cmd_common2)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

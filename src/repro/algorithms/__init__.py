@@ -1,0 +1,32 @@
+"""Wait-free protocols: the positive results, executable.
+
+Every module builds :class:`~repro.runtime.system.SystemSpec` instances
+(or reusable program subroutines) for one construction from the paper's
+world:
+
+* :mod:`repro.algorithms.set_consensus_from_family` — the family's raison
+  d'être: (n(k+2), k+1)-set consensus and n-process consensus from O(n, k);
+* :mod:`repro.algorithms.consensus_from_n_consensus` — the n-consensus
+  baseline and its partition-based set consensus (what Common2 members can
+  do at best);
+* :mod:`repro.algorithms.set_consensus_transfer` — the positive direction
+  of the implementability theorem: (N, K) from (m, j) objects;
+* :mod:`repro.algorithms.relaxed_family` — flag-principle port guards for
+  safely sharing one-shot ports;
+* :mod:`repro.algorithms.snapshot_impl` — wait-free atomic snapshot from
+  registers (Afek–Attiya–Dolev–Gafni–Merritt–Shavit);
+* :mod:`repro.algorithms.safe_agreement` — the BG building block;
+* :mod:`repro.algorithms.bg_simulation` — the Borowsky–Gafni simulation
+  (the machinery behind the paper's lower bounds);
+* :mod:`repro.algorithms.renaming` — wait-free splitter-grid renaming;
+* :mod:`repro.algorithms.adopt_commit` — adopt-commit from registers;
+* :mod:`repro.algorithms.universal` — Herlihy's universal construction;
+* :mod:`repro.algorithms.immediate_snapshot` — the Borowsky–Gafni
+  one-shot immediate snapshot (descending levels);
+* :mod:`repro.algorithms.election` — set election from the family, and
+  the deliberate strong-election gap demonstration.
+"""
+
+from repro.algorithms.helpers import build_spec, programs_from
+
+__all__ = ["build_spec", "programs_from"]

@@ -1,0 +1,75 @@
+"""Adopt-commit from registers (Gafni; Yang–Neiger style).
+
+Adopt-commit is the canonical *sub-consensus* agreement object: it is
+register-implementable (consensus number 1), yet it captures exactly the
+"graded agreement" that round-based consensus protocols need.  Its
+``propose(v)`` returns ``(COMMIT, w)`` or ``(ADOPT, w)`` with:
+
+* **commit-validity** — if every participant proposes the same value, all
+  return ``(COMMIT, v)``;
+* **agreement** — if anyone returns ``(COMMIT, w)``, everyone returns
+  ``(*, w)``;
+* **validity** — returned values were proposed.
+
+Its presence in the library anchors the bottom of the hierarchy: plenty of
+interesting agreement semantics live at consensus number 1 — the paper's
+point is that *strictly more* than this (actual set-consensus power) also
+lives below 2-consensus... for nondeterministic objects, and at every
+level n for its deterministic family.
+
+Implementation: two snapshot phases.
+
+1. write ``v``; scan; set flag True iff every announced value equals v;
+2. write ``(v, flag)``; scan; commit iff all announced flags are True,
+   else adopt the (unique — two True flags cannot disagree) flagged value
+   if one is visible, else keep v.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.algorithms.helpers import build_spec
+from repro.objects.snapshot import AtomicSnapshotSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+COMMIT = "commit"
+ADOPT = "adopt"
+
+
+def adopt_commit_objects(name: str, participants: int) -> dict:
+    """Shared objects of one instance: two announcement snapshots."""
+    return {
+        f"{name}.R1": AtomicSnapshotSpec(participants),
+        f"{name}.R2": AtomicSnapshotSpec(participants),
+    }
+
+
+def propose(name: str, me: int, value: Any) -> Generator:
+    """Run the two-phase protocol; returns (COMMIT|ADOPT, value)."""
+    yield invoke(f"{name}.R1", "update", me, value)
+    first_view = yield invoke(f"{name}.R1", "scan")
+    unanimous = all(v is None or v == value for v in first_view)
+    yield invoke(f"{name}.R2", "update", me, (value, unanimous))
+    second_view = yield invoke(f"{name}.R2", "scan")
+    flagged = [entry for entry in second_view if entry is not None and entry[1]]
+    present = [entry for entry in second_view if entry is not None]
+    if flagged and len(flagged) == len(present):
+        return (COMMIT, flagged[0][0])
+    if flagged:
+        return (ADOPT, flagged[0][0])
+    return (ADOPT, value)
+
+
+def adopt_commit_spec(participants: int, inputs: Sequence[Any]) -> SystemSpec:
+    """System where every process proposes once to a single instance."""
+    if len(inputs) > participants:
+        raise ValueError("more inputs than participant slots")
+    objects = adopt_commit_objects("ac", participants)
+
+    def program(pid: int, value: Any) -> Generator:
+        outcome = yield from propose("ac", pid, value)
+        return outcome
+
+    return build_spec(objects, program, inputs)

@@ -1,0 +1,84 @@
+"""Wait-free ε-approximate agreement from registers.
+
+The classic averaging algorithm over atomic snapshots: in each round every
+process publishes its current estimate, snapshots all published estimates
+for that round, and moves to the midpoint of what it saw.  Each round at
+least halves the diameter of the live estimates, so
+
+    rounds = ceil(log2(range / ε))
+
+suffice.  Termination is data-dependent but *schedule-independent*:
+the library sizes the round count from the a-priori input range.
+
+Why it belongs here: approximate agreement is solvable at consensus
+number 1 while (exact) consensus is not — the first hint that the space
+below consensus is structured, which the paper's set-consensus strata
+then refine.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import Generator, Sequence
+
+from repro.algorithms.helpers import build_spec
+from repro.objects.snapshot import AtomicSnapshotSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+def rounds_needed(value_range: float, epsilon: float) -> int:
+    """Rounds sufficient to shrink ``value_range`` below ``epsilon``
+    when each round halves the diameter."""
+    if value_range <= epsilon:
+        return 1
+    return max(1, ceil(log2(value_range / epsilon)))
+
+
+def approximate_agreement(
+    name: str,
+    participants: int,
+    me: int,
+    value: float,
+    rounds: int,
+) -> Generator:
+    """Run ``rounds`` of publish/snapshot/average; returns the estimate.
+
+    Round r uses segment slot content ``(r, estimate)``; a process only
+    averages estimates of its own round or later (stale slower processes
+    are ignored — their estimates are already within the current
+    interval, by the standard inductive argument).
+    """
+    estimate = float(value)
+    for round_index in range(rounds):
+        yield invoke(name, "update", me, (round_index, estimate))
+        view = yield invoke(name, "scan")
+        current = [
+            est
+            for cell in view
+            if cell is not None
+            for r, est in [cell]
+            if r >= round_index
+        ]
+        estimate = (min(current) + max(current)) / 2.0
+    return estimate
+
+
+def approximate_agreement_spec(
+    inputs: Sequence[float], epsilon: float
+) -> SystemSpec:
+    """System solving ε-approximate agreement for the given inputs."""
+    participants = len(inputs)
+    if participants == 0:
+        raise ValueError("need at least one participant")
+    spread = max(inputs) - min(inputs)
+    rounds = rounds_needed(spread, epsilon)
+    objects = {"aa": AtomicSnapshotSpec(participants, initial=None)}
+
+    def program(pid: int, value: float) -> Generator:
+        result = yield from approximate_agreement(
+            "aa", participants, pid, value, rounds
+        )
+        return result
+
+    return build_spec(objects, program, list(inputs))

@@ -1,0 +1,183 @@
+"""The Borowsky–Gafni simulation.
+
+``s`` *simulators* jointly execute a register-protocol for ``p`` simulated
+processes so that the simulated execution is a legal execution of the
+protocol, and at most ``f`` simulated processes stall if at most ``f``
+simulators crash.  This is the machinery behind the set-consensus lower
+bounds the paper's separations rest on (and the historical engine of the
+k-set-consensus impossibility).
+
+Scope of this implementation
+----------------------------
+Simulated protocols are *full-information snapshot protocols*: each
+simulated process alternates «write my state» / «scan everyone's state»
+until it decides (the normal form every wait-free register protocol can be
+compiled to).  The only nondeterminism is what each scan returns — so that
+is the only thing simulators must agree on, and they do, via one
+safe-agreement instance per (simulated process, round):
+
+* every simulator performs a real scan of the simulated memory and
+  proposes its view;
+* safe agreement picks one proposal; the winning view drives the simulated
+  process's deterministic transition, so all simulators compute identical
+  simulated states;
+* writes are idempotent (every simulator writes the same agreed value into
+  the simulated process's segment).
+
+A simulator that crashes inside one instance's unsafe section blocks only
+that simulated process; simulators cycle over simulated processes with the
+non-blocking announce / try-decide interface, so every other simulated
+process keeps making progress — the BG containment property, which the
+tests crash-inject to verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.algorithms.helpers import build_spec
+from repro.algorithms import safe_agreement
+from repro.objects.snapshot import AtomicSnapshotSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+@dataclass(frozen=True)
+class SimulatedProtocol:
+    """A full-information snapshot protocol for ``p`` simulated processes.
+
+    ``transition(q, state, view) -> (new_state, decision)`` consumes the
+    agreed scan ``view`` (a tuple of the latest written states, ``None``
+    for silent processes) and must be **deterministic**; ``decision`` is
+    ``None`` until the simulated process decides.  ``initial_state(q,
+    input)`` seeds the per-process state, which is also what gets written
+    to the simulated memory before each scan.
+    """
+
+    n_processes: int
+    initial_state: Callable[[int, Any], Any]
+    transition: Callable[[int, Any, Tuple[Any, ...]], Tuple[Any, Optional[Any]]]
+    max_rounds: int = 64
+
+
+def write_scan_protocol(n_processes: int, rounds: int = 1) -> SimulatedProtocol:
+    """The canonical test protocol: write input, scan, repeat ``rounds``
+    times, then decide the set of inputs seen (as a sorted tuple).  Its
+    decisions reveal exactly which interleaving the simulators agreed on.
+    """
+
+    def initial_state(q: int, value: Any) -> Any:
+        return ("input", value)
+
+    def transition(q: int, state: Any, view: Tuple[Any, ...]) -> Tuple[Any, Optional[Any]]:
+        kind, payload = state[0], state[1]
+        round_index = 0 if kind == "input" else state[2]
+        # Every cell carries its process's input as the payload, whatever
+        # round that process has reached.
+        seen = tuple(sorted(cell[1] for cell in view if cell is not None))
+        if round_index + 1 >= rounds:
+            return state, seen
+        return ("working", payload, round_index + 1), None
+
+    return SimulatedProtocol(
+        n_processes=n_processes,
+        initial_state=initial_state,
+        transition=transition,
+        max_rounds=rounds + 1,
+    )
+
+
+def bg_objects(protocol: SimulatedProtocol, n_simulators: int) -> dict:
+    """Shared objects: the simulated memory plus one safe-agreement
+    instance per (simulated process, round)."""
+    objects: dict = {
+        "mem": AtomicSnapshotSpec(protocol.n_processes, initial=None)
+    }
+    for q in range(protocol.n_processes):
+        for r in range(protocol.max_rounds):
+            instance = safe_agreement.SafeAgreementInstance(
+                _instance_name(q, r), n_simulators
+            )
+            objects.update(instance.objects())
+    return objects
+
+
+def _instance_name(q: int, round_index: int) -> str:
+    return f"sa[{q},{round_index}]"
+
+
+def simulator_program(
+    protocol: SimulatedProtocol,
+    sim_id: int,
+    inputs: Sequence[Any],
+    give_up_after_sweeps: int = 16,
+) -> Generator:
+    """One simulator: cycle over simulated processes, advancing each by one
+    write/scan/agree/transition round per visit, skipping processes whose
+    current agreement instance is still unsafe.
+
+    Returns the dict of simulated decisions this simulator witnessed.  The
+    simulator retires after ``give_up_after_sweeps`` consecutive sweeps
+    without progress — necessary because a simulator crashed inside an
+    unsafe section blocks its instance forever and survivors must not spin
+    eternally.  The BG guarantee is about the union of witnessed
+    decisions: with at most f crashed simulators, the surviving
+    simulators' sweeps jointly complete all but at most f simulated
+    processes (crash-injected in the tests).
+    """
+    states: Dict[int, Any] = {
+        q: protocol.initial_state(q, inputs[q]) for q in range(protocol.n_processes)
+    }
+    rounds: Dict[int, int] = {q: 0 for q in range(protocol.n_processes)}
+    announced: Dict[Tuple[int, int], bool] = {}
+    decisions: Dict[int, Any] = {}
+    # Keep cycling while some undecided simulated process might advance.
+    stalled_sweeps = 0
+    while len(decisions) < protocol.n_processes and stalled_sweeps < give_up_after_sweeps:
+        progressed = False
+        for q in range(protocol.n_processes):
+            if q in decisions or rounds[q] >= protocol.max_rounds:
+                continue
+            r = rounds[q]
+            instance = _instance_name(q, r)
+            if not announced.get((q, r)):
+                # Write q's current state (idempotent across simulators),
+                # then propose a freshly scanned view.
+                yield invoke("mem", "update", q, states[q])
+                view = yield invoke("mem", "scan")
+                yield from safe_agreement.announce(instance, sim_id, view)
+                announced[(q, r)] = True
+            agreed_view = yield from safe_agreement.try_decide(instance)
+            if agreed_view is None:
+                continue  # unsafe: some simulator parked mid-announce
+            new_state, decision = protocol.transition(q, states[q], agreed_view)
+            states[q] = new_state
+            rounds[q] = r + 1
+            if decision is not None:
+                decisions[q] = decision
+            progressed = True
+        if progressed:
+            stalled_sweeps = 0
+        else:
+            stalled_sweeps += 1
+    return dict(sorted(decisions.items()))
+
+
+def simulation_spec(
+    protocol: SimulatedProtocol,
+    n_simulators: int,
+    inputs: Sequence[Any],
+) -> SystemSpec:
+    """System of ``n_simulators`` simulators jointly running ``protocol``
+    on ``inputs`` (one input per simulated process)."""
+    if len(inputs) != protocol.n_processes:
+        raise ValueError("one input per simulated process required")
+    objects = bg_objects(protocol, n_simulators)
+    frozen_inputs = tuple(inputs)
+
+    def program(sim_id: int, _value: Any) -> Generator:
+        result = yield from simulator_program(protocol, sim_id, frozen_inputs)
+        return result
+
+    return build_spec(objects, program, [None] * n_simulators)

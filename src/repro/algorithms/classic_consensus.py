@@ -1,0 +1,146 @@
+"""The classical consensus-number lower-bound constructions (Herlihy).
+
+Each function builds the textbook wait-free consensus protocol that
+*witnesses* an object's place in the hierarchy — the constructive half of
+the consensus numbers recorded in
+:mod:`repro.core.consensus_number`:
+
+* 2-process consensus from **test-and-set**, **swap**, **fetch-and-add**,
+  or a pre-filled **queue** (all consensus number 2 — the Common2 cast);
+* n-process consensus from **compare-and-swap** or a **sticky register**
+  (consensus number infinity).
+
+All protocols share the same shape: announce your value in a register,
+use the object once to decide a total order, and the loser(s) adopt the
+winner's announced value.  The matching *upper* bounds (that e.g. TAS
+cannot do 3) are the subject of the valency/certificate tools in
+:mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.algorithms.helpers import build_spec
+from repro.objects.queue_stack import QueueSpec
+from repro.objects.register import RegisterSpec
+from repro.objects.rmw import CompareAndSwapSpec, FetchAndAddSpec, SwapSpec, TestAndSetSpec
+from repro.objects.sticky import StickyRegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+def _announce_objects(n_processes: int) -> dict:
+    return {f"announce{i}": RegisterSpec() for i in range(n_processes)}
+
+
+def _two_process(objects: dict, decide_winner) -> SystemSpec:
+    """Common two-process shape: announce, race, winner keeps own value,
+    loser reads the winner's announcement."""
+
+    def program(pid: int, value: Any) -> Generator:
+        yield invoke(f"announce{pid}", "write", value)
+        iwon = yield from decide_winner(pid)
+        if iwon:
+            return value
+        other = yield invoke(f"announce{1 - pid}", "read")
+        return other
+
+    return objects, program
+
+
+def consensus_from_test_and_set(inputs: Sequence[Any]) -> SystemSpec:
+    """2-process consensus from one TAS: first test-and-set wins."""
+    if len(inputs) > 2:
+        raise ValueError("TAS solves consensus for at most 2 processes")
+
+    def decide_winner(pid: int) -> Generator:
+        lost = yield invoke("tas", "test_and_set")
+        return lost == 0
+
+    objects = {"tas": TestAndSetSpec(), **_announce_objects(2)}
+    objects, program = _two_process(objects, decide_winner)
+    return build_spec(objects, program, inputs)
+
+
+def consensus_from_swap(inputs: Sequence[Any]) -> SystemSpec:
+    """2-process consensus from one swap: whoever swaps out the initial
+    ``None`` wins."""
+    if len(inputs) > 2:
+        raise ValueError("swap solves consensus for at most 2 processes")
+
+    def decide_winner(pid: int) -> Generator:
+        previous = yield invoke("swap", "swap", pid)
+        return previous is None
+
+    objects = {"swap": SwapSpec(), **_announce_objects(2)}
+    objects, program = _two_process(objects, decide_winner)
+    return build_spec(objects, program, inputs)
+
+
+def consensus_from_fetch_and_add(inputs: Sequence[Any]) -> SystemSpec:
+    """2-process consensus from one fetch-and-add: ticket 0 wins."""
+    if len(inputs) > 2:
+        raise ValueError("fetch-and-add solves consensus for at most 2 processes")
+
+    def decide_winner(pid: int) -> Generator:
+        ticket = yield invoke("faa", "fetch_and_add")
+        return ticket == 0
+
+    objects = {"faa": FetchAndAddSpec(), **_announce_objects(2)}
+    objects, program = _two_process(objects, decide_winner)
+    return build_spec(objects, program, inputs)
+
+
+class _PrefilledQueue(QueueSpec):
+    """Queue holding the two-element win/lose sequence."""
+
+    def initial_state(self):
+        return ("winner", "loser")
+
+
+def consensus_from_queue(inputs: Sequence[Any]) -> SystemSpec:
+    """2-process consensus from a pre-filled FIFO queue: the process that
+    dequeues the head wins (Herlihy's queue construction)."""
+    if len(inputs) > 2:
+        raise ValueError("a queue solves consensus for at most 2 processes")
+
+    def decide_winner(pid: int) -> Generator:
+        token = yield invoke("queue", "dequeue")
+        return token == "winner"
+
+    objects = {"queue": _PrefilledQueue(), **_announce_objects(2)}
+    objects, program = _two_process(objects, decide_winner)
+    return build_spec(objects, program, inputs)
+
+
+def consensus_from_cas(inputs: Sequence[Any]) -> SystemSpec:
+    """n-process consensus from one compare-and-swap, any n."""
+
+    def program(pid: int, value: Any) -> Generator:
+        seen = yield invoke("cas", "compare_and_swap", None, value)
+        return value if seen is None else seen
+
+    return build_spec({"cas": CompareAndSwapSpec()}, program, inputs)
+
+
+def consensus_from_sticky(inputs: Sequence[Any]) -> SystemSpec:
+    """n-process consensus from one sticky register, any n."""
+
+    def program(pid: int, value: Any) -> Generator:
+        decision = yield invoke("sticky", "propose", value)
+        return decision
+
+    return build_spec({"sticky": StickyRegisterSpec()}, program, inputs)
+
+
+#: The constructive witnesses, keyed by a human-readable object name:
+#: (builder, max participants or None for unbounded).
+WITNESSES = {
+    "test-and-set": (consensus_from_test_and_set, 2),
+    "swap": (consensus_from_swap, 2),
+    "fetch-and-add": (consensus_from_fetch_and_add, 2),
+    "queue": (consensus_from_queue, 2),
+    "compare-and-swap": (consensus_from_cas, None),
+    "sticky-register": (consensus_from_sticky, None),
+}

@@ -1,0 +1,59 @@
+"""Baselines built on n-consensus objects.
+
+Two constructions:
+
+* :func:`consensus_spec` — consensus for up to n processes from a single
+  n-consensus object (the definitional lower bound of consensus number).
+* :func:`partition_set_consensus_spec` — the best n-consensus objects can
+  do at scale: N processes in blocks of n, one object per block, giving
+  ceil(N/n)-set consensus.  The implementability theorem says nothing
+  beats this — which is exactly the bar O(n, k) clears (it reaches k+1 at
+  N = n(k+2), one better), and, at n = 2, the executable half of the
+  Common2 refutation (experiment E6).
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Any, Generator, Sequence
+
+from repro.algorithms.helpers import build_spec
+from repro.objects.consensus_object import NConsensusSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+def consensus_spec(n: int, inputs: Sequence[Any]) -> SystemSpec:
+    """Consensus for up to n processes: propose to one n-consensus object,
+    decide its answer (the first value proposed)."""
+    if len(inputs) > n:
+        raise ValueError(f"an {n}-consensus object serves at most {n} processes")
+
+    def program(pid: int, value: Any) -> Generator:
+        decision = yield invoke("C", "propose", value)
+        return decision
+
+    return build_spec({"C": NConsensusSpec(n)}, program, inputs)
+
+
+def partition_set_consensus_spec(n: int, inputs: Sequence[Any]) -> SystemSpec:
+    """ceil(N/n)-set consensus for N processes from n-consensus objects:
+    contiguous blocks of n share one object each and decide its answer."""
+    n_processes = len(inputs)
+    if n_processes == 0:
+        raise ValueError("need at least one process")
+    n_objects = ceil(n_processes / n)
+    objects = {f"C{b}": NConsensusSpec(n) for b in range(n_objects)}
+
+    def program(pid: int, value: Any) -> Generator:
+        block = pid // n
+        decision = yield invoke(f"C{block}", "propose", value)
+        return decision
+
+    return build_spec(objects, program, inputs)
+
+
+def partition_bound(n: int, n_processes: int) -> int:
+    """Worst-case distinct decisions of the partition protocol —
+    also the provable optimum for n-consensus objects (theorem)."""
+    return ceil(n_processes / n)

@@ -1,0 +1,81 @@
+"""Election protocols.
+
+The k-set election task is k-set consensus with inputs fixed to the
+participants' own identifiers; the literature treats the two as
+computationally equivalent, and the protocols here make that concrete:
+
+* :func:`set_election_spec` — (k+1)-set election for the ports of one
+  O(n, k) object: the ring-adoption protocol with ids as values;
+* :func:`leader_election_spec` — 1-set election (with self-election!) for
+  up to n processes from one group: the winner is the group's first
+  writer, which *is* one of the electors — so the strong task is solved
+  within a group;
+* :func:`tas_chain_election_spec` — classical n-process *self-knowledge*
+  election from test-and-set: exactly one process learns it is the leader
+  (everyone else learns it lost, but not who won).  Useful as the
+  canonical example of a task *weaker* than strong election yet not
+  register-solvable.
+
+The ring protocol does **not** solve the strong variant across groups:
+an adopted group winner need not have elected itself.  The test suite
+exhibits the violating schedule with the explorer — a deliberately
+included negative result (see
+``tests/algorithms/test_election.py::TestStrongElectionGap``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Sequence
+
+from repro.algorithms.helpers import build_spec
+from repro.algorithms.set_consensus_from_family import (
+    family_port_program,
+    ring_spread_port,
+)
+from repro.core.family import HierarchyObjectSpec
+from repro.objects.rmw import TestAndSetSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+def set_election_spec(n: int, k: int, participants: int) -> SystemSpec:
+    """(k+1)-set election among ``participants`` processes (ids = pids)
+    via ring adoption on one O(n, k)."""
+    spec = HierarchyObjectSpec(n, k)
+    if not spec.groups <= participants <= spec.ports:
+        raise ValueError(
+            f"need between {spec.groups} and {spec.ports} participants"
+        )
+
+    def program(pid: int, _value) -> Generator:
+        group, slot = ring_spread_port(spec, pid)
+        leader = yield from family_port_program("O", group, slot, pid)
+        return leader
+
+    return build_spec({"O": spec}, program, list(range(participants)))
+
+
+def leader_election_spec(n: int, k: int, participants: int) -> SystemSpec:
+    """Strong election (1-set election with self-election) for up to n
+    processes sharing one group: everyone elects the group's first
+    writer, including the first writer itself."""
+    if participants > n:
+        raise ValueError(f"one group holds at most n={n} electors")
+    spec = HierarchyObjectSpec(n, k)
+
+    def program(pid: int, _value) -> Generator:
+        winner, _snapshot = yield invoke("O", "invoke", 0, pid, pid)
+        return winner
+
+    return build_spec({"O": spec}, program, list(range(participants)))
+
+
+def tas_chain_election_spec(participants: int) -> SystemSpec:
+    """Self-knowledge election from one test-and-set: the unique winner
+    returns ``("leader", pid)``, losers return ``("lost", pid)``."""
+
+    def program(pid: int, _value) -> Generator:
+        lost = yield invoke("t", "test_and_set")
+        return ("leader" if lost == 0 else "lost", pid)
+
+    return build_spec({"t": TestAndSetSpec()}, program, list(range(participants)))

@@ -1,0 +1,42 @@
+"""Shared plumbing for protocol construction.
+
+Programs in this package are written as generator functions taking
+``(pid, input, ...)``; :func:`programs_from` closes them over their
+arguments into the zero-argument factories the runtime wants, and
+:func:`build_spec` assembles a full :class:`~repro.runtime.system.SystemSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from repro.runtime.system import SystemSpec
+
+
+def programs_from(
+    program: Callable, inputs: Sequence[Any]
+) -> List[Callable]:
+    """Close ``program(pid, value)`` over each pid/input pair.
+
+    Returns one zero-argument generator factory per process, suitable for
+    :class:`~repro.runtime.system.SystemSpec`.
+    """
+
+    def make(pid: int, value: Any) -> Callable:
+        return lambda: program(pid, value)
+
+    return [make(pid, value) for pid, value in enumerate(inputs)]
+
+
+def build_spec(
+    objects: Mapping[str, Any],
+    program: Callable,
+    inputs: Sequence[Any],
+) -> SystemSpec:
+    """System spec where process ``i`` runs ``program(i, inputs[i])``."""
+    return SystemSpec(objects, programs_from(program, inputs))
+
+
+def inputs_dict(inputs: Sequence[Any]) -> Dict[int, Any]:
+    """``pid -> input`` mapping for task validators."""
+    return dict(enumerate(inputs))

@@ -1,0 +1,86 @@
+"""Iterated immediate snapshot (IIS).
+
+The iterated model runs a fresh one-shot immediate-snapshot memory per
+round; a process's round-(r+1) input is its round-r view.  Topologically
+each round applies the standard chromatic subdivision again, so after R
+rounds the output complex of n processes is the R-fold iterated
+subdivision — for two processes, an edge subdivided into ``3^R`` edges
+(the tests and experiment E8 count exactly that, executably).
+
+IIS is the combinatorial normal form of wait-free computation: every
+register protocol factors through enough IIS rounds, which is why it is
+the natural substrate of the simulation machinery behind the paper's
+separations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Generator, Sequence, Tuple
+
+from repro.algorithms.helpers import build_spec
+from repro.algorithms.immediate_snapshot import (
+    immediate_snapshot,
+    immediate_snapshot_objects,
+)
+from repro.runtime.system import SystemSpec
+
+View = FrozenSet[Tuple[int, Any]]
+
+
+def iis_objects(name: str, participants: int, rounds: int) -> dict:
+    """One immediate-snapshot memory per round."""
+    objects: dict = {}
+    for round_index in range(rounds):
+        objects.update(
+            immediate_snapshot_objects(f"{name}[{round_index}]", participants)
+        )
+    return objects
+
+
+def iterated_immediate_snapshot(
+    name: str,
+    participants: int,
+    me: int,
+    value: Any,
+    rounds: int,
+) -> Generator:
+    """Run ``rounds`` rounds; returns the final view (whose pairs carry
+    each visible process's *previous-round view* as its value)."""
+    current: Any = value
+    view: View = frozenset()
+    for round_index in range(rounds):
+        view = yield from immediate_snapshot(
+            f"{name}[{round_index}]", participants, me, current
+        )
+        current = view
+    return view
+
+
+def iis_spec(inputs: Sequence[Any], rounds: int) -> SystemSpec:
+    """System where process i runs ``rounds`` IIS rounds on ``inputs[i]``."""
+    participants = len(inputs)
+    if participants == 0:
+        raise ValueError("need at least one participant")
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    objects = iis_objects("iis", participants, rounds)
+
+    def program(pid: int, value: Any) -> Generator:
+        view = yield from iterated_immediate_snapshot(
+            "iis", participants, pid, value, rounds
+        )
+        return view
+
+    return build_spec(objects, program, list(inputs))
+
+
+def flatten_view(view: View, depth: int) -> FrozenSet[int]:
+    """The set of pids transitively visible in a depth-``depth`` view
+    (depth 1 = the pids in the view itself)."""
+    pids = frozenset(pid for pid, _payload in view)
+    if depth <= 1:
+        return pids
+    nested = [payload for _pid, payload in view if isinstance(payload, frozenset)]
+    for inner in nested:
+        pids |= flatten_view(inner, depth - 1)
+    return pids

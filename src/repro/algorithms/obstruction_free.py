@@ -1,0 +1,86 @@
+"""Obstruction-free consensus from registers.
+
+Wait-free consensus from registers is impossible (FLP/Herlihy — see
+`repro.analysis.valency`), but weakening the progress condition to
+**obstruction-freedom** (a process must terminate only if it eventually
+runs alone) makes consensus register-solvable.  The classical round
+structure:
+
+    round r:  (grade, value) <- adopt_commit_r(my value)
+              if grade == COMMIT: decide value
+              else:               adopt value, next round
+
+* **Safety in every execution** — adopt-commit's agreement property
+  makes a commit at round r force every round-r participant onto the
+  same value, which then owns all later rounds: decisions can never
+  disagree, no matter the schedule (the tests check all bounded
+  executions).
+* **Progress only without contention** — a solo runner commits in its
+  next round; an adversary interleaving two processes can alternate
+  adopts forever (the explorer exhibits the livelock, and the
+  wait-freedom auditor formally refuses to certify the protocol).
+
+This pins the boundary the paper lives on: the consensus *number*
+hierarchy is about wait-free power; with weaker progress the landscape
+collapses, which is why all comparisons in this library (and the paper)
+are wait-free/non-blocking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.algorithms import adopt_commit
+from repro.algorithms.helpers import build_spec
+from repro.runtime.system import SystemSpec
+
+
+def obstruction_free_objects(name: str, participants: int, max_rounds: int) -> dict:
+    """One adopt-commit instance per round."""
+    objects: dict = {}
+    for round_index in range(max_rounds):
+        objects.update(
+            adopt_commit.adopt_commit_objects(
+                f"{name}[{round_index}]", participants
+            )
+        )
+    return objects
+
+
+def obstruction_free_consensus(
+    name: str,
+    participants: int,
+    me: int,
+    value: Any,
+    max_rounds: int,
+) -> Generator:
+    """Round loop; returns the decision, or ``None`` if the round budget
+    ran out undecided (a livelock prefix — only possible under
+    contention)."""
+    estimate = value
+    for round_index in range(max_rounds):
+        grade, estimate = yield from adopt_commit.propose(
+            f"{name}[{round_index}]", me, estimate
+        )
+        if grade == adopt_commit.COMMIT:
+            return estimate
+    return None
+
+
+def obstruction_free_spec(
+    inputs: Sequence[Any], max_rounds: int = 8
+) -> SystemSpec:
+    """System running the round protocol with a bounded round budget
+    (the budget models 'the adversary eventually backs off')."""
+    participants = len(inputs)
+    if participants == 0:
+        raise ValueError("need at least one participant")
+    objects = obstruction_free_objects("ofc", participants, max_rounds)
+
+    def program(pid: int, value: Any) -> Generator:
+        decision = yield from obstruction_free_consensus(
+            "ofc", participants, pid, value, max_rounds
+        )
+        return decision
+
+    return build_spec(objects, program, list(inputs))

@@ -1,0 +1,123 @@
+"""Flag-principle guards for one-shot ports.
+
+One-shot objects are fragile: two processes touching the same port is
+misuse.  The classical *flag principle* repair wraps each port with a
+counter (increment and read are separate atomic register-implementable
+steps): a process first increments the port's counter, then reads it, and
+invokes the port only if it read exactly 1.  At most one process can ever
+read 1 (the second incrementer must read at least 2), so the port is
+provably used at most once; when every port is contended by exactly one
+process, every port is used.
+
+The guarded invocation returns ``(None, None)`` (a "gave up" response)
+when the guard denies access; callers fall back to their own value.  This
+weakens nothing in the full-occupancy case and makes the object safe for
+speculative use by processes with uncertain port assignments — the
+standard bridge from "unique ids in 0..m-1" protocols toward protocols for
+arbitrary name spaces (combine with :mod:`repro.algorithms.renaming`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence, Tuple
+
+from repro.algorithms.helpers import build_spec
+from repro.algorithms.set_consensus_from_family import ring_spread_port
+from repro.core.family import HierarchyObjectSpec
+from repro.objects.counter import CounterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+def guard_name(target: str, group: int, slot: int) -> str:
+    """Name of the counter guarding one port of one object."""
+    return f"{target}.guard[{group},{slot}]"
+
+
+def guard_objects(target: str, spec: HierarchyObjectSpec) -> dict:
+    """All counters guarding ``target``'s ports (one per port)."""
+    return {
+        guard_name(target, group, slot): CounterSpec()
+        for group in range(spec.groups)
+        for slot in range(spec.n)
+    }
+
+
+def guarded_invoke(
+    target: str, group: int, slot: int, value: Any
+) -> Generator:
+    """Subroutine: invoke a one-shot port at most once, flag-principle
+    guarded.  Returns the object's response, or ``(None, None)`` if the
+    guard denied access."""
+    counter = guard_name(target, group, slot)
+    yield invoke(counter, "inc")
+    observed = yield invoke(counter, "read")
+    if observed == 1:
+        response = yield invoke(target, "invoke", group, slot, value)
+        return response
+    return (None, None)
+
+
+def guarded_ring_program(
+    target: str,
+    spec: HierarchyObjectSpec,
+    offset: int,
+    value: Any,
+) -> Generator:
+    """Ring-adoption through the guard: decide the successor snapshot if
+    visible, the group winner otherwise, or the caller's own value if the
+    guard denied the port."""
+    group, slot = ring_spread_port(spec, offset)
+    winner, snapshot = yield from guarded_invoke(target, group, slot, value)
+    if snapshot is not None:
+        return snapshot
+    if winner is not None:
+        return winner
+    return value
+
+
+def guarded_set_consensus_spec(
+    n: int, k: int, inputs: Sequence[Any]
+) -> SystemSpec:
+    """The guarded variant of the headline protocol: identical guarantees
+    when processes hold distinct ports, and no misuse ever — even if the
+    port assignment were buggy or contended."""
+    spec = HierarchyObjectSpec(n, k)
+    if not spec.groups <= len(inputs) <= spec.ports:
+        raise ValueError(
+            f"need between {spec.groups} and {spec.ports} processes, "
+            f"got {len(inputs)}"
+        )
+    objects = {"O": spec}
+    objects.update(guard_objects("O", spec))
+
+    def program(pid: int, value: Any) -> Generator:
+        decision = yield from guarded_ring_program("O", spec, pid, value)
+        return decision
+
+    return build_spec(objects, program, inputs)
+
+
+def contended_spec(
+    n: int, k: int, inputs: Sequence[Any], port_of: Sequence[Tuple[int, int]]
+) -> SystemSpec:
+    """Adversarial fixture: processes use *caller-chosen* (possibly
+    colliding) ports through the guard.  Used by the tests to prove the
+    flag principle: the underlying one-shot object never sees a reused
+    port, no matter the assignment."""
+    spec = HierarchyObjectSpec(n, k)
+    if len(port_of) != len(inputs):
+        raise ValueError("one port per process required")
+    objects = {"O": spec}
+    objects.update(guard_objects("O", spec))
+
+    def program(pid: int, value: Any) -> Generator:
+        group, slot = port_of[pid]
+        winner, snapshot = yield from guarded_invoke("O", group, slot, value)
+        if snapshot is not None:
+            return snapshot
+        if winner is not None:
+            return winner
+        return value
+
+    return build_spec(objects, program, inputs)

@@ -1,0 +1,116 @@
+"""Wait-free renaming from registers: the Moir–Anderson splitter grid.
+
+A *splitter* (Lamport / Moir–Anderson) is a register gadget with the
+guarantee that of the ``c`` processes entering it, at most one *stops*, at
+most ``c - 1`` go *right*, and at most ``c - 1`` go *down*.  Walking a
+triangular grid of splitters therefore strands every one of ``c``
+processes at a distinct splitter within the first ``c`` diagonals, giving
+names in ``{0, ..., c(c+1)/2 - 1}``.
+
+Renaming is the standard bridge from "protocols for processes with ids in
+a small dense range" (like the O(n, k) port discipline) to arbitrary name
+spaces; registers suffice, so the bridge adds no synchronization power.
+The tighter (2c-1)-renaming of Afek–Merritt is cited but not implemented —
+any finite target namespace serves the constructions here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Sequence, Tuple
+
+from repro.algorithms.helpers import build_spec
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+#: Splitter outcomes.
+STOP = "stop"
+RIGHT = "right"
+DOWN = "down"
+
+
+def splitter_objects(name: str) -> dict:
+    """The two registers of one splitter: X (last door id), Y (closed)."""
+    return {f"{name}.X": RegisterSpec(), f"{name}.Y": RegisterSpec(initial=False)}
+
+
+def splitter(name: str, my_id: Any) -> Generator:
+    """Run one splitter; returns STOP, RIGHT, or DOWN.
+
+    ``X.write(id); if Y: right; Y := true; if X == id: stop else down.``
+    At most one process stops: a stopper wrote X, saw Y false, and read X
+    unchanged — any other process's X-write would have intervened.
+    Not all processes can go right (the first to write Y sees Y false),
+    and not all can go down (the last to write X reads its own id back if
+    it gets past Y).
+    """
+    yield invoke(f"{name}.X", "write", my_id)
+    closed = yield invoke(f"{name}.Y", "read")
+    if closed:
+        return RIGHT
+    yield invoke(f"{name}.Y", "write", True)
+    last = yield invoke(f"{name}.X", "read")
+    if last == my_id:
+        return STOP
+    return DOWN
+
+
+def grid_name(row: int, column: int) -> int:
+    """Diagonal enumeration of the grid: (r, c) -> name in
+    {0, ..., (r+c)(r+c+1)/2 + r}."""
+    diagonal = row + column
+    return diagonal * (diagonal + 1) // 2 + row
+
+
+def target_namespace(max_processes: int) -> int:
+    """Names needed for ``max_processes`` participants: c(c+1)/2."""
+    return max_processes * (max_processes + 1) // 2
+
+
+def grid_objects(max_processes: int) -> dict:
+    """Splitters for every grid position on the first ``max_processes``
+    diagonals (positions (r, c) with r + c < max_processes)."""
+    objects: dict = {}
+    for row in range(max_processes):
+        for column in range(max_processes - row):
+            objects.update(splitter_objects(f"spl[{row},{column}]"))
+    return objects
+
+
+def rename(max_processes: int, my_id: Any) -> Generator:
+    """Walk the grid until stopping; returns the acquired name.
+
+    With at most ``max_processes`` participants the walk stops within
+    ``max_processes`` splitters: each move (right or down) leaves at least
+    one former companion behind, so a process on diagonal d shares its
+    splitter with at most ``max_processes - d`` others, and a splitter
+    entered alone always stops its visitor.
+    """
+    row = column = 0
+    while True:
+        if row + column >= max_processes:
+            raise AssertionError(
+                "walked off the grid: more participants than declared?"
+            )
+        outcome = yield from splitter(f"spl[{row},{column}]", my_id)
+        if outcome == STOP:
+            return grid_name(row, column)
+        if outcome == RIGHT:
+            column += 1
+        else:
+            row += 1
+
+
+def renaming_spec(max_processes: int, ids: Sequence[Any]) -> SystemSpec:
+    """System where each process renames; outputs are the new names."""
+    if len(ids) > max_processes:
+        raise ValueError("more participants than the grid was sized for")
+    if len(set(ids)) != len(ids):
+        raise ValueError("original ids must be pairwise distinct")
+    objects = grid_objects(max_processes)
+
+    def program(pid: int, my_id: Any) -> Generator:
+        new_name = yield from rename(max_processes, my_id)
+        return new_name
+
+    return build_spec(objects, program, ids)

@@ -1,0 +1,123 @@
+"""Safe agreement — the Borowsky–Gafni building block.
+
+Safe agreement is consensus with a *safety valve*: agreement and validity
+always hold, termination is wait-free **except** while some process is
+inside a short "unsafe section" (between announcing its value and settling
+its level).  A process that crashes inside the unsafe section may block
+the instance forever — but blocks nothing else.  This containment is the
+engine of the BG simulation (and thereby of the set-consensus lower
+bounds the paper builds on).
+
+Protocol (one snapshot segment per participant, levels 0/1/2):
+
+1. ``update(i, (v, 1))`` — announce at level 1 (unsafe section begins);
+2. ``scan``; if some segment is at level 2, retreat: ``update(i, (v, 0))``
+   else advance: ``update(i, (v, 2))`` (unsafe section ends);
+3. repeatedly ``scan`` until no segment is at level 1; decide the value of
+   the minimum-index level-2 segment.
+
+Once any scan shows no level-1 segments, the level-2 set is frozen (late
+arrivals see a level-2 segment — one provably exists — and retreat), so
+all deciders read the same set: agreement.
+
+:func:`propose_blocking` runs step 3 as a busy-wait loop;
+:func:`SafeAgreementInstance` exposes the split *announce / try-decide*
+interface the BG simulation needs to stay non-blocking across instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence, Tuple
+
+from repro.algorithms.helpers import build_spec
+from repro.objects.snapshot import AtomicSnapshotSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+#: Segment content: (value, level).
+IDLE = (None, 0)
+
+
+def safe_agreement_objects(name: str, participants: int) -> dict:
+    """Shared objects of one instance: a snapshot with one segment per
+    participant.  (The snapshot is register-implementable —
+    :mod:`repro.algorithms.snapshot_impl` — so the instance is too.)"""
+    return {name: AtomicSnapshotSpec(participants, initial=IDLE)}
+
+
+def announce(name: str, me: int, value: Any) -> Generator:
+    """Steps 1–2: traverse the unsafe section.  Returns the level this
+    participant settled at (0 = retreated, 2 = advanced)."""
+    yield invoke(name, "update", me, (value, 1))
+    view = yield from _scan(name)
+    if any(level == 2 for _v, level in view):
+        yield invoke(name, "update", me, (value, 0))
+        return 0
+    yield invoke(name, "update", me, (value, 2))
+    return 2
+
+
+def try_decide(name: str) -> Generator:
+    """Step 3, non-blocking: one scan.  Returns the agreed value, or
+    ``None`` while some participant is still at level 1."""
+    view = yield from _scan(name)
+    if any(level == 1 for _v, level in view):
+        return None
+    for value, level in view:
+        if level == 2:
+            return value
+    raise AssertionError("no level-1 and no level-2 segment: nobody announced")
+
+
+def propose_blocking(name: str, me: int, value: Any) -> Generator:
+    """Full propose: announce, then busy-wait for a decision.
+
+    Wait-free unless some participant crashes inside its unsafe section,
+    in which case this spins (the documented blocking mode).
+    """
+    yield from announce(name, me, value)
+    while True:
+        decision = yield from try_decide(name)
+        if decision is not None:
+            return decision
+
+
+def _scan(name: str) -> Generator:
+    view = yield invoke(name, "scan")
+    return view
+
+
+class SafeAgreementInstance:
+    """Convenience handle bundling the instance name and participant count
+    for callers that juggle many instances (the BG simulation)."""
+
+    def __init__(self, name: str, participants: int):
+        self.name = name
+        self.participants = participants
+
+    def objects(self) -> dict:
+        return safe_agreement_objects(self.name, self.participants)
+
+    def announce(self, me: int, value: Any) -> Generator:
+        return announce(self.name, me, value)
+
+    def try_decide(self) -> Generator:
+        return try_decide(self.name)
+
+    def propose_blocking(self, me: int, value: Any) -> Generator:
+        return propose_blocking(self.name, me, value)
+
+
+def consensus_spec(participants: int, inputs: Sequence[Any]) -> SystemSpec:
+    """A system in which every process runs blocking safe agreement on one
+    instance — consensus whenever no process crashes in the unsafe window
+    (the tests exercise both the clean and the crashing schedules)."""
+    if len(inputs) > participants:
+        raise ValueError("more inputs than participant slots")
+    objects = safe_agreement_objects("sa", participants)
+
+    def program(pid: int, value: Any) -> Generator:
+        decision = yield from propose_blocking("sa", pid, value)
+        return decision
+
+    return build_spec(objects, program, inputs)

@@ -1,0 +1,72 @@
+"""The positive direction of the implementability theorem.
+
+(N, K)-set consensus from (m, j)-set-consensus objects and registers:
+split the N processes into ``floor(N/m)`` full cohorts of m plus a
+remainder cohort; each cohort proposes to its own object and decides the
+response.  Full cohorts contribute at most j distinct decisions, the
+remainder at most ``min(N mod m, j)`` — total
+
+    K = j * floor(N/m) + min(N mod m, j),
+
+exactly :func:`repro.core.theorem.max_agreement`.  The matching negative
+direction (no construction does better) is the theorem's lower bound; the
+experiments exhibit the adversary that drives this very protocol to the
+bound, showing the analysis tight (experiment E4).
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Any, Generator, Sequence
+
+from repro.algorithms.helpers import build_spec
+from repro.core.theorem import max_agreement
+from repro.errors import ImplementabilityError
+from repro.objects.set_consensus import SetConsensusSpec
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+def transfer_spec(m: int, j: int, inputs: Sequence[Any]) -> SystemSpec:
+    """The partition protocol: N = len(inputs) processes over
+    ceil(N/m) (m, j)-set-consensus objects."""
+    n_processes = len(inputs)
+    if n_processes == 0:
+        raise ValueError("need at least one process")
+    n_objects = ceil(n_processes / m)
+    objects = {f"S{b}": SetConsensusSpec(m, j) for b in range(n_objects)}
+
+    def program(pid: int, value: Any) -> Generator:
+        block = pid // m
+        decision = yield invoke(f"S{block}", "propose", value)
+        return decision
+
+    return build_spec(objects, program, inputs)
+
+
+def transfer_bound(m: int, j: int, n_processes: int) -> int:
+    """Worst-case distinct decisions of :func:`transfer_spec` — the
+    theorem's exact agreement value."""
+    return max_agreement(n_processes, m, j)
+
+
+def checked_transfer_spec(
+    n: int, k: int, m: int, j: int, inputs: Sequence[Any]
+) -> SystemSpec:
+    """Like :func:`transfer_spec`, but first verifies the theorem permits
+    implementing (n, k)-set consensus from (m, j) at all, raising
+    :class:`~repro.errors.ImplementabilityError` otherwise.
+
+    ``len(inputs)`` must not exceed n.
+    """
+    from repro.core.theorem import is_implementable
+
+    if len(inputs) > n:
+        raise ValueError(f"at most n={n} participants allowed")
+    if not is_implementable(n, k, m, j):
+        raise ImplementabilityError(
+            f"({n}, {k})-set consensus is not implementable from "
+            f"({m}, {j})-set-consensus objects: needs "
+            f"{max_agreement(n, m, j)}-agreement at best"
+        )
+    return transfer_spec(m, j, inputs)

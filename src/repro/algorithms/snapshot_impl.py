@@ -1,0 +1,119 @@
+"""Wait-free atomic snapshot from registers.
+
+The Afek–Attiya–Dolev–Gafni–Merritt–Shavit construction (unbounded
+sequence numbers): one SWMR cell per process holding
+``(value, seq, embedded_view)``.
+
+* ``scan`` — repeated *double collects*.  Two identical collects mean no
+  cell changed in between, so the collect is an instantaneous view.  If a
+  scanner instead observes the same process's cell change **twice**, that
+  process completed an entire ``update`` within the scan's interval, and
+  the view embedded in its newest cell is a legitimate snapshot taken
+  inside our interval — the scanner *borrows* it.  Each process can cause
+  at most one "first change" before its second change triggers a borrow,
+  so at most m+1 double collects: wait-free.
+* ``update(i, v)`` — bump the writer's sequence number, take an embedded
+  ``scan``, then write ``(v, seq, view)`` in one register write.
+
+Snapshots have consensus number 1, so this construction adds no
+synchronization power — the precise sense in which the sub-consensus world
+of the paper may use snapshots "for free".  Linearizability against
+:class:`repro.objects.snapshot.AtomicSnapshotSpec` is model-checked in the
+tests (experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.objects.register import ArraySpec
+from repro.runtime.ops import call_marker, invoke, return_marker
+
+#: One cell: (value, sequence number, embedded view or None).
+Cell = Tuple[Any, int, Optional[Tuple[Any, ...]]]
+
+#: Initial cell content.
+EMPTY_CELL: Cell = (None, 0, None)
+
+
+def snapshot_objects(name: str, size: int) -> Dict[str, ArraySpec]:
+    """The shared objects backing one snapshot region: an array of
+    ``size`` SWMR cells."""
+    return {name: ArraySpec(size, initial=EMPTY_CELL)}
+
+
+def _collect(name: str, size: int) -> Generator:
+    """Read all cells, one register read per step."""
+    cells: List[Cell] = []
+    for index in range(size):
+        cell = yield invoke(name, "read", index)
+        cells.append(cell)
+    return tuple(cells)
+
+
+def scan(name: str, size: int) -> Generator:
+    """Wait-free scan; returns the tuple of current values."""
+    moved: Dict[int, int] = {}
+    previous = yield from _collect(name, size)
+    while True:
+        current = yield from _collect(name, size)
+        if current == previous:
+            return tuple(cell[0] for cell in current)
+        for index in range(size):
+            if current[index] != previous[index]:
+                moved[index] = moved.get(index, 0) + 1
+                if moved[index] >= 2:
+                    # index completed a full update inside our interval;
+                    # borrow its embedded view.
+                    borrowed = current[index][2]
+                    assert borrowed is not None, "second change implies a view"
+                    return borrowed
+        previous = current
+
+
+def update(name: str, size: int, index: int, value: Any, seq: int) -> Generator:
+    """Wait-free update of cell ``index``; the caller supplies a strictly
+    increasing per-process ``seq`` (e.g. a loop counter)."""
+    view = yield from scan(name, size)
+    yield invoke(name, "write", index, (value, seq, view))
+
+
+# ----------------------------------------------------------------------
+# Annotated wrappers: emit the logical-operation boundaries consumed by
+# the linearizability checker (checked against AtomicSnapshotSpec).
+# ----------------------------------------------------------------------
+def annotated_scan(name: str, size: int) -> Generator:
+    """``scan`` wrapped in call/return markers for history extraction."""
+    yield call_marker(name, "scan")
+    view = yield from scan(name, size)
+    yield return_marker(view)
+    return view
+
+
+def annotated_update(
+    name: str, size: int, index: int, value: Any, seq: int
+) -> Generator:
+    """``update`` wrapped in call/return markers for history extraction."""
+    yield call_marker(name, "update", index, value)
+    yield from update(name, size, index, value, seq)
+    yield return_marker(None)
+
+
+def updater_scanner_program(
+    name: str, size: int, pid: int, values: Sequence[Any], scans: int
+) -> Generator:
+    """Test workload: interleave ``len(values)`` updates of own cell with
+    ``scans`` scans; returns the list of scan results.  Starts with a
+    warm-up read so the first logical operation's interval begins at the
+    process's first scheduled step rather than at priming time."""
+    results: List[Tuple[Any, ...]] = []
+    seq = 0
+    yield invoke(name, "read", pid)  # warm-up
+    for round_index in range(max(len(values), scans)):
+        if round_index < len(values):
+            seq += 1
+            yield from annotated_update(name, size, pid, values[round_index], seq)
+        if round_index < scans:
+            view = yield from annotated_scan(name, size)
+            results.append(view)
+    return results

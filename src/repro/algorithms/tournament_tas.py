@@ -1,0 +1,124 @@
+"""One-shot test-and-set from 2-consensus objects: doorway + tournament.
+
+This is the *positive* half of the Common2 story, opposite the paper's
+refutation: some consensus-number-2 objects genuinely are implementable
+from 2-consensus objects and registers — test-and-set is the classic
+member (Afek–Weisberger–Weisman).  Together with
+:mod:`repro.core.common2` the two halves delimit the conjecture exactly:
+TAS is inside Common2, O(2, k) is not.
+
+Construction, two stages:
+
+1. **Doorway** — read a register; if it is already closed, return LOSE
+   immediately; otherwise close it and proceed.  Whoever starts after
+   *any* invocation completed finds the doorway closed (every completed
+   invocation closed it, or lost to someone who had), so late starters
+   can never win — the real-time constraint linearizability needs.
+   A bare tournament famously lacks this: a process can lose and return
+   while the eventual winner is still mid-tree, and a later starter may
+   then win the root.
+2. **Tournament** — entrants ascend a binary tree with one 2-consensus
+   object per node, proposing their id; the unique root winner returns
+   WIN, everyone else LOSE.  Each node is reached only by the winners of
+   its two subtrees, respecting the 2-proposal budget.
+
+Guarantees (model-checked in the tests against the one-shot TAS
+sequential spec):
+
+* at most one WIN, and exactly one when every participant runs;
+* linearizable one-shot TAS: every completed history embeds into a
+  legal first-wins order (a run where all completed invocations lost —
+  the winner still mid-tree — linearizes the pending winner first).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Sequence
+
+from repro.algorithms.helpers import build_spec
+from repro.objects.consensus_object import NConsensusSpec
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import call_marker, invoke, return_marker
+from repro.runtime.system import SystemSpec
+
+#: Responses, mirroring TestAndSetSpec's 0 = won / 1 = lost.
+WIN = 0
+LOSE = 1
+
+
+def _tree_levels(n_processes: int) -> int:
+    levels = 0
+    while (1 << levels) < n_processes:
+        levels += 1
+    return max(1, levels)
+
+
+def tournament_objects(name: str, n_processes: int) -> Dict[str, Any]:
+    """The doorway register plus one 2-consensus object per internal
+    node.  Nodes are addressed ``(level, index)``; the last level is the
+    root."""
+    levels = _tree_levels(n_processes)
+    objects: Dict[str, Any] = {
+        f"{name}.door": RegisterSpec(initial="open"),
+        # Scratch register read once before the logical operation begins,
+        # so the annotated interval starts at the caller's first scheduled
+        # step (annotations emitted at priming are timestamped 0 for
+        # everyone, which would erase the real-time constraints the
+        # linearizability check is supposed to enforce).
+        f"{name}.warm": RegisterSpec(),
+    }
+    for level in range(levels):
+        for index in range(1 << (levels - level - 1)):
+            objects[f"{name}[{level},{index}]"] = NConsensusSpec(2)
+    return objects
+
+
+def tournament_tas(name: str, n_processes: int, me: int) -> Generator:
+    """Doorway check, then ascend the tree; returns WIN (0) or LOSE (1)."""
+    door = yield invoke(f"{name}.door", "read")
+    if door != "open":
+        return LOSE
+    yield invoke(f"{name}.door", "write", "closed")
+    levels = _tree_levels(n_processes)
+    position = me
+    for level in range(levels):
+        position //= 2
+        node = f"{name}[{level},{position}]"
+        decided = yield invoke(node, "propose", me)
+        if decided != me:
+            return LOSE
+    return WIN
+
+
+def annotated_tournament_tas(
+    name: str, n_processes: int, me: int
+) -> Generator:
+    """Tournament TAS wrapped in call/return markers so histories can be
+    checked against the one-shot TAS sequential specification.  A warm-up
+    read precedes the call marker (see :func:`tournament_objects`)."""
+    yield invoke(f"{name}.warm", "read")
+    yield call_marker(name, "test_and_set")
+    outcome = yield from tournament_tas(name, n_processes, me)
+    yield return_marker(outcome)
+    return outcome
+
+
+def tournament_spec(
+    n_processes: int, participants: Sequence[int] = None
+) -> SystemSpec:
+    """System in which each listed participant (default: everyone)
+    performs one tournament TAS and returns its outcome."""
+    if n_processes < 2:
+        raise ValueError("a tournament needs at least 2 slots")
+    chosen = list(range(n_processes)) if participants is None else list(participants)
+    if any(not 0 <= p < n_processes for p in chosen):
+        raise ValueError("participants must be valid leaf ids")
+    if len(set(chosen)) != len(chosen):
+        raise ValueError("participants must be distinct")
+    objects = tournament_objects("tas", n_processes)
+
+    def program(pid: int, leaf: int) -> Generator:
+        outcome = yield from annotated_tournament_tas("tas", n_processes, leaf)
+        return outcome
+
+    return build_spec(objects, program, chosen)

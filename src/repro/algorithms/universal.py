@@ -1,0 +1,170 @@
+"""Herlihy's universal construction.
+
+*Universality* is the other half of the consensus-hierarchy story: with
+n-consensus objects and registers, **any** sequentially specified object
+has a wait-free linearizable implementation for n processes.  (The paper's
+revelation is that the converse map — from objects back to hierarchy
+levels — loses information; universality itself stands.)
+
+This is the classical state-machine-replication form:
+
+* process i announces its pending operation (with a unique id) in an
+  announce array;
+* an unbounded log of slots is filled by consensus: for slot t, each
+  process proposes an operation — preferring the announced operation of
+  process ``t mod n`` if it is still undecided (the round-robin *helping*
+  rule), else its own pending one;
+* every process replays the decided log through the object's sequential
+  specification (the very :class:`~repro.objects.base.ObjectSpec` the
+  linearizability checker uses — one source of truth) and returns its
+  operation's response once it appears in the log.
+
+Helping bounds the wait: by slot ``t_announce + n`` every process's
+operation has priority somewhere, so each operation completes within O(n)
+slots — wait-freedom, verified by step-count assertions in the tests.
+Each of the n processes proposes at most once per slot, so the
+slot objects' proposal budget of n is respected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.algorithms.helpers import build_spec
+from repro.errors import ProtocolError
+from repro.objects.base import ObjectSpec
+from repro.objects.consensus_object import NConsensusSpec
+from repro.objects.register import ArraySpec
+from repro.runtime.ops import call_marker, invoke, return_marker
+from repro.runtime.system import SystemSpec
+
+#: An announced operation: (unique id, method, args).
+AnnouncedOp = Tuple[Tuple[int, int], str, Tuple[Any, ...]]
+
+
+def universal_objects(
+    name: str, n_processes: int, max_slots: int
+) -> Dict[str, Any]:
+    """Shared objects: the announce array plus one n-consensus object per
+    log slot.  ``max_slots`` bounds the run (>= total operations + n)."""
+    objects: Dict[str, Any] = {
+        f"{name}.announce": ArraySpec(n_processes, initial=None)
+    }
+    for slot in range(max_slots):
+        objects[f"{name}.slot[{slot}]"] = NConsensusSpec(n_processes)
+    return objects
+
+
+class UniversalReplica:
+    """Per-process replica state: the decided log replayed through the
+    sequential spec.  Pure local computation (no shared steps)."""
+
+    def __init__(self, spec: ObjectSpec):
+        self.spec = spec
+        self.state = spec.initial_state()
+        self.applied_ids: set = set()
+        self.log: List[AnnouncedOp] = []
+
+    def apply(self, operation: AnnouncedOp) -> Any:
+        op_id, method, args = operation
+        if op_id in self.applied_ids:
+            raise ProtocolError(f"operation {op_id} decided twice")
+        response, self.state = self.spec.apply_one(self.state, method, args)
+        self.applied_ids.add(op_id)
+        self.log.append(operation)
+        return response
+
+
+def perform(
+    name: str,
+    n_processes: int,
+    pid: int,
+    replica: UniversalReplica,
+    cursor: List[int],
+    op_seq: List[int],
+    method: str,
+    args: Tuple[Any, ...],
+    max_slots: int,
+) -> Generator:
+    """Execute one operation through the universal object.
+
+    ``cursor`` (1-cell list: next log slot to fill) and ``op_seq`` (1-cell
+    list: per-process operation counter) persist across this process's
+    operations.  Returns the operation's response.
+    """
+    op_seq[0] += 1
+    my_op: AnnouncedOp = ((pid, op_seq[0]), method, tuple(args))
+    yield invoke(f"{name}.announce", "write", pid, my_op)
+    response: Optional[Any] = None
+    mine_done = False
+    while not mine_done:
+        slot = cursor[0]
+        if slot >= max_slots:
+            raise ProtocolError(
+                f"universal log exhausted its {max_slots} slots; size the "
+                "construction for the workload"
+            )
+        # Helping rule: prefer the announced op of process (slot mod n)
+        # if it exists and is still undecided; else push our own.
+        helped_pid = slot % n_processes
+        candidate = yield invoke(f"{name}.announce", "read", helped_pid)
+        if candidate is None or candidate[0] in replica.applied_ids:
+            candidate = my_op
+        decided = yield invoke(f"{name}.slot[{slot}]", "propose", candidate)
+        outcome = replica.apply(decided)
+        cursor[0] = slot + 1
+        if decided[0] == my_op[0]:
+            response = outcome
+            mine_done = True
+    return response
+
+
+def universal_program(
+    name: str,
+    n_processes: int,
+    pid: int,
+    spec: ObjectSpec,
+    script: Sequence[Tuple[str, Tuple[Any, ...]]],
+    max_slots: int,
+) -> Generator:
+    """Run a script of operations through the universal object, emitting
+    call/return markers so the history can be checked linearizable against
+    ``spec`` itself.  Returns the list of responses."""
+    replica = UniversalReplica(spec)
+    cursor = [0]
+    op_seq = [0]
+    responses: List[Any] = []
+    # Warm-up step: annotations emitted at priming are timestamped 0 for
+    # every process, which would erase the real-time precedence of each
+    # process's first operation in the extracted history.
+    yield invoke(f"{name}.announce", "read", pid)
+    for method, args in script:
+        yield call_marker(name, method, *args)
+        response = yield from perform(
+            name, n_processes, pid, replica, cursor, op_seq, method, args, max_slots
+        )
+        yield return_marker(response)
+        responses.append(response)
+    return responses
+
+
+def universal_spec(
+    spec: ObjectSpec,
+    scripts: Sequence[Sequence[Tuple[str, Tuple[Any, ...]]]],
+    name: str = "obj",
+    slack: int = 4,
+) -> SystemSpec:
+    """System where process i runs ``scripts[i]`` against a universal
+    implementation of ``spec``."""
+    n_processes = len(scripts)
+    total_ops = sum(len(s) for s in scripts)
+    max_slots = total_ops + n_processes + slack
+    objects = universal_objects(name, n_processes, max_slots)
+
+    def program(pid: int, script: Any) -> Generator:
+        result = yield from universal_program(
+            name, n_processes, pid, spec, script, max_slots
+        )
+        return result
+
+    return build_spec(objects, program, list(scripts))

@@ -1,0 +1,65 @@
+"""Analysis tools: the proof techniques of the paper, automated.
+
+* :mod:`repro.analysis.linearizability` — Wing–Gong checking of operation
+  histories against sequential specifications;
+* :mod:`repro.analysis.valency` — bivalence classification and
+  critical-configuration search over the execution tree (the FLP/Herlihy
+  argument, executable);
+* :mod:`repro.analysis.commutativity` — Herlihy-style commute-or-overwrite
+  certificates: a sound, automatic proof that an object cannot solve
+  2-process consensus, plus witnesses of exactly where stronger objects
+  escape the certificate.
+"""
+
+from repro.analysis.linearizability import (
+    check_linearizable,
+    is_linearizable,
+    linearization_of,
+)
+from repro.analysis.valency import (
+    ValencyReport,
+    classify_valence,
+    consensus_counterexample,
+    find_critical_configuration,
+)
+from repro.analysis.commutativity import (
+    CommutativityReport,
+    commute_or_overwrite_certificate,
+    reachable_states,
+)
+from repro.analysis.wait_freedom import (
+    WaitFreedomReport,
+    audit_wait_freedom,
+    sample_wait_freedom,
+)
+from repro.analysis.statespace import (
+    DeterminismReport,
+    StateSpaceSummary,
+    state_graph,
+    summarize_state_space,
+    verify_determinism,
+)
+from repro.analysis.resilience import ResilienceReport, check_resilience
+
+__all__ = [
+    "is_linearizable",
+    "check_linearizable",
+    "linearization_of",
+    "ValencyReport",
+    "classify_valence",
+    "find_critical_configuration",
+    "consensus_counterexample",
+    "CommutativityReport",
+    "commute_or_overwrite_certificate",
+    "reachable_states",
+    "WaitFreedomReport",
+    "audit_wait_freedom",
+    "sample_wait_freedom",
+    "DeterminismReport",
+    "StateSpaceSummary",
+    "state_graph",
+    "summarize_state_space",
+    "verify_determinism",
+    "ResilienceReport",
+    "check_resilience",
+]

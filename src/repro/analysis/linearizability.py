@@ -1,0 +1,110 @@
+"""Wing–Gong linearizability checking.
+
+Given an operation :class:`~repro.runtime.history.History` (extracted from
+an execution's call/return annotations) and the implemented object's
+sequential :class:`~repro.objects.base.ObjectSpec`, search for a legal
+linearization: a total order of the completed operations (plus any subset
+of the pending ones) that
+
+* respects real-time precedence (if a returned before b was invoked, a
+  comes first), and
+* replays through the sequential specification producing exactly the
+  responses the history observed (pending operations may take any
+  response, or be dropped entirely).
+
+The search is exponential in the worst case but memoized on
+``(linearized-set, object state)`` — the classical Wing–Gong optimization —
+which makes the histories produced by the test systems here comfortably
+checkable.  Nondeterministic specs are supported: an operation matches if
+*some* outcome yields the observed response.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import NotLinearizableError
+from repro.objects.base import ObjectSpec
+from repro.runtime.history import History, HistoryEvent
+
+
+def _minimal_events(
+    remaining: List[int], events: List[HistoryEvent]
+) -> List[int]:
+    """Indices in ``remaining`` not preceded by another remaining event."""
+    result = []
+    for index in remaining:
+        event = events[index]
+        if all(
+            not events[other].precedes(event)
+            for other in remaining
+            if other != index
+        ):
+            result.append(index)
+    return result
+
+
+def linearization_of(
+    history: History,
+    spec: ObjectSpec,
+    initial_state: Any = None,
+) -> Optional[List[HistoryEvent]]:
+    """Return a legal linearization (list of events in order), or ``None``.
+
+    ``initial_state`` overrides ``spec.initial_state()`` when the checked
+    region started from a non-initial state.
+    """
+    events = history.events
+    all_indices = frozenset(range(len(events)))
+    start_state = spec.initial_state() if initial_state is None else initial_state
+    # Memoizes only failures: a success returns up the stack immediately
+    # with `order` holding the full linearization, so successful states
+    # are never revisited.
+    failed: set = set()
+    order: List[int] = []
+
+    def search(remaining: FrozenSet[int], state: Any) -> bool:
+        if all(events[i].is_pending for i in remaining):
+            return True  # pending ops may simply never have taken effect
+        key = (remaining, state)
+        if key in failed:
+            return False
+        for index in _minimal_events(sorted(remaining), events):
+            event = events[index]
+            outcomes = spec.apply(state, event.method, event.args)
+            for response, new_state in outcomes:
+                if not event.is_pending and response != event.response:
+                    continue
+                order.append(index)
+                if search(remaining - {index}, new_state):
+                    return True
+                order.pop()
+        failed.add(key)
+        return False
+
+    if search(all_indices, start_state):
+        return [events[i] for i in order]
+    return None
+
+
+def is_linearizable(
+    history: History, spec: ObjectSpec, initial_state: Any = None
+) -> bool:
+    """Boolean form of :func:`linearization_of`."""
+    return linearization_of(history, spec, initial_state) is not None
+
+
+def check_linearizable(
+    history: History, spec: ObjectSpec, initial_state: Any = None
+) -> List[HistoryEvent]:
+    """Like :func:`linearization_of` but raising
+    :class:`~repro.errors.NotLinearizableError` (with the offending
+    history attached) instead of returning ``None``."""
+    result = linearization_of(history, spec, initial_state)
+    if result is None:
+        raise NotLinearizableError(
+            "no legal linearization exists for this history:\n"
+            + history.render(),
+            history=history,
+        )
+    return result

@@ -1,0 +1,165 @@
+"""Valency analysis: the FLP/Herlihy argument, executable.
+
+For an *agreement* system (every process returns a decision), define the
+*valence* of a configuration as the set of values decidable in some
+extension.  A configuration is **bivalent** if its valence has at least
+two values, **critical** if it is bivalent but every single step leads to
+a univalent configuration.  The impossibility arguments in this line of
+work (the paper's "weaker than (n+1)-consensus" direction, the 2-process
+register case of FLP/Herlihy) all walk to a critical configuration and
+derive a contradiction from the pending operations there.
+
+This module computes valences exactly (by exhausting the execution tree),
+finds critical configurations, and — the practical tool — produces
+concrete counterexample executions for any protocol that *claims* to solve
+consensus but cannot: because wait-free consensus over too-weak objects is
+impossible, every concrete protocol must either disagree, violate
+validity, or run forever under some schedule, and the explorer finds which.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ExplorationLimitError
+from repro.runtime.execution import Execution
+from repro.runtime.explorer import Explorer
+from repro.runtime.process import ProcessStatus
+from repro.runtime.system import System, SystemSpec
+
+Decision = Tuple[int, int]
+
+
+@dataclass
+class ValencyReport:
+    """Valence of one configuration (identified by its decision prefix)."""
+
+    prefix: Tuple[Decision, ...]
+    valence: FrozenSet[Any]
+    #: Valence of each enabled single step from this configuration.
+    children: Dict[Decision, FrozenSet[Any]] = field(default_factory=dict)
+
+    @property
+    def bivalent(self) -> bool:
+        return len(self.valence) >= 2
+
+    @property
+    def critical(self) -> bool:
+        return self.bivalent and all(len(v) == 1 for v in self.children.values())
+
+
+def _decision_of(execution: Execution) -> FrozenSet[Any]:
+    """Decisions reached in a maximal execution (usually a single value
+    for a consensus protocol)."""
+    return frozenset(execution.outputs.values())
+
+
+def classify_valence(
+    spec: SystemSpec,
+    prefix: Sequence[Decision] = (),
+    max_depth: int = 60,
+) -> ValencyReport:
+    """Exact valence of the configuration reached by ``prefix``, plus the
+    valences of all its one-step successors.
+
+    Requires the protocol to terminate in every execution within
+    ``max_depth`` (raises :class:`~repro.errors.ExplorationLimitError`
+    otherwise) — valence is not well defined for non-terminating branches.
+    """
+    base = list(prefix)
+    valence = _subtree_valence(spec, base, max_depth)
+    report = ValencyReport(prefix=tuple(base), valence=valence)
+    system = spec.replay(base)
+    for pid in system.enabled_pids():
+        for choice in range(max(1, len(system.outcomes_for(pid)))):
+            step = (pid, choice)
+            report.children[step] = _subtree_valence(spec, base + [step], max_depth)
+    return report
+
+
+def _subtree_valence(
+    spec: SystemSpec, prefix: List[Decision], max_depth: int
+) -> FrozenSet[Any]:
+    explorer = _PrefixedExplorer(spec, prefix, max_depth)
+    values: set = set()
+    for execution in explorer.executions():
+        values |= _decision_of(execution)
+    return frozenset(values)
+
+
+class _PrefixedExplorer(Explorer):
+    """Explorer rooted at a decision prefix instead of the initial
+    configuration."""
+
+    def __init__(self, spec: SystemSpec, prefix: List[Decision], max_depth: int):
+        super().__init__(spec, max_depth=max_depth, strict=True)
+        self._prefix = list(prefix)
+
+    def executions(self):
+        yield from self._walk(list(self._prefix))
+
+
+def find_critical_configuration(
+    spec: SystemSpec,
+    max_depth: int = 60,
+) -> Optional[ValencyReport]:
+    """Walk from the initial configuration, always stepping into a
+    bivalent child, until reaching a critical configuration.
+
+    Returns its report, or ``None`` if the initial configuration is
+    already univalent (the protocol ignores its schedule).  This is the
+    textbook existence argument made concrete: from a bivalent start,
+    following bivalent children either loops forever (impossible for a
+    terminating protocol) or hits a critical configuration.
+    """
+    prefix: List[Decision] = []
+    report = classify_valence(spec, prefix, max_depth)
+    if not report.bivalent:
+        return None
+    while True:
+        if report.critical:
+            return report
+        advanced = False
+        for step, valence in report.children.items():
+            if len(valence) >= 2:
+                prefix.append(step)
+                report = classify_valence(spec, prefix, max_depth)
+                advanced = True
+                break
+        if not advanced:
+            raise AssertionError(
+                "bivalent configuration with no bivalent child must be "
+                "critical; classification is inconsistent"
+            )
+
+
+def consensus_counterexample(
+    spec: SystemSpec,
+    inputs: Dict[int, Any],
+    max_depth: int = 80,
+) -> Optional[Execution]:
+    """Find an execution in which the protocol fails consensus: processes
+    disagree, decide a non-input, or fail to terminate.
+
+    Returns a replayable witness, or ``None`` if the protocol genuinely
+    solves consensus for these inputs under every schedule.  Non-
+    termination shows up as an :class:`ExplorationLimitError`, which is
+    converted into the truncated witness execution.
+    """
+    legal = set(inputs.values())
+
+    def ok(execution: Execution) -> bool:
+        if any(
+            status not in (ProcessStatus.DONE, ProcessStatus.CRASHED)
+            for status in execution.statuses.values()
+        ):
+            return False
+        decisions = set(execution.outputs.values())
+        return len(decisions) <= 1 and decisions <= legal
+
+    explorer = Explorer(spec, max_depth=max_depth, strict=False)
+    for execution in explorer.executions():
+        if not ok(execution):
+            return execution
+    return None

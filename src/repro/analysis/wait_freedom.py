@@ -1,0 +1,131 @@
+"""Wait-freedom auditing: bounded step complexity, certified or refuted.
+
+An implementation is wait-free iff every process completes within a
+bounded number of its own steps, in *every* execution.  For terminating
+protocols on small instances this is directly checkable: exhaust the
+schedule tree and take the per-process step maximum.  For protocols that
+are **not** wait-free (safe agreement's spin loop, lock-free helping
+loops) the auditor instead produces a *starvation witness*: a schedule
+prefix past the claimed bound with some process still running.
+
+This distinction — wait-free vs merely non-blocking — is load-bearing in
+the paper's world: task solvability is insensitive to it (a non-blocking
+solution to a bounded task yields a wait-free one), but object
+implementations are compared with the non-blocking relation, which is
+exactly how the hierarchy separations are phrased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ExplorationLimitError
+from repro.runtime.execution import Execution
+from repro.runtime.explorer import Explorer
+from repro.runtime.process import ProcessStatus
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.system import SystemSpec
+
+
+@dataclass
+class WaitFreedomReport:
+    """Outcome of a wait-freedom audit.
+
+    ``wait_free`` is the verdict; ``step_bound`` the measured worst-case
+    steps by any single process (valid when wait_free); ``witness`` a
+    starvation execution otherwise.  ``exhaustive`` records whether the
+    verdict quantified over all schedules or only sampled ones.
+    """
+
+    wait_free: bool
+    exhaustive: bool
+    step_bound: int = 0
+    executions_checked: int = 0
+    per_process_bounds: Dict[int, int] = field(default_factory=dict)
+    witness: Optional[Execution] = None
+
+    def summary(self) -> str:
+        if self.wait_free:
+            strength = "all schedules" if self.exhaustive else "sampled schedules"
+            return (
+                f"wait-free over {self.executions_checked} executions "
+                f"({strength}); worst-case {self.step_bound} steps per process"
+            )
+        return (
+            "NOT wait-free: starvation witness of "
+            f"{len(self.witness)} steps with a live process remaining"
+        )
+
+
+def _bounds_of(execution: Execution) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for step in execution.steps:
+        counts[step.pid] = counts.get(step.pid, 0) + 1
+    return counts
+
+
+def audit_wait_freedom(
+    spec: SystemSpec,
+    max_depth: int = 200,
+) -> WaitFreedomReport:
+    """Exhaustive audit: certify wait-freedom with the exact step bound,
+    or return a starvation witness.
+
+    A branch exceeding ``max_depth`` with live processes is treated as the
+    witness (sound for refutation given a sensible bound: a wait-free
+    protocol's executions are uniformly bounded).
+    """
+    explorer = Explorer(spec, max_depth=max_depth, strict=False)
+    report = WaitFreedomReport(wait_free=True, exhaustive=True)
+    for execution in explorer.executions():
+        report.executions_checked += 1
+        live = [
+            pid
+            for pid, status in execution.statuses.items()
+            if status is ProcessStatus.POISED
+        ]
+        if live:
+            return WaitFreedomReport(
+                wait_free=False,
+                exhaustive=True,
+                executions_checked=report.executions_checked,
+                witness=execution,
+            )
+        for pid, count in _bounds_of(execution).items():
+            report.per_process_bounds[pid] = max(
+                report.per_process_bounds.get(pid, 0), count
+            )
+    report.step_bound = max(report.per_process_bounds.values(), default=0)
+    return report
+
+
+def sample_wait_freedom(
+    spec: SystemSpec,
+    seeds=range(100),
+    max_steps: int = 50_000,
+) -> WaitFreedomReport:
+    """Sampled audit for instances too large to exhaust: many seeded
+    adversaries, same verdict structure (non-exhaustive)."""
+    report = WaitFreedomReport(wait_free=True, exhaustive=False)
+    for seed in seeds:
+        execution = spec.run(RandomScheduler(seed), max_steps=max_steps)
+        report.executions_checked += 1
+        live = [
+            pid
+            for pid, status in execution.statuses.items()
+            if status is ProcessStatus.POISED
+        ]
+        if live:
+            return WaitFreedomReport(
+                wait_free=False,
+                exhaustive=False,
+                executions_checked=report.executions_checked,
+                witness=execution,
+            )
+        for pid, count in _bounds_of(execution).items():
+            report.per_process_bounds[pid] = max(
+                report.per_process_bounds.get(pid, 0), count
+            )
+    report.step_bound = max(report.per_process_bounds.values(), default=0)
+    return report

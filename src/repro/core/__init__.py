@@ -1,0 +1,117 @@
+"""The paper's primary contribution.
+
+"Deterministic Objects: Life Beyond Consensus" (Afek–Ellen–Gafni, PODC 2016)
+shows the consensus hierarchy is not a complete map of deterministic
+objects: for every n >= 2 there is an infinite sequence of deterministic
+objects, all of consensus number n, with strictly ordered, pairwise
+inequivalent synchronization power.  This package holds:
+
+* :mod:`repro.core.family` — the deterministic O(n, k) object family
+  (reconstructed sequential specification; see DESIGN.md for the caveat);
+* :mod:`repro.core.theorem` — the set-consensus implementability theorem,
+  the arithmetic engine behind every separation;
+* :mod:`repro.core.power` — synchronization-power descriptors: (m, j)
+  points, per-object agreement profiles, and the cover theorem;
+* :mod:`repro.core.hierarchy` — the infinite hierarchy as an explicit
+  graph, with per-level strictness witnesses;
+* :mod:`repro.core.common2` — the Common2 refutation at consensus number 2;
+* :mod:`repro.core.consensus_number` — consensus-number accounting for the
+  library's object zoo.
+"""
+
+from repro.core.family import FamilyMember, HierarchyObjectSpec
+from repro.core.power import (
+    PowerProfile,
+    SetConsensusPower,
+    antichain,
+    chain_is_strictly_increasing,
+    cover_agreement,
+    family_agreement,
+    family_profile,
+    n_consensus_profile,
+    register_profile,
+    set_consensus_profile,
+)
+from repro.core.theorem import (
+    equivalent_power,
+    implementability_conditions,
+    is_implementable,
+    max_agreement,
+    min_agreement_needed,
+    strictly_stronger,
+)
+from repro.core.hierarchy import (
+    HierarchyLevel,
+    equivalence_classes,
+    family_chain,
+    family_hierarchy_graph,
+    set_consensus_lattice,
+    strictness_witness,
+)
+from repro.core.common2 import (
+    Common2Refutation,
+    common2_refutation,
+    refutation_series,
+)
+from repro.core.consensus_number import (
+    KNOWN_CONSENSUS_NUMBERS,
+    consensus_number_of,
+    is_sub_consensus,
+)
+from repro.core.ratio import (
+    anchor_position,
+    asymptotic_ratio,
+    best_level_for,
+    ratio_frontier,
+    solves_ratio_task,
+)
+from repro.core.open_questions import (
+    consensus_number_one_frontier,
+    open_region_summary,
+    power_fingerprint,
+    ratio_gap,
+    separation_is_tight,
+)
+
+__all__ = [
+    "HierarchyObjectSpec",
+    "FamilyMember",
+    "SetConsensusPower",
+    "PowerProfile",
+    "antichain",
+    "chain_is_strictly_increasing",
+    "cover_agreement",
+    "family_agreement",
+    "family_profile",
+    "n_consensus_profile",
+    "register_profile",
+    "set_consensus_profile",
+    "max_agreement",
+    "min_agreement_needed",
+    "is_implementable",
+    "implementability_conditions",
+    "strictly_stronger",
+    "equivalent_power",
+    "HierarchyLevel",
+    "family_chain",
+    "family_hierarchy_graph",
+    "set_consensus_lattice",
+    "equivalence_classes",
+    "strictness_witness",
+    "Common2Refutation",
+    "common2_refutation",
+    "refutation_series",
+    "KNOWN_CONSENSUS_NUMBERS",
+    "consensus_number_of",
+    "is_sub_consensus",
+    "asymptotic_ratio",
+    "solves_ratio_task",
+    "best_level_for",
+    "ratio_frontier",
+    "anchor_position",
+    "power_fingerprint",
+    "consensus_number_one_frontier",
+    "ratio_gap",
+    "separation_is_tight",
+    "open_region_summary",
+]

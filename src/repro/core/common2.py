@@ -1,0 +1,85 @@
+"""The Common2 refutation.
+
+*Common2* (Afek–Weisberger–Weisman; Afek–Gafni–Morrison) is the class of
+objects wait-free implementable, for any number of processes, from
+2-consensus objects and registers; queue, stack, swap, test-and-set are its
+classical members.  The conjecture was that **every** deterministic object
+of consensus number 2 belongs to Common2 — i.e. that level 2 of the
+consensus hierarchy is one equivalence class.
+
+The paper refutes it.  In this reconstruction the counterexample is any
+O(2, k): its consensus number is 2, yet in a system of ``N = 2(k+2)``
+processes it solves (N, k+1)-set consensus, while 2-consensus objects (and
+hence every Common2 member) allow only ``max_agreement(N, 2, 1) =
+ceil(N/2) = k+2`` — so no implementation of O(2, k) from 2-consensus
+objects and registers can exist (it would contradict the set-consensus
+implementability theorem).
+
+This module packages the arithmetic certificate; the executable
+demonstration (run both protocols, watch the adversary force k+2 values
+against 2-consensus but never more than k+1 against O(2, k)) lives in
+``examples/common2_refutation.py`` and experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.family import FamilyMember
+from repro.core.theorem import max_agreement
+
+
+@dataclass(frozen=True)
+class Common2Refutation:
+    """Arithmetic certificate that O(2, k) lies outside Common2."""
+
+    k: int
+    #: The counterexample object.
+    member: FamilyMember
+    #: System size of the separation.
+    system_size: int
+    #: Agreement O(2, k) achieves there (k + 1).
+    family_agreement: int
+    #: Best agreement 2-consensus objects allow there (k + 2).
+    common2_agreement: int
+
+    @property
+    def holds(self) -> bool:
+        """The refutation is valid iff the family strictly beats every
+        Common2 member's power."""
+        return self.family_agreement < self.common2_agreement
+
+    def statement(self) -> str:
+        return (
+            f"O(2, {self.k}) has consensus number 2, yet at N = "
+            f"{self.system_size} it achieves {self.family_agreement}-set "
+            f"consensus while 2-consensus objects allow only "
+            f"{self.common2_agreement}; hence O(2, {self.k}) is not "
+            f"implementable from 2-consensus objects and registers, and "
+            f"Common2 does not contain all consensus-number-2 objects."
+        )
+
+
+def common2_refutation(k: int = 1) -> Common2Refutation:
+    """Build the certificate for the counterexample O(2, k)."""
+    if k < 1:
+        raise ValueError("need k >= 1")
+    member = FamilyMember(2, k)
+    system_size = member.ports  # 2 (k + 2)
+    certificate = Common2Refutation(
+        k=k,
+        member=member,
+        system_size=system_size,
+        family_agreement=member.task.j,
+        common2_agreement=max_agreement(system_size, 2, 1),
+    )
+    if not certificate.holds:
+        raise AssertionError(f"Common2 refutation arithmetic failed at k={k}")
+    return certificate
+
+
+def refutation_series(k_max: int) -> List[Common2Refutation]:
+    """One refutation certificate per level — infinitely many distinct
+    consensus-number-2 objects outside Common2 (truncated at ``k_max``)."""
+    return [common2_refutation(k) for k in range(1, k_max + 1)]

@@ -1,0 +1,90 @@
+"""Consensus-number accounting for the library's object zoo.
+
+The consensus number of an object is the largest n for which n processes
+can solve consensus wait-free from copies of the object and registers.
+This module records the classical values (Herlihy 1991 and successors) for
+every spec type in the library, exposes them through a single lookup, and
+documents which ones are *demonstrated* in this repository versus *cited*.
+
+* Demonstrated lower bounds: a protocol in :mod:`repro.algorithms` solves
+  consensus for n processes, checked under all schedules (experiment E1).
+* Demonstrated upper bounds: the automated bivalence argument of
+  :mod:`repro.analysis.valency` certifies impossibility for the read/write
+  and commuting cases; the remaining upper bounds are cited.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Union
+
+from repro.core.family import HierarchyObjectSpec
+from repro.errors import ReproError
+from repro.objects.base import ObjectSpec
+from repro.objects.consensus_object import NConsensusSpec
+from repro.objects.counter import CounterSpec, DoorwaySpec
+from repro.objects.queue_stack import QueueSpec, StackSpec
+from repro.objects.register import ArraySpec, RegisterSpec
+from repro.objects.rmw import (
+    CompareAndSwapSpec,
+    FetchAndAddSpec,
+    SwapSpec,
+    TestAndSetSpec,
+)
+from repro.objects.generic_rmw import GenericRMWSpec
+from repro.objects.set_consensus import SetConsensusSpec
+from repro.objects.snapshot import AtomicSnapshotSpec
+from repro.objects.sticky import StickyBitSpec, StickyRegisterSpec
+
+ConsensusNumber = Union[int, float]  # math.inf for universal objects
+
+#: Classical consensus numbers by spec type.  Entries are either a number
+#: or a callable refining the number from the instance's parameters.
+KNOWN_CONSENSUS_NUMBERS: Dict[type, Any] = {
+    RegisterSpec: 1,
+    ArraySpec: 1,
+    CounterSpec: 1,
+    DoorwaySpec: 1,
+    AtomicSnapshotSpec: 1,
+    TestAndSetSpec: 2,
+    SwapSpec: 2,
+    FetchAndAddSpec: 2,
+    QueueSpec: 2,
+    StackSpec: 2,
+    CompareAndSwapSpec: math.inf,
+    StickyBitSpec: math.inf,
+    StickyRegisterSpec: math.inf,
+    NConsensusSpec: lambda spec: spec.n,
+    # (m, j)-set consensus objects solve consensus for floor(m/j) processes
+    # grouped on one object only when j = 1; in general their consensus
+    # number is 1 for j >= 2 (set agreement does not decide a unique value)
+    # — but (m, 1) is m-consensus.
+    SetConsensusSpec: lambda spec: spec.m if spec.j == 1 else 1,
+    # Non-trivial RMW families: 2 for commute-or-overwrite families
+    # (Herlihy's RMW classification).  Mixed families can be stronger;
+    # the recorded value is the classification-theorem default.
+    GenericRMWSpec: 2,
+    # The paper's family: consensus number n at every level k.
+    HierarchyObjectSpec: lambda spec: spec.n,
+}
+
+
+def consensus_number_of(spec: ObjectSpec) -> ConsensusNumber:
+    """Consensus number of an object spec instance.
+
+    Raises :class:`ReproError` for unknown spec types rather than guessing.
+    """
+    for klass in type(spec).__mro__:
+        if klass in KNOWN_CONSENSUS_NUMBERS:
+            entry = KNOWN_CONSENSUS_NUMBERS[klass]
+            return entry(spec) if callable(entry) else entry
+    raise ReproError(
+        f"no recorded consensus number for {type(spec).__name__}; "
+        "register it in KNOWN_CONSENSUS_NUMBERS"
+    )
+
+
+def is_sub_consensus(spec: ObjectSpec, n: int) -> bool:
+    """True iff the object cannot solve consensus for more than n
+    processes (consensus number <= n)."""
+    return consensus_number_of(spec) <= n

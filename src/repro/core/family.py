@@ -1,0 +1,251 @@
+"""The deterministic object family O(n, k).
+
+The paper constructs, for every n >= 2, an infinite sequence of
+deterministic objects of consensus number n with strictly ordered,
+pairwise inequivalent synchronization power — proving that consensus
+number alone cannot classify deterministic objects.  The exact sequential
+specification from the paper is not recoverable (see the mismatch notice
+in DESIGN.md); this module implements the documented *reconstruction*,
+which realizes the same phenomenon: an infinite strict chain of
+deterministic objects all of consensus number n.
+
+Reconstruction
+--------------
+O(n, k) is a one-shot, oblivious, deterministic object with
+``m = n * (k + 2)`` ports arranged as a ring of ``G = k + 2`` groups of
+``n`` ports each.  Per group ``g`` the object keeps two cells, both fixed
+forever at the group's *install* (first write):
+
+* ``F[g]`` — the group winner: the value of the group's first invocation;
+* ``S[g]`` — the *successor snapshot*: the value of ``F[(g+1) mod G]`` at
+  the moment group ``g`` was installed (``None`` if the successor group
+  was then untouched).
+
+The single operation ``invoke(g, s, v)`` (group ``g``, slot ``s`` —
+together the one-shot port — and value ``v != None``) installs the group
+if untouched and returns ``(F[g], S[g])``.  Because both cells freeze at
+install time, every member of a group receives the *same* response: a
+group behaves like a single WRN-style super-invocation (performed by its
+first writer) whose result is fanned out to n processes by built-in
+group consensus.  That fan-out is exactly what no combination of weaker
+objects can forge, and it is where the family's extra power lives.
+
+Derived facts (each validated executably; see EXPERIMENTS.md):
+
+* **n-consensus** (consensus number >= n): up to n processes share one
+  group; each learns ``F[g]``, the value of the group's first writer.
+* **Ring adoption** — decide ``S[g]`` if it is not ``None``, else
+  ``F[g]``: in every execution in which every group gets installed, the
+  *last-installed* group's winner is never decided (its members see a
+  non-``None`` snapshot and adopt; its predecessor's snapshot was taken
+  earlier and misses it); if only ``t < G`` groups are installed, at most
+  ``t`` winners exist at all.  Either way: **at most k+1 distinct
+  decisions** — (n(k+2), k+1)-set consensus, strictly better than the
+  ceil(N/n) = k+2 agreement n-consensus objects allow at N = n(k+2).
+  For n = 2 this is the executable Common2 refutation.
+* **An infinite strict chain at consensus number n.**  The per-object
+  agreement profile is ``profile(c) = ceil(c/n)`` for ``c <= n(k+1)`` and
+  ``k+1`` beyond (:func:`repro.core.power.family_profile`); the cover
+  theorem turns profiles into system-level agreement ``K_k(N)``
+  (:func:`repro.core.power.family_agreement`).  One checks ``K_k <=
+  K_{k+1}`` pointwise, strict at ``N = n(k+1)+1`` (k+1 vs k+2) — so **the
+  chain descends in k**: O(n, k) is strictly stronger than O(n, k+1), and
+  O(n, k+1) cannot implement O(n, k) in a system of ``nk + n + 1``
+  processes.
+
+Indexing note: the paper presents its chain ascending in k (O(n, k+1)
+stronger, separation at system size nk+n+k); the reconstruction's chain
+descends in k (O(n, k) stronger, separation at system size nk+n+1).  The
+two presentations are order-isomorphic — both exhibit infinitely many
+pairwise-inequivalent deterministic objects of consensus number n, which
+is the theorem being reproduced.
+
+Ports are one-shot: reusing a port is misuse (raise, or hang with
+``hang_on_misuse=True``).  A multi-shot variant (``one_shot=False``) is
+provided for substrate experiments; all hierarchy claims are stated for
+the one-shot object, mirroring the one-shot discipline the literature uses
+for task-derived objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple
+
+from repro.errors import IllegalOperationError
+from repro.objects.base import DeterministicObjectSpec
+from repro.core.power import (
+    PowerProfile,
+    SetConsensusPower,
+    family_agreement,
+    family_profile,
+)
+
+#: State: (group winners F, successor snapshots S, used ports).
+#: ``None`` marks an untouched group / empty snapshot.
+FamilyState = Tuple[Tuple[Any, ...], Tuple[Any, ...], FrozenSet[Tuple[int, int]]]
+
+
+class HierarchyObjectSpec(DeterministicObjectSpec):
+    """The deterministic object O(n, k) (reconstructed; see module docs).
+
+    Parameters
+    ----------
+    n:
+        Group size — the object's consensus number.
+    k:
+        Hierarchy level (k >= 1).  The object has ``k + 2`` groups and
+        ``n * (k + 2)`` one-shot ports, and solves
+        ``(n(k+2), k+1)``-set consensus.
+    one_shot:
+        Enforce the one-port-one-use discipline (default).  All hierarchy
+        claims are for the one-shot object.
+    hang_on_misuse:
+        Misuse blocks the caller forever instead of raising.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        one_shot: bool = True,
+        hang_on_misuse: bool = False,
+    ):
+        if n < 1:
+            raise ValueError("O(n, k) needs n >= 1")
+        if k < 1:
+            raise ValueError("O(n, k) needs k >= 1 (k + 2 >= 3 ring groups)")
+        self.n = n
+        self.k = k
+        self.one_shot = one_shot
+        self.hang_on_misuse = hang_on_misuse
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> int:
+        """Number of ring groups, G = k + 2."""
+        return self.k + 2
+
+    @property
+    def ports(self) -> int:
+        """Total number of one-shot ports, m = n (k + 2)."""
+        return self.n * self.groups
+
+    def port(self, index: int) -> Tuple[int, int]:
+        """Canonical enumeration of ports: index -> (group, slot)."""
+        if not 0 <= index < self.ports:
+            raise ValueError(f"port index {index} out of range [0, {self.ports})")
+        return divmod(index, self.n)
+
+    # ------------------------------------------------------------------
+    # Sequential specification
+    # ------------------------------------------------------------------
+    def initial_state(self) -> FamilyState:
+        empty = (None,) * self.groups
+        return (empty, empty, frozenset())
+
+    def do_invoke(
+        self, state: FamilyState, group: int, slot: int, value: Any
+    ) -> Tuple[Any, FamilyState]:
+        winners, snapshots, used = state
+        if value is None:
+            raise IllegalOperationError("cannot invoke with None (reserved as ⊥)")
+        if not (isinstance(group, int) and 0 <= group < self.groups):
+            raise IllegalOperationError(
+                f"group {group!r} out of range [0, {self.groups})"
+            )
+        if not (isinstance(slot, int) and 0 <= slot < self.n):
+            raise IllegalOperationError(f"slot {slot!r} out of range [0, {self.n})")
+        if self.one_shot and (group, slot) in used:
+            raise IllegalOperationError(
+                f"one-shot port ({group}, {slot}) used twice"
+            )
+        if winners[group] is None:
+            # Install: freeze the winner and the successor snapshot.
+            successor_now = winners[(group + 1) % self.groups]
+            winners = winners[:group] + (value,) + winners[group + 1:]
+            snapshots = snapshots[:group] + (successor_now,) + snapshots[group + 1:]
+        response = (winners[group], snapshots[group])
+        return response, (winners, snapshots, used | {(group, slot)})
+
+
+@dataclass(frozen=True)
+class FamilyMember:
+    """Descriptor of one hierarchy level: parameters and derived facts.
+
+    This is the "data sheet" of O(n, k) used by the hierarchy graph, the
+    experiments, and the documentation — everything that is a pure function
+    of (n, k).
+    """
+
+    n: int
+    k: int
+
+    def spec(self, one_shot: bool = True, hang_on_misuse: bool = False) -> HierarchyObjectSpec:
+        """Fresh object spec for this level."""
+        return HierarchyObjectSpec(
+            self.n, self.k, one_shot=one_shot, hang_on_misuse=hang_on_misuse
+        )
+
+    @property
+    def groups(self) -> int:
+        return self.k + 2
+
+    @property
+    def ports(self) -> int:
+        return self.n * (self.k + 2)
+
+    @property
+    def consensus_number(self) -> int:
+        """Consensus number n (lower bound demonstrated executably; upper
+        bound per the paper — see DESIGN.md reconstruction caveat)."""
+        return self.n
+
+    @property
+    def task(self) -> SetConsensusPower:
+        """The (m, j)-set-consensus task a fully occupied object solves:
+        (n(k+2), k+1)."""
+        return SetConsensusPower.of_family_task(self.n, self.k)
+
+    def profile(self) -> PowerProfile:
+        """Per-object agreement profile (see
+        :func:`repro.core.power.family_profile`)."""
+        return family_profile(self.n, self.k)
+
+    def agreement(self, n_processes: int) -> int:
+        """Best system-wide agreement for ``n_processes`` processes with
+        unlimited copies of this object (cover closed form)."""
+        return family_agreement(self.n, self.k, n_processes)
+
+    @property
+    def weaker_neighbor(self) -> "FamilyMember":
+        """The next-weaker level of the chain, O(n, k+1)."""
+        return FamilyMember(self.n, self.k + 1)
+
+    @property
+    def separation_system_size(self) -> int:
+        """Smallest system size witnessing that O(n, k+1) cannot implement
+        this level: N = n(k+1) + 1, where this level achieves agreement
+        k+1 (one ring-spread cohort) but O(n, k+1) only k+2.  Compare the
+        paper's ascending-presentation constant nk + n + k."""
+        return self.n * (self.k + 1) + 1
+
+    @property
+    def paper_separation_system_size(self) -> int:
+        """The paper's separation constant for its ascending chain:
+        nk + n + k."""
+        return self.n * self.k + self.n + self.k
+
+    def describe(self) -> str:
+        """One-paragraph data sheet."""
+        return (
+            f"O({self.n}, {self.k}): deterministic, one-shot, "
+            f"{self.groups} groups x {self.n} slots = {self.ports} ports; "
+            f"consensus number {self.consensus_number}; solves "
+            f"{self.task} when fully occupied; strictly stronger than "
+            f"O({self.n}, {self.k + 1}), separated in a system of "
+            f"{self.separation_system_size} processes "
+            f"(agreement {self.k + 1} vs {self.k + 2})."
+        )

@@ -1,0 +1,92 @@
+"""The paper's open questions, as executable commentary.
+
+A reproduction should record not only what the paper proved but what it
+left open.  Each function here computes the *frontier* of what this
+library's objects achieve, so the open region is a number you can query
+rather than a sentence in a PDF.  (Statements of openness are as of the
+paper's era and its immediate follow-ups; see the references in
+docs/THEORY.md.)
+
+1. **Is a set-consensus-based hierarchy complete for deterministic
+   objects?**  The paper shows consensus numbers are not; it conjectures
+   set-consensus power is the right refinement.  Later work (Chan–
+   Hadzilacos–Toueg) showed even that needs care outside the wait-free
+   task world.  In this library the conjecture's *scope* is visible:
+   :func:`power_fingerprint` reduces any profiled object to its cover
+   curve, and two objects with identical curves are indistinguishable by
+   every task experiment shipped here.
+
+2. **Which ratios are achievable deterministically below 2-consensus?**
+   The era's constructions reach agreement ratios down to (but not
+   below) a structural frontier; for this library's consensus-number-1
+   objects (n = 1 family) the asymptotic ratios are
+   ``(k+1)/(k+2) ∈ {2/3, 3/4, ...}`` — never below 2/3.  Whether *any*
+   deterministic consensus-number-1 object goes below 2/3 (e.g. solves
+   2-set consensus for arbitrarily many processes) is the open question;
+   :func:`ratio_gap` computes the gap between the library's frontier and
+   a target ratio.
+
+3. **Exact separation constants.**  The paper separates levels at
+   nk+n+k processes; the reconstruction at nk+n+1.  Whether the paper's
+   constant is optimal for *its* objects is not answered by either; the
+   reconstruction's constant is optimal for its own family
+   (:func:`separation_is_tight` checks minimality against the cover
+   curves).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.power import PowerProfile, cover_agreement, family_profile
+from repro.core.ratio import asymptotic_ratio
+
+
+def power_fingerprint(profile: PowerProfile, up_to: int) -> Tuple[int, ...]:
+    """The cover curve K(1..up_to) of an object — the complete
+    task-power invariant *within this library's experiment suite*.
+    Objects with equal fingerprints cannot be separated by any
+    set-consensus task experiment here."""
+    return tuple(cover_agreement(total, [profile]) for total in range(1, up_to + 1))
+
+
+def consensus_number_one_frontier(k_max: int) -> List[Fraction]:
+    """Asymptotic ratios achieved by the library's deterministic
+    consensus-number-1 objects (the n = 1 family): a strictly
+    increasing sequence in [2/3, 1) — the open region is everything
+    below 2/3."""
+    return [asymptotic_ratio(1, k) for k in range(1, k_max + 1)]
+
+
+def ratio_gap(target: Fraction, n: int = 1, k_max: int = 64) -> Optional[Fraction]:
+    """Distance from the library's best (smallest) achievable ratio at
+    consensus number n down to ``target``; ``None`` if some level already
+    reaches it (then nothing is open about that target here)."""
+    best = min(asymptotic_ratio(n, k) for k in range(1, k_max + 1))
+    if best <= target:
+        return None
+    return best - target
+
+
+def separation_is_tight(n: int, k: int) -> bool:
+    """Is nk+n+1 the *smallest* system size at which O(n, k) beats
+    O(n, k+1)?  (Below it the two cover curves coincide.)"""
+    witness = n * (k + 1) + 1
+    strong = family_profile(n, k)
+    weak = family_profile(n, k + 1)
+    for total in range(1, witness):
+        if cover_agreement(total, [strong]) != cover_agreement(total, [weak]):
+            return False
+    return cover_agreement(witness, [strong]) < cover_agreement(witness, [weak])
+
+
+def open_region_summary(k_max: int = 8) -> Dict[str, object]:
+    """One-call summary used by docs and tests."""
+    frontier = consensus_number_one_frontier(k_max)
+    return {
+        "consensus1_best_ratio": min(frontier),
+        "consensus1_frontier": frontier,
+        "two_thirds_reached": min(frontier) == Fraction(2, 3),
+        "below_two_thirds_open": ratio_gap(Fraction(1, 2)) is not None,
+    }

@@ -1,0 +1,250 @@
+"""Synchronization-power descriptors.
+
+Two granularities are provided:
+
+* :class:`SetConsensusPower` — a point (m, j) of the classical
+  set-consensus partial order: the ability to solve (m, j)-set consensus.
+  Consensus number n is the point (n, 1).  The order is genuinely partial —
+  which is how infinitely many inequivalent classes can share one consensus
+  number.
+
+* :class:`PowerProfile` — the finer, per-object *agreement profile*:
+  ``profile(c)`` is the best (smallest) number of distinct decisions a
+  cohort of ``c`` processes sharing **one** object (plus registers) can be
+  held to.  System-level power then follows from the **cover theorem**
+  (Borowsky–Gafni / Chaudhuri–Reiners): with any number of object copies,
+  N processes achieve exactly
+
+      K(N) = min over partitions N = c_1 + ... + c_t  of  sum profile(c_i)
+
+  computed here by dynamic programming (:func:`cover_agreement`).  For pure
+  (m, j)-set-consensus objects the DP provably collapses to the closed form
+  ``j * floor(N/m) + min(N mod m, j)`` of :mod:`repro.core.theorem` — a
+  property the tests verify.  The paper's deterministic objects are exactly
+  the objects whose profiles are *not* realized by any single (m, j) point,
+  which is why consensus number alone cannot classify them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.theorem import is_implementable
+
+
+@dataclass(frozen=True)
+class SetConsensusPower:
+    """The power to solve (m, j)-set consensus (at most j distinct
+    decisions among at most m participants)."""
+
+    m: int
+    j: int
+
+    def __post_init__(self):
+        if not 1 <= self.j <= self.m:
+            raise ValueError(f"need 1 <= j <= m, got (m={self.m}, j={self.j})")
+
+    @property
+    def ratio(self) -> Fraction:
+        """Agreement ratio j/m; smaller is stronger."""
+        return Fraction(self.j, self.m)
+
+    # ------------------------------------------------------------------
+    # Partial order
+    # ------------------------------------------------------------------
+    def implements(self, other: "SetConsensusPower") -> bool:
+        """Can objects of this power implement ``other``'s task wait-free
+        (with registers)?"""
+        return is_implementable(other.m, other.j, self.m, self.j)
+
+    def stronger_than(self, other: "SetConsensusPower") -> bool:
+        """Strictly stronger: implements ``other`` but not vice versa."""
+        return self.implements(other) and not other.implements(self)
+
+    def equivalent(self, other: "SetConsensusPower") -> bool:
+        return self.implements(other) and other.implements(self)
+
+    def comparable(self, other: "SetConsensusPower") -> bool:
+        return self.implements(other) or other.implements(self)
+
+    # ------------------------------------------------------------------
+    # Named points
+    # ------------------------------------------------------------------
+    @staticmethod
+    def consensus(n: int) -> "SetConsensusPower":
+        """The power of the n-consensus object: (n, 1)."""
+        return SetConsensusPower(n, 1)
+
+    @staticmethod
+    def registers(n: int = 2) -> "SetConsensusPower":
+        """Register power: (n, n) — no agreement beyond the trivial."""
+        return SetConsensusPower(n, n)
+
+    @staticmethod
+    def of_family_task(n: int, k: int) -> "SetConsensusPower":
+        """The (m, j)-set-consensus *task* one fully-occupied O(n, k)
+        solves: (n(k+2), k+1).  Note the object is strictly stronger than
+        the pure (n(k+2), k+1)-SC object — partially-occupied cohorts still
+        enjoy per-group n-consensus (see :func:`family_profile`)."""
+        if n < 1 or k < 1:
+            raise ValueError("need n >= 1, k >= 1")
+        return SetConsensusPower(n * (k + 2), k + 1)
+
+    def __str__(self) -> str:
+        return f"({self.m},{self.j})-SC"
+
+
+def antichain(points: Iterable[SetConsensusPower]) -> List[SetConsensusPower]:
+    """Filter ``points`` down to an antichain (pairwise incomparable,
+    keeping the first of any comparable pair)."""
+    kept: List[SetConsensusPower] = []
+    for point in points:
+        if all(not point.comparable(existing) for existing in kept):
+            kept.append(point)
+    return kept
+
+
+def chain_is_strictly_increasing(points: Sequence[SetConsensusPower]) -> bool:
+    """True iff each point is strictly stronger than its predecessor."""
+    return all(b.stronger_than(a) for a, b in zip(points, points[1:]))
+
+
+# ----------------------------------------------------------------------
+# Agreement profiles and the cover theorem
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PowerProfile:
+    """Per-object agreement profile.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    max_cohort:
+        Largest cohort one object instance can serve (its port/proposal
+        budget).
+    profile:
+        ``profile(c) -> int`` for ``1 <= c <= max_cohort``: the best
+        agreement for a cohort of c processes sharing one instance.
+    """
+
+    name: str
+    max_cohort: int
+    profile: Callable[[int], int]
+
+    def __call__(self, cohort: int) -> int:
+        if not 1 <= cohort <= self.max_cohort:
+            raise ValueError(
+                f"{self.name}: cohort {cohort} outside [1, {self.max_cohort}]"
+            )
+        value = self.profile(cohort)
+        if not 1 <= value <= cohort:
+            raise AssertionError(
+                f"{self.name}: profile({cohort}) = {value} is not in [1, {cohort}]"
+            )
+        return value
+
+
+def set_consensus_profile(m: int, j: int) -> PowerProfile:
+    """Profile of the pure (m, j)-set-consensus object: a cohort of c can
+    be held to min(c, j) decisions (c proposals, at most j adopted)."""
+    return PowerProfile(
+        name=f"({m},{j})-SC-object",
+        max_cohort=m,
+        profile=lambda c: min(c, j),
+    )
+
+
+def n_consensus_profile(n: int) -> PowerProfile:
+    """Profile of the n-bounded consensus object: any cohort of c <= n
+    agrees on one value."""
+    return PowerProfile(name=f"{n}-consensus-object", max_cohort=n, profile=lambda c: 1)
+
+
+def register_profile(max_cohort: int = 64) -> PowerProfile:
+    """Registers add no agreement: a cohort of c can be forced to c
+    distinct decisions."""
+    return PowerProfile(name="register", max_cohort=max_cohort, profile=lambda c: c)
+
+
+def family_profile(n: int, k: int) -> PowerProfile:
+    """Profile of the reconstructed O(n, k).
+
+    A cohort of ``c`` processes on one object chooses between two
+    strategies:
+
+    * *concentrate*: occupy ``ceil(c/n)`` groups and use each as an
+      n-consensus instance — ``ceil(c/n)`` decisions;
+    * *ring-spread* (only useful once ``c > n(k+1)``): occupy **all**
+      ``k+2`` groups; ring adoption then guarantees at most ``k+1``
+      decisions in every execution (the last-installed group's winner is
+      never decided; if not all groups get installed, the installed count
+      itself is at most ``k+1``).
+
+    Hence ``profile(c) = ceil(c/n)`` for ``c <= n(k+1)`` and ``k+1``
+    beyond.  Tightness of the concentrate case is the adversary that
+    schedules occupied groups one after another so every install snapshots
+    an empty successor.
+    """
+    groups = k + 2
+    ports = n * groups
+
+    def profile(c: int) -> int:
+        if c > n * (k + 1):
+            return k + 1
+        return ceil(c / n)
+
+    return PowerProfile(name=f"O({n},{k})", max_cohort=ports, profile=profile)
+
+
+def cover_agreement(n_processes: int, profiles: Sequence[PowerProfile]) -> int:
+    """Best agreement for ``n_processes`` processes given unlimited copies
+    of each profiled object type (plus registers), by the cover theorem:
+    minimize the summed profile over all partitions into cohorts.
+
+    Dynamic program over process counts; O(N * sum(max_cohort)).
+    """
+    if n_processes < 0:
+        raise ValueError("process count must be non-negative")
+    if n_processes == 0:
+        return 0
+    if not profiles:
+        raise ValueError("need at least one object profile (registers count)")
+    infinity = n_processes + 1
+    best: List[int] = [0] + [infinity] * n_processes
+    for covered in range(1, n_processes + 1):
+        for kind in profiles:
+            top = min(covered, kind.max_cohort)
+            for cohort in range(1, top + 1):
+                candidate = best[covered - cohort] + kind(cohort)
+                if candidate < best[covered]:
+                    best[covered] = candidate
+    # Registers always allow the trivial cover (one process per cohort).
+    return min(best[n_processes], n_processes)
+
+
+def family_agreement(n: int, k: int, n_processes: int) -> int:
+    """Best agreement for ``n_processes`` with unlimited O(n, k) copies.
+
+    Closed form of the cover DP: fill ``floor(N / n(k+2))`` whole rings
+    (k+1 decisions each); a remainder ``r`` either ring-spreads on one more
+    object (k+1, worthwhile once ``r > n(k+1)``) or concentrates into
+    n-consensus groups (``ceil(r/n)``):
+
+        K(N) = (k+1) floor(N / n(k+2)) + min(ceil(r / n), k+1 if r > n(k+1))
+
+    The tests verify this agrees with :func:`cover_agreement` on
+    :func:`family_profile` across a parameter sweep.
+    """
+    if n_processes < 0:
+        raise ValueError("process count must be non-negative")
+    ports = n * (k + 2)
+    full, remainder = divmod(n_processes, ports)
+    if remainder > n * (k + 1):
+        tail = k + 1
+    else:
+        tail = ceil(remainder / n)
+    return full * (k + 1) + tail

@@ -1,0 +1,120 @@
+"""The set-consensus implementability theorem.
+
+The separation engine of the paper (stated there with Borowsky–Gafni /
+Chaudhuri–Reiners machinery; quoted by the follow-up literature as:
+*for n > k and m > j, there is a wait-free implementation of (n, k)-set
+consensus from (m, j)-set-consensus objects and registers in a system of n
+or more processes iff* — in the canonical closed form —
+
+    k >= j * floor(n / m) + min(n mod m, j).
+
+Reading: with N processes split into full cohorts of m plus a remainder
+``r = n mod m``, each full cohort can be held to j distinct decisions, the
+remainder cohort to ``min(r, j)``, and the adversary can run cohorts
+disjointly so no construction does better.  The positive direction is the
+explicit partition protocol in
+:mod:`repro.algorithms.set_consensus_transfer`; the negative direction is
+the BG-simulation lower bound, exercised here via the adversarial-schedule
+witnesses in the experiments.
+
+This module is pure arithmetic — the single source of truth every
+hierarchy/separation claim in the library reduces to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def max_agreement(n_processes: int, m: int, j: int) -> int:
+    """Best (smallest) agreement achievable for ``n_processes`` processes
+    from (m, j)-set-consensus objects and registers.
+
+    Returns the minimal ``k`` such that (n_processes, k)-set consensus is
+    wait-free solvable: ``j * floor(n/m) + min(n mod m, j)``.
+    """
+    if n_processes < 0:
+        raise ValueError("process count must be non-negative")
+    if not 1 <= j <= m:
+        raise ValueError(f"need 1 <= j <= m, got (m={m}, j={j})")
+    full, remainder = divmod(n_processes, m)
+    agreement = full * j + min(remainder, j)
+    assert agreement <= n_processes
+    return agreement
+
+
+def min_agreement_needed(n_processes: int, m: int, j: int) -> int:
+    """Alias of :func:`max_agreement` reading in the other direction: the
+    smallest k for which (n_processes, k) is implementable from (m, j)."""
+    return max_agreement(n_processes, m, j)
+
+
+def is_implementable(n: int, k: int, m: int, j: int) -> bool:
+    """Can (n, k)-set consensus be implemented wait-free from
+    (m, j)-set-consensus objects and registers, for n (or more) processes?
+
+    The degenerate cases are resolved the standard way: ``k >= n`` is
+    register-solvable (everyone decides its own input), and a task nobody
+    participates in is trivially solvable.
+    """
+    if n < 1 or k < 1:
+        raise ValueError(f"need n, k >= 1, got (n={n}, k={k})")
+    if k >= n:
+        return True
+    return k >= max_agreement(n, m, j)
+
+
+@dataclass(frozen=True)
+class ImplementabilityConditions:
+    """The theorem's condition set in the paper's phrasing, for
+    cross-validation against the closed form.
+
+    The paper states the criterion as the conjunction of ``k >= j``·[when
+    n >= m], the ratio condition ``n/k <= m/j`` is implied, and the
+    either/or cohort condition; the canonical closed form above is
+    equivalent (asserted by :func:`implementability_conditions` and
+    property-tested in ``tests/core/test_theorem.py``).
+    """
+
+    n: int
+    k: int
+    m: int
+    j: int
+    needed: int
+    holds: bool
+
+    def explain(self) -> str:
+        full, remainder = divmod(self.n, self.m)
+        return (
+            f"({self.n}, {self.k}) from ({self.m}, {self.j}): "
+            f"{full} full cohorts x {self.j} + remainder "
+            f"min({remainder}, {self.j}) = {self.needed} needed; "
+            f"{'implementable' if self.holds else 'impossible'} with k={self.k}"
+        )
+
+
+def implementability_conditions(n: int, k: int, m: int, j: int) -> ImplementabilityConditions:
+    """Structured verdict with the cohort arithmetic spelled out."""
+    needed = max_agreement(n, m, j) if k < n else min(k, n)
+    holds = is_implementable(n, k, m, j)
+    # Cross-check the either/or phrasing against the closed form.
+    full, remainder = divmod(n, m)
+    either_or = (
+        k >= j * full + remainder if remainder <= j else k >= j * (full + 1)
+    )
+    if k < n:
+        assert either_or == holds, "paper phrasing diverged from closed form"
+    return ImplementabilityConditions(n=n, k=k, m=m, j=j, needed=needed, holds=holds)
+
+
+def strictly_stronger(m1: int, j1: int, m2: int, j2: int) -> bool:
+    """Is the (m1, j1)-set-consensus class *strictly* stronger than the
+    (m2, j2) class?  (Implements it, and is not implemented by it.)"""
+    forward = is_implementable(m2, j2, m1, j1)
+    backward = is_implementable(m1, j1, m2, j2)
+    return forward and not backward
+
+
+def equivalent_power(m1: int, j1: int, m2: int, j2: int) -> bool:
+    """Mutual implementability of the two set-consensus classes."""
+    return is_implementable(m2, j2, m1, j1) and is_implementable(m1, j1, m2, j2)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` laboratory.
+
+All errors raised by the library derive from :class:`ReproError`, so client
+code can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class IllegalOperationError(ReproError):
+    """An operation violated an object's sequential specification.
+
+    Examples: re-using a one-shot port, proposing ``None`` to a consensus
+    object, invoking an unknown method name, or exceeding an object's
+    invocation budget.
+
+    The papers in this line of work specify that misuse "hangs the system in
+    a manner that cannot be detected".  Raising is far more debuggable, so it
+    is the default; objects constructed with ``hang_on_misuse=True`` recover
+    the literal semantics by blocking the calling process forever instead.
+    """
+
+
+class ObjectMisuseHang(ReproError):
+    """Internal signal: the calling process must block forever.
+
+    Raised by objects configured with ``hang_on_misuse=True``; intercepted by
+    the runtime, which parks the process in the ``BLOCKED`` state.  Client
+    code never sees this exception.
+    """
+
+
+class SchedulingError(ReproError):
+    """The scheduler made an impossible request (e.g. stepping a finished
+    process, or scheduling when no process is enabled)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol/program produced something the runtime cannot interpret
+    (e.g. yielded a non-operation, or referenced an unknown shared object)."""
+
+
+class ExplorationLimitError(ReproError):
+    """Bounded model checking exceeded its configured step/state budget."""
+
+
+class NotLinearizableError(ReproError):
+    """A history failed the linearizability check.
+
+    Carries the offending history so tests and tools can display a witness.
+    """
+
+    def __init__(self, message: str, history=None):
+        super().__init__(message)
+        self.history = history
+
+
+class TaskViolationError(ReproError):
+    """A protocol's outputs violated its task specification (e.g. more than
+    k distinct decisions in k-set consensus, or an invalid output value)."""
+
+
+class ImplementabilityError(ReproError):
+    """Requested an implementation construction whose parameters the
+    implementability theorem proves impossible."""

@@ -1,0 +1,58 @@
+"""The experiment suite: every paper claim as a measured row.
+
+The reproduced paper is pure theory — no tables or figures exist.  Its
+"evaluation" is a set of theorems; each becomes an experiment that runs
+protocols/analyses and reports *claimed vs measured*:
+
+========  ==========================================================
+E1        O(n, k) solves n-process consensus (consensus number >= n)
+E2        O(n, k) solves (n(k+2), k+1)-set consensus; bound tight
+E3        Impossibility side: register-only consensus fails; the
+          commute-or-overwrite certificate separates level 1 from the rest
+E4        Set-consensus transfer matches the implementability theorem
+E5        The infinite strict hierarchy at fixed consensus number n
+E6        The Common2 refutation at n = 2
+E7        BG simulation: clean completion and crash containment
+E8        The topology of immediate snapshot: the explorer recovers the
+          standard chromatic subdivision (1 / 3 / 13 maximal simplexes)
+E9        Substrate linearizability (snapshot from registers; universal
+          construction)
+E10       Simulator/model-checker performance envelope
+========  ==========================================================
+
+(The automated critical-configuration walk is part of E3.)
+
+Each ``run_*`` function returns a list of :class:`ExperimentRow`;
+``python -m repro.experiments.report`` renders the whole suite as the
+tables recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.rows import ExperimentRow
+from repro.experiments.suite import (
+    run_all,
+    run_e1_consensus,
+    run_e2_set_consensus,
+    run_e3_impossibility,
+    run_e4_transfer,
+    run_e5_hierarchy,
+    run_e6_common2,
+    run_e7_bg,
+    run_e8_subdivision,
+    run_e9_substrate,
+    run_e10_runtime,
+)
+
+__all__ = [
+    "ExperimentRow",
+    "run_all",
+    "run_e1_consensus",
+    "run_e2_set_consensus",
+    "run_e3_impossibility",
+    "run_e4_transfer",
+    "run_e5_hierarchy",
+    "run_e6_common2",
+    "run_e7_bg",
+    "run_e8_subdivision",
+    "run_e9_substrate",
+    "run_e10_runtime",
+]

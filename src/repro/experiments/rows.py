@@ -1,0 +1,50 @@
+"""Row format shared by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ExperimentRow:
+    """One claim-vs-measured line of an experiment table.
+
+    Attributes
+    ----------
+    experiment:
+        Experiment id ("E2", ...).
+    setting:
+        Human-readable parameter description ("O(2,1), N=6, exhaustive").
+    claimed:
+        What the theory says must happen.
+    measured:
+        What the run produced.
+    ok:
+        Whether measured satisfies claimed.
+    detail:
+        Extra numbers (executions checked, steps, durations...).
+    """
+
+    experiment: str
+    setting: str
+    claimed: str
+    measured: str
+    ok: bool
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def markdown(self) -> str:
+        status = "✓" if self.ok else "✗"
+        return (
+            f"| {self.experiment} | {self.setting} | {self.claimed} "
+            f"| {self.measured} | {status} |"
+        )
+
+
+def render_table(rows: List[ExperimentRow]) -> str:
+    """GitHub-flavored markdown table for a list of rows."""
+    header = (
+        "| exp | setting | claimed | measured | ok |\n"
+        "|---|---|---|---|---|"
+    )
+    return "\n".join([header] + [row.markdown() for row in rows])

@@ -1,0 +1,60 @@
+"""Shared base objects: the memory the paper's world is built from.
+
+Every object is a pure state machine (:class:`~repro.objects.base.ObjectSpec`)
+usable both by the live runtime and by the exhaustive explorer.  The package
+covers the classical menagerie referenced throughout the
+consensus-hierarchy literature:
+
+* consensus number 1 — read/write registers, counters, snapshots;
+* consensus number 2 — test-and-set, swap, fetch-and-add, FIFO queue, stack
+  (the Common2 cast);
+* consensus number n — the deterministic n-bounded consensus object;
+* consensus number infinity — compare-and-swap, sticky bits;
+* nondeterministic (m, j)-set-consensus objects (the classical task-derived
+  objects the paper's deterministic family is measured against).
+"""
+
+from repro.objects.base import DeterministicObjectSpec, ObjectSpec
+from repro.objects.register import ArraySpec, RegisterSpec
+from repro.objects.counter import CounterSpec, DoorwaySpec
+from repro.objects.snapshot import AtomicSnapshotSpec
+from repro.objects.rmw import (
+    CompareAndSwapSpec,
+    FetchAndAddSpec,
+    SwapSpec,
+    TestAndSetSpec,
+)
+from repro.objects.queue_stack import QueueSpec, StackSpec
+from repro.objects.generic_rmw import (
+    GenericRMWSpec,
+    commuting_family,
+    mixed_family,
+    overwriting_family,
+)
+from repro.objects.sticky import StickyBitSpec, StickyRegisterSpec
+from repro.objects.consensus_object import NConsensusSpec
+from repro.objects.set_consensus import SetConsensusSpec
+
+__all__ = [
+    "ObjectSpec",
+    "DeterministicObjectSpec",
+    "RegisterSpec",
+    "ArraySpec",
+    "CounterSpec",
+    "DoorwaySpec",
+    "AtomicSnapshotSpec",
+    "TestAndSetSpec",
+    "SwapSpec",
+    "FetchAndAddSpec",
+    "CompareAndSwapSpec",
+    "QueueSpec",
+    "StackSpec",
+    "GenericRMWSpec",
+    "commuting_family",
+    "overwriting_family",
+    "mixed_family",
+    "StickyBitSpec",
+    "StickyRegisterSpec",
+    "NConsensusSpec",
+    "SetConsensusSpec",
+]

@@ -1,0 +1,110 @@
+"""Object model: shared objects as pure state machines.
+
+An :class:`ObjectSpec` describes an object *type*: its initial state and,
+for every state and operation, the set of possible ``(response, new_state)``
+outcomes.  The spec itself is immutable and stateless; the runtime keeps one
+*state value* per object instance.  This single representation serves three
+masters:
+
+* the live runtime commits one outcome per step;
+* the exhaustive explorer branches over all outcomes;
+* sequential-specification checks (linearizability) replay candidate
+  orders through ``apply`` directly.
+
+An object is **deterministic** exactly when ``apply`` always returns a
+single outcome — the property at the heart of the paper.  States must be
+treated as immutable values: ``apply`` returns fresh states and never
+mutates its argument (tuples and frozen dataclasses are the norm).
+
+Misuse (illegal arguments, one-shot port reuse, exceeding an invocation
+budget) raises :class:`~repro.errors.IllegalOperationError`.  With
+``hang_on_misuse=True`` the runtime converts the error into the papers'
+literal semantics: the offending process blocks forever, undetectably.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import IllegalOperationError
+
+Outcome = Tuple[Any, Any]  # (response, new_state)
+
+
+class ObjectSpec:
+    """Base class for shared-object types.
+
+    Subclasses implement ``op_<method>(state, *args)`` for each supported
+    operation, returning a list of ``(response, new_state)`` outcomes.
+    :meth:`apply` dispatches on the method name.
+
+    Attributes
+    ----------
+    deterministic:
+        Declared determinism; verified opportunistically (a deterministic
+        spec returning several outcomes is a bug and raises).
+    hang_on_misuse:
+        If True, the runtime parks misusing processes instead of raising.
+    """
+
+    deterministic: bool = False
+    hang_on_misuse: bool = False
+
+    def initial_state(self) -> Any:
+        raise NotImplementedError
+
+    def methods(self) -> List[str]:
+        """Names of the operations this object supports."""
+        return sorted(
+            name[len("op_"):] for name in dir(self) if name.startswith("op_")
+        )
+
+    def apply(self, state: Any, method: str, args: Sequence[Any]) -> List[Outcome]:
+        """All possible outcomes of ``method(*args)`` in ``state``."""
+        handler = getattr(self, f"op_{method}", None)
+        if handler is None:
+            raise IllegalOperationError(
+                f"{type(self).__name__} has no operation {method!r} "
+                f"(supported: {self.methods()})"
+            )
+        outcomes = handler(state, *args)
+        if self.deterministic and len(outcomes) != 1:
+            raise AssertionError(
+                f"{type(self).__name__}.{method} claims determinism but "
+                f"produced {len(outcomes)} outcomes"
+            )
+        return outcomes
+
+    def apply_one(self, state: Any, method: str, args: Sequence[Any]) -> Outcome:
+        """Apply and return the unique outcome (deterministic objects)."""
+        outcomes = self.apply(state, method, args)
+        if len(outcomes) != 1:
+            raise IllegalOperationError(
+                f"{type(self).__name__}.{method} is nondeterministic here "
+                f"({len(outcomes)} outcomes); use apply() and choose"
+            )
+        return outcomes[0]
+
+
+class DeterministicObjectSpec(ObjectSpec):
+    """Convenience base for deterministic objects.
+
+    Subclasses implement ``do_<method>(state, *args) -> (response, new_state)``
+    (a single outcome); the plural wrapping is handled here.
+    """
+
+    deterministic = True
+
+    def methods(self) -> List[str]:
+        return sorted(
+            name[len("do_"):] for name in dir(self) if name.startswith("do_")
+        )
+
+    def apply(self, state: Any, method: str, args: Sequence[Any]) -> List[Outcome]:
+        handler = getattr(self, f"do_{method}", None)
+        if handler is None:
+            raise IllegalOperationError(
+                f"{type(self).__name__} has no operation {method!r} "
+                f"(supported: {self.methods()})"
+            )
+        return [handler(state, *args)]

@@ -1,0 +1,63 @@
+"""Deterministic n-bounded consensus objects.
+
+``propose(v)`` returns the first value ever proposed; only the first ``n``
+proposals are answered, and any later proposal is misuse (the papers'
+"hangs the system undetectably").  The budget is what pins the consensus
+number at exactly ``n``:
+
+* n processes solve consensus with one object (everyone proposes, everyone
+  gets the first value);
+* n+1 processes cannot: some process must be the (n+1)-st on every object
+  it touches in an adversarial schedule, and registers cannot rescue it.
+
+This is the standard "n-consensus object" the hierarchy is phrased in
+("objects that can be used to solve consensus among at most n processes"),
+in a deterministic, oblivious packaging.  The unbounded version is
+:class:`repro.objects.sticky.StickyRegisterSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import IllegalOperationError
+from repro.objects.base import DeterministicObjectSpec
+
+#: First-slot marker for "no value proposed yet".
+UNSET = "unset"
+
+
+class NConsensusSpec(DeterministicObjectSpec):
+    """Deterministic consensus object answering at most ``n`` proposals.
+
+    State: ``(first_value, proposals_so_far)``.
+
+    Parameters
+    ----------
+    n:
+        Proposal budget (the object's consensus number).
+    hang_on_misuse:
+        If True, over-budget proposals block the caller forever instead of
+        raising; see :class:`~repro.errors.IllegalOperationError`.
+    """
+
+    def __init__(self, n: int, hang_on_misuse: bool = False):
+        if n < 1:
+            raise ValueError("n-consensus needs n >= 1")
+        self.n = n
+        self.hang_on_misuse = hang_on_misuse
+
+    def initial_state(self) -> Tuple[Any, int]:
+        return (UNSET, 0)
+
+    def do_propose(self, state: Tuple[Any, int], value: Any) -> Tuple[Any, Any]:
+        first, count = state
+        if value is None:
+            raise IllegalOperationError("cannot propose None (reserved as ⊥)")
+        if count >= self.n:
+            raise IllegalOperationError(
+                f"{self.n}-consensus object exhausted: proposal #{count + 1}"
+            )
+        if first == UNSET:
+            first = value
+        return first, (first, count + 1)

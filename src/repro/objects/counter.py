@@ -1,0 +1,69 @@
+"""Counters and doorways.
+
+* :class:`CounterSpec` — an increment/read counter.  Increment-and-read are
+  *separate* atomic steps (a fetch-and-add would have consensus number 2;
+  the split counter is implementable from registers for bounded use).  The
+  split is exactly what the "flag principle" constructions in this line of
+  work rely on: a process increments, then reads, and only proceeds when it
+  read 1 — at most one process can ever observe 1.
+* :class:`DoorwaySpec` — a closable gate: ``enter`` reads whether the door
+  was open and every entry attempt closes it behind itself; only processes
+  that saw it open "pass through".  Register-implementable (it is a read
+  followed by a write of a constant; we expose the read-then-close pair as
+  the two separate atomic steps ``read`` and ``close`` plus the convenience
+  combined step used when atomicity is irrelevant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import IllegalOperationError
+from repro.objects.base import DeterministicObjectSpec
+
+
+class CounterSpec(DeterministicObjectSpec):
+    """Shared counter with separate ``inc()`` and ``read()`` steps.
+
+    State: the integer count.
+    """
+
+    def __init__(self, initial: int = 0):
+        self.initial = initial
+
+    def initial_state(self) -> int:
+        return self.initial
+
+    def do_inc(self, state: int) -> Tuple[Any, int]:
+        return None, state + 1
+
+    def do_read(self, state: int) -> Tuple[int, int]:
+        return state, state
+
+
+class DoorwaySpec(DeterministicObjectSpec):
+    """A one-way gate, initially open.
+
+    Operations
+    ----------
+    ``read()`` -> ``"open"`` or ``"closed"`` (one atomic register read)
+    ``close()`` -> ``None`` (one atomic register write)
+
+    The canonical usage is the two-step sequence ``status = read(); close()``:
+    processes that read ``"open"`` are said to have *entered the doorway*.
+    Several processes may enter concurrently — the point of a doorway is
+    only that anyone arriving after some entrant *finished closing* cannot
+    enter.
+    """
+
+    OPEN = "open"
+    CLOSED = "closed"
+
+    def initial_state(self) -> str:
+        return self.OPEN
+
+    def do_read(self, state: str) -> Tuple[str, str]:
+        return state, state
+
+    def do_close(self, state: str) -> Tuple[Any, str]:
+        return None, self.CLOSED

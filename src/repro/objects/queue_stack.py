@@ -1,0 +1,56 @@
+"""FIFO queue and stack — the canonical Common2 members.
+
+Herlihy showed both have consensus number exactly 2.  The Common2
+conjecture held that *every* consensus-number-2 object is wait-free
+implementable from 2-consensus objects and registers; the paper reproduced
+here refuted it with its O(2, k) family (see :mod:`repro.core.common2`).
+Queue and stack sit in these experiments as the "well-behaved" side of
+consensus number 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.objects.base import DeterministicObjectSpec
+
+#: Response when removing from an empty container (the papers' ⊥).
+EMPTY = "empty"
+
+
+class QueueSpec(DeterministicObjectSpec):
+    """FIFO queue: ``enqueue(v)``, ``dequeue()`` (``EMPTY`` when empty),
+    ``peek()``.  State: tuple, front at index 0."""
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return ()
+
+    def do_enqueue(self, state: Tuple[Any, ...], value: Any) -> Tuple[Any, Any]:
+        return None, state + (value,)
+
+    def do_dequeue(self, state: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if not state:
+            return EMPTY, state
+        return state[0], state[1:]
+
+    def do_peek(self, state: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        return (state[0] if state else EMPTY), state
+
+
+class StackSpec(DeterministicObjectSpec):
+    """LIFO stack: ``push(v)``, ``pop()`` (``EMPTY`` when empty), ``top()``.
+    State: tuple, top at the end."""
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return ()
+
+    def do_push(self, state: Tuple[Any, ...], value: Any) -> Tuple[Any, Any]:
+        return None, state + (value,)
+
+    def do_pop(self, state: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if not state:
+            return EMPTY, state
+        return state[-1], state[:-1]
+
+    def do_top(self, state: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        return (state[-1] if state else EMPTY), state

@@ -1,0 +1,110 @@
+"""Atomic read/write registers and register arrays.
+
+Registers are the consensus-number-1 baseline of the hierarchy: the paper's
+headline family is "stronger than registers yet no stronger than n-consensus
+in consensus number".  Both single registers and fixed-size arrays (a single
+object exposing indexed cells, convenient for announce arrays) are provided.
+
+A register may optionally be declared single-writer (SWMR) — writes by any
+other process raise, which catches protocol bugs in constructions whose
+correctness depends on the SWMR discipline (e.g. the snapshot
+implementation).  Enforcement uses the writer id passed explicitly by the
+program, keeping object specs independent of runtime internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.errors import IllegalOperationError
+from repro.objects.base import DeterministicObjectSpec
+
+
+class RegisterSpec(DeterministicObjectSpec):
+    """Multi-writer multi-reader atomic register.
+
+    Operations
+    ----------
+    ``read()`` -> current value
+    ``write(value)`` -> ``None``
+    ``write_by(writer, value)`` -> ``None`` (enforces SWMR if configured)
+
+    Parameters
+    ----------
+    initial:
+        Initial value (default ``None``, playing the role of the papers' ⊥).
+    single_writer:
+        If set to a pid, only ``write_by`` calls with that pid may write.
+    """
+
+    def __init__(self, initial: Any = None, single_writer: Optional[int] = None):
+        self.initial = initial
+        self.single_writer = single_writer
+
+    def initial_state(self) -> Any:
+        return self.initial
+
+    def do_read(self, state: Any) -> Tuple[Any, Any]:
+        return state, state
+
+    def do_write(self, state: Any, value: Any) -> Tuple[Any, Any]:
+        if self.single_writer is not None:
+            raise IllegalOperationError(
+                "SWMR register requires write_by(writer, value)"
+            )
+        return None, value
+
+    def do_write_by(self, state: Any, writer: int, value: Any) -> Tuple[Any, Any]:
+        if self.single_writer is not None and writer != self.single_writer:
+            raise IllegalOperationError(
+                f"SWMR register owned by p{self.single_writer}; "
+                f"p{writer} attempted to write"
+            )
+        return None, value
+
+
+class ArraySpec(DeterministicObjectSpec):
+    """Fixed-size array of atomic registers, addressed by index.
+
+    A single shared object exposing ``read(i)``, ``write(i, v)`` and
+    ``read_all()``.  Note ``read_all`` is a *non-atomic convenience only for
+    sequential post-processing*; concurrent algorithms that need an atomic
+    view must use :class:`~repro.objects.snapshot.AtomicSnapshotSpec` or the
+    register-based snapshot implementation.  To keep simulated algorithms
+    honest, ``read_all`` can be disabled (the default for algorithm work).
+
+    State: a tuple of length ``size``.
+    """
+
+    def __init__(self, size: int, initial: Any = None, allow_read_all: bool = False):
+        if size <= 0:
+            raise ValueError("array size must be positive")
+        self.size = size
+        self.initial = initial
+        self.allow_read_all = allow_read_all
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return (self.initial,) * self.size
+
+    def _check_index(self, index: int) -> None:
+        if not isinstance(index, int) or not 0 <= index < self.size:
+            raise IllegalOperationError(
+                f"array index {index!r} out of range [0, {self.size})"
+            )
+
+    def do_read(self, state: Tuple[Any, ...], index: int) -> Tuple[Any, Any]:
+        self._check_index(index)
+        return state[index], state
+
+    def do_write(self, state: Tuple[Any, ...], index: int, value: Any) -> Tuple[Any, Any]:
+        self._check_index(index)
+        new_state = state[:index] + (value,) + state[index + 1:]
+        return None, new_state
+
+    def do_read_all(self, state: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if not self.allow_read_all:
+            raise IllegalOperationError(
+                "read_all is disabled on this array; atomic multi-cell reads "
+                "require a snapshot object"
+            )
+        return state, state

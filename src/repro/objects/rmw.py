@@ -1,0 +1,91 @@
+"""Classical read-modify-write primitives.
+
+These populate the hierarchy levels the paper's family is compared against:
+
+* test-and-set, swap, fetch-and-add — consensus number 2 (Herlihy 1991).
+  Swap is also the degenerate k = 2 member of ring-style families: a ring
+  of two cells where each write returns the other cell's previous content
+  collapses to a swap-like exchange.
+* compare-and-swap — consensus number infinity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.objects.base import DeterministicObjectSpec
+
+
+class TestAndSetSpec(DeterministicObjectSpec):
+    """One-bit test-and-set; ``test_and_set()`` returns the *old* bit.
+
+    The first caller gets 0 (it "wins"); everyone after gets 1.
+    ``reset()`` restores 0.  State: 0 or 1.
+    """
+
+    def initial_state(self) -> int:
+        return 0
+
+    def do_test_and_set(self, state: int) -> Tuple[int, int]:
+        return state, 1
+
+    def do_read(self, state: int) -> Tuple[int, int]:
+        return state, state
+
+    def do_reset(self, state: int) -> Tuple[Any, int]:
+        return None, 0
+
+
+class SwapSpec(DeterministicObjectSpec):
+    """Atomic exchange: ``swap(v)`` writes ``v`` and returns the old value."""
+
+    def __init__(self, initial: Any = None):
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        return self.initial
+
+    def do_swap(self, state: Any, value: Any) -> Tuple[Any, Any]:
+        return state, value
+
+    def do_read(self, state: Any) -> Tuple[Any, Any]:
+        return state, state
+
+
+class FetchAndAddSpec(DeterministicObjectSpec):
+    """Atomic counter: ``fetch_and_add(d)`` returns the old value."""
+
+    def __init__(self, initial: int = 0):
+        self.initial = initial
+
+    def initial_state(self) -> int:
+        return self.initial
+
+    def do_fetch_and_add(self, state: int, delta: int = 1) -> Tuple[int, int]:
+        return state, state + delta
+
+    def do_read(self, state: int) -> Tuple[int, int]:
+        return state, state
+
+
+class CompareAndSwapSpec(DeterministicObjectSpec):
+    """Compare-and-swap; consensus number infinity.
+
+    ``compare_and_swap(expected, new)`` installs ``new`` iff the current
+    value equals ``expected``; returns the value read (so success is
+    ``returned == expected``).
+    """
+
+    def __init__(self, initial: Any = None):
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        return self.initial
+
+    def do_compare_and_swap(self, state: Any, expected: Any, new: Any) -> Tuple[Any, Any]:
+        if state == expected:
+            return state, new
+        return state, state
+
+    def do_read(self, state: Any) -> Tuple[Any, Any]:
+        return state, state

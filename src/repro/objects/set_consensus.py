@@ -1,0 +1,94 @@
+"""Nondeterministic (m, j)-set-consensus objects.
+
+The classical task-derived object (Borowsky–Gafni): ``propose(v)`` among at
+most ``m`` proposals, with at most ``j`` distinct values ever adopted.
+Precisely, the object's value is a set of at most ``j`` values plus a count
+of proposals (to a maximum of ``m``):
+
+* the first proposal adds its input to the set;
+* any later proposal may *nondeterministically* add its input, provided the
+  set still has fewer than ``j`` elements;
+* each of the first ``m`` proposals nondeterministically returns some
+  element of the set;
+* every subsequent proposal is misuse ("hangs the system undetectably").
+
+This object is the yardstick the paper measures its deterministic family
+against: the target paper (with Chaudhuri–Reiners) characterizes exactly
+when (n, k)-set consensus is implementable from (m, j)-set-consensus
+objects — see :mod:`repro.core.theorem`.  The whole point of the paper's
+contribution is that equal power is achievable *deterministically*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, List, Tuple
+
+from repro.errors import IllegalOperationError
+from repro.objects.base import ObjectSpec, Outcome
+
+State = Tuple[FrozenSet[Any], int]  # (adopted set, proposal count)
+
+
+def _canonical(values) -> List[Any]:
+    """Stable ordering of heterogeneous response values, so outcome lists
+    (and hence explorer branch numbering) are deterministic."""
+    return sorted(values, key=lambda v: (type(v).__name__, repr(v)))
+
+
+class SetConsensusSpec(ObjectSpec):
+    """The (m, j)-set-consensus object, nondeterministic.
+
+    Parameters
+    ----------
+    m:
+        Maximum number of answered proposals.
+    j:
+        Maximum cardinality of the adopted set (``1 <= j < m``; ``j = 1``
+        gives the m-bounded consensus object, deterministically packaged in
+        :class:`~repro.objects.consensus_object.NConsensusSpec`).
+    hang_on_misuse:
+        Over-budget proposals block instead of raising.
+    """
+
+    deterministic = False
+
+    def __init__(self, m: int, j: int, hang_on_misuse: bool = False):
+        if not 1 <= j <= m:
+            raise ValueError(f"need 1 <= j <= m, got (m={m}, j={j})")
+        self.m = m
+        self.j = j
+        self.hang_on_misuse = hang_on_misuse
+
+    def initial_state(self) -> State:
+        return (frozenset(), 0)
+
+    def op_propose(self, state: State, value: Any) -> List[Outcome]:
+        adopted, count = state
+        if value is None:
+            raise IllegalOperationError("cannot propose None (reserved as ⊥)")
+        if count >= self.m:
+            raise IllegalOperationError(
+                f"({self.m}, {self.j})-set-consensus object exhausted: "
+                f"proposal #{count + 1}"
+            )
+        candidate_sets = []
+        if not adopted:
+            candidate_sets.append(frozenset([value]))
+        else:
+            if len(adopted) < self.j and value not in adopted:
+                candidate_sets.append(adopted | {value})
+            candidate_sets.append(adopted)
+        outcomes: List[Outcome] = []
+        seen = set()
+        for new_set in candidate_sets:
+            for response in _canonical(new_set):
+                key = (response, new_set)
+                if key not in seen:
+                    seen.add(key)
+                    outcomes.append((response, (new_set, count + 1)))
+        return outcomes
+
+    def op_read_count(self, state: State) -> List[Outcome]:
+        """Debug/inspection helper (not part of the classical interface)."""
+        adopted, count = state
+        return [(count, state)]

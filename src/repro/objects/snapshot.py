@@ -1,0 +1,52 @@
+"""Atomic snapshot object.
+
+A single-writer atomic snapshot has one segment per process; ``update(i, v)``
+writes process i's segment and ``scan()`` returns an instantaneous view of
+all segments.  As an *atomic* object it is trivially specified here; the
+celebrated result (Afek, Attiya, Dolev, Gafni, Merritt, Shavit 1993) is that
+it is wait-free implementable from registers — that implementation lives in
+:mod:`repro.algorithms.snapshot_impl` and is checked linearizable against
+this spec.
+
+Snapshots have consensus number 1: they add convenience, not
+synchronization power, which is why the paper's sub-consensus world can use
+them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import IllegalOperationError
+from repro.objects.base import DeterministicObjectSpec
+
+
+class AtomicSnapshotSpec(DeterministicObjectSpec):
+    """Single-writer atomic snapshot with ``size`` segments.
+
+    Operations
+    ----------
+    ``update(i, v)`` -> ``None`` — write segment ``i``.
+    ``scan()`` -> tuple of all segments, atomically.
+
+    State: a tuple of length ``size`` (``None`` plays ⊥).
+    """
+
+    def __init__(self, size: int, initial: Any = None):
+        if size <= 0:
+            raise ValueError("snapshot size must be positive")
+        self.size = size
+        self.initial = initial
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return (self.initial,) * self.size
+
+    def do_update(self, state: Tuple[Any, ...], index: int, value: Any) -> Tuple[Any, Any]:
+        if not isinstance(index, int) or not 0 <= index < self.size:
+            raise IllegalOperationError(
+                f"snapshot segment {index!r} out of range [0, {self.size})"
+            )
+        return None, state[:index] + (value,) + state[index + 1:]
+
+    def do_scan(self, state: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        return state, state

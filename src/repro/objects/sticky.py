@@ -1,0 +1,59 @@
+"""Sticky bits and sticky registers — consensus number infinity.
+
+A sticky register keeps the first value ever written and returns it to every
+subsequent operation; it solves consensus for any number of processes and
+anchors the top of the hierarchy in tests and hierarchy plots.  The
+n-*bounded* variant (which stops answering coherently after n accesses and
+therefore has consensus number exactly n) lives in
+:mod:`repro.objects.consensus_object`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import IllegalOperationError
+from repro.objects.base import DeterministicObjectSpec
+
+#: State/response marker for "never written".
+UNSET = "unset"
+
+
+class StickyBitSpec(DeterministicObjectSpec):
+    """A sticky bit: first ``set(b)`` (b in {0, 1}) wins; ``read`` returns
+    the stuck value or ``UNSET``.  ``set`` returns the stuck value, so a
+    caller learns whether it won."""
+
+    def initial_state(self) -> Any:
+        return UNSET
+
+    def do_set(self, state: Any, bit: int) -> Tuple[Any, Any]:
+        if bit not in (0, 1):
+            raise IllegalOperationError(f"sticky bit accepts 0 or 1, got {bit!r}")
+        if state == UNSET:
+            return bit, bit
+        return state, state
+
+    def do_read(self, state: Any) -> Tuple[Any, Any]:
+        return state, state
+
+
+class StickyRegisterSpec(DeterministicObjectSpec):
+    """A sticky register over arbitrary values: ``propose(v)`` returns the
+    first value ever proposed (installing ``v`` if it is first).
+
+    This *is* a consensus object for arbitrarily many processes —
+    consensus number infinity."""
+
+    def initial_state(self) -> Any:
+        return UNSET
+
+    def do_propose(self, state: Any, value: Any) -> Tuple[Any, Any]:
+        if value is None:
+            raise IllegalOperationError("cannot propose None (reserved as ⊥)")
+        if state == UNSET:
+            return value, value
+        return state, state
+
+    def do_read(self, state: Any) -> Tuple[Any, Any]:
+        return state, state

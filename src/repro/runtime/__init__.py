@@ -1,0 +1,78 @@
+"""Deterministic simulator for asynchronous shared-memory computation.
+
+This package is the substrate everything else in :mod:`repro` runs on.  It
+models the standard asynchronous shared-memory model: a set of sequential
+*processes* communicate only by applying atomic operations (*steps*) to
+shared objects.  An *execution* is an alternating sequence of configurations
+and steps chosen by a *scheduler* (the adversary).
+
+Design notes
+------------
+* Processes are Python generators; a ``yield`` of an :class:`Operation` is a
+  shared-memory step, and everything between yields is local computation.
+  No OS threads are used anywhere, so every interleaving is reproducible and
+  exhaustively explorable (see :mod:`repro.runtime.explorer`).
+* Shared objects are pure state machines (:class:`repro.objects.base.ObjectSpec`),
+  so the runtime can enumerate the outcomes of a nondeterministic operation
+  before committing to one — exactly what model checking and valency
+  arguments need.
+"""
+
+from repro.runtime.ops import Annotation, Operation, invoke
+from repro.runtime.process import Process, ProcessStatus
+from repro.runtime.execution import Execution, StepRecord
+from repro.runtime.system import System, SystemSpec
+from repro.runtime.scheduler import (
+    CrashingScheduler,
+    PriorityScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ScriptedScheduler,
+    SoloScheduler,
+)
+from repro.runtime.explorer import (
+    ExplorationStatistics,
+    Explorer,
+    check_all_executions,
+    explore_executions,
+    find_execution,
+)
+from repro.runtime.history import History, HistoryEvent, history_from_execution
+from repro.runtime.trace_io import (
+    load_trace_json,
+    replay_trace,
+    trace_to_dict,
+    trace_to_json,
+)
+
+__all__ = [
+    "Annotation",
+    "Operation",
+    "invoke",
+    "Process",
+    "ProcessStatus",
+    "Execution",
+    "StepRecord",
+    "System",
+    "SystemSpec",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "ScriptedScheduler",
+    "PriorityScheduler",
+    "SoloScheduler",
+    "CrashingScheduler",
+    "Explorer",
+    "ExplorationStatistics",
+    "explore_executions",
+    "check_all_executions",
+    "find_execution",
+    "History",
+    "HistoryEvent",
+    "history_from_execution",
+    "trace_to_dict",
+    "trace_to_json",
+    "replay_trace",
+    "load_trace_json",
+]

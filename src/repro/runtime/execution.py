@@ -1,0 +1,130 @@
+"""Execution traces: the record of one run of a system.
+
+An execution is an alternating sequence of configurations and steps.  We do
+not store whole configurations (they are reproducible by replay); we store
+the sequence of :class:`StepRecord` decisions plus everything downstream
+consumers need: per-process outputs and statuses, annotations, and step
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.ops import Annotation, Operation
+from repro.runtime.process import ProcessStatus
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One atomic step of an execution.
+
+    Attributes
+    ----------
+    index:
+        Position of the step in the execution (0-based).
+    pid:
+        The process that took the step.
+    operation:
+        The shared-memory operation performed.
+    response:
+        The value returned by the object.
+    choice:
+        Which outcome the adversary selected, for nondeterministic objects
+        (0 for deterministic ones).
+    n_outcomes:
+        How many outcomes were available (1 for deterministic objects).
+    """
+
+    index: int
+    pid: int
+    operation: Operation
+    response: Any
+    choice: int = 0
+    n_outcomes: int = 1
+
+    def __str__(self) -> str:
+        nd = f" [choice {self.choice}/{self.n_outcomes}]" if self.n_outcomes > 1 else ""
+        return f"#{self.index} p{self.pid}: {self.operation} -> {self.response!r}{nd}"
+
+
+@dataclass
+class Execution:
+    """The full record of one run.
+
+    Attributes
+    ----------
+    steps:
+        The step records in order.
+    outputs:
+        ``pid -> returned value`` for every process that finished.
+    statuses:
+        Final :class:`~repro.runtime.process.ProcessStatus` per pid.
+    annotations:
+        ``(step_index, pid, annotation)`` triples.  ``step_index`` is the
+        number of steps that had completed when the annotation was emitted,
+        so annotation order interleaves correctly with steps.
+    """
+
+    steps: List[StepRecord] = field(default_factory=list)
+    outputs: Dict[int, Any] = field(default_factory=dict)
+    statuses: Dict[int, ProcessStatus] = field(default_factory=dict)
+    annotations: List[Tuple[int, int, Annotation]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def schedule(self) -> List[int]:
+        """The pid sequence of the execution (the adversary's choices)."""
+        return [s.pid for s in self.steps]
+
+    @property
+    def decisions(self) -> List[Tuple[int, int]]:
+        """The full decision sequence ``(pid, choice)`` driving the run;
+        feeding it to a :class:`~repro.runtime.scheduler.ScriptedScheduler`
+        replays the execution exactly."""
+        return [(s.pid, s.choice) for s in self.steps]
+
+    def steps_by(self, pid: int) -> List[StepRecord]:
+        """All steps taken by one process."""
+        return [s for s in self.steps if s.pid == pid]
+
+    def operations_on(self, target: str) -> List[StepRecord]:
+        """All steps applied to the named shared object."""
+        return [s for s in self.steps if s.operation.target == target]
+
+    def distinct_outputs(self) -> set:
+        """Set of distinct values returned by finished processes."""
+        return set(self.outputs.values())
+
+    def finished_pids(self) -> List[int]:
+        """Pids that completed their program."""
+        return sorted(self.outputs)
+
+    def all_done(self) -> bool:
+        """True if every process ran to completion."""
+        return all(s is ProcessStatus.DONE for s in self.statuses.values())
+
+    def max_steps_per_process(self) -> int:
+        """Worst-case step count over processes (wait-freedom metric)."""
+        counts: Dict[int, int] = {}
+        for step in self.steps:
+            counts[step.pid] = counts.get(step.pid, 0) + 1
+        return max(counts.values(), default=0)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable multi-line trace, truncated to ``limit`` steps."""
+        shown = self.steps if limit is None else self.steps[:limit]
+        lines = [str(s) for s in shown]
+        if limit is not None and len(self.steps) > limit:
+            lines.append(f"... ({len(self.steps) - limit} more steps)")
+        for pid in sorted(self.statuses):
+            status = self.statuses[pid].value
+            out = f" -> {self.outputs[pid]!r}" if pid in self.outputs else ""
+            lines.append(f"p{pid}: {status}{out}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.steps)

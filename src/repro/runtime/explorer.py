@@ -1,0 +1,173 @@
+"""Exhaustive schedule exploration — bounded model checking.
+
+The wait-free model quantifies over every adversary.  For small systems we
+can *enumerate* that quantifier: the explorer walks the tree of all
+scheduling decisions (and all nondeterministic-object outcomes), yielding
+every maximal execution.  Theorem-level claims ("every execution decides at
+most k values", "this implementation is linearizable in every execution")
+become terminating checks.
+
+Because Python generators cannot be forked, branches are replayed from the
+initial configuration rather than deep-copied.  The cost is
+O(nodes x depth); with the depths used by the experiments (tens of steps)
+this is the pragmatic trade-off — see DESIGN.md, "Key design decisions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import ExplorationLimitError
+from repro.runtime.execution import Execution
+from repro.runtime.system import System, SystemSpec
+
+Decision = Tuple[int, int]  # (pid, outcome choice)
+
+
+@dataclass
+class ExplorationStatistics:
+    """Counters reported by an exploration pass."""
+
+    executions: int = 0
+    steps_replayed: int = 0
+    max_depth_seen: int = 0
+    truncated: int = 0  # executions cut off by the depth bound
+
+    def merge(self, other: "ExplorationStatistics") -> None:
+        self.executions += other.executions
+        self.steps_replayed += other.steps_replayed
+        self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
+        self.truncated += other.truncated
+
+
+class Explorer:
+    """Depth-first enumeration of all executions of a system spec.
+
+    Parameters
+    ----------
+    spec:
+        The system to explore.
+    max_depth:
+        Hard bound on execution length.  Wait-free protocols terminate well
+        below any reasonable bound; hitting the bound is recorded in
+        :attr:`stats.truncated` and, with ``strict=True``, raises
+        :class:`~repro.errors.ExplorationLimitError` (a truncated branch
+        means the claim "in all executions" was not fully checked).
+    strict:
+        Whether hitting ``max_depth`` is an error (default) or merely
+        counted.
+    pid_filter:
+        Optional callable ``(system, enabled_pids) -> pids`` restricting
+        which branches are taken — the hook used for partial-order or
+        symmetry reduction by callers that know their protocol's structure.
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        max_depth: int = 200,
+        strict: bool = True,
+        pid_filter: Optional[Callable[[System, List[int]], List[int]]] = None,
+    ):
+        self.spec = spec
+        self.max_depth = max_depth
+        self.strict = strict
+        self.pid_filter = pid_filter
+        self.stats = ExplorationStatistics()
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def executions(self) -> Iterator[Execution]:
+        """Yield every maximal execution (all processes quiescent)."""
+        yield from self._walk([])
+
+    def check(self, predicate: Callable[[Execution], bool]) -> Optional[Execution]:
+        """Verify ``predicate`` on every maximal execution.
+
+        Returns ``None`` if the predicate held everywhere, otherwise the
+        first counterexample execution (a replayable witness).
+        """
+        for execution in self.executions():
+            if not predicate(execution):
+                return execution
+        return None
+
+    def find(self, predicate: Callable[[Execution], bool]) -> Optional[Execution]:
+        """Return the first maximal execution satisfying ``predicate``
+        (an existence witness), or ``None``."""
+        for execution in self.executions():
+            if predicate(execution):
+                return execution
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _replay(self, decisions: List[Decision]) -> System:
+        system = self.spec.build()
+        for pid, choice in decisions:
+            system.step(pid, choice)
+        self.stats.steps_replayed += len(decisions)
+        return system
+
+    def _branches(self, system: System) -> List[Decision]:
+        enabled = system.enabled_pids()
+        if self.pid_filter is not None:
+            enabled = self.pid_filter(system, enabled)
+        branches: List[Decision] = []
+        for pid in enabled:
+            n = len(system.outcomes_for(pid))
+            if n == 0:  # misuse-hang: a single blocking branch
+                branches.append((pid, 0))
+            else:
+                branches.extend((pid, c) for c in range(n))
+        return branches
+
+    def _walk(self, prefix: List[Decision]) -> Iterator[Execution]:
+        system = self._replay(prefix)
+        self.stats.max_depth_seen = max(self.stats.max_depth_seen, len(prefix))
+        branches = self._branches(system)
+        if not branches:
+            self.stats.executions += 1
+            yield system.finalize()
+            return
+        if len(prefix) >= self.max_depth:
+            self.stats.truncated += 1
+            if self.strict:
+                raise ExplorationLimitError(
+                    f"execution exceeded max_depth={self.max_depth}; "
+                    "raise the bound or check for non-termination"
+                )
+            self.stats.executions += 1
+            yield system.finalize()
+            return
+        for decision in branches:
+            yield from self._walk(prefix + [decision])
+
+
+def explore_executions(
+    spec: SystemSpec, max_depth: int = 200, strict: bool = True
+) -> Iterator[Execution]:
+    """Convenience wrapper: iterate all maximal executions of ``spec``."""
+    yield from Explorer(spec, max_depth=max_depth, strict=strict).executions()
+
+
+def check_all_executions(
+    spec: SystemSpec,
+    predicate: Callable[[Execution], bool],
+    max_depth: int = 200,
+) -> Optional[Execution]:
+    """Check ``predicate`` over all executions; ``None`` means it held
+    everywhere, otherwise the first counterexample is returned."""
+    return Explorer(spec, max_depth=max_depth).check(predicate)
+
+
+def find_execution(
+    spec: SystemSpec,
+    predicate: Callable[[Execution], bool],
+    max_depth: int = 200,
+) -> Optional[Execution]:
+    """Find a witness execution satisfying ``predicate``, or ``None``."""
+    return Explorer(spec, max_depth=max_depth).find(predicate)

@@ -1,0 +1,147 @@
+"""Operation histories for linearizability analysis.
+
+A *history* is the sequence of invocation/response events of the **logical**
+operations of an implemented object (as opposed to the atomic base-object
+steps the simulator executes natively).  Implementations mark these
+boundaries with ``call`` / ``return`` annotations
+(:func:`repro.runtime.ops.call_marker` / :func:`repro.runtime.ops.return_marker`);
+:func:`history_from_execution` assembles them into :class:`History` objects
+consumed by the Wing–Gong checker in :mod:`repro.analysis.linearizability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.runtime.execution import Execution
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One completed (or pending) logical operation.
+
+    ``invoked_at`` / ``responded_at`` are logical times: the number of
+    atomic steps that had completed when the boundary annotation was
+    emitted.  An operation ``a`` *precedes* ``b`` (happens-before in the
+    real-time order) iff ``a.responded_at <= b.invoked_at``.
+
+    ``responded_at is None`` marks a pending operation (its process crashed
+    or was still running when the trace ended).
+    """
+
+    pid: int
+    obj: str
+    method: str
+    args: Tuple[Any, ...]
+    response: Any
+    invoked_at: int
+    responded_at: Optional[int]
+
+    @property
+    def is_pending(self) -> bool:
+        return self.responded_at is None
+
+    def precedes(self, other: "HistoryEvent") -> bool:
+        """Real-time order: self completed before other was invoked."""
+        return self.responded_at is not None and self.responded_at <= other.invoked_at
+
+    def __str__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        resp = "?" if self.is_pending else repr(self.response)
+        return (
+            f"p{self.pid} {self.obj}.{self.method}({args}) -> {resp} "
+            f"[{self.invoked_at}, {self.responded_at}]"
+        )
+
+
+class History:
+    """A collection of logical operations with their real-time order."""
+
+    def __init__(self, events: List[HistoryEvent]):
+        self.events = list(events)
+
+    @property
+    def complete(self) -> List[HistoryEvent]:
+        """Operations that received a response."""
+        return [e for e in self.events if not e.is_pending]
+
+    @property
+    def pending(self) -> List[HistoryEvent]:
+        """Operations still in flight at the end of the trace."""
+        return [e for e in self.events if e.is_pending]
+
+    def for_object(self, obj: str) -> "History":
+        """Sub-history restricted to one implemented object."""
+        return History([e for e in self.events if e.obj == obj])
+
+    def objects(self) -> List[str]:
+        return sorted({e.obj for e in self.events})
+
+    def is_sequential(self) -> bool:
+        """True if no two operations overlap in real time."""
+        done = sorted(self.complete, key=lambda e: e.invoked_at)
+        for first, second in zip(done, done[1:]):
+            if not first.precedes(second):
+                return False
+        return not self.pending
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def render(self) -> str:
+        return "\n".join(str(e) for e in sorted(self.events, key=lambda e: e.invoked_at))
+
+
+def history_from_execution(execution: Execution) -> History:
+    """Assemble the logical-operation history from a trace's annotations.
+
+    Each process must alternate ``call`` and ``return`` annotations; a final
+    unmatched ``call`` becomes a pending operation.  Annotations of other
+    kinds are ignored.
+    """
+    open_calls: Dict[int, Tuple[int, Tuple[str, str, Tuple[Any, ...]]]] = {}
+    events: List[HistoryEvent] = []
+    for step_index, pid, annotation in execution.annotations:
+        if annotation.kind == "call":
+            if pid in open_calls:
+                raise ProtocolError(
+                    f"process {pid} emitted a nested 'call' annotation; "
+                    "logical operations must not overlap within one process"
+                )
+            open_calls[pid] = (step_index, annotation.payload)
+        elif annotation.kind == "return":
+            if pid not in open_calls:
+                raise ProtocolError(
+                    f"process {pid} emitted 'return' without a matching 'call'"
+                )
+            invoked_at, (obj, method, args) = open_calls.pop(pid)
+            events.append(
+                HistoryEvent(
+                    pid=pid,
+                    obj=obj,
+                    method=method,
+                    args=args,
+                    response=annotation.payload,
+                    invoked_at=invoked_at,
+                    responded_at=step_index,
+                )
+            )
+    for pid, (invoked_at, (obj, method, args)) in open_calls.items():
+        events.append(
+            HistoryEvent(
+                pid=pid,
+                obj=obj,
+                method=method,
+                args=args,
+                response=None,
+                invoked_at=invoked_at,
+                responded_at=None,
+            )
+        )
+    events.sort(key=lambda e: (e.invoked_at, e.pid))
+    return History(events)

@@ -1,0 +1,76 @@
+"""Step and annotation vocabulary yielded by process programs.
+
+A program is a generator.  It interacts with the world by yielding:
+
+* :class:`Operation` — one atomic step on a named shared object.  The
+  runtime applies the operation and sends the response back into the
+  generator.
+* :class:`Annotation` — a zero-time marker (it does **not** consume a
+  scheduling step).  Annotations are how implementations of higher-level
+  objects mark the logical invocation/response boundaries that the
+  linearizability checker consumes; they are also handy for tracing.
+
+Returning from the generator ends the process; the returned value is the
+process output (its task decision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One atomic step: apply ``method(*args)`` to the object named ``target``.
+
+    Parameters
+    ----------
+    target:
+        The name under which the object is registered in the
+        :class:`~repro.runtime.system.SystemSpec`.
+    method:
+        Operation name understood by the object's spec (e.g. ``"read"``,
+        ``"write"``, ``"propose"``, ``"invoke"``).
+    args:
+        Positional arguments, stored as a tuple so records are hashable.
+    """
+
+    target: str
+    method: str
+    args: Tuple[Any, ...] = ()
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"{self.target}.{self.method}({rendered})"
+
+
+def invoke(target: str, method: str, *args: Any) -> Operation:
+    """Convenience constructor: ``yield invoke("r", "write", 3)``."""
+    return Operation(target, method, tuple(args))
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """Zero-time event recorded in the execution trace.
+
+    Well-known kinds (interpreted by :mod:`repro.runtime.history`):
+
+    * ``"call"`` — logical operation invocation; ``payload`` is
+      ``(object_name, method, args)``.
+    * ``"return"`` — logical operation response; ``payload`` is the response.
+    * anything else — free-form trace marker.
+    """
+
+    kind: str
+    payload: Any = field(default=None)
+
+
+def call_marker(obj: str, method: str, *args: Any) -> Annotation:
+    """Annotation marking the start of a logical (implemented) operation."""
+    return Annotation("call", (obj, method, tuple(args)))
+
+
+def return_marker(response: Any) -> Annotation:
+    """Annotation marking the completion of the current logical operation."""
+    return Annotation("return", response)

@@ -1,0 +1,141 @@
+"""Process abstraction: a sequential program advanced one step at a time.
+
+A process wraps a generator produced by a *program factory* (a zero-argument
+callable).  The runtime *primes* the process — running it up to its first
+yielded :class:`~repro.runtime.ops.Operation` — so that the configuration
+always exposes the operation each live process is *poised* to perform.
+Valency (critical-configuration) arguments are phrased in exactly these
+terms, which is why priming is part of the model rather than an
+implementation detail.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.runtime.ops import Annotation, Operation
+
+ProgramFactory = Callable[[], Generator]
+
+
+class ProcessStatus(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    #: Created but not yet primed to its first operation.
+    PENDING = "pending"
+    #: Alive with a pending operation, waiting to be scheduled.
+    POISED = "poised"
+    #: Returned normally; ``output`` holds the returned value.
+    DONE = "done"
+    #: Crashed by the adversary; takes no further steps.
+    CRASHED = "crashed"
+    #: Parked forever after misusing an object in ``hang_on_misuse`` mode.
+    BLOCKED = "blocked"
+
+
+class Process:
+    """A single simulated process.
+
+    Parameters
+    ----------
+    pid:
+        Process identifier, the index of the process in its system.
+    factory:
+        Zero-argument callable returning a fresh generator for the program.
+        Keeping the factory (rather than the generator) is what allows
+        replay-based exploration to rebuild identical systems.
+    """
+
+    def __init__(self, pid: int, factory: ProgramFactory):
+        self.pid = pid
+        self.factory = factory
+        self.status = ProcessStatus.PENDING
+        self.output: Any = None
+        self.steps_taken = 0
+        #: Annotations emitted since the process started, as
+        #: ``(annotation, step_count_when_emitted)`` pairs, drained by the
+        #: system into the execution trace.
+        self.fresh_annotations: List[Annotation] = []
+        self._generator: Optional[Generator] = None
+        self._pending: Optional[Operation] = None
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_operation(self) -> Optional[Operation]:
+        """The operation this process is poised to perform, if any."""
+        return self._pending
+
+    @property
+    def is_live(self) -> bool:
+        """True if the process can still take steps."""
+        return self.status in (ProcessStatus.PENDING, ProcessStatus.POISED)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def prime(self) -> None:
+        """Run local computation up to the first shared-memory operation.
+
+        Annotations encountered on the way are collected; they cost no
+        scheduling steps.  After priming the process is ``POISED`` (or
+        ``DONE`` if the program returned without touching shared memory).
+        """
+        if self.status is not ProcessStatus.PENDING:
+            return
+        self._generator = self.factory()
+        if not hasattr(self._generator, "send"):
+            raise ProtocolError(
+                f"program factory for process {self.pid} did not return a "
+                f"generator (got {type(self._generator).__name__}); "
+                "programs must be generator functions"
+            )
+        self._advance(None, first=True)
+
+    def deliver(self, response: Any) -> None:
+        """Complete the pending operation with ``response`` and advance to
+        the next one.  One atomic step."""
+        if self.status is not ProcessStatus.POISED:
+            raise ProtocolError(
+                f"cannot deliver a response to process {self.pid} in status "
+                f"{self.status.value}"
+            )
+        self.steps_taken += 1
+        self._advance(response, first=False)
+
+    def crash(self) -> None:
+        """Crash-stop the process; it is never scheduled again."""
+        if self.status in (ProcessStatus.PENDING, ProcessStatus.POISED):
+            self.status = ProcessStatus.CRASHED
+            self._pending = None
+
+    def block(self) -> None:
+        """Park the process forever (object-misuse 'hang' semantics)."""
+        self.status = ProcessStatus.BLOCKED
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance(self, value: Any, first: bool) -> None:
+        assert self._generator is not None
+        try:
+            item = self._generator.send(None if first else value)
+            while isinstance(item, Annotation):
+                self.fresh_annotations.append(item)
+                item = self._generator.send(None)
+        except StopIteration as stop:
+            self.status = ProcessStatus.DONE
+            self.output = stop.value
+            self._pending = None
+            return
+        if not isinstance(item, Operation):
+            raise ProtocolError(
+                f"process {self.pid} yielded {item!r}; programs may only "
+                "yield Operation or Annotation values"
+            )
+        self._pending = item
+        self.status = ProcessStatus.POISED

@@ -1,0 +1,179 @@
+"""Schedulers — the adversary that picks which process steps next.
+
+All schedulers implement two decisions:
+
+* :meth:`Scheduler.next_pid` — which enabled process takes the next step;
+* :meth:`Scheduler.choose` — which outcome a nondeterministic object takes.
+
+The wait-free model quantifies over *all* schedulers; the randomized and
+scripted schedulers here sample and replay that space, and the exhaustive
+explorer (:mod:`repro.runtime.explorer`) enumerates it for small systems.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+
+
+class Scheduler:
+    """Base class; subclasses override :meth:`next_pid` and optionally
+    :meth:`choose`."""
+
+    def next_pid(self, system) -> Optional[int]:
+        """Return the pid to step next, or ``None`` to stop the run early.
+
+        ``system`` is the live :class:`~repro.runtime.system.System`; the
+        chosen pid must be in ``system.enabled_pids()``.
+        """
+        raise NotImplementedError
+
+    def choose(self, system, pid: int, n_outcomes: int) -> int:
+        """Select an outcome index for a nondeterministic step (default: 0,
+        i.e. the spec's first-listed outcome)."""
+        return 0
+
+
+class RoundRobinScheduler(Scheduler):
+    """Fair scheduler: cycles over processes, skipping dead ones."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def next_pid(self, system) -> Optional[int]:
+        enabled = set(system.enabled_pids())
+        if not enabled:
+            return None
+        n = len(system.processes)
+        for offset in range(n):
+            pid = (self._next + offset) % n
+            if pid in enabled:
+                self._next = (pid + 1) % n
+                return pid
+        return None
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random adversary, reproducible from a seed.
+
+    Also randomizes nondeterministic-object outcomes, so repeated runs with
+    different seeds sample both schedule and object nondeterminism.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def next_pid(self, system) -> Optional[int]:
+        enabled = system.enabled_pids()
+        if not enabled:
+            return None
+        return self._rng.choice(enabled)
+
+    def choose(self, system, pid: int, n_outcomes: int) -> int:
+        return self._rng.randrange(n_outcomes)
+
+
+class ScriptedScheduler(Scheduler):
+    """Replays a fixed decision sequence.
+
+    ``decisions`` may be a sequence of pids, or of ``(pid, choice)`` pairs
+    as produced by :attr:`~repro.runtime.execution.Execution.decisions`.
+    When the script is exhausted the run stops (useful for driving a system
+    into a specific intermediate configuration).
+    """
+
+    def __init__(self, decisions: Iterable):
+        self._script: List[Tuple[int, int]] = []
+        for item in decisions:
+            if isinstance(item, tuple):
+                pid, choice = item
+                self._script.append((pid, choice))
+            else:
+                self._script.append((int(item), 0))
+        self._cursor = 0
+        self._pending_choice = 0
+
+    def next_pid(self, system) -> Optional[int]:
+        if self._cursor >= len(self._script):
+            return None
+        pid, choice = self._script[self._cursor]
+        self._cursor += 1
+        self._pending_choice = choice
+        return pid
+
+    def choose(self, system, pid: int, n_outcomes: int) -> int:
+        if not 0 <= self._pending_choice < n_outcomes:
+            raise SchedulingError(
+                f"scripted choice {self._pending_choice} invalid for "
+                f"{n_outcomes} outcomes"
+            )
+        return self._pending_choice
+
+
+class PriorityScheduler(Scheduler):
+    """Always steps the highest-priority enabled process.
+
+    ``priority`` maps pid to a number; larger runs first.  With distinct
+    priorities this is the "solo in order" adversary: process A runs to
+    completion, then B, and so on — the schedule that defeats naive
+    agreement protocols and maximizes decision diversity.
+    """
+
+    def __init__(self, priority: Dict[int, float]):
+        self.priority = dict(priority)
+
+    def next_pid(self, system) -> Optional[int]:
+        enabled = system.enabled_pids()
+        if not enabled:
+            return None
+        return max(enabled, key=lambda pid: (self.priority.get(pid, 0.0), -pid))
+
+
+class SoloScheduler(PriorityScheduler):
+    """Runs processes solo, one after another, in the given pid order."""
+
+    def __init__(self, order: Sequence[int]):
+        super().__init__({pid: len(order) - i for i, pid in enumerate(order)})
+
+
+class CrashingScheduler(Scheduler):
+    """Wraps another scheduler and crashes processes at given step counts.
+
+    ``crash_at`` maps pid to the global step index at which the process is
+    crash-stopped (before that step is taken).
+    """
+
+    def __init__(self, base: Scheduler, crash_at: Dict[int, int]):
+        self.base = base
+        self.crash_at = dict(crash_at)
+        self._steps = 0
+
+    def next_pid(self, system) -> Optional[int]:
+        for pid, when in list(self.crash_at.items()):
+            if self._steps >= when:
+                system.crash(pid)
+                del self.crash_at[pid]
+        self._steps += 1
+        return self.base.next_pid(system)
+
+    def choose(self, system, pid: int, n_outcomes: int) -> int:
+        return self.base.choose(system, pid, n_outcomes)
+
+
+class FunctionScheduler(Scheduler):
+    """Adapter turning ``f(system) -> pid`` into a scheduler."""
+
+    def __init__(self, fn: Callable, chooser: Optional[Callable] = None):
+        self._fn = fn
+        self._chooser = chooser
+
+    def next_pid(self, system) -> Optional[int]:
+        return self._fn(system)
+
+    def choose(self, system, pid: int, n_outcomes: int) -> int:
+        if self._chooser is None:
+            return 0
+        return self._chooser(system, pid, n_outcomes)

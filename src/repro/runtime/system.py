@@ -1,0 +1,239 @@
+"""The system: processes plus shared objects, advanced step by step.
+
+:class:`SystemSpec` is an immutable description (object specs + program
+factories) from which any number of fresh :class:`System` instances can be
+built — the unit of replay for schedulers, property tests, and the
+exhaustive explorer.
+
+Shared objects follow the state-machine protocol defined in
+:mod:`repro.objects.base` (duck-typed here to keep the runtime free of
+upward dependencies): ``initial_state()``, ``apply(state, method, args) ->
+[(response, new_state), ...]`` and the ``hang_on_misuse`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import (
+    IllegalOperationError,
+    ProtocolError,
+    SchedulingError,
+)
+from repro.runtime.execution import Execution, StepRecord
+from repro.runtime.ops import Operation
+from repro.runtime.process import Process, ProcessStatus, ProgramFactory
+
+
+class SystemSpec:
+    """Immutable recipe for a system.
+
+    Parameters
+    ----------
+    objects:
+        Mapping from object name to object spec (see
+        :class:`repro.objects.base.ObjectSpec`).  Specs are stateless, so
+        they are shared between builds; only *states* are per-system.
+    programs:
+        One zero-argument generator factory per process; process ``i`` runs
+        ``programs[i]()``.
+    """
+
+    def __init__(self, objects: Mapping[str, Any], programs: Sequence[ProgramFactory]):
+        self.objects: Dict[str, Any] = dict(objects)
+        self.programs: List[ProgramFactory] = list(programs)
+        if not self.programs:
+            raise ProtocolError("a system needs at least one process")
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.programs)
+
+    def build(self) -> "System":
+        """Create a fresh system in its initial configuration."""
+        return System(self)
+
+    def run(self, scheduler, max_steps: int = 100_000) -> Execution:
+        """Build a fresh system and run it to quiescence under ``scheduler``."""
+        return self.build().run(scheduler, max_steps=max_steps)
+
+    def replay(self, decisions: Iterable[Tuple[int, int]]) -> "System":
+        """Build a fresh system and apply the given ``(pid, choice)``
+        decision sequence (e.g. from :attr:`Execution.decisions`)."""
+        system = self.build()
+        for pid, choice in decisions:
+            system.step(pid, choice)
+        return system
+
+
+class System:
+    """A live configuration: object states plus process control states."""
+
+    def __init__(self, spec: SystemSpec):
+        self.spec = spec
+        self.object_states: Dict[str, Any] = {
+            name: obj.initial_state() for name, obj in spec.objects.items()
+        }
+        self.processes: List[Process] = [
+            Process(pid, factory) for pid, factory in enumerate(spec.programs)
+        ]
+        self.trace = Execution()
+        for process in self.processes:
+            self._prime_and_drain(process)
+
+    # ------------------------------------------------------------------
+    # Configuration inspection
+    # ------------------------------------------------------------------
+    def enabled_pids(self) -> List[int]:
+        """Pids of processes that can take a step now."""
+        return [p.pid for p in self.processes if p.status is ProcessStatus.POISED]
+
+    def pending_operation(self, pid: int) -> Optional[Operation]:
+        """The operation process ``pid`` is poised to perform."""
+        return self.processes[pid].pending_operation
+
+    def outcomes_for(self, pid: int) -> List[Tuple[Any, Any]]:
+        """Enumerate ``(response, new_state)`` outcomes of ``pid``'s pending
+        operation without committing to any of them.
+
+        Deterministic objects yield a single outcome; nondeterministic ones
+        yield one per adversary choice.  Misuse in ``hang_on_misuse`` mode is
+        reported as the empty list (the step blocks the process).
+        """
+        process = self.processes[pid]
+        operation = process.pending_operation
+        if operation is None:
+            raise SchedulingError(f"process {pid} has no pending operation")
+        obj = self._object_spec(operation)
+        state = self.object_states[operation.target]
+        try:
+            outcomes = obj.apply(state, operation.method, operation.args)
+        except IllegalOperationError:
+            if getattr(obj, "hang_on_misuse", False):
+                return []
+            raise
+        if not outcomes:
+            raise ProtocolError(
+                f"object {operation.target!r} returned no outcomes for "
+                f"{operation} — specs must return at least one outcome"
+            )
+        return outcomes
+
+    def is_quiescent(self) -> bool:
+        """True when no process can take another step."""
+        return not self.enabled_pids()
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def step(self, pid: int, choice: int = 0) -> StepRecord:
+        """Let ``pid`` perform its pending operation, selecting outcome
+        ``choice`` if the object is nondeterministic."""
+        process = self.processes[pid]
+        if process.status is not ProcessStatus.POISED:
+            raise SchedulingError(
+                f"cannot step process {pid}: status is {process.status.value}"
+            )
+        operation = process.pending_operation
+        assert operation is not None
+        outcomes = self.outcomes_for(pid)
+        if not outcomes:
+            # Misuse under hang semantics: the step happens but never returns.
+            process.block()
+            record = StepRecord(
+                index=len(self.trace.steps),
+                pid=pid,
+                operation=operation,
+                response=None,
+                choice=0,
+                n_outcomes=0,
+            )
+            self.trace.steps.append(record)
+            self._note_status(process)
+            return record
+        if not 0 <= choice < len(outcomes):
+            raise SchedulingError(
+                f"choice {choice} out of range for {len(outcomes)} outcomes "
+                f"of {operation}"
+            )
+        response, new_state = outcomes[choice]
+        self.object_states[operation.target] = new_state
+        record = StepRecord(
+            index=len(self.trace.steps),
+            pid=pid,
+            operation=operation,
+            response=response,
+            choice=choice,
+            n_outcomes=len(outcomes),
+        )
+        self.trace.steps.append(record)
+        process.deliver(response)
+        self._drain_annotations(process)
+        self._note_status(process)
+        return record
+
+    def crash(self, pid: int) -> None:
+        """Crash-stop process ``pid``."""
+        process = self.processes[pid]
+        process.crash()
+        self._note_status(process)
+
+    def run(self, scheduler, max_steps: int = 100_000) -> Execution:
+        """Drive the system with ``scheduler`` until quiescence or budget.
+
+        Returns the execution trace; final statuses and outputs are filled
+        in regardless of how the run ended.
+        """
+        steps = 0
+        while steps < max_steps:
+            enabled = self.enabled_pids()
+            if not enabled:
+                break
+            pid = scheduler.next_pid(self)
+            if pid is None:
+                break
+            if pid not in enabled:
+                raise SchedulingError(
+                    f"scheduler chose disabled process {pid} (enabled: {enabled})"
+                )
+            outcomes = self.outcomes_for(pid)
+            choice = scheduler.choose(self, pid, len(outcomes)) if len(outcomes) > 1 else 0
+            self.step(pid, choice)
+            steps += 1
+        return self.finalize()
+
+    def finalize(self) -> Execution:
+        """Record final statuses/outputs into the trace and return it."""
+        for process in self.processes:
+            self.trace.statuses[process.pid] = process.status
+            if process.status is ProcessStatus.DONE:
+                self.trace.outputs[process.pid] = process.output
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _object_spec(self, operation: Operation) -> Any:
+        try:
+            return self.spec.objects[operation.target]
+        except KeyError:
+            raise ProtocolError(
+                f"operation {operation} targets unknown object "
+                f"{operation.target!r}; known: {sorted(self.spec.objects)}"
+            ) from None
+
+    def _prime_and_drain(self, process: Process) -> None:
+        process.prime()
+        self._drain_annotations(process)
+        self._note_status(process)
+
+    def _drain_annotations(self, process: Process) -> None:
+        now = len(self.trace.steps)
+        for annotation in process.fresh_annotations:
+            self.trace.annotations.append((now, process.pid, annotation))
+        process.fresh_annotations.clear()
+
+    def _note_status(self, process: Process) -> None:
+        self.trace.statuses[process.pid] = process.status
+        if process.status is ProcessStatus.DONE:
+            self.trace.outputs[process.pid] = process.output

@@ -1,0 +1,89 @@
+"""Execution-trace serialization.
+
+Executions are replayable from their decision lists, so a trace file only
+needs the decisions (plus enough metadata to sanity-check the target
+system).  This module writes/reads a small JSON format, letting users
+archive counterexamples from the explorer, ship failing schedules in bug
+reports, and re-examine adversarial runs later::
+
+    payload = trace_to_json(execution, label="common2 witness")
+    ...
+    execution = replay_trace(spec, json.loads(payload))
+
+Responses and outputs are *not* serialized — they are recomputed by
+replay, which both keeps files tiny and verifies that the system still
+behaves identically (a mismatch raises, catching spec drift).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.runtime.execution import Execution
+from repro.runtime.system import SystemSpec
+
+#: Format marker for forwards compatibility.
+FORMAT = "repro-trace/1"
+
+
+def trace_to_dict(execution: Execution, label: str = "") -> Dict[str, Any]:
+    """The serializable form of an execution: its decisions + metadata."""
+    return {
+        "format": FORMAT,
+        "label": label,
+        "n_processes": len(execution.statuses),
+        "n_steps": len(execution.steps),
+        "decisions": [[pid, choice] for pid, choice in execution.decisions],
+        "fingerprint": _fingerprint(execution),
+    }
+
+
+def trace_to_json(execution: Execution, label: str = "", indent: int = None) -> str:
+    """JSON form of :func:`trace_to_dict`."""
+    return json.dumps(trace_to_dict(execution, label=label), indent=indent)
+
+
+def replay_trace(spec: SystemSpec, trace: Dict[str, Any]) -> Execution:
+    """Rebuild the execution by replaying the trace against ``spec``.
+
+    Verifies the format marker, the process count, and — after replay —
+    the outcome fingerprint, so silent divergence between the archived
+    run and the current code is impossible.
+    """
+    if trace.get("format") != FORMAT:
+        raise ProtocolError(
+            f"unsupported trace format {trace.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    if trace.get("n_processes") != spec.n_processes:
+        raise ProtocolError(
+            f"trace was recorded for {trace.get('n_processes')} processes, "
+            f"the spec has {spec.n_processes}"
+        )
+    decisions = [(pid, choice) for pid, choice in trace["decisions"]]
+    execution = spec.replay(decisions).finalize()
+    recorded = trace.get("fingerprint")
+    if recorded is not None and recorded != _fingerprint(execution):
+        raise ProtocolError(
+            "replayed execution diverges from the recorded fingerprint — "
+            "the system spec has changed since the trace was captured"
+        )
+    return execution
+
+
+def load_trace_json(spec: SystemSpec, payload: str) -> Execution:
+    """Parse JSON and replay (see :func:`replay_trace`)."""
+    return replay_trace(spec, json.loads(payload))
+
+
+def _fingerprint(execution: Execution) -> str:
+    """Cheap structural digest of the outcome: statuses and outputs in
+    pid order (repr-based, so any picklable output participates)."""
+    parts = []
+    for pid in sorted(execution.statuses):
+        status = execution.statuses[pid].value
+        output = repr(execution.outputs.get(pid, "<none>"))
+        parts.append(f"{pid}:{status}:{output}")
+    return "|".join(parts)

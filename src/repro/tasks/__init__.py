@@ -1,0 +1,40 @@
+"""Distributed tasks and their validators.
+
+A *task* specifies which combinations of output values are allowed, given
+the inputs of the participating processes.  Objects are compared throughout
+the paper by which tasks they can solve wait-free, so tasks (not objects)
+are the currency of "synchronization power".
+"""
+
+from repro.tasks.task import Task
+from repro.tasks.consensus import ConsensusTask, ElectionTask
+from repro.tasks.set_consensus import (
+    KSetConsensusTask,
+    KSetElectionTask,
+    StrongKSetElectionTask,
+)
+from repro.tasks.renaming import RenamingTask
+from repro.tasks.immediate_snapshot import ImmediateSnapshotTask
+from repro.tasks.approximate_agreement import ApproximateAgreementTask
+from repro.tasks.solvability import (
+    SolvabilityReport,
+    check_task_all_schedules,
+    check_task_random_schedules,
+    run_task_protocol,
+)
+
+__all__ = [
+    "Task",
+    "ConsensusTask",
+    "ElectionTask",
+    "KSetConsensusTask",
+    "KSetElectionTask",
+    "StrongKSetElectionTask",
+    "RenamingTask",
+    "ImmediateSnapshotTask",
+    "ApproximateAgreementTask",
+    "SolvabilityReport",
+    "run_task_protocol",
+    "check_task_all_schedules",
+    "check_task_random_schedules",
+]

@@ -1,0 +1,50 @@
+"""The ε-approximate agreement task.
+
+Processes start with real-valued inputs and must output values that are
+
+* **within ε of each other** (ε-agreement), and
+* **within the range of the inputs** (validity).
+
+Approximate agreement is the flagship *sub-consensus* task that is
+register-solvable for any number of processes — the positive counterpart
+to consensus's impossibility, and the standard illustration that "life
+below consensus" has genuine content even before the paper adds its
+set-consensus strata.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.tasks.task import Task
+
+
+class ApproximateAgreementTask(Task):
+    """ε-agreement + range validity over numeric inputs."""
+
+    def __init__(self, epsilon: float):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+        self.name = f"{epsilon}-approximate-agreement"
+
+    def validate(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> None:
+        if not inputs:
+            return
+        low, high = min(inputs.values()), max(inputs.values())
+        for pid, value in outputs.items():
+            self._require(
+                isinstance(value, (int, float)),
+                f"p{pid} output non-numeric {value!r}",
+            )
+            self._require(
+                low <= value <= high,
+                f"p{pid} output {value} outside input range [{low}, {high}]",
+            )
+        values = list(outputs.values())
+        if values:
+            spread = max(values) - min(values)
+            self._require(
+                spread <= self.epsilon + 1e-12,
+                f"outputs spread {spread} exceeds epsilon {self.epsilon}",
+            )

@@ -1,0 +1,51 @@
+"""Consensus and election tasks."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.tasks.task import Task
+
+
+class ConsensusTask(Task):
+    """The consensus task.
+
+    * **Validity** — every output is the input of some participant.
+    * **Agreement** — all outputs are equal.
+    """
+
+    name = "consensus"
+
+    def validate(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> None:
+        legal = set(inputs.values())
+        for pid, value in outputs.items():
+            self._require(
+                value in legal,
+                f"p{pid} decided {value!r}, which no participant proposed",
+            )
+        distinct = set(outputs.values())
+        self._require(
+            len(distinct) <= 1,
+            f"agreement violated: {len(distinct)} distinct decisions {sorted(map(repr, distinct))}",
+        )
+
+
+class ElectionTask(Task):
+    """The election task: consensus where each participant proposes its own
+    identifier, so the decided value must additionally be the id of a
+    participant."""
+
+    name = "election"
+
+    def validate(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> None:
+        for pid, value in inputs.items():
+            self._require(
+                value == pid,
+                f"election requires p{pid} to propose its own id, proposed {value!r}",
+            )
+        ConsensusTask().validate(inputs, outputs)
+        for pid, value in outputs.items():
+            self._require(
+                value in inputs,
+                f"p{pid} elected {value!r}, which is not a participant",
+            )

@@ -1,0 +1,64 @@
+"""The one-shot immediate snapshot task (Borowsky–Gafni).
+
+Each participant writes a value and obtains a *view* — a set of
+(pid, value) pairs — such that:
+
+* **self-inclusion** — a process's own pair is in its view;
+* **containment** — any two views are ordered by inclusion;
+* **immediacy** — if j's pair is in i's view, then j's view is a subset
+  of i's view.
+
+Immediate snapshot is the combinatorial backbone of the simulation-based
+lower bounds the paper builds on (it is the one-round structure of the
+standard chromatic subdivision), and it is register-solvable — so, like
+snapshots, it adds convenience but no synchronization power.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Tuple
+
+from repro.tasks.task import Task
+
+View = FrozenSet[Tuple[int, Any]]
+
+
+class ImmediateSnapshotTask(Task):
+    """Validator for one-shot immediate snapshot outputs.
+
+    Outputs must be sets (any iterable of (pid, value) pairs is accepted
+    and frozen) drawn from the participants' actual inputs.
+    """
+
+    name = "immediate-snapshot"
+
+    def validate(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> None:
+        views: Dict[int, View] = {}
+        for pid, raw in outputs.items():
+            view = frozenset(raw)
+            views[pid] = view
+            self._require(
+                all(q in inputs and inputs[q] == v for q, v in view),
+                f"p{pid}'s view contains pairs nobody wrote: {sorted(view)}",
+            )
+            self._require(
+                (pid, inputs[pid]) in view,
+                f"self-inclusion violated: p{pid} missing from its own view",
+            )
+        pids = sorted(views)
+        for i in pids:
+            for j in pids:
+                if i == j:
+                    continue
+                vi, vj = views[i], views[j]
+                self._require(
+                    vi <= vj or vj <= vi,
+                    f"containment violated: views of p{i} and p{j} are "
+                    "incomparable",
+                )
+                if (j, inputs[j]) in vi:
+                    self._require(
+                        views[j] <= vi,
+                        f"immediacy violated: p{i} saw p{j} but p{j}'s view "
+                        f"is not contained in p{i}'s",
+                    )

@@ -1,0 +1,47 @@
+"""The renaming task.
+
+Participants start with distinct names from a large namespace and must
+adopt distinct names from a small target namespace ``{0, ..., M-1}``.
+Wait-free renaming into ``2k - 1`` names for ``k`` participants is possible
+from registers (Attiya et al.); the splitter-grid algorithm implemented in
+:mod:`repro.algorithms.renaming` achieves ``k(k+1)/2`` names, which suffices
+for the constructions in this repository (any finite target namespace does).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.tasks.task import Task
+
+
+class RenamingTask(Task):
+    """Renaming into ``target_size`` names.
+
+    * **Uniqueness** — no two outputs are equal.
+    * **Range** — every output lies in ``{0, ..., target_size - 1}``.
+    * (Inputs must be pairwise distinct for the task to be well-posed.)
+    """
+
+    def __init__(self, target_size: int):
+        if target_size < 1:
+            raise ValueError("target namespace must be non-empty")
+        self.target_size = target_size
+        self.name = f"renaming<{target_size}>"
+
+    def validate(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> None:
+        self._require(
+            len(set(inputs.values())) == len(inputs),
+            "input names must be pairwise distinct",
+        )
+        for pid, new_name in outputs.items():
+            self._require(
+                isinstance(new_name, int) and 0 <= new_name < self.target_size,
+                f"p{pid} took name {new_name!r} outside "
+                f"[0, {self.target_size})",
+            )
+        values = list(outputs.values())
+        self._require(
+            len(set(values)) == len(values),
+            f"names not distinct: {sorted(values)}",
+        )

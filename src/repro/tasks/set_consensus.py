@@ -1,0 +1,91 @@
+"""k-set consensus, k-set election, and strong k-set election tasks.
+
+k-set consensus (Chaudhuri 1990) weakens consensus agreement to
+*k-agreement*: at most k distinct outputs.  The 1-set consensus task is
+consensus.  Election variants fix inputs to the proposers' own identifiers;
+strong set election adds the *self-election* property used by object
+constructions built on top of set election.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.tasks.task import Task
+
+
+class KSetConsensusTask(Task):
+    """The k-set consensus task.
+
+    * **Validity** — every output is the input of some participant.
+    * **k-agreement** — at most ``k`` distinct outputs.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k-set consensus needs k >= 1")
+        self.k = k
+        self.name = f"{k}-set-consensus"
+
+    def validate(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> None:
+        legal = set(inputs.values())
+        for pid, value in outputs.items():
+            self._require(
+                value in legal,
+                f"p{pid} decided {value!r}, which no participant proposed",
+            )
+        distinct = set(outputs.values())
+        self._require(
+            len(distinct) <= self.k,
+            f"k-agreement violated: {len(distinct)} distinct decisions "
+            f"(allowed {self.k})",
+        )
+
+
+class KSetElectionTask(KSetConsensusTask):
+    """k-set election: k-set consensus on the participants' own ids."""
+
+    def __init__(self, k: int):
+        super().__init__(k)
+        self.name = f"{k}-set-election"
+
+    def validate(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> None:
+        for pid, value in inputs.items():
+            self._require(
+                value == pid,
+                f"set election requires p{pid} to propose its own id, "
+                f"proposed {value!r}",
+            )
+        super().validate(inputs, outputs)
+        for pid, value in outputs.items():
+            self._require(
+                value in inputs,
+                f"p{pid} elected {value!r}, which is not a participant",
+            )
+
+
+class StrongKSetElectionTask(KSetElectionTask):
+    """k-strong set election: k-set election plus
+
+    * **Self-election** — if some process decides ``j``, then ``j`` decides
+      ``j``.
+
+    Self-election is checked over the processes that have decided: a
+    decided-upon leader that has itself decided must have decided itself.
+    (A leader that has not yet produced an output does not falsify the
+    property — it is still obligated to elect itself when it finishes.)
+    """
+
+    def __init__(self, k: int):
+        super().__init__(k)
+        self.name = f"{k}-strong-set-election"
+
+    def validate(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> None:
+        super().validate(inputs, outputs)
+        for pid, leader in outputs.items():
+            if leader in outputs:
+                self._require(
+                    outputs[leader] == leader,
+                    f"self-election violated: p{pid} elected {leader}, but "
+                    f"p{leader} elected {outputs[leader]}",
+                )

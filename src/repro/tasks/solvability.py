@@ -1,0 +1,138 @@
+"""Task-solvability checking: run a protocol, validate its outputs.
+
+A protocol *solves* a task wait-free when, under **every** scheduler, every
+process that keeps taking steps outputs, and the collective outputs satisfy
+the task.  These helpers check that claim three ways:
+
+* :func:`run_task_protocol` — one run under a given scheduler;
+* :func:`check_task_random_schedules` — many seeded random adversaries;
+* :func:`check_task_all_schedules` — *all* adversaries, via the exhaustive
+  explorer (small systems only).
+
+Validation is applied to every execution's final outputs; because validity
+properties are closed under subsets for the tasks here, checking maximal
+executions of a wait-free protocol also covers all prefixes in which fewer
+processes have decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional
+
+from repro.errors import TaskViolationError
+from repro.runtime.execution import Execution
+from repro.runtime.explorer import Explorer
+from repro.runtime.process import ProcessStatus
+from repro.runtime.scheduler import RandomScheduler, Scheduler
+from repro.runtime.system import SystemSpec
+from repro.tasks.task import Task
+
+
+@dataclass
+class SolvabilityReport:
+    """Outcome of a solvability check.
+
+    ``ok`` is True iff every checked execution terminated with valid
+    outputs.  On failure, ``counterexample`` holds a replayable witness and
+    ``reason`` the validator's message.
+    """
+
+    ok: bool
+    executions_checked: int = 0
+    max_steps_per_process: int = 0
+    distinct_output_counts: Dict[int, int] = field(default_factory=dict)
+    counterexample: Optional[Execution] = None
+    reason: str = ""
+
+    def record(self, execution: Execution) -> None:
+        self.executions_checked += 1
+        self.max_steps_per_process = max(
+            self.max_steps_per_process, execution.max_steps_per_process()
+        )
+        n = len(execution.distinct_outputs())
+        self.distinct_output_counts[n] = self.distinct_output_counts.get(n, 0) + 1
+
+
+def _validate_execution(
+    task: Task,
+    inputs: Dict[int, Any],
+    execution: Execution,
+    require_wait_free: bool,
+) -> Optional[str]:
+    """Return an error message if the execution is bad, else None."""
+    if require_wait_free:
+        for pid, status in execution.statuses.items():
+            if status not in (ProcessStatus.DONE, ProcessStatus.CRASHED):
+                return (
+                    f"process {pid} ended in status {status.value}; a "
+                    "wait-free protocol must terminate in every execution"
+                )
+    try:
+        task.validate(inputs, execution.outputs)
+    except TaskViolationError as violation:
+        return str(violation)
+    return None
+
+
+def run_task_protocol(
+    spec: SystemSpec,
+    task: Task,
+    inputs: Dict[int, Any],
+    scheduler: Scheduler,
+    max_steps: int = 100_000,
+    require_wait_free: bool = True,
+) -> Execution:
+    """Run once and validate; raises :class:`TaskViolationError` on failure."""
+    execution = spec.run(scheduler, max_steps=max_steps)
+    problem = _validate_execution(task, inputs, execution, require_wait_free)
+    if problem is not None:
+        raise TaskViolationError(problem)
+    return execution
+
+
+def check_task_random_schedules(
+    spec: SystemSpec,
+    task: Task,
+    inputs: Dict[int, Any],
+    seeds: Iterable[int] = range(100),
+    max_steps: int = 100_000,
+    require_wait_free: bool = True,
+) -> SolvabilityReport:
+    """Validate the protocol under one random adversary per seed."""
+    report = SolvabilityReport(ok=True)
+    for seed in seeds:
+        execution = spec.run(RandomScheduler(seed), max_steps=max_steps)
+        problem = _validate_execution(task, inputs, execution, require_wait_free)
+        report.record(execution)
+        if problem is not None:
+            report.ok = False
+            report.counterexample = execution
+            report.reason = f"seed {seed}: {problem}"
+            return report
+    return report
+
+
+def check_task_all_schedules(
+    spec: SystemSpec,
+    task: Task,
+    inputs: Dict[int, Any],
+    max_depth: int = 200,
+    require_wait_free: bool = True,
+) -> SolvabilityReport:
+    """Validate the protocol under **every** scheduler (exhaustive).
+
+    This is the strongest evidence short of a proof: for the given inputs,
+    the protocol solves the task in all executions.
+    """
+    report = SolvabilityReport(ok=True)
+    explorer = Explorer(spec, max_depth=max_depth)
+    for execution in explorer.executions():
+        problem = _validate_execution(task, inputs, execution, require_wait_free)
+        report.record(execution)
+        if problem is not None:
+            report.ok = False
+            report.counterexample = execution
+            report.reason = problem
+            return report
+    return report

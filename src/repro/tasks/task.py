@@ -1,0 +1,53 @@
+"""The task abstraction.
+
+A task relates *inputs* (one per participating process) to allowed
+*output collections*.  Validators receive the inputs of all participants
+and the outputs of the processes that produced one (in a wait-free run all
+participants eventually do, but validity must hold in every prefix, so
+validators accept partial output sets).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import TaskViolationError
+
+
+class Task:
+    """Base class for task specifications.
+
+    Subclasses override :meth:`validate`, raising
+    :class:`~repro.errors.TaskViolationError` with a precise message when
+    the output collection is not allowed.
+    """
+
+    name = "task"
+
+    def validate(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> None:
+        """Raise :class:`TaskViolationError` if ``outputs`` is not an
+        allowed (partial) output collection for ``inputs``.
+
+        Parameters
+        ----------
+        inputs:
+            ``pid -> input value`` for every participating process.
+        outputs:
+            ``pid -> output value`` for the processes that have decided.
+        """
+        raise NotImplementedError
+
+    def check(self, inputs: Dict[int, Any], outputs: Dict[int, Any]) -> bool:
+        """Boolean convenience wrapper over :meth:`validate`."""
+        try:
+            self.validate(inputs, outputs)
+        except TaskViolationError:
+            return False
+        return True
+
+    def _require(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise TaskViolationError(f"{self.name}: {message}")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,69 @@
+"""Tests for adopt-commit (consensus number 1 graded agreement)."""
+
+import pytest
+
+from repro.algorithms.adopt_commit import ADOPT, COMMIT, adopt_commit_spec
+from repro.runtime.explorer import explore_executions
+from repro.runtime.scheduler import RandomScheduler
+
+
+def outcomes_of(execution):
+    return dict(execution.outputs)
+
+
+class TestUnanimous:
+    def test_everyone_commits_all_schedules(self):
+        spec = adopt_commit_spec(2, ["v", "v"])
+        for execution in explore_executions(spec, max_depth=20):
+            for grade, value in execution.outputs.values():
+                assert grade == COMMIT
+                assert value == "v"
+
+    def test_solo_proposal_commits(self):
+        spec = adopt_commit_spec(3, ["only"])
+        execution = spec.run(RandomScheduler(0))
+        assert execution.outputs[0] == (COMMIT, "only")
+
+
+class TestContended:
+    def test_commit_forces_agreement_all_schedules(self):
+        """If anyone commits w, every returned value is w — exhaustively
+        for two processes with distinct proposals."""
+        spec = adopt_commit_spec(2, ["a", "b"])
+        saw_commit = saw_split = False
+        for execution in explore_executions(spec, max_depth=20):
+            grades = execution.outputs
+            committed = {v for g, v in grades.values() if g == COMMIT}
+            assert len(committed) <= 1
+            if committed:
+                saw_commit = True
+                winner = committed.pop()
+                assert all(v == winner for _g, v in grades.values())
+            values = {v for _g, v in grades.values()}
+            if len(values) == 2:
+                saw_split = True
+                # A split must be all-adopt.
+                assert all(g == ADOPT for g, _v in grades.values())
+        assert saw_commit  # some schedule lets a proposer commit
+        assert saw_split   # and some schedule leaves both adopting own
+
+    def test_validity_all_schedules(self):
+        spec = adopt_commit_spec(2, ["a", "b"])
+        for execution in explore_executions(spec, max_depth=20):
+            for _grade, value in execution.outputs.values():
+                assert value in ("a", "b")
+
+    def test_three_processes_randomized(self):
+        spec = adopt_commit_spec(3, ["a", "b", "c"])
+        for seed in range(100):
+            execution = spec.run(RandomScheduler(seed))
+            grades = execution.outputs
+            committed = {v for g, v in grades.values() if g == COMMIT}
+            assert len(committed) <= 1
+            if committed:
+                winner = committed.pop()
+                assert all(v == winner for _g, v in grades.values())
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            adopt_commit_spec(2, ["a", "b", "c"])

@@ -1,0 +1,118 @@
+"""Tests for ε-approximate agreement from registers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.approximate_agreement import (
+    approximate_agreement_spec,
+    rounds_needed,
+)
+from repro.algorithms.helpers import inputs_dict
+from repro.runtime.explorer import explore_executions
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+from repro.tasks.approximate_agreement import ApproximateAgreementTask
+from repro.tasks import check_task_random_schedules
+
+
+class TestRoundsNeeded:
+    def test_already_close(self):
+        assert rounds_needed(0.5, 1.0) == 1
+
+    def test_halving_count(self):
+        assert rounds_needed(8.0, 1.0) == 3
+        assert rounds_needed(8.0, 0.5) == 4
+
+    def test_at_least_one_round(self):
+        assert rounds_needed(0.0, 0.1) == 1
+
+
+class TestTaskValidator:
+    def test_accepts_close_outputs(self):
+        ApproximateAgreementTask(0.5).validate(
+            {0: 0.0, 1: 1.0}, {0: 0.5, 1: 0.75}
+        )
+
+    def test_rejects_spread(self):
+        with pytest.raises(Exception, match="spread"):
+            ApproximateAgreementTask(0.5).validate(
+                {0: 0.0, 1: 1.0}, {0: 0.0, 1: 1.0}
+            )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(Exception, match="range"):
+            ApproximateAgreementTask(5.0).validate(
+                {0: 0.0, 1: 1.0}, {0: 2.0}
+            )
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateAgreementTask(0)
+
+
+class TestAlgorithm:
+    def test_exhaustive_two_processes(self):
+        inputs = [0.0, 1.0]
+        epsilon = 0.3
+        spec = approximate_agreement_spec(inputs, epsilon)
+        task = ApproximateAgreementTask(epsilon)
+        checked = 0
+        for execution in explore_executions(spec, max_depth=40):
+            task.validate(inputs_dict(inputs), execution.outputs)
+            checked += 1
+        assert checked > 10
+
+    @pytest.mark.parametrize(
+        "inputs,epsilon",
+        [
+            ([0.0, 1.0, 0.5], 0.25),
+            ([0.0, 4.0, 2.0, 3.0], 0.5),
+            ([10.0, 10.0, 10.0], 0.1),
+            ([-1.0, 1.0], 0.5),
+        ],
+    )
+    def test_randomized_sweeps(self, inputs, epsilon):
+        spec = approximate_agreement_spec(inputs, epsilon)
+        report = check_task_random_schedules(
+            spec,
+            ApproximateAgreementTask(epsilon),
+            inputs_dict(inputs),
+            seeds=range(200),
+        )
+        assert report.ok, report.reason
+
+    @given(
+        seed=st.integers(0, 5000),
+        values=st.lists(
+            st.integers(-8, 8).map(float), min_size=2, max_size=5
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_sweep(self, seed, values):
+        epsilon = 0.5
+        spec = approximate_agreement_spec(values, epsilon)
+        execution = spec.run(RandomScheduler(seed))
+        assert execution.all_done()
+        ApproximateAgreementTask(epsilon).validate(
+            inputs_dict(values), execution.outputs
+        )
+
+    def test_solo_runner_keeps_own_value(self):
+        inputs = [3.0, 7.0]
+        spec = approximate_agreement_spec(inputs, 1.0)
+        execution = spec.run(SoloScheduler([0, 1]))
+        # p0 ran alone first: every round it saw only itself.
+        assert execution.outputs[0] == 3.0
+
+    def test_contrast_with_exact_consensus(self):
+        """ε-agreement is register-solvable; exact agreement is not —
+        the outputs here genuinely differ (no hidden consensus)."""
+        inputs = [0.0, 1.0]
+        spec = approximate_agreement_spec(inputs, 0.25)
+        distinct_pairs = set()
+        for seed in range(100):
+            execution = approximate_agreement_spec(inputs, 0.25).run(
+                RandomScheduler(seed)
+            )
+            distinct_pairs.add(tuple(execution.outputs[p] for p in range(2)))
+        assert any(a != b for a, b in distinct_pairs)

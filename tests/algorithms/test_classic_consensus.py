@@ -1,0 +1,96 @@
+"""Tests for the classical consensus-number witness constructions."""
+
+import pytest
+
+from repro.algorithms.classic_consensus import (
+    WITNESSES,
+    consensus_from_cas,
+    consensus_from_fetch_and_add,
+    consensus_from_queue,
+    consensus_from_sticky,
+    consensus_from_swap,
+    consensus_from_test_and_set,
+)
+from repro.algorithms.helpers import inputs_dict
+from repro.tasks import ConsensusTask, check_task_all_schedules
+
+TWO_PROCESS_BUILDERS = [
+    consensus_from_test_and_set,
+    consensus_from_swap,
+    consensus_from_fetch_and_add,
+    consensus_from_queue,
+]
+
+
+class TestTwoProcessWitnesses:
+    @pytest.mark.parametrize("builder", TWO_PROCESS_BUILDERS)
+    def test_consensus_all_schedules(self, builder):
+        inputs = ["a", "b"]
+        report = check_task_all_schedules(
+            builder(inputs), ConsensusTask(), inputs_dict(inputs)
+        )
+        assert report.ok, f"{builder.__name__}: {report.reason}"
+
+    @pytest.mark.parametrize("builder", TWO_PROCESS_BUILDERS)
+    def test_solo_participant(self, builder):
+        inputs = ["only"]
+        report = check_task_all_schedules(
+            builder(inputs), ConsensusTask(), inputs_dict(inputs)
+        )
+        assert report.ok
+
+    @pytest.mark.parametrize("builder", TWO_PROCESS_BUILDERS)
+    def test_three_participants_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder(["a", "b", "c"])
+
+
+class TestUnboundedWitnesses:
+    @pytest.mark.parametrize("builder", [consensus_from_cas, consensus_from_sticky])
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_consensus_all_schedules(self, builder, n):
+        inputs = [f"v{i}" for i in range(n)]
+        report = check_task_all_schedules(
+            builder(inputs), ConsensusTask(), inputs_dict(inputs)
+        )
+        assert report.ok, f"{builder.__name__}: {report.reason}"
+
+
+class TestWitnessRegistry:
+    def test_registry_matches_consensus_numbers(self):
+        """Each witness's participant cap matches the recorded consensus
+        number of the object it is built on."""
+        import math
+
+        from repro.core.consensus_number import consensus_number_of
+        from repro.objects.queue_stack import QueueSpec
+        from repro.objects.rmw import (
+            CompareAndSwapSpec,
+            FetchAndAddSpec,
+            SwapSpec,
+            TestAndSetSpec,
+        )
+        from repro.objects.sticky import StickyRegisterSpec
+
+        recorded = {
+            "test-and-set": consensus_number_of(TestAndSetSpec()),
+            "swap": consensus_number_of(SwapSpec()),
+            "fetch-and-add": consensus_number_of(FetchAndAddSpec()),
+            "queue": consensus_number_of(QueueSpec()),
+            "compare-and-swap": consensus_number_of(CompareAndSwapSpec()),
+            "sticky-register": consensus_number_of(StickyRegisterSpec()),
+        }
+        for name, (_builder, cap) in WITNESSES.items():
+            if cap is None:
+                assert recorded[name] == math.inf
+            else:
+                assert recorded[name] == cap
+
+    def test_every_witness_runs(self):
+        from repro.runtime.scheduler import RandomScheduler
+
+        for name, (builder, cap) in WITNESSES.items():
+            n = cap if cap is not None else 3
+            inputs = [f"v{i}" for i in range(n)]
+            execution = builder(inputs).run(RandomScheduler(1))
+            assert len(set(execution.outputs.values())) == 1, name

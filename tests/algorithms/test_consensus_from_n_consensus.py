@@ -1,0 +1,71 @@
+"""Tests for the n-consensus baselines."""
+
+import pytest
+
+from repro.algorithms.consensus_from_n_consensus import (
+    consensus_spec,
+    partition_bound,
+    partition_set_consensus_spec,
+)
+from repro.algorithms.helpers import inputs_dict
+from repro.runtime.explorer import explore_executions
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+from repro.tasks import (
+    ConsensusTask,
+    KSetConsensusTask,
+    check_task_all_schedules,
+    check_task_random_schedules,
+)
+
+
+def letters(count):
+    return [chr(ord("a") + i) for i in range(count)]
+
+
+class TestConsensus:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_all_schedules(self, n):
+        inputs = letters(n)
+        report = check_task_all_schedules(
+            consensus_spec(n, inputs), ConsensusTask(), inputs_dict(inputs)
+        )
+        assert report.ok, report.reason
+
+    def test_budget_enforced(self):
+        with pytest.raises(ValueError):
+            consensus_spec(2, letters(3))
+
+
+class TestPartition:
+    def test_bound_formula(self):
+        assert partition_bound(2, 6) == 3
+        assert partition_bound(2, 7) == 4
+        assert partition_bound(3, 7) == 3
+
+    @pytest.mark.parametrize("n,total", [(2, 5), (2, 6), (3, 7)])
+    def test_respects_bound_randomized(self, n, total):
+        inputs = letters(total)
+        spec = partition_set_consensus_spec(n, inputs)
+        task = KSetConsensusTask(partition_bound(n, total))
+        report = check_task_random_schedules(
+            spec, task, inputs_dict(inputs), seeds=range(100)
+        )
+        assert report.ok, report.reason
+
+    def test_bound_tight_under_solo_blocks(self):
+        """Running each block's first proposer first forces one value per
+        block: exactly ceil(N/n) distinct decisions."""
+        inputs = letters(6)
+        spec = partition_set_consensus_spec(2, inputs)
+        execution = spec.run(SoloScheduler([0, 2, 4, 1, 3, 5]))
+        assert len(execution.distinct_outputs()) == 3
+
+    def test_exhaustive_small(self):
+        inputs = letters(4)
+        spec = partition_set_consensus_spec(2, inputs)
+        for execution in explore_executions(spec, max_depth=8):
+            assert len(execution.distinct_outputs()) <= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            partition_set_consensus_spec(2, [])

@@ -1,0 +1,103 @@
+"""Tests for election protocols — including the deliberate negative
+result separating set election from *strong* set election."""
+
+import pytest
+
+from repro.algorithms.election import (
+    leader_election_spec,
+    set_election_spec,
+    tas_chain_election_spec,
+)
+from repro.errors import TaskViolationError
+from repro.runtime.explorer import explore_executions, find_execution
+from repro.runtime.scheduler import RandomScheduler
+from repro.tasks import (
+    KSetElectionTask,
+    StrongKSetElectionTask,
+    check_task_all_schedules,
+    check_task_random_schedules,
+)
+
+
+class TestSetElection:
+    def test_exhaustive_o21(self):
+        spec = set_election_spec(2, 1, 6)
+        inputs = {pid: pid for pid in range(6)}
+        report = check_task_all_schedules(
+            spec, KSetElectionTask(2), inputs, max_depth=10
+        )
+        assert report.ok, report.reason
+
+    def test_randomized_o22(self):
+        spec = set_election_spec(2, 2, 8)
+        inputs = {pid: pid for pid in range(8)}
+        report = check_task_random_schedules(
+            spec, KSetElectionTask(3), inputs, seeds=range(150)
+        )
+        assert report.ok, report.reason
+
+    def test_participant_bounds(self):
+        with pytest.raises(ValueError):
+            set_election_spec(2, 1, 7)
+
+
+class TestStrongElectionGap:
+    def test_ring_protocol_violates_self_election_somewhere(self):
+        """The ring protocol solves 2-set election but NOT the strong
+        variant: the explorer finds a schedule where some process elects
+        a leader that elected someone else.  This is the gap the strong
+        task's extra property creates."""
+        spec = set_election_spec(2, 1, 6)
+        inputs = {pid: pid for pid in range(6)}
+        task = StrongKSetElectionTask(2)
+
+        def violates(execution):
+            return execution.all_done() and not task.check(
+                inputs, execution.outputs
+            )
+
+        witness = find_execution(spec, violates, max_depth=10)
+        assert witness is not None
+        # And the violation really is self-election, not k-agreement.
+        with pytest.raises(TaskViolationError, match="self-election"):
+            task.validate(inputs, witness.outputs)
+
+    def test_single_group_strong_election_holds(self):
+        """Within one group the winner is an elector and elects itself:
+        strong election, exhaustively."""
+        spec = leader_election_spec(3, 1, 3)
+        inputs = {pid: pid for pid in range(3)}
+        report = check_task_all_schedules(
+            spec, StrongKSetElectionTask(1), inputs, max_depth=10
+        )
+        assert report.ok, report.reason
+
+
+class TestTasChain:
+    def test_exactly_one_leader_all_schedules(self):
+        spec = tas_chain_election_spec(3)
+        for execution in explore_executions(spec, max_depth=10):
+            leaders = [
+                pid for pid, (role, _p) in execution.outputs.items()
+                if role == "leader"
+            ]
+            assert len(leaders) == 1
+
+    def test_losers_do_not_learn_the_leader(self):
+        """The output of a loser is identical whatever the winner's id —
+        the reason TAS-election is weaker than strong election."""
+        spec = tas_chain_election_spec(3)
+        loser_outputs = set()
+        for execution in explore_executions(spec, max_depth=10):
+            for pid, (role, reported) in execution.outputs.items():
+                if role == "lost":
+                    assert reported == pid  # only self-knowledge
+                    loser_outputs.add((pid, reported))
+        assert loser_outputs  # losers existed
+
+    def test_randomized_uniqueness(self):
+        spec = tas_chain_election_spec(6)
+        for seed in range(50):
+            execution = spec.run(RandomScheduler(seed))
+            roles = [role for role, _p in execution.outputs.values()]
+            assert roles.count("leader") == 1

@@ -1,0 +1,55 @@
+"""Unit tests for the protocol-construction helpers."""
+
+from repro.algorithms.helpers import build_spec, inputs_dict, programs_from
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.scheduler import RoundRobinScheduler
+
+
+def echo(pid, value):
+    yield invoke("r", "write", (pid, value))
+    return (pid, value)
+
+
+class TestProgramsFrom:
+    def test_one_factory_per_input(self):
+        factories = programs_from(echo, ["a", "b", "c"])
+        assert len(factories) == 3
+
+    def test_closures_capture_distinct_values(self):
+        """The classic late-binding bug (every closure seeing the last
+        value) must not occur."""
+        factories = programs_from(echo, ["a", "b"])
+        outputs = []
+        for factory in factories:
+            generator = factory()
+            next(generator)
+            try:
+                generator.send(None)
+            except StopIteration as stop:
+                outputs.append(stop.value)
+        assert outputs == [(0, "a"), (1, "b")]
+
+    def test_factories_are_restartable(self):
+        factory = programs_from(echo, ["x"])[0]
+        first, second = factory(), factory()
+        assert next(first) == next(second)
+
+
+class TestBuildSpec:
+    def test_end_to_end(self):
+        spec = build_spec({"r": RegisterSpec()}, echo, ["a", "b"])
+        execution = spec.run(RoundRobinScheduler())
+        assert execution.outputs == {0: (0, "a"), 1: (1, "b")}
+
+    def test_n_processes(self):
+        spec = build_spec({"r": RegisterSpec()}, echo, ["a", "b", "c"])
+        assert spec.n_processes == 3
+
+
+class TestInputsDict:
+    def test_mapping(self):
+        assert inputs_dict(["x", "y"]) == {0: "x", 1: "y"}
+
+    def test_empty(self):
+        assert inputs_dict([]) == {}

@@ -1,0 +1,128 @@
+"""Tests for the Borowsky–Gafni immediate snapshot."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.immediate_snapshot import immediate_snapshot_spec
+from repro.runtime.explorer import explore_executions
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+from repro.tasks.immediate_snapshot import ImmediateSnapshotTask
+from repro.tasks import check_task_all_schedules, check_task_random_schedules
+
+
+def letters(count):
+    return [chr(ord("a") + i) for i in range(count)]
+
+
+class TestSmallExhaustive:
+    def test_single_process_sees_itself(self):
+        spec = immediate_snapshot_spec(["solo"])
+        executions = list(explore_executions(spec, max_depth=10))
+        for execution in executions:
+            assert execution.outputs[0] == frozenset({(0, "solo")})
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_all_schedules_satisfy_task(self, n):
+        inputs = letters(n)
+        spec = immediate_snapshot_spec(inputs)
+        report = check_task_all_schedules(
+            spec,
+            ImmediateSnapshotTask(),
+            inputs_dict(inputs),
+            max_depth=12 * n,
+        )
+        assert report.ok, report.reason
+
+    def test_concurrent_block_executions_exist(self):
+        """Some schedule yields identical full views for all (the 'all
+        together' simplex) and some yields a strict chain."""
+        inputs = letters(2)
+        spec = immediate_snapshot_spec(inputs)
+        full = frozenset({(0, "a"), (1, "b")})
+        kinds = set()
+        for execution in explore_executions(spec, max_depth=30):
+            views = tuple(sorted(len(v) for v in execution.outputs.values()))
+            kinds.add(views)
+        assert (2, 2) in kinds  # both see both
+        assert (1, 2) in kinds  # strict chain
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_seeded_sweep(self, n):
+        inputs = letters(n)
+        spec = immediate_snapshot_spec(inputs)
+        report = check_task_random_schedules(
+            spec, ImmediateSnapshotTask(), inputs_dict(inputs), seeds=range(120)
+        )
+        assert report.ok, report.reason
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_property_sweep(self, seed, n):
+        inputs = letters(n)
+        spec = immediate_snapshot_spec(inputs)
+        execution = spec.run(RandomScheduler(seed))
+        assert execution.all_done()
+        ImmediateSnapshotTask().validate(inputs_dict(inputs), execution.outputs)
+
+    def test_solo_order_gives_strict_chain(self):
+        """Running processes one after another yields strictly growing
+        views — the fully ordered corner of the subdivision."""
+        inputs = letters(4)
+        spec = immediate_snapshot_spec(inputs)
+        execution = spec.run(SoloScheduler([0, 1, 2, 3]))
+        sizes = [len(execution.outputs[p]) for p in range(4)]
+        assert sizes == [1, 2, 3, 4]
+
+    def test_wait_freedom_step_bound(self):
+        """At most n (write + scan) rounds per process."""
+        inputs = letters(5)
+        spec = immediate_snapshot_spec(inputs)
+        for seed in range(50):
+            execution = spec.run(RandomScheduler(seed))
+            assert execution.max_steps_per_process() <= 2 * 5
+
+
+class TestTaskValidator:
+    def test_rejects_missing_self(self):
+        task = ImmediateSnapshotTask()
+        with pytest.raises(Exception, match="self-inclusion"):
+            task.validate({0: "a", 1: "b"}, {0: frozenset({(1, "b")})})
+
+    def test_rejects_incomparable_views(self):
+        task = ImmediateSnapshotTask()
+        with pytest.raises(Exception, match="containment"):
+            task.validate(
+                {0: "a", 1: "b"},
+                {
+                    0: frozenset({(0, "a")}),
+                    1: frozenset({(1, "b")}),
+                },
+            )
+
+    def test_rejects_immediacy_violation(self):
+        task = ImmediateSnapshotTask()
+        with pytest.raises(Exception, match="immediacy"):
+            task.validate(
+                {0: "a", 1: "b", 2: "c"},
+                {
+                    # p0 sees p1, but p1's view is not inside p0's.
+                    0: frozenset({(0, "a"), (1, "b")}),
+                    1: frozenset({(0, "a"), (1, "b"), (2, "c")}),
+                },
+            )
+
+    def test_rejects_fabricated_pairs(self):
+        task = ImmediateSnapshotTask()
+        with pytest.raises(Exception, match="nobody wrote"):
+            task.validate({0: "a"}, {0: frozenset({(0, "a"), (9, "z")})})
+
+    def test_accepts_partial_outputs(self):
+        task = ImmediateSnapshotTask()
+        task.validate(
+            {0: "a", 1: "b"},
+            {1: frozenset({(1, "b")})},
+        )

@@ -1,0 +1,82 @@
+"""Tests for iterated immediate snapshot — including the iterated
+chromatic subdivision counts."""
+
+import pytest
+
+from repro.algorithms.iterated_snapshot import (
+    flatten_view,
+    iis_spec,
+)
+from repro.runtime.explorer import Explorer
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+
+
+def profiles_of(n, rounds, max_depth):
+    spec = iis_spec([f"x{i}" for i in range(n)], rounds)
+    explorer = Explorer(spec, max_depth=max_depth)
+    profiles = set()
+    for execution in explorer.executions():
+        profiles.add(tuple(execution.outputs[p] for p in range(n)))
+    return profiles
+
+
+class TestIteratedSubdivision:
+    @pytest.mark.parametrize("rounds,expected", [(1, 3), (2, 9), (3, 27)])
+    def test_two_process_counts_are_powers_of_three(self, rounds, expected):
+        """Each IIS round subdivides each edge into 3: 3^R edges."""
+        profiles = profiles_of(2, rounds, max_depth=10 * rounds + 10)
+        assert len(profiles) == expected
+
+    def test_three_process_single_round(self):
+        profiles = profiles_of(3, 1, max_depth=40)
+        assert len(profiles) == 13
+
+
+class TestViewStructure:
+    def test_round_views_nest(self):
+        """In the final view, every visible peer's payload is its
+        previous-round view — containment holds level by level."""
+        spec = iis_spec(["a", "b", "c"], 2)
+        for seed in range(60):
+            execution = spec.run(RandomScheduler(seed))
+            assert execution.all_done()
+            views = list(execution.outputs.values())
+            for view in views:
+                for _pid, payload in view:
+                    assert isinstance(payload, frozenset)
+            # Final-round views are comparable (IS containment).
+            for a in views:
+                for b in views:
+                    assert a <= b or b <= a
+
+    def test_flatten_view_collects_pids(self):
+        spec = iis_spec(["a", "b"], 2)
+        execution = spec.run(SoloScheduler([1, 0]))
+        # p0 ran last: it saw p1's round views transitively.
+        pids = flatten_view(execution.outputs[0], depth=2)
+        assert pids == frozenset({0, 1})
+        # p1 ran solo first: saw only itself at every depth.
+        assert flatten_view(execution.outputs[1], depth=2) == frozenset({1})
+
+    def test_solo_chain_views_grow(self):
+        spec = iis_spec(["a", "b", "c"], 1)
+        execution = spec.run(SoloScheduler([0, 1, 2]))
+        sizes = [len(execution.outputs[p]) for p in range(3)]
+        assert sizes == [1, 2, 3]
+
+
+class TestValidation:
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            iis_spec(["a"], 0)
+
+    def test_empty_inputs(self):
+        with pytest.raises(ValueError):
+            iis_spec([], 1)
+
+    def test_wait_free_step_bound(self):
+        spec = iis_spec(["a", "b", "c"], 2)
+        for seed in range(40):
+            execution = spec.run(RandomScheduler(seed))
+            # <= rounds * n * 2 steps per process.
+            assert execution.max_steps_per_process() <= 2 * 3 * 2

@@ -1,0 +1,83 @@
+"""Tests for obstruction-free consensus: safe always, live only solo."""
+
+import pytest
+
+from repro.algorithms.obstruction_free import obstruction_free_spec
+from repro.runtime.explorer import Explorer, explore_executions, find_execution
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+
+
+def decided(execution):
+    return {pid: v for pid, v in execution.outputs.items() if v is not None}
+
+
+class TestSafety:
+    def test_agreement_in_every_bounded_execution(self):
+        """All executions (2 procs, 2 rounds budget): decided values never
+        disagree and are always inputs."""
+        spec = obstruction_free_spec(["a", "b"], max_rounds=2)
+        checked = 0
+        for execution in explore_executions(spec, max_depth=60):
+            outputs = decided(execution)
+            assert len(set(outputs.values())) <= 1
+            assert set(outputs.values()) <= {"a", "b"}
+            checked += 1
+        assert checked > 100
+
+    def test_agreement_randomized_three_processes(self):
+        spec = obstruction_free_spec(["a", "b", "c"], max_rounds=6)
+        for seed in range(80):
+            execution = obstruction_free_spec(
+                ["a", "b", "c"], max_rounds=6
+            ).run(RandomScheduler(seed))
+            outputs = decided(execution)
+            assert len(set(outputs.values())) <= 1
+
+    def test_unanimous_inputs_commit_first_round(self):
+        spec = obstruction_free_spec(["v", "v"], max_rounds=1)
+        for execution in explore_executions(spec, max_depth=30):
+            assert set(execution.outputs.values()) == {"v"}
+
+
+class TestProgress:
+    def test_solo_runner_decides_immediately(self):
+        spec = obstruction_free_spec(["a", "b"], max_rounds=3)
+        execution = spec.run(SoloScheduler([0, 1]))
+        assert execution.outputs[0] == "a"
+        assert execution.outputs[1] == "a"  # the late runner adopts/commits a
+
+    def test_everyone_decides_under_most_schedules(self):
+        decided_runs = 0
+        for seed in range(50):
+            execution = obstruction_free_spec(
+                ["a", "b"], max_rounds=8
+            ).run(RandomScheduler(seed))
+            if all(v is not None for v in execution.outputs.values()):
+                decided_runs += 1
+        assert decided_runs > 25  # contention rarely persists at random
+
+    def test_livelock_schedule_exists(self):
+        """The adversary can burn the whole round budget with no decision
+        — consensus is NOT wait-free from registers, visible here as an
+        execution where someone runs out of rounds undecided."""
+        spec = obstruction_free_spec(["a", "b"], max_rounds=2)
+        witness = find_execution(
+            spec,
+            lambda e: any(v is None for v in e.outputs.values()),
+            max_depth=60,
+        )
+        assert witness is not None
+
+    def test_livelock_preserves_safety(self):
+        """Even livelocked prefixes never produce disagreement."""
+        spec = obstruction_free_spec(["a", "b"], max_rounds=2)
+        for execution in explore_executions(spec, max_depth=60):
+            if any(v is None for v in execution.outputs.values()):
+                values = set(decided(execution).values())
+                assert len(values) <= 1
+
+
+class TestValidation:
+    def test_empty_inputs(self):
+        with pytest.raises(ValueError):
+            obstruction_free_spec([])

@@ -1,0 +1,81 @@
+"""Tests for flag-principle port guards."""
+
+import pytest
+
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.relaxed_family import (
+    contended_spec,
+    guarded_set_consensus_spec,
+)
+from repro.runtime.explorer import explore_executions
+from repro.runtime.scheduler import RandomScheduler
+from repro.tasks import KSetConsensusTask, check_task_random_schedules
+
+
+def letters(count):
+    return [chr(ord("a") + i) for i in range(count)]
+
+
+class TestGuardedProtocol:
+    def test_same_guarantee_as_unguarded(self):
+        inputs = letters(6)
+        spec = guarded_set_consensus_spec(2, 1, inputs)
+        report = check_task_random_schedules(
+            spec, KSetConsensusTask(2), inputs_dict(inputs), seeds=range(150)
+        )
+        assert report.ok, report.reason
+
+    def test_exhaustive_small_instance(self):
+        """O(1,1) guarded, 3 processes: all schedules still 2-agree."""
+        inputs = letters(3)
+        spec = guarded_set_consensus_spec(1, 1, inputs)
+        report_values = set()
+        for execution in explore_executions(spec, max_depth=20):
+            decisions = set(execution.outputs.values())
+            assert decisions <= set(inputs)
+            assert len(decisions) <= 2
+            report_values.add(len(decisions))
+        assert 2 in report_values  # bound met somewhere
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            guarded_set_consensus_spec(2, 1, letters(2))
+
+
+class TestFlagPrincipleUnderContention:
+    def test_colliding_ports_never_misuse(self):
+        """All three processes target the SAME port: the guard must let at
+        most one through, the others fall back to their own values, and
+        the one-shot object never raises — over every schedule."""
+        inputs = letters(3)
+        spec = contended_spec(2, 1, inputs, [(0, 0), (0, 0), (0, 0)])
+        for execution in explore_executions(spec, max_depth=30):
+            # No process blocked or errored: everyone decided.
+            assert execution.all_done()
+            invokes = [
+                s for s in execution.steps
+                if s.operation.target == "O" and s.operation.method == "invoke"
+            ]
+            assert len(invokes) <= 1  # the port was used at most once
+
+    def test_denied_processes_keep_own_value(self):
+        inputs = letters(3)
+        spec = contended_spec(2, 1, inputs, [(0, 0), (0, 0), (0, 0)])
+        for execution in explore_executions(spec, max_depth=30):
+            decisions = execution.outputs
+            own = sum(1 for pid, d in decisions.items() if d == inputs[pid])
+            assert own >= 2  # at least the denied ones
+
+    def test_distinct_ports_all_pass(self):
+        inputs = letters(3)
+        spec = contended_spec(1, 1, inputs, [(0, 0), (1, 0), (2, 0)])
+        execution = spec.run(RandomScheduler(5))
+        invokes = [
+            s for s in execution.steps
+            if s.operation.target == "O" and s.operation.method == "invoke"
+        ]
+        assert len(invokes) == 3  # everyone got through
+
+    def test_port_list_length_checked(self):
+        with pytest.raises(ValueError):
+            contended_spec(2, 1, letters(2), [(0, 0)])

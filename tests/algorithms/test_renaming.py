@@ -1,0 +1,110 @@
+"""Tests for splitter-grid renaming, including hypothesis sweeps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.renaming import (
+    DOWN,
+    RIGHT,
+    STOP,
+    grid_name,
+    renaming_spec,
+    splitter,
+    splitter_objects,
+    target_namespace,
+)
+from repro.runtime.explorer import explore_executions
+from repro.runtime.ops import invoke
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.system import SystemSpec
+from repro.tasks import RenamingTask, check_task_random_schedules
+
+
+class TestSplitter:
+    def _spec(self, n_processes):
+        def program(pid):
+            def run():
+                outcome = yield from splitter("spl", pid)
+                return outcome
+
+            return run
+
+        return SystemSpec(
+            splitter_objects("spl"), [program(p) for p in range(n_processes)]
+        )
+
+    def test_solo_process_stops(self):
+        execution = self._spec(1).run(RandomScheduler(0))
+        assert execution.outputs[0] == STOP
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_splitter_invariants_all_schedules(self, n):
+        """At most one STOP; not all RIGHT; not all DOWN — exhaustively."""
+        for execution in explore_executions(self._spec(n), max_depth=20):
+            outcomes = list(execution.outputs.values())
+            assert outcomes.count(STOP) <= 1
+            assert outcomes.count(RIGHT) <= n - 1
+            assert outcomes.count(DOWN) <= n - 1
+
+
+class TestGridNaming:
+    def test_diagonal_enumeration_is_injective(self):
+        names = {
+            grid_name(r, c)
+            for r in range(6)
+            for c in range(6)
+        }
+        assert len(names) == 36
+
+    def test_names_within_namespace(self):
+        k = 5
+        names = [grid_name(r, c) for r in range(k) for c in range(k - r)]
+        assert max(names) < target_namespace(k)
+
+    def test_target_namespace_formula(self):
+        assert target_namespace(4) == 10
+
+
+class TestRenaming:
+    def test_exhaustive_two_processes(self):
+        spec = renaming_spec(2, ["alice", "bob"])
+        task = RenamingTask(target_namespace(2))
+        for execution in explore_executions(spec, max_depth=30):
+            task.validate({0: "alice", 1: "bob"}, execution.outputs)
+            assert execution.all_done()
+
+    @pytest.mark.parametrize("participants", [1, 2, 3, 4])
+    def test_randomized(self, participants):
+        ids = [f"id{i * 17}" for i in range(participants)]
+        spec = renaming_spec(participants, ids)
+        task = RenamingTask(target_namespace(participants))
+        report = check_task_random_schedules(
+            spec, task, inputs_dict(ids), seeds=range(80)
+        )
+        assert report.ok, report.reason
+
+    @given(
+        subset=st.sets(st.integers(0, 9), min_size=1, max_size=4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_participant_subset(self, subset, seed):
+        """Uniqueness and range hold for any set of original ids under any
+        sampled schedule — the adaptive guarantee."""
+        ids = [f"name-{i}" for i in sorted(subset)]
+        spec = renaming_spec(4, ids)
+        execution = spec.run(RandomScheduler(seed))
+        assert execution.all_done()
+        RenamingTask(target_namespace(4)).validate(
+            inputs_dict(ids), execution.outputs
+        )
+
+    def test_distinct_ids_required(self):
+        with pytest.raises(ValueError):
+            renaming_spec(3, ["same", "same"])
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            renaming_spec(2, ["a", "b", "c"])

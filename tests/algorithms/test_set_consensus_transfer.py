@@ -1,0 +1,77 @@
+"""Tests for the partition transfer construction (experiment E4)."""
+
+import pytest
+
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.set_consensus_transfer import (
+    checked_transfer_spec,
+    transfer_bound,
+    transfer_spec,
+)
+from repro.core.theorem import max_agreement
+from repro.errors import ImplementabilityError
+from repro.runtime.explorer import explore_executions
+from repro.runtime.scheduler import RandomScheduler
+from repro.tasks import KSetConsensusTask, check_task_random_schedules
+
+
+def letters(count):
+    return [chr(ord("a") + i) for i in range(count)]
+
+
+class TestTransferBound:
+    @pytest.mark.parametrize(
+        "m,j,total", [(2, 1, 6), (3, 2, 7), (3, 1, 5), (4, 2, 9), (5, 2, 11)]
+    )
+    def test_bound_equals_theorem(self, m, j, total):
+        assert transfer_bound(m, j, total) == max_agreement(total, m, j)
+
+
+class TestProtocolRespectsBound:
+    @pytest.mark.parametrize(
+        "m,j,total", [(2, 1, 4), (3, 2, 5), (3, 1, 4), (4, 2, 6)]
+    )
+    def test_randomized(self, m, j, total):
+        inputs = letters(total)
+        spec = transfer_spec(m, j, inputs)
+        task = KSetConsensusTask(transfer_bound(m, j, total))
+        report = check_task_random_schedules(
+            spec, task, inputs_dict(inputs), seeds=range(150)
+        )
+        assert report.ok, report.reason
+
+    def test_exhaustive_small(self):
+        """(2,1) objects, 3 processes: every schedule and nondet choice
+        yields at most 2 = 1*1 + min(1,1) distinct decisions."""
+        inputs = letters(3)
+        spec = transfer_spec(2, 1, inputs)
+        bound = transfer_bound(2, 1, 3)
+        for execution in explore_executions(spec, max_depth=10):
+            assert len(execution.distinct_outputs()) <= bound
+
+    def test_bound_is_tight(self):
+        """The adversary (schedule + object nondeterminism) can reach the
+        bound: existence over the exhaustive tree."""
+        inputs = letters(3)
+        spec = transfer_spec(2, 1, inputs)
+        bound = transfer_bound(2, 1, 3)
+        worst = max(
+            len(e.distinct_outputs()) for e in explore_executions(spec, max_depth=10)
+        )
+        assert worst == bound
+
+
+class TestCheckedTransfer:
+    def test_permitted_construction(self):
+        spec = checked_transfer_spec(6, 3, 2, 1, letters(6))
+        execution = spec.run(RandomScheduler(0))
+        assert len(execution.distinct_outputs()) <= 3
+
+    def test_forbidden_construction_rejected(self):
+        """(6, 2) from (2, 1) contradicts the theorem: refuse to build."""
+        with pytest.raises(ImplementabilityError, match="not implementable"):
+            checked_transfer_spec(6, 2, 2, 1, letters(6))
+
+    def test_participant_budget(self):
+        with pytest.raises(ValueError):
+            checked_transfer_spec(3, 2, 2, 1, letters(4))

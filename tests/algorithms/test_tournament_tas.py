@@ -1,0 +1,105 @@
+"""Tests for the doorway+tournament one-shot TAS — Common2's positive
+half, model-checked linearizable."""
+
+import pytest
+
+from repro.algorithms.tournament_tas import (
+    LOSE,
+    WIN,
+    tournament_spec,
+)
+from repro.analysis.linearizability import is_linearizable
+from repro.objects.rmw import TestAndSetSpec
+from repro.runtime.explorer import explore_executions
+from repro.runtime.history import history_from_execution
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+
+
+class TestWinnerUniqueness:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_exactly_one_winner_all_schedules(self, n):
+        spec = tournament_spec(n)
+        for execution in explore_executions(spec, max_depth=30):
+            outcomes = list(execution.outputs.values())
+            assert outcomes.count(WIN) == 1
+            assert outcomes.count(LOSE) == n - 1
+
+    @pytest.mark.parametrize("n", [4, 5, 8])
+    def test_exactly_one_winner_randomized(self, n):
+        spec = tournament_spec(n)
+        for seed in range(80):
+            execution = spec.run(RandomScheduler(seed))
+            outcomes = list(execution.outputs.values())
+            assert outcomes.count(WIN) == 1
+
+    def test_solo_participant_wins(self):
+        spec = tournament_spec(4, participants=[2])
+        execution = spec.run(RandomScheduler(0))
+        assert execution.outputs[0] == WIN
+
+    def test_sequential_first_wins(self):
+        spec = tournament_spec(4)
+        execution = spec.run(SoloScheduler([3, 0, 1, 2]))
+        assert execution.outputs[3] == WIN
+        assert all(execution.outputs[p] == LOSE for p in (0, 1, 2))
+
+
+class TestLinearizability:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_exhaustive(self, n):
+        """Every schedule's history embeds into first-wins order — the
+        doorway at work (a bare tournament fails this)."""
+        spec = tournament_spec(n)
+        reference = TestAndSetSpec()
+        checked = 0
+        for execution in explore_executions(spec, max_depth=30):
+            history = history_from_execution(execution)
+            assert is_linearizable(history, reference), execution.render()
+            checked += 1
+        assert checked >= 16  # the whole (n-dependent) schedule space ran
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_randomized_five_leaves(self, seed):
+        spec = tournament_spec(5)
+        execution = spec.run(RandomScheduler(seed))
+        history = history_from_execution(execution)
+        assert is_linearizable(history, TestAndSetSpec())
+
+    def test_late_starter_always_loses(self):
+        """Whoever begins after any invocation completed returns LOSE —
+        the real-time property the doorway buys."""
+        spec = tournament_spec(3)
+        for execution in explore_executions(spec, max_depth=30):
+            history = history_from_execution(execution)
+            events = sorted(history.complete, key=lambda e: e.invoked_at)
+            for later in events:
+                for earlier in events:
+                    if earlier.precedes(later):
+                        assert later.response == LOSE
+
+
+class TestValidation:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            tournament_spec(1)
+
+    def test_bad_leaf(self):
+        with pytest.raises(ValueError):
+            tournament_spec(2, participants=[5])
+
+    def test_duplicate_leaves(self):
+        with pytest.raises(ValueError):
+            tournament_spec(4, participants=[1, 1])
+
+    def test_budget_never_exceeded(self):
+        """No 2-consensus node ever sees a third proposal, under any
+        schedule (the subtree-winners argument, checked)."""
+        spec = tournament_spec(4)
+        for seed in range(60):
+            execution = tournament_spec(4).run(RandomScheduler(seed))
+            proposals = {}
+            for step in execution.steps:
+                if step.operation.method == "propose":
+                    target = step.operation.target
+                    proposals[target] = proposals.get(target, 0) + 1
+            assert all(count <= 2 for count in proposals.values())

@@ -1,0 +1,87 @@
+"""Tests for Herlihy's universal construction (experiment E9)."""
+
+import pytest
+
+from repro.algorithms.universal import universal_spec
+from repro.analysis.linearizability import is_linearizable
+from repro.objects.queue_stack import EMPTY, QueueSpec, StackSpec
+from repro.objects.rmw import FetchAndAddSpec
+from repro.runtime.explorer import explore_executions
+from repro.runtime.history import history_from_execution
+from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler, SoloScheduler
+
+
+class TestFunctional:
+    def test_single_process_queue(self):
+        scripts = [[("enqueue", ("a",)), ("enqueue", ("b",)), ("dequeue", ())]]
+        spec = universal_spec(QueueSpec(), scripts)
+        execution = spec.run(RoundRobinScheduler())
+        assert execution.outputs[0] == [None, None, "a"]
+
+    def test_sequential_two_processes(self):
+        scripts = [
+            [("enqueue", ("a",))],
+            [("dequeue", ())],
+        ]
+        spec = universal_spec(QueueSpec(), scripts)
+        execution = spec.run(SoloScheduler([0, 1]))
+        assert execution.outputs[0] == [None]
+        assert execution.outputs[1] == ["a"]
+
+    def test_dequeue_before_enqueue_sees_empty(self):
+        scripts = [[("dequeue", ())], [("enqueue", ("a",))]]
+        spec = universal_spec(QueueSpec(), scripts)
+        execution = spec.run(SoloScheduler([0, 1]))
+        assert execution.outputs[0] == [EMPTY]
+
+    def test_fetch_and_add_tickets_are_distinct(self):
+        scripts = [[("fetch_and_add", (1,))] for _ in range(3)]
+        spec = universal_spec(FetchAndAddSpec(), scripts)
+        for seed in range(40):
+            execution = spec.run(RandomScheduler(seed))
+            tickets = sorted(execution.outputs[p][0] for p in range(3))
+            assert tickets == [0, 1, 2]
+
+    def test_wait_freedom_step_bound(self):
+        """Helping bounds each operation's steps even under adversarial
+        random schedules."""
+        scripts = [
+            [("push", ("a",)), ("pop", ())],
+            [("push", ("b",)), ("pop", ())],
+            [("push", ("c",)), ("pop", ())],
+        ]
+        spec = universal_spec(StackSpec(), scripts)
+        for seed in range(30):
+            execution = spec.run(RandomScheduler(seed))
+            assert execution.all_done()
+            assert execution.max_steps_per_process() <= 80
+
+
+class TestLinearizability:
+    def test_exhaustive_queue_two_processes(self):
+        """Model-check: the universally-constructed queue is linearizable
+        against QueueSpec in every schedule of a small workload."""
+        scripts = [
+            [("enqueue", ("a",)), ("dequeue", ())],
+            [("enqueue", ("b",))],
+        ]
+        spec = universal_spec(QueueSpec(), scripts)
+        checked = 0
+        for execution in explore_executions(spec, max_depth=120):
+            history = history_from_execution(execution)
+            assert is_linearizable(history, QueueSpec()), execution.render()
+            checked += 1
+        assert checked > 50
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_randomized_stack_three_processes(self, seed):
+        scripts = [
+            [("push", ("a",)), ("pop", ())],
+            [("push", ("b",)), ("top", ())],
+            [("pop", ()), ("push", ("c",))],
+        ]
+        spec = universal_spec(StackSpec(), scripts)
+        execution = spec.run(RandomScheduler(seed))
+        assert execution.all_done()
+        history = history_from_execution(execution)
+        assert is_linearizable(history, StackSpec())

@@ -1,0 +1,150 @@
+"""Unit tests for the Wing–Gong checker on hand-crafted histories."""
+
+import pytest
+
+from repro.analysis.linearizability import (
+    check_linearizable,
+    is_linearizable,
+    linearization_of,
+)
+from repro.errors import NotLinearizableError
+from repro.objects.queue_stack import QueueSpec
+from repro.objects.register import RegisterSpec
+from repro.objects.set_consensus import SetConsensusSpec
+from repro.runtime.history import History, HistoryEvent
+
+
+def ev(pid, method, args, response, invoked, responded):
+    return HistoryEvent(
+        pid=pid,
+        obj="o",
+        method=method,
+        args=tuple(args),
+        response=response,
+        invoked_at=invoked,
+        responded_at=responded,
+    )
+
+
+class TestRegisterHistories:
+    def test_sequential_history(self):
+        history = History([
+            ev(0, "write", ["a"], None, 0, 1),
+            ev(1, "read", [], "a", 2, 3),
+        ])
+        assert is_linearizable(history, RegisterSpec())
+
+    def test_stale_read_rejected(self):
+        """Read returns the old value after a write completed: no order
+        satisfies both real time and the spec."""
+        history = History([
+            ev(0, "write", ["a"], None, 0, 1),
+            ev(1, "read", [], None, 2, 3),  # reads initial None too late
+        ])
+        assert not is_linearizable(history, RegisterSpec())
+
+    def test_concurrent_read_may_go_either_way(self):
+        concurrent_old = History([
+            ev(0, "write", ["a"], None, 0, 5),
+            ev(1, "read", [], None, 1, 2),
+        ])
+        concurrent_new = History([
+            ev(0, "write", ["a"], None, 0, 5),
+            ev(1, "read", [], "a", 1, 2),
+        ])
+        assert is_linearizable(concurrent_old, RegisterSpec())
+        assert is_linearizable(concurrent_new, RegisterSpec())
+
+    def test_future_read_rejected(self):
+        history = History([
+            ev(1, "read", [], "a", 0, 1),
+            ev(0, "write", ["a"], None, 2, 3),
+        ])
+        assert not is_linearizable(history, RegisterSpec())
+
+    def test_initial_state_override(self):
+        history = History([ev(0, "read", [], "boot", 0, 1)])
+        assert not is_linearizable(history, RegisterSpec())
+        assert is_linearizable(history, RegisterSpec(), initial_state="boot")
+
+
+class TestQueueHistories:
+    def test_fifo_respected(self):
+        history = History([
+            ev(0, "enqueue", ["a"], None, 0, 1),
+            ev(0, "enqueue", ["b"], None, 2, 3),
+            ev(1, "dequeue", [], "a", 4, 5),
+            ev(1, "dequeue", [], "b", 6, 7),
+        ])
+        assert is_linearizable(history, QueueSpec())
+
+    def test_fifo_violation_rejected(self):
+        history = History([
+            ev(0, "enqueue", ["a"], None, 0, 1),
+            ev(0, "enqueue", ["b"], None, 2, 3),
+            ev(1, "dequeue", [], "b", 4, 5),
+            ev(1, "dequeue", [], "a", 6, 7),
+        ])
+        assert not is_linearizable(history, QueueSpec())
+
+    def test_concurrent_enqueues_commute(self):
+        history = History([
+            ev(0, "enqueue", ["a"], None, 0, 10),
+            ev(1, "enqueue", ["b"], None, 0, 10),
+            ev(0, "dequeue", [], "b", 11, 12),
+            ev(1, "dequeue", [], "a", 13, 14),
+        ])
+        assert is_linearizable(history, QueueSpec())
+
+
+class TestPendingOperations:
+    def test_pending_op_may_take_effect(self):
+        history = History([
+            ev(0, "write", ["a"], None, 0, None),  # pending write
+            ev(1, "read", [], "a", 1, 2),
+        ])
+        assert is_linearizable(history, RegisterSpec())
+
+    def test_pending_op_may_be_dropped(self):
+        history = History([
+            ev(0, "write", ["a"], None, 0, None),
+            ev(1, "read", [], None, 1, 2),
+        ])
+        assert is_linearizable(history, RegisterSpec())
+
+    def test_empty_history(self):
+        assert is_linearizable(History([]), RegisterSpec())
+
+
+class TestNondeterministicSpecs:
+    def test_any_witnessed_outcome_accepted(self):
+        history = History([
+            ev(0, "propose", ["a"], "a", 0, 1),
+            ev(1, "propose", ["b"], "b", 2, 3),
+        ])
+        assert is_linearizable(history, SetConsensusSpec(3, 2))
+
+    def test_overfull_adoption_rejected(self):
+        """Three distinct responses from a (3, 2) object cannot happen."""
+        history = History([
+            ev(0, "propose", ["a"], "a", 0, 1),
+            ev(1, "propose", ["b"], "b", 2, 3),
+            ev(2, "propose", ["c"], "c", 4, 5),
+        ])
+        assert not is_linearizable(history, SetConsensusSpec(3, 2))
+
+
+class TestInterface:
+    def test_linearization_order_returned(self):
+        history = History([
+            ev(1, "read", [], "a", 4, 5),
+            ev(0, "write", ["a"], None, 0, 1),
+        ])
+        order = linearization_of(history, RegisterSpec())
+        assert [e.method for e in order] == ["write", "read"]
+
+    def test_check_raises_with_history(self):
+        history = History([ev(0, "read", [], "ghost", 0, 1)])
+        with pytest.raises(NotLinearizableError) as exc:
+            check_linearizable(history, RegisterSpec())
+        assert exc.value.history is history

@@ -1,0 +1,98 @@
+"""Tests for the crash-resilience auditor."""
+
+import pytest
+
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.immediate_snapshot import immediate_snapshot_spec
+from repro.algorithms.safe_agreement import consensus_spec as safe_agreement_spec
+from repro.algorithms.set_consensus_from_family import set_consensus_spec
+from repro.analysis.resilience import check_resilience
+from repro.tasks import ConsensusTask, KSetConsensusTask
+from repro.tasks.immediate_snapshot import ImmediateSnapshotTask
+
+
+class TestWaitFreeProtocolsAreResilient:
+    def test_family_protocol_max_resilience(self):
+        """The ring protocol is wait-free, hence (n-1)-resilient."""
+        inputs = ["a", "b", "c"]
+        spec = set_consensus_spec(1, 1, inputs)
+        report = check_resilience(
+            spec, KSetConsensusTask(2), inputs_dict(inputs), max_failures=2,
+            max_depth=10,
+        )
+        assert report.resilient, report.summary()
+        # 1 + 3 + 3 crash sets of size 0/1/2.
+        assert report.crash_sets_checked == 7
+
+    def test_immediate_snapshot_resilient(self):
+        inputs = ["a", "b"]
+        spec = immediate_snapshot_spec(inputs)
+        report = check_resilience(
+            spec, ImmediateSnapshotTask(), inputs_dict(inputs), max_failures=1,
+            max_depth=30,
+        )
+        assert report.resilient, report.summary()
+
+    def test_summary_text(self):
+        inputs = ["a", "b"]
+        spec = immediate_snapshot_spec(inputs)
+        report = check_resilience(
+            spec, ImmediateSnapshotTask(), inputs_dict(inputs), max_failures=0,
+            max_depth=30,
+        )
+        assert "0-resilient" in report.summary()
+
+
+class TestBlockingProtocolsAreNot:
+    def test_safe_agreement_flagged_even_without_crashes(self):
+        """Safe agreement is not wait-free at all: even with zero
+        crashes, the adversary can park one participant at level 1 and
+        let the other spin on its scans forever.  The auditor flags the
+        empty crash set with a starvation witness — exactly the 'unsafe
+        section' semantics."""
+        spec = safe_agreement_spec(2, ["a", "b"])
+        report = check_resilience(
+            spec, ConsensusTask(), {0: "a", 1: "b"}, max_failures=1,
+            max_depth=40,
+        )
+        assert not report.resilient
+        crash_set, reason, _witness = report.failures[0]
+        assert crash_set == frozenset()
+        assert "starved" in reason
+
+    def test_waiting_protocol_starves(self):
+        """A protocol that genuinely waits for a peer's write fails the
+        audit with a starvation witness."""
+        from repro.algorithms.helpers import build_spec
+        from repro.objects.register import RegisterSpec
+        from repro.runtime.ops import invoke
+
+        def program(pid, value):
+            yield invoke(f"r{pid}", "write", value)
+            while True:
+                other = yield invoke(f"r{1 - pid}", "read")
+                if other is not None:
+                    break
+            return min(value, other)
+
+        spec = build_spec(
+            {"r0": RegisterSpec(), "r1": RegisterSpec()}, program, ["a", "b"]
+        )
+        report = check_resilience(
+            spec, ConsensusTask(), {0: "a", 1: "b"}, max_failures=1,
+            max_depth=30,
+        )
+        assert not report.resilient
+        crash_set, reason, witness = report.failures[0]
+        assert "starved" in reason
+        assert witness is not None
+
+
+class TestParameterValidation:
+    def test_bad_failure_count(self):
+        inputs = ["a", "b"]
+        spec = immediate_snapshot_spec(inputs)
+        with pytest.raises(ValueError):
+            check_resilience(
+                spec, ImmediateSnapshotTask(), inputs_dict(inputs), max_failures=2
+            )

@@ -1,0 +1,117 @@
+"""Tests for state-space analysis tools."""
+
+import pytest
+
+from repro.analysis.statespace import (
+    NONE_STATE,
+    state_graph,
+    summarize_state_space,
+    verify_determinism,
+)
+from repro.core.family import HierarchyObjectSpec
+from repro.objects.register import RegisterSpec
+from repro.objects.rmw import TestAndSetSpec
+from repro.objects.set_consensus import SetConsensusSpec
+
+
+REGISTER_OPS = [("write", ("a",)), ("write", ("b",)), ("read", ())]
+
+
+class TestStateGraph:
+    def test_register_graph_shape(self):
+        graph = state_graph(RegisterSpec(), REGISTER_OPS)
+        assert set(graph.nodes) == {NONE_STATE, "a", "b"}
+        # From every state: write a, write b, read (self-loop) = 3 edges.
+        assert graph.number_of_edges() == 9
+
+    def test_edge_attributes(self):
+        graph = state_graph(RegisterSpec(), [("write", ("a",))])
+        data = list(graph.get_edge_data(NONE_STATE, "a").values())[0]
+        assert data["op"] == ("write", ("a",))
+        assert data["response"] is None
+
+    def test_tas_graph(self):
+        graph = state_graph(TestAndSetSpec(), [("test_and_set", ())])
+        assert set(graph.nodes) == {0, 1}
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 1)
+
+    def test_nondeterministic_edges_enumerated(self):
+        spec = SetConsensusSpec(3, 2)
+        ops = [("propose", ("a",)), ("propose", ("b",))]
+        graph = state_graph(spec, ops)
+        initial = spec.initial_state()
+        after_a = (frozenset({"a"}), 1)
+        assert graph.has_edge(initial, after_a)
+        # From after_a, proposing b branches into adopt and extend.
+        targets = set(graph.successors(after_a))
+        assert (frozenset({"a"}), 2) in targets
+        assert (frozenset({"a", "b"}), 2) in targets
+
+
+class TestVerifyDeterminism:
+    def test_register_verified(self):
+        report = verify_determinism(RegisterSpec(), REGISTER_OPS)
+        assert report.deterministic
+        assert report.states_checked == 3
+        assert "deterministic over" in report.summary()
+
+    def test_family_verified(self):
+        spec = HierarchyObjectSpec(2, 1)
+        ops = [
+            ("invoke", (0, 0, "a")),
+            ("invoke", (1, 0, "b")),
+            ("invoke", (2, 1, "c")),
+        ]
+        report = verify_determinism(spec, ops)
+        assert report.deterministic
+
+    def test_set_consensus_refuted_with_witness(self):
+        spec = SetConsensusSpec(3, 2)
+        ops = [("propose", ("a",)), ("propose", ("b",))]
+        report = verify_determinism(spec, ops)
+        assert not report.deterministic
+        state, (method, args) = report.witness
+        assert method == "propose"
+        assert "nondeterministic" in report.summary()
+
+    def test_flags_agree_with_verification(self):
+        """The declared `deterministic` attribute matches systematic
+        verification across representative objects."""
+        cases = [
+            (RegisterSpec(), REGISTER_OPS),
+            (TestAndSetSpec(), [("test_and_set", ()), ("read", ())]),
+            (SetConsensusSpec(4, 2), [("propose", ("x",)), ("propose", ("y",))]),
+            (
+                HierarchyObjectSpec(1, 1),
+                [("invoke", (0, 0, "a")), ("invoke", (1, 0, "b"))],
+            ),
+        ]
+        for spec, ops in cases:
+            report = verify_determinism(spec, ops)
+            assert report.deterministic == spec.deterministic, type(spec).__name__
+
+
+class TestSummaries:
+    def test_register_summary(self):
+        summary = summarize_state_space(RegisterSpec(), REGISTER_OPS)
+        assert summary.states == 3
+        assert summary.transitions == 9
+        assert summary.depth == 1
+        assert summary.sinks == 0
+
+    def test_family_summary_has_sinks(self):
+        """A one-shot object's fully-used states are sinks."""
+        spec = HierarchyObjectSpec(1, 1)
+        ops = [
+            ("invoke", (0, 0, "a")),
+            ("invoke", (1, 0, "b")),
+            ("invoke", (2, 0, "c")),
+        ]
+        summary = summarize_state_space(spec, ops)
+        assert summary.sinks >= 1
+        assert summary.depth == 3
+
+    def test_str_rendering(self):
+        summary = summarize_state_space(RegisterSpec(), REGISTER_OPS)
+        assert "3 states" in str(summary)

@@ -1,0 +1,132 @@
+"""Tests for valency analysis: bivalence, criticality, counterexamples."""
+
+import pytest
+
+from repro.algorithms.helpers import build_spec
+from repro.analysis.valency import (
+    classify_valence,
+    consensus_counterexample,
+    find_critical_configuration,
+)
+from repro.objects.register import RegisterSpec
+from repro.objects.rmw import TestAndSetSpec
+from repro.objects.sticky import StickyRegisterSpec
+from repro.runtime.ops import invoke
+
+
+def tas_consensus_spec(inputs):
+    """Correct 2-process consensus from test-and-set + registers."""
+
+    def program(pid, value):
+        yield invoke(f"v{pid}", "write", value)
+        lost = yield invoke("t", "test_and_set")
+        if lost == 0:
+            return value
+        other = yield invoke(f"v{1 - pid}", "read")
+        return other
+
+    return build_spec(
+        {"t": TestAndSetSpec(), "v0": RegisterSpec(), "v1": RegisterSpec()},
+        program,
+        inputs,
+    )
+
+
+def naive_register_consensus_spec(inputs):
+    """A doomed register-only 'consensus': write own, read other, take
+    min — violates agreement under some schedule (FLP/Herlihy)."""
+
+    def program(pid, value):
+        yield invoke(f"v{pid}", "write", value)
+        other = yield invoke(f"v{1 - pid}", "read")
+        if other is None:
+            return value
+        return min(value, other)
+
+    return build_spec(
+        {"v0": RegisterSpec(), "v1": RegisterSpec()}, program, inputs
+    )
+
+
+def sticky_consensus_spec(inputs):
+    def program(pid, value):
+        decision = yield invoke("s", "propose", value)
+        return decision
+
+    return build_spec({"s": StickyRegisterSpec()}, program, inputs)
+
+
+class TestClassifyValence:
+    def test_tas_initial_configuration_is_bivalent(self):
+        spec = tas_consensus_spec(["a", "b"])
+        report = classify_valence(spec)
+        assert report.valence == frozenset({"a", "b"})
+        assert report.bivalent
+
+    def test_sticky_becomes_univalent_after_one_step(self):
+        spec = sticky_consensus_spec(["a", "b"])
+        report = classify_valence(spec)
+        assert report.bivalent
+        # Every single step decides the winner: the initial config is
+        # critical for the sticky register.
+        assert report.critical
+
+    def test_valence_after_prefix(self):
+        spec = sticky_consensus_spec(["a", "b"])
+        report = classify_valence(spec, prefix=[(1, 0)])
+        assert report.valence == frozenset({"b"})
+        assert not report.bivalent
+
+    def test_children_cover_enabled_steps(self):
+        spec = tas_consensus_spec(["a", "b"])
+        report = classify_valence(spec)
+        assert set(report.children) == {(0, 0), (1, 0)}
+
+
+class TestCriticalConfiguration:
+    def test_tas_protocol_has_critical_configuration(self):
+        """The classical picture: walking bivalent children of a correct
+        2-process consensus protocol terminates at a critical
+        configuration whose pending steps hit the same TAS object."""
+        spec = tas_consensus_spec(["a", "b"])
+        report = find_critical_configuration(spec)
+        assert report is not None
+        assert report.critical
+        system = spec.replay(report.prefix)
+        pending = [system.pending_operation(pid) for pid in system.enabled_pids()]
+        targets = {op.target for op in pending}
+        assert targets == {"t"}  # both poised on the synchronization kernel
+
+    def test_univalent_protocol_has_no_critical_configuration(self):
+        """With equal inputs the protocol is univalent from the start."""
+        spec = tas_consensus_spec(["same", "same"])
+        assert find_critical_configuration(spec) is None
+
+
+class TestConsensusCounterexample:
+    def test_correct_protocol_has_none(self):
+        spec = tas_consensus_spec(["a", "b"])
+        assert consensus_counterexample(spec, {0: "a", 1: "b"}) is None
+
+    def test_sticky_protocol_has_none(self):
+        spec = sticky_consensus_spec(["a", "b"])
+        assert consensus_counterexample(spec, {0: "a", 1: "b"}) is None
+
+    def test_register_protocol_must_fail(self):
+        """No wait-free register-only consensus exists: the checker finds
+        the violating schedule for this concrete attempt."""
+        spec = naive_register_consensus_spec(["b", "a"])
+        witness = consensus_counterexample(spec, {0: "b", 1: "a"})
+        assert witness is not None
+        # Replay confirms: both ran to completion yet disagreed.
+        replayed = spec.replay(witness.decisions).finalize()
+        assert len(set(replayed.outputs.values())) == 2
+
+    def test_validity_violations_detected(self):
+        def program(pid, value):
+            yield invoke("r", "read")
+            return "made-up"
+
+        spec = build_spec({"r": RegisterSpec()}, program, ["a", "b"])
+        witness = consensus_counterexample(spec, {0: "a", 1: "b"})
+        assert witness is not None

@@ -1,0 +1,76 @@
+"""Tests for the wait-freedom auditor."""
+
+import pytest
+
+from repro.algorithms.helpers import build_spec
+from repro.algorithms.safe_agreement import consensus_spec as safe_agreement_spec
+from repro.algorithms.set_consensus_from_family import set_consensus_spec
+from repro.analysis.wait_freedom import audit_wait_freedom, sample_wait_freedom
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import invoke
+
+
+class TestExhaustiveAudit:
+    def test_family_protocol_is_wait_free_with_exact_bound(self):
+        inputs = ["a", "b", "c"]
+        spec = set_consensus_spec(1, 1, inputs)
+        report = audit_wait_freedom(spec, max_depth=10)
+        assert report.wait_free
+        assert report.exhaustive
+        assert report.step_bound == 1  # one invoke per process
+        assert report.executions_checked == 6
+
+    def test_two_step_protocol_bound(self):
+        def program(pid, value):
+            yield invoke("r", "write", value)
+            seen = yield invoke("r", "read")
+            return seen
+
+        spec = build_spec({"r": RegisterSpec()}, program, ["a", "b"])
+        report = audit_wait_freedom(spec)
+        assert report.wait_free
+        assert report.step_bound == 2
+        assert report.per_process_bounds == {0: 2, 1: 2}
+
+    def test_safe_agreement_refuted_with_witness(self):
+        """Safe agreement spins while a peer is parked at level 1: the
+        auditor must produce a starvation witness, not a bound."""
+        spec = safe_agreement_spec(2, ["a", "b"])
+        report = audit_wait_freedom(spec, max_depth=25)
+        assert not report.wait_free
+        assert report.witness is not None
+        assert "NOT wait-free" in report.summary()
+
+    def test_witness_replays(self):
+        spec = safe_agreement_spec(2, ["a", "b"])
+        report = audit_wait_freedom(spec, max_depth=25)
+        replayed = spec.replay(report.witness.decisions).finalize()
+        assert replayed.schedule == report.witness.schedule
+
+
+class TestSampledAudit:
+    def test_large_family_instance(self):
+        inputs = [f"v{i}" for i in range(12)]
+        spec = set_consensus_spec(2, 2, inputs[:8])
+        report = sample_wait_freedom(spec, seeds=range(60))
+        assert report.wait_free
+        assert not report.exhaustive
+        assert report.step_bound == 1
+
+    def test_spinner_detected(self):
+        def program(pid, value):
+            while True:
+                yield invoke("r", "read")
+
+        spec = build_spec({"r": RegisterSpec()}, program, ["x"])
+        report = sample_wait_freedom(spec, seeds=range(3), max_steps=100)
+        assert not report.wait_free
+
+    def test_summary_mentions_bound(self):
+        def program(pid, value):
+            yield invoke("r", "write", value)
+            return value
+
+        spec = build_spec({"r": RegisterSpec()}, program, ["x", "y"])
+        report = sample_wait_freedom(spec, seeds=range(5))
+        assert "1 steps per process" in report.summary()

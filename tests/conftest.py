@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import RandomScheduler, RoundRobinScheduler
+
+
+@pytest.fixture
+def round_robin():
+    return RoundRobinScheduler()
+
+
+@pytest.fixture
+def seeds():
+    """Default seed range for randomized-schedule checks."""
+    return range(50)
+
+
+def make_random(seed: int) -> RandomScheduler:
+    return RandomScheduler(seed)

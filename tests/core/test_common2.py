@@ -1,0 +1,73 @@
+"""Unit and integration tests for the Common2 refutation (experiment E6)."""
+
+import pytest
+
+from repro.algorithms.consensus_from_n_consensus import (
+    partition_set_consensus_spec as baseline_spec,
+)
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.set_consensus_from_family import set_consensus_spec
+from repro.core.common2 import common2_refutation, refutation_series
+from repro.core.consensus_number import consensus_number_of
+from repro.core.theorem import is_implementable
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+from repro.tasks import KSetConsensusTask, check_task_random_schedules
+
+
+class TestCertificate:
+    def test_basic_certificate(self):
+        cert = common2_refutation(1)
+        assert cert.holds
+        assert cert.system_size == 6
+        assert cert.family_agreement == 2
+        assert cert.common2_agreement == 3
+
+    @pytest.mark.parametrize("k", range(1, 10))
+    def test_holds_at_every_level(self, k):
+        assert common2_refutation(k).holds
+
+    def test_counterexample_has_consensus_number_two(self):
+        cert = common2_refutation(2)
+        assert consensus_number_of(cert.member.spec()) == 2
+
+    def test_theorem_agrees(self):
+        """The certificate is exactly a non-implementability instance of
+        the set-consensus theorem: (2(k+2), k+1) not from (2, 1)."""
+        for k in range(1, 6):
+            assert not is_implementable(2 * (k + 2), k + 1, 2, 1)
+
+    def test_series_gives_distinct_objects(self):
+        series = refutation_series(5)
+        assert len({cert.member for cert in series}) == 5
+
+    def test_statement_mentions_common2(self):
+        assert "Common2" in common2_refutation(1).statement()
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            common2_refutation(0)
+
+
+class TestExecutableRefutation:
+    """Run both sides at N = 6 (n = 2, k = 1): O(2,1) always <= 2 distinct
+    decisions; 2-consensus partitioning is forced to 3."""
+
+    INPUTS = ["a", "b", "c", "d", "e", "f"]
+
+    def test_family_side_respects_two_agreement(self):
+        spec = set_consensus_spec(2, 1, self.INPUTS)
+        report = check_task_random_schedules(
+            spec, KSetConsensusTask(2), inputs_dict(self.INPUTS), seeds=range(200)
+        )
+        assert report.ok, report.reason
+
+    def test_common2_side_forced_to_three(self):
+        spec = baseline_spec(2, self.INPUTS)
+        execution = spec.run(SoloScheduler([0, 2, 4, 1, 3, 5]))
+        assert len(execution.distinct_outputs()) == 3
+
+    def test_common2_side_never_exceeds_three(self):
+        spec = baseline_spec(2, self.INPUTS)
+        for seed in range(100):
+            execution = spec.run(RandomScheduler(seed))
+            assert len(execution.distinct_outputs()) <= 3

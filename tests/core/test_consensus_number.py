@@ -1,0 +1,108 @@
+"""Unit tests for consensus-number accounting."""
+
+import math
+
+import pytest
+
+from repro.core.consensus_number import (
+    KNOWN_CONSENSUS_NUMBERS,
+    consensus_number_of,
+    is_sub_consensus,
+)
+from repro.core.family import HierarchyObjectSpec
+from repro.errors import ReproError
+from repro.objects.base import DeterministicObjectSpec
+from repro.objects.consensus_object import NConsensusSpec
+from repro.objects.counter import CounterSpec, DoorwaySpec
+from repro.objects.queue_stack import QueueSpec, StackSpec
+from repro.objects.register import ArraySpec, RegisterSpec
+from repro.objects.rmw import (
+    CompareAndSwapSpec,
+    FetchAndAddSpec,
+    SwapSpec,
+    TestAndSetSpec,
+)
+from repro.objects.set_consensus import SetConsensusSpec
+from repro.objects.snapshot import AtomicSnapshotSpec
+from repro.objects.sticky import StickyBitSpec, StickyRegisterSpec
+
+
+class TestClassicalValues:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            RegisterSpec(),
+            ArraySpec(3),
+            CounterSpec(),
+            DoorwaySpec(),
+            AtomicSnapshotSpec(3),
+        ],
+    )
+    def test_level_one(self, spec):
+        assert consensus_number_of(spec) == 1
+
+    @pytest.mark.parametrize(
+        "spec",
+        [TestAndSetSpec(), SwapSpec(), FetchAndAddSpec(), QueueSpec(), StackSpec()],
+    )
+    def test_level_two(self, spec):
+        assert consensus_number_of(spec) == 2
+
+    @pytest.mark.parametrize(
+        "spec",
+        [CompareAndSwapSpec(), StickyBitSpec(), StickyRegisterSpec()],
+    )
+    def test_universal_objects(self, spec):
+        assert consensus_number_of(spec) == math.inf
+
+    def test_n_consensus_parameterized(self):
+        assert consensus_number_of(NConsensusSpec(5)) == 5
+
+    def test_set_consensus_j1_is_m_consensus(self):
+        assert consensus_number_of(SetConsensusSpec(5, 1)) == 5
+
+    def test_set_consensus_j2_is_level_one(self):
+        assert consensus_number_of(SetConsensusSpec(5, 2)) == 1
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (2, 1), (2, 5), (4, 2)])
+    def test_family_is_level_n(self, n, k):
+        """The paper's headline: consensus number n at *every* level k."""
+        assert consensus_number_of(HierarchyObjectSpec(n, k)) == n
+
+
+class TestLookupMachinery:
+    def test_unknown_spec_rejected(self):
+        class Mystery(DeterministicObjectSpec):
+            def initial_state(self):
+                return None
+
+            def do_poke(self, state):
+                return None, state
+
+        with pytest.raises(ReproError, match="no recorded consensus number"):
+            consensus_number_of(Mystery())
+
+    def test_subclasses_inherit_via_mro(self):
+        class FancyQueue(QueueSpec):
+            pass
+
+        assert consensus_number_of(FancyQueue()) == 2
+
+    def test_is_sub_consensus(self):
+        assert is_sub_consensus(RegisterSpec(), 1)
+        assert is_sub_consensus(HierarchyObjectSpec(2, 3), 2)
+        assert not is_sub_consensus(HierarchyObjectSpec(3, 1), 2)
+        assert not is_sub_consensus(CompareAndSwapSpec(), 100)
+
+    def test_registry_covers_whole_zoo(self):
+        from repro import objects as zoo
+
+        for name in zoo.__all__:
+            klass = getattr(zoo, name)
+            if isinstance(klass, type) and name.endswith("Spec") and name not in (
+                "ObjectSpec",
+                "DeterministicObjectSpec",
+            ):
+                assert any(
+                    k in KNOWN_CONSENSUS_NUMBERS for k in klass.__mro__
+                ), f"{name} missing from the registry"

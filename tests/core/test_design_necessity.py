@@ -1,0 +1,130 @@
+"""Design-necessity regressions: weaken a load-bearing mechanism and
+watch the explorer produce the counterexample.
+
+DESIGN.md and the module docs claim two mechanisms are essential; these
+tests keep those claims honest by implementing the weakened variants and
+exhibiting their failures.
+"""
+
+from typing import Any, Tuple
+
+import pytest
+
+from repro.algorithms.helpers import build_spec
+from repro.analysis.linearizability import is_linearizable
+from repro.core.family import FamilyState, HierarchyObjectSpec
+from repro.objects.consensus_object import NConsensusSpec
+from repro.objects.rmw import TestAndSetSpec
+from repro.runtime.explorer import explore_executions, find_execution
+from repro.runtime.history import history_from_execution
+from repro.runtime.ops import call_marker, invoke, return_marker
+
+
+class LiveReadVariant(HierarchyObjectSpec):
+    """The broken sibling of O(n, k): returns the successor group's
+    *current* winner instead of the frozen install-time snapshot."""
+
+    def do_invoke(
+        self, state: FamilyState, group: int, slot: int, value: Any
+    ) -> Tuple[Any, FamilyState]:
+        (winner, _frozen), new_state = super().do_invoke(state, group, slot, value)
+        winners, snapshots, used = new_state
+        live_successor = winners[(group + 1) % self.groups]
+        return (winner, live_successor), new_state
+
+
+class TestFrozenSnapshotIsEssential:
+    def test_live_read_variant_breaks_the_bound(self):
+        """With live successor reads, late group members adopt the
+        last-installed winner backwards around the ring: some schedule
+        of the 6-process protocol produces 3 > k+1 = 2 decisions."""
+        n, k = 2, 1
+        spec = LiveReadVariant(n, k)
+        inputs = [f"v{i}" for i in range(spec.ports)]
+
+        def program(pid, value):
+            group, slot = divmod(pid, n)
+            winner, successor = yield invoke("O", "invoke", group, slot, value)
+            return successor if successor is not None else winner
+
+        system = build_spec({"O": spec}, program, inputs)
+        witness = find_execution(
+            system,
+            lambda e: len(e.distinct_outputs()) > k + 1,
+            max_depth=10,
+        )
+        assert witness is not None, "live-read variant unexpectedly safe"
+        assert len(witness.distinct_outputs()) == 3
+
+    def test_frozen_spec_has_no_such_execution(self):
+        """The same search against the real object finds nothing — the
+        freeze is exactly what closes the leak."""
+        n, k = 2, 1
+        spec = HierarchyObjectSpec(n, k)
+        inputs = [f"v{i}" for i in range(spec.ports)]
+
+        def program(pid, value):
+            group, slot = divmod(pid, n)
+            winner, snapshot = yield invoke("O", "invoke", group, slot, value)
+            return snapshot if snapshot is not None else winner
+
+        system = build_spec({"O": spec}, program, inputs)
+        witness = find_execution(
+            system,
+            lambda e: len(e.distinct_outputs()) > k + 1,
+            max_depth=10,
+        )
+        assert witness is None
+
+
+def bare_tournament_spec():
+    """Three processes, tournament WITHOUT the doorway (leaves 0, 1, 2 of
+    a 4-leaf tree), annotated as TAS operations."""
+    from repro.objects.register import RegisterSpec
+
+    objects = {
+        "t[0,0]": NConsensusSpec(2),
+        "t[0,1]": NConsensusSpec(2),
+        "t[1,0]": NConsensusSpec(2),
+        "warm": RegisterSpec(),
+    }
+
+    def program(pid, leaf):
+        # Warm-up step so the logical TAS interval starts when the
+        # process is first scheduled, not at priming time.
+        yield invoke("warm", "read")
+        yield call_marker("tas", "test_and_set")
+        position = leaf
+        outcome = 0
+        for level in range(2):
+            position //= 2
+            decided = yield invoke(f"t[{level},{position}]", "propose", leaf)
+            if decided != leaf:
+                outcome = 1
+                break
+        yield return_marker(outcome)
+        return outcome
+
+    return build_spec(objects, program, [0, 1, 2])
+
+
+class TestDoorwayIsEssential:
+    def test_bare_tournament_not_linearizable(self):
+        """Some schedule lets a process lose and return before anyone
+        wins, then a later starter wins — no first-wins order exists."""
+        spec = bare_tournament_spec()
+        reference = TestAndSetSpec()
+
+        def violates(execution):
+            history = history_from_execution(execution)
+            return not is_linearizable(history, reference)
+
+        witness = find_execution(spec, violates, max_depth=20)
+        assert witness is not None, "bare tournament unexpectedly linearizable"
+
+    def test_bare_tournament_still_elects_one_winner(self):
+        """The weaker guarantee survives: exactly one WIN — which is why
+        bare tournaments are fine for *election* but not for TAS."""
+        spec = bare_tournament_spec()
+        for execution in explore_executions(spec, max_depth=20):
+            assert list(execution.outputs.values()).count(0) == 1

@@ -1,0 +1,203 @@
+"""Protocol-level validation of the O(n, k) family (experiments E1/E2).
+
+These are the paper's positive claims run under *every* schedule for small
+parameters and under many random schedules for larger ones:
+
+* E1 — consensus for n processes (consensus number >= n);
+* E2 — (n(k+2), k+1)-set consensus with one object, including crash
+  prefixes; tightness (the adversary can force exactly k+1); the
+  partition/ratio extension matching the cover closed form.
+"""
+
+import pytest
+
+from repro.algorithms.helpers import inputs_dict
+from repro.algorithms.set_consensus_from_family import (
+    consensus_spec,
+    partition_set_consensus_spec,
+    set_consensus_spec,
+    worst_case_agreement,
+)
+from repro.core.power import family_agreement
+from repro.runtime.explorer import Explorer, explore_executions
+from repro.runtime.scheduler import (
+    CrashingScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+)
+from repro.tasks import (
+    ConsensusTask,
+    KSetConsensusTask,
+    check_task_all_schedules,
+    check_task_random_schedules,
+)
+
+
+def letters(count: int):
+    return [chr(ord("a") + i) for i in range(count)]
+
+
+class TestE1ConsensusLowerBound:
+    @pytest.mark.parametrize("n,k", [(1, 1), (2, 1), (2, 2), (3, 1)])
+    def test_consensus_all_schedules(self, n, k):
+        inputs = letters(n)
+        spec = consensus_spec(n, k, inputs)
+        report = check_task_all_schedules(
+            spec, ConsensusTask(), inputs_dict(inputs), max_depth=10
+        )
+        assert report.ok, report.reason
+
+    def test_fewer_participants_also_agree(self):
+        inputs = letters(2)
+        spec = consensus_spec(3, 1, inputs)
+        report = check_task_all_schedules(
+            spec, ConsensusTask(), inputs_dict(inputs), max_depth=10
+        )
+        assert report.ok, report.reason
+
+    def test_too_many_participants_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_spec(2, 1, letters(3))
+
+    def test_decision_is_first_writers_value(self):
+        inputs = ["x", "y"]
+        spec = consensus_spec(2, 1, inputs)
+        execution = spec.run(SoloScheduler([1, 0]))
+        assert set(execution.outputs.values()) == {"y"}
+
+
+class TestE2SetConsensus:
+    def test_full_occupancy_exhaustive_o21(self):
+        """All 720 schedules of the 6-process O(2,1) protocol: always
+        exactly <= 2 distinct decisions."""
+        inputs = letters(6)
+        spec = set_consensus_spec(2, 1, inputs)
+        report = check_task_all_schedules(
+            spec, KSetConsensusTask(2), inputs_dict(inputs), max_depth=10
+        )
+        assert report.ok, report.reason
+        assert report.executions_checked == 720
+        assert set(report.distinct_output_counts) <= {1, 2}
+
+    def test_full_occupancy_exhaustive_o11(self):
+        """n=1 (the WRN-like bottom case): 3 ports, 2-set consensus."""
+        inputs = letters(3)
+        spec = set_consensus_spec(1, 1, inputs)
+        report = check_task_all_schedules(
+            spec, KSetConsensusTask(2), inputs_dict(inputs), max_depth=10
+        )
+        assert report.ok, report.reason
+
+    @pytest.mark.parametrize("n,k", [(2, 2), (3, 1), (2, 3), (4, 1)])
+    def test_full_occupancy_randomized(self, n, k):
+        ports = n * (k + 2)
+        inputs = letters(ports)
+        spec = set_consensus_spec(n, k, inputs)
+        report = check_task_random_schedules(
+            spec, KSetConsensusTask(k + 1), inputs_dict(inputs), seeds=range(200)
+        )
+        assert report.ok, report.reason
+
+    def test_bound_is_tight(self):
+        """The solo adversary in ring order forces exactly k+1 values."""
+        inputs = letters(6)
+        spec = set_consensus_spec(2, 1, inputs)
+        # Ring-spread: pids 0,1,2 are slot 0 of groups 0,1,2.  Run the
+        # installers in ascending group order so every snapshot misses,
+        # then everyone else.
+        execution = spec.run(SoloScheduler([0, 1, 2, 3, 4, 5]))
+        assert len(execution.distinct_outputs()) == 2
+
+    def test_crash_prefixes_respect_bound(self):
+        """k-agreement holds even when processes crash mid-protocol."""
+        inputs = letters(6)
+        for crashed in range(6):
+            spec = set_consensus_spec(2, 1, inputs)
+            scheduler = CrashingScheduler(RandomScheduler(crashed), {crashed: 0})
+            execution = spec.run(scheduler)
+            decisions = set(execution.outputs.values())
+            assert len(decisions) <= 2
+            assert decisions <= set(inputs)
+
+    def test_partial_occupancy_all_schedules(self):
+        inputs = letters(4)
+        spec = set_consensus_spec(2, 1, inputs)
+        report = check_task_all_schedules(
+            spec, KSetConsensusTask(2), inputs_dict(inputs), max_depth=10
+        )
+        assert report.ok, report.reason
+
+    def test_occupancy_bounds_validated(self):
+        with pytest.raises(ValueError):
+            set_consensus_spec(2, 1, letters(2))  # below ring coverage
+        with pytest.raises(ValueError):
+            set_consensus_spec(2, 1, letters(7))  # above port count
+
+
+class TestE2PartitionExtension:
+    @pytest.mark.parametrize(
+        "n,k,total",
+        [(2, 1, 12), (2, 1, 9), (2, 1, 7), (1, 1, 5), (2, 2, 10), (3, 1, 8)],
+    )
+    def test_partition_respects_cover_bound_randomized(self, n, k, total):
+        inputs = letters(total)
+        spec = partition_set_consensus_spec(n, k, inputs)
+        bound = worst_case_agreement(n, k, total)
+        task = KSetConsensusTask(bound)
+        report = check_task_random_schedules(
+            spec, task, inputs_dict(inputs), seeds=range(150)
+        )
+        assert report.ok, report.reason
+
+    def test_partition_bound_tight_for_full_blocks(self):
+        """Two full rings run solo in ring order: exactly 2 + 2 values."""
+        inputs = letters(12)
+        spec = partition_set_consensus_spec(2, 1, inputs)
+        execution = spec.run(SoloScheduler(list(range(12))))
+        assert len(execution.distinct_outputs()) == family_agreement(2, 1, 12)
+
+    def test_remainder_concentrates_when_small(self):
+        # 8 = 6 + 2: remainder 2 <= n(k+1) = 4 concentrates into 1 group.
+        inputs = letters(8)
+        spec = partition_set_consensus_spec(2, 1, inputs)
+        execution = spec.run(RoundRobinScheduler())
+        assert len(execution.distinct_outputs()) <= family_agreement(2, 1, 8)
+
+    def test_remainder_ring_spreads_when_large(self):
+        # 11 = 6 + 5: remainder 5 > 4 ring-spreads, bound 2 + 2 = 4.
+        inputs = letters(11)
+        spec = partition_set_consensus_spec(2, 1, inputs)
+        report = check_task_random_schedules(
+            spec,
+            KSetConsensusTask(family_agreement(2, 1, 11)),
+            inputs_dict(inputs),
+            seeds=range(100),
+        )
+        assert report.ok, report.reason
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            partition_set_consensus_spec(2, 1, [])
+
+
+class TestBeatsNConsensusBaseline:
+    def test_family_beats_partitioned_n_consensus(self):
+        """The executable heart of the separation: at N = n(k+2), the
+        family protocol never exceeds k+1 decisions, while the n-consensus
+        partition protocol is *forced* to k+2 by the solo adversary."""
+        from repro.algorithms.consensus_from_n_consensus import (
+            partition_set_consensus_spec as baseline_spec,
+        )
+
+        inputs = letters(6)  # n=2, k=1: N = 6
+        family = set_consensus_spec(2, 1, inputs)
+        worst_family = 0
+        for seed in range(100):
+            execution = family.run(RandomScheduler(seed))
+            worst_family = max(worst_family, len(execution.distinct_outputs()))
+        assert worst_family <= 2
+
+        baseline = baseline_spec(2, inputs)
+        execution = baseline.run(SoloScheduler([0, 2, 4, 1, 3, 5]))
+        assert len(execution.distinct_outputs()) == 3

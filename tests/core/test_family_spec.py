@@ -1,0 +1,140 @@
+"""Unit tests for the O(n, k) sequential specification."""
+
+import pytest
+
+from repro.core.family import FamilyMember, HierarchyObjectSpec
+from repro.errors import IllegalOperationError
+
+
+def fresh(n=2, k=1, **kwargs):
+    spec = HierarchyObjectSpec(n, k, **kwargs)
+    return spec, spec.initial_state()
+
+
+class TestGeometry:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HierarchyObjectSpec(0, 1)
+        with pytest.raises(ValueError):
+            HierarchyObjectSpec(2, 0)
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (2, 1), (2, 3), (3, 2)])
+    def test_groups_and_ports(self, n, k):
+        spec = HierarchyObjectSpec(n, k)
+        assert spec.groups == k + 2
+        assert spec.ports == n * (k + 2)
+
+    def test_port_enumeration_covers_all(self):
+        spec = HierarchyObjectSpec(2, 1)
+        ports = {spec.port(i) for i in range(spec.ports)}
+        assert ports == {(g, s) for g in range(3) for s in range(2)}
+
+    def test_port_out_of_range(self):
+        spec = HierarchyObjectSpec(2, 1)
+        with pytest.raises(ValueError):
+            spec.port(6)
+
+
+class TestInstallSemantics:
+    def test_first_invocation_installs_winner(self):
+        spec, state = fresh()
+        (winner, snapshot), state = spec.apply_one(state, "invoke", (0, 0, "a"))
+        assert winner == "a"
+        assert snapshot is None
+
+    def test_second_member_sees_same_pair(self):
+        spec, state = fresh()
+        _resp, state = spec.apply_one(state, "invoke", (0, 0, "a"))
+        (winner, snapshot), state = spec.apply_one(state, "invoke", (0, 1, "b"))
+        assert winner == "a"  # first write wins
+        assert snapshot is None  # frozen at install, not re-read
+
+    def test_snapshot_freezes_at_install(self):
+        """Install group 1, then group 0: group 0's snapshot sees group 1;
+        later installs of other groups never change it."""
+        spec, state = fresh(2, 1)
+        _resp, state = spec.apply_one(state, "invoke", (1, 0, "b"))
+        (winner, snapshot), state = spec.apply_one(state, "invoke", (0, 0, "a"))
+        assert (winner, snapshot) == ("a", "b")
+        # Installing group 2 afterwards does not alter group 1's snapshot.
+        _resp, state = spec.apply_one(state, "invoke", (2, 0, "c"))
+        (winner1, snapshot1), state = spec.apply_one(state, "invoke", (1, 1, "x"))
+        assert winner1 == "b"
+        assert snapshot1 is None  # group 2 was empty when group 1 installed
+
+    def test_ring_wraps_around(self):
+        spec, state = fresh(2, 1)  # groups 0, 1, 2; successor of 2 is 0
+        _resp, state = spec.apply_one(state, "invoke", (0, 0, "a"))
+        (winner, snapshot), state = spec.apply_one(state, "invoke", (2, 0, "c"))
+        assert (winner, snapshot) == ("c", "a")
+
+    def test_install_order_determines_snapshots(self):
+        spec, state = fresh(1, 1)  # 3 groups x 1 slot: WRN-like
+        _r, state = spec.apply_one(state, "invoke", (0, 0, "a"))
+        _r, state = spec.apply_one(state, "invoke", (1, 0, "b"))
+        (w2, s2), state = spec.apply_one(state, "invoke", (2, 0, "c"))
+        assert (w2, s2) == ("c", "a")  # sees the wrap predecessor... successor 0
+
+
+class TestMisuse:
+    def test_none_value_rejected(self):
+        spec, state = fresh()
+        with pytest.raises(IllegalOperationError):
+            spec.apply_one(state, "invoke", (0, 0, None))
+
+    @pytest.mark.parametrize("group,slot", [(-1, 0), (3, 0), (0, -1), (0, 2)])
+    def test_port_bounds_enforced(self, group, slot):
+        spec, state = fresh(2, 1)
+        with pytest.raises(IllegalOperationError, match="out of range"):
+            spec.apply_one(state, "invoke", (group, slot, "v"))
+
+    def test_one_shot_port_reuse_rejected(self):
+        spec, state = fresh()
+        _r, state = spec.apply_one(state, "invoke", (0, 0, "a"))
+        with pytest.raises(IllegalOperationError, match="used twice"):
+            spec.apply_one(state, "invoke", (0, 0, "b"))
+
+    def test_multi_shot_variant_allows_reuse(self):
+        spec, state = fresh(one_shot=False)
+        _r, state = spec.apply_one(state, "invoke", (0, 0, "a"))
+        (winner, _s), state = spec.apply_one(state, "invoke", (0, 0, "b"))
+        assert winner == "a"  # reuse allowed, first-write still sticky
+
+    def test_is_deterministic(self):
+        assert HierarchyObjectSpec(2, 1).deterministic
+
+
+class TestFamilyMember:
+    def test_data_sheet_fields(self):
+        member = FamilyMember(2, 1)
+        assert member.groups == 3
+        assert member.ports == 6
+        assert member.consensus_number == 2
+        assert (member.task.m, member.task.j) == (6, 2)
+        assert member.separation_system_size == 5
+        assert member.paper_separation_system_size == 5  # 2*1+2+1
+
+    def test_paper_constant_formula(self):
+        member = FamilyMember(3, 4)
+        assert member.paper_separation_system_size == 3 * 4 + 3 + 4
+
+    def test_weaker_neighbor(self):
+        member = FamilyMember(2, 1)
+        assert member.weaker_neighbor == FamilyMember(2, 2)
+
+    def test_describe_mentions_key_numbers(self):
+        text = FamilyMember(2, 1).describe()
+        assert "O(2, 1)" in text
+        assert "6 ports" in text
+        assert "consensus number 2" in text
+
+    def test_agreement_delegates_to_cover(self):
+        member = FamilyMember(2, 1)
+        assert member.agreement(6) == 2
+        assert member.agreement(5) == 2
+        assert member.agreement(4) == 2
+
+    def test_spec_roundtrip(self):
+        spec = FamilyMember(3, 2).spec()
+        assert (spec.n, spec.k) == (3, 2)
+        assert spec.one_shot

@@ -1,0 +1,99 @@
+"""Unit tests for the hierarchy graphs and strictness witnesses."""
+
+import networkx as nx
+import pytest
+
+from repro.core.family import FamilyMember
+from repro.core.hierarchy import (
+    equivalence_classes,
+    family_chain,
+    family_hierarchy_graph,
+    set_consensus_lattice,
+    strictness_witness,
+)
+from repro.core.theorem import is_implementable
+
+
+class TestStrictnessWitness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_witness_exists_at_every_level(self, n, k):
+        level = strictness_witness(n, k)
+        assert level.agreement_here < level.agreement_weaker
+        assert level.agreement_here == k + 1
+        assert level.agreement_weaker == k + 2
+
+    def test_witness_system_size(self):
+        level = strictness_witness(2, 1)
+        assert level.witness_system_size == FamilyMember(2, 1).ports
+
+    def test_certificate_text(self):
+        text = strictness_witness(2, 1).certificate()
+        assert "O(2,1) > O(2,2)" in text
+
+    def test_chain_is_infinite_in_principle(self):
+        """Truncated check of 'infinitely many levels': the witness
+        construction succeeds for a long run of k."""
+        chain = family_chain(2, 25)
+        assert len(chain) == 25
+        assert all(level.agreement_here == level.member.k + 1 for level in chain)
+
+
+class TestFamilyGraph:
+    def test_nodes_and_anchors(self):
+        graph = family_hierarchy_graph(2, 3)
+        assert "O(2,1)" in graph
+        assert "O(2,3)" in graph
+        assert "2-consensus" in graph
+        assert "registers" in graph
+
+    def test_chain_edges_carry_witnesses(self):
+        graph = family_hierarchy_graph(2, 3)
+        witness = graph.edges["O(2,1)", "O(2,2)"]["witness"]
+        assert witness.agreement_here == 2
+
+    def test_every_level_dominates_n_consensus(self):
+        graph = family_hierarchy_graph(3, 3)
+        for k in (1, 2, 3):
+            assert graph.has_edge(f"O(3,{k})", "3-consensus")
+
+    def test_graph_is_acyclic(self):
+        graph = family_hierarchy_graph(2, 5)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_chain_is_a_path(self):
+        graph = family_hierarchy_graph(2, 4)
+        for k in (1, 2, 3):
+            assert graph.has_edge(f"O(2,{k})", f"O(2,{k + 1})")
+            assert not graph.has_edge(f"O(2,{k + 1})", f"O(2,{k})")
+
+
+class TestSetConsensusLattice:
+    def test_nodes(self):
+        graph = set_consensus_lattice(4)
+        assert "(2,1)-SC" in graph
+        assert "(4,3)-SC" in graph
+
+    def test_edges_match_theorem(self):
+        graph = set_consensus_lattice(6)
+        for u, v in graph.edges:
+            mu, ju = graph.nodes[u]["m"], graph.nodes[u]["j"]
+            mv, jv = graph.nodes[v]["m"], graph.nodes[v]["j"]
+            assert is_implementable(mv, jv, mu, ju)
+
+    def test_consensus_chain_present(self):
+        graph = set_consensus_lattice(5)
+        assert graph.has_edge("(3,1)-SC", "(2,1)-SC")
+        assert not graph.has_edge("(2,1)-SC", "(3,1)-SC")
+
+    def test_equivalence_classes_partition_nodes(self):
+        classes = equivalence_classes(4)
+        members = [node for cls in classes for node in cls]
+        assert sorted(members) == sorted(set_consensus_lattice(4).nodes)
+
+    def test_known_equivalence(self):
+        """(2,1) and (4,2) are NOT equivalent (scaling loses nothing only
+        one way); every class here is checked mutual."""
+        classes = equivalence_classes(4)
+        lookup = {node: i for i, cls in enumerate(classes) for node in cls}
+        assert lookup["(2,1)-SC"] != lookup["(4,2)-SC"]

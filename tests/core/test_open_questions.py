@@ -1,0 +1,64 @@
+"""Tests for the open-questions frontier computations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.open_questions import (
+    consensus_number_one_frontier,
+    open_region_summary,
+    power_fingerprint,
+    ratio_gap,
+    separation_is_tight,
+)
+from repro.core.power import family_profile, n_consensus_profile
+
+
+class TestFingerprint:
+    def test_identical_profiles_identical_fingerprints(self):
+        a = power_fingerprint(family_profile(2, 1), 20)
+        b = power_fingerprint(family_profile(2, 1), 20)
+        assert a == b
+
+    def test_distinct_levels_distinct_fingerprints(self):
+        a = power_fingerprint(family_profile(2, 1), 20)
+        b = power_fingerprint(family_profile(2, 2), 20)
+        assert a != b
+
+    def test_family_vs_consensus_distinct(self):
+        family = power_fingerprint(family_profile(2, 1), 10)
+        consensus = power_fingerprint(n_consensus_profile(2), 10)
+        assert family != consensus
+        assert all(f <= c for f, c in zip(family, consensus))
+
+
+class TestConsensusOneFrontier:
+    def test_frontier_values(self):
+        frontier = consensus_number_one_frontier(3)
+        assert frontier == [Fraction(2, 3), Fraction(3, 4), Fraction(4, 5)]
+
+    def test_two_thirds_is_the_floor(self):
+        frontier = consensus_number_one_frontier(32)
+        assert min(frontier) == Fraction(2, 3)
+
+    def test_ratio_gap_below_floor_is_open(self):
+        gap = ratio_gap(Fraction(1, 2))
+        assert gap == Fraction(2, 3) - Fraction(1, 2)
+
+    def test_ratio_gap_at_floor_is_closed(self):
+        assert ratio_gap(Fraction(2, 3)) is None
+
+
+class TestSeparationTightness:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_reconstruction_constant_is_minimal(self, n, k):
+        assert separation_is_tight(n, k)
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        summary = open_region_summary()
+        assert summary["two_thirds_reached"]
+        assert summary["below_two_thirds_open"]
+        assert summary["consensus1_best_ratio"] == Fraction(2, 3)

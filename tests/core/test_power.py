@@ -1,0 +1,185 @@
+"""Unit and property tests for power descriptors and the cover theorem."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.power import (
+    PowerProfile,
+    SetConsensusPower,
+    antichain,
+    chain_is_strictly_increasing,
+    cover_agreement,
+    family_agreement,
+    family_profile,
+    n_consensus_profile,
+    register_profile,
+    set_consensus_profile,
+)
+from repro.core.theorem import max_agreement
+
+
+class TestSetConsensusPower:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetConsensusPower(3, 4)
+        with pytest.raises(ValueError):
+            SetConsensusPower(3, 0)
+
+    def test_ratio(self):
+        assert SetConsensusPower(6, 2).ratio == Fraction(1, 3)
+
+    def test_consensus_point(self):
+        point = SetConsensusPower.consensus(3)
+        assert (point.m, point.j) == (3, 1)
+
+    def test_registers_point_implements_nothing(self):
+        registers = SetConsensusPower.registers(4)
+        consensus2 = SetConsensusPower.consensus(2)
+        assert consensus2.implements(registers)
+        assert not registers.implements(consensus2)
+
+    def test_consensus_chain_strictly_increasing(self):
+        chain = [SetConsensusPower.consensus(n) for n in range(2, 7)]
+        assert chain_is_strictly_increasing(chain)
+
+    def test_family_task_point(self):
+        point = SetConsensusPower.of_family_task(2, 1)
+        assert (point.m, point.j) == (6, 2)
+
+    def test_equivalent_is_symmetric(self):
+        a = SetConsensusPower(4, 2)
+        b = SetConsensusPower(4, 2)
+        assert a.equivalent(b) and b.equivalent(a)
+
+    def test_antichain_filters_comparables(self):
+        points = [
+            SetConsensusPower.consensus(2),
+            SetConsensusPower.consensus(3),  # comparable: dropped
+            SetConsensusPower(7, 3),
+        ]
+        kept = antichain(points)
+        assert SetConsensusPower.consensus(2) in kept
+        assert SetConsensusPower.consensus(3) not in kept
+
+
+class TestProfiles:
+    def test_profile_domain_validation(self):
+        profile = n_consensus_profile(3)
+        with pytest.raises(ValueError):
+            profile(0)
+        with pytest.raises(ValueError):
+            profile(4)
+
+    def test_profile_value_sanity_enforced(self):
+        bad = PowerProfile("bad", 3, lambda c: 0)
+        with pytest.raises(AssertionError):
+            bad(2)
+
+    def test_n_consensus_profile(self):
+        profile = n_consensus_profile(3)
+        assert [profile(c) for c in (1, 2, 3)] == [1, 1, 1]
+
+    def test_register_profile(self):
+        profile = register_profile(5)
+        assert [profile(c) for c in (1, 3, 5)] == [1, 3, 5]
+
+    def test_set_consensus_profile(self):
+        profile = set_consensus_profile(5, 2)
+        assert [profile(c) for c in (1, 2, 3, 5)] == [1, 2, 2, 2]
+
+    def test_family_profile_shape(self):
+        # O(2, 1): groups=3, ports=6, threshold n(k+1)=4.
+        profile = family_profile(2, 1)
+        assert [profile(c) for c in range(1, 7)] == [1, 1, 2, 2, 2, 2]
+
+    def test_family_profile_ring_discount(self):
+        # O(2, 2): ports 8, threshold 6; c=7,8 give k+1=3, not 4.
+        profile = family_profile(2, 2)
+        assert profile(6) == 3
+        assert profile(7) == 3
+        assert profile(8) == 3
+        assert profile(5) == 3
+        assert profile(4) == 2
+
+
+class TestCoverAgreement:
+    def test_zero_processes(self):
+        assert cover_agreement(0, [n_consensus_profile(2)]) == 0
+
+    def test_requires_profiles(self):
+        with pytest.raises(ValueError):
+            cover_agreement(3, [])
+
+    def test_registers_trivial_cover(self):
+        assert cover_agreement(4, [register_profile(8)]) == 4
+
+    @given(n=st.integers(0, 40), m=st.integers(2, 8), j=st.integers(1, 7))
+    @settings(max_examples=150)
+    def test_matches_closed_form_for_pure_set_consensus(self, n, m, j):
+        """The DP over the (m, j) profile reproduces the theorem's closed
+        form — the cover theorem and the implementability theorem agree."""
+        if j >= m:
+            return
+        dp = cover_agreement(n, [set_consensus_profile(m, j)])
+        assert dp == max_agreement(n, m, j)
+
+    @given(n=st.integers(0, 40), size=st.integers(1, 6))
+    def test_matches_ceil_for_n_consensus(self, n, size):
+        dp = cover_agreement(n, [n_consensus_profile(size)])
+        assert dp == -(-n // size)  # ceil
+
+    def test_mixing_profiles_never_hurts(self):
+        for total in range(1, 30):
+            mixed = cover_agreement(
+                total, [n_consensus_profile(2), family_profile(2, 1)]
+            )
+            single = cover_agreement(total, [family_profile(2, 1)])
+            assert mixed <= single
+
+
+class TestFamilyAgreement:
+    @given(
+        n=st.integers(1, 4),
+        k=st.integers(1, 4),
+        total=st.integers(0, 60),
+    )
+    @settings(max_examples=200)
+    def test_closed_form_matches_dp(self, n, k, total):
+        dp = cover_agreement(total, [family_profile(n, k)])
+        assert family_agreement(n, k, total) == dp
+
+    def test_beats_n_consensus_at_full_ring(self):
+        for n in (2, 3):
+            for k in (1, 2, 3):
+                ports = n * (k + 2)
+                assert family_agreement(n, k, ports) == k + 1
+                assert -(-ports // n) == k + 2  # n-consensus only: one worse
+
+    def test_descending_chain_pointwise(self):
+        """K_k(N) <= K_{k+1}(N) for all N — lower k is stronger."""
+        for n in (1, 2, 3):
+            for k in (1, 2, 3):
+                for total in range(0, 50):
+                    assert family_agreement(n, k, total) <= family_agreement(
+                        n, k + 1, total
+                    )
+
+    def test_strict_at_separation_size(self):
+        for n in (1, 2, 3):
+            for k in (1, 2, 3):
+                witness = n * (k + 1) + 1
+                assert family_agreement(n, k, witness) == k + 1
+                assert family_agreement(n, k + 1, witness) == k + 2
+
+    def test_forward_implementation_of_weaker_task(self):
+        """O(n, k) covers O(n, k+1)'s task: K_k(n(k+3)) <= k+2."""
+        for n in (1, 2, 3):
+            for k in (1, 2, 3):
+                assert family_agreement(n, k, n * (k + 3)) <= k + 2
+
+    def test_negative_process_count_rejected(self):
+        with pytest.raises(ValueError):
+            family_agreement(2, 1, -1)

@@ -1,0 +1,104 @@
+"""Tests for the set-consensus ratio implications."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.power import family_agreement
+from repro.core.ratio import (
+    anchor_position,
+    asymptotic_ratio,
+    best_level_for,
+    ratio_frontier,
+    solves_ratio_task,
+)
+
+nk = st.tuples(st.integers(1, 5), st.integers(1, 5))
+
+
+class TestAsymptoticRatio:
+    def test_values(self):
+        assert asymptotic_ratio(2, 1) == Fraction(2, 6)
+        assert asymptotic_ratio(2, 2) == Fraction(3, 8)
+        assert asymptotic_ratio(1, 1) == Fraction(2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            asymptotic_ratio(0, 1)
+
+    @given(params=nk)
+    def test_always_below_n_consensus(self, params):
+        n, k = params
+        assert asymptotic_ratio(n, k) < Fraction(1, n)
+
+    @given(params=nk)
+    def test_descending_chain_in_ratio(self, params):
+        """Lower k = smaller ratio = stronger — matching the cover DP."""
+        n, k = params
+        assert asymptotic_ratio(n, k) < asymptotic_ratio(n, k + 1)
+
+    @given(params=nk, total=st.integers(1, 200))
+    @settings(max_examples=150)
+    def test_ratio_is_the_cover_limit(self, params, total):
+        """K(N)/N converges to the ratio from above (within one object's
+        worth of slack)."""
+        n, k = params
+        ratio = asymptotic_ratio(n, k)
+        value = family_agreement(n, k, total)
+        assert value >= ratio * total - 1
+        assert value <= ratio * total + (k + 2)
+
+
+class TestSolvesRatioTask:
+    def test_headline_tasks(self):
+        assert solves_ratio_task(2, 1, 6, 2)
+        assert not solves_ratio_task(2, 1, 6, 1)
+        assert solves_ratio_task(2, 1, 12, 4)
+        assert not solves_ratio_task(2, 1, 12, 3)
+
+    def test_trivial_agreement(self):
+        assert solves_ratio_task(2, 1, 3, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solves_ratio_task(2, 1, 0, 1)
+
+
+class TestBestLevelFor:
+    def test_weakest_sufficient_level(self):
+        # (6, 2): level 1 works; level 2 gives K_2(6)=3 > 2.
+        assert best_level_for(2, 6, 2) == 1
+
+    def test_easier_task_allows_weaker_level(self):
+        # (8, 3): level 2 achieves exactly 3; level 3 gives 4.
+        assert best_level_for(2, 8, 3) == 2
+
+    def test_impossible_task(self):
+        # (6, 1) is consensus for 6 processes: no level does that.
+        assert best_level_for(2, 6, 1) is None
+
+    def test_trivial_task(self):
+        assert best_level_for(2, 4, 4, k_max=10) == 10
+
+
+class TestFrontierAndAnchors:
+    def test_frontier_shape(self):
+        frontier = ratio_frontier(2, 4)
+        assert len(frontier) == 4
+        ratios = [point.ratio for point in frontier]
+        assert ratios == sorted(ratios)  # descending chain: increasing ratio
+        assert "(6, 2)-set consensus" in frontier[0].example_task
+
+    def test_anchor_position_upper_bound(self):
+        position = anchor_position(2, 1)
+        assert position["family"] < position["n-consensus"]
+
+    @given(params=nk)
+    def test_crossover_rule(self, params):
+        """ratio > 1/(n+1) iff k > n-1 — the documented reconstruction
+        divergence."""
+        n, k = params
+        position = anchor_position(n, k)
+        assert position["above_next_anchor"] == (k > n - 1)

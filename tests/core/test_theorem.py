@@ -1,0 +1,150 @@
+"""Unit and property tests for the set-consensus implementability theorem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theorem import (
+    equivalent_power,
+    implementability_conditions,
+    is_implementable,
+    max_agreement,
+    min_agreement_needed,
+    strictly_stronger,
+)
+
+# Strategy for legal (m, j) object parameters.
+mj = st.tuples(st.integers(2, 20), st.integers(1, 19)).filter(lambda t: t[1] < t[0])
+
+
+class TestMaxAgreement:
+    def test_single_cohort(self):
+        assert max_agreement(3, 3, 1) == 1
+
+    def test_exact_multiple(self):
+        assert max_agreement(6, 3, 1) == 2
+
+    def test_remainder_below_j(self):
+        # 7 processes from (3, 2): 2 cohorts x 2 + remainder min(1, 2) = 5.
+        assert max_agreement(7, 3, 2) == 5
+
+    def test_remainder_above_j(self):
+        # 5 processes from (3, 1): 1 cohort + min(2, 1) = 2.
+        assert max_agreement(5, 3, 1) == 2
+
+    def test_fewer_processes_than_m(self):
+        assert max_agreement(2, 5, 3) == 2  # trivial: everyone own value? min(2,3)=2
+
+    def test_zero_processes(self):
+        assert max_agreement(0, 3, 1) == 0
+
+    def test_registers_equivalent_point(self):
+        # (m, m-?) with j = m - 1 barely helps: N = m gives m - 1.
+        assert max_agreement(4, 4, 3) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            max_agreement(3, 2, 0)
+        with pytest.raises(ValueError):
+            max_agreement(3, 2, 3)
+        with pytest.raises(ValueError):
+            max_agreement(-1, 2, 1)
+
+    def test_alias(self):
+        assert min_agreement_needed(7, 3, 2) == max_agreement(7, 3, 2)
+
+    @given(n=st.integers(0, 200), params=mj)
+    def test_bounded_by_n_and_monotone_in_n(self, n, params):
+        m, j = params
+        value = max_agreement(n, m, j)
+        assert 0 <= value <= n
+        assert value <= max_agreement(n + 1, m, j) <= value + 1
+
+    @given(n=st.integers(1, 200), params=mj)
+    def test_paper_either_or_form(self, n, params):
+        """The paper's either/or phrasing equals the closed form."""
+        m, j = params
+        full, remainder = divmod(n, m)
+        expected = j * full + remainder if remainder <= j else j * (full + 1)
+        assert max_agreement(n, m, j) == expected
+
+
+class TestIsImplementable:
+    def test_self_implementation(self):
+        assert is_implementable(5, 2, 5, 2)
+
+    def test_weakening_always_possible(self):
+        assert is_implementable(5, 3, 5, 2)
+
+    def test_strengthening_impossible(self):
+        assert not is_implementable(5, 1, 5, 2)
+
+    def test_k_at_least_n_trivial(self):
+        assert is_implementable(3, 3, 100, 99)
+        assert is_implementable(3, 5, 100, 99)
+
+    def test_scaling_consensus(self):
+        # 2-consensus gives ceil(N/2): (6, 3) yes, (6, 2) no.
+        assert is_implementable(6, 3, 2, 1)
+        assert not is_implementable(6, 2, 2, 1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            is_implementable(0, 1, 2, 1)
+
+    @given(params=mj, n=st.integers(1, 60), k=st.integers(1, 59))
+    def test_monotone_in_k(self, params, n, k):
+        m, j = params
+        if is_implementable(n, k, m, j):
+            assert is_implementable(n, min(k + 1, n + 5), m, j)
+
+    @given(a=mj, b=mj, c=mj)
+    @settings(max_examples=200)
+    def test_transitivity(self, a, b, c):
+        """If A-power implements B's task and B-power implements C's task,
+        A-power implements C's task — implementations compose."""
+        (ma, ja), (mb, jb), (mc, jc) = a, b, c
+        if is_implementable(mb, jb, ma, ja) and is_implementable(mc, jc, mb, jb):
+            assert is_implementable(mc, jc, ma, ja)
+
+
+class TestConditionsAndOrder:
+    def test_explain_mentions_cohorts(self):
+        verdict = implementability_conditions(7, 5, 3, 2)
+        assert "cohorts" in verdict.explain()
+        assert verdict.holds
+
+    def test_needed_value(self):
+        verdict = implementability_conditions(7, 4, 3, 2)
+        assert verdict.needed == 5
+        assert not verdict.holds
+
+    def test_strictly_stronger_consensus_chain(self):
+        # 3-consensus strictly stronger than 2-consensus.
+        assert strictly_stronger(3, 1, 2, 1)
+        assert not strictly_stronger(2, 1, 3, 1)
+
+    def test_equivalence_of_scaled_copies(self):
+        # (2, 1) and (4, 2): 2-consensus implements (4,2) (two cohorts);
+        # (4, 2) implements (2, 1)?  max_agreement(2, 4, 2) = 2 > 1: no.
+        assert is_implementable(4, 2, 2, 1)
+        assert not is_implementable(2, 1, 4, 2)
+        assert not equivalent_power(2, 1, 4, 2)
+
+    def test_incomparable_pair_exists(self):
+        # The partial order is genuinely partial.
+        assert not is_implementable(5, 2, 7, 3) or not is_implementable(7, 3, 5, 2)
+        found = False
+        for (m1, j1) in [(5, 2), (7, 3), (3, 2)]:
+            for (m2, j2) in [(7, 3), (4, 3), (2, 1)]:
+                if (m1, j1) != (m2, j2):
+                    if not is_implementable(m2, j2, m1, j1) and not is_implementable(
+                        m1, j1, m2, j2
+                    ):
+                        found = True
+        assert found
+
+    @given(params=mj)
+    def test_reflexivity(self, params):
+        m, j = params
+        assert is_implementable(m, j, m, j)

@@ -1,0 +1,49 @@
+"""The explorer must recover the standard chromatic subdivision counts
+from the immediate-snapshot algorithm — a deep cross-layer invariant
+tying the register algorithms to the topological theory."""
+
+import pytest
+
+from repro.algorithms.immediate_snapshot import immediate_snapshot_spec
+from repro.runtime.explorer import Explorer
+
+
+def distinct_profiles(n, max_depth):
+    inputs = [f"x{i}" for i in range(n)]
+    spec = immediate_snapshot_spec(inputs)
+    explorer = Explorer(spec, max_depth=max_depth)
+    profiles = set()
+    for execution in explorer.executions():
+        profiles.add(tuple(execution.outputs[pid] for pid in range(n)))
+    return profiles, explorer.stats.executions
+
+
+class TestChromaticSubdivision:
+    @pytest.mark.parametrize(
+        "n,expected_simplexes",
+        [(1, 1), (2, 3), (3, 13)],
+    )
+    def test_maximal_simplex_counts(self, n, expected_simplexes):
+        profiles, _executions = distinct_profiles(n, max_depth=12 * n)
+        assert len(profiles) == expected_simplexes
+
+    def test_two_process_profiles_are_the_known_three(self):
+        profiles, executions = distinct_profiles(2, max_depth=24)
+        assert executions == 16
+        full = frozenset({(0, "x0"), (1, "x1")})
+        solo0 = frozenset({(0, "x0")})
+        solo1 = frozenset({(1, "x1")})
+        assert profiles == {
+            (full, full),        # both saw both (the central edge)
+            (solo0, full),       # p0 went first
+            (full, solo1),       # p1 went first
+        }
+
+    def test_every_profile_is_a_valid_simplex(self):
+        """Views within a profile are ordered by containment (that is
+        what makes the profile a simplex of the subdivision)."""
+        profiles, _ = distinct_profiles(3, max_depth=36)
+        for profile in profiles:
+            for a in profile:
+                for b in profile:
+                    assert a <= b or b <= a

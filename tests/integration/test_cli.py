@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDescribe:
+    def test_describe_prints_data_sheet(self, capsys):
+        assert main(["describe", "2", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "O(2, 1)" in out
+        assert "agreement profile" in out
+        assert "paper's ascending-chain" in out
+
+    def test_describe_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            main(["describe", "2", "0"])
+
+
+class TestCurves:
+    def test_curves_output_shape(self, capsys):
+        assert main(["curves", "2", "--kmax", "2", "--nmax", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "2-consensus" in out
+        assert "O(2,1)" in out
+        assert "O(2,2)" in out
+
+    def test_curves_values(self, capsys):
+        main(["curves", "3", "--kmax", "1", "--nmax", "6"])
+        out = capsys.readouterr().out
+        assert "3-consensus" in out
+
+
+class TestCheck:
+    def test_check_small_member_exhaustive(self, capsys):
+        assert main(["check", "1", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "all" in out and "OK" in out
+
+    def test_check_medium_member_sampled(self, capsys):
+        assert main(["check", "2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "300 random schedules" in out
+
+
+class TestCommon2:
+    def test_certificates_printed(self, capsys):
+        assert main(["common2", "--levels", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Common2") == 2
+
+    def test_default_levels(self, capsys):
+        assert main(["common2"]) == 0
+        assert capsys.readouterr().out.count("Common2") == 3
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,104 @@
+"""Task-power equivalence: O(n, k) versus its two classical components.
+
+The paper's family packs two classical powers into one deterministic
+object.  These tests pin the two-way coverage executably:
+
+* O(n, k) implements each component's task (consensus for n; the
+  (n(k+2), k+1)-set-consensus task);
+* conversely the pair {n-consensus object, (n(k+2), k+1)-set-consensus
+  object} solves each task the family's protocols solve at the same
+  parameters — so the family sits exactly at the *join* of the two
+  classical powers, which is what "deterministic realization of
+  set-consensus power" means operationally.
+"""
+
+import pytest
+
+from repro.algorithms.helpers import build_spec, inputs_dict
+from repro.algorithms.set_consensus_from_family import (
+    consensus_spec,
+    set_consensus_spec,
+)
+from repro.core.power import (
+    cover_agreement,
+    family_profile,
+    n_consensus_profile,
+    set_consensus_profile,
+)
+from repro.objects.set_consensus import SetConsensusSpec
+from repro.runtime.ops import invoke
+from repro.tasks import (
+    ConsensusTask,
+    KSetConsensusTask,
+    check_task_all_schedules,
+    check_task_random_schedules,
+)
+
+
+class TestFamilyImplementsComponents:
+    @pytest.mark.parametrize("n,k", [(1, 1), (2, 1), (2, 2)])
+    def test_consensus_component(self, n, k):
+        inputs = [f"v{i}" for i in range(n)]
+        report = check_task_all_schedules(
+            consensus_spec(n, k, inputs), ConsensusTask(), inputs_dict(inputs)
+        )
+        assert report.ok, report.reason
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (2, 1)])
+    def test_set_consensus_component_exhaustive(self, n, k):
+        ports = n * (k + 2)
+        inputs = [f"v{i}" for i in range(ports)]
+        report = check_task_all_schedules(
+            set_consensus_spec(n, k, inputs),
+            KSetConsensusTask(k + 1),
+            inputs_dict(inputs),
+        )
+        assert report.ok, report.reason
+
+
+class TestComponentsImplementFamilyTasks:
+    @pytest.mark.parametrize("n,k", [(2, 1), (2, 2), (3, 1)])
+    def test_sc_object_covers_the_ring_task(self, n, k):
+        """One (n(k+2), k+1)-SC object solves the family's headline task
+        directly (trivially — that is the definition of the yardstick)."""
+        ports = n * (k + 2)
+        inputs = [f"v{i}" for i in range(ports)]
+
+        def program(pid, value):
+            decision = yield invoke("sc", "propose", value)
+            return decision
+
+        spec = build_spec({"sc": SetConsensusSpec(ports, k + 1)}, program, inputs)
+        report = check_task_random_schedules(
+            spec, KSetConsensusTask(k + 1), inputs_dict(inputs), seeds=range(100)
+        )
+        assert report.ok, report.reason
+
+    @pytest.mark.parametrize("n,k", [(2, 1), (2, 2), (3, 2)])
+    def test_cover_power_of_pair_matches_family(self, n, k):
+        """System-level agreement of {n-consensus, (n(k+2), k+1)-SC}
+        copies equals the family's own cover curve at every N up to three
+        rings — the analytic equivalence."""
+        ports = n * (k + 2)
+        pair = [n_consensus_profile(n), set_consensus_profile(ports, k + 1)]
+        family = [family_profile(n, k)]
+        for total in range(0, 3 * ports + 1):
+            assert cover_agreement(total, pair) == cover_agreement(total, family), total
+
+
+class TestJoinIsStrict:
+    def test_neither_component_alone_suffices(self):
+        """Each component alone is strictly weaker than the pair: the
+        n-consensus object cannot reach k+1 at N = n(k+2), and the SC
+        object cannot serve small cohorts as n-consensus."""
+        n, k = 2, 1
+        ports = n * (k + 2)
+        consensus_only = [n_consensus_profile(n)]
+        sc_only = [set_consensus_profile(ports, k + 1)]
+        pair = [n_consensus_profile(n), set_consensus_profile(ports, k + 1)]
+        # At the ring size, consensus-only is one worse.
+        assert cover_agreement(ports, consensus_only) == k + 2
+        assert cover_agreement(ports, pair) == k + 1
+        # At cohort size n, SC-only is trivial (n decisions), pair gives 1.
+        assert cover_agreement(n, sc_only) == n
+        assert cover_agreement(n, pair) == 1

@@ -1,0 +1,74 @@
+"""Integration: the full experiment suite of EXPERIMENTS.md must pass.
+
+One test per experiment id, so a regression points at the broken claim
+directly; plus report-rendering smoke tests.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_e1_consensus,
+    run_e2_set_consensus,
+    run_e3_impossibility,
+    run_e4_transfer,
+    run_e5_hierarchy,
+    run_e6_common2,
+    run_e7_bg,
+    run_e8_subdivision,
+    run_e9_substrate,
+    run_e10_runtime,
+)
+from repro.experiments.rows import ExperimentRow, render_table
+
+
+def assert_all_ok(rows):
+    assert rows, "experiment produced no rows"
+    bad = [row for row in rows if not row.ok]
+    assert not bad, "\n".join(row.markdown() for row in bad)
+
+
+class TestExperimentSuite:
+    def test_e1(self):
+        assert_all_ok(run_e1_consensus())
+
+    def test_e2(self):
+        assert_all_ok(run_e2_set_consensus())
+
+    def test_e3(self):
+        assert_all_ok(run_e3_impossibility())
+
+    def test_e4(self):
+        assert_all_ok(run_e4_transfer())
+
+    def test_e5(self):
+        assert_all_ok(run_e5_hierarchy())
+
+    def test_e6(self):
+        assert_all_ok(run_e6_common2())
+
+    def test_e7(self):
+        assert_all_ok(run_e7_bg())
+
+    def test_e8(self):
+        assert_all_ok(run_e8_subdivision())
+
+    def test_e9(self):
+        assert_all_ok(run_e9_substrate())
+
+    def test_e10(self):
+        assert_all_ok(run_e10_runtime())
+
+
+class TestRowRendering:
+    def test_markdown_row(self):
+        row = ExperimentRow("E0", "setting", "claim", "measured", True)
+        assert row.markdown() == "| E0 | setting | claim | measured | ✓ |"
+
+    def test_failed_row_marker(self):
+        row = ExperimentRow("E0", "s", "c", "m", False)
+        assert "✗" in row.markdown()
+
+    def test_table_has_header(self):
+        table = render_table([ExperimentRow("E0", "s", "c", "m", True)])
+        assert table.splitlines()[0].startswith("| exp |")
+        assert len(table.splitlines()) == 3

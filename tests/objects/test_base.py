@@ -1,0 +1,80 @@
+"""Unit tests for the object state-machine protocol."""
+
+import pytest
+
+from repro.errors import IllegalOperationError
+from repro.objects.base import DeterministicObjectSpec, ObjectSpec
+from repro.objects.register import RegisterSpec
+from repro.objects.set_consensus import SetConsensusSpec
+
+
+class TestDispatch:
+    def test_unknown_method_rejected(self):
+        spec = RegisterSpec()
+        with pytest.raises(IllegalOperationError, match="no operation"):
+            spec.apply(None, "frobnicate", ())
+
+    def test_methods_lists_operations(self):
+        assert "read" in RegisterSpec().methods()
+        assert "write" in RegisterSpec().methods()
+
+    def test_nondeterministic_methods_listed(self):
+        assert "propose" in SetConsensusSpec(3, 2).methods()
+
+    def test_deterministic_spec_single_outcome(self):
+        spec = RegisterSpec()
+        outcomes = spec.apply(None, "write", ("x",))
+        assert len(outcomes) == 1
+
+    def test_apply_one_on_deterministic(self):
+        spec = RegisterSpec()
+        response, state = spec.apply_one(None, "write", ("x",))
+        assert response is None
+        assert state == "x"
+
+    def test_apply_one_rejects_branching(self):
+        spec = SetConsensusSpec(3, 2)
+        state = spec.initial_state()
+        _resp, state = spec.apply_one(state, "propose", ("a",))  # first is det
+        with pytest.raises(IllegalOperationError, match="nondeterministic"):
+            spec.apply_one(state, "propose", ("b",))
+
+
+class TestPurity:
+    def test_apply_does_not_mutate_state(self):
+        spec = SetConsensusSpec(3, 2)
+        state = spec.initial_state()
+        spec.apply(state, "propose", ("a",))
+        assert state == spec.initial_state()
+
+    def test_states_are_hashable(self):
+        for spec in (RegisterSpec(), SetConsensusSpec(4, 2)):
+            hash(spec.initial_state())
+
+    def test_determinism_flags(self):
+        assert RegisterSpec().deterministic
+        assert not SetConsensusSpec(3, 2).deterministic
+
+
+class TestCustomSpecs:
+    def test_deterministic_base_wraps_single_outcome(self):
+        class Toggle(DeterministicObjectSpec):
+            def initial_state(self):
+                return False
+
+            def do_flip(self, state):
+                return state, not state
+
+        spec = Toggle()
+        outcomes = spec.apply(False, "flip", ())
+        assert outcomes == [(False, True)]
+
+    def test_nondeterministic_base(self):
+        class Coin(ObjectSpec):
+            def initial_state(self):
+                return None
+
+            def op_toss(self, state):
+                return [("heads", state), ("tails", state)]
+
+        assert len(Coin().apply(None, "toss", ())) == 2

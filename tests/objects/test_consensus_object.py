@@ -1,0 +1,98 @@
+"""Unit tests for the deterministic n-bounded consensus object."""
+
+import pytest
+
+from repro.errors import IllegalOperationError
+from repro.objects.consensus_object import UNSET, NConsensusSpec
+from repro.runtime.explorer import explore_executions
+from repro.runtime.ops import invoke
+from repro.runtime.process import ProcessStatus
+from repro.runtime.system import SystemSpec
+
+
+class TestSequentialSpec:
+    def test_first_proposal_wins(self):
+        spec = NConsensusSpec(3)
+        response, state = spec.apply_one((UNSET, 0), "propose", ("a",))
+        assert response == "a"
+        assert state == ("a", 1)
+
+    def test_later_proposals_adopt(self):
+        spec = NConsensusSpec(3)
+        response, state = spec.apply_one(("a", 1), "propose", ("b",))
+        assert response == "a"
+        assert state == ("a", 2)
+
+    def test_budget_enforced(self):
+        spec = NConsensusSpec(2)
+        state = (UNSET, 0)
+        _r, state = spec.apply_one(state, "propose", ("a",))
+        _r, state = spec.apply_one(state, "propose", ("b",))
+        with pytest.raises(IllegalOperationError, match="exhausted"):
+            spec.apply_one(state, "propose", ("c",))
+
+    def test_none_rejected(self):
+        with pytest.raises(IllegalOperationError):
+            NConsensusSpec(2).apply_one((UNSET, 0), "propose", (None,))
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NConsensusSpec(0)
+
+    def test_is_deterministic(self):
+        assert NConsensusSpec(2).deterministic
+
+
+class TestConsensusPower:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_n_processes_agree_in_all_schedules(self, n):
+        def program(pid, value):
+            def run():
+                decision = yield invoke("c", "propose", value)
+                return decision
+
+            return run
+
+        def make(pid):
+            return program(pid, f"v{pid}")
+
+        spec = SystemSpec({"c": NConsensusSpec(n)}, [make(p) for p in range(n)])
+        for execution in explore_executions(spec):
+            decisions = set(execution.outputs.values())
+            assert len(decisions) == 1
+            assert decisions <= {f"v{p}" for p in range(n)}
+
+    def test_over_budget_process_hangs(self):
+        """The (n+1)-st proposer is stuck — the naive protocol does not
+        extend beyond n, as the consensus-number definition demands."""
+
+        def program(pid, value):
+            def run():
+                decision = yield invoke("c", "propose", value)
+                return decision
+
+            return run
+
+        def make(pid):
+            return program(pid, f"v{pid}")
+
+        spec = SystemSpec(
+            {"c": NConsensusSpec(2, hang_on_misuse=True)},
+            [make(p) for p in range(3)],
+        )
+        from repro.runtime.scheduler import RoundRobinScheduler
+
+        execution = spec.run(RoundRobinScheduler())
+        blocked = [
+            pid
+            for pid, status in execution.statuses.items()
+            if status is ProcessStatus.BLOCKED
+        ]
+        assert len(blocked) == 1
+        done = set(execution.outputs.values())
+        assert len(done) == 1
+
+    def test_known_consensus_number(self):
+        from repro.core.consensus_number import consensus_number_of
+
+        assert consensus_number_of(NConsensusSpec(7)) == 7

@@ -1,0 +1,111 @@
+"""Unit tests for counters and doorways, including the flag principle."""
+
+import itertools
+
+from repro.objects.counter import CounterSpec, DoorwaySpec
+from repro.objects.register import RegisterSpec
+from repro.runtime.explorer import explore_executions
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+class TestCounter:
+    def test_initial(self):
+        assert CounterSpec().initial_state() == 0
+        assert CounterSpec(initial=5).initial_state() == 5
+
+    def test_inc(self):
+        spec = CounterSpec()
+        response, state = spec.apply_one(0, "inc", ())
+        assert response is None and state == 1
+
+    def test_read(self):
+        assert CounterSpec().apply_one(3, "read", ())[0] == 3
+
+    def test_inc_read_are_separate_steps(self):
+        # No fetch-and-add style combined op: that would be consensus
+        # number 2, and the flag principle relies on the split.
+        assert "fetch_and_add" not in CounterSpec().methods()
+
+
+class TestFlagPrinciple:
+    def test_at_most_one_process_reads_one(self):
+        """Exhaustively: over all schedules of three inc-then-read
+        processes, at most one reads exactly 1 — the flag principle."""
+
+        def program(pid):
+            def run():
+                yield invoke("c", "inc")
+                seen = yield invoke("c", "read")
+                return seen
+
+            return run
+
+        spec = SystemSpec({"c": CounterSpec()}, [program(p) for p in range(3)])
+        for execution in explore_executions(spec):
+            winners = [v for v in execution.outputs.values() if v == 1]
+            assert len(winners) <= 1
+
+    def test_solo_process_reads_one(self):
+        def run():
+            yield invoke("c", "inc")
+            seen = yield invoke("c", "read")
+            return seen
+
+        spec = SystemSpec({"c": CounterSpec()}, [run])
+        executions = list(explore_executions(spec))
+        assert executions[0].outputs[0] == 1
+
+
+class TestDoorway:
+    def test_initially_open(self):
+        spec = DoorwaySpec()
+        assert spec.initial_state() == DoorwaySpec.OPEN
+
+    def test_close_is_idempotent(self):
+        spec = DoorwaySpec()
+        _r, state = spec.apply_one(DoorwaySpec.OPEN, "close", ())
+        _r, state = spec.apply_one(state, "close", ())
+        assert state == DoorwaySpec.CLOSED
+
+    def test_entrants_after_a_completed_entry_are_excluded(self):
+        """Whoever reads after some process finished read+close sees
+        closed — for every schedule."""
+
+        def program(pid):
+            def run():
+                status = yield invoke("d", "read")
+                yield invoke("d", "close")
+                return status
+
+            return run
+
+        spec = SystemSpec({"d": DoorwaySpec()}, [program(p) for p in range(3)])
+        for execution in explore_executions(spec):
+            # Identify, per process, when it read and when it closed.
+            read_at = {}
+            closed_at = {}
+            for step in execution.steps:
+                if step.operation.method == "read":
+                    read_at[step.pid] = step.index
+                else:
+                    closed_at[step.pid] = step.index
+            for late in range(3):
+                for early in range(3):
+                    if early != late and closed_at[early] < read_at[late]:
+                        assert execution.outputs[late] == DoorwaySpec.CLOSED
+
+    def test_someone_enters(self):
+        """In every schedule at least one process enters (reads open)."""
+
+        def program(pid):
+            def run():
+                status = yield invoke("d", "read")
+                yield invoke("d", "close")
+                return status
+
+            return run
+
+        spec = SystemSpec({"d": DoorwaySpec()}, [program(p) for p in range(2)])
+        for execution in explore_executions(spec):
+            assert DoorwaySpec.OPEN in execution.outputs.values()

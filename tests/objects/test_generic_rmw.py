@@ -1,0 +1,111 @@
+"""Tests for generic RMW objects and their classification."""
+
+import pytest
+
+from repro.analysis.commutativity import commute_or_overwrite_certificate
+from repro.errors import IllegalOperationError
+from repro.objects.generic_rmw import (
+    GenericRMWSpec,
+    commuting_family,
+    mixed_family,
+    overwriting_family,
+)
+from repro.runtime.explorer import explore_executions
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+class TestSpec:
+    def test_rmw_returns_old_value(self):
+        spec = commuting_family(1)
+        response, state = spec.apply_one(5, "rmw", ("add_1",))
+        assert response == 5 and state == 6
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(IllegalOperationError, match="unknown RMW"):
+            commuting_family(1).apply_one(0, "rmw", ("mul_2",))
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            GenericRMWSpec({})
+
+    def test_read(self):
+        assert overwriting_family(3).apply_one("x", "read", ())[0] == "x"
+
+    def test_overwriting_semantics(self):
+        spec = overwriting_family(3, 7)
+        _r, state = spec.apply_one(None, "rmw", ("set_3",))
+        _r, state = spec.apply_one(state, "rmw", ("set_7",))
+        assert state == 7
+
+
+class TestClassification:
+    def test_commuting_family_passes_truncated_pair_analysis(self):
+        """add_c functions commute pairwise: every witness-free region —
+        but note the *responses* still break symmetry, so the certificate
+        correctly refuses to certify consensus number 1."""
+        spec = commuting_family(1, 2)
+        report = commute_or_overwrite_certificate(
+            spec,
+            [("rmw", ("add_1",)), ("rmw", ("add_2",)), ("read", ())],
+            max_states=50,
+            truncate=True,
+        )
+        # Non-trivial RMW has consensus number >= 2: certificate fails.
+        assert not report.certified
+
+    def test_overwriting_family_not_certified(self):
+        spec = overwriting_family(3, 7)
+        report = commute_or_overwrite_certificate(
+            spec, [("rmw", ("set_3",)), ("rmw", ("set_7",)), ("read", ())]
+        )
+        assert not report.certified
+
+    def test_identity_only_family_certified(self):
+        """The degenerate family {identity} is just a register read —
+        consensus number 1, certified."""
+        spec = GenericRMWSpec({"noop": lambda x: x}, initial=0)
+        report = commute_or_overwrite_certificate(
+            spec, [("rmw", ("noop",)), ("read", ())]
+        )
+        assert report.certified
+
+    def test_two_process_consensus_from_nontrivial_rmw(self):
+        """The constructive side of 'non-trivial RMW has consensus
+        number >= 2', over every schedule."""
+        from repro.objects.register import RegisterSpec
+
+        def program(pid, value):
+            yield invoke(f"v{pid}", "write", value)
+            old = yield invoke("rmw", "rmw", "add_1")
+            if old == 0:  # first applier
+                return value
+            other = yield invoke(f"v{1 - pid}", "read")
+            return other
+
+        def make(pid, value):
+            return lambda: program(pid, value)
+
+        spec = SystemSpec(
+            {
+                "rmw": commuting_family(1),
+                "v0": RegisterSpec(),
+                "v1": RegisterSpec(),
+            },
+            [make(0, "a"), make(1, "b")],
+        )
+        for execution in explore_executions(spec, max_depth=10):
+            decisions = set(execution.outputs.values())
+            assert len(decisions) == 1 and decisions <= {"a", "b"}
+
+
+class TestFactories:
+    def test_mixed_family_runs(self):
+        spec = mixed_family()
+        _r, state = spec.apply_one(1, "rmw", ("double",))
+        assert state == 2
+
+    def test_registered_consensus_number(self):
+        from repro.core.consensus_number import consensus_number_of
+
+        assert consensus_number_of(commuting_family(1)) == 2

@@ -1,0 +1,100 @@
+"""Unit tests for queue and stack (the Common2 exemplars)."""
+
+from repro.objects.queue_stack import EMPTY, QueueSpec, StackSpec
+from repro.runtime.explorer import explore_executions
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+class TestQueue:
+    def test_starts_empty(self):
+        assert QueueSpec().initial_state() == ()
+
+    def test_fifo_order(self):
+        spec = QueueSpec()
+        state = spec.initial_state()
+        for value in ("a", "b", "c"):
+            _r, state = spec.apply_one(state, "enqueue", (value,))
+        seen = []
+        for _ in range(3):
+            response, state = spec.apply_one(state, "dequeue", ())
+            seen.append(response)
+        assert seen == ["a", "b", "c"]
+
+    def test_dequeue_empty(self):
+        assert QueueSpec().apply_one((), "dequeue", ())[0] == EMPTY
+
+    def test_peek_does_not_remove(self):
+        spec = QueueSpec()
+        response, state = spec.apply_one(("a", "b"), "peek", ())
+        assert response == "a" and state == ("a", "b")
+
+    def test_two_process_consensus_via_queue(self):
+        """Classical: pre-filled queue, first dequeuer wins."""
+        from repro.objects.register import RegisterSpec
+
+        def program(pid, value):
+            def run():
+                yield invoke(f"v{pid}", "write", value)
+                token = yield invoke("q", "dequeue")
+                if token == "winner":
+                    return value
+                other = yield invoke(f"v{1 - pid}", "read")
+                return other
+
+            return run
+
+        class PrefilledQueue(QueueSpec):
+            def initial_state(self):
+                return ("winner", "loser")
+
+        spec = SystemSpec(
+            {"q": PrefilledQueue(), "v0": RegisterSpec(), "v1": RegisterSpec()},
+            [program(0, "a"), program(1, "b")],
+        )
+        for execution in explore_executions(spec):
+            decisions = set(execution.outputs.values())
+            assert len(decisions) == 1 and decisions <= {"a", "b"}
+
+    def test_concurrent_dequeues_get_distinct_items(self):
+        class Prefilled(QueueSpec):
+            def initial_state(self):
+                return ("x", "y", "z")
+
+        def program(pid):
+            def run():
+                item = yield invoke("q", "dequeue")
+                return item
+
+            return run
+
+        spec = SystemSpec({"q": Prefilled()}, [program(p) for p in range(3)])
+        for execution in explore_executions(spec):
+            assert sorted(execution.outputs.values()) == ["x", "y", "z"]
+
+
+class TestStack:
+    def test_lifo_order(self):
+        spec = StackSpec()
+        state = spec.initial_state()
+        for value in ("a", "b", "c"):
+            _r, state = spec.apply_one(state, "push", (value,))
+        seen = []
+        for _ in range(3):
+            response, state = spec.apply_one(state, "pop", ())
+            seen.append(response)
+        assert seen == ["c", "b", "a"]
+
+    def test_pop_empty(self):
+        assert StackSpec().apply_one((), "pop", ())[0] == EMPTY
+
+    def test_top_does_not_remove(self):
+        spec = StackSpec()
+        response, state = spec.apply_one(("a", "b"), "top", ())
+        assert response == "b" and state == ("a", "b")
+
+    def test_push_pop_roundtrip(self):
+        spec = StackSpec()
+        _r, state = spec.apply_one((), "push", ("v",))
+        response, state = spec.apply_one(state, "pop", ())
+        assert response == "v" and state == ()

@@ -1,0 +1,86 @@
+"""Unit tests for registers and register arrays."""
+
+import pytest
+
+from repro.errors import IllegalOperationError
+from repro.objects.register import ArraySpec, RegisterSpec
+
+
+class TestRegister:
+    def test_initial_value(self):
+        assert RegisterSpec().initial_state() is None
+        assert RegisterSpec(initial=7).initial_state() == 7
+
+    def test_read_returns_state(self):
+        spec = RegisterSpec(initial="v")
+        response, state = spec.apply_one("v", "read", ())
+        assert response == "v" and state == "v"
+
+    def test_write_replaces_state(self):
+        spec = RegisterSpec()
+        response, state = spec.apply_one("old", "write", ("new",))
+        assert response is None and state == "new"
+
+    def test_last_write_wins(self):
+        spec = RegisterSpec()
+        _r, state = spec.apply_one(None, "write", ("a",))
+        _r, state = spec.apply_one(state, "write", ("b",))
+        assert spec.apply_one(state, "read", ())[0] == "b"
+
+    def test_swmr_owner_may_write(self):
+        spec = RegisterSpec(single_writer=3)
+        _r, state = spec.apply_one(None, "write_by", (3, "x"))
+        assert state == "x"
+
+    def test_swmr_stranger_rejected(self):
+        spec = RegisterSpec(single_writer=3)
+        with pytest.raises(IllegalOperationError, match="owned by p3"):
+            spec.apply_one(None, "write_by", (1, "x"))
+
+    def test_swmr_plain_write_rejected(self):
+        spec = RegisterSpec(single_writer=0)
+        with pytest.raises(IllegalOperationError, match="write_by"):
+            spec.apply_one(None, "write", ("x",))
+
+    def test_mwmr_write_by_unchecked(self):
+        spec = RegisterSpec()
+        _r, state = spec.apply_one(None, "write_by", (9, "x"))
+        assert state == "x"
+
+
+class TestArray:
+    def test_initial_state(self):
+        assert ArraySpec(3).initial_state() == (None, None, None)
+        assert ArraySpec(2, initial=0).initial_state() == (0, 0)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArraySpec(0)
+
+    def test_write_read_cell(self):
+        spec = ArraySpec(3)
+        _r, state = spec.apply_one(spec.initial_state(), "write", (1, "v"))
+        assert state == (None, "v", None)
+        assert spec.apply_one(state, "read", (1,))[0] == "v"
+
+    def test_writes_to_distinct_cells_independent(self):
+        spec = ArraySpec(2)
+        _r, state = spec.apply_one(spec.initial_state(), "write", (0, "a"))
+        _r, state = spec.apply_one(state, "write", (1, "b"))
+        assert state == ("a", "b")
+
+    @pytest.mark.parametrize("index", [-1, 3, "x", 1.5])
+    def test_bad_index_rejected(self, index):
+        spec = ArraySpec(3)
+        with pytest.raises(IllegalOperationError, match="out of range"):
+            spec.apply_one(spec.initial_state(), "read", (index,))
+
+    def test_read_all_disabled_by_default(self):
+        spec = ArraySpec(2)
+        with pytest.raises(IllegalOperationError, match="snapshot"):
+            spec.apply_one(spec.initial_state(), "read_all", ())
+
+    def test_read_all_opt_in(self):
+        spec = ArraySpec(2, allow_read_all=True)
+        response, _state = spec.apply_one(("a", "b"), "read_all", ())
+        assert response == ("a", "b")

@@ -1,0 +1,162 @@
+"""Unit tests for read-modify-write primitives, including their classical
+consensus-power demonstrations."""
+
+from repro.objects.rmw import (
+    CompareAndSwapSpec,
+    FetchAndAddSpec,
+    SwapSpec,
+    TestAndSetSpec,
+)
+from repro.runtime.explorer import explore_executions
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+class TestTestAndSet:
+    def test_first_caller_wins(self):
+        spec = TestAndSetSpec()
+        response, state = spec.apply_one(0, "test_and_set", ())
+        assert response == 0 and state == 1
+
+    def test_later_callers_lose(self):
+        spec = TestAndSetSpec()
+        response, state = spec.apply_one(1, "test_and_set", ())
+        assert response == 1 and state == 1
+
+    def test_reset(self):
+        spec = TestAndSetSpec()
+        _r, state = spec.apply_one(1, "reset", ())
+        assert state == 0
+
+    def test_exactly_one_winner_all_schedules(self):
+        def program(pid):
+            def run():
+                lost = yield invoke("t", "test_and_set")
+                return "win" if lost == 0 else "lose"
+
+            return run
+
+        spec = SystemSpec({"t": TestAndSetSpec()}, [program(p) for p in range(3)])
+        for execution in explore_executions(spec):
+            wins = [v for v in execution.outputs.values() if v == "win"]
+            assert len(wins) == 1
+
+    def test_two_process_consensus_via_tas(self):
+        """The classical construction: write own value, TAS, winner's
+        value decided — agreement over every schedule."""
+
+        def program(pid, value):
+            def run():
+                yield invoke(f"v{pid}", "write", value)
+                lost = yield invoke("t", "test_and_set")
+                if lost == 0:
+                    return value
+                other = yield invoke(f"v{1 - pid}", "read")
+                return other
+
+            return run
+
+        from repro.objects.register import RegisterSpec
+
+        spec = SystemSpec(
+            {
+                "t": TestAndSetSpec(),
+                "v0": RegisterSpec(),
+                "v1": RegisterSpec(),
+            },
+            [program(0, "a"), program(1, "b")],
+        )
+        for execution in explore_executions(spec):
+            decisions = set(execution.outputs.values())
+            assert len(decisions) == 1
+            assert decisions <= {"a", "b"}
+
+
+class TestSwap:
+    def test_returns_previous_value(self):
+        spec = SwapSpec(initial="init")
+        response, state = spec.apply_one("init", "swap", ("new",))
+        assert response == "init" and state == "new"
+
+    def test_chain_of_swaps(self):
+        spec = SwapSpec()
+        state = spec.initial_state()
+        seen = []
+        for value in ("a", "b", "c"):
+            response, state = spec.apply_one(state, "swap", (value,))
+            seen.append(response)
+        assert seen == [None, "a", "b"]
+
+    def test_exactly_one_none_receiver(self):
+        """Among concurrent swappers, exactly one gets the initial None —
+        the 2-consensus kernel of swap."""
+
+        def program(pid):
+            def run():
+                prev = yield invoke("s", "swap", pid)
+                return prev
+
+            return run
+
+        spec = SystemSpec({"s": SwapSpec()}, [program(p) for p in range(3)])
+        for execution in explore_executions(spec):
+            nones = [v for v in execution.outputs.values() if v is None]
+            assert len(nones) == 1
+
+
+class TestFetchAndAdd:
+    def test_returns_old_value(self):
+        spec = FetchAndAddSpec()
+        response, state = spec.apply_one(5, "fetch_and_add", (3,))
+        assert response == 5 and state == 8
+
+    def test_default_delta(self):
+        spec = FetchAndAddSpec()
+        response, state = spec.apply_one(0, "fetch_and_add", ())
+        assert response == 0 and state == 1
+
+    def test_distinct_tickets_all_schedules(self):
+        def program(pid):
+            def run():
+                ticket = yield invoke("f", "fetch_and_add")
+                return ticket
+
+            return run
+
+        spec = SystemSpec({"f": FetchAndAddSpec()}, [program(p) for p in range(3)])
+        for execution in explore_executions(spec):
+            tickets = list(execution.outputs.values())
+            assert sorted(tickets) == [0, 1, 2]
+
+
+class TestCompareAndSwap:
+    def test_success_installs(self):
+        spec = CompareAndSwapSpec()
+        response, state = spec.apply_one(None, "compare_and_swap", (None, "x"))
+        assert response is None and state == "x"
+
+    def test_failure_leaves_state(self):
+        spec = CompareAndSwapSpec()
+        response, state = spec.apply_one("y", "compare_and_swap", (None, "x"))
+        assert response == "y" and state == "y"
+
+    def test_n_process_consensus(self):
+        """CAS solves consensus for any number of processes (consensus
+        number infinity): everyone CASes from None, decides the winner."""
+
+        def program(pid, value):
+            def run():
+                seen = yield invoke("c", "compare_and_swap", None, value)
+                return value if seen is None else seen
+
+            return run
+
+        def make(pid, value):
+            return program(pid, value)
+
+        spec = SystemSpec(
+            {"c": CompareAndSwapSpec()},
+            [make(p, f"v{p}") for p in range(4)],
+        )
+        for execution in explore_executions(spec):
+            assert len(set(execution.outputs.values())) == 1

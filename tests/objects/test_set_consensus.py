@@ -1,0 +1,112 @@
+"""Unit tests for the nondeterministic (m, j)-set-consensus object."""
+
+import pytest
+
+from repro.errors import IllegalOperationError
+from repro.objects.set_consensus import SetConsensusSpec
+from repro.runtime.explorer import explore_executions
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+class TestSequentialSpec:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SetConsensusSpec(2, 0)
+        with pytest.raises(ValueError):
+            SetConsensusSpec(2, 3)
+
+    def test_first_proposal_deterministic(self):
+        spec = SetConsensusSpec(3, 2)
+        outcomes = spec.apply(spec.initial_state(), "propose", ("a",))
+        assert outcomes == [("a", (frozenset({"a"}), 1))]
+
+    def test_second_proposal_branches(self):
+        spec = SetConsensusSpec(3, 2)
+        _r, state = spec.apply(spec.initial_state(), "propose", ("a",))[0]
+        outcomes = spec.apply(state, "propose", ("b",))
+        responses = {r for r, _s in outcomes}
+        adopted_sets = {s[0] for _r, s in outcomes}
+        assert responses == {"a", "b"}
+        assert frozenset({"a"}) in adopted_sets
+        assert frozenset({"a", "b"}) in adopted_sets
+
+    def test_adopted_set_capped_at_j(self):
+        spec = SetConsensusSpec(4, 2)
+        state = spec.initial_state()
+        _r, state = spec.apply(state, "propose", ("a",))[0]
+        # Choose the branch that adds "b".
+        outcomes = spec.apply(state, "propose", ("b",))
+        state = next(s for _r, s in outcomes if len(s[0]) == 2)
+        # Third value may not be added: set already has j = 2 elements.
+        outcomes = spec.apply(state, "propose", ("c",))
+        for _response, (adopted, _count) in outcomes:
+            assert len(adopted) == 2
+            assert "c" not in adopted
+
+    def test_responses_come_from_adopted_set(self):
+        spec = SetConsensusSpec(4, 2)
+        state = (frozenset({"a", "b"}), 2)
+        outcomes = spec.apply(state, "propose", ("c",))
+        assert {r for r, _s in outcomes} <= {"a", "b"}
+
+    def test_budget_enforced(self):
+        spec = SetConsensusSpec(2, 1)
+        state = (frozenset({"a"}), 2)
+        with pytest.raises(IllegalOperationError, match="exhausted"):
+            spec.apply(state, "propose", ("b",))
+
+    def test_none_rejected(self):
+        spec = SetConsensusSpec(2, 1)
+        with pytest.raises(IllegalOperationError):
+            spec.apply(spec.initial_state(), "propose", (None,))
+
+    def test_outcome_order_is_deterministic(self):
+        spec = SetConsensusSpec(3, 2)
+        _r, state = spec.apply(spec.initial_state(), "propose", ("a",))[0]
+        first = spec.apply(state, "propose", ("b",))
+        second = spec.apply(state, "propose", ("b",))
+        assert first == second
+
+    def test_read_count_helper(self):
+        spec = SetConsensusSpec(3, 2)
+        assert spec.apply((frozenset({"a"}), 2), "read_count", ())[0][0] == 2
+
+
+class TestTaskPower:
+    def test_j_agreement_all_schedules_all_choices(self):
+        """(3, 2)-set consensus: over every schedule and every
+        nondeterministic resolution, at most 2 distinct decisions."""
+
+        def program(pid, value):
+            def run():
+                decision = yield invoke("sc", "propose", value)
+                return decision
+
+            return run
+
+        def make(pid):
+            return program(pid, f"v{pid}")
+
+        spec = SystemSpec({"sc": SetConsensusSpec(3, 2)}, [make(p) for p in range(3)])
+        worst = 0
+        for execution in explore_executions(spec):
+            decisions = set(execution.outputs.values())
+            assert decisions <= {"v0", "v1", "v2"}
+            worst = max(worst, len(decisions))
+        assert worst == 2  # the bound is tight
+
+    def test_j1_is_consensus(self):
+        def program(pid, value):
+            def run():
+                decision = yield invoke("sc", "propose", value)
+                return decision
+
+            return run
+
+        def make(pid):
+            return program(pid, f"v{pid}")
+
+        spec = SystemSpec({"sc": SetConsensusSpec(3, 1)}, [make(p) for p in range(3)])
+        for execution in explore_executions(spec):
+            assert len(set(execution.outputs.values())) == 1

@@ -1,0 +1,44 @@
+"""Unit tests for the atomic snapshot object spec."""
+
+import pytest
+
+from repro.errors import IllegalOperationError
+from repro.objects.snapshot import AtomicSnapshotSpec
+
+
+class TestAtomicSnapshot:
+    def test_initial_segments(self):
+        assert AtomicSnapshotSpec(3).initial_state() == (None, None, None)
+        assert AtomicSnapshotSpec(2, initial=0).initial_state() == (0, 0)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AtomicSnapshotSpec(0)
+
+    def test_update_sets_segment(self):
+        spec = AtomicSnapshotSpec(3)
+        _r, state = spec.apply_one(spec.initial_state(), "update", (1, "v"))
+        assert state == (None, "v", None)
+
+    def test_scan_returns_whole_state(self):
+        spec = AtomicSnapshotSpec(2)
+        response, state = spec.apply_one(("a", "b"), "scan", ())
+        assert response == ("a", "b")
+        assert state == ("a", "b")
+
+    def test_update_out_of_range(self):
+        spec = AtomicSnapshotSpec(2)
+        with pytest.raises(IllegalOperationError):
+            spec.apply_one(spec.initial_state(), "update", (2, "v"))
+
+    def test_scan_after_updates_is_instantaneous(self):
+        spec = AtomicSnapshotSpec(2)
+        state = spec.initial_state()
+        _r, state = spec.apply_one(state, "update", (0, 1))
+        _r, state = spec.apply_one(state, "update", (1, 2))
+        assert spec.apply_one(state, "scan", ())[0] == (1, 2)
+
+    def test_consensus_number_is_one(self):
+        from repro.core.consensus_number import consensus_number_of
+
+        assert consensus_number_of(AtomicSnapshotSpec(4)) == 1

@@ -1,0 +1,64 @@
+"""Unit tests for sticky bits and sticky registers."""
+
+import pytest
+
+from repro.errors import IllegalOperationError
+from repro.objects.sticky import UNSET, StickyBitSpec, StickyRegisterSpec
+from repro.runtime.explorer import explore_executions
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+class TestStickyBit:
+    def test_first_set_sticks(self):
+        spec = StickyBitSpec()
+        response, state = spec.apply_one(UNSET, "set", (1,))
+        assert response == 1 and state == 1
+
+    def test_second_set_ignored(self):
+        spec = StickyBitSpec()
+        response, state = spec.apply_one(0, "set", (1,))
+        assert response == 0 and state == 0
+
+    def test_read_unset(self):
+        assert StickyBitSpec().apply_one(UNSET, "read", ())[0] == UNSET
+
+    def test_non_bit_rejected(self):
+        with pytest.raises(IllegalOperationError):
+            StickyBitSpec().apply_one(UNSET, "set", (2,))
+
+
+class TestStickyRegister:
+    def test_first_proposal_sticks(self):
+        spec = StickyRegisterSpec()
+        response, state = spec.apply_one(UNSET, "propose", ("v",))
+        assert response == "v" and state == "v"
+
+    def test_later_proposals_get_first(self):
+        spec = StickyRegisterSpec()
+        response, state = spec.apply_one("first", "propose", ("other",))
+        assert response == "first" and state == "first"
+
+    def test_none_rejected(self):
+        with pytest.raises(IllegalOperationError):
+            StickyRegisterSpec().apply_one(UNSET, "propose", (None,))
+
+    def test_unbounded_consensus(self):
+        """Five processes agree in every schedule — consensus number
+        infinity in action (contrast NConsensusSpec's budget)."""
+
+        def program(pid, value):
+            def run():
+                decision = yield invoke("s", "propose", value)
+                return decision
+
+            return run
+
+        def make(pid):
+            return program(pid, f"v{pid}")
+
+        spec = SystemSpec(
+            {"s": StickyRegisterSpec()}, [make(p) for p in range(5)]
+        )
+        for execution in explore_executions(spec):
+            assert len(set(execution.outputs.values())) == 1

@@ -1,0 +1,124 @@
+"""Property-based tests of the O(n, k) sequential specification.
+
+Hypothesis drives random legal operation sequences through the spec and
+checks the invariants every claim in :mod:`repro.core` leans on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.family import HierarchyObjectSpec
+from repro.errors import IllegalOperationError
+
+params = st.tuples(st.integers(1, 3), st.integers(1, 3))
+
+
+@st.composite
+def spec_and_ops(draw):
+    """A spec plus a random sequence of distinct legal ports with values."""
+    n, k = draw(params)
+    spec = HierarchyObjectSpec(n, k)
+    ports = [(g, s) for g in range(spec.groups) for s in range(spec.n)]
+    chosen = draw(st.permutations(ports))
+    count = draw(st.integers(0, len(ports)))
+    ops = [
+        (g, s, f"val-{i}") for i, (g, s) in enumerate(chosen[:count])
+    ]
+    return spec, ops
+
+
+def run_ops(spec, ops):
+    state = spec.initial_state()
+    responses = []
+    for g, s, v in ops:
+        response, state = spec.apply_one(state, "invoke", (g, s, v))
+        responses.append(response)
+    return responses, state
+
+
+class TestSpecInvariants:
+    @given(data=spec_and_ops())
+    @settings(max_examples=200)
+    def test_winner_is_first_group_value(self, data):
+        spec, ops = data
+        responses, state = run_ops(spec, ops)
+        first_by_group = {}
+        for (g, _s, v) in ops:
+            first_by_group.setdefault(g, v)
+        for (g, _s, _v), (winner, _snapshot) in zip(ops, responses):
+            assert winner == first_by_group[g]
+
+    @given(data=spec_and_ops())
+    @settings(max_examples=200)
+    def test_group_members_get_identical_responses(self, data):
+        spec, ops = data
+        responses, _state = run_ops(spec, ops)
+        by_group = {}
+        for (g, _s, _v), response in zip(ops, responses):
+            by_group.setdefault(g, set()).add(response)
+        for g, seen in by_group.items():
+            assert len(seen) == 1, f"group {g} leaked distinct responses"
+
+    @given(data=spec_and_ops())
+    @settings(max_examples=200)
+    def test_snapshot_frozen_at_install(self, data):
+        """The snapshot equals the successor winner iff the successor was
+        installed before this group, else None — for every prefix."""
+        spec, ops = data
+        install_order = []
+        seen_groups = set()
+        for g, _s, v in ops:
+            if g not in seen_groups:
+                seen_groups.add(g)
+                install_order.append((g, v))
+        installed_at = {g: i for i, (g, _v) in enumerate(install_order)}
+        winner_of = dict((g, v) for g, v in install_order)
+        responses, _state = run_ops(spec, ops)
+        for (g, _s, _v), (_winner, snapshot) in zip(ops, responses):
+            successor = (g + 1) % spec.groups
+            if (
+                successor in installed_at
+                and installed_at[successor] < installed_at[g]
+            ):
+                assert snapshot == winner_of[successor]
+            else:
+                assert snapshot is None
+
+    @given(data=spec_and_ops())
+    @settings(max_examples=100)
+    def test_determinism_replays_identically(self, data):
+        spec, ops = data
+        assert run_ops(spec, ops) == run_ops(spec, ops)
+
+    @given(data=spec_and_ops())
+    @settings(max_examples=100)
+    def test_ring_adoption_bound(self, data):
+        """The decision rule never yields more than min(groups used, k+1,
+        ...) distinct values — the object-level heart of E2."""
+        spec, ops = data
+        responses, _state = run_ops(spec, ops)
+        decisions = {
+            snapshot if snapshot is not None else winner
+            for winner, snapshot in responses
+        }
+        groups_used = len({g for g, _s, _v in ops})
+        assert len(decisions) <= groups_used
+        if groups_used == spec.groups:
+            assert len(decisions) <= spec.k + 1
+
+    @given(data=spec_and_ops(), extra=st.integers(0, 5))
+    @settings(max_examples=100)
+    def test_port_reuse_always_rejected(self, data, extra):
+        spec, ops = data
+        if not ops:
+            return
+        state = spec.initial_state()
+        for g, s, v in ops:
+            _r, state = spec.apply_one(state, "invoke", (g, s, v))
+        g, s, _v = ops[extra % len(ops)]
+        try:
+            spec.apply_one(state, "invoke", (g, s, "again"))
+            raised = False
+        except IllegalOperationError:
+            raised = True
+        assert raised

@@ -1,0 +1,108 @@
+"""Property-based tests of the power/cover layer beyond the unit suite."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.power import (
+    SetConsensusPower,
+    cover_agreement,
+    family_agreement,
+    family_profile,
+    n_consensus_profile,
+    set_consensus_profile,
+)
+from repro.core.theorem import is_implementable, max_agreement
+
+nk = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+class TestCoverLaws:
+    @given(params=nk, a=st.integers(0, 30), b=st.integers(0, 30))
+    @settings(max_examples=150)
+    def test_subadditivity(self, params, a, b):
+        """K(a + b) <= K(a) + K(b): covers compose."""
+        n, k = params
+        assert family_agreement(n, k, a + b) <= family_agreement(
+            n, k, a
+        ) + family_agreement(n, k, b)
+
+    @given(params=nk, total=st.integers(0, 50))
+    @settings(max_examples=150)
+    def test_monotone_in_n_processes(self, params, total):
+        n, k = params
+        assert family_agreement(n, k, total) <= family_agreement(n, k, total + 1)
+
+    @given(params=nk, total=st.integers(1, 50))
+    @settings(max_examples=150)
+    def test_bounded_by_trivial_and_positive(self, params, total):
+        n, k = params
+        value = family_agreement(n, k, total)
+        assert 1 <= value <= total
+
+    @given(total=st.integers(0, 40), m=st.integers(2, 6), j=st.integers(1, 5))
+    @settings(max_examples=100)
+    def test_cover_never_beats_the_theorem(self, total, m, j):
+        """The DP can't outperform max_agreement — they are the same
+        function for pure set-consensus profiles."""
+        if j >= m:
+            return
+        assert cover_agreement(total, [set_consensus_profile(m, j)]) == max_agreement(
+            total, m, j
+        )
+
+    @given(params=nk, total=st.integers(0, 40))
+    @settings(max_examples=100)
+    def test_family_dominates_its_consensus_component(self, params, total):
+        """Adding the ring can only help: K_family <= K_{n-consensus}."""
+        n, k = params
+        family = family_agreement(n, k, total)
+        consensus_only = cover_agreement(total, [n_consensus_profile(n)])
+        assert family <= consensus_only
+
+
+class TestPartialOrderLaws:
+    points = st.tuples(st.integers(2, 12), st.integers(1, 11)).filter(
+        lambda t: t[1] < t[0]
+    ).map(lambda t: SetConsensusPower(t[0], t[1]))
+
+    @given(p=points)
+    def test_reflexive(self, p):
+        assert p.implements(p)
+
+    @given(a=points, b=points, c=points)
+    @settings(max_examples=200)
+    def test_transitive(self, a, b, c):
+        if a.implements(b) and b.implements(c):
+            assert a.implements(c)
+
+    @given(a=points, b=points)
+    @settings(max_examples=200)
+    def test_stronger_than_is_asymmetric(self, a, b):
+        if a.stronger_than(b):
+            assert not b.stronger_than(a)
+
+    @given(p=points, q=points)
+    @settings(max_examples=200)
+    def test_ratio_necessary_for_strength(self, p, q):
+        """Implementing a strictly smaller task requires work: if p
+        implements q then scaling arithmetic must hold at q.m."""
+        if p.implements(q):
+            assert max_agreement(q.m, p.m, p.j) <= q.j or q.j >= q.m
+
+
+class TestConsensusAnchors:
+    @given(n=st.integers(1, 10), total=st.integers(1, 60))
+    @settings(max_examples=150)
+    def test_n_consensus_profile_is_ceiling(self, n, total):
+        assert cover_agreement(total, [n_consensus_profile(n)]) == -(-total // n)
+
+    @given(n=st.integers(2, 8))
+    def test_family_strictly_between_anchors(self, n):
+        """Every level sits strictly between n-consensus and registers in
+        the implements-order at its witness size."""
+        for k in (1, 2):
+            ports = n * (k + 2)
+            family = family_agreement(n, k, ports)
+            consensus = -(-ports // n)
+            registers = ports
+            assert family < consensus < registers

@@ -1,0 +1,84 @@
+"""Unit tests for execution traces and step records."""
+
+from repro.algorithms.helpers import build_spec
+from repro.objects.counter import CounterSpec
+from repro.objects.register import RegisterSpec
+from repro.runtime.execution import Execution, StepRecord
+from repro.runtime.ops import invoke
+from repro.runtime.process import ProcessStatus
+from repro.runtime.scheduler import ScriptedScheduler
+
+
+def sample_execution():
+    def program(pid, value):
+        yield invoke("c", "inc")
+        seen = yield invoke("c", "read")
+        return seen
+
+    spec = build_spec({"c": CounterSpec()}, program, ["a", "b"])
+    return spec.run(ScriptedScheduler([0, 1, 0, 1]))
+
+
+class TestDerivedViews:
+    def test_schedule(self):
+        execution = sample_execution()
+        assert execution.schedule == [0, 1, 0, 1]
+
+    def test_decisions_include_choices(self):
+        execution = sample_execution()
+        assert execution.decisions == [(0, 0), (1, 0), (0, 0), (1, 0)]
+
+    def test_steps_by(self):
+        execution = sample_execution()
+        assert [s.index for s in execution.steps_by(0)] == [0, 2]
+
+    def test_operations_on(self):
+        execution = sample_execution()
+        assert len(execution.operations_on("c")) == 4
+        assert execution.operations_on("nothing") == []
+
+    def test_distinct_outputs(self):
+        execution = sample_execution()
+        assert execution.distinct_outputs() == {2}
+
+    def test_finished_pids_and_all_done(self):
+        execution = sample_execution()
+        assert execution.finished_pids() == [0, 1]
+        assert execution.all_done()
+
+    def test_max_steps_per_process(self):
+        execution = sample_execution()
+        assert execution.max_steps_per_process() == 2
+
+    def test_len(self):
+        assert len(sample_execution()) == 4
+
+
+class TestRendering:
+    def test_step_record_str(self):
+        record = StepRecord(0, 1, invoke("r", "write", 5), None)
+        assert "#0 p1: r.write(5) -> None" in str(record)
+
+    def test_nondeterministic_step_marks_choice(self):
+        record = StepRecord(3, 0, invoke("sc", "propose", "a"), "a", choice=1, n_outcomes=3)
+        assert "[choice 1/3]" in str(record)
+
+    def test_render_full(self):
+        execution = sample_execution()
+        text = execution.render()
+        assert "#0 p0: c.inc() -> None" in text
+        assert "p0: done -> 2" in text
+
+    def test_render_truncated(self):
+        execution = sample_execution()
+        text = execution.render(limit=1)
+        assert "3 more steps" in text
+
+
+class TestEmptyExecution:
+    def test_defaults(self):
+        execution = Execution()
+        assert execution.schedule == []
+        assert execution.distinct_outputs() == set()
+        assert execution.max_steps_per_process() == 0
+        assert not execution.all_done() or execution.statuses == {}

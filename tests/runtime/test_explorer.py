@@ -1,0 +1,154 @@
+"""Unit tests for the exhaustive explorer (bounded model checking)."""
+
+import math
+
+import pytest
+
+from repro.errors import ExplorationLimitError
+from repro.objects.register import RegisterSpec
+from repro.objects.set_consensus import SetConsensusSpec
+from repro.runtime.explorer import (
+    Explorer,
+    check_all_executions,
+    explore_executions,
+    find_execution,
+)
+from repro.runtime.ops import invoke
+from repro.runtime.system import SystemSpec
+
+
+def one_step_spec(n_processes: int):
+    """Every process writes its pid once: n! schedules."""
+
+    def program(pid):
+        def run():
+            yield invoke("r", "write", pid)
+            return pid
+
+        return run
+
+    return SystemSpec({"r": RegisterSpec()}, [program(p) for p in range(n_processes)])
+
+
+def race_spec():
+    """Two processes write then read; read results expose the interleaving."""
+
+    def program(pid):
+        def run():
+            yield invoke("r", "write", pid)
+            seen = yield invoke("r", "read")
+            return seen
+
+        return run
+
+    return SystemSpec({"r": RegisterSpec()}, [program(0), program(1)])
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_counts_factorial_schedules(self, n):
+        executions = list(explore_executions(one_step_spec(n)))
+        assert len(executions) == math.factorial(n)
+
+    def test_all_executions_are_maximal(self):
+        for execution in explore_executions(race_spec()):
+            assert execution.all_done()
+            assert len(execution) == 4
+
+    def test_distinct_interleavings_distinct_outputs(self):
+        outcomes = {
+            tuple(sorted(e.outputs.items()))
+            for e in explore_executions(race_spec())
+        }
+        # p reads own write unless the other overwrote in between.
+        assert (
+            tuple(sorted({0: 0, 1: 1}.items())) in outcomes
+        )  # fully serial both read own? no: later writer overwrites
+        assert len(outcomes) >= 2
+
+    def test_nondeterministic_objects_branch(self):
+        def proposer(value):
+            def run():
+                decision = yield invoke("sc", "propose", value)
+                return decision
+
+            return run
+
+        spec = SystemSpec(
+            {"sc": SetConsensusSpec(2, 2)}, [proposer("a"), proposer("b")]
+        )
+        outcomes = {
+            tuple(sorted(e.outputs.items()))
+            for e in explore_executions(spec)
+        }
+        # The second proposer may adopt or keep its own value.
+        assert (tuple(sorted({0: "a", 1: "a"}.items()))) in outcomes
+        assert (tuple(sorted({0: "a", 1: "b"}.items()))) in outcomes
+
+
+class TestCheckAndFind:
+    def test_check_all_passes(self):
+        assert check_all_executions(one_step_spec(3), lambda e: e.all_done()) is None
+
+    def test_check_all_returns_witness(self):
+        witness = check_all_executions(
+            race_spec(), lambda e: e.outputs[0] == 0
+        )
+        assert witness is not None
+        assert witness.outputs[0] == 1  # p1's write overwrote before p0 read
+
+    def test_witness_replays(self):
+        spec = race_spec()
+        witness = check_all_executions(spec, lambda e: e.outputs[0] == 0)
+        replayed = spec.replay(witness.decisions).finalize()
+        assert replayed.outputs == witness.outputs
+
+    def test_find_existence(self):
+        found = find_execution(race_spec(), lambda e: e.outputs == {0: 1, 1: 1})
+        assert found is not None
+
+    def test_find_returns_none_when_impossible(self):
+        assert (
+            find_execution(race_spec(), lambda e: e.outputs == {0: 9, 1: 9}) is None
+        )
+
+
+class TestBounds:
+    def test_depth_bound_strict_raises(self):
+        def spinner():
+            while True:
+                yield invoke("r", "read")
+
+        spec = SystemSpec({"r": RegisterSpec()}, [spinner])
+        with pytest.raises(ExplorationLimitError):
+            list(explore_executions(spec, max_depth=5))
+
+    def test_depth_bound_lenient_truncates(self):
+        def spinner():
+            while True:
+                yield invoke("r", "read")
+
+        spec = SystemSpec({"r": RegisterSpec()}, [spinner])
+        explorer = Explorer(spec, max_depth=5, strict=False)
+        executions = list(explorer.executions())
+        assert len(executions) == 1
+        assert explorer.stats.truncated == 1
+
+    def test_statistics_populated(self):
+        explorer = Explorer(one_step_spec(3))
+        list(explorer.executions())
+        assert explorer.stats.executions == 6
+        assert explorer.stats.max_depth_seen == 3
+        assert explorer.stats.steps_replayed > 0
+
+
+class TestPidFilter:
+    def test_filter_prunes_branches(self):
+        # Only allow ascending pid order: exactly one schedule survives.
+        def ascending_only(system, enabled):
+            return [min(enabled)] if enabled else []
+
+        explorer = Explorer(one_step_spec(3), pid_filter=ascending_only)
+        executions = list(explorer.executions())
+        assert len(executions) == 1
+        assert executions[0].schedule == [0, 1, 2]

@@ -1,0 +1,77 @@
+"""Unit tests for the FunctionScheduler adapter and chooser delegation."""
+
+from repro.algorithms.helpers import build_spec
+from repro.objects.register import RegisterSpec
+from repro.objects.set_consensus import SetConsensusSpec
+from repro.runtime.ops import invoke
+from repro.runtime.scheduler import CrashingScheduler, FunctionScheduler
+from repro.runtime.system import SystemSpec
+
+
+def write_spec(n):
+    def program(pid, value):
+        yield invoke("r", "write", value)
+        return value
+
+    return build_spec({"r": RegisterSpec()}, program, [f"v{i}" for i in range(n)])
+
+
+class TestFunctionScheduler:
+    def test_custom_pid_selection(self):
+        scheduler = FunctionScheduler(lambda system: max(system.enabled_pids(), default=None))
+        execution = write_spec(3).run(scheduler)
+        assert execution.schedule == [2, 1, 0]
+
+    def test_none_stops_run(self):
+        calls = [0]
+
+        def pick(system):
+            calls[0] += 1
+            return None if calls[0] > 1 else 0
+
+        execution = write_spec(3).run(FunctionScheduler(pick))
+        assert len(execution) == 1
+
+    def test_default_chooser_picks_zero(self):
+        def proposer(pid, value):
+            decision = yield invoke("sc", "propose", value)
+            return decision
+
+        spec = build_spec({"sc": SetConsensusSpec(2, 2)}, proposer, ["a", "b"])
+        scheduler = FunctionScheduler(
+            lambda system: min(system.enabled_pids(), default=None)
+        )
+        execution = spec.run(scheduler)
+        # Deterministic: choice 0 always -> second proposal's first-listed
+        # outcome (adopt "a" per the canonical outcome ordering).
+        assert execution.outputs[1] == "a"
+
+    def test_custom_chooser_delegation(self):
+        def proposer(pid, value):
+            decision = yield invoke("sc", "propose", value)
+            return decision
+
+        spec = build_spec({"sc": SetConsensusSpec(2, 2)}, proposer, ["a", "b"])
+        scheduler = FunctionScheduler(
+            lambda system: min(system.enabled_pids(), default=None),
+            chooser=lambda system, pid, n: 1,
+        )
+        execution = spec.run(scheduler)
+        # Outcome index 1 of the second proposal extends the set and
+        # returns the proposer's own value "b".
+        assert execution.outputs[1] == "b"
+
+
+class TestCrashingSchedulerDelegation:
+    def test_chooser_passes_through(self):
+        def proposer(pid, value):
+            decision = yield invoke("sc", "propose", value)
+            return decision
+
+        spec = build_spec({"sc": SetConsensusSpec(2, 2)}, proposer, ["a", "b"])
+        base = FunctionScheduler(
+            lambda system: min(system.enabled_pids(), default=None),
+            chooser=lambda system, pid, n: 1,
+        )
+        execution = spec.run(CrashingScheduler(base, crash_at={}))
+        assert execution.outputs[1] == "b"

@@ -1,0 +1,129 @@
+"""Unit tests for history extraction and real-time precedence."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.objects.register import RegisterSpec
+from repro.runtime.history import History, HistoryEvent, history_from_execution
+from repro.runtime.ops import call_marker, invoke, return_marker
+from repro.runtime.scheduler import RoundRobinScheduler, ScriptedScheduler
+from repro.runtime.system import SystemSpec
+
+
+def annotated_spec():
+    """Two processes perform one logical 'transfer' op each, implemented
+    as two register steps.  A warm-up read precedes the logical call so
+    that operation intervals begin when the process is first scheduled
+    (annotations emitted at priming are timestamped 0 for everyone)."""
+
+    def program(pid):
+        def run():
+            yield invoke("r", "read")  # warm-up
+            yield call_marker("bank", "transfer", pid)
+            yield invoke("r", "write", pid)
+            seen = yield invoke("r", "read")
+            yield return_marker(seen)
+            return seen
+
+        return run
+
+    return SystemSpec({"r": RegisterSpec()}, [program(0), program(1)])
+
+
+class TestExtraction:
+    def test_complete_operations_extracted(self):
+        execution = annotated_spec().run(RoundRobinScheduler())
+        history = history_from_execution(execution)
+        assert len(history) == 2
+        assert not history.pending
+        assert {e.method for e in history} == {"transfer"}
+
+    def test_event_fields(self):
+        execution = annotated_spec().run(ScriptedScheduler([0, 0, 0, 1, 1, 1]))
+        history = history_from_execution(execution)
+        first = history.events[0]
+        assert first.pid == 0
+        assert first.obj == "bank"
+        assert first.args == (0,)
+        assert first.response == 0
+        assert first.invoked_at == 1
+        assert first.responded_at == 3
+
+    def test_sequential_schedule_detected(self):
+        execution = annotated_spec().run(ScriptedScheduler([0, 0, 0, 1, 1, 1]))
+        history = history_from_execution(execution)
+        assert history.is_sequential()
+
+    def test_overlapping_schedule_detected(self):
+        execution = annotated_spec().run(ScriptedScheduler([0, 1, 0, 1, 0, 1]))
+        history = history_from_execution(execution)
+        assert not history.is_sequential()
+
+    def test_unfinished_operation_is_pending(self):
+        execution = annotated_spec().replay([(0, 0), (0, 0)]).finalize()
+        history = history_from_execution(execution)
+        pending = [e for e in history if e.is_pending]
+        assert len(pending) == 1  # p0 called, not returned; p1 never called
+
+    def test_nested_call_rejected(self):
+        def bad():
+            yield call_marker("x", "op")
+            yield call_marker("x", "op2")
+            yield invoke("r", "read")
+
+        spec = SystemSpec({"r": RegisterSpec()}, [bad])
+        execution = spec.run(RoundRobinScheduler())
+        with pytest.raises(ProtocolError, match="nested"):
+            history_from_execution(execution)
+
+    def test_orphan_return_rejected(self):
+        def bad():
+            yield return_marker(1)
+            yield invoke("r", "read")
+
+        spec = SystemSpec({"r": RegisterSpec()}, [bad])
+        execution = spec.run(RoundRobinScheduler())
+        with pytest.raises(ProtocolError, match="without a matching"):
+            history_from_execution(execution)
+
+
+class TestPrecedence:
+    def _event(self, pid, invoked, responded):
+        return HistoryEvent(
+            pid=pid,
+            obj="o",
+            method="m",
+            args=(),
+            response=None,
+            invoked_at=invoked,
+            responded_at=responded,
+        )
+
+    def test_disjoint_intervals_ordered(self):
+        a = self._event(0, 0, 2)
+        b = self._event(1, 3, 5)
+        assert a.precedes(b)
+        assert not b.precedes(a)
+
+    def test_touching_intervals_ordered(self):
+        a = self._event(0, 0, 2)
+        b = self._event(1, 2, 4)
+        assert a.precedes(b)
+
+    def test_overlapping_intervals_unordered(self):
+        a = self._event(0, 0, 3)
+        b = self._event(1, 2, 5)
+        assert not a.precedes(b)
+        assert not b.precedes(a)
+
+    def test_pending_precedes_nothing(self):
+        a = self._event(0, 0, None)
+        b = self._event(1, 5, 6)
+        assert not a.precedes(b)
+
+    def test_for_object_filters(self):
+        history = History(
+            [self._event(0, 0, 1), self._event(1, 2, 3)]
+        )
+        assert len(history.for_object("o")) == 2
+        assert len(history.for_object("other")) == 0

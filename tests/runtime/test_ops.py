@@ -1,0 +1,51 @@
+"""Unit tests for the step/annotation vocabulary."""
+
+from repro.runtime.ops import (
+    Annotation,
+    Operation,
+    call_marker,
+    invoke,
+    return_marker,
+)
+
+
+class TestOperation:
+    def test_invoke_builds_operation(self):
+        op = invoke("r", "write", 3)
+        assert op == Operation("r", "write", (3,))
+
+    def test_args_default_empty(self):
+        assert Operation("r", "read").args == ()
+
+    def test_operations_are_hashable(self):
+        assert len({invoke("r", "read"), invoke("r", "read")}) == 1
+
+    def test_distinct_args_distinct_operations(self):
+        assert invoke("r", "write", 1) != invoke("r", "write", 2)
+
+    def test_str_rendering(self):
+        assert str(invoke("q", "enqueue", "x")) == "q.enqueue('x')"
+
+    def test_multi_arg_rendering(self):
+        assert str(invoke("a", "write", 0, 5)) == "a.write(0, 5)"
+
+
+class TestAnnotation:
+    def test_call_marker_payload(self):
+        marker = call_marker("snap", "scan")
+        assert marker.kind == "call"
+        assert marker.payload == ("snap", "scan", ())
+
+    def test_call_marker_with_args(self):
+        marker = call_marker("snap", "update", 2, "v")
+        assert marker.payload == ("snap", "update", (2, "v"))
+
+    def test_return_marker(self):
+        marker = return_marker(42)
+        assert marker.kind == "return"
+        assert marker.payload == 42
+
+    def test_free_form_annotation(self):
+        note = Annotation("trace", {"round": 1})
+        assert note.kind == "trace"
+        assert note.payload == {"round": 1}

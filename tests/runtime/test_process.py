@@ -1,0 +1,136 @@
+"""Unit tests for the process abstraction."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runtime.ops import Annotation, invoke
+from repro.runtime.process import Process, ProcessStatus
+
+
+def writer_program():
+    yield invoke("r", "write", 1)
+    value = yield invoke("r", "read")
+    return value
+
+
+class TestPriming:
+    def test_starts_pending(self):
+        process = Process(0, writer_program)
+        assert process.status is ProcessStatus.PENDING
+        assert process.pending_operation is None
+
+    def test_prime_exposes_first_operation(self):
+        process = Process(0, writer_program)
+        process.prime()
+        assert process.status is ProcessStatus.POISED
+        assert process.pending_operation == invoke("r", "write", 1)
+
+    def test_prime_is_idempotent(self):
+        process = Process(0, writer_program)
+        process.prime()
+        process.prime()
+        assert process.pending_operation == invoke("r", "write", 1)
+
+    def test_program_without_steps_finishes_on_prime(self):
+        def silent():
+            return 7
+            yield  # pragma: no cover
+
+        process = Process(0, silent)
+        process.prime()
+        assert process.status is ProcessStatus.DONE
+        assert process.output == 7
+
+    def test_non_generator_factory_rejected(self):
+        process = Process(0, lambda: 42)
+        with pytest.raises(ProtocolError, match="generator"):
+            process.prime()
+
+
+class TestDelivery:
+    def test_deliver_advances_to_next_operation(self):
+        process = Process(0, writer_program)
+        process.prime()
+        process.deliver(None)
+        assert process.pending_operation == invoke("r", "read")
+
+    def test_response_reaches_program(self):
+        process = Process(0, writer_program)
+        process.prime()
+        process.deliver(None)
+        process.deliver("stored")
+        assert process.status is ProcessStatus.DONE
+        assert process.output == "stored"
+
+    def test_steps_are_counted(self):
+        process = Process(0, writer_program)
+        process.prime()
+        process.deliver(None)
+        process.deliver("x")
+        assert process.steps_taken == 2
+
+    def test_deliver_without_priming_rejected(self):
+        process = Process(0, writer_program)
+        with pytest.raises(ProtocolError):
+            process.deliver(None)
+
+    def test_deliver_after_done_rejected(self):
+        process = Process(0, writer_program)
+        process.prime()
+        process.deliver(None)
+        process.deliver("x")
+        with pytest.raises(ProtocolError):
+            process.deliver(None)
+
+
+class TestAnnotations:
+    def test_annotations_consumed_without_steps(self):
+        def annotated():
+            yield Annotation("mark", "before")
+            yield invoke("r", "read")
+            yield Annotation("mark", "after")
+            return None
+
+        process = Process(0, annotated)
+        process.prime()
+        assert [a.payload for a in process.fresh_annotations] == ["before"]
+        assert process.pending_operation == invoke("r", "read")
+        process.fresh_annotations.clear()
+        process.deliver(0)
+        assert [a.payload for a in process.fresh_annotations] == ["after"]
+        assert process.status is ProcessStatus.DONE
+
+    def test_yielding_garbage_rejected(self):
+        def bad():
+            yield "not an operation"
+
+        process = Process(0, bad)
+        with pytest.raises(ProtocolError, match="may only"):
+            process.prime()
+
+
+class TestCrashAndBlock:
+    def test_crash_stops_process(self):
+        process = Process(0, writer_program)
+        process.prime()
+        process.crash()
+        assert process.status is ProcessStatus.CRASHED
+        assert process.pending_operation is None
+        assert not process.is_live
+
+    def test_crash_after_done_is_noop(self):
+        def silent():
+            return 1
+            yield  # pragma: no cover
+
+        process = Process(0, silent)
+        process.prime()
+        process.crash()
+        assert process.status is ProcessStatus.DONE
+
+    def test_block_parks_forever(self):
+        process = Process(0, writer_program)
+        process.prime()
+        process.block()
+        assert process.status is ProcessStatus.BLOCKED
+        assert not process.is_live

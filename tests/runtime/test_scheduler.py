@@ -1,0 +1,126 @@
+"""Unit tests for schedulers."""
+
+import pytest
+
+from repro.objects.counter import CounterSpec
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.process import ProcessStatus
+from repro.runtime.scheduler import (
+    CrashingScheduler,
+    PriorityScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    SoloScheduler,
+)
+from repro.runtime.system import SystemSpec
+
+
+def counting_spec(n_processes: int, steps_each: int = 3):
+    """Each process increments a shared counter `steps_each` times and
+    returns the value it read last."""
+
+    def program(pid):
+        def run():
+            value = None
+            for _ in range(steps_each):
+                yield invoke("c", "inc")
+            value = yield invoke("c", "read")
+            return value
+
+        return run
+
+    return SystemSpec(
+        {"c": CounterSpec()}, [program(pid) for pid in range(n_processes)]
+    )
+
+
+class TestRoundRobin:
+    def test_cycles_fairly(self):
+        execution = counting_spec(3, steps_each=2).run(RoundRobinScheduler())
+        assert execution.schedule[:6] == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_finished_processes(self):
+        execution = counting_spec(2, steps_each=1).run(RoundRobinScheduler())
+        assert execution.all_done()
+        # Total steps: 2 incs + 2 reads.
+        assert len(execution) == 4
+
+    def test_start_offset(self):
+        execution = counting_spec(3, steps_each=1).run(RoundRobinScheduler(start=2))
+        assert execution.schedule[0] == 2
+
+
+class TestRandom:
+    def test_same_seed_same_schedule(self):
+        first = counting_spec(3).run(RandomScheduler(7))
+        second = counting_spec(3).run(RandomScheduler(7))
+        assert first.schedule == second.schedule
+        assert first.outputs == second.outputs
+
+    def test_different_seeds_differ_somewhere(self):
+        schedules = {
+            tuple(counting_spec(3).run(RandomScheduler(seed)).schedule)
+            for seed in range(10)
+        }
+        assert len(schedules) > 1
+
+    def test_all_processes_complete(self):
+        execution = counting_spec(4).run(RandomScheduler(1))
+        assert execution.all_done()
+
+
+class TestScripted:
+    def test_replays_pid_sequence(self):
+        execution = counting_spec(2, steps_each=1).run(
+            ScriptedScheduler([1, 1, 0, 0])
+        )
+        assert execution.schedule == [1, 1, 0, 0]
+
+    def test_stops_when_script_ends(self):
+        execution = counting_spec(2, steps_each=2).run(ScriptedScheduler([0]))
+        assert len(execution) == 1
+        assert execution.statuses[1] is ProcessStatus.POISED
+
+    def test_accepts_decision_pairs(self):
+        execution = counting_spec(1, steps_each=1).run(
+            ScriptedScheduler([(0, 0), (0, 0)])
+        )
+        assert execution.all_done()
+
+
+class TestPriorityAndSolo:
+    def test_priority_runs_highest_first(self):
+        execution = counting_spec(3, steps_each=1).run(
+            PriorityScheduler({0: 1, 1: 3, 2: 2})
+        )
+        assert execution.schedule == [1, 1, 2, 2, 0, 0]
+
+    def test_solo_runs_in_given_order(self):
+        execution = counting_spec(3, steps_each=1).run(SoloScheduler([2, 0, 1]))
+        assert execution.schedule == [2, 2, 0, 0, 1, 1]
+
+    def test_solo_outputs_reflect_sequencing(self):
+        execution = counting_spec(3, steps_each=1).run(SoloScheduler([0, 1, 2]))
+        # Each process reads after its own inc: counts 1, 2, 3.
+        assert execution.outputs == {0: 1, 1: 2, 2: 3}
+
+
+class TestCrashing:
+    def test_crash_at_step(self):
+        scheduler = CrashingScheduler(RoundRobinScheduler(), crash_at={0: 1})
+        execution = counting_spec(2, steps_each=2).run(scheduler)
+        assert execution.statuses[0] is ProcessStatus.CRASHED
+        assert execution.statuses[1] is ProcessStatus.DONE
+        assert 0 not in execution.outputs
+
+    def test_crash_at_zero_prevents_all_steps(self):
+        scheduler = CrashingScheduler(RoundRobinScheduler(), crash_at={1: 0})
+        execution = counting_spec(2, steps_each=2).run(scheduler)
+        assert all(step.pid == 0 for step in execution.steps)
+
+    def test_survivors_unaffected(self):
+        scheduler = CrashingScheduler(RandomScheduler(3), crash_at={0: 2, 2: 4})
+        execution = counting_spec(3, steps_each=2).run(scheduler)
+        assert execution.statuses[1] is ProcessStatus.DONE

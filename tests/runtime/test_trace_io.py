@@ -1,0 +1,96 @@
+"""Tests for execution-trace serialization."""
+
+import json
+
+import pytest
+
+from repro.algorithms.helpers import build_spec
+from repro.algorithms.set_consensus_from_family import set_consensus_spec
+from repro.errors import ProtocolError
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.trace_io import (
+    FORMAT,
+    load_trace_json,
+    replay_trace,
+    trace_to_dict,
+    trace_to_json,
+)
+
+
+def family_fixture():
+    inputs = ["a", "b", "c", "d", "e", "f"]
+    return set_consensus_spec(2, 1, inputs)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(7))
+        trace = trace_to_dict(execution, label="witness")
+        assert trace["format"] == FORMAT
+        assert trace["label"] == "witness"
+        replayed = replay_trace(family_fixture(), trace)
+        assert replayed.outputs == execution.outputs
+        assert replayed.schedule == execution.schedule
+
+    def test_json_round_trip(self):
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(11))
+        payload = trace_to_json(execution)
+        json.loads(payload)  # valid JSON
+        replayed = load_trace_json(family_fixture(), payload)
+        assert replayed.outputs == execution.outputs
+
+    def test_nondeterministic_choices_survive(self):
+        from repro.algorithms.set_consensus_transfer import transfer_spec
+
+        spec = transfer_spec(3, 2, ["a", "b", "c", "d"])
+        execution = spec.run(RandomScheduler(3))
+        trace = trace_to_dict(execution)
+        replayed = replay_trace(
+            transfer_spec(3, 2, ["a", "b", "c", "d"]), trace
+        )
+        assert replayed.outputs == execution.outputs
+
+
+class TestGuards:
+    def test_format_marker_checked(self):
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(1))
+        trace = trace_to_dict(execution)
+        trace["format"] = "something-else"
+        with pytest.raises(ProtocolError, match="unsupported trace format"):
+            replay_trace(spec, trace)
+
+    def test_process_count_checked(self):
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(1))
+        trace = trace_to_dict(execution)
+
+        def tiny(pid, value):
+            yield invoke("r", "read")
+            return value
+
+        other = build_spec({"r": RegisterSpec()}, tiny, ["x"])
+        with pytest.raises(ProtocolError, match="processes"):
+            replay_trace(other, trace)
+
+    def test_spec_drift_detected(self):
+        """Replaying against a system with different inputs changes the
+        outcome fingerprint and is rejected."""
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(1))
+        trace = trace_to_dict(execution)
+        drifted = set_consensus_spec(2, 1, ["q", "r", "s", "t", "u", "v"])
+        with pytest.raises(ProtocolError, match="diverges"):
+            replay_trace(drifted, trace)
+
+    def test_fingerprint_optional(self):
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(1))
+        trace = trace_to_dict(execution)
+        del trace["fingerprint"]
+        replayed = replay_trace(spec, trace)
+        assert replayed.outputs == execution.outputs

@@ -1,0 +1,50 @@
+"""Unit tests for consensus/election task validators."""
+
+import pytest
+
+from repro.errors import TaskViolationError
+from repro.tasks import ConsensusTask, ElectionTask
+
+
+class TestConsensusTask:
+    def test_valid_agreement(self):
+        task = ConsensusTask()
+        task.validate({0: "a", 1: "b"}, {0: "a", 1: "a"})
+
+    def test_partial_outputs_allowed(self):
+        ConsensusTask().validate({0: "a", 1: "b"}, {1: "b"})
+
+    def test_empty_outputs_allowed(self):
+        ConsensusTask().validate({0: "a"}, {})
+
+    def test_disagreement_rejected(self):
+        with pytest.raises(TaskViolationError, match="agreement"):
+            ConsensusTask().validate({0: "a", 1: "b"}, {0: "a", 1: "b"})
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(TaskViolationError, match="no participant proposed"):
+            ConsensusTask().validate({0: "a", 1: "b"}, {0: "z"})
+
+    def test_check_boolean_wrapper(self):
+        task = ConsensusTask()
+        assert task.check({0: "a"}, {0: "a"})
+        assert not task.check({0: "a"}, {0: "b"})
+
+
+class TestElectionTask:
+    def test_valid_election(self):
+        ElectionTask().validate({0: 0, 1: 1}, {0: 1, 1: 1})
+
+    def test_inputs_must_be_own_ids(self):
+        with pytest.raises(TaskViolationError, match="own id"):
+            ElectionTask().validate({0: 5, 1: 1}, {})
+
+    def test_elected_must_be_participant(self):
+        # Consensus validity already forces the value to be an input,
+        # so electing a non-participant fails.
+        with pytest.raises(TaskViolationError):
+            ElectionTask().validate({0: 0, 1: 1}, {0: 7})
+
+    def test_split_election_rejected(self):
+        with pytest.raises(TaskViolationError):
+            ElectionTask().validate({0: 0, 1: 1}, {0: 0, 1: 1})

@@ -1,0 +1,34 @@
+"""Unit tests for the renaming task validator."""
+
+import pytest
+
+from repro.errors import TaskViolationError
+from repro.tasks import RenamingTask
+
+
+class TestRenamingTask:
+    def test_valid(self):
+        RenamingTask(6).validate({0: 101, 1: 202}, {0: 3, 1: 0})
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RenamingTask(0)
+
+    def test_duplicate_new_names_rejected(self):
+        with pytest.raises(TaskViolationError, match="distinct"):
+            RenamingTask(6).validate({0: 101, 1: 202}, {0: 3, 1: 3})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TaskViolationError, match="outside"):
+            RenamingTask(4).validate({0: 101}, {0: 4})
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TaskViolationError):
+            RenamingTask(4).validate({0: 101}, {0: "x"})
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(TaskViolationError, match="input names"):
+            RenamingTask(4).validate({0: 7, 1: 7}, {})
+
+    def test_partial_outputs_allowed(self):
+        RenamingTask(4).validate({0: 101, 1: 202, 2: 303}, {1: 2})

@@ -1,0 +1,73 @@
+"""Unit tests for k-set consensus / election task validators."""
+
+import pytest
+
+from repro.errors import TaskViolationError
+from repro.tasks import (
+    KSetConsensusTask,
+    KSetElectionTask,
+    StrongKSetElectionTask,
+)
+
+
+class TestKSetConsensus:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KSetConsensusTask(0)
+
+    def test_within_budget(self):
+        task = KSetConsensusTask(2)
+        task.validate({0: "a", 1: "b", 2: "c"}, {0: "a", 1: "b", 2: "a"})
+
+    def test_budget_exceeded(self):
+        task = KSetConsensusTask(2)
+        with pytest.raises(TaskViolationError, match="k-agreement"):
+            task.validate({0: "a", 1: "b", 2: "c"}, {0: "a", 1: "b", 2: "c"})
+
+    def test_validity(self):
+        with pytest.raises(TaskViolationError, match="proposed"):
+            KSetConsensusTask(2).validate({0: "a"}, {0: "q"})
+
+    def test_k1_equals_consensus(self):
+        task = KSetConsensusTask(1)
+        task.validate({0: "a", 1: "b"}, {0: "b", 1: "b"})
+        with pytest.raises(TaskViolationError):
+            task.validate({0: "a", 1: "b"}, {0: "a", 1: "b"})
+
+    def test_duplicate_inputs_ok(self):
+        KSetConsensusTask(1).validate({0: "a", 1: "a"}, {0: "a", 1: "a"})
+
+
+class TestKSetElection:
+    def test_valid(self):
+        KSetElectionTask(2).validate({0: 0, 1: 1, 2: 2}, {0: 0, 1: 0, 2: 2})
+
+    def test_ids_required(self):
+        with pytest.raises(TaskViolationError, match="own id"):
+            KSetElectionTask(2).validate({0: 9}, {})
+
+    def test_non_participant_rejected(self):
+        with pytest.raises(TaskViolationError):
+            KSetElectionTask(2).validate({0: 0, 1: 1}, {0: 5})
+
+
+class TestStrongKSetElection:
+    def test_self_election_satisfied(self):
+        task = StrongKSetElectionTask(2)
+        task.validate({0: 0, 1: 1, 2: 2}, {0: 0, 1: 0, 2: 2})
+
+    def test_self_election_violated(self):
+        task = StrongKSetElectionTask(2)
+        with pytest.raises(TaskViolationError, match="self-election"):
+            task.validate({0: 0, 1: 1, 2: 2}, {0: 1, 1: 0, 2: 0})
+
+    def test_undecided_leader_tolerated(self):
+        """Electing a leader that has not yet decided is not (yet) a
+        violation."""
+        task = StrongKSetElectionTask(2)
+        task.validate({0: 0, 1: 1, 2: 2}, {0: 1, 2: 1})
+
+    def test_inherits_k_agreement(self):
+        task = StrongKSetElectionTask(1)
+        with pytest.raises(TaskViolationError):
+            task.validate({0: 0, 1: 1}, {0: 0, 1: 1})

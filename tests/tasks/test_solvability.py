@@ -1,0 +1,121 @@
+"""Unit tests for solvability checking machinery."""
+
+import pytest
+
+from repro.algorithms.helpers import build_spec
+from repro.errors import TaskViolationError
+from repro.objects.register import RegisterSpec
+from repro.objects.sticky import StickyRegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.scheduler import RoundRobinScheduler
+from repro.tasks import (
+    ConsensusTask,
+    check_task_all_schedules,
+    check_task_random_schedules,
+    run_task_protocol,
+)
+
+
+def good_consensus_spec(inputs):
+    """Sticky-register consensus: genuinely correct."""
+
+    def program(pid, value):
+        decision = yield invoke("s", "propose", value)
+        return decision
+
+    return build_spec({"s": StickyRegisterSpec()}, program, inputs)
+
+
+def bad_consensus_spec(inputs):
+    """Everyone decides its own input: violates agreement under any
+    schedule (with distinct inputs)."""
+
+    def program(pid, value):
+        yield invoke("r", "write", value)
+        return value
+
+    return build_spec({"r": RegisterSpec()}, program, inputs)
+
+
+def nonterminating_spec(inputs):
+    def program(pid, value):
+        while True:
+            yield invoke("r", "read")
+
+    return build_spec({"r": RegisterSpec()}, program, inputs)
+
+
+INPUTS = ["a", "b"]
+INPUT_MAP = {0: "a", 1: "b"}
+
+
+class TestRunOnce:
+    def test_good_protocol_passes(self):
+        execution = run_task_protocol(
+            good_consensus_spec(INPUTS), ConsensusTask(), INPUT_MAP,
+            RoundRobinScheduler(),
+        )
+        assert execution.all_done()
+
+    def test_bad_protocol_raises(self):
+        with pytest.raises(TaskViolationError, match="agreement"):
+            run_task_protocol(
+                bad_consensus_spec(INPUTS), ConsensusTask(), INPUT_MAP,
+                RoundRobinScheduler(),
+            )
+
+    def test_nontermination_detected(self):
+        with pytest.raises(TaskViolationError, match="wait-free"):
+            run_task_protocol(
+                nonterminating_spec(INPUTS), ConsensusTask(), INPUT_MAP,
+                RoundRobinScheduler(), max_steps=50,
+            )
+
+    def test_nontermination_tolerated_when_opted_out(self):
+        execution = run_task_protocol(
+            nonterminating_spec(INPUTS), ConsensusTask(), INPUT_MAP,
+            RoundRobinScheduler(), max_steps=50, require_wait_free=False,
+        )
+        assert len(execution) == 50
+
+
+class TestRandomized:
+    def test_good_protocol(self):
+        report = check_task_random_schedules(
+            good_consensus_spec(INPUTS), ConsensusTask(), INPUT_MAP,
+            seeds=range(30),
+        )
+        assert report.ok
+        assert report.executions_checked == 30
+        assert set(report.distinct_output_counts) == {1}
+
+    def test_bad_protocol_reports_seed(self):
+        report = check_task_random_schedules(
+            bad_consensus_spec(INPUTS), ConsensusTask(), INPUT_MAP,
+            seeds=range(30),
+        )
+        assert not report.ok
+        assert "seed 0" in report.reason
+        assert report.counterexample is not None
+
+
+class TestExhaustive:
+    def test_good_protocol(self):
+        report = check_task_all_schedules(
+            good_consensus_spec(INPUTS), ConsensusTask(), INPUT_MAP,
+        )
+        assert report.ok
+        assert report.executions_checked == 2  # one step each: 2 schedules
+
+    def test_bad_protocol_counterexample_replays(self):
+        spec = bad_consensus_spec(INPUTS)
+        report = check_task_all_schedules(spec, ConsensusTask(), INPUT_MAP)
+        assert not report.ok
+        replayed = spec.replay(report.counterexample.decisions).finalize()
+        assert replayed.outputs == report.counterexample.outputs
+
+    def test_step_metrics_recorded(self):
+        report = check_task_all_schedules(
+            good_consensus_spec(INPUTS), ConsensusTask(), INPUT_MAP,
+        )
+        assert report.max_steps_per_process == 1
