@@ -2,8 +2,13 @@
 
 These are the numbers a user needs to size their own experiments: raw
 simulator step throughput, explorer tree-walk cost (with its replay
-overhead), and the Wing–Gong checker on histories of growing width.
+overhead), the Wing–Gong checker on histories of growing width, and the
+cost of the observability layer (instrumented-but-disabled vs a live
+JSONL sink) so future PRs can see instrumentation drift in the bench
+trajectory.
 """
+
+import time
 
 from conftest import assert_rows_ok
 
@@ -13,6 +18,7 @@ from repro.algorithms.set_consensus_from_family import (
 )
 from repro.analysis.linearizability import is_linearizable
 from repro.experiments.suite import run_e10_runtime
+from repro.obs.events import JsonlSink, use_sink
 from repro.objects.register import RegisterSpec
 from repro.runtime.explorer import Explorer
 from repro.runtime.history import History, HistoryEvent
@@ -45,6 +51,56 @@ def test_e10_explorer_tree_walk(benchmark):
 
     count = benchmark(run)
     assert count == 120
+
+
+def test_e10_obs_overhead(tmp_path):
+    """Instrumentation-cost guard: the same workload with sinks disabled
+    (the NullSink fast path every normal run takes) and with a JSONL sink
+    attached.  The reported ratios let future PRs spot regressions in the
+    hot-path guard; the disabled path is asserted to stay cheap.
+    """
+    inputs = [f"v{i}" for i in range(24)]
+    spec = partition_set_consensus_spec(2, 1, inputs)
+    seeds = range(30)
+
+    def workload():
+        total = 0
+        for seed in seeds:
+            total += len(spec.run(RandomScheduler(seed)))
+        return total
+
+    workload()  # warm-up: JIT-free but primes caches and allocator
+
+    def timed(repeat=3):
+        best = float("inf")
+        steps = 0
+        for _ in range(repeat):
+            start = time.perf_counter()
+            steps = workload()
+            best = min(best, time.perf_counter() - start)
+        return best, steps
+
+    disabled_seconds, steps = timed()
+
+    sink = JsonlSink(str(tmp_path / "bench.jsonl"))
+    with use_sink(sink):
+        jsonl_seconds, _ = timed()
+    sink.close()
+
+    ratio = jsonl_seconds / disabled_seconds if disabled_seconds else float("inf")
+    disabled_rate = steps / disabled_seconds if disabled_seconds else float("inf")
+    print(
+        f"\nobs overhead: {steps} steps/run-set; "
+        f"disabled {disabled_seconds:.4f}s ({disabled_rate:,.0f} steps/s), "
+        f"jsonl {jsonl_seconds:.4f}s, ratio {ratio:.2f}x"
+    )
+    assert steps > 0
+    # The disabled path must keep the simulator inside its E10 envelope —
+    # the instrumented guard is one flag check per step.
+    assert disabled_rate > 10_000, f"disabled-path rate fell to {disabled_rate:,.0f}/s"
+    # The JSONL sink pays for dict building + json encoding + IO per step;
+    # anything above this bound means the fast-path guard broke.
+    assert ratio < 25, f"JSONL sink overhead exploded: {ratio:.1f}x"
 
 
 def test_e10_linearizability_checker_width(benchmark):

@@ -16,6 +16,17 @@ Commands
     (equivalent to ``python -m repro.experiments.report``).
 ``common2 [--levels L]``
     Print the Common2 refutation certificates.
+``stats TRACE.jsonl``
+    Replay an archived JSONL event stream (produced with ``--trace-out``)
+    and print the metrics digest: step counts per process/object/method,
+    schedules explored, run verdicts, per-phase timings.
+
+Observability flags (every run command):
+
+``--trace-out FILE.jsonl``
+    Attach a JSONL event sink; the resulting file feeds ``stats``.
+``--progress``
+    Rate-limited progress line on stderr for long checks.
 """
 
 from __future__ import annotations
@@ -23,6 +34,11 @@ from __future__ import annotations
 import argparse
 import sys
 from math import ceil
+
+from repro.obs.events import JsonlSink, read_jsonl, set_sink
+from repro.obs.metrics import MetricsRegistry, get_registry, reset_registry
+from repro.obs.progress import ProgressReporter
+from repro.obs.spans import span
 
 from repro.algorithms.helpers import inputs_dict
 from repro.algorithms.set_consensus_from_family import (
@@ -112,42 +128,113 @@ def cmd_common2(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    registry = MetricsRegistry()
+    consumed = 0
+    try:
+        for name, fields in read_jsonl(args.trace):
+            registry.consume_event(name, fields)
+            consumed += 1
+    except OSError as error:
+        print(f"stats: cannot read {args.trace}: {error}", file=sys.stderr)
+        return 1
+    if consumed == 0:
+        print(f"stats: no events found in {args.trace}", file=sys.stderr)
+        return 1
+    print(f"# {args.trace}: {consumed} events\n")
+    print(registry.digest())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Deterministic objects beyond the consensus hierarchy",
     )
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument(
+        "--trace-out",
+        metavar="FILE.jsonl",
+        default=None,
+        help="write a structured JSONL event stream (read it back with "
+        "'python -m repro stats FILE.jsonl')",
+    )
+    obs.add_argument(
+        "--progress",
+        action="store_true",
+        help="rate-limited progress reporting on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    describe = sub.add_parser("describe", help="data sheet of O(n, k)")
+    describe = sub.add_parser(
+        "describe", help="data sheet of O(n, k)", parents=[obs]
+    )
     describe.add_argument("n", type=int)
     describe.add_argument("k", type=int)
     describe.set_defaults(func=cmd_describe)
 
-    curves = sub.add_parser("curves", help="agreement curves K(N)")
+    curves = sub.add_parser(
+        "curves", help="agreement curves K(N)", parents=[obs]
+    )
     curves.add_argument("n", type=int)
     curves.add_argument("--kmax", type=int, default=3)
     curves.add_argument("--nmax", type=int, default=24)
     curves.set_defaults(func=cmd_curves)
 
-    check = sub.add_parser("check", help="model-check O(n, k) live")
+    check = sub.add_parser(
+        "check", help="model-check O(n, k) live", parents=[obs]
+    )
     check.add_argument("n", type=int)
     check.add_argument("k", type=int)
     check.set_defaults(func=cmd_check)
 
-    report = sub.add_parser("report", help="run the experiment suite")
+    report = sub.add_parser(
+        "report", help="run the experiment suite", parents=[obs]
+    )
     report.set_defaults(func=cmd_report)
 
-    common2 = sub.add_parser("common2", help="Common2 refutation certificates")
+    common2 = sub.add_parser(
+        "common2", help="Common2 refutation certificates", parents=[obs]
+    )
     common2.add_argument("--levels", type=int, default=3)
     common2.set_defaults(func=cmd_common2)
+
+    stats = sub.add_parser(
+        "stats", help="summarize a JSONL event stream from --trace-out"
+    )
+    stats.add_argument("trace", help="path to the .jsonl file")
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    sink = None
+    reporter = None
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        reset_registry()  # the trace should describe this run only
+        try:
+            sink = JsonlSink(trace_out)
+        except OSError as error:
+            print(f"repro: cannot open --trace-out {trace_out}: {error}",
+                  file=sys.stderr)
+            return 2
+        set_sink(sink)
+        get_registry().install()
+    if getattr(args, "progress", False):
+        reporter = ProgressReporter().install()
+    try:
+        with span("command", command=args.command):
+            return args.func(args)
+    finally:
+        if reporter is not None:
+            reporter.close()
+        if sink is not None:
+            get_registry().uninstall()
+            set_sink(None)
+            sink.close()
 
 
 if __name__ == "__main__":

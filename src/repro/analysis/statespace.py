@@ -23,6 +23,7 @@ import networkx as nx
 
 from repro.analysis.commutativity import OpInstance, reachable_states
 from repro.errors import IllegalOperationError
+from repro.obs import events as _obs_events
 from repro.objects.base import ObjectSpec
 
 #: networkx refuses ``None`` as a node; states equal to ``None`` are
@@ -45,6 +46,10 @@ def state_graph(
     (operation, outcome) with ``op``/``response`` attributes.  Misuse
     branches are omitted (they end executions)."""
     states = reachable_states(spec, ops, max_states=max_states, truncate=truncate)
+    if _obs_events.is_enabled():
+        _obs_events.emit(
+            "states_visited", object=type(spec).__name__, states=len(states)
+        )
     known = set(map(node_for, states))
     graph = nx.MultiDiGraph()
     for state in states:
@@ -96,6 +101,10 @@ def verify_determinism(
     """Check every reachable (state, operation) pair for single-outcome
     behaviour — the executable meaning of 'deterministic object'."""
     states = reachable_states(spec, ops, max_states=max_states, truncate=truncate)
+    if _obs_events.is_enabled():
+        _obs_events.emit(
+            "states_visited", object=type(spec).__name__, states=len(states)
+        )
     for state in states:
         for op in ops:
             method, args = op

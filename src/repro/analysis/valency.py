@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import ExplorationLimitError
+from repro.obs import events as _obs_events
 from repro.runtime.execution import Execution
 from repro.runtime.explorer import Explorer
 from repro.runtime.process import ProcessStatus
@@ -85,6 +86,13 @@ def _subtree_valence(
     values: set = set()
     for execution in explorer.executions():
         values |= _decision_of(execution)
+    if _obs_events.is_enabled():
+        _obs_events.emit(
+            "valency_subtree",
+            prefix_len=len(prefix),
+            executions=explorer.stats.executions,
+            valence=len(values),
+        )
     return frozenset(values)
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.algorithms.consensus_from_n_consensus import (
     partition_bound,
@@ -31,6 +31,7 @@ from repro.core.family import FamilyMember, HierarchyObjectSpec
 from repro.core.power import family_agreement
 from repro.core.theorem import max_agreement
 from repro.experiments.rows import ExperimentRow
+from repro.obs.spans import span
 from repro.objects.queue_stack import QueueSpec
 from repro.objects.register import RegisterSpec
 from repro.objects.rmw import TestAndSetSpec
@@ -612,17 +613,46 @@ def run_e10_runtime() -> List[ExperimentRow]:
     return rows
 
 
-def run_all() -> Dict[str, List[ExperimentRow]]:
-    """Run the whole suite; returns experiment id -> rows."""
-    return {
-        "E1": run_e1_consensus(),
-        "E2": run_e2_set_consensus(),
-        "E3": run_e3_impossibility(),
-        "E4": run_e4_transfer(),
-        "E5": run_e5_hierarchy(),
-        "E6": run_e6_common2(),
-        "E7": run_e7_bg(),
-        "E8": run_e8_subdivision(),
-        "E9": run_e9_substrate(),
-        "E10": run_e10_runtime(),
-    }
+#: Experiment id -> runner, in report order.
+EXPERIMENTS: Dict[str, Callable[[], List[ExperimentRow]]] = {
+    "E1": run_e1_consensus,
+    "E2": run_e2_set_consensus,
+    "E3": run_e3_impossibility,
+    "E4": run_e4_transfer,
+    "E5": run_e5_hierarchy,
+    "E6": run_e6_common2,
+    "E7": run_e7_bg,
+    "E8": run_e8_subdivision,
+    "E9": run_e9_substrate,
+    "E10": run_e10_runtime,
+}
+
+
+def run_all(timings: Optional[Dict[str, float]] = None) -> Dict[str, List[ExperimentRow]]:
+    """Run the whole suite; returns experiment id -> rows.
+
+    Each experiment runs inside a ``span`` (feeding ``phase_seconds`` in
+    the metrics registry and ``span_*`` events to any attached sink).
+    Pass a dict as ``timings`` to also receive per-experiment wall times,
+    keyed by experiment id.
+    """
+    results: Dict[str, List[ExperimentRow]] = {}
+    for experiment_id, runner in EXPERIMENTS.items():
+        with span(experiment_id, kind="experiment") as phase:
+            results[experiment_id] = runner()
+        if timings is not None:
+            timings[experiment_id] = phase.seconds
+    return results
+
+
+def timing_summary(timings: Dict[str, float]) -> str:
+    """Render per-experiment wall times as a small aligned table."""
+    if not timings:
+        return "(no timings recorded)"
+    total = sum(timings.values())
+    lines = ["experiment  seconds  share"]
+    for experiment_id, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * seconds / total if total else 0.0
+        lines.append(f"{experiment_id:<10}  {seconds:7.2f}  {share:4.1f}%")
+    lines.append(f"{'total':<10}  {total:7.2f}")
+    return "\n".join(lines)

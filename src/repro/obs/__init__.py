@@ -1,0 +1,84 @@
+"""Observability: structured events, metrics, spans, and progress.
+
+The runtime quantifies over adversarial schedules, so a single report run
+silently executes millions of simulation steps.  This package is the
+measurement substrate for all of it:
+
+* :mod:`repro.obs.events` — a structured event bus with pluggable sinks
+  (null / in-memory ring buffer / JSONL file).  Disabled by default: the
+  hot paths guard every emission behind :func:`events.is_enabled`, so an
+  uninstrumented run pays only one flag check per step.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and timing
+  histograms (``steps_total{pid,object,method}``, ``schedules_explored``,
+  ``states_visited``, ``runs_by_verdict``, ``phase_seconds{span}``), with
+  an event-consumer that rebuilds the same metrics from an archived JSONL
+  stream (``python -m repro stats run.jsonl``).
+* :mod:`repro.obs.spans` — nesting context-manager spans
+  (``with span("explore", n=n, k=k): ...``) that time a phase, report to
+  the event bus, and observe into the metrics registry.
+* :mod:`repro.obs.progress` — rate-limited stderr progress reporting for
+  long explorer/suite runs (``python -m repro check 3 1 --progress``).
+
+Quickstart::
+
+    from repro.obs import JsonlSink, set_sink, span
+
+    set_sink(JsonlSink("run.jsonl"))
+    with span("explore", n=2, k=1):
+        ...                       # instrumented runtime emits step events
+    set_sink(None)                # back to the zero-overhead NullSink
+
+See docs/OBSERVABILITY.md for the event schema and metric names.
+"""
+
+from repro.obs.events import (
+    NULL_SINK,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    Sink,
+    emit,
+    get_sink,
+    is_enabled,
+    read_jsonl,
+    set_sink,
+    subscribe,
+    unsubscribe,
+    use_sink,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.spans import Span, current_span, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_SINK",
+    "NullSink",
+    "ProgressReporter",
+    "RingBufferSink",
+    "Sink",
+    "Span",
+    "current_span",
+    "emit",
+    "get_registry",
+    "get_sink",
+    "is_enabled",
+    "read_jsonl",
+    "reset_registry",
+    "set_sink",
+    "span",
+    "subscribe",
+    "unsubscribe",
+    "use_sink",
+]

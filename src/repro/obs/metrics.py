@@ -1,0 +1,331 @@
+"""Metrics: counters, gauges, and timing histograms with labels.
+
+A :class:`MetricsRegistry` holds named instruments, each keyed by a label
+set (Prometheus-style: ``steps_total{pid=0,object='r',method='read'}``).
+Two usage modes share the same digest code:
+
+* **live** — spans observe directly into :func:`get_registry`, and a
+  registry can be attached to the event bus with :meth:`MetricsRegistry.
+  install` to derive step/schedule/state counters as a run executes;
+* **replay** — ``python -m repro stats run.jsonl`` feeds an archived JSONL
+  event stream through :meth:`MetricsRegistry.consume_event` and prints
+  the identical digest, so a trace file is a complete account of a run.
+
+Well-known metric names (see docs/OBSERVABILITY.md):
+
+========================  ==========  ==========================================
+name                      kind        meaning
+========================  ==========  ==========================================
+``steps_total``           counter     simulator steps, by pid/object/method
+``decisions_total``       counter     scheduler decisions, by pid
+``schedules_explored``    counter     maximal executions enumerated
+``schedules_truncated``   counter     executions cut off by the depth bound
+``states_visited``        counter     object states visited by analyses
+``runs_by_verdict``       counter     solvability-checked runs, by verdict
+``schedule_depth``        histogram   length of explored executions
+``run_steps``             histogram   steps per completed ``System.run``
+``phase_seconds``         histogram   wall time per span, by span name
+========================  ==========  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import events as _events
+
+LabelKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-observed value (e.g. frontier size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Any = 0
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Summary statistics of observed samples (count/sum/min/max/mean).
+
+    Full distributions are overkill for this codebase's needs; the digest
+    tables want totals and worst cases, which these four numbers carry
+    without per-sample storage.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def _key(name: str, labels: Dict[str, Any]) -> LabelKey:
+    return name, tuple(sorted(labels.items()))
+
+
+def _label_str(labels: Tuple[Tuple[str, Any], ...]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class MetricsRegistry:
+    """A family of named, labelled instruments created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[LabelKey, Counter] = {}
+        self._gauges: Dict[LabelKey, Gauge] = {}
+        self._histograms: Dict[LabelKey, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    def counters_named(self, name: str) -> Dict[Tuple[Tuple[str, Any], ...], int]:
+        """All label sets (and values) of one counter family."""
+        return {
+            labels: counter.value
+            for (n, labels), counter in self._counters.items()
+            if n == name
+        }
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter family over all label sets."""
+        return sum(self.counters_named(name).values())
+
+    def sum_by_label(self, name: str, label: str) -> Dict[Any, int]:
+        """Aggregate a counter family by one label dimension
+        (e.g. ``steps_total`` by ``pid``)."""
+        totals: Dict[Any, int] = {}
+        for labels, value in self.counters_named(name).items():
+            key = dict(labels).get(label)
+            if key is None:
+                continue
+            totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict form of everything, keyed ``name{labels}`` — the
+        serializable interchange format for tests and tooling."""
+        out: Dict[str, Dict[str, Any]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, labels), counter in sorted(
+            self._counters.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            out["counters"][name + _label_str(labels)] = counter.value
+        for (name, labels), gauge in sorted(
+            self._gauges.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            out["gauges"][name + _label_str(labels)] = gauge.value
+        for (name, labels), histogram in sorted(
+            self._histograms.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            out["histograms"][name + _label_str(labels)] = {
+                "count": histogram.count,
+                "total": histogram.total,
+                "min": histogram.minimum,
+                "max": histogram.maximum,
+                "mean": histogram.mean,
+            }
+        return out
+
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    # ------------------------------------------------------------------
+    # Event-driven collection (live subscription or JSONL replay)
+    # ------------------------------------------------------------------
+    def consume_event(self, name: str, fields: Dict[str, Any]) -> None:
+        """Translate a well-known bus event into metric updates.
+
+        Unknown event names are ignored, so the event schema can grow
+        without breaking replay of old traces.
+        """
+        if name == "step":
+            self.counter(
+                "steps_total",
+                pid=fields.get("pid"),
+                object=fields.get("object"),
+                method=fields.get("method"),
+            ).inc()
+        elif name == "decision":
+            self.counter("decisions_total", pid=fields.get("pid")).inc()
+            self.gauge("enabled_processes").set(fields.get("enabled", 0))
+        elif name == "schedule_explored":
+            self.counter("schedules_explored").inc()
+            self.histogram("schedule_depth").observe(fields.get("depth", 0))
+        elif name == "schedule_truncated":
+            self.counter("schedules_truncated").inc()
+        elif name == "frontier":
+            self.gauge("frontier_branches").set(fields.get("branches", 0))
+        elif name == "states_visited":
+            self.counter(
+                "states_visited", object=fields.get("object", "?")
+            ).inc(fields.get("states", 0))
+        elif name == "valency_subtree":
+            self.counter("valency_executions").inc(fields.get("executions", 0))
+        elif name == "run_verdict":
+            self.counter(
+                "runs_by_verdict", verdict=fields.get("verdict", "unknown")
+            ).inc()
+        elif name == "run_end":
+            self.histogram("run_steps").observe(fields.get("steps", 0))
+        elif name == "span_end":
+            self.histogram(
+                "phase_seconds", span=fields.get("span", "?")
+            ).observe(fields.get("seconds", 0.0))
+
+    def install(self) -> "MetricsRegistry":
+        """Attach this registry to the event bus (live collection)."""
+        _events.subscribe(self.consume_event)
+        return self
+
+    def uninstall(self) -> None:
+        _events.unsubscribe(self.consume_event)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Human-readable metrics summary (the ``stats`` command body)."""
+        lines = []
+        steps_by_pid = self.sum_by_label("steps_total", "pid")
+        steps_by_object = self.sum_by_label("steps_total", "object")
+        steps_by_method = self.sum_by_label("steps_total", "method")
+        if steps_by_pid:
+            lines.append(f"steps_total: {self.counter_total('steps_total')}")
+            lines.append(
+                "  by process: "
+                + ", ".join(
+                    f"p{pid}={count}" for pid, count in sorted(steps_by_pid.items())
+                )
+            )
+            top_objects = sorted(
+                steps_by_object.items(), key=lambda item: -item[1]
+            )[:12]
+            lines.append(
+                "  by object:  "
+                + ", ".join(f"{obj}={count}" for obj, count in top_objects)
+                + (" …" if len(steps_by_object) > 12 else "")
+            )
+            lines.append(
+                "  by method:  "
+                + ", ".join(
+                    f"{m}={count}"
+                    for m, count in sorted(steps_by_method.items(), key=lambda i: -i[1])
+                )
+            )
+        for name in ("decisions_total", "schedules_explored", "schedules_truncated",
+                     "states_visited", "valency_executions"):
+            total = self.counter_total(name)
+            if total:
+                lines.append(f"{name}: {total}")
+        verdicts = self.sum_by_label("runs_by_verdict", "verdict")
+        if verdicts:
+            lines.append(
+                "runs_by_verdict: "
+                + ", ".join(f"{v}={c}" for v, c in sorted(verdicts.items()))
+            )
+        depth = self._histograms.get(_key("schedule_depth", {}))
+        if depth is not None and depth.count:
+            lines.append(
+                f"schedule_depth: min {depth.minimum:g}, mean {depth.mean:.1f}, "
+                f"max {depth.maximum:g} over {depth.count} schedules"
+            )
+        run_steps = self._histograms.get(_key("run_steps", {}))
+        if run_steps is not None and run_steps.count:
+            lines.append(
+                f"run_steps: {run_steps.count} runs, mean {run_steps.mean:.1f}, "
+                f"max {run_steps.maximum:g}"
+            )
+        phases = [
+            (dict(labels).get("span", "?"), histogram)
+            for (name, labels), histogram in self._histograms.items()
+            if name == "phase_seconds"
+        ]
+        if phases:
+            lines.append("phase timings:")
+            width = max(len(str(span)) for span, _ in phases)
+            for span_name, histogram in sorted(
+                phases, key=lambda item: -item[1].total
+            ):
+                lines.append(
+                    f"  {str(span_name):<{width}}  {histogram.total:8.3f}s"
+                    f"  ({histogram.count} call"
+                    f"{'s' if histogram.count != 1 else ''})"
+                )
+        if not lines:
+            return "(no metrics recorded)"
+        return "\n".join(lines)
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (spans observe into it)."""
+    return _registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Clear the default registry (used by CLI entry points and tests)."""
+    _registry.reset()
+    return _registry

@@ -1,0 +1,89 @@
+"""Spans: nesting context managers that time a phase of work.
+
+A span reports twice — to the event bus (``span_start`` / ``span_end``
+events, guarded by :func:`repro.obs.events.is_enabled`) and directly into
+the default metrics registry's ``phase_seconds{span}`` histogram.  Spans
+are coarse-grained (per experiment, per exploration, per CLI command), so
+the unconditional histogram write is negligible next to the work being
+timed.
+
+Usage::
+
+    with span("explore", n=2, k=1):
+        for execution in explorer.executions():
+            ...
+
+Spans nest; :func:`current_span` exposes the innermost open span, and
+each ``span_*`` event carries its nesting ``depth``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+
+_stack: List["Span"] = []
+
+
+class Span:
+    """One timed phase.  Use via the :func:`span` factory."""
+
+    __slots__ = ("name", "fields", "registry", "seconds", "_start")
+
+    def __init__(
+        self,
+        name: str,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+        **fields: Any,
+    ):
+        self.name = name
+        self.fields: Dict[str, Any] = fields
+        self.registry = registry
+        self.seconds: Optional[float] = None
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        _stack.append(self)
+        if _events.is_enabled():
+            _events.emit(
+                "span_start", span=self.name, depth=len(_stack) - 1, **self.fields
+            )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None, "span exited without entering"
+        self.seconds = time.perf_counter() - self._start
+        if _stack and _stack[-1] is self:
+            _stack.pop()
+        else:  # tolerate out-of-order exits rather than corrupting the stack
+            try:
+                _stack.remove(self)
+            except ValueError:
+                pass
+        registry = self.registry if self.registry is not None else _metrics.get_registry()
+        registry.histogram("phase_seconds", span=self.name).observe(self.seconds)
+        if _events.is_enabled():
+            _events.emit(
+                "span_end",
+                span=self.name,
+                seconds=self.seconds,
+                depth=len(_stack),
+                error=exc_type.__name__ if exc_type is not None else None,
+                **self.fields,
+            )
+
+
+def span(
+    name: str, registry: Optional[_metrics.MetricsRegistry] = None, **fields: Any
+) -> Span:
+    """Create a span context manager: ``with span("phase", key=value): ...``."""
+    return Span(name, registry=registry, **fields)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span, or ``None`` outside any span."""
+    return _stack[-1] if _stack else None

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.errors import ExplorationLimitError
+from repro.obs import events as _obs_events
 from repro.runtime.execution import Execution
 from repro.runtime.system import System, SystemSpec
 
@@ -129,12 +130,19 @@ class Explorer:
         system = self._replay(prefix)
         self.stats.max_depth_seen = max(self.stats.max_depth_seen, len(prefix))
         branches = self._branches(system)
+        observed = _obs_events.is_enabled()
+        if observed:
+            _obs_events.emit("frontier", depth=len(prefix), branches=len(branches))
         if not branches:
             self.stats.executions += 1
+            if observed:
+                _obs_events.emit("schedule_explored", depth=len(prefix))
             yield system.finalize()
             return
         if len(prefix) >= self.max_depth:
             self.stats.truncated += 1
+            if observed:
+                _obs_events.emit("schedule_truncated", depth=len(prefix))
             if self.strict:
                 raise ExplorationLimitError(
                     f"execution exceeded max_depth={self.max_depth}; "

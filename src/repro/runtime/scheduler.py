@@ -35,6 +35,16 @@ class Scheduler:
         i.e. the spec's first-listed outcome)."""
         return 0
 
+    def describe(self) -> str:
+        """Short provenance string: class name plus the seed, when the
+        scheduler has one.  Recorded in archived traces (see
+        :mod:`repro.runtime.trace_io`) so counterexamples remember how
+        they were produced."""
+        seed = getattr(self, "seed", None)
+        if seed is not None:
+            return f"{type(self).__name__}(seed={seed})"
+        return type(self).__name__
+
 
 class RoundRobinScheduler(Scheduler):
     """Fair scheduler: cycles over processes, skipping dead ones."""
@@ -96,6 +106,9 @@ class ScriptedScheduler(Scheduler):
         self._cursor = 0
         self._pending_choice = 0
 
+    def describe(self) -> str:
+        return f"{type(self).__name__}(len={len(self._script)})"
+
     def next_pid(self, system) -> Optional[int]:
         if self._cursor >= len(self._script):
             return None
@@ -150,6 +163,9 @@ class CrashingScheduler(Scheduler):
         self.base = base
         self.crash_at = dict(crash_at)
         self._steps = 0
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.base.describe()})"
 
     def next_pid(self, system) -> Optional[int]:
         for pid, when in list(self.crash_at.items()):

@@ -20,6 +20,7 @@ from repro.errors import (
     ProtocolError,
     SchedulingError,
 )
+from repro.obs import events as _obs_events
 from repro.runtime.execution import Execution, StepRecord
 from repro.runtime.ops import Operation
 from repro.runtime.process import Process, ProcessStatus, ProgramFactory
@@ -150,6 +151,16 @@ class System:
             )
             self.trace.steps.append(record)
             self._note_status(process)
+            if _obs_events.is_enabled():
+                _obs_events.emit(
+                    "step",
+                    pid=pid,
+                    object=operation.target,
+                    method=operation.method,
+                    choice=0,
+                    n_outcomes=0,
+                    blocked=True,
+                )
             return record
         if not 0 <= choice < len(outcomes):
             raise SchedulingError(
@@ -170,6 +181,15 @@ class System:
         process.deliver(response)
         self._drain_annotations(process)
         self._note_status(process)
+        if _obs_events.is_enabled():
+            _obs_events.emit(
+                "step",
+                pid=pid,
+                object=operation.target,
+                method=operation.method,
+                choice=choice,
+                n_outcomes=len(outcomes),
+            )
         return record
 
     def crash(self, pid: int) -> None:
@@ -177,6 +197,8 @@ class System:
         process = self.processes[pid]
         process.crash()
         self._note_status(process)
+        if _obs_events.is_enabled():
+            _obs_events.emit("crash", pid=pid, at_step=len(self.trace.steps))
 
     def run(self, scheduler, max_steps: int = 100_000) -> Execution:
         """Drive the system with ``scheduler`` until quiescence or budget.
@@ -196,10 +218,19 @@ class System:
                 raise SchedulingError(
                     f"scheduler chose disabled process {pid} (enabled: {enabled})"
                 )
+            if _obs_events.is_enabled():
+                _obs_events.emit("decision", pid=pid, enabled=len(enabled))
             outcomes = self.outcomes_for(pid)
             choice = scheduler.choose(self, pid, len(outcomes)) if len(outcomes) > 1 else 0
             self.step(pid, choice)
             steps += 1
+        if _obs_events.is_enabled():
+            _obs_events.emit(
+                "run_end",
+                steps=steps,
+                quiescent=self.is_quiescent(),
+                scheduler=getattr(scheduler, "describe", lambda: type(scheduler).__name__)(),
+            )
         return self.finalize()
 
     def finalize(self) -> Execution:

@@ -24,12 +24,37 @@ from repro.errors import ProtocolError
 from repro.runtime.execution import Execution
 from repro.runtime.system import SystemSpec
 
-#: Format marker for forwards compatibility.
+#: Format marker for forwards compatibility.  New *optional* keys (like
+#: ``meta``) are added within this version — readers ignore unknown keys,
+#: so older files load under newer code and vice versa.
 FORMAT = "repro-trace/1"
 
 
-def trace_to_dict(execution: Execution, label: str = "") -> Dict[str, Any]:
-    """The serializable form of an execution: its decisions + metadata."""
+def describe_scheduler(scheduler: Any) -> str:
+    """Provenance string for a scheduler: its :meth:`describe` result when
+    available, else the class name (plus a ``seed`` attribute if present)."""
+    describe = getattr(scheduler, "describe", None)
+    if callable(describe):
+        return describe()
+    seed = getattr(scheduler, "seed", None)
+    if seed is not None:
+        return f"{type(scheduler).__name__}(seed={seed})"
+    return type(scheduler).__name__
+
+
+def trace_to_dict(
+    execution: Execution, label: str = "", scheduler: Any = None
+) -> Dict[str, Any]:
+    """The serializable form of an execution: its decisions + metadata.
+
+    ``meta`` records *how* the trace was produced: a monotonic step count
+    (deliberately no wall-clock timestamp, so identical runs produce
+    byte-identical files) and, when ``scheduler`` is given, its
+    description (class name + seed where available).
+    """
+    meta: Dict[str, Any] = {"monotonic_steps": len(execution.steps)}
+    if scheduler is not None:
+        meta["scheduler"] = describe_scheduler(scheduler)
     return {
         "format": FORMAT,
         "label": label,
@@ -37,12 +62,20 @@ def trace_to_dict(execution: Execution, label: str = "") -> Dict[str, Any]:
         "n_steps": len(execution.steps),
         "decisions": [[pid, choice] for pid, choice in execution.decisions],
         "fingerprint": _fingerprint(execution),
+        "meta": meta,
     }
 
 
-def trace_to_json(execution: Execution, label: str = "", indent: int = None) -> str:
+def trace_to_json(
+    execution: Execution,
+    label: str = "",
+    indent: int = None,
+    scheduler: Any = None,
+) -> str:
     """JSON form of :func:`trace_to_dict`."""
-    return json.dumps(trace_to_dict(execution, label=label), indent=indent)
+    return json.dumps(
+        trace_to_dict(execution, label=label, scheduler=scheduler), indent=indent
+    )
 
 
 def replay_trace(spec: SystemSpec, trace: Dict[str, Any]) -> Execution:
@@ -50,7 +83,9 @@ def replay_trace(spec: SystemSpec, trace: Dict[str, Any]) -> Execution:
 
     Verifies the format marker, the process count, and — after replay —
     the outcome fingerprint, so silent divergence between the archived
-    run and the current code is impossible.
+    run and the current code is impossible.  Optional keys (``meta`` and
+    any future additions within ``repro-trace/1``) are ignored, so newer
+    files remain readable by older code.
     """
     if trace.get("format") != FORMAT:
         raise ProtocolError(

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional
 
 from repro.errors import TaskViolationError
+from repro.obs import events as _obs_events
 from repro.runtime.execution import Execution
 from repro.runtime.explorer import Explorer
 from repro.runtime.process import ProcessStatus
@@ -61,6 +62,22 @@ def _validate_execution(
     require_wait_free: bool,
 ) -> Optional[str]:
     """Return an error message if the execution is bad, else None."""
+    problem = _classify_execution(task, inputs, execution, require_wait_free)
+    if _obs_events.is_enabled():
+        _obs_events.emit(
+            "run_verdict",
+            verdict="ok" if problem is None else "violation",
+            steps=len(execution.steps),
+        )
+    return problem
+
+
+def _classify_execution(
+    task: Task,
+    inputs: Dict[int, Any],
+    execution: Execution,
+    require_wait_free: bool,
+) -> Optional[str]:
     if require_wait_free:
         for pid, status in execution.statuses.items():
             if status not in (ProcessStatus.DONE, ProcessStatus.CRASHED):

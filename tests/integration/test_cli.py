@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -53,6 +55,50 @@ class TestCommon2:
     def test_default_levels(self, capsys):
         assert main(["common2"]) == 0
         assert capsys.readouterr().out.count("Common2") == 3
+
+
+class TestObservability:
+    def test_trace_out_then_stats(self, tmp_path, capsys):
+        """The acceptance loop: check --trace-out produces a file that the
+        stats command summarizes without error."""
+        trace = tmp_path / "run.jsonl"
+        assert main(["check", "1", "1", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        lines = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert lines, "trace file must not be empty"
+        names = {record["event"] for record in lines}
+        assert "step" in names
+        assert "schedule_explored" in names
+        assert "span_end" in names
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "steps_total" in out
+        assert "by process" in out
+        assert "by object" in out
+        assert "schedules_explored" in out
+        assert "phase timings" in out
+
+    def test_trace_out_bus_restored_after_run(self, tmp_path):
+        from repro.obs import events
+
+        assert main(["check", "1", "1", "--trace-out", str(tmp_path / "t.jsonl")]) == 0
+        assert not events.is_enabled()
+
+    def test_progress_flag_writes_to_stderr(self, capsys):
+        assert main(["check", "1", "1", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "progress:" in err
+        assert "steps" in err
+
+    def test_stats_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_stats_empty_file_fails_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 1
+        assert "no events" in capsys.readouterr().err
 
 
 class TestParser:

@@ -1,0 +1,179 @@
+"""Tests for the structured event bus and its sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.algorithms.helpers import build_spec
+from repro.obs import events
+from repro.obs.events import (
+    NULL_SINK,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    read_jsonl,
+)
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.scheduler import RoundRobinScheduler
+
+
+@pytest.fixture(autouse=True)
+def clean_bus():
+    """Every test starts and ends with a pristine (disabled) bus."""
+    events.set_sink(None)
+    yield
+    events.set_sink(None)
+    assert not events.is_enabled()
+
+
+def two_process_spec():
+    def program(pid, value):
+        yield invoke("r", "write", value)
+        got = yield invoke("r", "read")
+        return got
+
+    return build_spec({"r": RegisterSpec()}, program, ["a", "b"])
+
+
+class TestBus:
+    def test_disabled_by_default(self):
+        assert events.get_sink() is NULL_SINK
+        assert not events.is_enabled()
+
+    def test_set_sink_enables_and_returns_previous(self):
+        sink = RingBufferSink()
+        previous = events.set_sink(sink)
+        assert previous is NULL_SINK
+        assert events.is_enabled()
+        assert events.get_sink() is sink
+
+    def test_use_sink_restores(self):
+        sink = RingBufferSink()
+        with events.use_sink(sink):
+            events.emit("ping", value=1)
+        assert not events.is_enabled()
+        assert sink.events == [("ping", {"value": 1})]
+
+    def test_subscriber_receives_events(self):
+        seen = []
+        fn = events.subscribe(lambda name, fields: seen.append((name, fields)))
+        try:
+            assert events.is_enabled()
+            events.emit("tick", n=3)
+        finally:
+            events.unsubscribe(fn)
+        assert seen == [("tick", {"n": 3})]
+        assert not events.is_enabled()
+
+    def test_unsubscribe_is_idempotent(self):
+        fn = lambda name, fields: None  # noqa: E731
+        events.subscribe(fn)
+        events.unsubscribe(fn)
+        events.unsubscribe(fn)
+        assert not events.is_enabled()
+
+    def test_emit_without_consumers_is_a_noop(self):
+        events.emit("dropped", x=1)  # must not raise
+
+
+class TestRingBufferSink:
+    def test_capacity_bound(self):
+        sink = RingBufferSink(capacity=3)
+        with events.use_sink(sink):
+            for i in range(10):
+                events.emit("e", i=i)
+        assert len(sink) == 3
+        assert [fields["i"] for _, fields in sink.events] == [7, 8, 9]
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        with events.use_sink(sink):
+            events.emit("e")
+        sink.clear()
+        assert sink.events == []
+
+
+class TestJsonlSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        with events.use_sink(sink):
+            events.emit("step", pid=0, object="r", method="read")
+            events.emit("schedule_explored", depth=4)
+        sink.close()
+        back = list(read_jsonl(str(path)))
+        assert back == [
+            ("step", {"pid": 0, "object": "r", "method": "read"}),
+            ("schedule_explored", {"depth": 4}),
+        ]
+
+    def test_sequence_numbers_are_monotonic(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        with events.use_sink(sink):
+            for _ in range(5):
+                events.emit("e")
+        sink.close()
+        indexes = [
+            json.loads(line)["i"] for line in path.read_text().splitlines()
+        ]
+        assert indexes == [0, 1, 2, 3, 4]
+
+    def test_accepts_open_file_object(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        with events.use_sink(sink):
+            events.emit("e", x=1)
+        sink.close()  # must not close a file it does not own
+        assert json.loads(buffer.getvalue())["x"] == 1
+
+    def test_unserializable_values_fall_back_to_repr(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        with events.use_sink(sink):
+            events.emit("e", value=object())
+        sink.close()
+        (record,) = list(read_jsonl(str(path)))
+        assert record[0] == "e"
+        assert "object object" in record[1]["value"]
+
+    def test_reader_skips_blank_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '\n{"not-an-event": 1}\nnot json\n{"i": 0, "event": "ok"}\n'
+        )
+        assert list(read_jsonl(str(path))) == [("ok", {})]
+
+
+class TestInstrumentedRun:
+    def test_run_emits_step_and_run_end_events(self):
+        sink = RingBufferSink()
+        with events.use_sink(sink):
+            two_process_spec().run(RoundRobinScheduler())
+        names = [name for name, _ in sink.events]
+        assert names.count("step") == 4  # 2 processes x 2 operations
+        assert names.count("run_end") == 1
+        run_end = dict(sink.events)[("run_end")]
+        assert run_end["scheduler"] == "RoundRobinScheduler"
+        assert run_end["quiescent"] is True
+        steps = [fields for name, fields in sink.events if name == "step"]
+        assert {s["object"] for s in steps} == {"r"}
+        assert {s["method"] for s in steps} == {"write", "read"}
+
+    def test_null_sink_path_records_nothing(self):
+        """Regression: with the default NullSink the bus must never even
+        call ``emit`` — the hot path is a single flag check."""
+
+        calls = []
+
+        class CountingNullSink(NullSink):
+            def emit(self, name, fields):  # pragma: no cover - must not run
+                calls.append(name)
+
+        events.set_sink(CountingNullSink())
+        assert not events.is_enabled()
+        execution = two_process_spec().run(RoundRobinScheduler())
+        assert execution.all_done()
+        assert calls == []

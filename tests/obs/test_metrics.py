@@ -1,0 +1,163 @@
+"""Tests for the metrics registry and its event-driven collection."""
+
+import pytest
+
+from repro.obs import events
+from repro.obs.events import JsonlSink, read_jsonl
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.algorithms.helpers import build_spec
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.scheduler import RandomScheduler
+
+
+def two_process_spec():
+    def program(pid, value):
+        yield invoke("r", "write", value)
+        got = yield invoke("r", "read")
+        return got
+
+    return build_spec({"r": RegisterSpec()}, program, ["a", "b"])
+
+
+@pytest.fixture(autouse=True)
+def clean_bus():
+    events.set_sink(None)
+    yield
+    events.set_sink(None)
+
+
+class TestInstruments:
+    def test_counter_labels_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("steps_total", pid=0).inc()
+        registry.counter("steps_total", pid=0).inc(2)
+        registry.counter("steps_total", pid=1).inc()
+        assert registry.counter("steps_total", pid=0).value == 3
+        assert registry.counter("steps_total", pid=1).value == 1
+        assert registry.counter_total("steps_total") == 4
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a=1, b=2).inc()
+        assert registry.counter("c", b=2, a=1).value == 1
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("frontier").set(10)
+        registry.gauge("frontier").set(3)
+        assert registry.gauge("frontier").value == 3
+
+    def test_histogram_summary_stats(self):
+        histogram = Histogram()
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 15.0
+        assert histogram.minimum == 2.0
+        assert histogram.maximum == 8.0
+        assert histogram.mean == 5.0
+
+    def test_sum_by_label(self):
+        registry = MetricsRegistry()
+        registry.counter("steps_total", pid=0, object="r").inc(2)
+        registry.counter("steps_total", pid=0, object="s").inc(3)
+        registry.counter("steps_total", pid=1, object="r").inc(4)
+        assert registry.sum_by_label("steps_total", "pid") == {0: 5, 1: 4}
+        assert registry.sum_by_label("steps_total", "object") == {"r": 6, "s": 3}
+
+    def test_reset_and_is_empty(self):
+        registry = MetricsRegistry()
+        assert registry.is_empty()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        assert not registry.is_empty()
+        registry.reset()
+        assert registry.is_empty()
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("steps_total", pid=0).inc(7)
+        registry.gauge("frontier").set(2)
+        registry.histogram("phase_seconds", span="E1").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"steps_total{pid=0}": 7}
+        assert snap["gauges"] == {"frontier": 2}
+        assert snap["histograms"]["phase_seconds{span=E1}"]["count"] == 1
+        assert snap["histograms"]["phase_seconds{span=E1}"]["total"] == 0.5
+
+
+class TestEventConsumption:
+    def test_consume_well_known_events(self):
+        registry = MetricsRegistry()
+        registry.consume_event("step", {"pid": 0, "object": "r", "method": "read"})
+        registry.consume_event("step", {"pid": 0, "object": "r", "method": "read"})
+        registry.consume_event("decision", {"pid": 0, "enabled": 2})
+        registry.consume_event("schedule_explored", {"depth": 6})
+        registry.consume_event("schedule_truncated", {"depth": 9})
+        registry.consume_event("states_visited", {"object": "X", "states": 42})
+        registry.consume_event("valency_subtree", {"executions": 5})
+        registry.consume_event("run_verdict", {"verdict": "ok"})
+        registry.consume_event("run_end", {"steps": 12})
+        registry.consume_event("span_end", {"span": "E1", "seconds": 0.25})
+        assert registry.counter_total("steps_total") == 2
+        assert registry.counter_total("decisions_total") == 1
+        assert registry.counter_total("schedules_explored") == 1
+        assert registry.counter_total("schedules_truncated") == 1
+        assert registry.counter_total("states_visited") == 42
+        assert registry.counter_total("valency_executions") == 5
+        assert registry.sum_by_label("runs_by_verdict", "verdict") == {"ok": 1}
+        assert registry.histogram("run_steps").count == 1
+        assert registry.histogram("phase_seconds", span="E1").total == 0.25
+
+    def test_unknown_events_are_ignored(self):
+        registry = MetricsRegistry()
+        registry.consume_event("some_future_event", {"x": 1})
+        assert registry.is_empty()
+
+    def test_live_collection_matches_replay(self, tmp_path):
+        """The live-subscribed registry and a replay of the JSONL file must
+        agree — the trace is a complete account of the run."""
+        path = tmp_path / "run.jsonl"
+        live = MetricsRegistry()
+        sink = JsonlSink(str(path))
+        live.install()
+        try:
+            with events.use_sink(sink):
+                two_process_spec().run(RandomScheduler(3))
+        finally:
+            live.uninstall()
+            sink.close()
+        replayed = MetricsRegistry()
+        for name, fields in read_jsonl(str(path)):
+            replayed.consume_event(name, fields)
+        assert live.snapshot() == replayed.snapshot()
+        assert replayed.counter_total("steps_total") == 4
+
+    def test_digest_mentions_core_sections(self):
+        registry = MetricsRegistry()
+        registry.consume_event("step", {"pid": 0, "object": "r", "method": "w"})
+        registry.consume_event("schedule_explored", {"depth": 3})
+        registry.consume_event("run_verdict", {"verdict": "ok"})
+        registry.consume_event("span_end", {"span": "explore", "seconds": 1.5})
+        digest = registry.digest()
+        assert "steps_total: 1" in digest
+        assert "by process: p0=1" in digest
+        assert "schedules_explored: 1" in digest
+        assert "runs_by_verdict: ok=1" in digest
+        assert "explore" in digest and "phase timings" in digest
+
+    def test_empty_digest(self):
+        assert MetricsRegistry().digest() == "(no metrics recorded)"
+
+
+class TestDefaultRegistry:
+    def test_reset_registry_clears_global(self):
+        get_registry().counter("c").inc()
+        reset_registry()
+        assert get_registry().is_empty()

@@ -1,0 +1,128 @@
+"""Tests for spans and the rate-limited progress reporter."""
+
+import io
+
+import pytest
+
+from repro.obs import events
+from repro.obs.events import RingBufferSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.spans import current_span, span
+
+
+@pytest.fixture(autouse=True)
+def clean_bus():
+    events.set_sink(None)
+    yield
+    events.set_sink(None)
+
+
+class TestSpans:
+    def test_span_times_and_records_to_registry(self):
+        registry = MetricsRegistry()
+        with span("explore", registry=registry, n=2, k=1) as phase:
+            pass
+        assert phase.seconds is not None and phase.seconds >= 0
+        histogram = registry.histogram("phase_seconds", span="explore")
+        assert histogram.count == 1
+        assert histogram.total == phase.seconds
+
+    def test_spans_nest_and_track_current(self):
+        registry = MetricsRegistry()
+        assert current_span() is None
+        with span("outer", registry=registry) as outer:
+            assert current_span() is outer
+            with span("inner", registry=registry) as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_span_events_carry_depth_and_fields(self):
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        with events.use_sink(sink):
+            with span("outer", registry=registry):
+                with span("inner", registry=registry, n=3):
+                    pass
+        names = [name for name, _ in sink.events]
+        assert names == ["span_start", "span_start", "span_end", "span_end"]
+        inner_start = sink.events[1][1]
+        assert inner_start == {"span": "inner", "depth": 1, "n": 3}
+        inner_end = sink.events[2][1]
+        assert inner_end["span"] == "inner"
+        assert inner_end["seconds"] >= 0
+        assert inner_end["error"] is None
+
+    def test_span_end_reports_exceptions(self):
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        with events.use_sink(sink):
+            with pytest.raises(ValueError):
+                with span("failing", registry=registry):
+                    raise ValueError("boom")
+        end = [fields for name, fields in sink.events if name == "span_end"]
+        assert end[0]["error"] == "ValueError"
+        assert current_span() is None
+        assert registry.histogram("phase_seconds", span="failing").count == 1
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestProgressReporter:
+    def test_rate_limited_painting(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, min_interval=1.0, clock=clock)
+        reporter.install()
+        try:
+            clock.now = 0.5
+            events.emit("step", pid=0)  # before the interval: no paint
+            assert stream.getvalue() == ""
+            clock.now = 1.5
+            events.emit("step", pid=0)  # past the interval: paints once
+            first = stream.getvalue()
+            assert "2 steps" in first
+            clock.now = 1.6
+            events.emit("step", pid=0)  # throttled again
+            assert stream.getvalue() == first
+        finally:
+            reporter.close()
+        assert stream.getvalue().endswith("\n")
+        assert "3 steps" in stream.getvalue()
+
+    def test_counts_schedules_states_and_phase(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, min_interval=0.0, clock=clock)
+        reporter.install()
+        try:
+            events.emit("schedule_explored", depth=3)
+            events.emit("states_visited", states=10)
+            events.emit("run_end", steps=5)
+            events.emit("span_start", span="E4")
+            assert reporter.schedules == 1
+            assert reporter.states == 10
+            assert reporter.runs == 1
+            assert reporter.current_phase == "E4"
+            events.emit("span_end", span="E4", seconds=0.1)
+            assert reporter.current_phase is None
+        finally:
+            reporter.close()
+        final = stream.getvalue()
+        assert "1 schedules" in final
+        assert "10 states" in final
+
+    def test_close_unsubscribes(self):
+        reporter = ProgressReporter(stream=io.StringIO(), min_interval=0.0)
+        reporter.install()
+        reporter.close()
+        assert not events.is_enabled()
+        events.emit("step", pid=0)
+        assert reporter.steps == 0

@@ -9,9 +9,15 @@ from repro.algorithms.set_consensus_from_family import set_consensus_spec
 from repro.errors import ProtocolError
 from repro.objects.register import RegisterSpec
 from repro.runtime.ops import invoke
-from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.scheduler import (
+    CrashingScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+)
 from repro.runtime.trace_io import (
     FORMAT,
+    describe_scheduler,
     load_trace_json,
     replay_trace,
     trace_to_dict,
@@ -53,6 +59,67 @@ class TestRoundTrip:
             transfer_spec(3, 2, ["a", "b", "c", "d"]), trace
         )
         assert replayed.outputs == execution.outputs
+
+
+class TestMetadata:
+    def test_meta_records_scheduler_and_step_count(self):
+        spec = family_fixture()
+        scheduler = RandomScheduler(7)
+        execution = spec.run(scheduler)
+        trace = trace_to_dict(execution, scheduler=scheduler)
+        assert trace["meta"]["scheduler"] == "RandomScheduler(seed=7)"
+        assert trace["meta"]["monotonic_steps"] == len(execution.steps)
+
+    def test_meta_round_trips_through_json(self):
+        spec = family_fixture()
+        scheduler = RandomScheduler(5)
+        execution = spec.run(scheduler)
+        payload = trace_to_json(execution, scheduler=scheduler)
+        parsed = json.loads(payload)
+        assert parsed["meta"]["scheduler"] == "RandomScheduler(seed=5)"
+        replayed = load_trace_json(family_fixture(), payload)
+        assert replayed.outputs == execution.outputs
+
+    def test_meta_absent_without_scheduler(self):
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(1))
+        trace = trace_to_dict(execution)
+        assert "scheduler" not in trace["meta"]
+        assert trace["meta"]["monotonic_steps"] == len(execution.steps)
+
+    def test_unknown_keys_ignored_on_read(self):
+        """Forward compatibility within repro-trace/1: readers skip keys
+        they do not understand."""
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(1))
+        trace = trace_to_dict(execution)
+        trace["meta"]["future_extension"] = {"nested": True}
+        trace["another_future_key"] = 42
+        replayed = replay_trace(family_fixture(), trace)
+        assert replayed.outputs == execution.outputs
+
+    def test_old_traces_without_meta_still_load(self):
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(1))
+        trace = trace_to_dict(execution)
+        del trace["meta"]
+        replayed = replay_trace(family_fixture(), trace)
+        assert replayed.outputs == execution.outputs
+
+    def test_describe_scheduler_variants(self):
+        assert describe_scheduler(RoundRobinScheduler()) == "RoundRobinScheduler"
+        assert describe_scheduler(RandomScheduler(3)) == "RandomScheduler(seed=3)"
+        assert describe_scheduler(ScriptedScheduler([0, 1])) == (
+            "ScriptedScheduler(len=2)"
+        )
+        assert describe_scheduler(
+            CrashingScheduler(RandomScheduler(9), {0: 5})
+        ) == "CrashingScheduler(RandomScheduler(seed=9))"
+
+        class Bare:
+            pass
+
+        assert describe_scheduler(Bare()) == "Bare"
 
 
 class TestGuards:
