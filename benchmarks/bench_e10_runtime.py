@@ -41,19 +41,25 @@ def test_e10_simulator_throughput(benchmark):
     assert execution.all_done()
 
 
-def test_e10_explorer_tree_walk(benchmark):
+def test_e10_explorer_tree_walk(benchmark, bench_telemetry):
     inputs = [f"v{i}" for i in range(5)]
     spec = set_consensus_spec(1, 3, inputs)  # 5 one-step processes: 120
 
     def run():
         explorer = Explorer(spec, max_depth=8)
-        return sum(1 for _ in explorer.executions())
+        count = sum(1 for _ in explorer.executions())
+        return count, explorer.stats
 
-    count = benchmark(run)
+    count, stats = benchmark(run)
     assert count == 120
+    bench_telemetry(
+        executions=count,
+        replay_overhead=stats.replay_overhead,
+        steps_total=stats.steps_total,
+    )
 
 
-def test_e10_obs_overhead(tmp_path):
+def test_e10_obs_overhead(tmp_path, bench_telemetry):
     """Instrumentation-cost guard: the same workload with sinks disabled
     (the NullSink fast path every normal run takes) and with a JSONL sink
     attached.  The reported ratios let future PRs spot regressions in the
@@ -95,6 +101,12 @@ def test_e10_obs_overhead(tmp_path):
         f"jsonl {jsonl_seconds:.4f}s, ratio {ratio:.2f}x"
     )
     assert steps > 0
+    bench_telemetry(
+        steps=steps,
+        seconds=disabled_seconds,
+        obs_overhead_ratio=ratio,
+        jsonl_seconds=jsonl_seconds,
+    )
     # The disabled path must keep the simulator inside its E10 envelope —
     # the instrumented guard is one flag check per step.
     assert disabled_rate > 10_000, f"disabled-path rate fell to {disabled_rate:,.0f}/s"

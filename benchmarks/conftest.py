@@ -1,4 +1,4 @@
-"""Benchmark-suite configuration.
+"""Benchmark-suite configuration and telemetry harness.
 
 The reproduced paper has no empirical tables/figures (theory venue); the
 benchmark harness regenerates the *experiment suite* of EXPERIMENTS.md —
@@ -6,12 +6,81 @@ one bench module per experiment id — and measures the cost of the
 machinery itself (simulator, explorer, checkers).  Every bench asserts
 its experiment's claim on the produced result, so ``pytest benchmarks/
 --benchmark-only`` is also a correctness pass.
+
+Telemetry: every bench test's wall time is recorded automatically, and
+benches can attach workload numbers (steps, throughput, overhead ratios)
+through the ``bench_telemetry`` fixture.  At session end the harness
+writes ``BENCH_runtime.json`` (schema ``repro-bench/1``, see
+``repro.obs.bench``) — the repo's recorded perf trajectory.  Compare two
+recordings with ``python -m repro bench-compare OLD.json NEW.json``;
+override the output path with ``REPRO_BENCH_OUT``.
 """
 
+import json
+import os
+import time
+
 import pytest
+
+from repro.obs.bench import SCHEMA
+
+_telemetry = {}
 
 
 def assert_rows_ok(rows):
     """Fail loudly with the offending row rendered."""
     bad = [row for row in rows if not row.ok]
     assert not bad, "failed rows:\n" + "\n".join(row.markdown() for row in bad)
+
+
+@pytest.fixture(autouse=True)
+def _bench_walltime(request):
+    """Record every bench test's wall time into the trajectory."""
+    start = time.perf_counter()
+    yield
+    entry = _telemetry.setdefault(request.node.name, {})
+    entry["seconds"] = round(time.perf_counter() - start, 6)
+
+
+@pytest.fixture
+def bench_telemetry(request):
+    """Attach workload numbers to this bench's BENCH_runtime.json entry.
+
+    Usage::
+
+        def test_throughput(bench_telemetry):
+            ...
+            bench_telemetry(steps=steps, seconds=workload_seconds,
+                            obs_overhead_ratio=ratio)
+
+    ``steps`` + ``seconds`` derive ``steps_per_sec`` (what bench-compare
+    gates on); any extra keyword becomes a recorded field.
+    """
+
+    def record(steps=None, seconds=None, **extra):
+        entry = _telemetry.setdefault(request.node.name, {})
+        for key, value in extra.items():
+            entry[key] = round(value, 6) if isinstance(value, float) else value
+        if seconds is not None:
+            entry["workload_seconds"] = round(seconds, 6)
+        if steps is not None:
+            entry["steps"] = steps
+            if seconds:
+                entry["steps_per_sec"] = round(steps / seconds, 1)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _telemetry:
+        return
+    root = getattr(session.config, "rootpath", None)
+    default = os.path.join(str(root) if root else os.getcwd(), "BENCH_runtime.json")
+    out = os.environ.get("REPRO_BENCH_OUT", default)
+    payload = {"schema": SCHEMA, "benches": dict(sorted(_telemetry.items()))}
+    try:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:  # telemetry must never fail the bench run
+        print(f"bench telemetry: cannot write {out}: {error}")

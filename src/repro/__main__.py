@@ -16,15 +16,26 @@ Commands
     (equivalent to ``python -m repro.experiments.report``).
 ``common2 [--levels L]``
     Print the Common2 refutation certificates.
-``stats TRACE.jsonl``
-    Replay an archived JSONL event stream (produced with ``--trace-out``)
-    and print the metrics digest: step counts per process/object/method,
-    schedules explored, run verdicts, per-phase timings.
+``stats TRACE.jsonl [TRACE2.jsonl ...]``
+    Replay archived JSONL event streams (produced with ``--trace-out``)
+    and print the aggregated metrics digest: step counts per process/
+    object/method, schedules explored, run verdicts, per-phase timings,
+    and the span profile with replay-overhead accounting.  Corrupt lines
+    (e.g. the truncated tail of a killed run) are skipped and counted.
+    Export flags: ``--flame OUT.folded`` (collapsed stacks for
+    flamegraph.pl/speedscope), ``--html OUT.html`` (self-contained run
+    report), ``--metrics-out OUT.prom`` (Prometheus text exposition).
+``bench-compare OLD.json NEW.json``
+    Diff two BENCH_runtime.json files from the benchmark harness; exits
+    nonzero when a bench regressed by more than ``--threshold``
+    (default 20%).
 
 Observability flags (every run command):
 
 ``--trace-out FILE.jsonl``
     Attach a JSONL event sink; the resulting file feeds ``stats``.
+``--metrics-out FILE.prom``
+    Write the run's metrics in Prometheus text exposition format.
 ``--progress``
     Rate-limited progress line on stderr for long checks.
 """
@@ -35,9 +46,12 @@ import argparse
 import sys
 from math import ceil
 
-from repro.obs.events import JsonlSink, read_jsonl, set_sink
+from repro.obs.bench import main as bench_compare_main
+from repro.obs.events import JsonlReadStats, JsonlSink, read_jsonl, set_sink
 from repro.obs.metrics import MetricsRegistry, get_registry, reset_registry
+from repro.obs.profile import Profiler
 from repro.obs.progress import ProgressReporter
+from repro.obs.report import render_html
 from repro.obs.spans import span
 
 from repro.algorithms.helpers import inputs_dict
@@ -130,20 +144,63 @@ def cmd_common2(args) -> int:
 
 def cmd_stats(args) -> int:
     registry = MetricsRegistry()
-    consumed = 0
-    try:
-        for name, fields in read_jsonl(args.trace):
-            registry.consume_event(name, fields)
-            consumed += 1
-    except OSError as error:
-        print(f"stats: cannot read {args.trace}: {error}", file=sys.stderr)
+    profiler = Profiler()
+    read_stats = JsonlReadStats()
+    for trace in args.traces:
+        try:
+            for name, fields in read_jsonl(trace, stats=read_stats):
+                registry.consume_event(name, fields)
+                profiler.consume_event(name, fields)
+        except OSError as error:
+            print(f"stats: cannot read {trace}: {error}", file=sys.stderr)
+            return 1
+    if read_stats.events == 0:
+        print(
+            f"stats: no events found in {', '.join(args.traces)}"
+            + (f" ({read_stats.skipped} corrupt lines skipped)"
+               if read_stats.skipped else ""),
+            file=sys.stderr,
+        )
         return 1
-    if consumed == 0:
-        print(f"stats: no events found in {args.trace}", file=sys.stderr)
-        return 1
-    print(f"# {args.trace}: {consumed} events\n")
+    header = f"# {', '.join(args.traces)}: {read_stats.events} events"
+    if read_stats.skipped:
+        header += f" ({read_stats.skipped} corrupt lines skipped)"
+    print(header + "\n")
     print(registry.digest())
+    if profiler.spans_seen:
+        print("\nspan profile:")
+        print(profiler.render_tree())
+    try:
+        if args.flame:
+            with open(args.flame, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(profiler.folded_stacks()) + "\n")
+            print(f"\nwrote collapsed stacks to {args.flame}")
+        if args.html:
+            with open(args.html, "w", encoding="utf-8") as handle:
+                handle.write(
+                    render_html(
+                        registry,
+                        profiler,
+                        sources=args.traces,
+                        events=read_stats.events,
+                        skipped=read_stats.skipped,
+                    )
+                )
+            print(f"wrote HTML report to {args.html}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(registry.render_prometheus())
+            print(f"wrote Prometheus metrics to {args.metrics_out}")
+    except OSError as error:
+        print(f"stats: cannot write output: {error}", file=sys.stderr)
+        return 2
     return 0
+
+
+def cmd_bench_compare(args) -> int:
+    argv = [args.old, args.new, "--threshold", str(args.threshold),
+            "--min-seconds", str(args.min_seconds)]
+    return bench_compare_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -158,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a structured JSONL event stream (read it back with "
         "'python -m repro stats FILE.jsonl')",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        metavar="FILE.prom",
+        default=None,
+        help="write the run's metrics in Prometheus text exposition format",
     )
     obs.add_argument(
         "--progress",
@@ -200,10 +263,35 @@ def build_parser() -> argparse.ArgumentParser:
     common2.set_defaults(func=cmd_common2)
 
     stats = sub.add_parser(
-        "stats", help="summarize a JSONL event stream from --trace-out"
+        "stats", help="summarize JSONL event streams from --trace-out"
     )
-    stats.add_argument("trace", help="path to the .jsonl file")
-    stats.set_defaults(func=cmd_stats)
+    stats.add_argument(
+        "traces", nargs="+", metavar="TRACE",
+        help="one or more .jsonl files (aggregated into a single digest)",
+    )
+    stats.add_argument(
+        "--flame", metavar="OUT.folded", default=None,
+        help="write collapsed stacks (flamegraph.pl / speedscope format)",
+    )
+    stats.add_argument(
+        "--html", metavar="OUT.html", default=None,
+        help="write a self-contained HTML run report",
+    )
+    stats.add_argument(
+        "--metrics-out", metavar="OUT.prom", default=None,
+        help="write the replayed metrics in Prometheus text format",
+    )
+    stats.set_defaults(func=cmd_stats, handles_obs_flags=True)
+
+    bench_compare = sub.add_parser(
+        "bench-compare",
+        help="compare two BENCH_runtime.json files; exit 1 on regression",
+    )
+    bench_compare.add_argument("old", help="baseline BENCH_runtime.json")
+    bench_compare.add_argument("new", help="candidate BENCH_runtime.json")
+    bench_compare.add_argument("--threshold", type=float, default=0.20)
+    bench_compare.add_argument("--min-seconds", type=float, default=0.01)
+    bench_compare.set_defaults(func=cmd_bench_compare, handles_obs_flags=True)
     return parser
 
 
@@ -212,9 +300,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     sink = None
     reporter = None
+    collecting = False
     trace_out = getattr(args, "trace_out", None)
+    # stats/bench-compare manage their own registries and output files;
+    # the generic wiring below is for live run commands only.
+    metrics_out = (
+        None if getattr(args, "handles_obs_flags", False)
+        else getattr(args, "metrics_out", None)
+    )
+    if trace_out or metrics_out:
+        reset_registry()  # the collected metrics should describe this run only
+        collecting = True
     if trace_out:
-        reset_registry()  # the trace should describe this run only
         try:
             sink = JsonlSink(trace_out)
         except OSError as error:
@@ -222,6 +319,7 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
         set_sink(sink)
+    if collecting:
         get_registry().install()
     if getattr(args, "progress", False):
         reporter = ProgressReporter().install()
@@ -231,10 +329,18 @@ def main(argv=None) -> int:
     finally:
         if reporter is not None:
             reporter.close()
-        if sink is not None:
+        if collecting:
             get_registry().uninstall()
+        if sink is not None:
             set_sink(None)
             sink.close()
+        if metrics_out:
+            try:
+                with open(metrics_out, "w", encoding="utf-8") as handle:
+                    handle.write(get_registry().render_prometheus())
+            except OSError as error:
+                print(f"repro: cannot write --metrics-out {metrics_out}: {error}",
+                      file=sys.stderr)
 
 
 if __name__ == "__main__":

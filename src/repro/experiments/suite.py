@@ -605,7 +605,9 @@ def run_e10_runtime() -> List[ExperimentRow]:
             setting="explorer on O(2,1) headline (720 schedules)",
             claimed="720 maximal executions",
             measured=f"{count} in {elapsed:.2f}s "
-            f"({explorer.stats.steps_replayed} replayed steps)",
+            f"({explorer.stats.steps_replayed} replayed / "
+            f"{explorer.stats.steps_on_path} on-path steps, "
+            f"{explorer.stats.replay_overhead:.1f}x overhead)",
             ok=count == 720,
             detail={"seconds": elapsed},
         )

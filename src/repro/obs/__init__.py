@@ -18,6 +18,14 @@ measurement substrate for all of it:
   the event bus, and observe into the metrics registry.
 * :mod:`repro.obs.progress` — rate-limited stderr progress reporting for
   long explorer/suite runs (``python -m repro check 3 1 --progress``).
+* :mod:`repro.obs.profile` — deterministic profiler folding the event
+  stream into a span call tree with per-``object.method`` step counts,
+  replay-overhead accounting, and collapsed-stack (flamegraph) export
+  (``repro stats TRACE --flame out.folded``).
+* :mod:`repro.obs.report` — self-contained HTML run reports
+  (``repro stats TRACE --html out.html``).
+* :mod:`repro.obs.bench` — the BENCH_runtime.json bench-trajectory schema
+  and ``python -m repro bench-compare`` regression gate.
 
 Quickstart::
 
@@ -33,6 +41,7 @@ See docs/OBSERVABILITY.md for the event schema and metric names.
 
 from repro.obs.events import (
     NULL_SINK,
+    JsonlReadStats,
     JsonlSink,
     NullSink,
     RingBufferSink,
@@ -47,6 +56,7 @@ from repro.obs.events import (
     use_sink,
 )
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     Counter,
     Gauge,
     Histogram,
@@ -54,27 +64,34 @@ from repro.obs.metrics import (
     get_registry,
     reset_registry,
 )
+from repro.obs.profile import Profiler, SpanNode
 from repro.obs.progress import ProgressReporter
+from repro.obs.report import render_html
 from repro.obs.spans import Span, current_span, span
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlReadStats",
     "JsonlSink",
     "MetricsRegistry",
     "NULL_SINK",
     "NullSink",
+    "Profiler",
     "ProgressReporter",
     "RingBufferSink",
     "Sink",
     "Span",
+    "SpanNode",
     "current_span",
     "emit",
     "get_registry",
     "get_sink",
     "is_enabled",
     "read_jsonl",
+    "render_html",
     "reset_registry",
     "set_sink",
     "span",

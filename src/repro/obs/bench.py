@@ -1,0 +1,154 @@
+"""Bench trajectory: the BENCH_runtime.json schema and regression compare.
+
+The benchmark harness (``benchmarks/conftest.py``) records one entry per
+bench into ``BENCH_runtime.json``::
+
+    {
+      "schema": "repro-bench/1",
+      "benches": {
+        "test_e10_simulator_throughput": {
+          "seconds": 1.234,            # wall time of the bench test
+          "steps": 20160,              # optional: workload size
+          "steps_per_sec": 163000.5,   # optional: derived throughput
+          "obs_overhead_ratio": 1.62   # optional: bench-specific extras
+        }
+      }
+    }
+
+``python -m repro bench-compare OLD.json NEW.json`` diffs two such files
+and exits nonzero when any bench regressed by more than the threshold
+(default 20%): wall time up, or throughput down.  Sub-centisecond wall
+times are pure noise on shared CI runners, so seconds-based comparison
+only fires above ``--min-seconds`` (both runs).  Unknown keys and benches
+present on only one side are reported but never fail the comparison, so
+the trajectory can grow new benches freely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+SCHEMA = "repro-bench/1"
+
+
+class BenchFileError(ValueError):
+    """Raised when a bench file is unreadable or not repro-bench shaped."""
+
+
+def load_bench_file(path: str) -> Dict[str, Dict[str, Any]]:
+    """Read a BENCH_runtime.json file, returning its ``benches`` mapping."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise BenchFileError(f"cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise BenchFileError(f"{path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or not isinstance(payload.get("benches"), dict):
+        raise BenchFileError(f"{path} is not a {SCHEMA} file (no 'benches' object)")
+    return payload["benches"]
+
+
+def _metric(entry: Dict[str, Any], key: str) -> Optional[float]:
+    value = entry.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def compare_benches(
+    old: Dict[str, Dict[str, Any]],
+    new: Dict[str, Dict[str, Any]],
+    threshold: float = 0.20,
+    min_seconds: float = 0.01,
+) -> Tuple[List[str], List[str]]:
+    """Diff two bench mappings.
+
+    Returns ``(report_lines, regressions)`` — every compared bench gets a
+    report line; ``regressions`` holds one message per >threshold
+    regression (empty means the trajectory held).
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    for name in sorted(set(old) | set(new)):
+        if name not in new:
+            lines.append(f"{name}: removed (present only in old file)")
+            continue
+        if name not in old:
+            lines.append(f"{name}: new bench (no baseline)")
+            continue
+        parts: List[str] = []
+        old_seconds = _metric(old[name], "seconds")
+        new_seconds = _metric(new[name], "seconds")
+        if old_seconds is not None and new_seconds is not None and old_seconds > 0:
+            delta = (new_seconds - old_seconds) / old_seconds
+            parts.append(f"{old_seconds:.3f}s -> {new_seconds:.3f}s ({delta:+.0%})")
+            if (
+                delta > threshold
+                and old_seconds >= min_seconds
+                and new_seconds >= min_seconds
+            ):
+                regressions.append(
+                    f"{name}: wall time {old_seconds:.3f}s -> {new_seconds:.3f}s "
+                    f"({delta:+.0%} > {threshold:.0%})"
+                )
+        old_rate = _metric(old[name], "steps_per_sec")
+        new_rate = _metric(new[name], "steps_per_sec")
+        if old_rate is not None and new_rate is not None and old_rate > 0:
+            delta = (new_rate - old_rate) / old_rate
+            parts.append(
+                f"{old_rate:,.0f} -> {new_rate:,.0f} steps/s ({delta:+.0%})"
+            )
+            if delta < -threshold:
+                regressions.append(
+                    f"{name}: throughput {old_rate:,.0f} -> {new_rate:,.0f} steps/s "
+                    f"({delta:+.0%}, threshold -{threshold:.0%})"
+                )
+        lines.append(f"{name}: " + ("; ".join(parts) if parts else "no comparable metrics"))
+    return lines, regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-compare",
+        description="compare two BENCH_runtime.json files; exit 1 on regression",
+    )
+    parser.add_argument("old", help="baseline BENCH_runtime.json")
+    parser.add_argument("new", help="candidate BENCH_runtime.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="relative regression that fails the comparison (default 0.20)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.01,
+        help="ignore wall-time regressions when either run is below this "
+        "(jitter floor, default 0.01s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        old = load_bench_file(args.old)
+        new = load_bench_file(args.new)
+    except BenchFileError as error:
+        print(f"bench-compare: {error}", file=sys.stderr)
+        return 2
+    lines, regressions = compare_benches(
+        old, new, threshold=args.threshold, min_seconds=args.min_seconds
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0%}:",
+              file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%} "
+          f"({len(lines)} benches compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

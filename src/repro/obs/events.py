@@ -123,25 +123,56 @@ class JsonlSink(Sink):
             self._file.close()
 
 
-def read_jsonl(path: str) -> Iterator[Tuple[str, Dict[str, Any]]]:
+class JsonlReadStats:
+    """Line accounting surfaced by :func:`read_jsonl`.
+
+    ``skipped`` counts corrupt lines (JSON that fails to parse, or parses
+    to something other than an object) — the usual debris of a trace from
+    a killed run, whose final line is truncated mid-record.
+    """
+
+    __slots__ = ("lines", "events", "skipped")
+
+    def __init__(self) -> None:
+        self.lines = 0
+        self.events = 0
+        self.skipped = 0
+
+
+def read_jsonl(
+    path: str, stats: Optional[JsonlReadStats] = None
+) -> Iterator[Tuple[str, Dict[str, Any]]]:
     """Stream ``(name, fields)`` pairs back out of a JSONL event file.
 
-    Blank lines and lines without an ``event`` key are skipped, so the
+    Blank lines and records without an ``event`` key are skipped, so the
     format can grow new record kinds without breaking old readers.
+    Corrupt lines (e.g. the truncated tail of a trace from a killed run)
+    are skipped too rather than aborting the read; pass a
+    :class:`JsonlReadStats` to count them.
     """
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
+            if stats is not None:
+                stats.lines += 1
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
+                if stats is not None:
+                    stats.skipped += 1
                 continue
-            if not isinstance(record, dict) or "event" not in record:
+            if not isinstance(record, dict):
+                if stats is not None:
+                    stats.skipped += 1
                 continue
+            if "event" not in record:
+                continue  # future record kind, not corruption
             name = record.pop("event")
             record.pop("i", None)
+            if stats is not None:
+                stats.events += 1
             yield name, record
 
 

@@ -17,6 +17,7 @@ Well-known metric names (see docs/OBSERVABILITY.md):
 name                      kind        meaning
 ========================  ==========  ==========================================
 ``steps_total``           counter     simulator steps, by pid/object/method
+``steps_replayed_total``  counter     steps re-executed by ``Explorer._replay``
 ``decisions_total``       counter     scheduler decisions, by pid
 ``schedules_explored``    counter     maximal executions enumerated
 ``schedules_truncated``   counter     executions cut off by the depth bound
@@ -24,17 +25,38 @@ name                      kind        meaning
 ``runs_by_verdict``       counter     solvability-checked runs, by verdict
 ``schedule_depth``        histogram   length of explored executions
 ``run_steps``             histogram   steps per completed ``System.run``
+``frontier_branches``     histogram   branching factor at explorer frontiers
 ``phase_seconds``         histogram   wall time per span, by span name
 ========================  ==========  ==========================================
+
+Histograms use the fixed exponential bucket ladder :data:`BUCKET_BOUNDS`
+(powers of two, 2^-13 … 2^20) and report p50/p90/p99 via interpolation;
+:meth:`MetricsRegistry.render_prometheus` writes the standard text
+exposition format for all instruments.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import events as _events
 
 LabelKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+#: Fixed exponential bucket boundaries shared by every histogram: powers of
+#: two from 2^-13 (~0.12 ms, below any span worth timing) to 2^20 (~1M, above
+#: any schedule depth the explorer can enumerate).  One fixed ladder keeps
+#: histograms mergeable across runs and traces — a bucket means the same
+#: thing in every BENCH/stats file ever written.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(2.0 ** e for e in range(-13, 21))
+
+
+def _num(value: Any, default: float = 0.0) -> float:
+    """Coerce an event field to a float, tolerating corrupt traces."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return default
+    return float(value)
 
 
 class Counter:
@@ -62,20 +84,23 @@ class Gauge:
 
 
 class Histogram:
-    """Summary statistics of observed samples (count/sum/min/max/mean).
+    """Bucketed distribution of observed samples.
 
-    Full distributions are overkill for this codebase's needs; the digest
-    tables want totals and worst cases, which these four numbers carry
-    without per-sample storage.
+    Samples land in fixed exponential buckets (:data:`BUCKET_BOUNDS`), so
+    the digest can report real percentiles (p50/p90/p99) instead of just
+    min/mean/max, at a constant ~35 ints of storage per instrument.
+    ``buckets[i]`` counts samples ``<= BUCKET_BOUNDS[i]``; the final slot
+    is the overflow bucket.
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self.buckets: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -84,10 +109,51 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the landing bucket, clamped to the
+        exact observed min/max — so single-sample and constant streams
+        report the exact value, and estimates never leave the observed
+        range.
+        """
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                upper = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS)
+                    else (self.maximum if self.maximum is not None else lower)
+                )
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.minimum or 0.0), self.maximum or estimate)
+            cumulative += bucket_count
+        return self.maximum if self.maximum is not None else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
 
 
 def _key(name: str, labels: Dict[str, Any]) -> LabelKey:
@@ -107,6 +173,7 @@ class MetricsRegistry:
         self._counters: Dict[LabelKey, Counter] = {}
         self._gauges: Dict[LabelKey, Gauge] = {}
         self._histograms: Dict[LabelKey, Histogram] = {}
+        self._installed = False
 
     # ------------------------------------------------------------------
     # Instrument access
@@ -131,6 +198,11 @@ class MetricsRegistry:
         if instrument is None:
             instrument = self._histograms[key] = Histogram()
         return instrument
+
+    def get_histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
+        """Read-only lookup: the histogram if it exists, else ``None``
+        (unlike :meth:`histogram`, never creates the instrument)."""
+        return self._histograms.get(_key(name, labels))
 
     def reset(self) -> None:
         self._counters.clear()
@@ -184,6 +256,9 @@ class MetricsRegistry:
                 "min": histogram.minimum,
                 "max": histogram.maximum,
                 "mean": histogram.mean,
+                "p50": histogram.p50,
+                "p90": histogram.p90,
+                "p99": histogram.p99,
             }
         return out
 
@@ -206,40 +281,55 @@ class MetricsRegistry:
                 object=fields.get("object"),
                 method=fields.get("method"),
             ).inc()
+            if fields.get("replay"):
+                self.counter("steps_replayed_total").inc()
         elif name == "decision":
             self.counter("decisions_total", pid=fields.get("pid")).inc()
             self.gauge("enabled_processes").set(fields.get("enabled", 0))
         elif name == "schedule_explored":
             self.counter("schedules_explored").inc()
-            self.histogram("schedule_depth").observe(fields.get("depth", 0))
+            self.histogram("schedule_depth").observe(_num(fields.get("depth")))
         elif name == "schedule_truncated":
             self.counter("schedules_truncated").inc()
         elif name == "frontier":
             self.gauge("frontier_branches").set(fields.get("branches", 0))
+            self.histogram("frontier_branches").observe(_num(fields.get("branches")))
         elif name == "states_visited":
             self.counter(
                 "states_visited", object=fields.get("object", "?")
-            ).inc(fields.get("states", 0))
+            ).inc(int(_num(fields.get("states"))))
         elif name == "valency_subtree":
-            self.counter("valency_executions").inc(fields.get("executions", 0))
+            self.counter("valency_executions").inc(int(_num(fields.get("executions"))))
         elif name == "run_verdict":
             self.counter(
                 "runs_by_verdict", verdict=fields.get("verdict", "unknown")
             ).inc()
         elif name == "run_end":
-            self.histogram("run_steps").observe(fields.get("steps", 0))
+            self.histogram("run_steps").observe(_num(fields.get("steps")))
         elif name == "span_end":
             self.histogram(
                 "phase_seconds", span=fields.get("span", "?")
-            ).observe(fields.get("seconds", 0.0))
+            ).observe(_num(fields.get("seconds")))
 
     def install(self) -> "MetricsRegistry":
-        """Attach this registry to the event bus (live collection)."""
+        """Attach this registry to the event bus (live collection).
+
+        While installed, spans skip their direct ``phase_seconds``
+        observation into this registry — the ``span_end`` event arriving
+        through the bus carries the same sample, and double counting
+        would make a live registry disagree with a trace replay.
+        """
         _events.subscribe(self.consume_event)
+        self._installed = True
         return self
 
     def uninstall(self) -> None:
         _events.unsubscribe(self.consume_event)
+        self._installed = False
+
+    def is_installed(self) -> bool:
+        """True while subscribed to the event bus via :meth:`install`."""
+        return self._installed
 
     # ------------------------------------------------------------------
     # Rendering
@@ -251,7 +341,17 @@ class MetricsRegistry:
         steps_by_object = self.sum_by_label("steps_total", "object")
         steps_by_method = self.sum_by_label("steps_total", "method")
         if steps_by_pid:
-            lines.append(f"steps_total: {self.counter_total('steps_total')}")
+            total_steps = self.counter_total("steps_total")
+            replayed = self.counter_total("steps_replayed_total")
+            suffix = ""
+            if replayed:
+                on_path = total_steps - replayed
+                overhead = replayed / on_path if on_path else float("inf")
+                suffix = (
+                    f"  ({replayed} replayed + {on_path} on-path, "
+                    f"{overhead:.1f}x replay overhead)"
+                )
+            lines.append(f"steps_total: {total_steps}{suffix}")
             lines.append(
                 "  by process: "
                 + ", ".join(
@@ -284,17 +384,27 @@ class MetricsRegistry:
                 "runs_by_verdict: "
                 + ", ".join(f"{v}={c}" for v, c in sorted(verdicts.items()))
             )
-        depth = self._histograms.get(_key("schedule_depth", {}))
-        if depth is not None and depth.count:
+        for histogram_name, unit in (
+            ("schedule_depth", "schedules"),
+            ("run_steps", "runs"),
+            ("frontier_branches", "frontiers"),
+        ):
+            histogram = self._histograms.get(_key(histogram_name, {}))
+            if histogram is not None and histogram.count:
+                lines.append(
+                    f"{histogram_name}: min {histogram.minimum:g}, "
+                    f"p50 {histogram.p50:.1f}, p90 {histogram.p90:.1f}, "
+                    f"p99 {histogram.p99:.1f}, max {histogram.maximum:g} "
+                    f"over {histogram.count} {unit}"
+                )
+        gauges = sorted(
+            (name + _label_str(labels), gauge.value)
+            for (name, labels), gauge in self._gauges.items()
+        )
+        if gauges:
             lines.append(
-                f"schedule_depth: min {depth.minimum:g}, mean {depth.mean:.1f}, "
-                f"max {depth.maximum:g} over {depth.count} schedules"
-            )
-        run_steps = self._histograms.get(_key("run_steps", {}))
-        if run_steps is not None and run_steps.count:
-            lines.append(
-                f"run_steps: {run_steps.count} runs, mean {run_steps.mean:.1f}, "
-                f"max {run_steps.maximum:g}"
+                "gauges (last): "
+                + ", ".join(f"{name}={value}" for name, value in gauges)
             )
         phases = [
             (dict(labels).get("span", "?"), histogram)
@@ -315,6 +425,75 @@ class MetricsRegistry:
         if not lines:
             return "(no metrics recorded)"
         return "\n".join(lines)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every instrument.
+
+        Counters and gauges render as single samples, histograms as the
+        standard ``_bucket{le=...}`` cumulative series plus ``_sum`` and
+        ``_count``.  Leading all-zero buckets are omitted (an omitted
+        series is implicitly zero); the ``+Inf`` bucket is always present.
+        A gauge whose name collides with a histogram family is exposed
+        with a ``_current`` suffix so each family keeps a single type.
+        """
+        def fmt_value(value: Any) -> str:
+            if isinstance(value, float):
+                return format(value, ".12g")
+            return str(value)
+
+        def fmt_labels(labels: Tuple[Tuple[str, Any], ...], extra: str = "") -> str:
+            pairs = [
+                "{}=\"{}\"".format(
+                    k,
+                    str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n"),
+                )
+                for k, v in labels
+            ]
+            if extra:
+                pairs.append(extra)
+            return "{" + ",".join(pairs) + "}" if pairs else ""
+
+        def families(instruments: Dict[LabelKey, Any]) -> Dict[str, List]:
+            grouped: Dict[str, List] = {}
+            for (name, labels), instrument in instruments.items():
+                grouped.setdefault(name, []).append((labels, instrument))
+            return {
+                name: sorted(entries, key=lambda e: repr(e[0]))
+                for name, entries in sorted(grouped.items())
+            }
+
+        histogram_names = {name for name, _labels in self._histograms}
+        lines: List[str] = []
+        for name, entries in families(self._counters).items():
+            lines.append(f"# TYPE {name} counter")
+            for labels, counter in entries:
+                lines.append(f"{name}{fmt_labels(labels)} {fmt_value(counter.value)}")
+        for name, entries in families(self._gauges).items():
+            exposed = name + "_current" if name in histogram_names else name
+            lines.append(f"# TYPE {exposed} gauge")
+            for labels, gauge in entries:
+                lines.append(f"{exposed}{fmt_labels(labels)} {fmt_value(gauge.value)}")
+        for name, entries in families(self._histograms).items():
+            lines.append(f"# TYPE {name} histogram")
+            for labels, histogram in entries:
+                cumulative = 0
+                started = False
+                for index, bucket_count in enumerate(histogram.buckets[:-1]):
+                    cumulative += bucket_count
+                    if not started and cumulative == 0:
+                        continue
+                    started = True
+                    le = fmt_labels(
+                        labels, extra=f'le="{format(BUCKET_BOUNDS[index], ".12g")}"'
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                    if cumulative == histogram.count:
+                        break  # remaining buckets are flat; +Inf closes the series
+                inf = fmt_labels(labels, extra='le="+Inf"')
+                lines.append(f"{name}_bucket{inf} {histogram.count}")
+                lines.append(f"{name}_sum{fmt_labels(labels)} {fmt_value(histogram.total)}")
+                lines.append(f"{name}_count{fmt_labels(labels)} {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
 
 _registry = MetricsRegistry()

@@ -65,7 +65,11 @@ class Span:
             except ValueError:
                 pass
         registry = self.registry if self.registry is not None else _metrics.get_registry()
-        registry.histogram("phase_seconds", span=self.name).observe(self.seconds)
+        # A bus-installed registry receives the span_end event below and
+        # observes phase_seconds there; observing here too would double
+        # count and make live metrics disagree with a trace replay.
+        if not registry.is_installed():
+            registry.histogram("phase_seconds", span=self.name).observe(self.seconds)
         if _events.is_enabled():
             _events.emit(
                 "span_end",

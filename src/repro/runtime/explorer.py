@@ -28,18 +28,41 @@ Decision = Tuple[int, int]  # (pid, outcome choice)
 
 @dataclass
 class ExplorationStatistics:
-    """Counters reported by an exploration pass."""
+    """Counters reported by an exploration pass.
+
+    ``steps_on_path`` counts first-time steps (one per tree edge — the
+    decision appended when a node is first visited); ``steps_replayed``
+    counts the redundant re-executions of earlier prefix decisions that
+    the replay-based walk pays for them.  Their sum is every simulator
+    step the exploration actually executed, which matches the event-
+    derived ``steps_total`` when a sink is attached.
+    """
 
     executions: int = 0
     steps_replayed: int = 0
+    steps_on_path: int = 0
     max_depth_seen: int = 0
     truncated: int = 0  # executions cut off by the depth bound
 
     def merge(self, other: "ExplorationStatistics") -> None:
         self.executions += other.executions
         self.steps_replayed += other.steps_replayed
+        self.steps_on_path += other.steps_on_path
         self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
         self.truncated += other.truncated
+
+    @property
+    def steps_total(self) -> int:
+        """Every simulator step executed (replayed + on-path)."""
+        return self.steps_replayed + self.steps_on_path
+
+    @property
+    def replay_overhead(self) -> float:
+        """Redundant steps per useful step — the price of the
+        fork-by-replay design (0.0 when nothing was explored)."""
+        if not self.steps_on_path:
+            return 0.0
+        return self.steps_replayed / self.steps_on_path
 
 
 class Explorer:
@@ -106,11 +129,19 @@ class Explorer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _replay(self, decisions: List[Decision]) -> System:
+    def _replay(self, decisions: List[Decision], fresh: int = 0) -> System:
+        """Rebuild a system at ``decisions``; the final ``fresh`` decisions
+        are first-time (on-path) steps, everything before them is replay
+        overhead.  The system's ``replaying`` flag tracks the boundary so
+        step events carry the attribution."""
         system = self.spec.build()
-        for pid, choice in decisions:
+        replayed = len(decisions) - fresh
+        for index, (pid, choice) in enumerate(decisions):
+            system.replaying = index < replayed
             system.step(pid, choice)
-        self.stats.steps_replayed += len(decisions)
+        system.replaying = False
+        self.stats.steps_replayed += replayed
+        self.stats.steps_on_path += fresh
         return system
 
     def _branches(self, system: System) -> List[Decision]:
@@ -127,7 +158,7 @@ class Explorer:
         return branches
 
     def _walk(self, prefix: List[Decision]) -> Iterator[Execution]:
-        system = self._replay(prefix)
+        system = self._replay(prefix, fresh=1 if prefix else 0)
         self.stats.max_depth_seen = max(self.stats.max_depth_seen, len(prefix))
         branches = self._branches(system)
         observed = _obs_events.is_enabled()

@@ -72,6 +72,11 @@ class System:
 
     def __init__(self, spec: SystemSpec):
         self.spec = spec
+        #: Attribution flag for observability: set by the explorer while it
+        #: re-executes an already-visited decision prefix, so ``step``
+        #: events can separate replay overhead from first-time (on-path)
+        #: work.  Purely observational — never changes semantics.
+        self.replaying = False
         self.object_states: Dict[str, Any] = {
             name: obj.initial_state() for name, obj in spec.objects.items()
         }
@@ -160,6 +165,7 @@ class System:
                     choice=0,
                     n_outcomes=0,
                     blocked=True,
+                    **({"replay": True} if self.replaying else {}),
                 )
             return record
         if not 0 <= choice < len(outcomes):
@@ -189,6 +195,7 @@ class System:
                 method=operation.method,
                 choice=choice,
                 n_outcomes=len(outcomes),
+                **({"replay": True} if self.replaying else {}),
             )
         return record
 

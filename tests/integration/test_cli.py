@@ -100,6 +100,114 @@ class TestObservability:
         assert main(["stats", str(empty)]) == 1
         assert "no events" in capsys.readouterr().err
 
+    def test_stats_skips_corrupt_lines_and_reports_count(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["check", "1", "1", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        with open(trace, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "step", "pid": 0, "obj\n')  # truncated
+            handle.write("not json at all\n")
+            handle.write('["a", "list", "record"]\n')
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "3 corrupt lines skipped" in out
+        assert "steps_total" in out
+
+    def test_stats_aggregates_multiple_traces(self, tmp_path, capsys):
+        first = tmp_path / "one.jsonl"
+        second = tmp_path / "two.jsonl"
+        assert main(["check", "1", "1", "--trace-out", str(first)]) == 0
+        assert main(["check", "1", "1", "--trace-out", str(second)]) == 0
+        capsys.readouterr()
+
+        def steps_total(stdout):
+            for line in stdout.splitlines():
+                if line.strip().startswith("steps_total:"):
+                    return int(line.split(":")[1].strip().split()[0])
+            raise AssertionError("no steps_total line in digest")
+
+        assert main(["stats", str(first)]) == 0
+        single = steps_total(capsys.readouterr().out)
+        assert main(["stats", str(first), str(second)]) == 0
+        out = capsys.readouterr().out
+        assert steps_total(out) == 2 * single
+        assert "one.jsonl" in out and "two.jsonl" in out
+
+    def test_stats_export_flags_write_valid_files(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        folded = tmp_path / "out.folded"
+        html = tmp_path / "report.html"
+        prom = tmp_path / "metrics.prom"
+        assert main(["check", "1", "1", "--trace-out", str(trace)]) == 0
+        assert (
+            main(
+                ["stats", str(trace), "--flame", str(folded),
+                 "--html", str(html), "--metrics-out", str(prom)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "span profile:" in out
+        for stack in folded.read_text().splitlines():
+            frames, count = stack.rsplit(" ", 1)
+            assert frames and int(count) > 0
+        report = html.read_text()
+        assert report.startswith("<!DOCTYPE html>")
+        assert "Span waterfall" in report
+        prom_text = prom.read_text()
+        assert "# TYPE steps_total counter" in prom_text
+        assert 'schedule_depth_bucket{le="+Inf"}' in prom_text
+
+    def test_live_metrics_equal_replayed_metrics(self, tmp_path, capsys):
+        """--metrics-out on a run command and stats --metrics-out on its
+        trace must render byte-identical Prometheus files: the trace is a
+        complete account of the run."""
+        trace = tmp_path / "run.jsonl"
+        live = tmp_path / "live.prom"
+        replayed = tmp_path / "replayed.prom"
+        assert (
+            main(["check", "1", "1", "--trace-out", str(trace),
+                  "--metrics-out", str(live)])
+            == 0
+        )
+        assert main(["stats", str(trace), "--metrics-out", str(replayed)]) == 0
+        capsys.readouterr()
+        assert live.read_text() == replayed.read_text() != ""
+
+    def test_stats_write_failure_exits_two(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["check", "1", "1", "--trace-out", str(trace)]) == 0
+        bad = tmp_path / "missing-dir" / "out.folded"
+        assert main(["stats", str(trace), "--flame", str(bad)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    @staticmethod
+    def bench_file(path, seconds):
+        payload = {
+            "schema": "repro-bench/1",
+            "benches": {"bench_walk": {"seconds": seconds}},
+        }
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_no_regression_exits_zero(self, tmp_path, capsys):
+        path = self.bench_file(tmp_path / "b.json", 1.0)
+        assert main(["bench-compare", path, path]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        old = self.bench_file(tmp_path / "old.json", 1.0)
+        new = self.bench_file(tmp_path / "new.json", 1.5)
+        assert main(["bench-compare", old, new]) == 1
+        assert "wall time" in capsys.readouterr().err
+
+    def test_threshold_flag(self, tmp_path):
+        old = self.bench_file(tmp_path / "old.json", 1.0)
+        new = self.bench_file(tmp_path / "new.json", 1.5)
+        assert main(["bench-compare", old, new, "--threshold", "0.6"]) == 0
+
 
 class TestParser:
     def test_missing_command_exits(self):

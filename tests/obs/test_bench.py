@@ -1,0 +1,131 @@
+"""Tests for the bench telemetry schema and bench-compare regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    SCHEMA,
+    BenchFileError,
+    compare_benches,
+    load_bench_file,
+    main,
+)
+
+
+def write_bench_file(path, benches):
+    path.write_text(json.dumps({"schema": SCHEMA, "benches": benches}))
+    return str(path)
+
+
+BASELINE = {
+    "bench_throughput": {"seconds": 1.0, "steps": 10_000, "steps_per_sec": 10_000.0},
+    "bench_walk": {"seconds": 0.5},
+}
+
+
+class TestCompareBenches:
+    def test_identical_runs_have_no_regressions(self):
+        lines, regressions = compare_benches(BASELINE, BASELINE)
+        assert regressions == []
+        assert len(lines) == 2
+
+    def test_wall_time_regression_flagged(self):
+        slower = {"bench_walk": {"seconds": 0.8}}
+        _, regressions = compare_benches({"bench_walk": {"seconds": 0.5}}, slower)
+        assert len(regressions) == 1
+        assert "bench_walk" in regressions[0] and "wall time" in regressions[0]
+
+    def test_throughput_regression_flagged(self):
+        old = {"b": {"seconds": 1.0, "steps_per_sec": 10_000.0}}
+        new = {"b": {"seconds": 1.0, "steps_per_sec": 7_000.0}}
+        _, regressions = compare_benches(old, new)
+        assert len(regressions) == 1
+        assert "throughput" in regressions[0]
+
+    def test_improvement_and_within_threshold_pass(self):
+        new = {
+            "bench_throughput": {
+                "seconds": 0.7, "steps": 10_000, "steps_per_sec": 14_000.0
+            },
+            "bench_walk": {"seconds": 0.55},  # +10%: inside the 20% threshold
+        }
+        _, regressions = compare_benches(BASELINE, new)
+        assert regressions == []
+
+    def test_jitter_floor_suppresses_tiny_wall_times(self):
+        old = {"b": {"seconds": 0.001}}
+        new = {"b": {"seconds": 0.005}}  # 5x slower but both below min_seconds
+        _, regressions = compare_benches(old, new)
+        assert regressions == []
+
+    def test_new_and_removed_benches_never_fail(self):
+        old = {"gone": {"seconds": 1.0}}
+        new = {"fresh": {"seconds": 9.0}}
+        lines, regressions = compare_benches(old, new)
+        assert regressions == []
+        assert any("removed" in line for line in lines)
+        assert any("no baseline" in line for line in lines)
+
+    def test_threshold_is_configurable(self):
+        old = {"b": {"seconds": 1.0}}
+        new = {"b": {"seconds": 1.1}}
+        assert compare_benches(old, new, threshold=0.05)[1]
+        assert not compare_benches(old, new, threshold=0.20)[1]
+
+    def test_non_numeric_metrics_skipped(self):
+        old = {"b": {"seconds": "fast", "steps_per_sec": True}}
+        new = {"b": {"seconds": 2.0}}
+        lines, regressions = compare_benches(old, new)
+        assert regressions == []
+        assert "no comparable metrics" in lines[0]
+
+
+class TestLoadBenchFile:
+    def test_roundtrip(self, tmp_path):
+        path = write_bench_file(tmp_path / "b.json", BASELINE)
+        assert load_bench_file(path) == BASELINE
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BenchFileError):
+            load_bench_file(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        with pytest.raises(BenchFileError):
+            load_bench_file(str(path))
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"schema": SCHEMA, "benches": [1, 2]}))
+        with pytest.raises(BenchFileError):
+            load_bench_file(str(path))
+
+
+class TestCliMain:
+    def test_identity_exits_zero(self, tmp_path, capsys):
+        path = write_bench_file(tmp_path / "same.json", BASELINE)
+        assert main([path, path]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_injected_regression_exits_one(self, tmp_path, capsys):
+        old = write_bench_file(tmp_path / "old.json", BASELINE)
+        new = write_bench_file(
+            tmp_path / "new.json",
+            {
+                "bench_throughput": {
+                    "seconds": 1.6, "steps": 10_000, "steps_per_sec": 6_250.0
+                },
+                "bench_walk": {"seconds": 0.5},
+            },
+        )
+        assert main([old, new]) == 1
+        captured = capsys.readouterr()
+        assert "regression(s)" in captured.err
+        assert "wall time" in captured.err and "throughput" in captured.err
+
+    def test_bad_file_exits_two(self, tmp_path, capsys):
+        good = write_bench_file(tmp_path / "good.json", BASELINE)
+        assert main([str(tmp_path / "missing.json"), good]) == 2
+        assert "bench-compare:" in capsys.readouterr().err

@@ -5,6 +5,7 @@ import pytest
 from repro.obs import events
 from repro.obs.events import JsonlSink, read_jsonl
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     Histogram,
     MetricsRegistry,
     get_registry,
@@ -92,6 +93,91 @@ class TestInstruments:
         assert snap["histograms"]["phase_seconds{span=E1}"]["total"] == 0.5
 
 
+class TestBucketedHistogram:
+    def test_bucket_ladder_is_exponential(self):
+        assert BUCKET_BOUNDS[0] == 2.0 ** -13
+        assert BUCKET_BOUNDS[-1] == 2.0 ** 20
+        for lower, upper in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+            assert upper == 2 * lower
+
+    def test_single_sample_quantiles_are_exact(self):
+        histogram = Histogram()
+        histogram.observe(5.0)
+        assert histogram.p50 == 5.0
+        assert histogram.p90 == 5.0
+        assert histogram.p99 == 5.0
+
+    def test_quantiles_are_monotone_and_clamped(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.minimum <= histogram.p50 <= histogram.p90
+        assert histogram.p90 <= histogram.p99 <= histogram.maximum
+        # p50 of 1..100 must land in the right ballpark despite bucketing
+        assert 30 <= histogram.p50 <= 70
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_overflow_bucket(self):
+        histogram = Histogram()
+        histogram.observe(2.0 ** 25)  # beyond the last boundary
+        assert histogram.buckets[-1] == 1
+        assert histogram.p99 == 2.0 ** 25  # clamped to the observed max
+
+    def test_bucket_counts_sum_to_count(self):
+        histogram = Histogram()
+        for value in (0.0, 0.001, 1.0, 7.0, 10_000.0, 5_000_000.0):
+            histogram.observe(value)
+        assert sum(histogram.buckets) == histogram.count == 6
+
+
+class TestPrometheusRendering:
+    def test_exposition_golden(self):
+        registry = MetricsRegistry()
+        registry.counter("steps_total", pid=0, object="r", method="read").inc(3)
+        registry.gauge("enabled_processes").set(2)
+        registry.histogram("schedule_depth").observe(4.0)
+        assert registry.render_prometheus() == (
+            "# TYPE steps_total counter\n"
+            'steps_total{method="read",object="r",pid="0"} 3\n'
+            "# TYPE enabled_processes gauge\n"
+            "enabled_processes 2\n"
+            "# TYPE schedule_depth histogram\n"
+            'schedule_depth_bucket{le="4"} 1\n'
+            'schedule_depth_bucket{le="+Inf"} 1\n'
+            "schedule_depth_sum 4\n"
+            "schedule_depth_count 1\n"
+        )
+
+    def test_gauge_histogram_name_collision_gets_suffix(self):
+        registry = MetricsRegistry()
+        registry.consume_event("frontier", {"depth": 0, "branches": 3})
+        text = registry.render_prometheus()
+        assert "# TYPE frontier_branches_current gauge" in text
+        assert "# TYPE frontier_branches histogram" in text
+        assert "\nfrontier_branches_current 3\n" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("steps_total", object='a"b').inc()
+        assert 'object="a\\"b"' in registry.render_prometheus()
+
+    def test_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 1.5, 3.0):
+            registry.histogram("h").observe(value)
+        text = registry.render_prometheus()
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="4"} 3' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
 class TestEventConsumption:
     def test_consume_well_known_events(self):
         registry = MetricsRegistry()
@@ -154,6 +240,42 @@ class TestEventConsumption:
 
     def test_empty_digest(self):
         assert MetricsRegistry().digest() == "(no metrics recorded)"
+
+    def test_digest_includes_gauges(self):
+        registry = MetricsRegistry()
+        registry.consume_event("decision", {"pid": 0, "enabled": 3})
+        registry.consume_event("frontier", {"depth": 1, "branches": 5})
+        digest = registry.digest()
+        assert "gauges (last): enabled_processes=3, frontier_branches=5" in digest
+
+    def test_digest_includes_percentiles_and_replay_overhead(self):
+        registry = MetricsRegistry()
+        for depth in (2, 4, 8):
+            registry.consume_event("schedule_explored", {"depth": depth})
+        registry.consume_event("step", {"pid": 0, "object": "r", "method": "w"})
+        registry.consume_event(
+            "step", {"pid": 0, "object": "r", "method": "w", "replay": True}
+        )
+        digest = registry.digest()
+        assert "p50" in digest and "p90" in digest and "p99" in digest
+        assert "1 replayed + 1 on-path" in digest
+
+    def test_frontier_event_feeds_histogram(self):
+        registry = MetricsRegistry()
+        for branches in (1, 2, 4):
+            registry.consume_event("frontier", {"depth": 0, "branches": branches})
+        histogram = registry.get_histogram("frontier_branches")
+        assert histogram is not None and histogram.count == 3
+        assert histogram.maximum == 4
+
+    def test_corrupt_numeric_fields_tolerated(self):
+        registry = MetricsRegistry()
+        registry.consume_event("span_end", {"span": "x", "seconds": None})
+        registry.consume_event("run_end", {"steps": "garbage"})
+        registry.consume_event("schedule_explored", {"depth": None})
+        registry.consume_event("states_visited", {"object": "X", "states": None})
+        assert registry.get_histogram("phase_seconds", span="x").count == 1
+        assert registry.get_histogram("run_steps").count == 1
 
 
 class TestDefaultRegistry:

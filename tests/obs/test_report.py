@@ -1,0 +1,92 @@
+"""Tests for the self-contained HTML run report."""
+
+import pytest
+
+from repro.algorithms.helpers import build_spec
+from repro.obs import events
+from repro.obs.events import RingBufferSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.report import render_html
+from repro.obs.spans import span
+from repro.objects.register import RegisterSpec
+from repro.runtime.explorer import Explorer
+from repro.runtime.ops import invoke
+
+
+@pytest.fixture(autouse=True)
+def clean_bus():
+    events.set_sink(None)
+    yield
+    events.set_sink(None)
+
+
+def captured_run():
+    """A real explored run, folded into (registry, profiler)."""
+
+    def program(pid, value):
+        yield invoke("r", "write", value)
+        got = yield invoke("r", "read")
+        return got
+
+    spec = build_spec({"r": RegisterSpec()}, program, ["a", "b"])
+    sink = RingBufferSink(capacity=100_000)
+    with events.use_sink(sink):
+        with span("explore", n=2):
+            list(Explorer(spec).executions())
+    registry = MetricsRegistry()
+    profiler = Profiler()
+    for name, fields in sink.events:
+        registry.consume_event(name, fields)
+        profiler.consume_event(name, fields)
+    return registry, profiler
+
+
+class TestRenderHtml:
+    def test_is_a_complete_standalone_document(self):
+        registry, profiler = captured_run()
+        html = render_html(registry, profiler, sources=["run.jsonl"], events=42)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+        # self-contained: no external fetches, no scripts
+        assert "http://" not in html and "https://" not in html
+        assert "<script" not in html
+
+    def test_sections_present(self):
+        registry, profiler = captured_run()
+        html = render_html(registry, profiler)
+        assert "Run summary" in html
+        assert "Span waterfall" in html
+        assert "step sites" in html
+        assert "Schedule depth" in html
+        assert "Frontier branching factor" in html
+        assert "replay overhead" in html
+
+    def test_step_table_and_percentiles(self):
+        registry, profiler = captured_run()
+        html = render_html(registry, profiler)
+        assert "r.write" in html and "r.read" in html
+        assert "p50" in html and "p99" in html
+
+    def test_skipped_lines_surface_in_header(self):
+        registry, profiler = captured_run()
+        html = render_html(registry, profiler, events=10, skipped=3)
+        assert "3 corrupt lines skipped" in html
+
+    def test_object_names_are_escaped(self):
+        registry = MetricsRegistry()
+        profiler = Profiler()
+        evil = "<img src=x>"
+        registry.consume_event(
+            "step", {"pid": 0, "object": evil, "method": "m"}
+        )
+        profiler.consume_event(
+            "step", {"pid": 0, "object": evil, "method": "m"}
+        )
+        html = render_html(registry, profiler)
+        assert "<img" not in html
+        assert "&lt;img src=x&gt;" in html
+
+    def test_empty_inputs_render_placeholder(self):
+        html = render_html(MetricsRegistry(), Profiler())
+        assert "no metrics recorded" in html

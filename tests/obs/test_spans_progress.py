@@ -54,6 +54,22 @@ class TestSpans:
         assert inner_end["seconds"] >= 0
         assert inner_end["error"] is None
 
+    def test_no_double_count_when_registry_is_installed(self):
+        """A bus-installed registry gets phase_seconds via the span_end
+        event; the span must not also observe directly, or live metrics
+        would disagree with a trace replay."""
+        registry = MetricsRegistry().install()
+        try:
+            with span("explore", registry=registry):
+                pass
+        finally:
+            registry.uninstall()
+        assert registry.histogram("phase_seconds", span="explore").count == 1
+        # once uninstalled, the direct observation path is back
+        with span("explore", registry=registry):
+            pass
+        assert registry.histogram("phase_seconds", span="explore").count == 2
+
     def test_span_end_reports_exceptions(self):
         registry = MetricsRegistry()
         sink = RingBufferSink()

@@ -141,6 +141,29 @@ class TestBounds:
         assert explorer.stats.max_depth_seen == 3
         assert explorer.stats.steps_replayed > 0
 
+    def test_on_path_vs_replayed_accounting(self):
+        """The decision tree of one_step_spec(3) has 1+3+6+6 = 16 nodes.
+        Each non-root node contributes exactly one first-time (on-path)
+        step; total executed steps are sum(depth) over nodes = 33, so 18
+        are redundant replays of earlier prefix decisions."""
+        explorer = Explorer(one_step_spec(3))
+        list(explorer.executions())
+        stats = explorer.stats
+        assert stats.steps_on_path == 15
+        assert stats.steps_replayed == 18
+        assert stats.steps_total == 33
+        assert stats.replay_overhead == pytest.approx(18 / 15)
+
+    def test_statistics_merge_includes_on_path(self):
+        first = Explorer(one_step_spec(2))
+        list(first.executions())
+        second = Explorer(one_step_spec(2))
+        list(second.executions())
+        merged = first.stats
+        merged.merge(second.stats)
+        assert merged.steps_on_path == 2 * second.stats.steps_on_path
+        assert merged.steps_replayed == 2 * second.stats.steps_replayed
+
 
 class TestPidFilter:
     def test_filter_prunes_branches(self):
