@@ -11,6 +11,14 @@ Commands
 ``check N K``
     Model-check O(N, K)'s headline claims live (consensus, exhaustive or
     sampled set consensus) and print the verdict.
+``explore [--task T] [--n N] [--k K] [--max-crashes F] [--checkpoint FILE]
+[--resume FILE]``
+    Drive the exhaustive explorer directly: enumerate every execution
+    (optionally every crash timing with ``--max-crashes``), periodically
+    checkpointing the DFS frontier.  An interrupted run (SIGINT, budget)
+    flushes a final checkpoint and exits 3; ``--resume FILE`` continues
+    it, visiting exactly the executions the interrupted run had not yet
+    yielded.
 ``report``
     Run the full experiment suite and print the EXPERIMENTS.md tables
     (equivalent to ``python -m repro.experiments.report``).
@@ -38,6 +46,11 @@ Observability flags (every run command):
     Write the run's metrics in Prometheus text exposition format.
 ``--progress``
     Rate-limited progress line on stderr for long checks.
+
+Budget flags (every run command): ``--deadline SECONDS`` and
+``--max-steps N`` install a process-wide :mod:`repro.faults.budget` —
+any exploration the command triggers degrades to an INCONCLUSIVE verdict
+(exit code 3 where applicable) instead of running forever.
 """
 
 from __future__ import annotations
@@ -46,6 +59,8 @@ import argparse
 import sys
 from math import ceil
 
+from repro.faults.budget import Budget, active_budget
+from repro.faults.checkpoint import read_checkpoint
 from repro.obs.bench import main as bench_compare_main
 from repro.obs.events import JsonlReadStats, JsonlSink, read_jsonl, set_sink
 from repro.obs.metrics import MetricsRegistry, get_registry, reset_registry
@@ -128,6 +143,97 @@ def cmd_check(args) -> int:
         f"{'OK' if full.ok else 'FAILED: ' + full.reason}"
     )
     return 0 if report.ok and full.ok else 1
+
+
+#: Spec builders the explore command (and its checkpoints) can name.
+EXPLORE_TASKS = {
+    "set-consensus": lambda n, k: set_consensus_spec(
+        n, k, [f"v{i}" for i in range(FamilyMember(n, k).ports)]
+    ),
+    "consensus": lambda n, k: consensus_spec(
+        n, k, [f"v{i}" for i in range(n)]
+    ),
+}
+
+
+def cmd_explore(args) -> int:
+    from repro.errors import ProtocolError
+    from repro.runtime.explorer import Explorer
+
+    if args.resume:
+        try:
+            checkpoint = read_checkpoint(args.resume)
+        except (OSError, ProtocolError) as error:
+            print(f"explore: cannot resume: {error}", file=sys.stderr)
+            return 2
+        if checkpoint.done:
+            print(
+                f"explore: {args.resume} is complete "
+                f"({checkpoint.executions} executions) — nothing to resume"
+            )
+            return 0
+        # CLI flags override nothing that identifies the spec: the
+        # checkpoint's own provenance wins, so a bare --resume works.
+        task = checkpoint.spec.get("task", args.task)
+        n = int(checkpoint.spec.get("n", args.n))
+        k = int(checkpoint.spec.get("k", args.k))
+        spec = EXPLORE_TASKS[task](n, k)
+        explorer = Explorer.from_checkpoint(
+            spec,
+            checkpoint,
+            strict=False,
+            checkpoint_path=args.checkpoint or args.resume,
+            checkpoint_every=args.checkpoint_every,
+        )
+        print(
+            f"resuming {task} O({n},{k}) from {args.resume}: "
+            f"{len(checkpoint.frontier)} pending prefixes, "
+            f"{checkpoint.executions} executions already done"
+        )
+    else:
+        task, n, k = args.task, args.n, args.k
+        spec = EXPLORE_TASKS[task](n, k)
+        explorer = Explorer(
+            spec,
+            max_depth=args.max_depth,
+            strict=False,
+            max_crashes=args.max_crashes,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+    explorer.set_spec_meta(task=task, n=n, k=k)
+    try:
+        for _execution in explorer.executions():
+            pass
+    except KeyboardInterrupt:
+        if explorer.checkpoint_path is not None:
+            path = explorer.write_checkpoint()
+            print(
+                f"\ninterrupted — checkpoint written to {path} "
+                f"({explorer.total_executions} executions so far); "
+                f"resume with: repro explore --resume {path}"
+            )
+        else:
+            print("\ninterrupted (no --checkpoint configured; progress lost)")
+        return 3
+    stats = explorer.stats
+    print(
+        f"{explorer.total_executions} executions "
+        f"({stats.executions} this run), max depth {stats.max_depth_seen}, "
+        f"{stats.steps_on_path} on-path + {stats.steps_replayed} replayed "
+        f"steps, {stats.faults_injected} faults injected"
+    )
+    if explorer.interrupted is not None:
+        where = (
+            f"; checkpoint at {explorer.checkpoint_path}"
+            if explorer.checkpoint_path
+            else ""
+        )
+        print(f"INCONCLUSIVE: {explorer.interrupted}{where}")
+        return 3
+    if explorer.checkpoint_path is not None:
+        print(f"complete — checkpoint {explorer.checkpoint_path} marks done")
+    return 0
 
 
 def cmd_report(_args) -> int:
@@ -227,6 +333,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="rate-limited progress reporting on stderr",
     )
+    obs.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock budget for the whole command; explorations it "
+        "does not cover degrade to INCONCLUSIVE instead of running",
+    )
+    obs.add_argument(
+        "--max-steps",
+        type=int,
+        metavar="N",
+        default=None,
+        help="total simulator-step budget for the whole command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     describe = sub.add_parser(
@@ -250,6 +371,37 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("n", type=int)
     check.add_argument("k", type=int)
     check.set_defaults(func=cmd_check)
+
+    explore = sub.add_parser(
+        "explore",
+        help="enumerate executions (and crash timings) with checkpointing",
+        parents=[obs],
+    )
+    explore.add_argument(
+        "--task", choices=sorted(EXPLORE_TASKS), default="set-consensus"
+    )
+    explore.add_argument("--n", type=int, default=2)
+    explore.add_argument("--k", type=int, default=1)
+    explore.add_argument("--max-depth", type=int, default=60)
+    explore.add_argument(
+        "--max-crashes", type=int, default=0,
+        help="also branch on crashing up to F processes at every point",
+    )
+    explore.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="periodically write the DFS frontier here (atomic)",
+    )
+    explore.add_argument(
+        "--checkpoint-every", type=int, default=1000, metavar="N",
+        help="checkpoint every N executions (default 1000)",
+    )
+    explore.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="resume from a checkpoint file (spec identity comes from "
+        "the checkpoint; updated checkpoints go back to the same file "
+        "unless --checkpoint overrides)",
+    )
+    explore.set_defaults(func=cmd_explore)
 
     report = sub.add_parser(
         "report", help="run the experiment suite", parents=[obs]
@@ -323,8 +475,13 @@ def main(argv=None) -> int:
         get_registry().install()
     if getattr(args, "progress", False):
         reporter = ProgressReporter().install()
+    budget = None
+    if getattr(args, "deadline", None) is not None or getattr(
+        args, "max_steps", None
+    ) is not None:
+        budget = Budget(deadline=args.deadline, max_steps=args.max_steps)
     try:
-        with span("command", command=args.command):
+        with active_budget(budget), span("command", command=args.command):
             return args.func(args)
     finally:
         if reporter is not None:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import TaskViolationError
+from repro.faults.verdict import Verdict
 from repro.runtime.execution import Execution
 from repro.runtime.explorer import Explorer
 from repro.runtime.process import ProcessStatus
@@ -35,6 +36,11 @@ class ResilienceReport:
 
     ``resilient`` holds iff for every crash set checked, every execution
     was clean.  ``failures`` lists (crash set, reason, witness) triples.
+    ``verdict`` refines the boolean: ``INCONCLUSIVE`` means the audit was
+    cut short by a budget before covering every crash set/timing (found
+    failures remain sound).  ``mode`` records which fault model was
+    quantified over — ``"initial"`` (crash sets dead from the start) or
+    ``"timing"`` (every crash point along every schedule).
     """
 
     resilient: bool
@@ -44,12 +50,22 @@ class ResilienceReport:
     failures: List[Tuple[FrozenSet[int], str, Optional[Execution]]] = field(
         default_factory=list
     )
+    verdict: Verdict = Verdict.PROVED
+    mode: str = "initial"
+    inconclusive_reason: str = ""
 
     def summary(self) -> str:
+        if self.verdict is Verdict.INCONCLUSIVE and self.resilient:
+            return (
+                f"INCONCLUSIVE after {self.crash_sets_checked} crash sets x "
+                f"{self.executions_checked} executions: "
+                f"{self.inconclusive_reason}"
+            )
         if self.resilient:
             return (
-                f"{self.max_failures}-resilient: {self.crash_sets_checked} "
-                f"crash sets x {self.executions_checked} executions clean"
+                f"{self.max_failures}-resilient ({self.mode} crashes): "
+                f"{self.crash_sets_checked} crash sets x "
+                f"{self.executions_checked} executions clean"
             )
         crash_set, reason, _witness = self.failures[0]
         return (
@@ -72,21 +88,39 @@ def check_resilience(
     max_failures: int,
     max_depth: int = 200,
     stop_at_first_failure: bool = True,
+    mode: str = "initial",
 ) -> ResilienceReport:
-    """Exhaustive audit over every crash set of size <= ``max_failures``.
+    """Exhaustive audit over crashes of up to ``max_failures`` processes.
 
-    A crashed process takes no steps at all (crashing mid-protocol is
-    covered separately by the schedulers' ``CrashingScheduler``; initial
-    crashes combined with full schedule exploration dominate mid-run
-    crashes for the prefix-closed tasks in this library, because any
-    mid-run crash execution is a full execution of a smaller enabled set
-    extended with the victim's own prefix steps — which exploration of
-    the live processes' interleavings already covers).
+    Two fault models (``mode``):
+
+    * ``"initial"`` — every crash set of size <= ``max_failures``, dead
+      from the start: one pruned exploration per set.  For the
+      prefix-closed tasks in this library this dominates mid-run crashes
+      (any mid-run crash execution is a full execution of a smaller
+      enabled set extended with the victim's own prefix steps), so it is
+      the cheap default.
+    * ``"timing"`` — crash *decisions* are interleaved with scheduling
+      decisions by the explorer (``max_crashes``), so every crash point
+      along every schedule is enumerated — the exhaustive model, needed
+      when a protocol's vulnerability window only opens mid-operation
+      (safe agreement's unsafe section is the canonical example).
+
+    Budget-aware: an exhausted budget stops the audit and downgrades the
+    verdict to ``INCONCLUSIVE`` (recorded failures are still sound).
     """
     n = spec.n_processes
     if not 0 <= max_failures < n:
         raise ValueError("need 0 <= max_failures < n_processes")
-    report = ResilienceReport(resilient=True, max_failures=max_failures)
+    if mode not in ("initial", "timing"):
+        raise ValueError(f"unknown resilience mode {mode!r}")
+    report = ResilienceReport(
+        resilient=True, max_failures=max_failures, mode=mode
+    )
+    if mode == "timing":
+        return _check_crash_timings(
+            spec, task, inputs, max_depth, stop_at_first_failure, report
+        )
     for size in range(max_failures + 1):
         for dead in itertools.combinations(range(n), size):
             dead_set = frozenset(dead)
@@ -102,10 +136,51 @@ def check_resilience(
                 problem = _validate(task, inputs, execution, dead_set)
                 if problem is not None:
                     report.resilient = False
+                    report.verdict = Verdict.REFUTED
                     report.failures.append((dead_set, problem, execution))
                     if stop_at_first_failure:
                         return report
                     break
+            if explorer.interrupted is not None:
+                report.verdict = Verdict.INCONCLUSIVE
+                report.inconclusive_reason = explorer.interrupted
+                return report
+    return report
+
+
+def _check_crash_timings(
+    spec: SystemSpec,
+    task: Task,
+    inputs: Dict[int, Any],
+    max_depth: int,
+    stop_at_first_failure: bool,
+    report: ResilienceReport,
+) -> ResilienceReport:
+    """Timing mode: one exploration with crash branching; the dead set of
+    each execution is whatever the branch actually crashed."""
+    explorer = Explorer(
+        spec,
+        max_depth=max_depth,
+        strict=False,
+        max_crashes=report.max_failures,
+    )
+    seen_sets: set = set()
+    for execution in explorer.executions():
+        report.executions_checked += 1
+        dead_set = frozenset(execution.crashed_pids())
+        if dead_set not in seen_sets:
+            seen_sets.add(dead_set)
+            report.crash_sets_checked += 1
+        problem = _validate(task, inputs, execution, dead_set)
+        if problem is not None:
+            report.resilient = False
+            report.verdict = Verdict.REFUTED
+            report.failures.append((dead_set, problem, execution))
+            if stop_at_first_failure:
+                return report
+    if explorer.interrupted is not None:
+        report.verdict = Verdict.INCONCLUSIVE
+        report.inconclusive_reason = explorer.interrupted
     return report
 
 

@@ -23,6 +23,7 @@ import networkx as nx
 
 from repro.analysis.commutativity import OpInstance, reachable_states
 from repro.errors import IllegalOperationError
+from repro.faults.verdict import Verdict
 from repro.obs import events as _obs_events
 from repro.objects.base import ObjectSpec
 
@@ -73,17 +74,36 @@ def state_graph(
 
 @dataclass
 class DeterminismReport:
-    """Verdict of :func:`verify_determinism`."""
+    """Verdict of :func:`verify_determinism`.
+
+    ``truncated`` is set when the reachable-state enumeration was cut off
+    at ``max_states``; a clean-but-truncated check is only evidence, not
+    a proof, so its ``verdict`` is ``INCONCLUSIVE`` (a found witness is
+    still ``REFUTED`` — refutation is sound under truncation).
+    """
 
     deterministic: bool
     states_checked: int
     #: First (state, op) with multiple outcomes, if any.
     witness: Optional[Tuple[Any, OpInstance]] = None
+    truncated: bool = False
+
+    @property
+    def verdict(self) -> Verdict:
+        if not self.deterministic:
+            return Verdict.REFUTED
+        if self.truncated:
+            return Verdict.INCONCLUSIVE
+        return Verdict.PROVED
 
     def summary(self) -> str:
         if self.deterministic:
+            qualifier = (
+                " (truncated — not exhaustive)" if self.truncated else ""
+            )
             return (
-                f"deterministic over {self.states_checked} reachable states"
+                f"deterministic over {self.states_checked} reachable "
+                f"states{qualifier}"
             )
         state, (method, args) = self.witness
         return (
@@ -101,6 +121,7 @@ def verify_determinism(
     """Check every reachable (state, operation) pair for single-outcome
     behaviour — the executable meaning of 'deterministic object'."""
     states = reachable_states(spec, ops, max_states=max_states, truncate=truncate)
+    truncated = truncate and len(states) >= max_states
     if _obs_events.is_enabled():
         _obs_events.emit(
             "states_visited", object=type(spec).__name__, states=len(states)
@@ -117,8 +138,11 @@ def verify_determinism(
                     deterministic=False,
                     states_checked=len(states),
                     witness=(state, op),
+                    truncated=truncated,
                 )
-    return DeterminismReport(deterministic=True, states_checked=len(states))
+    return DeterminismReport(
+        deterministic=True, states_checked=len(states), truncated=truncated
+    )
 
 
 @dataclass

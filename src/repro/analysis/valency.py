@@ -86,6 +86,12 @@ def _subtree_valence(
     values: set = set()
     for execution in explorer.executions():
         values |= _decision_of(execution)
+    if explorer.interrupted is not None:
+        # Valence is a property of the *complete* subtree; a partial
+        # enumeration cannot certify it, so degrade loudly.
+        raise ExplorationLimitError(
+            f"valency exploration interrupted: {explorer.interrupted}"
+        )
     if _obs_events.is_enabled():
         _obs_events.emit(
             "valency_subtree",
@@ -171,3 +177,34 @@ def consensus_counterexample(
         if not ok(execution):
             return execution
     return None
+
+
+def consensus_verdict(
+    spec: SystemSpec,
+    inputs: Dict[int, Any],
+    max_depth: int = 80,
+) -> Tuple["Verdict", Optional[Execution], str]:
+    """Three-valued form of :func:`consensus_counterexample`.
+
+    ``REFUTED`` with a witness when some execution fails consensus;
+    ``PROVED`` when the full enumeration is clean; ``INCONCLUSIVE`` when
+    the budget ran out first (see :mod:`repro.faults.verdict`).
+    """
+    from repro.faults.verdict import Verdict
+
+    legal = set(inputs.values())
+
+    def ok(execution: Execution) -> bool:
+        if any(
+            status not in (ProcessStatus.DONE, ProcessStatus.CRASHED)
+            for status in execution.statuses.values()
+        ):
+            return False
+        decisions = set(execution.outputs.values())
+        return len(decisions) <= 1 and decisions <= legal
+
+    explorer = Explorer(spec, max_depth=max_depth, strict=False)
+    verdict, witness, reason = explorer.check_verdict(ok)
+    if verdict is Verdict.REFUTED:
+        reason = "execution fails consensus (disagreement, non-input, or hang)"
+    return verdict, witness, reason

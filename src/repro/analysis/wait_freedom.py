@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.errors import ExplorationLimitError
+from repro.faults.budget import get_active_budget
+from repro.faults.verdict import Verdict
 from repro.runtime.execution import Execution
 from repro.runtime.explorer import Explorer
 from repro.runtime.process import ProcessStatus
@@ -32,10 +34,13 @@ from repro.runtime.system import SystemSpec
 class WaitFreedomReport:
     """Outcome of a wait-freedom audit.
 
-    ``wait_free`` is the verdict; ``step_bound`` the measured worst-case
-    steps by any single process (valid when wait_free); ``witness`` a
-    starvation execution otherwise.  ``exhaustive`` records whether the
-    verdict quantified over all schedules or only sampled ones.
+    ``wait_free`` is the boolean answer; ``step_bound`` the measured
+    worst-case steps by any single process (valid when wait_free);
+    ``witness`` a starvation execution otherwise.  ``exhaustive`` records
+    whether the verdict quantified over all schedules or only sampled
+    ones.  ``verdict``/``reason`` carry the three-valued refinement: a
+    budget-interrupted audit reports ``INCONCLUSIVE`` instead of a
+    spurious answer.
     """
 
     wait_free: bool
@@ -44,8 +49,15 @@ class WaitFreedomReport:
     executions_checked: int = 0
     per_process_bounds: Dict[int, int] = field(default_factory=dict)
     witness: Optional[Execution] = None
+    verdict: Verdict = Verdict.PROVED
+    reason: str = ""
 
     def summary(self) -> str:
+        if self.verdict is Verdict.INCONCLUSIVE:
+            return (
+                f"INCONCLUSIVE after {self.executions_checked} executions: "
+                f"{self.reason}"
+            )
         if self.wait_free:
             strength = "all schedules" if self.exhaustive else "sampled schedules"
             return (
@@ -91,12 +103,17 @@ def audit_wait_freedom(
                 exhaustive=True,
                 executions_checked=report.executions_checked,
                 witness=execution,
+                verdict=Verdict.REFUTED,
+                reason="starvation witness found",
             )
         for pid, count in _bounds_of(execution).items():
             report.per_process_bounds[pid] = max(
                 report.per_process_bounds.get(pid, 0), count
             )
     report.step_bound = max(report.per_process_bounds.values(), default=0)
+    if explorer.interrupted is not None:
+        report.verdict = Verdict.INCONCLUSIVE
+        report.reason = explorer.interrupted
     return report
 
 
@@ -106,10 +123,32 @@ def sample_wait_freedom(
     max_steps: int = 50_000,
 ) -> WaitFreedomReport:
     """Sampled audit for instances too large to exhaust: many seeded
-    adversaries, same verdict structure (non-exhaustive)."""
+    adversaries, same verdict structure (non-exhaustive).
+
+    Budget-aware: a run cut short by the active budget is not judged (its
+    live processes are an artifact of the interruption) and the remaining
+    seeds are skipped, leaving an ``INCONCLUSIVE`` verdict.
+    """
     report = WaitFreedomReport(wait_free=True, exhaustive=False)
+    budget = get_active_budget()
     for seed in seeds:
+        if budget is not None and budget.exhausted_reason() is not None:
+            report.verdict = Verdict.INCONCLUSIVE
+            report.reason = (
+                f"budget exhausted after {report.executions_checked} seeds: "
+                f"{budget.exhausted_reason()}"
+            )
+            report.step_bound = max(report.per_process_bounds.values(), default=0)
+            return report
         execution = spec.run(RandomScheduler(seed), max_steps=max_steps)
+        if budget is not None and budget.exhausted_reason() is not None:
+            report.verdict = Verdict.INCONCLUSIVE
+            report.reason = (
+                f"budget exhausted during seed {seed}: "
+                f"{budget.exhausted_reason()}"
+            )
+            report.step_bound = max(report.per_process_bounds.values(), default=0)
+            return report
         report.executions_checked += 1
         live = [
             pid
@@ -122,6 +161,8 @@ def sample_wait_freedom(
                 exhaustive=False,
                 executions_checked=report.executions_checked,
                 witness=execution,
+                verdict=Verdict.REFUTED,
+                reason="starvation witness found",
             )
         for pid, count in _bounds_of(execution).items():
             report.per_process_bounds[pid] = max(

@@ -3,9 +3,16 @@
 Usage::
 
     python -m repro.experiments.report            # print to stdout
-    python -m repro.experiments.report --check    # exit 1 if any row fails
+    python -m repro.experiments.report --check    # nonzero exit on failure
+    python -m repro.experiments.report --deadline 30
+                                                  # graceful degradation:
+                                                  # unfinished rows -> ?
     python -m repro.experiments.report --metrics-out suite.prom
                                                   # + Prometheus exposition
+
+With ``--check``, the exit code reflects the table's worst verdict:
+0 all proved, 1 a claim was refuted, 2 an experiment errored,
+3 inconclusive only (budget ran out before anything broke).
 
 The committed EXPERIMENTS.md was produced by this module; re-run it to
 regenerate the measured columns on your machine.
@@ -17,9 +24,19 @@ import argparse
 import sys
 import time
 
-from repro.experiments.rows import render_table
+from repro.experiments.rows import overall_verdict, render_table
 from repro.experiments.suite import run_all, timing_summary
+from repro.faults.budget import Budget, active_budget
+from repro.faults.verdict import Verdict
 from repro.obs.metrics import get_registry, reset_registry
+
+#: ``--check`` exit code per aggregate verdict.
+EXIT_CODES = {
+    Verdict.PROVED: 0,
+    Verdict.REFUTED: 1,
+    Verdict.ERROR: 2,
+    Verdict.INCONCLUSIVE: 3,
+}
 
 DESCRIPTIONS = {
     "E1": "Consensus lower bound: n processes on one O(n,k) group agree "
@@ -60,7 +77,19 @@ def main(argv=None) -> int:
         description="run the experiment suite and print the EXPERIMENTS.md tables",
     )
     parser.add_argument(
-        "--check", action="store_true", help="exit 1 if any row fails"
+        "--check", action="store_true",
+        help="exit nonzero unless every row is proved "
+        "(1 refuted, 2 error, 3 inconclusive)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, metavar="SECONDS", default=None,
+        help="wall-clock budget; experiments it does not cover degrade to "
+        "INCONCLUSIVE rows instead of running",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, metavar="N", default=None,
+        help="total simulator-step budget across the whole suite; same "
+        "graceful degradation as --deadline",
     )
     parser.add_argument(
         "--metrics-out", metavar="FILE.prom", default=None,
@@ -72,33 +101,52 @@ def main(argv=None) -> int:
     if args.metrics_out:
         reset_registry()  # the exposition should describe this suite run only
         get_registry().install()  # bus subscription: step/schedule counters too
+    budget = None
+    if args.deadline is not None or args.max_steps is not None:
+        budget = Budget(deadline=args.deadline, max_steps=args.max_steps)
     started = time.perf_counter()
     timings = {}
     try:
-        all_rows = run_all(timings=timings)
+        if budget is not None:
+            with active_budget(budget):
+                all_rows = run_all(timings=timings)
+        else:
+            all_rows = run_all(timings=timings)
     finally:
         if args.metrics_out:
             get_registry().uninstall()
-    failures = 0
+    counts = {verdict: 0 for verdict in Verdict}
     print("# Experiment report (generated by repro.experiments.report)\n")
     for experiment_id, rows in all_rows.items():
         print(f"## {experiment_id}\n")
         print(DESCRIPTIONS.get(experiment_id, ""), "\n")
         print(render_table(rows))
         print()
-        failures += sum(1 for row in rows if not row.ok)
+        for row in rows:
+            counts[row.effective_verdict] += 1
     elapsed = time.perf_counter() - started
     total = sum(len(rows) for rows in all_rows.values())
     print("## Phase timings\n")
     print("```")
     print(timing_summary(timings))
     print("```\n")
-    print(f"_{total} rows, {failures} failures, {elapsed:.1f}s._")
+    summary = (
+        f"_{total} rows: {counts[Verdict.PROVED]} proved, "
+        f"{counts[Verdict.REFUTED]} refuted, "
+        f"{counts[Verdict.ERROR]} errors, "
+        f"{counts[Verdict.INCONCLUSIVE]} inconclusive; {elapsed:.1f}s._"
+    )
+    if budget is not None:
+        summary += f" _(budget: {budget.describe()})_"
+    print(summary)
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(get_registry().render_prometheus())
-    if check and failures:
-        return 1
+    if check:
+        verdict = overall_verdict(
+            [row for rows in all_rows.values() for row in rows]
+        )
+        return EXIT_CODES[verdict]
     return 0
 
 

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
+
+from repro.faults.verdict import Verdict, worst
 
 
 @dataclass
@@ -24,6 +26,12 @@ class ExperimentRow:
         Whether measured satisfies claimed.
     detail:
         Extra numbers (executions checked, steps, durations...).
+    verdict:
+        Three-valued refinement of ``ok`` (see :mod:`repro.faults.verdict`).
+        ``None`` means "derive from ok": True -> PROVED, False -> REFUTED.
+        Budget-limited runs set it to INCONCLUSIVE explicitly; a crashed
+        experiment is reported as an ERROR row instead of aborting the
+        suite.
     """
 
     experiment: str
@@ -32,13 +40,53 @@ class ExperimentRow:
     measured: str
     ok: bool
     detail: Dict[str, Any] = field(default_factory=dict)
+    verdict: Optional[Verdict] = None
+
+    @property
+    def effective_verdict(self) -> Verdict:
+        if self.verdict is not None:
+            return self.verdict
+        return Verdict.PROVED if self.ok else Verdict.REFUTED
 
     def markdown(self) -> str:
-        status = "✓" if self.ok else "✗"
         return (
             f"| {self.experiment} | {self.setting} | {self.claimed} "
-            f"| {self.measured} | {status} |"
+            f"| {self.measured} | {self.effective_verdict.symbol} |"
         )
+
+
+def error_row(experiment: str, setting: str, error: BaseException) -> ExperimentRow:
+    """The ERROR row an experiment collapses to when its runner raises:
+    the suite keeps going and the failure is visible in the table."""
+    return ExperimentRow(
+        experiment=experiment,
+        setting=setting,
+        claimed="experiment completes",
+        measured=f"{type(error).__name__}: {error}",
+        ok=False,
+        verdict=Verdict.ERROR,
+        detail={"error_type": type(error).__name__},
+    )
+
+
+def inconclusive_row(
+    experiment: str, setting: str, claimed: str, reason: str
+) -> ExperimentRow:
+    """Row for an experiment skipped or cut short by a budget."""
+    return ExperimentRow(
+        experiment=experiment,
+        setting=setting,
+        claimed=claimed,
+        measured=f"inconclusive: {reason}",
+        ok=True,
+        verdict=Verdict.INCONCLUSIVE,
+    )
+
+
+def overall_verdict(rows: List[ExperimentRow]) -> Verdict:
+    """Severity-ordered aggregate of the whole table (REFUTED > ERROR >
+    INCONCLUSIVE > PROVED)."""
+    return worst(row.effective_verdict for row in rows)
 
 
 def render_table(rows: List[ExperimentRow]) -> str:

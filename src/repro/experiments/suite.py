@@ -30,7 +30,10 @@ from repro.core.common2 import common2_refutation
 from repro.core.family import FamilyMember, HierarchyObjectSpec
 from repro.core.power import family_agreement
 from repro.core.theorem import max_agreement
-from repro.experiments.rows import ExperimentRow
+from repro.errors import ExplorationLimitError
+from repro.experiments.rows import ExperimentRow, error_row, inconclusive_row
+from repro.faults.budget import get_active_budget
+from repro.faults.verdict import Verdict
 from repro.obs.spans import span
 from repro.objects.queue_stack import QueueSpec
 from repro.objects.register import RegisterSpec
@@ -438,6 +441,86 @@ def run_e7_bg() -> List[ExperimentRow]:
             ok=blocked_worst <= 1,
         )
     )
+    # Exhaustive over crash *timings*: pin the schedule to a deterministic
+    # fair projection and let the explorer branch only on "crash simulator
+    # 0 now" — every crash point along the schedule, not a stride-5 sample.
+    def pinned(system, enabled):
+        if not enabled:
+            return enabled
+        return [sorted(enabled)[len(system.trace.steps) % len(enabled)]]
+
+    explorer = Explorer(
+        simulation_spec(protocol, 2, ["a", "b", "c"]),
+        max_depth=200,
+        strict=False,
+        pid_filter=pinned,
+        max_crashes=1,
+        crashable_pids={0},
+    )
+    timing_worst = 0
+    timings = 0
+    for execution in explorer.executions():
+        if execution.crashed_pids():
+            timings += 1
+        merged = {}
+        for result in execution.outputs.values():
+            merged.update(result)
+        timing_worst = max(timing_worst, 3 - len(merged))
+    rows.append(
+        ExperimentRow(
+            experiment="E7",
+            setting="simulator 0 crashed at every point (exhaustive timing)",
+            claimed="containment at every crash timing",
+            measured=(
+                f"{timings} crash timings + clean run, "
+                f"worst blocked {timing_worst}"
+            ),
+            ok=timing_worst <= 1 and timings > 0,
+            detail={
+                "crash_timings": timings,
+                "executions": explorer.stats.executions,
+                "faults_injected": explorer.stats.faults_injected,
+            },
+            verdict=(
+                Verdict.INCONCLUSIVE if explorer.interrupted is not None else None
+            ),
+        )
+    )
+    # Probabilistic fault sweep: the seeded chaos adversary mixes random
+    # scheduling, stalls, and mid-run crashes of simulator 0.
+    from repro.faults import ChaosScheduler
+
+    chaos_worst = 0
+    chaos_runs = 0
+    chaos_crashes = 0
+    for seed in range(20):
+        spec = simulation_spec(protocol, 2, ["a", "b", "c"])
+        scheduler = ChaosScheduler(
+            seed=seed,
+            crash_probability=0.01,
+            stall_probability=0.05,
+            max_crashes=1,
+            crashable_pids={0},
+        )
+        execution = spec.run(scheduler, max_steps=40_000)
+        merged = {}
+        for result in execution.outputs.values():
+            merged.update(result)
+        chaos_worst = max(chaos_worst, 3 - len(merged))
+        chaos_runs += 1
+        chaos_crashes += len(execution.crashed_pids())
+    rows.append(
+        ExperimentRow(
+            experiment="E7",
+            setting=f"chaos adversary, {chaos_runs} seeded runs",
+            claimed="containment under random crash/stall injection",
+            measured=(
+                f"{chaos_crashes} crashes injected, worst blocked {chaos_worst}"
+            ),
+            ok=chaos_worst <= 1,
+            detail={"chaos_crashes": chaos_crashes},
+        )
+    )
     return rows
 
 
@@ -637,14 +720,70 @@ def run_all(timings: Optional[Dict[str, float]] = None) -> Dict[str, List[Experi
     the metrics registry and ``span_*`` events to any attached sink).
     Pass a dict as ``timings`` to also receive per-experiment wall times,
     keyed by experiment id.
+
+    Experiments are isolated: a runner that raises collapses to one ERROR
+    row and the suite continues.  Under an active budget
+    (:mod:`repro.faults.budget`), experiments the budget no longer covers
+    are skipped as INCONCLUSIVE, and rows produced by an experiment
+    *during which* the budget ran out are downgraded to INCONCLUSIVE —
+    a partial run can produce spurious failures, so neither its ✓ nor
+    its ✗ is trustworthy.
     """
     results: Dict[str, List[ExperimentRow]] = {}
+    budget = get_active_budget()
     for experiment_id, runner in EXPERIMENTS.items():
+        if budget is not None and budget.exhausted_reason() is not None:
+            results[experiment_id] = [
+                inconclusive_row(
+                    experiment_id,
+                    "(skipped)",
+                    "experiment runs",
+                    f"budget exhausted before start: {budget.exhausted_reason()}",
+                )
+            ]
+            if timings is not None:
+                timings[experiment_id] = 0.0
+            continue
         with span(experiment_id, kind="experiment") as phase:
-            results[experiment_id] = runner()
+            try:
+                rows = runner()
+            except ExplorationLimitError as limit:
+                rows = [
+                    inconclusive_row(
+                        experiment_id,
+                        "(cut short)",
+                        "experiment completes",
+                        str(limit),
+                    )
+                ]
+            except Exception as error:  # noqa: BLE001 — isolation is the point
+                if budget is not None and budget.exhausted_reason() is not None:
+                    rows = [
+                        inconclusive_row(
+                            experiment_id,
+                            "(cut short)",
+                            "experiment completes",
+                            f"budget exhausted mid-run: {budget.exhausted_reason()}",
+                        )
+                    ]
+                else:
+                    rows = [error_row(experiment_id, "(crashed)", error)]
+        if budget is not None and budget.exhausted_reason() is not None:
+            rows = [_downgrade(row, budget.exhausted_reason()) for row in rows]
+        results[experiment_id] = rows
         if timings is not None:
             timings[experiment_id] = phase.seconds
     return results
+
+
+def _downgrade(row: ExperimentRow, reason: str) -> ExperimentRow:
+    """Mark a row produced under an exhausted budget as INCONCLUSIVE
+    (ERROR rows keep their severity)."""
+    if row.effective_verdict is Verdict.ERROR:
+        return row
+    row.verdict = Verdict.INCONCLUSIVE
+    row.measured = f"{row.measured} [budget: {reason}]"
+    return row
 
 
 def timing_summary(timings: Dict[str, float]) -> str:

@@ -1,0 +1,57 @@
+"""Fault injection and graceful degradation (`repro.faults`).
+
+The wait-free model quantifies over *all* adversaries — including ones
+that crash processes at arbitrary points and ones that outlast any time
+budget.  This package makes both first-class:
+
+* :mod:`repro.faults.verdict` — the three-valued outcome
+  (``PROVED / REFUTED / INCONCLUSIVE``) every budgeted check reports
+  instead of raising when it runs out of time or steps;
+* :mod:`repro.faults.budget` — wall-clock deadlines and step budgets,
+  installable process-wide so deeply nested explorations degrade
+  gracefully;
+* :mod:`repro.faults.checkpoint` — the JSONL frontier format the
+  explorer uses to survive interrupts (``repro explore --checkpoint`` /
+  ``--resume``);
+* :mod:`repro.faults.chaos` — a seeded probabilistic crash+stall
+  adversary for systems too large to enumerate.
+
+``ChaosScheduler`` is re-exported lazily (PEP 562) so importing the
+verdict/budget machinery from the runtime does not pull the scheduler
+module in and create an import cycle.
+"""
+
+from __future__ import annotations
+
+from repro.faults.budget import (  # noqa: F401
+    Budget,
+    active_budget,
+    get_active_budget,
+    set_active_budget,
+)
+from repro.faults.checkpoint import (  # noqa: F401
+    Checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.faults.verdict import Verdict  # noqa: F401
+
+__all__ = [
+    "Budget",
+    "Checkpoint",
+    "ChaosScheduler",
+    "Verdict",
+    "active_budget",
+    "get_active_budget",
+    "read_checkpoint",
+    "set_active_budget",
+    "write_checkpoint",
+]
+
+
+def __getattr__(name: str):
+    if name == "ChaosScheduler":
+        from repro.faults.chaos import ChaosScheduler
+
+        return ChaosScheduler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

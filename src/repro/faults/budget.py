@@ -1,0 +1,162 @@
+"""Exploration budgets: wall-clock deadlines and step ceilings.
+
+A :class:`Budget` is a shared, cumulative resource meter.  Every layer
+that executes simulator steps charges it (the explorer's replay loop,
+``System.run``'s step loop, the sampled-schedule checkers), and every
+layer that can stop early consults :meth:`Budget.exhausted_reason` —
+which is *sticky*: once a budget is exhausted it stays exhausted, so a
+single reason string propagates consistently through nested checks.
+
+Budgets are usually installed process-wide with :func:`set_active_budget`
+(or the :func:`active_budget` context manager): the CLI's ``--deadline``
+and ``--max-steps`` flags create one budget, and every exploration the
+command triggers — however deeply nested — degrades to an
+``INCONCLUSIVE`` verdict instead of raising when it runs out.
+
+The first time a budget trips it emits a single ``budget_exhausted``
+event (kind = ``deadline`` or ``steps``) through :mod:`repro.obs`, so
+degradation is visible in traces, the metrics digest, the HTML report,
+and the Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.obs import events as _obs_events
+
+
+class Budget:
+    """Cumulative deadline / step budget shared by nested explorations.
+
+    Parameters
+    ----------
+    deadline:
+        Wall-clock allowance in seconds, measured from :meth:`start`
+        (which the first consumer calls implicitly).  ``None`` = no limit.
+    max_steps:
+        Ceiling on simulator steps charged via :meth:`charge_steps`,
+        cumulative across every exploration sharing the budget.
+        ``None`` = no limit.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.deadline = deadline
+        self.max_steps = max_steps
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self.steps_charged = 0
+        self._reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def start(self) -> "Budget":
+        """Start the wall clock (idempotent; the first consumer calls it)."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+        return self
+
+    def charge_steps(self, n: int) -> None:
+        """Record ``n`` executed simulator steps against the budget."""
+        self.steps_charged += n
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 if never started)."""
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    @property
+    def exhausted(self) -> bool:
+        return self.exhausted_reason() is not None
+
+    def exhausted_reason(self) -> Optional[str]:
+        """Why the budget is exhausted, or ``None`` while it is not.
+
+        Sticky: the first reason observed is the reason forever, so every
+        nested check that was cut short reports the same cause.  Emits a
+        single ``budget_exhausted`` event on the transition.
+        """
+        if self._reason is not None:
+            return self._reason
+        self.start()
+        if self.deadline is not None:
+            elapsed = self.elapsed
+            if elapsed >= self.deadline:
+                self._trip(
+                    f"deadline {self.deadline:g}s exceeded "
+                    f"({elapsed:.2f}s elapsed)",
+                    kind="deadline",
+                )
+                return self._reason
+        if self.max_steps is not None and self.steps_charged >= self.max_steps:
+            self._trip(
+                f"step budget {self.max_steps} exhausted "
+                f"({self.steps_charged} steps executed)",
+                kind="steps",
+            )
+        return self._reason
+
+    def describe(self) -> str:
+        """Provenance string (recorded in checkpoints and reports)."""
+        parts = []
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline:g}s")
+        if self.max_steps is not None:
+            parts.append(f"max_steps={self.max_steps}")
+        return f"Budget({', '.join(parts) or 'unlimited'})"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _trip(self, reason: str, kind: str) -> None:
+        self._reason = reason
+        if _obs_events.is_enabled():
+            _obs_events.emit(
+                "budget_exhausted",
+                kind=kind,
+                reason=reason,
+                steps=self.steps_charged,
+                elapsed=round(self.elapsed, 6),
+            )
+
+
+_active: Optional[Budget] = None
+
+
+def get_active_budget() -> Optional[Budget]:
+    """The process-wide budget installed by :func:`set_active_budget`."""
+    return _active
+
+
+def set_active_budget(budget: Optional[Budget]) -> Optional[Budget]:
+    """Install ``budget`` as the process-wide default; returns the
+    previous one so callers can restore it."""
+    global _active
+    previous = _active
+    _active = budget
+    return previous
+
+
+@contextmanager
+def active_budget(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
+    """Install ``budget`` for the duration of a ``with`` block."""
+    previous = set_active_budget(budget)
+    try:
+        yield budget
+    finally:
+        set_active_budget(previous)

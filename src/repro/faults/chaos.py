@@ -1,0 +1,114 @@
+"""ChaosScheduler: a seeded probabilistic crash-and-stall adversary.
+
+Exhaustive crash-timing exploration (``Explorer(max_crashes=f)``) is the
+gold standard, but its tree grows with every decision point.  For systems
+too large to enumerate, the chaos adversary *samples* the same space:
+
+* **crashes** — at each scheduling decision, with probability
+  ``crash_probability``, crash-stop a random enabled process (bounded by
+  ``max_crashes``, optionally restricted to ``crashable_pids``);
+* **adversarial stalls** — with probability ``stall_probability``, freeze
+  a random enabled process for a geometric burst of decisions (up to
+  ``max_stall``), starving it the way a real adversary starves the
+  process whose progress would be most useful.
+
+Crash bookkeeping is derived from the *system* (crashed statuses), never
+from scheduler-local mutable state, so one instance drives many fresh
+systems without the silent-reuse bug the old ``CrashingScheduler`` had.
+Like :class:`~repro.runtime.scheduler.RandomScheduler`, the RNG stream
+itself advances across runs — construct a fresh instance with the same
+seed to reproduce a run exactly, and archive :meth:`describe` (full
+parameter provenance) alongside counterexample traces so they replay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional
+
+from repro.runtime.process import ProcessStatus
+from repro.runtime.scheduler import Scheduler
+
+
+class ChaosScheduler(Scheduler):
+    """Probabilistic crash + stall adversary, reproducible from a seed."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        crash_probability: float = 0.02,
+        stall_probability: float = 0.05,
+        max_crashes: int = 1,
+        max_stall: int = 8,
+        crashable_pids: Optional[Iterable[int]] = None,
+    ):
+        if not 0.0 <= crash_probability <= 1.0:
+            raise ValueError("crash_probability must be in [0, 1]")
+        if not 0.0 <= stall_probability <= 1.0:
+            raise ValueError("stall_probability must be in [0, 1]")
+        if max_stall < 1:
+            raise ValueError("max_stall must be >= 1")
+        self.seed = seed
+        self.crash_probability = crash_probability
+        self.stall_probability = stall_probability
+        self.max_crashes = max_crashes
+        self.max_stall = max_stall
+        self.crashable_pids = (
+            None if crashable_pids is None else frozenset(crashable_pids)
+        )
+        self._rng = random.Random(seed)
+        #: pid -> decisions the process remains frozen for.
+        self._stalled: Dict[int, int] = {}
+
+    def describe(self) -> str:
+        crashable = (
+            ""
+            if self.crashable_pids is None
+            else f", crashable={sorted(self.crashable_pids)}"
+        )
+        return (
+            f"{type(self).__name__}(seed={self.seed}, "
+            f"crash_p={self.crash_probability:g}, "
+            f"stall_p={self.stall_probability:g}, "
+            f"max_crashes={self.max_crashes}, "
+            f"max_stall={self.max_stall}{crashable})"
+        )
+
+    def next_pid(self, system) -> Optional[int]:
+        enabled = system.enabled_pids()
+        if not enabled:
+            return None
+        # Crash roll: bounded by live system state, not scheduler state.
+        crashed = sum(
+            1
+            for process in system.processes
+            if process.status is ProcessStatus.CRASHED
+        )
+        if crashed < self.max_crashes and self._rng.random() < self.crash_probability:
+            victims = [
+                pid
+                for pid in enabled
+                if self.crashable_pids is None or pid in self.crashable_pids
+            ]
+            if victims:
+                system.crash(self._rng.choice(victims))
+                enabled = system.enabled_pids()
+                if not enabled:
+                    return None
+        # Stall roll: freeze one enabled process for a burst of decisions.
+        self._decay_stalls()
+        if self._rng.random() < self.stall_probability:
+            frozen = self._rng.choice(enabled)
+            self._stalled[frozen] = 1 + self._rng.randrange(self.max_stall)
+        runnable = [pid for pid in enabled if self._stalled.get(pid, 0) == 0]
+        # Stalls starve, never deadlock: with everyone frozen, ignore them.
+        return self._rng.choice(runnable or enabled)
+
+    def choose(self, system, pid: int, n_outcomes: int) -> int:
+        return self._rng.randrange(n_outcomes)
+
+    def _decay_stalls(self) -> None:
+        for pid in list(self._stalled):
+            self._stalled[pid] -= 1
+            if self._stalled[pid] <= 0:
+                del self._stalled[pid]

@@ -1,0 +1,175 @@
+"""Checkpoint files: the explorer's decision-prefix frontier, on disk.
+
+Replay-based exploration has a tiny resumable state: the stack of
+decision prefixes not yet expanded (the DFS *frontier*).  A checkpoint
+serializes that stack plus enough metadata to validate the target system,
+so an interrupted ``repro explore`` (SIGINT, deadline, step budget) can
+pick up exactly where it stopped — the resumed run visits precisely the
+executions the interrupted one had not yet yielded.
+
+Format (``repro-checkpoint/1``): JSONL with one header object followed by
+one object per pending prefix, written atomically (temp file +
+``os.replace``) so a checkpoint on disk is always complete::
+
+    {"format": "repro-checkpoint/1", "n_processes": 2, "frontier": 3,
+     "executions": 17, "max_depth": 60, "max_crashes": 1, "stats": {...},
+     "spec": {...}}
+    {"prefix": [[0, 0], [1, 0]]}
+    {"prefix": [[0, 0], [1, -1]]}
+    ...
+
+Decisions are ``[pid, choice]`` pairs; choice ``-1`` is the crash
+sentinel (see :data:`repro.runtime.execution.CRASH_CHOICE`).  Prefixes
+are listed bottom-of-stack first; the resumed explorer processes them
+top-of-stack (last line) first, preserving DFS order.  The optional
+``spec`` object is opaque provenance for CLI reconstruction — the
+library validates only ``n_processes``.
+
+Writing a checkpoint emits a ``checkpoint_written`` event (path,
+frontier size, executions completed) through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.obs import events as _obs_events
+
+FORMAT = "repro-checkpoint/1"
+
+Decision = Tuple[int, int]
+
+
+@dataclass
+class Checkpoint:
+    """A parsed checkpoint: pending frontier plus run metadata."""
+
+    n_processes: int
+    #: Pending decision prefixes, bottom-of-stack first.
+    frontier: List[List[Decision]]
+    #: Maximal executions already yielded before the checkpoint.
+    executions: int = 0
+    max_depth: int = 0
+    max_crashes: int = 0
+    #: Statistics snapshot of the interrupted run (informational).
+    stats: Dict[str, Any] = field(default_factory=dict)
+    #: Opaque spec provenance written by the producer (e.g. the CLI).
+    spec: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        """True when the exploration had finished (empty frontier)."""
+        return not self.frontier
+
+
+def write_checkpoint(
+    path: str,
+    n_processes: int,
+    frontier: List[List[Decision]],
+    executions: int = 0,
+    max_depth: int = 0,
+    max_crashes: int = 0,
+    stats: Optional[Dict[str, Any]] = None,
+    spec: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Atomically write a checkpoint file.
+
+    The file appears on disk complete or not at all: content goes to a
+    temp file in the destination directory first, then ``os.replace``
+    swaps it in.  A checkpoint can therefore be read back even if the
+    writing process was killed immediately afterwards.
+    """
+    header = {
+        "format": FORMAT,
+        "n_processes": n_processes,
+        "frontier": len(frontier),
+        "executions": executions,
+        "max_depth": max_depth,
+        "max_crashes": max_crashes,
+        "stats": dict(stats or {}),
+        "spec": dict(spec or {}),
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=".checkpoint-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for prefix in frontier:
+                handle.write(
+                    json.dumps(
+                        {"prefix": [[pid, choice] for pid, choice in prefix]}
+                    )
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    if _obs_events.is_enabled():
+        _obs_events.emit(
+            "checkpoint_written",
+            path=path,
+            frontier=len(frontier),
+            executions=executions,
+        )
+
+
+def read_checkpoint(path: str) -> Checkpoint:
+    """Parse a checkpoint file, validating the format marker.
+
+    Unlike event traces (where a truncated tail is expected debris),
+    checkpoints are written atomically, so corruption here is a real
+    error: a wrong frontier silently changes which executions a resumed
+    run visits.  Any malformed line raises :class:`ProtocolError`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    if not lines:
+        raise ProtocolError(f"checkpoint {path!r} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"checkpoint {path!r}: corrupt header: {error}") from None
+    if not isinstance(header, dict) or header.get("format") != FORMAT:
+        raise ProtocolError(
+            f"checkpoint {path!r}: unsupported format "
+            f"{header.get('format') if isinstance(header, dict) else header!r}; "
+            f"expected {FORMAT!r}"
+        )
+    frontier: List[List[Decision]] = []
+    for index, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+            prefix = [(int(pid), int(choice)) for pid, choice in record["prefix"]]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(
+                f"checkpoint {path!r}: corrupt frontier line {index}: {error}"
+            ) from None
+        frontier.append(prefix)
+    declared = header.get("frontier")
+    if declared is not None and declared != len(frontier):
+        raise ProtocolError(
+            f"checkpoint {path!r}: header declares {declared} frontier "
+            f"entries, found {len(frontier)} — file is incomplete"
+        )
+    return Checkpoint(
+        n_processes=int(header.get("n_processes", 0)),
+        frontier=frontier,
+        executions=int(header.get("executions", 0)),
+        max_depth=int(header.get("max_depth", 0)),
+        max_crashes=int(header.get("max_crashes", 0)),
+        stats=dict(header.get("stats") or {}),
+        spec=dict(header.get("spec") or {}),
+    )

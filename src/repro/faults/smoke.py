@@ -1,0 +1,120 @@
+"""Fault-injection smoke run: ``python -m repro.faults.smoke``.
+
+A small, deterministic end-to-end exercise of the fault subsystem, used
+by CI and usable locally as a quick health check:
+
+1. the E7 BG-simulation crash sweep under a fixed-seed
+   :class:`~repro.faults.chaos.ChaosScheduler` (containment must hold in
+   every run);
+2. an exhaustive crash-timing enumeration with ``Explorer(max_crashes=1)``
+   writing a checkpoint file (uploaded as a CI artifact), verifying the
+   checkpoint reads back complete.
+
+Exit code 0 on success, 1 on a containment violation, 2 on a checkpoint
+round-trip problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.algorithms.bg_simulation import simulation_spec, write_scan_protocol
+from repro.faults.chaos import ChaosScheduler
+from repro.faults.checkpoint import read_checkpoint
+from repro.runtime.explorer import Explorer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.faults.smoke",
+        description="deterministic fault-injection smoke run (E7 + checkpoint)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="chaos base seed")
+    parser.add_argument("--runs", type=int, default=10, help="chaos runs")
+    parser.add_argument(
+        "--checkpoint", metavar="FILE", default="fault-smoke-checkpoint.jsonl",
+        help="checkpoint file written by the exhaustive phase",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    protocol = write_scan_protocol(3)
+
+    # Phase 1: seeded chaos sweep — random scheduling, stalls, and
+    # mid-run crashes of simulator 0; containment must hold every time.
+    crashes = 0
+    for offset in range(args.runs):
+        spec = simulation_spec(protocol, 2, ["a", "b", "c"])
+        scheduler = ChaosScheduler(
+            seed=args.seed + offset,
+            crash_probability=0.01,
+            stall_probability=0.05,
+            max_crashes=1,
+            crashable_pids={0},
+        )
+        execution = spec.run(scheduler, max_steps=40_000)
+        merged = {}
+        for result in execution.outputs.values():
+            merged.update(result)
+        blocked = 3 - len(merged)
+        crashes += len(execution.crashed_pids())
+        if blocked > 1:
+            print(
+                f"FAIL: containment violated under {scheduler.describe()}: "
+                f"{blocked} simulated processes blocked"
+            )
+            return 1
+    print(
+        f"chaos sweep: {args.runs} runs, {crashes} crashes injected, "
+        "containment held"
+    )
+
+    # Phase 2: exhaustive crash timings along a pinned fair schedule,
+    # with a checkpoint written and verified complete.
+    def pinned(system, enabled):
+        if not enabled:
+            return enabled
+        return [sorted(enabled)[len(system.trace.steps) % len(enabled)]]
+
+    explorer = Explorer(
+        simulation_spec(protocol, 2, ["a", "b", "c"]),
+        max_depth=200,
+        strict=False,
+        pid_filter=pinned,
+        max_crashes=1,
+        crashable_pids={0},
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=10,
+    )
+    worst = 0
+    for execution in explorer.executions():
+        merged = {}
+        for result in execution.outputs.values():
+            merged.update(result)
+        worst = max(worst, 3 - len(merged))
+    if worst > 1:
+        print(f"FAIL: exhaustive timing found {worst} blocked processes")
+        return 1
+    checkpoint = read_checkpoint(args.checkpoint)
+    if not checkpoint.done:
+        print(
+            f"FAIL: checkpoint {args.checkpoint} not marked complete "
+            f"({len(checkpoint.frontier)} prefixes left)"
+        )
+        return 2
+    if checkpoint.executions != explorer.total_executions:
+        print(
+            f"FAIL: checkpoint records {checkpoint.executions} executions, "
+            f"explorer reports {explorer.total_executions}"
+        )
+        return 2
+    print(
+        f"exhaustive timings: {explorer.total_executions} executions, "
+        f"{explorer.stats.faults_injected} crash branches, worst blocked "
+        f"{worst}; checkpoint {args.checkpoint} complete"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The three-valued verdict of a budgeted check.
+
+Exhaustive checks used to be two-valued (held everywhere / counterexample)
+with resource exhaustion surfacing as an exception — which turned hours of
+exploration into a traceback.  A :class:`Verdict` keeps the refutation
+semantics sound under partial exploration:
+
+* ``PROVED`` — the check ran to completion and the property held in every
+  execution it quantified over.  (For sampled checks this is "held in
+  every sampled execution"; exhaustiveness is reported separately.)
+* ``REFUTED`` — a concrete counterexample was found.  A refutation found
+  before a budget ran out is still a refutation: counterexamples are
+  closed under extension of the search.
+* ``INCONCLUSIVE`` — the check was cut short (deadline, step budget,
+  truncated state space, interrupt) before either of the above.  The
+  accompanying ``reason`` says why, and partial statistics remain valid.
+* ``ERROR`` — the check itself crashed.  Used by the experiment suite to
+  isolate a broken experiment into one row instead of aborting the run.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Verdict(enum.Enum):
+    """Outcome of a check that may have been cut short."""
+
+    PROVED = "proved"
+    REFUTED = "refuted"
+    INCONCLUSIVE = "inconclusive"
+    ERROR = "error"
+
+    @property
+    def symbol(self) -> str:
+        """One-character rendering used by report tables."""
+        return _SYMBOLS[self]
+
+    @property
+    def conclusive(self) -> bool:
+        """True when the verdict settles the claim either way."""
+        return self in (Verdict.PROVED, Verdict.REFUTED)
+
+    @classmethod
+    def from_string(cls, value: str) -> "Verdict":
+        """Parse the serialized (``.value``) form back into a verdict."""
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ValueError(f"unknown verdict {value!r}")
+
+
+_SYMBOLS = {
+    Verdict.PROVED: "✓",
+    Verdict.REFUTED: "✗",
+    Verdict.INCONCLUSIVE: "?",
+    Verdict.ERROR: "E",
+}
+
+#: Severity order used when one exit code must summarize many rows:
+#: a refutation outranks an error outranks an open question.
+SEVERITY = (Verdict.REFUTED, Verdict.ERROR, Verdict.INCONCLUSIVE, Verdict.PROVED)
+
+
+def worst(verdicts) -> Verdict:
+    """The most severe verdict in ``verdicts`` (PROVED when empty)."""
+    seen = set(verdicts)
+    for verdict in SEVERITY:
+        if verdict in seen:
+            return verdict
+    return Verdict.PROVED

@@ -23,6 +23,10 @@ name                      kind        meaning
 ``schedules_truncated``   counter     executions cut off by the depth bound
 ``states_visited``        counter     object states visited by analyses
 ``runs_by_verdict``       counter     solvability-checked runs, by verdict
+``faults_injected``       counter     crash-stops applied (``crash`` events)
+``budget_exhausted_total``  counter   budget trips, by kind (deadline/steps)
+``checkpoints_written_total``  counter  explorer checkpoints flushed
+``explorations_interrupted``  counter  walks cut short by a budget
 ``schedule_depth``        histogram   length of explored executions
 ``run_steps``             histogram   steps per completed ``System.run``
 ``frontier_branches``     histogram   branching factor at explorer frontiers
@@ -304,6 +308,17 @@ class MetricsRegistry:
             self.counter(
                 "runs_by_verdict", verdict=fields.get("verdict", "unknown")
             ).inc()
+        elif name == "crash":
+            self.counter("faults_injected").inc()
+        elif name == "budget_exhausted":
+            self.counter(
+                "budget_exhausted_total", kind=fields.get("kind", "unknown")
+            ).inc()
+        elif name == "checkpoint_written":
+            self.counter("checkpoints_written_total").inc()
+            self.gauge("checkpoint_frontier").set(fields.get("frontier", 0))
+        elif name == "exploration_interrupted":
+            self.counter("explorations_interrupted").inc()
         elif name == "run_end":
             self.histogram("run_steps").observe(_num(fields.get("steps")))
         elif name == "span_end":
@@ -374,7 +389,8 @@ class MetricsRegistry:
                 )
             )
         for name in ("decisions_total", "schedules_explored", "schedules_truncated",
-                     "states_visited", "valency_executions"):
+                     "states_visited", "valency_executions", "faults_injected",
+                     "checkpoints_written_total", "explorations_interrupted"):
             total = self.counter_total(name)
             if total:
                 lines.append(f"{name}: {total}")
@@ -383,6 +399,12 @@ class MetricsRegistry:
             lines.append(
                 "runs_by_verdict: "
                 + ", ".join(f"{v}={c}" for v, c in sorted(verdicts.items()))
+            )
+        exhaustions = self.sum_by_label("budget_exhausted_total", "kind")
+        if exhaustions:
+            lines.append(
+                "budget_exhausted_total: "
+                + ", ".join(f"{k}={c}" for k, c in sorted(exhaustions.items()))
             )
         for histogram_name, unit in (
             ("schedule_depth", "schedules"),

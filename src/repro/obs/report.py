@@ -78,7 +78,8 @@ def _summary_section(registry: MetricsRegistry, profiler: Profiler) -> List[str]
             )
         )
     for name in ("decisions_total", "schedules_explored", "schedules_truncated",
-                 "states_visited", "valency_executions"):
+                 "states_visited", "valency_executions", "faults_injected",
+                 "checkpoints_written_total", "explorations_interrupted"):
         total = registry.counter_total(name)
         if total:
             rows.append((name.replace("_", " "), f"{total:,}", ""))
@@ -87,6 +88,10 @@ def _summary_section(registry: MetricsRegistry, profiler: Profiler) -> List[str]
     ):
         css = "ok" if str(verdict) == "ok" else "bad"
         rows.append((f"runs with verdict “{verdict}”", f"{count:,}", css))
+    for kind, count in sorted(
+        registry.sum_by_label("budget_exhausted_total", "kind").items()
+    ):
+        rows.append((f"budget exhausted ({kind})", f"{count:,}", "bad"))
     out = ["<h2>Run summary</h2>", "<table>"]
     for label, value, css in rows:
         cls = f' class="{css}"' if css else ""

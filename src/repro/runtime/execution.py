@@ -15,6 +15,14 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.runtime.ops import Annotation, Operation
 from repro.runtime.process import ProcessStatus
 
+#: Sentinel ``choice`` marking a crash decision in decision sequences:
+#: ``(pid, CRASH_CHOICE)`` means "crash-stop ``pid`` now" instead of
+#: "step ``pid``".  Used by the explorer's crash-branching mode, by
+#: :meth:`~repro.runtime.system.SystemSpec.replay`, by
+#: :class:`~repro.runtime.scheduler.ScriptedScheduler`, and in archived
+#: trace files — a real outcome choice is never negative.
+CRASH_CHOICE = -1
+
 
 @dataclass(frozen=True)
 class StepRecord:
@@ -65,12 +73,18 @@ class Execution:
         ``(step_index, pid, annotation)`` triples.  ``step_index`` is the
         number of steps that had completed when the annotation was emitted,
         so annotation order interleaves correctly with steps.
+    crashes:
+        ``(step_index, pid)`` pairs recording crash-stops, where
+        ``step_index`` is the number of steps that had completed when the
+        crash happened — crash timing is part of the execution record, so
+        crashed runs replay exactly (see :attr:`full_decisions`).
     """
 
     steps: List[StepRecord] = field(default_factory=list)
     outputs: Dict[int, Any] = field(default_factory=dict)
     statuses: Dict[int, ProcessStatus] = field(default_factory=dict)
     annotations: List[Tuple[int, int, Annotation]] = field(default_factory=list)
+    crashes: List[Tuple[int, int]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -86,6 +100,29 @@ class Execution:
         feeding it to a :class:`~repro.runtime.scheduler.ScriptedScheduler`
         replays the execution exactly."""
         return [(s.pid, s.choice) for s in self.steps]
+
+    @property
+    def full_decisions(self) -> List[Tuple[int, int]]:
+        """Decisions *including* crash-stops, in execution order: crash
+        entries appear as ``(pid, CRASH_CHOICE)`` at the position their
+        crash happened.  Feeding this to
+        :meth:`~repro.runtime.system.SystemSpec.replay` (or a
+        :class:`~repro.runtime.scheduler.ScriptedScheduler`) reproduces
+        the execution exactly, crashed statuses included."""
+        merged: List[Tuple[int, int]] = []
+        pending = 0
+        for step in self.steps:
+            while pending < len(self.crashes) and self.crashes[pending][0] <= step.index:
+                merged.append((self.crashes[pending][1], CRASH_CHOICE))
+                pending += 1
+            merged.append((step.pid, step.choice))
+        for at, pid in self.crashes[pending:]:
+            merged.append((pid, CRASH_CHOICE))
+        return merged
+
+    def crashed_pids(self) -> List[int]:
+        """Pids that were crash-stopped, in crash order."""
+        return [pid for _at, pid in self.crashes]
 
     def steps_by(self, pid: int) -> List[StepRecord]:
         """All steps taken by one process."""

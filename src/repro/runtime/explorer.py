@@ -11,19 +11,45 @@ Because Python generators cannot be forked, branches are replayed from the
 initial configuration rather than deep-copied.  The cost is
 O(nodes x depth); with the depths used by the experiments (tens of steps)
 this is the pragmatic trade-off — see DESIGN.md, "Key design decisions".
+
+Three robustness dimensions ride on the same walk (see docs/ROBUSTNESS.md):
+
+* **crash branching** (``max_crashes=f``): "crash pid p now" decisions are
+  interleaved with scheduling decisions, so the enumeration covers every
+  crash *timing*, not just crash sets dead from the start — the regime
+  where recoverable-power distinctions actually live;
+* **budgets**: a :class:`~repro.faults.budget.Budget` (explicit or the
+  process-wide active one) stops the walk gracefully, leaving
+  :attr:`Explorer.interrupted` set instead of raising;
+* **checkpointing**: the DFS frontier — the exact remaining work — is a
+  small list of decision prefixes, periodically serialized to a
+  :mod:`repro.faults.checkpoint` file and restorable with
+  :meth:`Explorer.from_checkpoint`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ExplorationLimitError
+from repro.faults.budget import Budget, get_active_budget
+from repro.faults.checkpoint import Checkpoint
+from repro.faults.checkpoint import write_checkpoint as _write_checkpoint_file
+from repro.faults.verdict import Verdict
 from repro.obs import events as _obs_events
-from repro.runtime.execution import Execution
+from repro.runtime.execution import CRASH_CHOICE, Execution
 from repro.runtime.system import System, SystemSpec
 
-Decision = Tuple[int, int]  # (pid, outcome choice)
+Decision = Tuple[int, int]  # (pid, outcome choice) — choice CRASH_CHOICE = crash
 
 
 @dataclass
@@ -35,7 +61,9 @@ class ExplorationStatistics:
     counts the redundant re-executions of earlier prefix decisions that
     the replay-based walk pays for them.  Their sum is every simulator
     step the exploration actually executed, which matches the event-
-    derived ``steps_total`` when a sink is attached.
+    derived ``steps_total`` when a sink is attached.  Crash decisions are
+    tracked separately (``faults_injected`` counts first-time crash
+    branches taken; re-applying a crash during replay is not a step).
     """
 
     executions: int = 0
@@ -43,6 +71,7 @@ class ExplorationStatistics:
     steps_on_path: int = 0
     max_depth_seen: int = 0
     truncated: int = 0  # executions cut off by the depth bound
+    faults_injected: int = 0  # first-time crash decisions explored
 
     def merge(self, other: "ExplorationStatistics") -> None:
         self.executions += other.executions
@@ -50,6 +79,7 @@ class ExplorationStatistics:
         self.steps_on_path += other.steps_on_path
         self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
         self.truncated += other.truncated
+        self.faults_injected += other.faults_injected
 
     @property
     def steps_total(self) -> int:
@@ -83,8 +113,28 @@ class Explorer:
         counted.
     pid_filter:
         Optional callable ``(system, enabled_pids) -> pids`` restricting
-        which branches are taken — the hook used for partial-order or
-        symmetry reduction by callers that know their protocol's structure.
+        which *scheduling* branches are taken — the hook used for
+        partial-order or symmetry reduction by callers that know their
+        protocol's structure.  Crash branches are drawn from the raw
+        enabled set, so a filter that pins the schedule still explores
+        every crash timing along it.
+    max_crashes:
+        Crash-branching budget: at every configuration with fewer than
+        this many crashes so far, a "crash pid p now" branch is explored
+        for each enabled (and crashable) process, in addition to the
+        scheduling branches.  Back-to-back crash decisions are canonically
+        ordered by pid, so each crash *set x timing* is enumerated once.
+    crashable_pids:
+        Restrict crash branches to these pids (default: all).
+    budget:
+        Deadline/step :class:`~repro.faults.budget.Budget`.  Defaults to
+        the process-wide active budget at enumeration time.  When the
+        budget runs out the walk stops, :attr:`interrupted` records the
+        reason, and (if configured) a final checkpoint is written.
+    checkpoint_path:
+        When set, the DFS frontier is checkpointed here every
+        ``checkpoint_every`` yielded executions, on budget exhaustion,
+        and at the end of the walk (empty frontier = finished).
     """
 
     def __init__(
@@ -93,30 +143,98 @@ class Explorer:
         max_depth: int = 200,
         strict: bool = True,
         pid_filter: Optional[Callable[[System, List[int]], List[int]]] = None,
+        max_crashes: int = 0,
+        crashable_pids: Optional[Iterable[int]] = None,
+        budget: Optional[Budget] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1000,
     ):
         self.spec = spec
         self.max_depth = max_depth
         self.strict = strict
         self.pid_filter = pid_filter
+        self.max_crashes = max_crashes
+        self.crashable_pids = (
+            None if crashable_pids is None else frozenset(crashable_pids)
+        )
+        self.budget = budget
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
         self.stats = ExplorationStatistics()
+        #: Reason the walk stopped early (budget exhaustion), or ``None``.
+        self.interrupted: Optional[str] = None
+        #: Executions yielded before this run started (from a checkpoint).
+        self.resumed_executions = 0
+        self._initial_frontier: Optional[List[List[Decision]]] = None
+        self._stack: Optional[List[List[Decision]]] = None
+        self._budget: Optional[Budget] = None
+        self._spec_meta: dict = {}
+
+    # ------------------------------------------------------------------
+    # Construction from a checkpoint
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls, spec: SystemSpec, checkpoint: Checkpoint, **kwargs
+    ) -> "Explorer":
+        """Rebuild an explorer that visits exactly the executions the
+        checkpointed run had not yet yielded.
+
+        ``max_depth`` and ``max_crashes`` default to the checkpointed
+        values; any keyword overrides them.  The spec must match the one
+        the checkpoint was taken from (process count is validated here,
+        deeper divergence surfaces as replay errors).
+        """
+        if checkpoint.n_processes and checkpoint.n_processes != spec.n_processes:
+            raise ExplorationLimitError(
+                f"checkpoint was taken for {checkpoint.n_processes} "
+                f"processes, the spec has {spec.n_processes}"
+            )
+        kwargs.setdefault("max_depth", checkpoint.max_depth or 200)
+        kwargs.setdefault("max_crashes", checkpoint.max_crashes)
+        explorer = cls(spec, **kwargs)
+        explorer._initial_frontier = [list(p) for p in checkpoint.frontier]
+        explorer.resumed_executions = checkpoint.executions
+        return explorer
 
     # ------------------------------------------------------------------
     # Enumeration
     # ------------------------------------------------------------------
     def executions(self) -> Iterator[Execution]:
         """Yield every maximal execution (all processes quiescent)."""
-        yield from self._walk([])
+        if self._initial_frontier is not None:
+            yield from self._walk_frontier(self._initial_frontier)
+        else:
+            yield from self._walk([])
 
     def check(self, predicate: Callable[[Execution], bool]) -> Optional[Execution]:
         """Verify ``predicate`` on every maximal execution.
 
         Returns ``None`` if the predicate held everywhere, otherwise the
-        first counterexample execution (a replayable witness).
+        first counterexample execution (a replayable witness).  When the
+        walk was cut short, ``None`` only means "no counterexample found
+        so far" — consult :attr:`interrupted` or use :meth:`check_verdict`.
         """
         for execution in self.executions():
             if not predicate(execution):
                 return execution
         return None
+
+    def check_verdict(
+        self, predicate: Callable[[Execution], bool]
+    ) -> Tuple[Verdict, Optional[Execution], str]:
+        """Budget-aware :meth:`check`: ``(verdict, witness, reason)``.
+
+        ``PROVED`` — predicate held over the complete enumeration;
+        ``REFUTED`` — ``witness`` violates it (sound even under budget);
+        ``INCONCLUSIVE`` — the walk was cut short first.
+        """
+        witness = self.check(predicate)
+        if witness is not None:
+            return Verdict.REFUTED, witness, "counterexample found"
+        if self.interrupted is not None:
+            return Verdict.INCONCLUSIVE, None, self.interrupted
+        return Verdict.PROVED, None, ""
 
     def find(self, predicate: Callable[[Execution], bool]) -> Optional[Execution]:
         """Return the first maximal execution satisfying ``predicate``
@@ -125,6 +243,49 @@ class Explorer:
             if predicate(execution):
                 return execution
         return None
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def set_spec_meta(self, **meta) -> None:
+        """Attach opaque spec provenance recorded in checkpoints (used by
+        the CLI so ``repro explore --resume FILE`` can rebuild the spec)."""
+        self._spec_meta = dict(meta)
+
+    def write_checkpoint(self, path: Optional[str] = None) -> str:
+        """Serialize the current frontier (pending decision prefixes) to
+        ``path`` (default: ``checkpoint_path``), atomically.
+
+        Callable at any point: before the walk starts the frontier is the
+        root (everything pending); after it finishes, empty (done).  The
+        CLI calls this from its SIGINT handler.
+        """
+        destination = path or self.checkpoint_path
+        if destination is None:
+            raise ValueError("no checkpoint path configured")
+        if self._stack is not None:
+            frontier = [list(p) for p in self._stack]
+        elif self._initial_frontier is not None:
+            frontier = [list(p) for p in self._initial_frontier]
+        else:
+            frontier = [[]]
+        _write_checkpoint_file(
+            destination,
+            n_processes=self.spec.n_processes,
+            frontier=frontier,
+            executions=self.total_executions,
+            max_depth=self.max_depth,
+            max_crashes=self.max_crashes,
+            stats=asdict(self.stats),
+            spec=self._spec_meta,
+        )
+        return destination
+
+    @property
+    def total_executions(self) -> int:
+        """Executions yielded across the whole exploration, including any
+        checkpointed run this one resumed."""
+        return self.resumed_executions + self.stats.executions
 
     # ------------------------------------------------------------------
     # Internals
@@ -136,54 +297,130 @@ class Explorer:
         step events carry the attribution."""
         system = self.spec.build()
         replayed = len(decisions) - fresh
+        steps_replayed = 0
+        steps_fresh = 0
         for index, (pid, choice) in enumerate(decisions):
+            if choice == CRASH_CHOICE:
+                system.crash(pid)
+                if index >= replayed:
+                    self.stats.faults_injected += 1
+                continue
             system.replaying = index < replayed
             system.step(pid, choice)
+            if index < replayed:
+                steps_replayed += 1
+            else:
+                steps_fresh += 1
         system.replaying = False
-        self.stats.steps_replayed += replayed
-        self.stats.steps_on_path += fresh
+        self.stats.steps_replayed += steps_replayed
+        self.stats.steps_on_path += steps_fresh
+        if self._budget is not None:
+            self._budget.charge_steps(steps_replayed + steps_fresh)
         return system
 
-    def _branches(self, system: System) -> List[Decision]:
+    def _branches(self, system: System, prefix: List[Decision]) -> List[Decision]:
         enabled = system.enabled_pids()
+        step_pids = enabled
         if self.pid_filter is not None:
-            enabled = self.pid_filter(system, enabled)
+            step_pids = self.pid_filter(system, list(enabled))
         branches: List[Decision] = []
-        for pid in enabled:
+        for pid in step_pids:
             n = len(system.outcomes_for(pid))
             if n == 0:  # misuse-hang: a single blocking branch
                 branches.append((pid, 0))
             else:
                 branches.extend((pid, c) for c in range(n))
+        if self.max_crashes:
+            crashes_so_far = sum(1 for _pid, c in prefix if c == CRASH_CHOICE)
+            if crashes_so_far < self.max_crashes:
+                # Canonical ordering: a run of back-to-back crash decisions
+                # is explored in ascending pid order only, so each crash
+                # set lands at each timing exactly once.
+                min_pid = 0
+                if prefix and prefix[-1][1] == CRASH_CHOICE:
+                    min_pid = prefix[-1][0] + 1
+                for pid in enabled:
+                    if pid < min_pid:
+                        continue
+                    if self.crashable_pids is not None and pid not in self.crashable_pids:
+                        continue
+                    branches.append((pid, CRASH_CHOICE))
         return branches
 
-    def _walk(self, prefix: List[Decision]) -> Iterator[Execution]:
-        system = self._replay(prefix, fresh=1 if prefix else 0)
-        self.stats.max_depth_seen = max(self.stats.max_depth_seen, len(prefix))
-        branches = self._branches(system)
+    def _walk(self, prefix: Sequence[Decision]) -> Iterator[Execution]:
+        yield from self._walk_frontier([list(prefix)])
+
+    def _walk_frontier(
+        self, frontier: List[List[Decision]]
+    ) -> Iterator[Execution]:
+        """DFS over pending decision prefixes (the resumable core).
+
+        ``frontier`` is a stack, top last; ``self._stack`` aliases the
+        live stack so :meth:`write_checkpoint` — called between yields or
+        from a signal handler — captures exactly the remaining work.
+        """
+        stack = self._stack = [list(p) for p in frontier]
+        budget = self._budget = (
+            self.budget if self.budget is not None else get_active_budget()
+        )
+        if budget is not None:
+            budget.start()
+        since_checkpoint = 0
         observed = _obs_events.is_enabled()
-        if observed:
-            _obs_events.emit("frontier", depth=len(prefix), branches=len(branches))
-        if not branches:
-            self.stats.executions += 1
+        while stack:
+            if budget is not None:
+                reason = budget.exhausted_reason()
+                if reason is not None:
+                    self._interrupt(reason, observed)
+                    return
+            prefix = stack.pop()
+            system = self._replay(prefix, fresh=1 if prefix else 0)
+            self.stats.max_depth_seen = max(self.stats.max_depth_seen, len(prefix))
+            branches = self._branches(system, prefix)
             if observed:
-                _obs_events.emit("schedule_explored", depth=len(prefix))
-            yield system.finalize()
-            return
-        if len(prefix) >= self.max_depth:
-            self.stats.truncated += 1
-            if observed:
-                _obs_events.emit("schedule_truncated", depth=len(prefix))
-            if self.strict:
-                raise ExplorationLimitError(
-                    f"execution exceeded max_depth={self.max_depth}; "
-                    "raise the bound or check for non-termination"
+                _obs_events.emit(
+                    "frontier", depth=len(prefix), branches=len(branches)
                 )
+            if branches and len(prefix) < self.max_depth:
+                for decision in reversed(branches):
+                    stack.append(prefix + [decision])
+                continue
+            if branches:  # depth bound hit with work remaining
+                self.stats.truncated += 1
+                if observed:
+                    _obs_events.emit("schedule_truncated", depth=len(prefix))
+                if self.strict:
+                    raise ExplorationLimitError(
+                        f"execution exceeded max_depth={self.max_depth}; "
+                        "raise the bound or check for non-termination"
+                    )
+            else:
+                if observed:
+                    _obs_events.emit("schedule_explored", depth=len(prefix))
             self.stats.executions += 1
+            since_checkpoint += 1
+            if (
+                self.checkpoint_path is not None
+                and since_checkpoint >= self.checkpoint_every
+            ):
+                self.write_checkpoint()
+                since_checkpoint = 0
             yield system.finalize()
-            return
-        for decision in branches:
-            yield from self._walk(prefix + [decision])
+        self._stack = []
+        if self.checkpoint_path is not None:
+            self.write_checkpoint()  # empty frontier marks completion
+
+    def _interrupt(self, reason: str, observed: bool) -> None:
+        self.interrupted = reason
+        if observed:
+            _obs_events.emit(
+                "exploration_interrupted",
+                reason=reason,
+                executions=self.total_executions,
+                frontier=len(self._stack or []),
+            )
+        if self.checkpoint_path is not None:
+            self.write_checkpoint()
 
 
 def explore_executions(

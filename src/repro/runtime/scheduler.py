@@ -16,6 +16,7 @@ import random
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SchedulingError
+from repro.runtime.execution import CRASH_CHOICE
 
 
 class Scheduler:
@@ -90,7 +91,10 @@ class ScriptedScheduler(Scheduler):
     """Replays a fixed decision sequence.
 
     ``decisions`` may be a sequence of pids, or of ``(pid, choice)`` pairs
-    as produced by :attr:`~repro.runtime.execution.Execution.decisions`.
+    as produced by :attr:`~repro.runtime.execution.Execution.decisions` /
+    :attr:`~repro.runtime.execution.Execution.full_decisions` — entries
+    whose choice is :data:`~repro.runtime.execution.CRASH_CHOICE` crash
+    the pid instead of stepping it, so crashed runs replay exactly.
     When the script is exhausted the run stops (useful for driving a system
     into a specific intermediate configuration).
     """
@@ -110,12 +114,15 @@ class ScriptedScheduler(Scheduler):
         return f"{type(self).__name__}(len={len(self._script)})"
 
     def next_pid(self, system) -> Optional[int]:
-        if self._cursor >= len(self._script):
-            return None
-        pid, choice = self._script[self._cursor]
-        self._cursor += 1
-        self._pending_choice = choice
-        return pid
+        while self._cursor < len(self._script):
+            pid, choice = self._script[self._cursor]
+            self._cursor += 1
+            if choice == CRASH_CHOICE:
+                system.crash(pid)
+                continue
+            self._pending_choice = choice
+            return pid
+        return None
 
     def choose(self, system, pid: int, n_outcomes: int) -> int:
         if not 0 <= self._pending_choice < n_outcomes:
@@ -156,23 +163,28 @@ class CrashingScheduler(Scheduler):
     """Wraps another scheduler and crashes processes at given step counts.
 
     ``crash_at`` maps pid to the global step index at which the process is
-    crash-stopped (before that step is taken).
+    crash-stopped (before that step is taken).  The map is never mutated
+    and the step count is read off the live system, so one instance can
+    drive any number of fresh systems — replays and repeated explorations
+    see identical crash behaviour (the base scheduler's own state, e.g. a
+    round-robin cursor or an RNG stream, is still the caller's to manage).
     """
 
     def __init__(self, base: Scheduler, crash_at: Dict[int, int]):
         self.base = base
         self.crash_at = dict(crash_at)
-        self._steps = 0
 
     def describe(self) -> str:
-        return f"{type(self).__name__}({self.base.describe()})"
+        crashes = ", ".join(
+            f"p{pid}@{when}" for pid, when in sorted(self.crash_at.items())
+        )
+        return f"{type(self).__name__}({{{crashes}}}, base={self.base.describe()})"
 
     def next_pid(self, system) -> Optional[int]:
-        for pid, when in list(self.crash_at.items()):
-            if self._steps >= when:
+        steps = len(system.trace.steps)
+        for pid, when in self.crash_at.items():
+            if steps >= when and system.processes[pid].is_live:
                 system.crash(pid)
-                del self.crash_at[pid]
-        self._steps += 1
         return self.base.next_pid(system)
 
     def choose(self, system, pid: int, n_outcomes: int) -> int:

@@ -20,8 +20,9 @@ from repro.errors import (
     ProtocolError,
     SchedulingError,
 )
+from repro.faults.budget import get_active_budget
 from repro.obs import events as _obs_events
-from repro.runtime.execution import Execution, StepRecord
+from repro.runtime.execution import CRASH_CHOICE, Execution, StepRecord
 from repro.runtime.ops import Operation
 from repro.runtime.process import Process, ProcessStatus, ProgramFactory
 
@@ -60,10 +61,16 @@ class SystemSpec:
 
     def replay(self, decisions: Iterable[Tuple[int, int]]) -> "System":
         """Build a fresh system and apply the given ``(pid, choice)``
-        decision sequence (e.g. from :attr:`Execution.decisions`)."""
+        decision sequence (e.g. from :attr:`Execution.decisions` or
+        :attr:`Execution.full_decisions`).  A choice of
+        :data:`~repro.runtime.execution.CRASH_CHOICE` crash-stops the
+        pid instead of stepping it, so crashed runs replay exactly."""
         system = self.build()
         for pid, choice in decisions:
-            system.step(pid, choice)
+            if choice == CRASH_CHOICE:
+                system.crash(pid)
+            else:
+                system.step(pid, choice)
         return system
 
 
@@ -200,21 +207,41 @@ class System:
         return record
 
     def crash(self, pid: int) -> None:
-        """Crash-stop process ``pid``."""
+        """Crash-stop process ``pid`` (no-op on already-dead processes,
+        so schedulers may re-assert a crash without corrupting the
+        trace's crash record)."""
         process = self.processes[pid]
+        if not process.is_live:
+            return
         process.crash()
+        self.trace.crashes.append((len(self.trace.steps), pid))
         self._note_status(process)
         if _obs_events.is_enabled():
             _obs_events.emit("crash", pid=pid, at_step=len(self.trace.steps))
 
-    def run(self, scheduler, max_steps: int = 100_000) -> Execution:
+    def run(self, scheduler, max_steps: int = 100_000, budget=None) -> Execution:
         """Drive the system with ``scheduler`` until quiescence or budget.
 
         Returns the execution trace; final statuses and outputs are filled
-        in regardless of how the run ended.
+        in regardless of how the run ended.  ``budget`` (default: the
+        process-wide active :class:`~repro.faults.budget.Budget`, if any)
+        is charged for the executed steps and consulted every 64 steps —
+        an exhausted budget ends the run early with live processes still
+        in the trace, which downstream verdicts report as INCONCLUSIVE
+        rather than as a protocol failure.
         """
+        if budget is None:
+            budget = get_active_budget()
         steps = 0
+        charged = 0
+        interrupted = False
         while steps < max_steps:
+            if budget is not None and steps - charged >= 64:
+                budget.charge_steps(steps - charged)
+                charged = steps
+                if budget.exhausted_reason() is not None:
+                    interrupted = True
+                    break
             enabled = self.enabled_pids()
             if not enabled:
                 break
@@ -231,11 +258,14 @@ class System:
             choice = scheduler.choose(self, pid, len(outcomes)) if len(outcomes) > 1 else 0
             self.step(pid, choice)
             steps += 1
+        if budget is not None and steps > charged:
+            budget.charge_steps(steps - charged)
         if _obs_events.is_enabled():
             _obs_events.emit(
                 "run_end",
                 steps=steps,
                 quiescent=self.is_quiescent(),
+                interrupted=interrupted,
                 scheduler=getattr(scheduler, "describe", lambda: type(scheduler).__name__)(),
             )
         return self.finalize()

@@ -51,11 +51,18 @@ def trace_to_dict(
     (deliberately no wall-clock timestamp, so identical runs produce
     byte-identical files) and, when ``scheduler`` is given, its
     description (class name + seed where available).
+
+    Crash-stops are part of the record: the optional ``crashes`` key
+    (present only when the run had crashes, so crash-free files are
+    byte-identical to older ones) lists ``[step_index, pid]`` pairs, and
+    replay re-applies them at the same points — the fingerprint covers
+    the resulting CRASHED statuses, so a reader that ignored the key
+    would fail loudly rather than silently resurrect dead processes.
     """
     meta: Dict[str, Any] = {"monotonic_steps": len(execution.steps)}
     if scheduler is not None:
         meta["scheduler"] = describe_scheduler(scheduler)
-    return {
+    payload = {
         "format": FORMAT,
         "label": label,
         "n_processes": len(execution.statuses),
@@ -64,6 +71,9 @@ def trace_to_dict(
         "fingerprint": _fingerprint(execution),
         "meta": meta,
     }
+    if execution.crashes:
+        payload["crashes"] = [[at, pid] for at, pid in execution.crashes]
+    return payload
 
 
 def trace_to_json(
@@ -98,7 +108,8 @@ def replay_trace(spec: SystemSpec, trace: Dict[str, Any]) -> Execution:
             f"the spec has {spec.n_processes}"
         )
     decisions = [(pid, choice) for pid, choice in trace["decisions"]]
-    execution = spec.replay(decisions).finalize()
+    crashes = [(at, pid) for at, pid in trace.get("crashes", [])]
+    execution = spec.replay(_merge_crashes(decisions, crashes)).finalize()
     recorded = trace.get("fingerprint")
     if recorded is not None and recorded != _fingerprint(execution):
         raise ProtocolError(
@@ -111,6 +122,23 @@ def replay_trace(spec: SystemSpec, trace: Dict[str, Any]) -> Execution:
 def load_trace_json(spec: SystemSpec, payload: str) -> Execution:
     """Parse JSON and replay (see :func:`replay_trace`)."""
     return replay_trace(spec, json.loads(payload))
+
+
+def _merge_crashes(decisions, crashes):
+    """Interleave step decisions with ``(step_index, pid)`` crash records
+    into a single :attr:`Execution.full_decisions`-shaped sequence."""
+    from repro.runtime.execution import CRASH_CHOICE
+
+    merged = []
+    pending = 0
+    for index, (pid, choice) in enumerate(decisions):
+        while pending < len(crashes) and crashes[pending][0] <= index:
+            merged.append((crashes[pending][1], CRASH_CHOICE))
+            pending += 1
+        merged.append((pid, choice))
+    for _at, pid in crashes[pending:]:
+        merged.append((pid, CRASH_CHOICE))
+    return merged
 
 
 def _fingerprint(execution: Execution) -> str:

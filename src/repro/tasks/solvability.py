@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional
 
 from repro.errors import TaskViolationError
+from repro.faults.budget import get_active_budget
+from repro.faults.verdict import Verdict
 from repro.obs import events as _obs_events
 from repro.runtime.execution import Execution
 from repro.runtime.explorer import Explorer
@@ -36,7 +38,10 @@ class SolvabilityReport:
 
     ``ok`` is True iff every checked execution terminated with valid
     outputs.  On failure, ``counterexample`` holds a replayable witness and
-    ``reason`` the validator's message.
+    ``reason`` the validator's message.  ``verdict`` is the three-valued
+    refinement (see :mod:`repro.faults.verdict`): a budget-interrupted
+    check comes back ``INCONCLUSIVE`` with ``ok`` still True — nothing was
+    refuted, but nothing was proved either.
     """
 
     ok: bool
@@ -45,6 +50,7 @@ class SolvabilityReport:
     distinct_output_counts: Dict[int, int] = field(default_factory=dict)
     counterexample: Optional[Execution] = None
     reason: str = ""
+    verdict: Verdict = Verdict.PROVED
 
     def record(self, execution: Execution) -> None:
         self.executions_checked += 1
@@ -116,14 +122,38 @@ def check_task_random_schedules(
     max_steps: int = 100_000,
     require_wait_free: bool = True,
 ) -> SolvabilityReport:
-    """Validate the protocol under one random adversary per seed."""
+    """Validate the protocol under one random adversary per seed.
+
+    Budget-aware: when the process-wide active budget runs out mid-sweep,
+    the partial execution of the interrupted run is *not* validated (it
+    can look like a spurious termination failure) and the report comes
+    back ``INCONCLUSIVE`` for the seeds not reached.
+    """
     report = SolvabilityReport(ok=True)
+    budget = get_active_budget()
     for seed in seeds:
+        if budget is not None and budget.exhausted_reason() is not None:
+            report.verdict = Verdict.INCONCLUSIVE
+            report.reason = (
+                f"budget exhausted after {report.executions_checked} seeds: "
+                f"{budget.exhausted_reason()}"
+            )
+            return report
         execution = spec.run(RandomScheduler(seed), max_steps=max_steps)
+        if budget is not None and budget.exhausted_reason() is not None:
+            # This run was cut short by the budget — its live processes are
+            # an artifact of the interruption, not a protocol failure.
+            report.verdict = Verdict.INCONCLUSIVE
+            report.reason = (
+                f"budget exhausted during seed {seed}: "
+                f"{budget.exhausted_reason()}"
+            )
+            return report
         problem = _validate_execution(task, inputs, execution, require_wait_free)
         report.record(execution)
         if problem is not None:
             report.ok = False
+            report.verdict = Verdict.REFUTED
             report.counterexample = execution
             report.reason = f"seed {seed}: {problem}"
             return report
@@ -140,7 +170,10 @@ def check_task_all_schedules(
     """Validate the protocol under **every** scheduler (exhaustive).
 
     This is the strongest evidence short of a proof: for the given inputs,
-    the protocol solves the task in all executions.
+    the protocol solves the task in all executions.  Under an exhausted
+    budget the enumeration stops early and the verdict degrades to
+    ``INCONCLUSIVE`` (a found counterexample is still ``REFUTED`` — partial
+    exploration is sound for refutation).
     """
     report = SolvabilityReport(ok=True)
     explorer = Explorer(spec, max_depth=max_depth)
@@ -149,7 +182,11 @@ def check_task_all_schedules(
         report.record(execution)
         if problem is not None:
             report.ok = False
+            report.verdict = Verdict.REFUTED
             report.counterexample = execution
             report.reason = problem
             return report
+    if explorer.interrupted is not None:
+        report.verdict = Verdict.INCONCLUSIVE
+        report.reason = explorer.interrupted
     return report

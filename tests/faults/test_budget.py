@@ -1,0 +1,147 @@
+"""Unit tests for exploration budgets (deadlines and step ceilings)."""
+
+import pytest
+
+from repro.faults.budget import (
+    Budget,
+    active_budget,
+    get_active_budget,
+    set_active_budget,
+)
+from repro.obs.events import RingBufferSink, use_sink
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_not_exhausted_before_deadline(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock).start()
+        clock.advance(9.9)
+        assert budget.exhausted_reason() is None
+        assert not budget.exhausted
+
+    def test_exhausted_at_deadline(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock).start()
+        clock.advance(10.0)
+        reason = budget.exhausted_reason()
+        assert reason is not None and "deadline" in reason
+
+    def test_clock_starts_on_first_consult(self):
+        clock = FakeClock(now=100.0)
+        budget = Budget(deadline=5.0, clock=clock)
+        # Time passing before anyone consults the budget does not count.
+        assert budget.exhausted_reason() is None
+        clock.advance(4.0)
+        assert budget.exhausted_reason() is None
+        clock.advance(2.0)
+        assert budget.exhausted_reason() is not None
+
+    def test_sticky_after_trip(self):
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, clock=clock).start()
+        clock.advance(2.0)
+        first = budget.exhausted_reason()
+        clock.advance(100.0)
+        assert budget.exhausted_reason() == first
+
+
+class TestSteps:
+    def test_step_ceiling(self):
+        budget = Budget(max_steps=100)
+        budget.charge_steps(99)
+        assert budget.exhausted_reason() is None
+        budget.charge_steps(1)
+        reason = budget.exhausted_reason()
+        assert reason is not None and "step budget" in reason
+
+    def test_cumulative_across_consumers(self):
+        budget = Budget(max_steps=100)
+        for _ in range(4):
+            budget.charge_steps(30)
+        assert budget.exhausted
+
+    def test_unlimited_budget_never_exhausts(self):
+        budget = Budget()
+        budget.charge_steps(10**9)
+        assert budget.exhausted_reason() is None
+
+
+class TestEvents:
+    def test_budget_exhausted_emitted_once(self):
+        sink = RingBufferSink()
+        with use_sink(sink):
+            budget = Budget(max_steps=1)
+            budget.charge_steps(5)
+            budget.exhausted_reason()
+            budget.exhausted_reason()  # sticky: no second event
+        events = [e for e in sink.events if e[0] == "budget_exhausted"]
+        assert len(events) == 1
+        _name, fields = events[0]
+        assert fields["kind"] == "steps"
+        assert fields["steps"] == 5
+
+    def test_deadline_event_kind(self):
+        clock = FakeClock()
+        sink = RingBufferSink()
+        with use_sink(sink):
+            budget = Budget(deadline=1.0, clock=clock).start()
+            clock.advance(2.0)
+            budget.exhausted_reason()
+        events = [e for e in sink.events if e[0] == "budget_exhausted"]
+        assert len(events) == 1
+        assert events[0][1]["kind"] == "deadline"
+
+
+class TestActiveBudget:
+    def test_default_is_none(self):
+        assert get_active_budget() is None
+
+    def test_context_manager_installs_and_restores(self):
+        budget = Budget(max_steps=10)
+        with active_budget(budget) as installed:
+            assert installed is budget
+            assert get_active_budget() is budget
+        assert get_active_budget() is None
+
+    def test_nested_budgets_restore_outer(self):
+        outer, inner = Budget(), Budget()
+        with active_budget(outer):
+            with active_budget(inner):
+                assert get_active_budget() is inner
+            assert get_active_budget() is outer
+
+    def test_set_returns_previous(self):
+        budget = Budget()
+        assert set_active_budget(budget) is None
+        try:
+            assert set_active_budget(None) is budget
+        finally:
+            set_active_budget(None)
+
+
+class TestDescribe:
+    @pytest.mark.parametrize(
+        "kwargs, expected",
+        [
+            ({"deadline": 2.5}, "Budget(deadline=2.5s)"),
+            ({"max_steps": 1000}, "Budget(max_steps=1000)"),
+            (
+                {"deadline": 1.0, "max_steps": 5},
+                "Budget(deadline=1s, max_steps=5)",
+            ),
+            ({}, "Budget(unlimited)"),
+        ],
+    )
+    def test_describe(self, kwargs, expected):
+        assert Budget(**kwargs).describe() == expected

@@ -1,0 +1,117 @@
+"""Unit tests for the seeded chaos (crash + stall) adversary."""
+
+import pytest
+
+from repro.algorithms.helpers import build_spec
+from repro.faults import ChaosScheduler
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.process import ProcessStatus
+
+
+def busy_spec(n: int = 3, rounds: int = 6):
+    """Each process writes its pid ``rounds`` times — enough decision
+    points for crash/stall rolls to land."""
+
+    def program(pid, _value):
+        for _ in range(rounds):
+            yield invoke("r", "write", pid)
+        return pid
+
+    return build_spec({"r": RegisterSpec()}, program, list(range(n)))
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution(self):
+        runs = []
+        for _ in range(2):
+            scheduler = ChaosScheduler(seed=42, crash_probability=0.2)
+            execution = busy_spec().run(scheduler)
+            runs.append((execution.schedule, tuple(execution.crashes)))
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ_somewhere(self):
+        schedules = {
+            tuple(busy_spec().run(ChaosScheduler(seed=seed)).schedule)
+            for seed in range(10)
+        }
+        assert len(schedules) > 1
+
+
+class TestCrashBehaviour:
+    def test_max_crashes_respected(self):
+        for seed in range(30):
+            scheduler = ChaosScheduler(seed=seed, crash_probability=0.9, max_crashes=1)
+            execution = busy_spec().run(scheduler)
+            assert len(execution.crashed_pids()) <= 1
+
+    def test_crashable_pids_restricts_victims(self):
+        for seed in range(30):
+            scheduler = ChaosScheduler(
+                seed=seed, crash_probability=0.9, max_crashes=3, crashable_pids={0}
+            )
+            execution = busy_spec().run(scheduler)
+            assert set(execution.crashed_pids()) <= {0}
+
+    def test_crash_count_derived_from_system_not_scheduler(self):
+        """One instance driving two fresh systems may crash in both —
+        the bound is per-system, not accumulated in the scheduler."""
+        scheduler = ChaosScheduler(seed=3, crash_probability=1.0, max_crashes=1)
+        first = busy_spec().run(scheduler)
+        second = busy_spec().run(scheduler)
+        assert len(first.crashed_pids()) == 1
+        assert len(second.crashed_pids()) == 1
+
+    def test_survivors_terminate(self):
+        for seed in range(20):
+            execution = busy_spec().run(
+                ChaosScheduler(seed=seed, crash_probability=0.3, max_crashes=2)
+            )
+            for pid, status in execution.statuses.items():
+                assert status in (ProcessStatus.DONE, ProcessStatus.CRASHED)
+
+
+class TestStalls:
+    def test_stalls_never_deadlock(self):
+        # Very aggressive stalling must still complete the run.
+        execution = busy_spec().run(
+            ChaosScheduler(seed=1, crash_probability=0.0, stall_probability=0.9)
+        )
+        assert all(
+            status is ProcessStatus.DONE
+            for status in execution.statuses.values()
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crash_probability": -0.1},
+            {"crash_probability": 1.5},
+            {"stall_probability": 2.0},
+            {"max_stall": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosScheduler(**kwargs)
+
+
+class TestDescribe:
+    def test_full_provenance(self):
+        scheduler = ChaosScheduler(
+            seed=9,
+            crash_probability=0.25,
+            stall_probability=0.1,
+            max_crashes=2,
+            max_stall=4,
+            crashable_pids={1, 0},
+        )
+        assert scheduler.describe() == (
+            "ChaosScheduler(seed=9, crash_p=0.25, stall_p=0.1, "
+            "max_crashes=2, max_stall=4, crashable=[0, 1])"
+        )
+
+    def test_describe_without_crashable_restriction(self):
+        assert "crashable" not in ChaosScheduler(seed=0).describe()

@@ -1,0 +1,100 @@
+"""Property-based tests of crash-stop semantics: dead processes stay
+dead, their in-flight operations stay pending, and crash timing survives
+trace serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.helpers import build_spec
+from repro.runtime.history import history_from_execution
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import call_marker, invoke, return_marker
+from repro.runtime.process import ProcessStatus
+from repro.runtime.scheduler import CrashingScheduler, RandomScheduler
+from repro.runtime.trace_io import load_trace_json, trace_to_json
+
+N_PROCESSES = 3
+
+crash_maps = st.dictionaries(
+    keys=st.integers(0, N_PROCESSES - 1),
+    values=st.integers(0, 14),
+    max_size=2,
+)
+
+
+def annotated_spec():
+    """Each process performs two logical writes, each spanning two atomic
+    steps between call/return markers — a crash mid-operation leaves the
+    operation pending."""
+
+    def program(pid, _value):
+        for round_index in range(2):
+            yield call_marker("r", "write", pid, round_index)
+            yield invoke("r", "write", (pid, round_index))
+            yield invoke("r", "read")
+            yield return_marker(None)
+        return pid
+
+    return build_spec({"r": RegisterSpec()}, program, [None] * N_PROCESSES)
+
+
+def crashed_run(seed, crash_at):
+    scheduler = CrashingScheduler(RandomScheduler(seed), crash_at)
+    return annotated_spec().run(scheduler)
+
+
+class TestCrashedProcessesStayDead:
+    @given(seed=st.integers(0, 10_000), crash_at=crash_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_no_steps_after_crash(self, seed, crash_at):
+        execution = crashed_run(seed, crash_at)
+        for at, pid in execution.crashes:
+            assert execution.statuses[pid] is ProcessStatus.CRASHED
+            assert pid not in execution.outputs
+            assert all(step.pid != pid for step in execution.steps if step.index >= at)
+
+    @given(seed=st.integers(0, 10_000), crash_at=crash_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_survivors_unaffected(self, seed, crash_at):
+        execution = crashed_run(seed, crash_at)
+        dead = set(execution.crashed_pids())
+        for pid, status in execution.statuses.items():
+            if pid not in dead:
+                assert status is ProcessStatus.DONE
+                assert execution.outputs[pid] == pid
+
+
+class TestPendingOperations:
+    @given(seed=st.integers(0, 10_000), crash_at=crash_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_pending_ops_belong_to_crashed_pids(self, seed, crash_at):
+        execution = crashed_run(seed, crash_at)
+        history = history_from_execution(execution)
+        dead = set(execution.crashed_pids())
+        for event in history.pending:
+            assert event.responded_at is None
+            assert event.pid in dead
+        # Survivors complete both logical operations.
+        for pid in set(execution.statuses) - dead:
+            completed = [e for e in history.complete if e.pid == pid]
+            assert len(completed) == 2
+
+    @given(seed=st.integers(0, 10_000), crash_at=crash_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_at_most_one_pending_op_per_process(self, seed, crash_at):
+        history = history_from_execution(crashed_run(seed, crash_at))
+        pending_pids = [event.pid for event in history.pending]
+        assert len(pending_pids) == len(set(pending_pids))
+
+
+class TestTraceRoundTrip:
+    @given(seed=st.integers(0, 10_000), crash_at=crash_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_crashes_survive_json_round_trip(self, seed, crash_at):
+        original = crashed_run(seed, crash_at)
+        payload = trace_to_json(original)
+        replayed = load_trace_json(annotated_spec(), payload)
+        assert replayed.crashes == original.crashes
+        assert replayed.statuses == original.statuses
+        assert replayed.outputs == original.outputs
+        assert replayed.schedule == original.schedule

@@ -1,0 +1,141 @@
+"""Tests for crash-adversary branching in the explorer."""
+
+import math
+
+import pytest
+
+from repro.faults.budget import Budget
+from repro.faults.verdict import Verdict
+from repro.objects.register import RegisterSpec
+from repro.runtime.execution import CRASH_CHOICE
+from repro.runtime.explorer import Explorer
+from repro.runtime.ops import invoke
+from repro.runtime.process import ProcessStatus
+from repro.runtime.system import SystemSpec
+
+
+def one_step_spec(n_processes: int):
+    def program(pid):
+        def run():
+            yield invoke("r", "write", pid)
+            return pid
+
+        return run
+
+    return SystemSpec({"r": RegisterSpec()}, [program(p) for p in range(n_processes)])
+
+
+def two_step_spec(n_processes: int = 2):
+    def program(pid):
+        def run():
+            yield invoke("r", "write", pid)
+            seen = yield invoke("r", "read")
+            return seen
+
+        return run
+
+    return SystemSpec({"r": RegisterSpec()}, [program(p) for p in range(n_processes)])
+
+
+class TestCrashBranching:
+    def test_zero_crashes_matches_plain_enumeration(self):
+        plain = {
+            tuple(e.full_decisions)
+            for e in Explorer(one_step_spec(3)).executions()
+        }
+        with_mode = {
+            tuple(e.full_decisions)
+            for e in Explorer(one_step_spec(3), max_crashes=0).executions()
+        }
+        assert plain == with_mode == {
+            tuple(e.full_decisions)
+            for e in Explorer(one_step_spec(3), max_crashes=1).executions()
+            if not e.crashes
+        }
+
+    def test_crash_free_executions_still_factorial(self):
+        explorer = Explorer(one_step_spec(3), max_crashes=1)
+        crash_free = [e for e in explorer.executions() if not e.crashes]
+        assert len(crash_free) == math.factorial(3)
+
+    def test_crashed_process_never_steps_again(self):
+        for execution in Explorer(two_step_spec(), max_crashes=2).executions():
+            for crash_at, pid in execution.crashes:
+                assert execution.statuses[pid] is ProcessStatus.CRASHED
+                later = [s.pid for s in execution.steps if s.index >= crash_at]
+                assert pid not in later
+
+    def test_no_duplicate_executions_with_two_crashes(self):
+        seen = set()
+        for execution in Explorer(two_step_spec(), max_crashes=2).executions():
+            key = tuple(execution.full_decisions)
+            assert key not in seen, f"duplicate execution {key}"
+            seen.add(key)
+
+    def test_crashable_pids_limits_victims(self):
+        explorer = Explorer(one_step_spec(3), max_crashes=3, crashable_pids={1})
+        for execution in explorer.executions():
+            assert set(execution.crashed_pids()) <= {1}
+
+    def test_faults_injected_counts_crash_branches(self):
+        explorer = Explorer(one_step_spec(2), max_crashes=1)
+        crashed = sum(
+            len(e.crashes) for e in explorer.executions()
+        )
+        assert explorer.stats.faults_injected == crashed
+        assert crashed > 0
+
+    def test_crash_branches_ignore_pid_filter(self):
+        """Pinning the schedule to pid 0 must still branch on crashing
+        every enabled process — pid_filter restricts *stepping* only."""
+
+        def pin_zero(system, enabled):
+            return [p for p in enabled if p == 0] or enabled
+
+        explorer = Explorer(
+            one_step_spec(2), pid_filter=pin_zero, max_crashes=1, strict=False
+        )
+        victims = set()
+        for execution in explorer.executions():
+            victims.update(execution.crashed_pids())
+        assert 1 in victims
+
+
+class TestCheckVerdict:
+    def test_proved(self):
+        verdict, witness, reason = Explorer(one_step_spec(2)).check_verdict(
+            lambda e: e.all_done()
+        )
+        assert verdict is Verdict.PROVED
+        assert witness is None
+
+    def test_refuted_with_witness(self):
+        explorer = Explorer(one_step_spec(2), max_crashes=1)
+        verdict, witness, reason = explorer.check_verdict(
+            lambda e: not e.crashes
+        )
+        assert verdict is Verdict.REFUTED
+        assert witness is not None and witness.crashes
+
+    def test_inconclusive_under_budget(self):
+        budget = Budget(max_steps=3)
+        explorer = Explorer(one_step_spec(3), budget=budget)
+        verdict, witness, reason = explorer.check_verdict(lambda e: True)
+        assert verdict is Verdict.INCONCLUSIVE
+        assert explorer.interrupted
+        assert reason
+
+
+class TestReplayOfCrashDecisions:
+    def test_full_decisions_replay_reproduces_crashes(self):
+        explorer = Explorer(two_step_spec(), max_crashes=1)
+        samples = [e for e in explorer.executions() if e.crashes][:5]
+        assert samples
+        for original in samples:
+            replayed = two_step_spec().replay(original.full_decisions).finalize()
+            assert replayed.full_decisions == original.full_decisions
+            assert replayed.statuses == original.statuses
+            assert replayed.outputs == original.outputs
+
+    def test_crash_choice_is_negative_sentinel(self):
+        assert CRASH_CHOICE == -1

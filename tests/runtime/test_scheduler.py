@@ -124,3 +124,20 @@ class TestCrashing:
         scheduler = CrashingScheduler(RandomScheduler(3), crash_at={0: 2, 2: 4})
         execution = counting_spec(3, steps_each=2).run(scheduler)
         assert execution.statuses[1] is ProcessStatus.DONE
+
+    def test_instance_reusable_across_systems(self):
+        """One instance must drive any number of fresh systems identically:
+        ``crash_at`` is never mutated, the step count comes off the live
+        system (regression: the map used to be consumed on first use)."""
+        scheduler = CrashingScheduler(RoundRobinScheduler(), crash_at={0: 1})
+        first = counting_spec(2, steps_each=2).run(scheduler)
+        second = counting_spec(2, steps_each=2).run(scheduler)
+        assert scheduler.crash_at == {0: 1}
+        assert first.crashes == second.crashes == [(1, 0)]
+        assert first.schedule == second.schedule
+
+    def test_describe_includes_crash_map(self):
+        scheduler = CrashingScheduler(RoundRobinScheduler(), crash_at={1: 3, 0: 2})
+        assert scheduler.describe() == (
+            "CrashingScheduler({p0@2, p1@3}, base=RoundRobinScheduler)"
+        )

@@ -114,7 +114,7 @@ class TestMetadata:
         )
         assert describe_scheduler(
             CrashingScheduler(RandomScheduler(9), {0: 5})
-        ) == "CrashingScheduler(RandomScheduler(seed=9))"
+        ) == "CrashingScheduler({p0@5}, base=RandomScheduler(seed=9))"
 
         class Bare:
             pass
