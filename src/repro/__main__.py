@@ -33,10 +33,17 @@ Commands
     Export flags: ``--flame OUT.folded`` (collapsed stacks for
     flamegraph.pl/speedscope), ``--html OUT.html`` (self-contained run
     report), ``--metrics-out OUT.prom`` (Prometheus text exposition).
-``bench-compare OLD.json NEW.json``
+``bench-compare [OLD.json] NEW.json``
     Diff two BENCH_runtime.json files from the benchmark harness; exits
     nonzero when a bench regressed by more than ``--threshold``
-    (default 20%).
+    (default 20%).  With one file, the committed
+    ``benchmarks/BENCH_baseline.json`` is the implicit baseline.
+``runs list|show|compare``
+    Inspect the persistent run ledger (``.repro/runs.jsonl``): every run
+    command appends one record (run id, argv, verdict, duration, budget
+    trips, checkpoint and artifact paths).  ``show RUN_ID`` prints one
+    record in full, ``compare A B`` diffs verdicts/timings between two
+    runs (abbreviated run ids accepted; exit 1 when verdicts disagree).
 
 Observability flags (every run command):
 
@@ -46,6 +53,14 @@ Observability flags (every run command):
     Write the run's metrics in Prometheus text exposition format.
 ``--progress``
     Rate-limited progress line on stderr for long checks.
+``--serve [PORT]``
+    Start a live telemetry HTTP server (127.0.0.1, ephemeral port when
+    omitted) exposing ``/status`` (JSON run snapshot with coverage/ETA),
+    ``/metrics`` (live Prometheus exposition), and ``/events?n=``
+    (recent event tail).  See docs/OBSERVABILITY.md, "Live monitoring".
+``--ledger FILE`` / ``--no-ledger``
+    Override or disable the run-ledger record for this invocation
+    (default ``.repro/runs.jsonl``, or ``$REPRO_LEDGER``).
 
 Budget flags (every run command): ``--deadline SECONDS`` and
 ``--max-steps N`` install a process-wide :mod:`repro.faults.budget` —
@@ -61,8 +76,11 @@ from math import ceil
 
 from repro.faults.budget import Budget, active_budget
 from repro.faults.checkpoint import read_checkpoint
+from repro.fsutil import ensure_parent
+from repro.obs import ledger as run_ledger
 from repro.obs.bench import main as bench_compare_main
 from repro.obs.events import JsonlReadStats, JsonlSink, read_jsonl, set_sink
+from repro.obs.live import serve as serve_live
 from repro.obs.metrics import MetricsRegistry, get_registry, reset_registry
 from repro.obs.profile import Profiler
 from repro.obs.progress import ProgressReporter
@@ -172,6 +190,11 @@ def cmd_explore(args) -> int:
                 f"({checkpoint.executions} executions) — nothing to resume"
             )
             return 0
+        # Resume chain: the checkpoint names the run that wrote it, so
+        # the ledger links this record back to its parent.
+        run_ledger.annotate(
+            parent_run_id=checkpoint.run_id, resumed_from=args.resume
+        )
         # CLI flags override nothing that identifies the spec: the
         # checkpoint's own provenance wins, so a bare --resume works.
         task = checkpoint.spec.get("task", args.task)
@@ -202,10 +225,23 @@ def cmd_explore(args) -> int:
             checkpoint_every=args.checkpoint_every,
         )
     explorer.set_spec_meta(task=task, n=n, k=k)
+    recorder = run_ledger.current_run()
+    if recorder is not None:
+        explorer.run_id = recorder.run_id
+    run_ledger.annotate(
+        describe=(
+            f"exhaustive(task={task}, n={n}, k={k}, "
+            f"max_crashes={explorer.max_crashes})"
+        ),
+        checkpoint=explorer.checkpoint_path,
+    )
     try:
         for _execution in explorer.executions():
             pass
     except KeyboardInterrupt:
+        run_ledger.annotate(
+            interrupted="SIGINT", executions=explorer.total_executions
+        )
         if explorer.checkpoint_path is not None:
             path = explorer.write_checkpoint()
             print(
@@ -217,6 +253,12 @@ def cmd_explore(args) -> int:
             print("\ninterrupted (no --checkpoint configured; progress lost)")
         return 3
     stats = explorer.stats
+    run_ledger.annotate(
+        executions=explorer.total_executions,
+        steps=stats.steps_total,
+        faults_injected=stats.faults_injected,
+        interrupted=explorer.interrupted,
+    )
     print(
         f"{explorer.total_executions} executions "
         f"({stats.executions} this run), max depth {stats.max_depth_seen}, "
@@ -267,7 +309,9 @@ def cmd_stats(args) -> int:
                if read_stats.skipped else ""),
             file=sys.stderr,
         )
-        return 1
+        # Every single line corrupt is an error (exit 2), not merely an
+        # empty trace (exit 1): the caller handed us data we could not use.
+        return 2 if read_stats.skipped else 1
     header = f"# {', '.join(args.traces)}: {read_stats.events} events"
     if read_stats.skipped:
         header += f" ({read_stats.skipped} corrupt lines skipped)"
@@ -278,11 +322,11 @@ def cmd_stats(args) -> int:
         print(profiler.render_tree())
     try:
         if args.flame:
-            with open(args.flame, "w", encoding="utf-8") as handle:
+            with open(ensure_parent(args.flame), "w", encoding="utf-8") as handle:
                 handle.write("\n".join(profiler.folded_stacks()) + "\n")
             print(f"\nwrote collapsed stacks to {args.flame}")
         if args.html:
-            with open(args.html, "w", encoding="utf-8") as handle:
+            with open(ensure_parent(args.html), "w", encoding="utf-8") as handle:
                 handle.write(
                     render_html(
                         registry,
@@ -294,19 +338,81 @@ def cmd_stats(args) -> int:
                 )
             print(f"wrote HTML report to {args.html}")
         if args.metrics_out:
-            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            with open(
+                ensure_parent(args.metrics_out), "w", encoding="utf-8"
+            ) as handle:
                 handle.write(registry.render_prometheus())
             print(f"wrote Prometheus metrics to {args.metrics_out}")
     except OSError as error:
         print(f"stats: cannot write output: {error}", file=sys.stderr)
         return 2
+    artifacts = {
+        name: path
+        for name, path in (
+            ("flame", args.flame),
+            ("html", args.html),
+            ("metrics_out", args.metrics_out),
+        )
+        if path
+    }
+    run_ledger.annotate(
+        artifacts=artifacts or None,
+        events=read_stats.events,
+        corrupt_lines=read_stats.skipped or None,
+    )
     return 0
 
 
 def cmd_bench_compare(args) -> int:
-    argv = [args.old, args.new, "--threshold", str(args.threshold),
-            "--min-seconds", str(args.min_seconds)]
+    argv = [args.old]
+    if args.new is not None:
+        argv.append(args.new)
+    argv += ["--threshold", str(args.threshold),
+             "--min-seconds", str(args.min_seconds)]
     return bench_compare_main(argv)
+
+
+def _ledger_records(args):
+    path = args.ledger or run_ledger.default_ledger_path()
+    records, skipped = run_ledger.read_ledger(path)
+    if skipped:
+        print(f"runs: {skipped} unreadable line(s) in {path} skipped",
+              file=sys.stderr)
+    return path, records
+
+
+def cmd_runs_list(args) -> int:
+    path, records = _ledger_records(args)
+    if not records:
+        print(f"no runs recorded in {path}")
+        return 0
+    print(run_ledger.render_list(records, limit=args.limit))
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    _path, records = _ledger_records(args)
+    try:
+        record = run_ledger.find_record(records, args.run_id)
+    except ValueError as error:
+        print(f"runs show: {error}", file=sys.stderr)
+        return 2
+    print(run_ledger.render_show(record))
+    return 0
+
+
+def cmd_runs_compare(args) -> int:
+    _path, records = _ledger_records(args)
+    try:
+        first = run_ledger.find_record(records, args.run_a)
+        second = run_ledger.find_record(records, args.run_b)
+    except ValueError as error:
+        print(f"runs compare: {error}", file=sys.stderr)
+        return 2
+    lines, verdicts_agree = run_ledger.compare_runs(first, second)
+    for line in lines:
+        print(line)
+    return 0 if verdicts_agree else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -332,6 +438,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="rate-limited progress reporting on stderr",
+    )
+    obs.add_argument(
+        "--serve",
+        nargs="?",
+        const=0,
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live telemetry over HTTP on 127.0.0.1 (/status, "
+        "/metrics, /events); with no PORT an ephemeral port is chosen "
+        "and printed on stderr",
+    )
+    obs.add_argument(
+        "--ledger",
+        metavar="FILE",
+        default=None,
+        help="append this run's record to FILE instead of the default "
+        "ledger (.repro/runs.jsonl or $REPRO_LEDGER)",
+    )
+    obs.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record this run in the ledger",
     )
     obs.add_argument(
         "--deadline",
@@ -439,11 +568,48 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-compare",
         help="compare two BENCH_runtime.json files; exit 1 on regression",
     )
-    bench_compare.add_argument("old", help="baseline BENCH_runtime.json")
-    bench_compare.add_argument("new", help="candidate BENCH_runtime.json")
+    bench_compare.add_argument(
+        "old",
+        help="baseline BENCH_runtime.json (with a single argument, the "
+        "candidate — compared against the committed baseline)",
+    )
+    bench_compare.add_argument(
+        "new", nargs="?", default=None,
+        help="candidate BENCH_runtime.json (omit to compare OLD against "
+        "benchmarks/BENCH_baseline.json)",
+    )
     bench_compare.add_argument("--threshold", type=float, default=0.20)
     bench_compare.add_argument("--min-seconds", type=float, default=0.01)
     bench_compare.set_defaults(func=cmd_bench_compare, handles_obs_flags=True)
+
+    runs = sub.add_parser(
+        "runs", help="inspect the persistent run ledger"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_show = runs_sub.add_parser("show", help="print one run record")
+    runs_show.add_argument("run_id", help="run id (unique prefix accepted)")
+    runs_compare = runs_sub.add_parser(
+        "compare", help="diff two runs; exit 1 when verdicts disagree"
+    )
+    runs_compare.add_argument("run_a")
+    runs_compare.add_argument("run_b")
+    runs_list.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show at most the N most recent runs (default 20)",
+    )
+    for runs_parser, handler in (
+        (runs_list, cmd_runs_list),
+        (runs_show, cmd_runs_show),
+        (runs_compare, cmd_runs_compare),
+    ):
+        runs_parser.add_argument(
+            "--ledger", metavar="FILE", default=None,
+            help="read this ledger file instead of the default",
+        )
+        runs_parser.set_defaults(
+            func=handler, handles_obs_flags=True, skip_ledger_record=True
+        )
     return parser
 
 
@@ -452,15 +618,17 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     sink = None
     reporter = None
+    live = None
     collecting = False
     trace_out = getattr(args, "trace_out", None)
+    serve_port = getattr(args, "serve", None)
     # stats/bench-compare manage their own registries and output files;
     # the generic wiring below is for live run commands only.
     metrics_out = (
         None if getattr(args, "handles_obs_flags", False)
         else getattr(args, "metrics_out", None)
     )
-    if trace_out or metrics_out:
+    if trace_out or metrics_out or serve_port is not None:
         reset_registry()  # the collected metrics should describe this run only
         collecting = True
     if trace_out:
@@ -480,23 +648,85 @@ def main(argv=None) -> int:
         args, "max_steps", None
     ) is not None:
         budget = Budget(deadline=args.deadline, max_steps=args.max_steps)
+    recording = not (
+        getattr(args, "skip_ledger_record", False)
+        or getattr(args, "no_ledger", False)
+    )
+    full_argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if recording:
+        run_ledger.begin_run(
+            path=getattr(args, "ledger", None) or run_ledger.default_ledger_path(),
+            command=args.command,
+            argv=full_argv,
+        )
+        artifacts = {
+            name: path
+            for name, path in (
+                ("trace_out", trace_out),
+                ("metrics_out", metrics_out),
+            )
+            if path
+        }
+        run_ledger.annotate(
+            artifacts=artifacts or None,
+            budget=budget.describe() if budget is not None else None,
+        )
+    if serve_port is not None:
+        try:
+            live = serve_live(
+                command=args.command,
+                argv=full_argv,
+                run_id=(
+                    run_ledger.current_run().run_id
+                    if run_ledger.current_run() is not None
+                    else None
+                ),
+                port=serve_port,
+            )
+        except OSError as error:
+            print(f"repro: cannot start --serve server: {error}",
+                  file=sys.stderr)
+            run_ledger.abandon_run()
+            return 2
+        print(f"live telemetry: {live.url('/status')}", file=sys.stderr)
+    code: int = 2
     try:
         with active_budget(budget), span("command", command=args.command):
-            return args.func(args)
+            code = args.func(args)
+        return code
     finally:
+        if live is not None:
+            live.close()
         if reporter is not None:
             reporter.close()
         if collecting:
-            get_registry().uninstall()
+            registry = get_registry()
+            registry.uninstall()
+            if recording:
+                trips = registry.sum_by_label("budget_exhausted_total", "kind")
+                if trips:
+                    run_ledger.annotate(
+                        budget_trips={
+                            str(kind): count for kind, count in sorted(trips.items())
+                        }
+                    )
         if sink is not None:
             set_sink(None)
             sink.close()
         if metrics_out:
             try:
-                with open(metrics_out, "w", encoding="utf-8") as handle:
+                with open(
+                    ensure_parent(metrics_out), "w", encoding="utf-8"
+                ) as handle:
                     handle.write(get_registry().render_prometheus())
             except OSError as error:
                 print(f"repro: cannot write --metrics-out {metrics_out}: {error}",
+                      file=sys.stderr)
+        if recording:
+            try:
+                run_ledger.finish_run(code)
+            except OSError as error:
+                print(f"repro: cannot write run ledger: {error}",
                       file=sys.stderr)
 
 

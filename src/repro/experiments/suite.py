@@ -31,9 +31,15 @@ from repro.core.family import FamilyMember, HierarchyObjectSpec
 from repro.core.power import family_agreement
 from repro.core.theorem import max_agreement
 from repro.errors import ExplorationLimitError
-from repro.experiments.rows import ExperimentRow, error_row, inconclusive_row
+from repro.experiments.rows import (
+    ExperimentRow,
+    error_row,
+    inconclusive_row,
+    overall_verdict,
+)
 from repro.faults.budget import get_active_budget
 from repro.faults.verdict import Verdict
+from repro.obs import events as _obs_events
 from repro.obs.spans import span
 from repro.objects.queue_stack import QueueSpec
 from repro.objects.register import RegisterSpec
@@ -731,7 +737,19 @@ def run_all(timings: Optional[Dict[str, float]] = None) -> Dict[str, List[Experi
     """
     results: Dict[str, List[ExperimentRow]] = {}
     budget = get_active_budget()
-    for experiment_id, runner in EXPERIMENTS.items():
+    total = len(EXPERIMENTS)
+    for index, (experiment_id, runner) in enumerate(EXPERIMENTS.items()):
+        if _obs_events.is_enabled():
+            # Suite telemetry pulse: drives live /status ("E4, 3/10 done")
+            # and the suite-progress gauges; harmless in archived traces.
+            _obs_events.emit(
+                "suite_progress",
+                experiment=experiment_id,
+                index=index,
+                total=total,
+                completed=index,
+                state="running",
+            )
         if budget is not None and budget.exhausted_reason() is not None:
             results[experiment_id] = [
                 inconclusive_row(
@@ -771,6 +789,16 @@ def run_all(timings: Optional[Dict[str, float]] = None) -> Dict[str, List[Experi
         if budget is not None and budget.exhausted_reason() is not None:
             rows = [_downgrade(row, budget.exhausted_reason()) for row in rows]
         results[experiment_id] = rows
+        if _obs_events.is_enabled():
+            _obs_events.emit(
+                "suite_progress",
+                experiment=experiment_id,
+                index=index,
+                total=total,
+                completed=index + 1,
+                state="done",
+                verdict=overall_verdict(rows).value,
+            )
         if timings is not None:
             timings[experiment_id] = phase.seconds
     return results

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ProtocolError
+from repro.fsutil import ensure_parent
 from repro.obs import events as _obs_events
 
 FORMAT = "repro-checkpoint/1"
@@ -60,6 +61,9 @@ class Checkpoint:
     stats: Dict[str, Any] = field(default_factory=dict)
     #: Opaque spec provenance written by the producer (e.g. the CLI).
     spec: Dict[str, Any] = field(default_factory=dict)
+    #: Ledger id of the run that wrote this checkpoint (``None`` for
+    #: library-driven explorations) — the parent link of a resume chain.
+    run_id: Optional[str] = None
 
     @property
     def done(self) -> bool:
@@ -76,6 +80,7 @@ def write_checkpoint(
     max_crashes: int = 0,
     stats: Optional[Dict[str, Any]] = None,
     spec: Optional[Dict[str, Any]] = None,
+    run_id: Optional[str] = None,
 ) -> None:
     """Atomically write a checkpoint file.
 
@@ -94,6 +99,9 @@ def write_checkpoint(
         "stats": dict(stats or {}),
         "spec": dict(spec or {}),
     }
+    if run_id is not None:
+        header["run_id"] = run_id
+    ensure_parent(os.path.abspath(path))
     directory = os.path.dirname(os.path.abspath(path)) or "."
     descriptor, temp_path = tempfile.mkstemp(
         prefix=".checkpoint-", suffix=".tmp", dir=directory
@@ -172,4 +180,5 @@ def read_checkpoint(path: str) -> Checkpoint:
         max_crashes=int(header.get("max_crashes", 0)),
         stats=dict(header.get("stats") or {}),
         spec=dict(header.get("spec") or {}),
+        run_id=header.get("run_id"),
     )

@@ -36,8 +36,31 @@ def main(argv=None) -> int:
         "--checkpoint", metavar="FILE", default="fault-smoke-checkpoint.jsonl",
         help="checkpoint file written by the exhaustive phase",
     )
+    parser.add_argument(
+        "--serve", nargs="?", const=0, type=int, default=None, metavar="PORT",
+        help="serve live /status //metrics //events on 127.0.0.1 while "
+        "the smoke run executes (ephemeral port when omitted)",
+    )
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
 
+    live = None
+    if args.serve is not None:
+        from repro.obs.live import serve as serve_live
+
+        live = serve_live(
+            command="faults.smoke",
+            argv=list(argv or sys.argv[1:]),
+            port=args.serve,
+        )
+        print(f"live telemetry: {live.url('/status')}", file=sys.stderr)
+    try:
+        return _run(args)
+    finally:
+        if live is not None:
+            live.close()
+
+
+def _run(args) -> int:
     protocol = write_scan_protocol(3)
 
     # Phase 1: seeded chaos sweep — random scheduling, stalls, and

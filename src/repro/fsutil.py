@@ -1,0 +1,27 @@
+"""Small filesystem helpers shared by every artifact writer.
+
+Every file the toolchain produces on request — ``--trace-out`` event
+streams, ``--metrics-out`` expositions, ``--html`` reports, ``--flame``
+stacks, explorer checkpoints, the run ledger — accepts a user-supplied
+path.  When that path points into a directory that does not exist yet
+(``results/2026-08/run.jsonl``), a bare ``open(..., "w")`` fails with
+``FileNotFoundError`` after the run already did its work.  All writers
+funnel through :func:`ensure_parent` so the directory is created first.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def ensure_parent(path: str) -> str:
+    """Create the parent directory of ``path`` if missing; return ``path``.
+
+    A plain filename (no directory component) is returned untouched.
+    Creation is ``exist_ok`` so concurrent writers cannot race each other
+    into an error.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    return path

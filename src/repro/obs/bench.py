@@ -17,7 +17,11 @@ bench into ``BENCH_runtime.json``::
 
 ``python -m repro bench-compare OLD.json NEW.json`` diffs two such files
 and exits nonzero when any bench regressed by more than the threshold
-(default 20%): wall time up, or throughput down.  Sub-centisecond wall
+(default 20%): wall time up, or throughput down.  With a single file
+argument the committed baseline is the implicit OLD side:
+``python -m repro bench-compare BENCH_runtime.json`` compares against
+``benchmarks/BENCH_baseline.json`` (override with the
+``REPRO_BENCH_BASELINE`` environment variable).  Sub-centisecond wall
 times are pure noise on shared CI runners, so seconds-based comparison
 only fires above ``--min-seconds`` (both runs).  Unknown keys and benches
 present on only one side are reported but never fail the comparison, so
@@ -28,10 +32,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
 SCHEMA = "repro-bench/1"
+
+#: The committed perf baseline, relative to the repository root (where CI
+#: and developers run the CLI from).
+DEFAULT_BASELINE = os.path.join("benchmarks", "BENCH_baseline.json")
+
+
+def default_baseline_path() -> str:
+    """Baseline used when bench-compare gets one file: ``$REPRO_BENCH_BASELINE``
+    or the committed ``benchmarks/BENCH_baseline.json``."""
+    return os.environ.get("REPRO_BENCH_BASELINE", DEFAULT_BASELINE)
 
 
 class BenchFileError(ValueError):
@@ -116,8 +131,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro bench-compare",
         description="compare two BENCH_runtime.json files; exit 1 on regression",
     )
-    parser.add_argument("old", help="baseline BENCH_runtime.json")
-    parser.add_argument("new", help="candidate BENCH_runtime.json")
+    parser.add_argument(
+        "old",
+        help="baseline BENCH_runtime.json (or, with a single argument, "
+        "the candidate — compared against the committed baseline)",
+    )
+    parser.add_argument(
+        "new", nargs="?", default=None,
+        help="candidate BENCH_runtime.json (omit to compare OLD against "
+        "the committed benchmarks/BENCH_baseline.json)",
+    )
     parser.add_argument(
         "--threshold", type=float, default=0.20,
         help="relative regression that fails the comparison (default 0.20)",
@@ -128,9 +151,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(jitter floor, default 0.01s)",
     )
     args = parser.parse_args(argv)
+    old_path, new_path = args.old, args.new
+    if new_path is None:
+        old_path, new_path = default_baseline_path(), args.old
+        print(f"comparing against committed baseline {old_path}")
     try:
-        old = load_bench_file(args.old)
-        new = load_bench_file(args.new)
+        old = load_bench_file(old_path)
+        new = load_bench_file(new_path)
     except BenchFileError as error:
         print(f"bench-compare: {error}", file=sys.stderr)
         return 2

@@ -99,7 +99,9 @@ class JsonlSink(Sink):
             self._owns_file = False
             self.path: Optional[str] = None
         else:
-            self.path = str(path_or_file)
+            from repro.fsutil import ensure_parent
+
+            self.path = ensure_parent(str(path_or_file))
             self._file = open(self.path, "w", encoding="utf-8")
             self._owns_file = True
         self._count = 0

@@ -1,0 +1,335 @@
+"""The run ledger: an append-only registry of every CLI invocation.
+
+A long exploration leaves artifacts (traces, checkpoints, reports)
+scattered wherever the user pointed the flags — and nothing that says
+*which run* produced *which files* with *what outcome*.  The ledger is
+that missing spine: every ``python -m repro`` run command appends one
+JSON record to ``.repro/runs.jsonl`` (override with ``--ledger`` or the
+``REPRO_LEDGER`` environment variable, disable with ``--no-ledger``).
+
+Format (``repro-ledger/1``): one self-describing JSON object per line::
+
+    {"format": "repro-ledger/1", "run_id": "20260806T120301-3fa9c1",
+     "command": "explore", "argv": ["explore", "--n", "2", ...],
+     "started_at": "2026-08-06T12:03:01Z", "duration_seconds": 12.81,
+     "exit_code": 3, "verdict": "inconclusive",
+     "describe": "exhaustive(task=set-consensus, n=2, k=1, max_crashes=1)",
+     "executions": 1742, "interrupted": "deadline 10s exceeded ...",
+     "budget": "Budget(deadline=10s)",
+     "budget_trips": {"deadline": 1},
+     "checkpoint": "ck.jsonl", "parent_run_id": "20260806T115950-81d2aa",
+     "artifacts": {"trace_out": "run.jsonl", "metrics_out": "run.prom"}}
+
+Appends are atomic: a record is a single ``os.write`` to an
+``O_APPEND`` descriptor, so concurrent runs interleave whole lines, never
+fragments.  Unknown keys are preserved by readers; corrupt lines are
+skipped and counted (same tolerance as event traces).
+
+Resume chains: when ``repro explore`` writes a checkpoint, the
+checkpoint header records the writing run's ``run_id``; a later
+``--resume`` run records that id as its ``parent_run_id``, so the ledger
+reconstructs the full chain of a multi-session exploration.
+
+``repro runs list | show | compare`` render the ledger; ``compare``
+diffs verdicts, durations and work counts between two runs (exit 1 when
+their verdicts disagree).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fsutil import ensure_parent
+
+FORMAT = "repro-ledger/1"
+
+#: Default ledger location, relative to the working directory.
+DEFAULT_PATH = os.path.join(".repro", "runs.jsonl")
+
+#: CLI exit code -> ledger verdict string (inverse of the report command's
+#: EXIT_CODES mapping; any other exit code records as ``error``).
+EXIT_VERDICTS = {0: "proved", 1: "refuted", 2: "error", 3: "inconclusive"}
+
+
+def default_ledger_path() -> str:
+    """The ledger file to use: ``$REPRO_LEDGER`` or ``.repro/runs.jsonl``."""
+    return os.environ.get("REPRO_LEDGER", DEFAULT_PATH)
+
+
+def new_run_id() -> str:
+    """A fresh, sortable run id: UTC timestamp plus a random suffix."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{uuid.uuid4().hex[:6]}"
+
+
+# ----------------------------------------------------------------------
+# Reading and writing
+# ----------------------------------------------------------------------
+def append_record(path: str, record: Dict[str, Any]) -> None:
+    """Append one record to the ledger, atomically.
+
+    One ``os.write`` of one line on an ``O_APPEND`` descriptor: the
+    kernel serializes concurrent appenders, so the ledger never holds a
+    torn record even when several runs finish at once.
+    """
+    line = json.dumps(record, default=repr, separators=(",", ":")) + "\n"
+    ensure_parent(path)
+    descriptor = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(descriptor, line.encode("utf-8"))
+    finally:
+        os.close(descriptor)
+
+
+def read_ledger(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Read all records: ``(records, corrupt_lines_skipped)``.
+
+    Missing file reads as empty — a fresh working directory simply has
+    no history yet.  Lines that fail to parse, or parse to something
+    other than a ``repro-ledger/1`` object, are skipped and counted.
+    """
+    if not os.path.exists(path):
+        return [], 0
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or record.get("format") != FORMAT:
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped
+
+
+def find_record(
+    records: List[Dict[str, Any]], run_id: str
+) -> Dict[str, Any]:
+    """Resolve a (possibly abbreviated) run id to its record.
+
+    Exact match wins; otherwise a unique prefix suffices.  Raises
+    ``ValueError`` with a helpful message when the id is unknown or the
+    prefix ambiguous.
+    """
+    exact = [r for r in records if r.get("run_id") == run_id]
+    if exact:
+        return exact[-1]
+    matches = [r for r in records if str(r.get("run_id", "")).startswith(run_id)]
+    if not matches:
+        raise ValueError(f"no run {run_id!r} in the ledger")
+    distinct = {r.get("run_id") for r in matches}
+    if len(distinct) > 1:
+        raise ValueError(
+            f"run id {run_id!r} is ambiguous: matches "
+            + ", ".join(sorted(str(d) for d in distinct))
+        )
+    return matches[-1]
+
+
+# ----------------------------------------------------------------------
+# The current run (CLI wiring)
+# ----------------------------------------------------------------------
+class RunRecorder:
+    """Accumulates one run's ledger record; written on :meth:`finish`.
+
+    Command implementations annotate it through :func:`annotate` without
+    knowing whether a ledger is active at all.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        command: str,
+        argv: Optional[List[str]] = None,
+    ):
+        self.path = path
+        self.run_id = new_run_id()
+        self.record: Dict[str, Any] = {
+            "format": FORMAT,
+            "run_id": self.run_id,
+            "command": command,
+            "argv": list(argv or []),
+            "started_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+        }
+        self._started = time.monotonic()
+
+    def annotate(self, **fields: Any) -> None:
+        """Merge fields into the pending record (``None`` values skipped)."""
+        for key, value in fields.items():
+            if value is not None:
+                self.record[key] = value
+
+    def finish(self, exit_code: int) -> Dict[str, Any]:
+        """Stamp duration/exit/verdict and append the record to the ledger."""
+        self.record["duration_seconds"] = round(
+            time.monotonic() - self._started, 3
+        )
+        self.record["exit_code"] = exit_code
+        self.record.setdefault(
+            "verdict", EXIT_VERDICTS.get(exit_code, "error")
+        )
+        append_record(self.path, self.record)
+        return self.record
+
+
+_current: Optional[RunRecorder] = None
+
+
+def begin_run(
+    path: str, command: str, argv: Optional[List[str]] = None
+) -> RunRecorder:
+    """Install a process-wide recorder for the run now starting."""
+    global _current
+    _current = RunRecorder(path, command, argv)
+    return _current
+
+
+def current_run() -> Optional[RunRecorder]:
+    """The active recorder, or ``None`` when no ledger is being kept."""
+    return _current
+
+
+def annotate(**fields: Any) -> None:
+    """Annotate the active run's pending record (no-op without one)."""
+    if _current is not None:
+        _current.annotate(**fields)
+
+
+def finish_run(exit_code: int) -> Optional[Dict[str, Any]]:
+    """Finalize and append the active record; returns it (or ``None``)."""
+    global _current
+    if _current is None:
+        return None
+    recorder, _current = _current, None
+    return recorder.finish(exit_code)
+
+
+def abandon_run() -> None:
+    """Drop the active recorder without writing (tests, nested mains)."""
+    global _current
+    _current = None
+
+
+# ----------------------------------------------------------------------
+# Rendering (the ``repro runs`` subcommands)
+# ----------------------------------------------------------------------
+def _fmt_duration(value: Any) -> str:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return "?"
+    if value >= 3600:
+        return f"{value / 3600:.1f}h"
+    if value >= 60:
+        return f"{value / 60:.1f}m"
+    return f"{value:.2f}s"
+
+
+def render_list(records: List[Dict[str, Any]], limit: int = 0) -> str:
+    """Aligned table of the ledger, newest last (the append order)."""
+    if not records:
+        return "(ledger is empty)"
+    if limit and len(records) > limit:
+        records = records[-limit:]
+    rows = [("run id", "started (UTC)", "command", "verdict", "duration", "notes")]
+    for record in records:
+        notes = []
+        if record.get("parent_run_id"):
+            notes.append(f"resumes {record['parent_run_id']}")
+        if record.get("checkpoint"):
+            notes.append(f"ckpt {record['checkpoint']}")
+        if record.get("executions") is not None:
+            notes.append(f"{record['executions']} execs")
+        rows.append(
+            (
+                str(record.get("run_id", "?")),
+                str(record.get("started_at", "?")),
+                str(record.get("command", "?")),
+                str(record.get("verdict", "?")),
+                _fmt_duration(record.get("duration_seconds")),
+                ", ".join(notes),
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]) - 1)]
+    lines = []
+    for row in rows:
+        cells = [cell.ljust(widths[i]) for i, cell in enumerate(row[:-1])]
+        lines.append(("  ".join(cells) + "  " + row[-1]).rstrip())
+    return "\n".join(lines)
+
+
+def render_show(record: Dict[str, Any]) -> str:
+    """Full record, one ``key: value`` line each (dicts pretty-printed)."""
+    preferred = [
+        "run_id", "parent_run_id", "command", "argv", "started_at",
+        "duration_seconds", "exit_code", "verdict", "describe",
+        "executions", "interrupted", "budget", "budget_trips",
+        "checkpoint", "artifacts",
+    ]
+    keys = [k for k in preferred if k in record]
+    keys += [k for k in sorted(record) if k not in keys and k != "format"]
+    lines = []
+    for key in keys:
+        value = record[key]
+        if isinstance(value, (dict, list)):
+            value = json.dumps(value)
+        lines.append(f"{key}: {value}")
+    return "\n".join(lines)
+
+
+def compare_runs(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> Tuple[List[str], bool]:
+    """Diff two ledger records: ``(lines, verdicts_agree)``.
+
+    Covers identity (commands, resume relationship), verdicts/exit
+    codes, timings (with relative delta) and work counts; artifact paths
+    are listed when they differ.
+    """
+    lines: List[str] = []
+    id_a, id_b = a.get("run_id", "A"), b.get("run_id", "B")
+    lines.append(f"A: {id_a}  ({a.get('command')}, {a.get('started_at')})")
+    lines.append(f"B: {id_b}  ({b.get('command')}, {b.get('started_at')})")
+    if b.get("parent_run_id") == id_a:
+        lines.append("chain: B resumes A's checkpoint")
+    elif a.get("parent_run_id") == id_b:
+        lines.append("chain: A resumes B's checkpoint")
+    if a.get("argv") != b.get("argv"):
+        lines.append(f"argv: A {a.get('argv')} | B {b.get('argv')}")
+    verdict_a, verdict_b = a.get("verdict", "?"), b.get("verdict", "?")
+    agree = verdict_a == verdict_b
+    marker = "=" if agree else "DIFFERS"
+    lines.append(
+        f"verdict: {verdict_a} vs {verdict_b} ({marker}); "
+        f"exit {a.get('exit_code')} vs {b.get('exit_code')}"
+    )
+    dur_a, dur_b = a.get("duration_seconds"), b.get("duration_seconds")
+    if isinstance(dur_a, (int, float)) and isinstance(dur_b, (int, float)):
+        delta = (dur_b - dur_a) / dur_a if dur_a else float("inf")
+        lines.append(
+            f"duration: {_fmt_duration(dur_a)} -> {_fmt_duration(dur_b)} "
+            f"({delta:+.0%})"
+        )
+    for key in ("executions", "steps", "faults_injected"):
+        va, vb = a.get(key), b.get(key)
+        if va is not None or vb is not None:
+            lines.append(f"{key}: {va} vs {vb}")
+    for key in ("interrupted", "budget", "checkpoint"):
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            lines.append(f"{key}: {va} vs {vb}")
+    arts_a, arts_b = a.get("artifacts") or {}, b.get("artifacts") or {}
+    if arts_a != arts_b:
+        lines.append(f"artifacts: A {json.dumps(arts_a)} | B {json.dumps(arts_b)}")
+    return lines, agree

@@ -31,6 +31,12 @@ name                      kind        meaning
 ``run_steps``             histogram   steps per completed ``System.run``
 ``frontier_branches``     histogram   branching factor at explorer frontiers
 ``phase_seconds``         histogram   wall time per span, by span name
+``explore_executions``    gauge       executions done (latest heartbeat)
+``explore_frontier``      gauge       pending DFS prefixes (latest heartbeat)
+``explore_rate``          gauge       EWMA executions/second
+``explore_eta_seconds``   gauge       estimated seconds to completion
+``explore_coverage``      gauge       estimated fraction of the tree done
+``suite_experiments_completed``  gauge  experiments finished so far
 ========================  ==========  ==========================================
 
 Histograms use the fixed exponential bucket ladder :data:`BUCKET_BOUNDS`
@@ -319,6 +325,25 @@ class MetricsRegistry:
             self.gauge("checkpoint_frontier").set(fields.get("frontier", 0))
         elif name == "exploration_interrupted":
             self.counter("explorations_interrupted").inc()
+        elif name == "explore_heartbeat":
+            self.gauge("explore_executions").set(int(_num(fields.get("executions"))))
+            self.gauge("explore_frontier").set(int(_num(fields.get("frontier"))))
+            # Estimation fields are optional on the event (absent until the
+            # estimator warms up); gauges appear only once they do.
+            for field_name, gauge_name in (
+                ("rate", "explore_rate"),
+                ("eta_seconds", "explore_eta_seconds"),
+                ("coverage", "explore_coverage"),
+                ("remaining_estimate", "explore_remaining_estimate"),
+            ):
+                value = fields.get(field_name)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    self.gauge(gauge_name).set(float(value))
+        elif name == "suite_progress":
+            self.gauge("suite_experiments_total").set(int(_num(fields.get("total"))))
+            self.gauge("suite_experiments_completed").set(
+                int(_num(fields.get("completed")))
+            )
         elif name == "run_end":
             self.histogram("run_steps").observe(_num(fields.get("steps")))
         elif name == "span_end":

@@ -27,6 +27,14 @@ from typing import Any, Dict, Optional, TextIO
 from repro.obs import events as _events
 
 
+def _fmt_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
 class ProgressReporter:
     """Event-bus subscriber that paints a throttled status line."""
 
@@ -47,6 +55,10 @@ class ProgressReporter:
         self.states = 0
         self.runs = 0
         self.current_phase: Optional[str] = None
+        #: Latest coverage/ETA estimate from ``explore_heartbeat`` events
+        #: (``None`` until the explorer's estimator warms up).
+        self.coverage: Optional[float] = None
+        self.eta_seconds: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Bus integration
@@ -74,6 +86,13 @@ class ProgressReporter:
         elif name == "span_end":
             if self.current_phase == fields.get("span"):
                 self.current_phase = None
+        elif name == "explore_heartbeat":
+            coverage = fields.get("coverage")
+            if isinstance(coverage, (int, float)) and not isinstance(coverage, bool):
+                self.coverage = float(coverage)
+            eta = fields.get("eta_seconds")
+            if isinstance(eta, (int, float)) and not isinstance(eta, bool):
+                self.eta_seconds = float(eta)
         else:
             return
         now = self._clock()
@@ -95,6 +114,10 @@ class ProgressReporter:
             parts.append(f"{self.states:,} states")
         if self.current_phase:
             parts.append(f"phase {self.current_phase}")
+        if self.coverage is not None:
+            parts.append(f"~{self.coverage:.0%} covered")
+        if self.eta_seconds is not None:
+            parts.append(f"ETA {_fmt_eta(self.eta_seconds)}")
         parts.append(f"{elapsed:.1f}s")
         return "progress: " + " · ".join(parts)
 

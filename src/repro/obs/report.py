@@ -103,6 +103,43 @@ def _summary_section(registry: MetricsRegistry, profiler: Profiler) -> List[str]
     return out
 
 
+def _coverage_section(registry: MetricsRegistry) -> List[str]:
+    """Exploration coverage/ETA as last seen by ``explore_heartbeat``.
+
+    Replayed traces reconstruct the same gauges the live run served, so
+    the report of an interrupted run shows how far it believed it was.
+    """
+    gauges = registry.snapshot()["gauges"]
+    if "explore_executions" not in gauges:
+        return []
+    rows: List[Tuple[str, str]] = [
+        ("executions enumerated", f"{gauges['explore_executions']:,}"),
+        ("pending frontier prefixes", f"{gauges.get('explore_frontier', 0):,}"),
+    ]
+    if "explore_rate" in gauges:
+        rows.append(("execution rate (EWMA)", f"{gauges['explore_rate']:,.1f}/s"))
+    if "explore_remaining_estimate" in gauges:
+        rows.append(
+            ("estimated remaining", f"{gauges['explore_remaining_estimate']:,.0f}")
+        )
+    if "explore_coverage" in gauges:
+        rows.append(("estimated coverage", f"{gauges['explore_coverage']:.1%}"))
+    if "explore_eta_seconds" in gauges:
+        rows.append(("ETA at last heartbeat", f"{gauges['explore_eta_seconds']:,.1f}s"))
+    out = ["<h2>Exploration coverage</h2>", "<table>"]
+    for label, value in rows:
+        out.append(
+            f"<tr><td>{escape(label)}</td>"
+            f'<td class="num">{escape(value)}</td></tr>'
+        )
+    out.append("</table>")
+    out.append(
+        '<p class="muted">frontier-weighted estimates from the last '
+        "explore_heartbeat — heuristic, not a bound.</p>"
+    )
+    return out
+
+
 def _waterfall_section(profiler: Profiler, max_rows: int = 60) -> List[str]:
     intervals: List[Tuple[str, int, float, float]] = []  # name, depth, start, dur
 
@@ -242,6 +279,7 @@ def render_html(
     if meta_bits:
         body.append(f'<p class="muted">{escape(" · ".join(meta_bits))}</p>')
     body.extend(_summary_section(registry, profiler))
+    body.extend(_coverage_section(registry))
     body.extend(_waterfall_section(profiler))
     body.extend(_steps_tables_section(registry))
     body.extend(_distributions_section(registry))

@@ -29,6 +29,7 @@ Three robustness dimensions ride on the same walk (see docs/ROBUSTNESS.md):
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass
 from typing import (
     Callable,
@@ -46,6 +47,7 @@ from repro.faults.checkpoint import Checkpoint
 from repro.faults.checkpoint import write_checkpoint as _write_checkpoint_file
 from repro.faults.verdict import Verdict
 from repro.obs import events as _obs_events
+from repro.obs.coverage import CoverageEstimator
 from repro.runtime.execution import CRASH_CHOICE, Execution
 from repro.runtime.system import System, SystemSpec
 
@@ -135,6 +137,12 @@ class Explorer:
         When set, the DFS frontier is checkpointed here every
         ``checkpoint_every`` yielded executions, on budget exhaustion,
         and at the end of the walk (empty frontier = finished).
+    heartbeat_interval:
+        Minimum seconds between ``explore_heartbeat`` events — the live
+        telemetry pulse carrying executions done, frontier size and depth
+        histogram, execution rate, and the coverage/ETA estimate (see
+        :mod:`repro.obs.coverage`).  Only emitted while the event bus is
+        enabled; ``0.0`` emits one per execution (used by tests).
     """
 
     def __init__(
@@ -148,6 +156,7 @@ class Explorer:
         budget: Optional[Budget] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1000,
+        heartbeat_interval: float = 0.5,
     ):
         self.spec = spec
         self.max_depth = max_depth
@@ -160,15 +169,26 @@ class Explorer:
         self.budget = budget
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
+        self.heartbeat_interval = heartbeat_interval
         self.stats = ExplorationStatistics()
         #: Reason the walk stopped early (budget exhaustion), or ``None``.
         self.interrupted: Optional[str] = None
         #: Executions yielded before this run started (from a checkpoint).
         self.resumed_executions = 0
+        #: Run-ledger id recorded in checkpoints (set by the CLI) so a
+        #: resumed run can name its parent (see :mod:`repro.obs.ledger`).
+        self.run_id: Optional[str] = None
         self._initial_frontier: Optional[List[List[Decision]]] = None
         self._stack: Optional[List[List[Decision]]] = None
         self._budget: Optional[Budget] = None
         self._spec_meta: dict = {}
+        self._clock = time.monotonic
+        self._estimator = CoverageEstimator()
+        self._walk_started: Optional[float] = None
+        self._last_heartbeat = 0.0
+        self._branch_sum = 0  # branches over all expanded interior nodes
+        self._branch_nodes = 0
+        self._leaf_depth_sum = 0  # depths of completed executions
 
     # ------------------------------------------------------------------
     # Construction from a checkpoint
@@ -278,6 +298,7 @@ class Explorer:
             max_crashes=self.max_crashes,
             stats=asdict(self.stats),
             spec=self._spec_meta,
+            run_id=self.run_id,
         )
         return destination
 
@@ -366,8 +387,10 @@ class Explorer:
         if budget is not None:
             budget.start()
         since_checkpoint = 0
-        observed = _obs_events.is_enabled()
+        self._walk_started = self._clock()
+        self._last_heartbeat = self._walk_started
         while stack:
+            observed = _obs_events.is_enabled()
             if budget is not None:
                 reason = budget.exhausted_reason()
                 if reason is not None:
@@ -382,6 +405,8 @@ class Explorer:
                     "frontier", depth=len(prefix), branches=len(branches)
                 )
             if branches and len(prefix) < self.max_depth:
+                self._branch_sum += len(branches)
+                self._branch_nodes += 1
                 for decision in reversed(branches):
                     stack.append(prefix + [decision])
                 continue
@@ -398,6 +423,7 @@ class Explorer:
                 if observed:
                     _obs_events.emit("schedule_explored", depth=len(prefix))
             self.stats.executions += 1
+            self._leaf_depth_sum += len(prefix)
             since_checkpoint += 1
             if (
                 self.checkpoint_path is not None
@@ -405,10 +431,59 @@ class Explorer:
             ):
                 self.write_checkpoint()
                 since_checkpoint = 0
+            if observed:
+                now = self._clock()
+                if now - self._last_heartbeat >= self.heartbeat_interval:
+                    self._last_heartbeat = now
+                    self._heartbeat(now)
             yield system.finalize()
         self._stack = []
         if self.checkpoint_path is not None:
             self.write_checkpoint()  # empty frontier marks completion
+
+    def _heartbeat(self, now: float) -> None:
+        """Emit one ``explore_heartbeat`` telemetry event.
+
+        Carries the raw walk observables (executions, frontier size and
+        depth histogram, branch statistics, elapsed wall time) plus the
+        coverage estimator's derived fields (rate / remaining / coverage
+        / ETA — absent while not yet estimable).  Rate-limited by
+        ``heartbeat_interval``; the O(frontier) depth histogram is cheap
+        at that cadence.
+        """
+        stack = self._stack or []
+        depths: dict = {}
+        for prefix in stack:
+            depth = len(prefix)
+            depths[depth] = depths.get(depth, 0) + 1
+        mean_branch = (
+            self._branch_sum / self._branch_nodes if self._branch_nodes else 0.0
+        )
+        mean_leaf_depth = (
+            self._leaf_depth_sum / self.stats.executions
+            if self.stats.executions
+            else 0.0
+        )
+        elapsed = now - (self._walk_started or now)
+        estimate = self._estimator.update(
+            executions=self.total_executions,
+            elapsed=elapsed,
+            frontier_depths=depths,
+            mean_branch=mean_branch,
+            mean_leaf_depth=mean_leaf_depth,
+        )
+        _obs_events.emit(
+            "explore_heartbeat",
+            executions=self.total_executions,
+            frontier=len(stack),
+            frontier_depths=depths,
+            mean_branch=round(mean_branch, 3),
+            mean_leaf_depth=round(mean_leaf_depth, 3),
+            elapsed=round(elapsed, 3),
+            max_depth_seen=self.stats.max_depth_seen,
+            faults_injected=self.stats.faults_injected,
+            **estimate,
+        )
 
     def _interrupt(self, reason: str, observed: bool) -> None:
         self.interrupted = reason

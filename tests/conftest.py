@@ -7,6 +7,18 @@ import pytest
 from repro.runtime import RandomScheduler, RoundRobinScheduler
 
 
+@pytest.fixture(autouse=True)
+def _ledger_in_tmp(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test file.
+
+    The CLI records every invocation in ``.repro/runs.jsonl`` by default;
+    without this, every ``main([...])`` call in the suite would append to
+    a ledger inside the working tree.  Tests that care about the ledger
+    override the path explicitly (``--ledger``) or read this one.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "test-runs.jsonl"))
+
+
 @pytest.fixture
 def round_robin():
     return RoundRobinScheduler()

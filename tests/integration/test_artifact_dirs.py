@@ -1,0 +1,96 @@
+"""Artifact writers must create missing parent directories.
+
+Regression tests: every path-taking flag used to fail with
+``FileNotFoundError`` when pointed into a directory that does not exist
+yet (the natural first invocation: ``--trace-out out/run.jsonl``).
+"""
+
+import json
+
+from repro.__main__ import main
+from repro.fsutil import ensure_parent
+
+
+class TestEnsureParent:
+    def test_creates_nested_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "file.txt"
+        assert ensure_parent(str(target)) == str(target)
+        assert target.parent.is_dir()
+
+    def test_bare_filename_is_untouched(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert ensure_parent("file.txt") == "file.txt"
+
+    def test_existing_directory_is_fine(self, tmp_path):
+        target = tmp_path / "file.txt"
+        ensure_parent(str(target))
+        ensure_parent(str(target))
+
+
+class TestFlagsCreateParents:
+    def make_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["check", "1", "1", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "missing" / "run.jsonl"
+        assert main(["check", "1", "1", "--trace-out", str(trace)]) == 0
+        assert trace.exists()
+
+    def test_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "missing" / "run.prom"
+        assert main(["check", "1", "1", "--metrics-out", str(out)]) == 0
+        assert "steps_total" in out.read_text()
+
+    def test_stats_html(self, tmp_path, capsys):
+        trace = self.make_trace(tmp_path, capsys)
+        out = tmp_path / "missing" / "report.html"
+        assert main(["stats", str(trace), "--html", str(out)]) == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_stats_flame(self, tmp_path, capsys):
+        trace = self.make_trace(tmp_path, capsys)
+        out = tmp_path / "missing" / "stacks.folded"
+        assert main(["stats", str(trace), "--flame", str(out)]) == 0
+        assert out.exists()
+
+    def test_stats_metrics_out(self, tmp_path, capsys):
+        trace = self.make_trace(tmp_path, capsys)
+        out = tmp_path / "missing" / "replay.prom"
+        assert main(["stats", str(trace), "--metrics-out", str(out)]) == 0
+        assert "steps_total" in out.read_text()
+
+    def test_checkpoint_path(self, tmp_path, capsys):
+        checkpoint = tmp_path / "missing" / "ck.jsonl"
+        assert main(
+            ["explore", "--task", "consensus", "--n", "2", "--k", "1",
+             "--checkpoint", str(checkpoint)]
+        ) == 0
+        header = json.loads(checkpoint.read_text().splitlines()[0])
+        assert header["format"] == "repro-checkpoint/1"
+
+
+class TestStatsCorruptInput:
+    def test_all_corrupt_exits_2(self, tmp_path, capsys):
+        """Every line unreadable is an error, not an empty digest."""
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text("{nope\nnot json either\n")
+        assert main(["stats", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "no events" in err
+        assert "2 corrupt lines skipped" in err
+
+    def test_empty_trace_still_exits_1(self, tmp_path, capsys):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["stats", str(trace)]) == 1
+
+    def test_partially_corrupt_trace_still_works(self, tmp_path, capsys):
+        trace = tmp_path / "mixed.jsonl"
+        trace.write_text(
+            json.dumps({"i": 0, "event": "step", "pid": 0}) + "\ngarbage\n"
+        )
+        assert main(["stats", str(trace)]) == 0
+        assert "1 corrupt lines skipped" in capsys.readouterr().out

@@ -175,9 +175,12 @@ class TestObservability:
         assert live.read_text() == replayed.read_text() != ""
 
     def test_stats_write_failure_exits_two(self, tmp_path, capsys):
+        # Missing parent directories are created, so the unwritable path
+        # here has a *file* where a directory would have to be.
         trace = tmp_path / "run.jsonl"
         assert main(["check", "1", "1", "--trace-out", str(trace)]) == 0
-        bad = tmp_path / "missing-dir" / "out.folded"
+        (tmp_path / "not-a-dir").write_text("")
+        bad = tmp_path / "not-a-dir" / "out.folded"
         assert main(["stats", str(trace), "--flame", str(bad)]) == 2
         assert "cannot write" in capsys.readouterr().err
 

@@ -129,3 +129,24 @@ class TestCliMain:
         good = write_bench_file(tmp_path / "good.json", BASELINE)
         assert main([str(tmp_path / "missing.json"), good]) == 2
         assert "bench-compare:" in capsys.readouterr().err
+
+    def test_single_argument_uses_committed_baseline(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        baseline = write_bench_file(tmp_path / "baseline.json", BASELINE)
+        candidate = write_bench_file(tmp_path / "candidate.json", BASELINE)
+        monkeypatch.setenv("REPRO_BENCH_BASELINE", baseline)
+        assert main([candidate]) == 0
+        out = capsys.readouterr().out
+        assert f"comparing against committed baseline {baseline}" in out
+
+    def test_committed_baseline_is_loadable(self):
+        """The repository ships benchmarks/BENCH_baseline.json; the
+        single-argument form depends on it parsing."""
+        import os
+
+        from repro.obs.bench import default_baseline_path
+
+        assert os.environ.get("REPRO_BENCH_BASELINE") is None
+        benches = load_bench_file(default_baseline_path())
+        assert benches, "committed baseline must list benches"

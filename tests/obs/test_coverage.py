@@ -1,0 +1,75 @@
+"""Tests for the online coverage/ETA estimator."""
+
+import pytest
+
+from repro.obs.coverage import REMAINING_CAP, CoverageEstimator, estimate_remaining
+
+
+class TestEstimateRemaining:
+    def test_empty_frontier_is_done(self):
+        assert estimate_remaining({}, 2.0, 5.0) == 0.0
+
+    def test_no_branch_statistics_yet(self):
+        assert estimate_remaining({0: 1}, 0.0, 0.0) is None
+        assert estimate_remaining({0: 1}, 2.0, 0.0) is None
+
+    def test_each_prefix_counts_at_least_once(self):
+        # Prefixes at or below the mean leaf depth still are executions.
+        assert estimate_remaining({7: 3}, 2.0, 5.0) == 3.0
+
+    def test_exponential_weighting_by_depth(self):
+        # One prefix at depth 2, leaves at depth 5, branch 2 -> 2**3 = 8.
+        assert estimate_remaining({2: 1}, 2.0, 5.0) == pytest.approx(8.0)
+        # Two of them double it; a deep one adds ~1.
+        assert estimate_remaining({2: 2, 5: 1}, 2.0, 5.0) == pytest.approx(17.0)
+
+    def test_branch_below_one_clamps_to_unit(self):
+        # A sub-unity mean branch must not shrink remaining below the
+        # frontier size.
+        assert estimate_remaining({0: 4}, 0.5, 10.0) == 4.0
+
+    def test_astronomical_trees_cap(self):
+        assert estimate_remaining({0: 10}, 10.0, 400.0) == REMAINING_CAP
+
+
+class TestCoverageEstimator:
+    def test_first_heartbeat_has_no_rate(self):
+        estimator = CoverageEstimator()
+        out = estimator.update(10, 1.0, {1: 2}, 2.0, 4.0)
+        assert "rate" not in out
+        assert "eta_seconds" not in out
+        assert "remaining_estimate" in out
+
+    def test_rate_and_eta_after_second_heartbeat(self):
+        estimator = CoverageEstimator()
+        estimator.update(10, 1.0, {1: 2}, 2.0, 4.0)
+        out = estimator.update(30, 2.0, {3: 4}, 2.0, 4.0)
+        assert out["rate"] == pytest.approx(20.0)
+        # depth 3, leaves 4, branch 2 -> 2 per prefix, 4 prefixes.
+        assert out["remaining_estimate"] == pytest.approx(8.0)
+        assert out["eta_seconds"] == pytest.approx(8.0 / 20.0)
+        assert out["coverage"] == pytest.approx(30 / 38.0)
+
+    def test_rate_is_smoothed(self):
+        estimator = CoverageEstimator(alpha=0.5)
+        estimator.update(0, 0.0, {0: 1}, 2.0, 3.0)
+        estimator.update(10, 1.0, {0: 1}, 2.0, 3.0)   # instant 10/s
+        out = estimator.update(50, 2.0, {0: 1}, 2.0, 3.0)  # instant 40/s
+        assert out["rate"] == pytest.approx(25.0)  # 10 + 0.5 * (40 - 10)
+
+    def test_finished_walk_reports_full_coverage(self):
+        estimator = CoverageEstimator()
+        estimator.update(5, 1.0, {1: 1}, 2.0, 3.0)
+        out = estimator.update(9, 2.0, {}, 2.0, 3.0)
+        assert out["remaining_estimate"] == 0.0
+        assert out["coverage"] == pytest.approx(1.0)
+        assert out["eta_seconds"] == 0.0
+
+    def test_clock_going_backwards_keeps_last_rate(self):
+        estimator = CoverageEstimator()
+        estimator.update(10, 2.0, {0: 1}, 2.0, 3.0)
+        estimator.update(20, 3.0, {0: 1}, 2.0, 3.0)
+        before = estimator.rate
+        out = estimator.update(25, 2.5, {0: 1}, 2.0, 3.0)
+        assert estimator.rate == before
+        assert out["rate"] == pytest.approx(before)

@@ -1,0 +1,181 @@
+"""Tests for the run ledger and the ``repro runs`` subcommands."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import ledger
+
+
+@pytest.fixture(autouse=True)
+def _no_dangling_recorder():
+    """Tests must not leak a process-wide recorder into each other."""
+    ledger.abandon_run()
+    yield
+    ledger.abandon_run()
+
+
+class TestAppendRead:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        ledger.append_record(path, {"format": ledger.FORMAT, "run_id": "a"})
+        ledger.append_record(path, {"format": ledger.FORMAT, "run_id": "b"})
+        records, skipped = ledger.read_ledger(path)
+        assert [r["run_id"] for r in records] == ["a", "b"]
+        assert skipped == 0
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        records, skipped = ledger.read_ledger(str(tmp_path / "absent.jsonl"))
+        assert records == [] and skipped == 0
+
+    def test_corrupt_and_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text(
+            json.dumps({"format": ledger.FORMAT, "run_id": "ok"})
+            + "\n{broken\n"
+            + json.dumps({"format": "other/1"})
+            + "\n"
+        )
+        records, skipped = ledger.read_ledger(str(path))
+        assert [r["run_id"] for r in records] == ["ok"]
+        assert skipped == 2
+
+    def test_append_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "runs.jsonl")
+        ledger.append_record(path, {"format": ledger.FORMAT, "run_id": "x"})
+        assert ledger.read_ledger(path)[0][0]["run_id"] == "x"
+
+
+class TestFindRecord:
+    RECORDS = [
+        {"format": ledger.FORMAT, "run_id": "20260101T000000-aaaaaa"},
+        {"format": ledger.FORMAT, "run_id": "20260101T000001-bbbbbb"},
+    ]
+
+    def test_exact_and_prefix(self):
+        assert ledger.find_record(self.RECORDS, "20260101T000001-bbbbbb") \
+            is self.RECORDS[1]
+        assert ledger.find_record(self.RECORDS, "20260101T000001") \
+            is self.RECORDS[1]
+
+    def test_unknown_and_ambiguous_raise(self):
+        with pytest.raises(ValueError, match="no run"):
+            ledger.find_record(self.RECORDS, "zzz")
+        with pytest.raises(ValueError, match="ambiguous"):
+            ledger.find_record(self.RECORDS, "20260101T00000")
+
+
+class TestRunRecorder:
+    def test_finish_stamps_verdict_and_duration(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        recorder = ledger.begin_run(path, "check", ["check", "1", "1"])
+        ledger.annotate(executions=7, nothing=None)
+        record = ledger.finish_run(0)
+        assert record["verdict"] == "proved"
+        assert record["executions"] == 7
+        assert "nothing" not in record
+        assert record["duration_seconds"] >= 0
+        stored, _ = ledger.read_ledger(path)
+        assert stored[0]["run_id"] == recorder.run_id
+        # finish_run cleared the process-wide recorder.
+        assert ledger.current_run() is None
+        assert ledger.finish_run(0) is None
+
+    def test_annotate_without_active_run_is_noop(self):
+        ledger.annotate(executions=1)  # must not raise
+
+
+class TestCliRecording:
+    def test_every_run_command_appends(self, tmp_path, capsys):
+        path = tmp_path / "runs.jsonl"
+        assert main(["describe", "2", "1", "--ledger", str(path)]) == 0
+        records, _ = ledger.read_ledger(str(path))
+        assert len(records) == 1
+        assert records[0]["command"] == "describe"
+        assert records[0]["verdict"] == "proved"
+
+    def test_no_ledger_disables(self, tmp_path, capsys):
+        path = tmp_path / "runs.jsonl"
+        assert main(
+            ["describe", "2", "1", "--ledger", str(path), "--no-ledger"]
+        ) == 0
+        assert not path.exists()
+
+    def test_crashing_command_records_error(self, tmp_path, capsys):
+        path = tmp_path / "runs.jsonl"
+        with pytest.raises(ValueError):
+            main(["describe", "2", "0", "--ledger", str(path)])
+        records, _ = ledger.read_ledger(str(path))
+        assert records[0]["verdict"] == "error"
+        assert records[0]["exit_code"] == 2
+
+    def test_runs_family_not_recorded(self, tmp_path, capsys):
+        path = tmp_path / "runs.jsonl"
+        assert main(["runs", "list", "--ledger", str(path)]) == 0
+        assert not path.exists()
+
+
+class TestRunsSubcommands:
+    def run_explore(self, tmp_path, *extra):
+        path = tmp_path / "runs.jsonl"
+        code = main(
+            ["explore", "--task", "consensus", "--n", "2", "--k", "1",
+             "--ledger", str(path), *extra]
+        )
+        return path, code
+
+    def test_list_show(self, tmp_path, capsys):
+        path, code = self.run_explore(tmp_path)
+        assert code == 0
+        assert main(["runs", "list", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "explore" in out and "proved" in out
+        records, _ = ledger.read_ledger(str(path))
+        run_id = records[0]["run_id"]
+        assert main(["runs", "show", run_id, "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"run_id: {run_id}" in out
+        assert "describe: exhaustive(task=consensus" in out
+
+    def test_show_unknown_id_exits_2(self, tmp_path, capsys):
+        path, _ = self.run_explore(tmp_path)
+        assert main(["runs", "show", "nope", "--ledger", str(path)]) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_resume_chain_and_compare(self, tmp_path, capsys):
+        """Acceptance: an interrupted run resumed via --resume yields two
+        ledger records linked by parent run id, diffable by compare."""
+        checkpoint = tmp_path / "ck.jsonl"
+        path, code = self.run_explore(
+            tmp_path, "--checkpoint", str(checkpoint), "--max-steps", "3"
+        )
+        assert code == 3  # budget-interrupted
+        path, code = self.run_explore(tmp_path, "--resume", str(checkpoint))
+        assert code == 0
+        capsys.readouterr()
+        records, _ = ledger.read_ledger(str(path))
+        assert len(records) == 2
+        first, second = records
+        assert second["parent_run_id"] == first["run_id"]
+        assert first["verdict"] == "inconclusive"
+        assert second["verdict"] == "proved"
+        code = main(
+            ["runs", "compare", first["run_id"], second["run_id"],
+             "--ledger", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # verdicts disagree
+        assert "chain: B resumes A's checkpoint" in out
+        assert "inconclusive vs proved (DIFFERS)" in out
+
+    def test_compare_exit_0_when_verdicts_agree(self, tmp_path, capsys):
+        path, _ = self.run_explore(tmp_path)
+        self.run_explore(tmp_path)
+        records, _ = ledger.read_ledger(str(path))
+        code = main(
+            ["runs", "compare", records[0]["run_id"], records[1]["run_id"],
+             "--ledger", str(path)]
+        )
+        assert code == 0
+        assert "(=)" in capsys.readouterr().out

@@ -175,3 +175,66 @@ class TestPidFilter:
         executions = list(explorer.executions())
         assert len(executions) == 1
         assert executions[0].schedule == [0, 1, 2]
+
+
+class TestHeartbeat:
+    """The explore_heartbeat telemetry pulse from the DFS loop."""
+
+    def collect(self, explorer):
+        from repro.obs import events
+
+        beats = []
+
+        def listen(name, fields):
+            if name == "explore_heartbeat":
+                beats.append(dict(fields))
+
+        events.subscribe(listen)
+        try:
+            list(explorer.executions())
+        finally:
+            events.unsubscribe(listen)
+        return beats
+
+    def test_silent_when_bus_disabled(self):
+        explorer = Explorer(one_step_spec(2), heartbeat_interval=0.0)
+        list(explorer.executions())  # must not raise, and nothing to emit to
+
+    def test_one_beat_per_execution_at_zero_interval(self):
+        explorer = Explorer(one_step_spec(2), heartbeat_interval=0.0)
+        beats = self.collect(explorer)
+        assert len(beats) == 2  # 2! schedules
+        assert beats[-1]["executions"] == 2
+        assert beats[-1]["frontier"] == 0
+
+    def test_beat_carries_observables_and_estimates(self):
+        explorer = Explorer(one_step_spec(3), heartbeat_interval=0.0)
+        beats = self.collect(explorer)
+        first, last = beats[0], beats[-1]
+        for key in ("executions", "frontier", "frontier_depths",
+                    "mean_branch", "mean_leaf_depth", "elapsed",
+                    "max_depth_seen", "faults_injected"):
+            assert key in first, key
+        assert first["frontier"] > 0
+        assert all(
+            isinstance(d, int) and isinstance(c, int)
+            for d, c in first["frontier_depths"].items()
+        )
+        # Later beats have branch statistics, so remaining is estimable
+        # and shrinks to zero by the final beat.
+        assert last["remaining_estimate"] == 0.0
+        assert last["coverage"] == 1.0
+
+    def test_long_interval_stays_quiet(self):
+        explorer = Explorer(one_step_spec(3), heartbeat_interval=3600.0)
+        beats = self.collect(explorer)
+        assert beats == []
+
+    def test_run_id_lands_in_checkpoint(self, tmp_path):
+        from repro.faults.checkpoint import read_checkpoint
+
+        path = str(tmp_path / "ck.jsonl")
+        explorer = Explorer(one_step_spec(2), checkpoint_path=path)
+        explorer.run_id = "20260101T000000-abc123"
+        list(explorer.executions())
+        assert read_checkpoint(path).run_id == "20260101T000000-abc123"
