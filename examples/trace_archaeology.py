@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Counterexample archaeology: find, archive, and replay a schedule.
+"""Counterexample archaeology: find, archive, shrink, and explain a schedule.
 
 Workflow every model-checking user ends up needing:
 
@@ -10,11 +10,22 @@ Workflow every model-checking user ends up needing:
    recomputes everything);
 3. reloading replays it against a fresh system and verifies a
    fingerprint, so silent drift between the archive and the code is
-   impossible (demonstrated by tampering with the file).
+   impossible (demonstrated by tampering with the file);
+4. the same hunt with a witness store active archives the deciding
+   execution as a self-describing ``repro-witness/1`` bundle — spec and
+   predicate provenance ride along, so nothing else needs to remember
+   how to rebuild the system;
+5. ``repro explain`` (driven here via its library entry point) replays
+   the bundle, ddmin-shrinks the schedule to a 1-minimal core, and
+   renders the space-time lane diagram plus the step narrative.
 
-Run: ``python examples/trace_archaeology.py``
+Run: ``python examples/trace_archaeology.py [--out DIR]``
+
+With ``--out DIR`` the witness bundle survives the run (CI uploads it
+as a build artifact); by default everything lands in a temp directory.
 """
 
+import argparse
 import json
 import tempfile
 from pathlib import Path
@@ -23,6 +34,8 @@ from repro.algorithms.consensus_from_n_consensus import (
     partition_set_consensus_spec,
 )
 from repro.errors import ReproError
+from repro.obs.explain import run_explain
+from repro.obs.witness import capture_witnesses, witness_context
 from repro.runtime.explorer import find_execution
 from repro.runtime.trace_io import load_trace_json, trace_to_json
 
@@ -33,13 +46,24 @@ def fresh_spec():
     return partition_set_consensus_spec(2, INPUTS)
 
 
-def main() -> None:
-    print("== 1. Hunt: worst-case schedule for the 2-consensus baseline ==")
-    witness = find_execution(
+def hunt():
+    return find_execution(
         fresh_spec(),
         lambda e: len(e.distinct_outputs()) == 3,
         max_depth=10,
     )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write the witness bundle here (default: a temp directory)",
+    )
+    args = parser.parse_args()
+
+    print("== 1. Hunt: worst-case schedule for the 2-consensus baseline ==")
+    witness = hunt()
     print(f"  found: schedule {witness.schedule} -> outputs {witness.outputs}")
 
     print("\n== 2. Archive ==")
@@ -65,6 +89,24 @@ def main() -> None:
             print(f"  doctored trace rejected: {type(err).__name__}: {err}")
         else:
             raise AssertionError("tampering went unnoticed")
+
+        print("\n== 5. Witness store: capture with provenance ==")
+        out_dir = args.out or str(Path(tmp) / "witnesses")
+        with capture_witnesses(out_dir) as store, witness_context(
+            spec={"builder": "n-consensus-partition", "n": 2, "inputs": INPUTS},
+            predicate={"name": "distinct-outputs-at-least", "count": 3},
+            label="archaeology: baseline forced to 3 at N=6",
+        ):
+            # find_execution routes through Explorer.find, whose hook
+            # archives the deciding execution into the active store.
+            hunt()
+        assert store.captured, "the hunt should have produced a witness"
+        bundle = store.captured[0]
+        print(f"  bundle: {bundle}")
+
+        print("\n== 6. Shrink + explain (what `repro explain` does) ==")
+        code = run_explain(bundle, shrink=True)
+        assert code == 0, f"explain exited {code}"
 
 
 if __name__ == "__main__":

@@ -41,9 +41,18 @@ Commands
 ``runs list|show|compare``
     Inspect the persistent run ledger (``.repro/runs.jsonl``): every run
     command appends one record (run id, argv, verdict, duration, budget
-    trips, checkpoint and artifact paths).  ``show RUN_ID`` prints one
-    record in full, ``compare A B`` diffs verdicts/timings between two
-    runs (abbreviated run ids accepted; exit 1 when verdicts disagree).
+    trips, checkpoint, artifact, and witness paths).  ``show RUN_ID``
+    prints one record in full, ``compare A B`` diffs verdicts/timings
+    between two runs (abbreviated run ids accepted; exit 1 when verdicts
+    disagree).
+``explain WITNESS.jsonl | RUN_ID``
+    Replay an archived witness bundle (or the witnesses recorded by a
+    ledger run), ddmin-shrink it to a 1-minimal schedule that still
+    satisfies its predicate, and print the space-time lane diagram plus
+    a step-by-step narrative.  ``--no-shrink`` skips minimization,
+    ``--html OUT.html`` also writes the lane view as a page.  Output is
+    deterministic: two invocations over the same bundle are
+    byte-identical.  See docs/EXPLAIN.md.
 
 Observability flags (every run command):
 
@@ -61,6 +70,12 @@ Observability flags (every run command):
 ``--ledger FILE`` / ``--no-ledger``
     Override or disable the run-ledger record for this invocation
     (default ``.repro/runs.jsonl``, or ``$REPRO_LEDGER``).
+``--witness-dir [DIR]``
+    Archive every deciding execution (refuting counterexamples,
+    existence witnesses) as a replayable JSONL bundle under DIR
+    (default ``.repro/witnesses``); bundle paths land in suite rows,
+    ``/status``, the run ledger, and the HTML report, and feed
+    ``repro explain``.  Off unless given.
 
 Budget flags (every run command): ``--deadline SECONDS`` and
 ``--max-steps N`` install a process-wide :mod:`repro.faults.budget` —
@@ -294,11 +309,14 @@ def cmd_stats(args) -> int:
     registry = MetricsRegistry()
     profiler = Profiler()
     read_stats = JsonlReadStats()
+    witnesses = []
     for trace in args.traces:
         try:
             for name, fields in read_jsonl(trace, stats=read_stats):
                 registry.consume_event(name, fields)
                 profiler.consume_event(name, fields)
+                if name == "witness_captured":
+                    witnesses.append(dict(fields))
         except OSError as error:
             print(f"stats: cannot read {trace}: {error}", file=sys.stderr)
             return 1
@@ -334,6 +352,7 @@ def cmd_stats(args) -> int:
                         sources=args.traces,
                         events=read_stats.events,
                         skipped=read_stats.skipped,
+                        witnesses=witnesses,
                     )
                 )
             print(f"wrote HTML report to {args.html}")
@@ -401,6 +420,17 @@ def cmd_runs_show(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    from repro.obs.explain import run_explain
+
+    return run_explain(
+        args.target,
+        shrink=not args.no_shrink,
+        html_out=args.html,
+        ledger_path=args.ledger,
+    )
+
+
 def cmd_runs_compare(args) -> int:
     _path, records = _ledger_records(args)
     try:
@@ -461,6 +491,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-ledger",
         action="store_true",
         help="do not record this run in the ledger",
+    )
+    obs.add_argument(
+        "--witness-dir",
+        nargs="?",
+        const=".repro/witnesses",
+        default=None,
+        metavar="DIR",
+        help="archive every deciding execution as a replayable witness "
+        "bundle under DIR (default .repro/witnesses when the flag is "
+        "given with no value); inspect bundles with 'repro explain'",
     )
     obs.add_argument(
         "--deadline",
@@ -582,6 +622,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("--min-seconds", type=float, default=0.01)
     bench_compare.set_defaults(func=cmd_bench_compare, handles_obs_flags=True)
 
+    explain = sub.add_parser(
+        "explain",
+        help="shrink and narrate an archived witness bundle (or a ledger "
+        "run's witnesses)",
+    )
+    explain.add_argument(
+        "target", metavar="WITNESS.jsonl|RUN_ID",
+        help="a witness bundle path, or a ledger run id whose record "
+        "lists witnesses (unique prefix accepted)",
+    )
+    explain.add_argument(
+        "--no-shrink", action="store_true",
+        help="render the witness as archived without ddmin minimization",
+    )
+    explain.add_argument(
+        "--html", metavar="OUT.html", default=None,
+        help="also write the lane view(s) as a self-contained HTML page",
+    )
+    explain.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="resolve RUN_ID against this ledger file instead of the "
+        "default",
+    )
+    explain.set_defaults(
+        func=cmd_explain, handles_obs_flags=True, skip_ledger_record=True
+    )
+
     runs = sub.add_parser(
         "runs", help="inspect the persistent run ledger"
     )
@@ -619,6 +686,7 @@ def main(argv=None) -> int:
     sink = None
     reporter = None
     live = None
+    witness_store = None
     collecting = False
     trace_out = getattr(args, "trace_out", None)
     serve_port = getattr(args, "serve", None)
@@ -643,6 +711,12 @@ def main(argv=None) -> int:
         get_registry().install()
     if getattr(args, "progress", False):
         reporter = ProgressReporter().install()
+    witness_dir = getattr(args, "witness_dir", None)
+    if witness_dir is not None:
+        from repro.obs import witness as obs_witness
+
+        witness_store = obs_witness.WitnessStore(witness_dir)
+        obs_witness.activate_store(witness_store)
     budget = None
     if getattr(args, "deadline", None) is not None or getattr(
         args, "max_steps", None
@@ -697,6 +771,16 @@ def main(argv=None) -> int:
     finally:
         if live is not None:
             live.close()
+        if witness_store is not None:
+            from repro.obs import witness as obs_witness
+
+            obs_witness.deactivate_store()
+            if witness_store.captured:
+                print(
+                    f"{len(witness_store.captured)} witness bundle(s) in "
+                    f"{witness_dir} — inspect with: repro explain <bundle>",
+                    file=sys.stderr,
+                )
         if reporter is not None:
             reporter.close()
         if collecting:

@@ -122,6 +122,14 @@ def main(argv=None) -> int:
         print(DESCRIPTIONS.get(experiment_id, ""), "\n")
         print(render_table(rows))
         print()
+        witnessed = [row for row in rows if row.witness]
+        if witnessed:
+            for row in witnessed:
+                print(
+                    f"- witness for “{row.setting}”: `{row.witness}` "
+                    f"(replay/shrink with `repro explain {row.witness}`)"
+                )
+            print()
         for row in rows:
             counts[row.effective_verdict] += 1
     elapsed = time.perf_counter() - started

@@ -32,6 +32,12 @@ class ExperimentRow:
         Budget-limited runs set it to INCONCLUSIVE explicitly; a crashed
         experiment is reported as an ERROR row instead of aborting the
         suite.
+    witness:
+        Path of the archived ``repro-witness/1`` bundle explaining this
+        row's deciding execution (a REFUTED counterexample or a
+        PROVED-existence witness) — set when the suite ran with witness
+        capture active, ``None`` otherwise.  Feed it to
+        ``repro explain`` to replay, shrink, and render the run.
     """
 
     experiment: str
@@ -41,6 +47,7 @@ class ExperimentRow:
     ok: bool
     detail: Dict[str, Any] = field(default_factory=dict)
     verdict: Optional[Verdict] = None
+    witness: Optional[str] = None
 
     @property
     def effective_verdict(self) -> Verdict:
@@ -48,11 +55,14 @@ class ExperimentRow:
             return self.verdict
         return Verdict.PROVED if self.ok else Verdict.REFUTED
 
-    def markdown(self) -> str:
-        return (
+    def markdown(self, with_witness: bool = False) -> str:
+        line = (
             f"| {self.experiment} | {self.setting} | {self.claimed} "
             f"| {self.measured} | {self.effective_verdict.symbol} |"
         )
+        if with_witness:
+            line += f" {self.witness or ''} |"
+        return line
 
 
 def error_row(experiment: str, setting: str, error: BaseException) -> ExperimentRow:
@@ -90,9 +100,23 @@ def overall_verdict(rows: List[ExperimentRow]) -> Verdict:
 
 
 def render_table(rows: List[ExperimentRow]) -> str:
-    """GitHub-flavored markdown table for a list of rows."""
-    header = (
-        "| exp | setting | claimed | measured | ok |\n"
-        "|---|---|---|---|---|"
+    """GitHub-flavored markdown table for a list of rows.
+
+    The witness column appears only when at least one row carries an
+    archived witness path, so tables from capture-less runs render
+    exactly as before.
+    """
+    with_witness = any(row.witness for row in rows)
+    if with_witness:
+        header = (
+            "| exp | setting | claimed | measured | ok | witness |\n"
+            "|---|---|---|---|---|---|"
+        )
+    else:
+        header = (
+            "| exp | setting | claimed | measured | ok |\n"
+            "|---|---|---|---|---|"
+        )
+    return "\n".join(
+        [header] + [row.markdown(with_witness=with_witness) for row in rows]
     )
-    return "\n".join([header] + [row.markdown() for row in rows])

@@ -40,6 +40,7 @@ from repro.experiments.rows import (
 from repro.faults.budget import get_active_budget
 from repro.faults.verdict import Verdict
 from repro.obs import events as _obs_events
+from repro.obs import witness as _obs_witness
 from repro.obs.spans import span
 from repro.objects.queue_stack import QueueSpec
 from repro.objects.register import RegisterSpec
@@ -70,9 +71,14 @@ def run_e1_consensus() -> List[ExperimentRow]:
     rows = []
     for n, k in [(1, 1), (2, 1), (2, 2), (3, 1)]:
         inputs = _letters(n)
-        report = check_task_all_schedules(
-            consensus_spec(n, k, inputs), ConsensusTask(), inputs_dict(inputs)
-        )
+        with _obs_witness.witness_context(
+            spec={"builder": "consensus", "n": n, "k": k},
+            predicate={"name": "k-agreement-violated", "k": 1, "inputs": inputs},
+            label=f"E1 consensus O({n},{k})",
+        ):
+            report = check_task_all_schedules(
+                consensus_spec(n, k, inputs), ConsensusTask(), inputs_dict(inputs)
+            )
         rows.append(
             ExperimentRow(
                 experiment="E1",
@@ -84,6 +90,7 @@ def run_e1_consensus() -> List[ExperimentRow]:
                 ),
                 ok=report.ok,
                 detail={"executions": report.executions_checked},
+                witness=report.witness_path,
             )
         )
     return rows
@@ -98,11 +105,18 @@ def run_e2_set_consensus() -> List[ExperimentRow]:
     for n, k in [(1, 1), (2, 1)]:
         member = FamilyMember(n, k)
         inputs = _letters(member.ports)
-        report = check_task_all_schedules(
-            set_consensus_spec(n, k, inputs),
-            KSetConsensusTask(k + 1),
-            inputs_dict(inputs),
-        )
+        with _obs_witness.witness_context(
+            spec={"builder": "set-consensus", "n": n, "k": k},
+            predicate={
+                "name": "k-agreement-violated", "k": k + 1, "inputs": inputs,
+            },
+            label=f"E2 set consensus O({n},{k}) exhaustive",
+        ):
+            report = check_task_all_schedules(
+                set_consensus_spec(n, k, inputs),
+                KSetConsensusTask(k + 1),
+                inputs_dict(inputs),
+            )
         worst = max(report.distinct_output_counts) if report.ok else -1
         rows.append(
             ExperimentRow(
@@ -116,18 +130,26 @@ def run_e2_set_consensus() -> List[ExperimentRow]:
                 ),
                 ok=report.ok and worst <= k + 1,
                 detail={"executions": report.executions_checked, "worst": worst},
+                witness=report.witness_path,
             )
         )
     # Randomized for larger members.
     for n, k in [(2, 2), (3, 1), (4, 2)]:
         member = FamilyMember(n, k)
         inputs = _letters(member.ports)
-        report = check_task_random_schedules(
-            set_consensus_spec(n, k, inputs),
-            KSetConsensusTask(k + 1),
-            inputs_dict(inputs),
-            seeds=range(300),
-        )
+        with _obs_witness.witness_context(
+            spec={"builder": "set-consensus", "n": n, "k": k},
+            predicate={
+                "name": "k-agreement-violated", "k": k + 1, "inputs": inputs,
+            },
+            label=f"E2 set consensus O({n},{k}) random",
+        ):
+            report = check_task_random_schedules(
+                set_consensus_spec(n, k, inputs),
+                KSetConsensusTask(k + 1),
+                inputs_dict(inputs),
+                seeds=range(300),
+            )
         worst = max(report.distinct_output_counts) if report.ok else -1
         rows.append(
             ExperimentRow(
@@ -137,6 +159,7 @@ def run_e2_set_consensus() -> List[ExperimentRow]:
                 measured=f"worst {worst}",
                 ok=report.ok,
                 detail={"worst": worst},
+                witness=report.witness_path,
             )
         )
     # Tightness: the ring-order solo adversary reaches the bound.
@@ -364,8 +387,18 @@ def run_e6_common2() -> List[ExperimentRow]:
         for seed in range(300)
     )
     baseline = n_consensus_partition_spec(2, inputs)
-    forced = len(
-        baseline.run(SoloScheduler([0, 2, 4, 1, 3, 5])).distinct_outputs()
+    separating = baseline.run(SoloScheduler([0, 2, 4, 1, 3, 5]))
+    forced = len(separating.distinct_outputs())
+    # The separating run IS the refutation — archive it when capture is on.
+    witness_path = _obs_witness.capture(
+        separating,
+        kind=_obs_witness.KIND_EXISTENCE,
+        source="suite.e6_common2",
+        reason="2-consensus partition baseline forced to 3 decisions "
+        "(Common2 refutation, N=6)",
+        spec={"builder": "n-consensus-partition", "n": 2, "inputs": inputs},
+        predicate={"name": "distinct-outputs-at-least", "count": 3},
+        label="E6 Common2 refutation: partition baseline forced to 3",
     )
     rows.append(
         ExperimentRow(
@@ -374,6 +407,7 @@ def run_e6_common2() -> List[ExperimentRow]:
             claimed=f"family <= 2 always; baseline forced to {partition_bound(2, 6)}",
             measured=f"family worst {family_worst}; baseline forced {forced}",
             ok=family_worst <= 2 and forced == 3,
+            witness=witness_path,
         )
     )
     # The positive half of the conjecture, for contrast: TAS *is* in

@@ -18,7 +18,13 @@ Format (``repro-ledger/1``): one self-describing JSON object per line::
      "budget": "Budget(deadline=10s)",
      "budget_trips": {"deadline": 1},
      "checkpoint": "ck.jsonl", "parent_run_id": "20260806T115950-81d2aa",
-     "artifacts": {"trace_out": "run.jsonl", "metrics_out": "run.prom"}}
+     "artifacts": {"trace_out": "run.jsonl", "metrics_out": "run.prom"},
+     "witnesses": [".repro/witnesses/counterexample-1a2b3c4d5e6f.jsonl"]}
+
+The ``witnesses`` key (present when the run captured any) lists the
+``repro-witness/1`` bundles archived by :mod:`repro.obs.witness` —
+each is a replayable deciding execution that ``repro explain RUN_ID``
+can shrink and render.
 
 Appends are atomic: a record is a single ``os.write`` to an
 ``O_APPEND`` descriptor, so concurrent runs interleave whole lines, never
@@ -251,6 +257,11 @@ def render_list(records: List[Dict[str, Any]], limit: int = 0) -> str:
             notes.append(f"ckpt {record['checkpoint']}")
         if record.get("executions") is not None:
             notes.append(f"{record['executions']} execs")
+        witnesses = record.get("witnesses")
+        if isinstance(witnesses, list) and witnesses:
+            notes.append(
+                f"{len(witnesses)} witness{'es' if len(witnesses) != 1 else ''}"
+            )
         rows.append(
             (
                 str(record.get("run_id", "?")),
@@ -275,7 +286,7 @@ def render_show(record: Dict[str, Any]) -> str:
         "run_id", "parent_run_id", "command", "argv", "started_at",
         "duration_seconds", "exit_code", "verdict", "describe",
         "executions", "interrupted", "budget", "budget_trips",
-        "checkpoint", "artifacts",
+        "checkpoint", "artifacts", "witnesses",
     ]
     keys = [k for k in preferred if k in record]
     keys += [k for k in sorted(record) if k not in keys and k != "format"]

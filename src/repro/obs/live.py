@@ -9,7 +9,9 @@ ephemeral port on 127.0.0.1, printed at startup).  Three endpoints:
     span stack, live counters (steps, schedules, runs, states, faults),
     verdict tallies, the latest explorer heartbeat (executions done,
     frontier size, execution rate, coverage and ETA — absent until the
-    first heartbeat), suite progress, budget state, last checkpoint.
+    first heartbeat), suite progress, budget state, last checkpoint, and
+    the witness bundles captured so far (``witnesses`` — path, kind,
+    source per archived deciding execution; absent until one exists).
 ``GET /metrics``
     The process-wide metrics registry rendered by
     :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus` — the
@@ -77,6 +79,7 @@ class StatusBoard:
         self._suite: Optional[Dict[str, Any]] = None
         self._checkpoint: Optional[Dict[str, Any]] = None
         self._budget_trip: Optional[str] = None
+        self._witnesses: List[Dict[str, Any]] = []
 
     # -- event bus subscriber -----------------------------------------
     def __call__(self, name: str, fields: Dict[str, Any]) -> None:
@@ -110,6 +113,15 @@ class StatusBoard:
                 self._checkpoint = dict(fields)
             elif name == "budget_exhausted":
                 self._budget_trip = str(fields.get("reason", "exhausted"))
+            elif name == "witness_captured":
+                self._witnesses.append(
+                    {
+                        "path": str(fields.get("path", "")),
+                        "kind": str(fields.get("kind", "")),
+                        "source": str(fields.get("source", "")),
+                        "steps": fields.get("steps"),
+                    }
+                )
 
     # -- reading -------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -132,6 +144,8 @@ class StatusBoard:
                 payload["suite"] = dict(self._suite)
             if self._checkpoint is not None:
                 payload["checkpoint"] = dict(self._checkpoint)
+            if self._witnesses:
+                payload["witnesses"] = [dict(w) for w in self._witnesses]
         budget = get_active_budget()
         if budget is not None:
             payload["budget"] = {

@@ -27,8 +27,11 @@ name                      kind        meaning
 ``budget_exhausted_total``  counter   budget trips, by kind (deadline/steps)
 ``checkpoints_written_total``  counter  explorer checkpoints flushed
 ``explorations_interrupted``  counter  walks cut short by a budget
+``witnesses_captured_total``  counter  witness bundles archived, by kind
 ``schedule_depth``        histogram   length of explored executions
 ``run_steps``             histogram   steps per completed ``System.run``
+``witness_shrink_steps``  histogram   decisions removed per ddmin shrink
+``witness_min_length``    histogram   decisions left after ddmin
 ``frontier_branches``     histogram   branching factor at explorer frontiers
 ``phase_seconds``         histogram   wall time per span, by span name
 ``explore_executions``    gauge       executions done (latest heartbeat)
@@ -125,13 +128,32 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def saturated(self) -> bool:
+        """True when any sample landed in the overflow bucket
+        (``> BUCKET_BOUNDS[-1]``).
+
+        A saturated histogram's interpolated percentiles are lower
+        bounds, not estimates: the overflow bucket has no upper edge, so
+        interpolation inside it is clamped to the last finite bound (and
+        to the observed max).  Surfaced in :meth:`MetricsRegistry.
+        digest`, :meth:`MetricsRegistry.snapshot`, and as a
+        ``<name>_saturated`` gauge in the Prometheus exposition so
+        dashboards can see the caveat instead of trusting a fabricated
+        p99.
+        """
+        return self.buckets[-1] > 0
+
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
 
         Linear interpolation inside the landing bucket, clamped to the
         exact observed min/max — so single-sample and constant streams
         report the exact value, and estimates never leave the observed
-        range.
+        range.  A quantile landing in the overflow bucket does not
+        interpolate (the bucket is unbounded): it reports the last
+        finite bound, lifted to the observed min/max clamp — check
+        :attr:`saturated` before trusting the tail.
         """
         if not self.count:
             return 0.0
@@ -142,10 +164,14 @@ class Histogram:
                 continue
             if cumulative + bucket_count >= target:
                 lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                # The overflow bucket has no upper edge; interpolating
+                # against the observed max would fabricate precision, so
+                # clamp to the last finite bound and let the min/max
+                # clamp below lift single-valued streams to exactness.
                 upper = (
                     BUCKET_BOUNDS[index]
                     if index < len(BUCKET_BOUNDS)
-                    else (self.maximum if self.maximum is not None else lower)
+                    else BUCKET_BOUNDS[-1]
                 )
                 fraction = (target - cumulative) / bucket_count
                 estimate = lower + (upper - lower) * fraction
@@ -269,6 +295,7 @@ class MetricsRegistry:
                 "p50": histogram.p50,
                 "p90": histogram.p90,
                 "p99": histogram.p99,
+                "saturated": histogram.saturated,
             }
         return out
 
@@ -350,6 +377,17 @@ class MetricsRegistry:
             self.histogram(
                 "phase_seconds", span=fields.get("span", "?")
             ).observe(_num(fields.get("seconds")))
+        elif name == "witness_captured":
+            self.counter(
+                "witnesses_captured_total", kind=fields.get("kind", "unknown")
+            ).inc()
+        elif name == "witness_shrunk":
+            self.histogram("witness_shrink_steps").observe(
+                _num(fields.get("removed"))
+            )
+            self.histogram("witness_min_length").observe(
+                _num(fields.get("min_length"))
+            )
 
     def install(self) -> "MetricsRegistry":
         """Attach this registry to the event bus (live collection).
@@ -419,6 +457,12 @@ class MetricsRegistry:
             total = self.counter_total(name)
             if total:
                 lines.append(f"{name}: {total}")
+        witnesses = self.sum_by_label("witnesses_captured_total", "kind")
+        if witnesses:
+            lines.append(
+                "witnesses_captured_total: "
+                + ", ".join(f"{k}={c}" for k, c in sorted(witnesses.items()))
+            )
         verdicts = self.sum_by_label("runs_by_verdict", "verdict")
         if verdicts:
             lines.append(
@@ -435,14 +479,21 @@ class MetricsRegistry:
             ("schedule_depth", "schedules"),
             ("run_steps", "runs"),
             ("frontier_branches", "frontiers"),
+            ("witness_shrink_steps", "shrinks"),
+            ("witness_min_length", "witnesses"),
         ):
             histogram = self._histograms.get(_key(histogram_name, {}))
             if histogram is not None and histogram.count:
+                caveat = (
+                    " [saturated: percentiles are lower bounds]"
+                    if histogram.saturated
+                    else ""
+                )
                 lines.append(
                     f"{histogram_name}: min {histogram.minimum:g}, "
                     f"p50 {histogram.p50:.1f}, p90 {histogram.p90:.1f}, "
                     f"p99 {histogram.p99:.1f}, max {histogram.maximum:g} "
-                    f"over {histogram.count} {unit}"
+                    f"over {histogram.count} {unit}{caveat}"
                 )
         gauges = sorted(
             (name + _label_str(labels), gauge.value)
@@ -540,6 +591,17 @@ class MetricsRegistry:
                 lines.append(f"{name}_bucket{inf} {histogram.count}")
                 lines.append(f"{name}_sum{fmt_labels(labels)} {fmt_value(histogram.total)}")
                 lines.append(f"{name}_count{fmt_labels(labels)} {histogram.count}")
+            # Overflow-saturation caveat, emitted only for families where
+            # it bites so existing scrape outputs stay byte-identical.
+            flagged = [
+                (labels, histogram)
+                for labels, histogram in entries
+                if histogram.saturated
+            ]
+            if flagged:
+                lines.append(f"# TYPE {name}_saturated gauge")
+                for labels, _histogram in flagged:
+                    lines.append(f"{name}_saturated{fmt_labels(labels)} 1")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

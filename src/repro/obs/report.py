@@ -250,12 +250,58 @@ def _distributions_section(registry: MetricsRegistry) -> List[str]:
         ("schedule_depth", "Schedule depth"),
         ("run_steps", "Steps per run"),
         ("frontier_branches", "Frontier branching factor"),
+        ("witness_shrink_steps", "Witness shrink (decisions removed)"),
+        ("witness_min_length", "Shrunk witness length"),
     ):
         histogram = registry.get_histogram(name)
         if histogram is None or not histogram.count:
             continue
         out.append(f"<h2>{escape(title)}</h2>")
         out.extend(_histogram_rows(histogram))
+    return out
+
+
+def _witness_section(witnesses: List[Dict[str, Any]]) -> List[str]:
+    """Captured witness bundles, with embedded lane views where the
+    bundle is still readable on this machine.
+
+    ``witnesses`` entries are ``witness_captured`` event fields (path/
+    kind/source/steps).  The lane table is rebuilt from each bundle's
+    archived step table — no replay, so the section renders even when
+    the spec that produced the witness is unavailable.
+    """
+    if not witnesses:
+        return []
+    out = ["<h2>Witnesses</h2>", "<table>",
+           '<tr><th>bundle</th><th>kind</th><th>source</th>'
+           '<th class="num">steps</th></tr>']
+    for entry in witnesses:
+        path = str(entry.get("path", "?"))
+        out.append(
+            f"<tr><td>{escape(path)}</td>"
+            f"<td>{escape(str(entry.get('kind', '?')))}</td>"
+            f"<td>{escape(str(entry.get('source', '?')))}</td>"
+            f'<td class="num">{escape(str(entry.get("steps", "?")))}</td></tr>'
+        )
+    out.append("</table>")
+    out.append(
+        '<p class="muted">replay, shrink, and narrate any bundle with '
+        "<code>repro explain &lt;bundle&gt;</code>.</p>"
+    )
+    from repro.obs import explain as _explain
+    from repro.obs import witness as _witness
+
+    for entry in witnesses:
+        path = str(entry.get("path", ""))
+        try:
+            records, _skipped = _witness.read_witness(path)
+        except OSError:
+            continue
+        for record in records:
+            view = _explain.view_from_record(record)
+            label = record.get("label") or record.get("kind", "witness")
+            out.append(f"<h3>{escape(str(label))}</h3>")
+            out.append(_explain.lanes_html(view))
     return out
 
 
@@ -266,8 +312,15 @@ def render_html(
     sources: Optional[List[str]] = None,
     events: int = 0,
     skipped: int = 0,
+    witnesses: Optional[List[Dict[str, Any]]] = None,
 ) -> str:
-    """Render the full report; returns a complete HTML document."""
+    """Render the full report; returns a complete HTML document.
+
+    ``witnesses`` — ``witness_captured`` event fields collected from the
+    trace (the CLI's ``stats`` command gathers them during replay); each
+    gets a row in the witness table and, when its bundle file is still
+    readable, an embedded HTML lane view.
+    """
     body: List[str] = [f"<h1>{escape(title)}</h1>"]
     meta_bits: List[str] = []
     if sources:
@@ -283,12 +336,20 @@ def render_html(
     body.extend(_waterfall_section(profiler))
     body.extend(_steps_tables_section(registry))
     body.extend(_distributions_section(registry))
+    body.extend(_witness_section(list(witnesses or [])))
+    css = _CSS
+    if witnesses:
+        # Lane-view styling ships with the explainer; pulled in lazily so
+        # importing this module never drags in the runtime layer.
+        from repro.obs.explain import LANES_CSS
+
+        css = _CSS + LANES_CSS
     if len(body) <= 2:
         body.append("<p>(no metrics recorded)</p>")
     return (
         "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
         f"<title>{escape(title)}</title>"
-        f"<style>{_CSS}</style></head>\n<body>\n"
+        f"<style>{css}</style></head>\n<body>\n"
         + "\n".join(body)
         + "\n</body></html>\n"
     )

@@ -234,9 +234,14 @@ class Explorer:
         first counterexample execution (a replayable witness).  When the
         walk was cut short, ``None`` only means "no counterexample found
         so far" — consult :attr:`interrupted` or use :meth:`check_verdict`.
+
+        While a :mod:`repro.obs.witness` store is active, the
+        counterexample is archived as a ``repro-witness/1`` bundle
+        before it is returned.
         """
         for execution in self.executions():
             if not predicate(execution):
+                self._capture_witness(execution, kind="counterexample")
                 return execution
         return None
 
@@ -258,11 +263,33 @@ class Explorer:
 
     def find(self, predicate: Callable[[Execution], bool]) -> Optional[Execution]:
         """Return the first maximal execution satisfying ``predicate``
-        (an existence witness), or ``None``."""
+        (an existence witness), or ``None``.
+
+        Like :meth:`check`, archives the witness when a
+        :mod:`repro.obs.witness` store is active."""
         for execution in self.executions():
             if predicate(execution):
+                self._capture_witness(execution, kind="existence")
                 return execution
         return None
+
+    def _capture_witness(self, execution: Execution, kind: str) -> None:
+        """Archive a deciding execution through the active witness store.
+
+        Imported lazily: :mod:`repro.obs.witness` depends on this module's
+        package, and the fast path (no store active) is a cached-module
+        lookup plus one ``None`` check.
+        """
+        from repro.obs import witness as _obs_witness
+
+        if _obs_witness.get_active_store() is None:
+            return
+        _obs_witness.capture(
+            execution,
+            kind=kind,
+            source=f"explorer.{'check' if kind == 'counterexample' else 'find'}",
+            spec=self._spec_meta or None,
+        )
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -42,6 +42,11 @@ class SolvabilityReport:
     refinement (see :mod:`repro.faults.verdict`): a budget-interrupted
     check comes back ``INCONCLUSIVE`` with ``ok`` still True — nothing was
     refuted, but nothing was proved either.
+
+    When a :mod:`repro.obs.witness` store is active, the counterexample
+    is also archived as a ``repro-witness/1`` bundle and
+    ``witness_path`` records where — the path the experiment suite
+    threads into its rows and reports.
     """
 
     ok: bool
@@ -51,6 +56,7 @@ class SolvabilityReport:
     counterexample: Optional[Execution] = None
     reason: str = ""
     verdict: Verdict = Verdict.PROVED
+    witness_path: Optional[str] = None
 
     def record(self, execution: Execution) -> None:
         self.executions_checked += 1
@@ -59,6 +65,21 @@ class SolvabilityReport:
         )
         n = len(execution.distinct_outputs())
         self.distinct_output_counts[n] = self.distinct_output_counts.get(n, 0) + 1
+
+
+def _capture_counterexample(
+    execution: Execution, source: str, reason: str
+) -> Optional[str]:
+    """Archive a refuting execution through the active witness store
+    (``None`` when capture is off).  Lazy import: :mod:`repro.obs.witness`
+    depends on the runtime layer this module sits on."""
+    from repro.obs import witness as _obs_witness
+
+    if _obs_witness.get_active_store() is None:
+        return None
+    return _obs_witness.capture(
+        execution, kind="counterexample", source=source, reason=reason
+    )
 
 
 def _validate_execution(
@@ -156,6 +177,9 @@ def check_task_random_schedules(
             report.verdict = Verdict.REFUTED
             report.counterexample = execution
             report.reason = f"seed {seed}: {problem}"
+            report.witness_path = _capture_counterexample(
+                execution, "solvability.random_schedules", problem
+            )
             return report
     return report
 
@@ -185,6 +209,9 @@ def check_task_all_schedules(
             report.verdict = Verdict.REFUTED
             report.counterexample = execution
             report.reason = problem
+            report.witness_path = _capture_counterexample(
+                execution, "solvability.all_schedules", problem
+            )
             return report
     if explorer.interrupted is not None:
         report.verdict = Verdict.INCONCLUSIVE

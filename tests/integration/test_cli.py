@@ -212,6 +212,133 @@ class TestBenchCompare:
         assert main(["bench-compare", old, new, "--threshold", "0.6"]) == 0
 
 
+class TestWitnessAndExplain:
+    @staticmethod
+    def archive_bundle(directory):
+        """A real Common2-point witness bundle for the CLI to chew on."""
+        from repro.algorithms.consensus_from_n_consensus import (
+            partition_set_consensus_spec,
+        )
+        from repro.obs.witness import capture_witnesses, witness_context
+        from repro.runtime.explorer import find_execution
+
+        inputs = ["a", "b", "c", "d", "e", "f"]
+        with capture_witnesses(str(directory)) as store:
+            with witness_context(
+                spec={"builder": "n-consensus-partition", "n": 2,
+                      "inputs": inputs},
+                predicate={"name": "distinct-outputs-at-least", "count": 3},
+                label="cli test witness",
+            ):
+                find_execution(
+                    partition_set_consensus_spec(2, inputs),
+                    lambda e: len(e.distinct_outputs()) >= 3,
+                    max_depth=10,
+                )
+        return store.captured[0]
+
+    def test_witness_dir_flag_activates_and_deactivates(self, tmp_path, capsys):
+        from repro.obs.witness import get_active_store
+
+        assert main(["check", "1", "1", "--witness-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert get_active_store() is None  # torn down in the finally
+
+    def test_explain_bundle_end_to_end(self, tmp_path, capsys):
+        bundle = self.archive_bundle(tmp_path)
+        assert main(["explain", bundle]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint verified" in out
+        assert "1-minimal" in out
+        assert "Decision set:" in out
+
+    def test_explain_output_byte_stable(self, tmp_path, capsys):
+        bundle = self.archive_bundle(tmp_path)
+        assert main(["explain", bundle]) == 0
+        first = capsys.readouterr().out
+        assert main(["explain", bundle]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_explain_html_flag(self, tmp_path, capsys):
+        bundle = self.archive_bundle(tmp_path)
+        html = tmp_path / "lanes.html"
+        assert main(["explain", bundle, "--html", str(html)]) == 0
+        capsys.readouterr()
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_explain_no_shrink(self, tmp_path, capsys):
+        bundle = self.archive_bundle(tmp_path)
+        assert main(["explain", bundle, "--no-shrink"]) == 0
+        assert "shrunk:" not in capsys.readouterr().out
+
+    def test_explain_resolves_run_id_from_ledger(self, tmp_path, capsys):
+        from repro.obs import ledger as run_ledger
+
+        bundle = self.archive_bundle(tmp_path / "wit")
+        ledger = str(tmp_path / "runs.jsonl")
+        recorder = run_ledger.begin_run(path=ledger, command="test")
+        run_ledger.annotate(witnesses=[bundle])
+        run_ledger.finish_run(0)
+        assert main(
+            ["explain", recorder.run_id, "--ledger", ledger]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"bundle: {bundle}" in out
+
+    def test_explain_unknown_target_exits_two(self, tmp_path, capsys):
+        assert main(
+            ["explain", "nope", "--ledger", str(tmp_path / "absent.jsonl")]
+        ) == 2
+        assert "explain:" in capsys.readouterr().out
+
+    def test_witness_path_lands_in_ledger_and_runs_show(self, tmp_path, capsys):
+        """A run that captures a witness records its path; runs show
+        surfaces it (the acceptance-criteria loop, minus the slow suite)."""
+        from repro.algorithms.consensus_from_n_consensus import (
+            partition_set_consensus_spec,
+        )
+        from repro.obs import ledger as run_ledger
+        from repro.obs.witness import capture_witnesses
+        from repro.runtime.explorer import find_execution
+
+        inputs = ["a", "b", "c", "d", "e", "f"]
+        ledger = str(tmp_path / "runs.jsonl")
+        recorder = run_ledger.begin_run(path=ledger, command="hunt")
+        with capture_witnesses(str(tmp_path / "wit")) as store:
+            find_execution(
+                partition_set_consensus_spec(2, inputs),
+                lambda e: len(e.distinct_outputs()) >= 3,
+                max_depth=10,
+            )
+        run_ledger.finish_run(0)
+        assert main(["runs", "show", recorder.run_id, "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert store.captured[0] in out
+        assert main(["runs", "list", "--ledger", ledger]) == 0
+        assert "1 witness" in capsys.readouterr().out
+
+    def test_stats_html_report_embeds_witness_lanes(self, tmp_path, capsys):
+        """witness_captured events in a trace surface in the HTML report,
+        with the lane table embedded from the bundle on disk."""
+        import json as _json
+
+        bundle = self.archive_bundle(tmp_path)
+        trace = tmp_path / "run.jsonl"
+        assert main(["check", "1", "1", "--trace-out", str(trace)]) == 0
+        with open(trace, "a", encoding="utf-8") as handle:
+            handle.write(_json.dumps({
+                "event": "witness_captured", "path": bundle,
+                "kind": "existence", "source": "explorer.find", "steps": 6,
+            }) + "\n")
+        html = tmp_path / "report.html"
+        assert main(["stats", str(trace), "--html", str(html)]) == 0
+        capsys.readouterr()
+        report = html.read_text()
+        assert "<h2>Witnesses</h2>" in report
+        assert 'class="lanes"' in report
+        assert "table.lanes" in report  # LANES_CSS included
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,296 @@
+"""Tests for the witness shrinker and renderers (``repro.obs.explain``)."""
+
+import pytest
+
+from repro.algorithms.consensus_from_n_consensus import (
+    partition_set_consensus_spec,
+)
+from repro.obs.explain import (
+    StepView,
+    WitnessView,
+    ddmin,
+    lane_diagram,
+    lanes_html,
+    lanes_page,
+    narrative,
+    resolve_witness_target,
+    run_explain,
+    shrink_execution,
+    view_from_execution,
+    view_from_record,
+)
+from repro.obs.witness import capture_witnesses, read_witness, witness_context
+from repro.runtime.explorer import find_execution
+
+INPUTS6 = ["a", "b", "c", "d", "e", "f"]
+SPEC6 = {"builder": "n-consensus-partition", "n": 2, "inputs": INPUTS6}
+PRED3 = {"name": "distinct-outputs-at-least", "count": 3}
+
+
+def spec6():
+    return partition_set_consensus_spec(2, INPUTS6)
+
+
+def hunt6():
+    return find_execution(
+        spec6(), lambda e: len(e.distinct_outputs()) >= 3, max_depth=10
+    )
+
+
+def archive6(directory):
+    """Capture the Common2-point witness into ``directory``; returns path."""
+    with capture_witnesses(str(directory)) as store:
+        with witness_context(
+            spec=SPEC6, predicate=PRED3, label="baseline forced to 3"
+        ):
+            hunt6()
+    return store.captured[0]
+
+
+class TestDdmin:
+    def test_finds_exact_minimal_subset(self):
+        minimal, _tests = ddmin(
+            list(range(10)), lambda c: 3 in c and 7 in c
+        )
+        assert minimal == [3, 7]
+
+    def test_preserves_order(self):
+        minimal, _ = ddmin(
+            [5, 1, 9, 2], lambda c: 9 in c and 5 in c
+        )
+        assert minimal == [5, 9]
+
+    def test_rejects_failing_input(self):
+        with pytest.raises(ValueError, match="does not pass"):
+            ddmin([1, 2, 3], lambda c: 99 in c)
+
+    def test_single_item_input(self):
+        assert ddmin([1], lambda c: bool(c))[0] == [1]
+
+    def test_result_is_one_minimal(self):
+        items = list(range(12))
+        test = lambda c: sum(c) >= 30  # noqa: E731
+        minimal, _ = ddmin(items, test)
+        assert test(minimal)
+        for index in range(len(minimal)):
+            assert not test(minimal[:index] + minimal[index + 1:])
+
+    def test_deterministic(self):
+        test = lambda c: sum(c) >= 17 and 4 in c  # noqa: E731
+        first = ddmin(list(range(11)), test)
+        second = ddmin(list(range(11)), test)
+        assert first == second
+
+    def test_memoizes_repeat_candidates(self):
+        calls = []
+
+        def counted(candidate):
+            calls.append(tuple(candidate))
+            return 3 in candidate
+
+        _minimal, tests = ddmin(list(range(8)), counted)
+        assert tests == len(calls) == len(set(calls))
+
+
+class TestShrinkExecution:
+    def predicate(self, execution):
+        return len(execution.distinct_outputs()) >= 3
+
+    def test_shrunk_no_longer_than_original_and_predicate_holds(self):
+        execution = hunt6()
+        result = shrink_execution(spec6(), execution, self.predicate)
+        assert result.min_length <= result.original_length
+        assert result.removed == result.original_length - result.min_length
+        assert self.predicate(result.execution)
+
+    def test_one_minimal_over_replay(self):
+        execution = hunt6()
+        result = shrink_execution(spec6(), execution, self.predicate)
+        for index in range(len(result.decisions)):
+            candidate = (
+                result.decisions[:index] + result.decisions[index + 1:]
+            )
+            try:
+                replayed = spec6().replay(candidate).finalize()
+            except Exception:
+                continue  # dropping the decision breaks the replay: minimal
+            assert not self.predicate(replayed)
+
+    def test_deterministic_across_runs(self):
+        first = shrink_execution(spec6(), hunt6(), self.predicate)
+        second = shrink_execution(spec6(), hunt6(), self.predicate)
+        assert first.decisions == second.decisions
+
+    def test_bad_witness_raises(self):
+        execution = hunt6()
+        with pytest.raises(ValueError, match="does not satisfy"):
+            shrink_execution(spec6(), execution, lambda e: False)
+
+    def test_emits_shrink_event(self):
+        from repro.obs import events
+
+        seen = []
+
+        def listener(name, fields):
+            if name == "witness_shrunk":
+                seen.append(dict(fields))
+
+        events.subscribe(listener)
+        try:
+            result = shrink_execution(spec6(), hunt6(), self.predicate)
+        finally:
+            events.unsubscribe(listener)
+        (fields,) = seen
+        assert fields["min_length"] == result.min_length
+        assert fields["removed"] == result.removed
+
+
+class TestViews:
+    def test_live_and_archived_views_render_same_lanes(self, tmp_path):
+        path = archive6(tmp_path)
+        (record,) = read_witness(path)[0]
+        from repro.obs.witness import replay_witness, resolve_spec
+
+        live = view_from_execution(replay_witness(record, resolve_spec(record)))
+        archived = view_from_record(record)
+        assert [v.cell() for v in live.views] == [
+            v.cell() for v in archived.views
+        ]
+        assert live.outputs == archived.outputs
+        assert live.statuses == archived.statuses
+
+    def test_crash_events_interleave(self):
+        view = WitnessView(
+            views=[
+                StepView(kind="step", pid=0, target="r", method="w",
+                         args=("'x'",), response="None"),
+                StepView(kind="crash", pid=1),
+            ],
+            pids=[0, 1],
+            outputs={0: "'x'"},
+            statuses={0: "done", 1: "crashed"},
+        )
+        diagram = lane_diagram(view)
+        assert "CRASH" in diagram
+        text = narrative(view)
+        assert "p1 crashes after taking 0 steps" in text
+        assert "p1 crashed before deciding." in text
+
+
+class TestRenderers:
+    def view(self):
+        return view_from_execution(hunt6())
+
+    def test_lane_diagram_shape(self):
+        diagram = lane_diagram(self.view())
+        lines = diagram.splitlines()
+        assert "p0" in lines[0] and "p5" in lines[0]
+        assert any("=>" in line for line in lines)  # outcome row
+        assert any(". " in line for line in lines)  # idle ticks
+
+    def test_lane_diagram_deterministic(self):
+        assert lane_diagram(self.view()) == lane_diagram(self.view())
+
+    def test_narrative_mentions_steps_and_decision_set(self):
+        text = narrative(self.view())
+        assert "applies" in text and "observes" in text
+        assert "Decision set:" in text and "3 distinct values" in text
+
+    def test_lanes_html_escapes_and_structures(self):
+        html = lanes_html(self.view(), caption="a <caption>")
+        assert html.startswith('<table class="lanes">')
+        assert "a &lt;caption&gt;" in html
+        assert '<td class="op">' in html
+        assert '<tr class="outcome">' in html
+
+    def test_lanes_page_is_standalone(self):
+        page = lanes_page(self.view(), title="t")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "table.lanes" in page  # CSS inlined
+
+
+class TestRunExplain:
+    def test_explains_bundle_end_to_end(self, tmp_path):
+        path = archive6(tmp_path)
+        lines = []
+        assert run_explain(path, out=lines.append) == 0
+        text = "\n".join(lines)
+        assert "fingerprint verified" in text
+        assert "1-minimal" in text
+        assert "Decision set:" in text
+
+    def test_byte_stable_across_invocations(self, tmp_path):
+        path = archive6(tmp_path)
+        first, second = [], []
+        assert run_explain(path, out=first.append) == 0
+        assert run_explain(path, out=second.append) == 0
+        assert first == second
+
+    def test_shrunk_strictly_no_longer(self, tmp_path):
+        path = archive6(tmp_path)
+        (record,) = read_witness(path)[0]
+        original = len(record["trace"]["decisions"])
+        lines = []
+        assert run_explain(path, out=lines.append) == 0
+        shrunk_line = next(line for line in lines if line.startswith("shrunk:"))
+        min_length = int(shrunk_line.split("->")[1].split()[0])
+        assert min_length <= original
+
+    def test_no_shrink_renders_original(self, tmp_path):
+        path = archive6(tmp_path)
+        lines = []
+        assert run_explain(path, shrink=False, out=lines.append) == 0
+        assert not any(line.startswith("shrunk:") for line in lines)
+
+    def test_html_output(self, tmp_path):
+        path = archive6(tmp_path)
+        html_out = tmp_path / "lanes.html"
+        assert run_explain(path, html_out=str(html_out), out=lambda _: None) == 0
+        page = html_out.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert 'class="lanes"' in page
+
+    def test_unknown_target_exits_two(self, tmp_path):
+        lines = []
+        code = run_explain(
+            "no-such-thing",
+            ledger_path=str(tmp_path / "runs.jsonl"),
+            out=lines.append,
+        )
+        assert code == 2
+        assert any("explain:" in line for line in lines)
+
+    def test_missing_provenance_falls_back_to_archived_steps(self, tmp_path):
+        with capture_witnesses(str(tmp_path)) as store:
+            hunt6()  # no witness_context: bundle has no spec/predicate
+        lines = []
+        assert run_explain(store.captured[0], out=lines.append) == 0
+        text = "\n".join(lines)
+        assert "rendering the archived steps without replay" in text
+        assert "Decision set:" in text
+
+
+class TestResolveTarget:
+    def test_existing_file_wins(self, tmp_path):
+        bundle = tmp_path / "w.jsonl"
+        bundle.write_text("{}\n")
+        assert resolve_witness_target(str(bundle)) == [str(bundle)]
+
+    def test_run_id_resolves_through_ledger(self, tmp_path):
+        from repro.obs import ledger as run_ledger
+
+        ledger_path = str(tmp_path / "runs.jsonl")
+        recorder = run_ledger.begin_run(path=ledger_path, command="test")
+        run_ledger.annotate(witnesses=["wit/a.jsonl", "wit/b.jsonl"])
+        run_ledger.finish_run(0)
+        paths = resolve_witness_target(recorder.run_id, ledger_path)
+        assert paths == ["wit/a.jsonl", "wit/b.jsonl"]
+
+    def test_run_without_witnesses_raises(self, tmp_path):
+        from repro.obs import ledger as run_ledger
+
+        ledger_path = str(tmp_path / "runs.jsonl")
+        recorder = run_ledger.begin_run(path=ledger_path, command="test")
+        run_ledger.finish_run(0)
+        with pytest.raises(ValueError, match="no captured witnesses"):
+            resolve_witness_target(recorder.run_id, ledger_path)

@@ -283,3 +283,84 @@ class TestDefaultRegistry:
         get_registry().counter("c").inc()
         reset_registry()
         assert get_registry().is_empty()
+
+
+class TestHistogramSaturation:
+    def test_unsaturated_by_default(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        assert not histogram.saturated
+
+    def test_overflow_sample_sets_flag(self):
+        histogram = Histogram()
+        histogram.observe(2.0 ** 25)
+        assert histogram.saturated
+
+    def test_saturated_quantile_clamps_to_last_finite_bound(self):
+        # Mixed stream: the tail quantile lands in the unbounded overflow
+        # bucket, where interpolation would fabricate precision — it must
+        # report the last finite bound (a lower bound), not a value
+        # in-between the bound and the observed max.
+        histogram = Histogram()
+        histogram.observe(1.0)
+        histogram.observe(2.0 ** 25)
+        assert histogram.saturated
+        assert histogram.p99 == BUCKET_BOUNDS[-1]
+
+    def test_single_overflow_sample_stays_exact(self):
+        # The min/max clamp lifts a constant stream to the exact value
+        # even when it saturates (the documented single-sample guarantee).
+        histogram = Histogram()
+        histogram.observe(2.0 ** 25)
+        assert histogram.p50 == histogram.p99 == 2.0 ** 25
+
+    def test_snapshot_carries_the_flag(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(2.0 ** 25)
+        registry.histogram("ok").observe(1.0)
+        snap = registry.snapshot()["histograms"]
+        assert snap["h"]["saturated"] is True
+        assert snap["ok"]["saturated"] is False
+
+    def test_digest_warns_when_saturated(self):
+        registry = MetricsRegistry()
+        registry.consume_event("run_end", {"steps": 2 ** 25})
+        assert "[saturated: percentiles are lower bounds]" in registry.digest()
+        clean = MetricsRegistry()
+        clean.consume_event("run_end", {"steps": 5})
+        assert "saturated" not in clean.digest()
+
+    def test_prometheus_gauge_only_for_saturated_families(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(2.0 ** 25)
+        registry.histogram("ok").observe(1.0)
+        text = registry.render_prometheus()
+        assert "# TYPE h_saturated gauge" in text
+        assert "\nh_saturated 1" in text
+        assert "ok_saturated" not in text
+
+
+class TestWitnessEvents:
+    def test_witness_captured_counts_by_kind(self):
+        registry = MetricsRegistry()
+        registry.consume_event("witness_captured", {"kind": "counterexample"})
+        registry.consume_event("witness_captured", {"kind": "counterexample"})
+        registry.consume_event("witness_captured", {"kind": "existence"})
+        by_kind = registry.sum_by_label("witnesses_captured_total", "kind")
+        assert by_kind == {"counterexample": 2, "existence": 1}
+        assert "witnesses_captured_total: counterexample=2, existence=1" in (
+            registry.digest()
+        )
+
+    def test_witness_shrunk_feeds_histograms(self):
+        registry = MetricsRegistry()
+        registry.consume_event(
+            "witness_shrunk",
+            {"original_length": 9, "min_length": 3, "removed": 6, "tests": 17},
+        )
+        assert registry.get_histogram("witness_shrink_steps").count == 1
+        assert registry.get_histogram("witness_shrink_steps").maximum == 6
+        assert registry.get_histogram("witness_min_length").maximum == 3
+        digest = registry.digest()
+        assert "witness_shrink_steps" in digest
+        assert "witness_min_length" in digest

@@ -1,0 +1,259 @@
+"""Tests for the witness store (``repro.obs.witness``)."""
+
+import json
+
+import pytest
+
+from repro.algorithms.consensus_from_n_consensus import (
+    partition_set_consensus_spec,
+)
+from repro.algorithms.helpers import inputs_dict
+from repro.obs import events
+from repro.obs import witness as obs_witness
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.witness import (
+    KIND_COUNTEREXAMPLE,
+    KIND_EXISTENCE,
+    WitnessStore,
+    capture,
+    capture_witnesses,
+    get_active_store,
+    read_witness,
+    register_spec_builder,
+    replay_witness,
+    resolve_predicate,
+    resolve_spec,
+    witness_context,
+    witness_id,
+    witness_to_dict,
+)
+from repro.runtime.explorer import find_execution
+from repro.tasks import KSetConsensusTask, check_task_all_schedules
+
+#: 4 processes partitioned into 2 consensus groups -> every maximal
+#: execution decides exactly 2 distinct values (fast refutation target).
+INPUTS4 = ["a", "b", "c", "d"]
+#: 6 processes / 3 groups -> 3 distinct values (the Common2 point).
+INPUTS6 = ["a", "b", "c", "d", "e", "f"]
+
+SPEC6 = {"builder": "n-consensus-partition", "n": 2, "inputs": INPUTS6}
+PRED3 = {"name": "distinct-outputs-at-least", "count": 3}
+
+
+def hunt6():
+    return find_execution(
+        partition_set_consensus_spec(2, INPUTS6),
+        lambda e: len(e.distinct_outputs()) >= 3,
+        max_depth=10,
+    )
+
+
+class TestCaptureLifecycle:
+    def test_capture_off_by_default(self):
+        assert get_active_store() is None
+        execution = hunt6()
+        assert capture(execution, kind=KIND_EXISTENCE, source="test") is None
+
+    def test_context_manager_activates_and_restores(self, tmp_path):
+        with capture_witnesses(str(tmp_path)) as store:
+            assert get_active_store() is store
+        assert get_active_store() is None
+
+    def test_nested_stores_restore_outer(self, tmp_path):
+        with capture_witnesses(str(tmp_path / "outer")) as outer:
+            with capture_witnesses(str(tmp_path / "inner")) as inner:
+                assert get_active_store() is inner
+            assert get_active_store() is outer
+
+    def test_explorer_find_captures_existence_witness(self, tmp_path):
+        with capture_witnesses(str(tmp_path)) as store:
+            execution = hunt6()
+        assert execution is not None
+        assert len(store.captured) == 1
+        path = store.captured[0]
+        assert path.endswith(".jsonl")
+        records, skipped = read_witness(path)
+        assert skipped == 0
+        (record,) = records
+        assert record["kind"] == KIND_EXISTENCE
+        assert record["source"] == "explorer.find"
+        assert len(record["steps"]) == len(execution.steps)
+        assert record["trace"]["decisions"]
+
+    def test_solvability_refutation_sets_witness_path(self, tmp_path):
+        spec = partition_set_consensus_spec(2, INPUTS4)
+        with capture_witnesses(str(tmp_path)):
+            report = check_task_all_schedules(
+                spec, KSetConsensusTask(1), inputs_dict(INPUTS4)
+            )
+        assert not report.ok
+        assert report.witness_path is not None
+        (record,) = read_witness(report.witness_path)[0]
+        assert record["kind"] == KIND_COUNTEREXAMPLE
+        assert record["source"] == "solvability.all_schedules"
+        assert record["reason"] == report.reason
+
+    def test_solvability_without_store_keeps_no_path(self):
+        spec = partition_set_consensus_spec(2, INPUTS4)
+        report = check_task_all_schedules(
+            spec, KSetConsensusTask(1), inputs_dict(INPUTS4)
+        )
+        assert not report.ok
+        assert report.counterexample is not None
+        assert report.witness_path is None
+
+
+class TestStore:
+    def test_content_addressed_dedup(self, tmp_path):
+        store = WitnessStore(str(tmp_path))
+        execution = hunt6()
+        first = store.save(execution, kind=KIND_EXISTENCE, source="a")
+        second = store.save(execution, kind=KIND_EXISTENCE, source="b")
+        assert first == second
+        assert store.captured == [first]
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_filename_embeds_kind_and_digest(self, tmp_path):
+        store = WitnessStore(str(tmp_path))
+        path = store.save(hunt6(), kind=KIND_EXISTENCE, source="t")
+        name = path.rsplit("/", 1)[-1]
+        assert name.startswith("existence-")
+        digest = name[len("existence-"):-len(".jsonl")]
+        assert len(digest) == 12 and all(c in "0123456789abcdef" for c in digest)
+
+    def test_same_execution_same_id_across_machines(self):
+        execution = hunt6()
+        a = witness_to_dict(execution, kind=KIND_EXISTENCE, source="a",
+                            label="one wording")
+        b = witness_to_dict(execution, kind=KIND_EXISTENCE, source="b",
+                            label="another wording")
+        assert witness_id(a) == witness_id(b)
+
+    def test_read_witness_skips_corrupt_lines(self, tmp_path):
+        store = WitnessStore(str(tmp_path))
+        path = store.save(hunt6(), kind=KIND_EXISTENCE, source="t")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write('{"format": "something-else"}\n')
+            handle.write('["a", "list"]\n')
+        records, skipped = read_witness(path)
+        assert len(records) == 1
+        assert skipped == 3
+
+    def test_capture_emits_event_and_metric(self, tmp_path):
+        registry = MetricsRegistry()
+        seen = []
+
+        def listener(name, fields):
+            if name == "witness_captured":
+                seen.append(dict(fields))
+            registry.consume_event(name, fields)
+
+        events.subscribe(listener)
+        try:
+            with capture_witnesses(str(tmp_path)):
+                hunt6()
+        finally:
+            events.unsubscribe(listener)
+        (fields,) = seen
+        assert fields["kind"] == KIND_EXISTENCE
+        assert fields["path"].endswith(".jsonl")
+        assert fields["steps"] > 0
+        assert (
+            registry.counter_total("witnesses_captured_total") == 1
+        )
+
+    def test_ledger_annotation(self, tmp_path):
+        from repro.obs import ledger as run_ledger
+
+        ledger_path = str(tmp_path / "runs.jsonl")
+        run_ledger.begin_run(path=ledger_path, command="test")
+        try:
+            with capture_witnesses(str(tmp_path / "wit")) as store:
+                hunt6()
+        finally:
+            run_ledger.finish_run(0)
+        records, _ = run_ledger.read_ledger(ledger_path)
+        assert records[-1]["witnesses"] == store.captured
+
+
+class TestContext:
+    def test_context_provenance_flows_into_record(self, tmp_path):
+        with capture_witnesses(str(tmp_path)) as store:
+            with witness_context(spec=SPEC6, predicate=PRED3, label="lbl"):
+                hunt6()
+        (record,) = read_witness(store.captured[0])[0]
+        assert record["spec"] == SPEC6
+        assert record["predicate"] == PRED3
+        assert record["label"] == "lbl"
+
+    def test_explicit_arguments_win_over_context(self, tmp_path):
+        execution = hunt6()  # before activation: no hook capture
+        store = WitnessStore(str(tmp_path))
+        obs_witness.activate_store(store)
+        try:
+            with witness_context(label="outer", spec={"builder": "nope"}):
+                path = capture(
+                    execution, kind=KIND_EXISTENCE, source="t",
+                    label="explicit", spec=SPEC6,
+                )
+        finally:
+            obs_witness.deactivate_store()
+        (record,) = read_witness(path)[0]
+        assert record["label"] == "explicit"
+        assert record["spec"] == SPEC6
+
+    def test_nesting_shadows_and_restores(self, tmp_path):
+        with capture_witnesses(str(tmp_path)) as store:
+            with witness_context(label="outer", spec=SPEC6):
+                with witness_context(label="inner"):
+                    hunt6()
+        (record,) = read_witness(store.captured[0])[0]
+        assert record["label"] == "inner"
+        assert record["spec"] == SPEC6  # inherited from the outer context
+
+
+class TestProvenanceResolution:
+    def capture_one(self, tmp_path):
+        with capture_witnesses(str(tmp_path)) as store:
+            with witness_context(spec=SPEC6, predicate=PRED3):
+                hunt6()
+        (record,) = read_witness(store.captured[0])[0]
+        return record
+
+    def test_replay_round_trip(self, tmp_path):
+        record = self.capture_one(tmp_path)
+        spec = resolve_spec(record)
+        predicate = resolve_predicate(record)
+        execution = replay_witness(record, spec)
+        assert predicate(execution)
+        assert len(execution.distinct_outputs()) == 3
+
+    def test_resolve_spec_without_provenance_raises(self):
+        with pytest.raises(ValueError, match="no spec provenance"):
+            resolve_spec({"format": obs_witness.FORMAT})
+
+    def test_resolve_unknown_builder_raises(self):
+        with pytest.raises(ValueError, match="unknown spec builder"):
+            resolve_spec({"spec": {"builder": "no-such-system"}})
+
+    def test_resolve_unknown_predicate_raises(self):
+        with pytest.raises(ValueError, match="unknown predicate"):
+            resolve_predicate({"predicate": {"name": "no-such-property"}})
+
+    def test_register_spec_builder_extends_registry(self):
+        sentinel = object()
+        register_spec_builder("test-only", lambda **kw: sentinel)
+        try:
+            assert resolve_spec({"spec": {"builder": "test-only"}}) is sentinel
+        finally:
+            del obs_witness.SPEC_BUILDERS["test-only"]
+
+    def test_tampered_trace_rejected_on_replay(self, tmp_path):
+        from repro.errors import ReproError
+
+        record = self.capture_one(tmp_path)
+        doctored = json.loads(json.dumps(record))
+        doctored["trace"]["fingerprint"] = "0" * 16
+        with pytest.raises(ReproError):
+            replay_witness(doctored, resolve_spec(doctored))
