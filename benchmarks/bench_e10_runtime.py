@@ -4,8 +4,9 @@ These are the numbers a user needs to size their own experiments: raw
 simulator step throughput, explorer tree-walk cost (with its replay
 overhead), the Wing–Gong checker on histories of growing width, and the
 cost of the observability layer (instrumented-but-disabled vs a live
-JSONL sink) so future PRs can see instrumentation drift in the bench
-trajectory.
+JSONL sink) and of the opt-in state-space audit (no auditor vs an
+attached :class:`~repro.obs.audit.StateAuditor`) so future PRs can see
+instrumentation drift in the bench trajectory.
 """
 
 import time
@@ -113,6 +114,62 @@ def test_e10_obs_overhead(tmp_path, bench_telemetry):
     # The JSONL sink pays for dict building + json encoding + IO per step;
     # anything above this bound means the fast-path guard broke.
     assert ratio < 25, f"JSONL sink overhead exploded: {ratio:.1f}x"
+
+
+def test_e10_audit_overhead(bench_telemetry):
+    """State-audit cost guard: the same exhaustive walk with no auditor
+    (the default every verification run takes) and with a
+    :class:`~repro.obs.audit.StateAuditor` attached.  The audit is opt-in;
+    this bench pins the disabled path to the E10 envelope and records the
+    enabled ratio so future PRs can see profiling cost drift.
+    """
+    from repro.obs.audit import StateAuditor
+
+    inputs = [f"v{i}" for i in range(5)]
+    spec = set_consensus_spec(1, 3, inputs)  # 120 executions, fast
+
+    def walk(auditor=None):
+        explorer = Explorer(spec, max_depth=8, auditor=auditor)
+        return sum(1 for _ in explorer.executions()), explorer.stats
+
+    walk()  # warm-up
+
+    def timed(make_auditor, repeat=3):
+        best = float("inf")
+        count = 0
+        for _ in range(repeat):
+            start = time.perf_counter()
+            count, _stats = walk(make_auditor())
+            best = min(best, time.perf_counter() - start)
+        return best, count
+
+    disabled_seconds, count = timed(lambda: None)
+    enabled_seconds, audited_count = timed(
+        lambda: StateAuditor(spec, value_alphabet=inputs, max_pairs=64)
+    )
+
+    ratio = enabled_seconds / disabled_seconds if disabled_seconds else float("inf")
+    disabled_rate = count / disabled_seconds if disabled_seconds else float("inf")
+    print(
+        f"\naudit overhead: disabled {disabled_seconds:.4f}s "
+        f"({disabled_rate:,.0f} executions/s), enabled {enabled_seconds:.4f}s, "
+        f"ratio {ratio:.2f}x"
+    )
+    assert count == 120 and audited_count == 120
+    bench_telemetry(
+        executions=count,
+        seconds=disabled_seconds,
+        audit_overhead_ratio=ratio,
+        audit_seconds=enabled_seconds,
+    )
+    # Off by default must mean free: the auditor hook is one None check
+    # per configuration, so the disabled walk stays in the E10 envelope.
+    assert disabled_rate > 200, (
+        f"disabled-path rate fell to {disabled_rate:,.0f} executions/s"
+    )
+    # The enabled path pays fingerprinting plus pair replays; a blow-up
+    # beyond this bound means the sampling caps stopped working.
+    assert ratio < 25, f"audit overhead exploded: {ratio:.1f}x"
 
 
 def test_e10_linearizability_checker_width(benchmark):

@@ -19,6 +19,14 @@ Commands
     flushes a final checkpoint and exits 3; ``--resume FILE`` continues
     it, visiting exactly the executions the interrupted run had not yet
     yielded.
+``audit [--task T] [--n N] [--k K] [--max-crashes F] [--html OUT.html]``
+    Exhaustively explore an instance with the state-space redundancy
+    profiler attached and print the reduction-headroom table: revisit
+    ratio (state caching), commuting adjacent-pair fraction (DPOR), and
+    pid-orbit savings (symmetry).  Output is deterministic — two runs
+    over the same instance are byte-identical on stdout (informational
+    messages go to stderr).  See docs/OBSERVABILITY.md, "State-space
+    audit".
 ``report``
     Run the full experiment suite and print the EXPERIMENTS.md tables
     (equivalent to ``python -m repro.experiments.report``).
@@ -38,6 +46,10 @@ Commands
     nonzero when a bench regressed by more than ``--threshold``
     (default 20%).  With one file, the committed
     ``benchmarks/BENCH_baseline.json`` is the implicit baseline.
+    ``--record-history [FILE]`` appends the candidate's summary to the
+    committed ``benchmarks/BENCH_history.jsonl`` trajectory (label it
+    with ``--history-label SHA``); ``--history [FILE]`` prints the
+    per-bench trend.
 ``runs list|show|compare``
     Inspect the persistent run ledger (``.repro/runs.jsonl``): every run
     command appends one record (run id, argv, verdict, duration, budget
@@ -93,6 +105,7 @@ from repro.faults.budget import Budget, active_budget
 from repro.faults.checkpoint import read_checkpoint
 from repro.fsutil import ensure_parent
 from repro.obs import ledger as run_ledger
+from repro.obs.bench import DEFAULT_HISTORY as bench_default_history
 from repro.obs.bench import main as bench_compare_main
 from repro.obs.events import JsonlReadStats, JsonlSink, read_jsonl, set_sink
 from repro.obs.live import serve as serve_live
@@ -293,6 +306,80 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _audit_spec(task: str, n: int, k: int):
+    """Build the spec for an audit run alongside its input alphabet.
+
+    :data:`EXPLORE_TASKS` hides the inputs inside a closure; the orbit
+    estimator needs them as the value alphabet for canonicalization.
+    """
+    if task == "consensus":
+        inputs = [f"v{i}" for i in range(n)]
+        return consensus_spec(n, k, inputs), inputs
+    inputs = [f"v{i}" for i in range(FamilyMember(n, k).ports)]
+    return set_consensus_spec(n, k, inputs), inputs
+
+
+def cmd_audit(args) -> int:
+    from repro.obs.audit import ledger_summary, render_table, run_audit
+    from repro.obs.report import render_audit_html
+
+    spec, inputs = _audit_spec(args.task, args.n, args.k)
+    run_ledger.annotate(
+        describe=(
+            f"audit(task={args.task}, n={args.n}, k={args.k}, "
+            f"max_crashes={args.max_crashes})"
+        )
+    )
+    auditor, explorer = run_audit(
+        spec,
+        max_depth=args.max_depth,
+        max_crashes=args.max_crashes,
+        value_alphabet=inputs,
+        max_pairs=args.max_pairs,
+        pair_stride=args.pair_stride,
+    )
+    auditor.emit_summary()
+    label = f"{args.task} O({args.n},{args.k})"
+    if args.max_crashes:
+        label += f", max_crashes={args.max_crashes}"
+    # stdout carries only the deterministic table: CI byte-compares two
+    # invocations, so anything run-specific goes to stderr.
+    print(render_table(auditor, label=label))
+    run_ledger.annotate(
+        executions=explorer.total_executions,
+        audit=ledger_summary(auditor),
+        interrupted=explorer.interrupted,
+    )
+    if args.html is not None:
+        try:
+            with open(ensure_parent(args.html), "w", encoding="utf-8") as handle:
+                handle.write(
+                    render_audit_html(
+                        auditor, title=f"repro state-space audit — {label}"
+                    )
+                )
+        except OSError as error:
+            print(f"audit: cannot write {args.html}: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote HTML audit report to {args.html}", file=sys.stderr)
+        recorder = run_ledger.current_run()
+        artifacts = {}
+        if recorder is not None and isinstance(
+            recorder.record.get("artifacts"), dict
+        ):
+            artifacts.update(recorder.record["artifacts"])
+        artifacts["audit_html"] = args.html
+        run_ledger.annotate(artifacts=artifacts)
+    if explorer.interrupted is not None:
+        print(
+            f"INCONCLUSIVE: {explorer.interrupted} — headroom numbers "
+            "cover the explored portion only",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def cmd_report(_args) -> int:
     from repro.experiments.report import main as report_main
 
@@ -388,6 +475,12 @@ def cmd_bench_compare(args) -> int:
         argv.append(args.new)
     argv += ["--threshold", str(args.threshold),
              "--min-seconds", str(args.min_seconds)]
+    if args.history is not None:
+        argv += ["--history", args.history]
+    if args.record_history is not None:
+        argv += ["--record-history", args.record_history]
+    if args.history_label:
+        argv += ["--history-label", args.history_label]
     return bench_compare_main(argv)
 
 
@@ -572,6 +665,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.set_defaults(func=cmd_explore)
 
+    audit = sub.add_parser(
+        "audit",
+        help="measure state-space redundancy: cache / DPOR / symmetry "
+        "headroom for one instance",
+        parents=[obs],
+    )
+    audit.add_argument(
+        "--task", choices=sorted(EXPLORE_TASKS), default="set-consensus"
+    )
+    audit.add_argument("--n", type=int, default=2)
+    audit.add_argument("--k", type=int, default=1)
+    audit.add_argument("--max-depth", type=int, default=60)
+    audit.add_argument(
+        "--max-crashes", type=int, default=0,
+        help="also branch on crashing up to F processes at every point",
+    )
+    audit.add_argument(
+        "--max-pairs", type=int, default=256, metavar="N",
+        help="cap on adjacent decision pairs classified (each costs two "
+        "replays; default 256)",
+    )
+    audit.add_argument(
+        "--pair-stride", type=int, default=1, metavar="S",
+        help="classify every S-th candidate pair (deterministic "
+        "sampling; default 1 = all)",
+    )
+    audit.add_argument(
+        "--html", metavar="OUT.html", default=None,
+        help="also write a self-contained HTML audit report",
+    )
+    audit.set_defaults(func=cmd_audit)
+
     report = sub.add_parser(
         "report", help="run the experiment suite", parents=[obs]
     )
@@ -620,6 +745,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_compare.add_argument("--threshold", type=float, default=0.20)
     bench_compare.add_argument("--min-seconds", type=float, default=0.01)
+    bench_compare.add_argument(
+        "--history", nargs="?", const=bench_default_history, default=None,
+        metavar="FILE",
+        help="print the per-bench trend from BENCH_history.jsonl",
+    )
+    bench_compare.add_argument(
+        "--record-history", nargs="?", const=bench_default_history,
+        default=None, metavar="FILE",
+        help="append the candidate run's summary to the trajectory "
+        "(label with --history-label)",
+    )
+    bench_compare.add_argument(
+        "--history-label", default="",
+        help="label for the recorded entry (typically a commit sha)",
+    )
     bench_compare.set_defaults(func=cmd_bench_compare, handles_obs_flags=True)
 
     explain = sub.add_parser(

@@ -37,6 +37,12 @@ from repro.objects.base import ObjectSpec
 #: An operation instance: (method, args).
 OpInstance = Tuple[str, Tuple[Any, ...]]
 
+#: Classifications returned by :func:`classify_adjacent_pair`.
+PAIR_COMMUTE = "commute"  # both orders reach the same configuration
+PAIR_STATE_DIVERGES = "state-diverges"  # orders reach different configurations
+PAIR_SWAP_ILLEGAL = "swap-illegal"  # the swapped order cannot be executed
+PAIR_SAME_PROCESS = "same-process"  # program order, not reorderable
+
 
 def reachable_states(
     spec: ObjectSpec,
@@ -178,6 +184,71 @@ def _pair_ok(
                 f"q;p -> {sorted(map(repr, qp_states))}"
             )
     return True, "ok"
+
+
+def _quiet_replay(spec: Any, decisions: Sequence[Tuple[int, int]]) -> Any:
+    """Replay a decision sequence on a fresh system with the ``replaying``
+    attribution flag set for the whole run, so audit probes never count
+    as on-path work in step telemetry.  Deliberately does **not** charge
+    any fault budget: probes must not be able to flip a budget-bounded
+    verdict to INCONCLUSIVE."""
+    from repro.runtime.execution import CRASH_CHOICE
+
+    system = spec.build()
+    system.replaying = True
+    try:
+        for pid, choice in decisions:
+            if choice == CRASH_CHOICE:
+                system.crash(pid)
+            else:
+                system.step(pid, choice)
+    finally:
+        system.replaying = False
+    return system
+
+
+def classify_adjacent_pair(
+    spec: Any, decisions: Sequence[Tuple[int, int]], index: int
+) -> str:
+    """Execution-level analogue of the pairwise certificate: do the two
+    adjacent decisions at ``index`` and ``index + 1`` commute *in this
+    context*?
+
+    Where :func:`commute_or_overwrite_certificate` quantifies over an
+    object's whole state graph, this classifies one concrete adjacent
+    pair of an explored execution by replaying the prefix and executing
+    the pair in both orders, then comparing the resulting configuration
+    fingerprints (:func:`repro.obs.fingerprint.configuration_fingerprint`,
+    which covers object states, responses, and statuses — crashes
+    included).  A commuting pair is an interleaving a dynamic
+    partial-order reduction would not have needed to explore separately.
+
+    ``spec`` is a :class:`~repro.runtime.system.SystemSpec`;
+    ``decisions`` a :attr:`~repro.runtime.execution.Execution.full_decisions`
+    sequence (crash decisions participate).  Returns one of
+    :data:`PAIR_COMMUTE`, :data:`PAIR_STATE_DIVERGES`,
+    :data:`PAIR_SWAP_ILLEGAL`, :data:`PAIR_SAME_PROCESS`.
+    """
+    from repro.errors import (
+        IllegalOperationError,
+        ProtocolError,
+        SchedulingError,
+    )
+    from repro.obs.fingerprint import configuration_fingerprint
+
+    first = decisions[index]
+    second = decisions[index + 1]
+    if first[0] == second[0]:
+        return PAIR_SAME_PROCESS
+    prefix = list(decisions[:index])
+    try:
+        swapped = _quiet_replay(spec, prefix + [second, first])
+    except (SchedulingError, ProtocolError, IllegalOperationError):
+        return PAIR_SWAP_ILLEGAL
+    original = _quiet_replay(spec, prefix + [first, second])
+    if configuration_fingerprint(original) == configuration_fingerprint(swapped):
+        return PAIR_COMMUTE
+    return PAIR_STATE_DIVERGES
 
 
 def commute_or_overwrite_certificate(

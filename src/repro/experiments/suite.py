@@ -63,6 +63,46 @@ def _letters(count: int) -> List[str]:
     return [f"v{i}" for i in range(count)]
 
 
+def _audit_headroom_row(
+    experiment: str,
+    setting: str,
+    spec: SystemSpec,
+    inputs: List[str],
+    max_depth: int = 20,
+) -> ExperimentRow:
+    """Informational reduction-headroom row from a state-space audit.
+
+    Always ``ok`` — the audit measures how much redundancy DPOR, symmetry
+    and state caching *would* remove; it never judges the experiment.
+    The measured string carries no wall-clock, so regenerated tables stay
+    byte-stable (``repro report`` --check).
+    """
+    from repro.obs.audit import run_audit
+
+    auditor, _explorer = run_audit(
+        spec, max_depth=max_depth, value_alphabet=inputs
+    )
+    auditor.emit_summary()
+    return ExperimentRow(
+        experiment=experiment,
+        setting=setting,
+        claimed="headroom: cache / DPOR / symmetry (informational)",
+        measured=(
+            f"revisit {auditor.revisit_ratio:.2f}, "
+            f"commuting {auditor.pairs.commuting_fraction:.2f}, "
+            f"orbit savings {auditor.orbit_savings:.2f} "
+            f"({auditor.configurations} configs, "
+            f"{auditor.distinct_states} states)"
+        ),
+        ok=True,
+        detail={
+            "revisit_ratio": round(auditor.revisit_ratio, 4),
+            "commuting_fraction": round(auditor.pairs.commuting_fraction, 4),
+            "orbit_savings": round(auditor.orbit_savings, 4),
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # E1 — consensus lower bound
 # ----------------------------------------------------------------------
@@ -355,6 +395,15 @@ def run_e5_hierarchy() -> List[ExperimentRow]:
             claimed=f"O(2,1) stays <= {k + 1}; O(2,2) forced to {k + 2}",
             measured=f"O(2,1) worst {strong_worst}; O(2,2) forced {weak_forced}",
             ok=strong_worst <= k + 1 and weak_forced == k + 2,
+        )
+    )
+    audit_inputs = _letters(5)
+    rows.append(
+        _audit_headroom_row(
+            "E5",
+            "state-space audit: O(2,1) set consensus, N=5",
+            set_consensus_spec(2, 1, audit_inputs),
+            audit_inputs,
         )
     )
     return rows
@@ -733,6 +782,15 @@ def run_e10_runtime() -> List[ExperimentRow]:
             f"{explorer.stats.replay_overhead:.1f}x overhead)",
             ok=count == 720,
             detail={"seconds": elapsed},
+        )
+    )
+    rows.append(
+        _audit_headroom_row(
+            "E10",
+            "state-space audit: O(2,1) headline (720 schedules)",
+            set_consensus_spec(2, 1, inputs),
+            inputs,
+            max_depth=10,
         )
     )
     return rows

@@ -24,8 +24,15 @@ measurement substrate for all of it:
   (``repro stats TRACE --flame out.folded``).
 * :mod:`repro.obs.report` — self-contained HTML run reports
   (``repro stats TRACE --html out.html``).
-* :mod:`repro.obs.bench` — the BENCH_runtime.json bench-trajectory schema
-  and ``python -m repro bench-compare`` regression gate.
+* :mod:`repro.obs.bench` — the BENCH_runtime.json bench-trajectory schema,
+  the ``python -m repro bench-compare`` regression gate, and the committed
+  BENCH_history.jsonl trend.
+* :mod:`repro.obs.fingerprint` — content-addressed hashing shared by
+  witness ids and configuration fingerprints (stable JSON, truncated
+  sha256, pid-permutation canonicalization).
+* :mod:`repro.obs.audit` — the opt-in state-space redundancy profiler
+  (``python -m repro audit``): revisit ratio, commuting-pair fraction,
+  and symmetry-orbit savings for an exhaustive walk.
 
 Quickstart::
 
@@ -39,6 +46,7 @@ Quickstart::
 See docs/OBSERVABILITY.md for the event schema and metric names.
 """
 
+from repro.obs.audit import StateAuditor, run_audit
 from repro.obs.events import (
     NULL_SINK,
     JsonlReadStats,
@@ -54,6 +62,12 @@ from repro.obs.events import (
     subscribe,
     unsubscribe,
     use_sink,
+)
+from repro.obs.fingerprint import (
+    canonical_fingerprint,
+    configuration_fingerprint,
+    content_id,
+    stable_json,
 )
 from repro.obs.metrics import (
     BUCKET_BOUNDS,
@@ -85,6 +99,10 @@ __all__ = [
     "Sink",
     "Span",
     "SpanNode",
+    "StateAuditor",
+    "canonical_fingerprint",
+    "configuration_fingerprint",
+    "content_id",
     "current_span",
     "emit",
     "get_registry",
@@ -93,8 +111,10 @@ __all__ = [
     "read_jsonl",
     "render_html",
     "reset_registry",
+    "run_audit",
     "set_sink",
     "span",
+    "stable_json",
     "subscribe",
     "unsubscribe",
     "use_sink",

@@ -1,0 +1,340 @@
+"""State-space redundancy audit: measure what pruning would save.
+
+The ROADMAP's hot-loop item names three reductions — DPOR, pid-symmetry,
+and a state-fingerprint cache — but nothing measured how much of the
+explorer's combinatorial blow-up each one would actually eliminate.
+This module is that measurement: an opt-in profiler threaded through
+:class:`~repro.runtime.explorer.Explorer` (pass ``auditor=``) that
+maintains three online estimators over the walk:
+
+* **Revisit counter** — every visited configuration is fingerprinted
+  (:func:`~repro.obs.fingerprint.configuration_fingerprint`); the
+  fraction of visits whose fingerprint was already seen is the hit rate
+  a state cache would have had, reported overall and per depth.
+* **Commuting-pair detector** — adjacent cross-process decision pairs
+  are sampled from explored executions and replayed in both orders
+  (:func:`~repro.analysis.commutativity.classify_adjacent_pair`); the
+  commuting fraction estimates how many interleavings a dynamic
+  partial-order reduction would prune.
+* **Orbit estimator** — fingerprints are also computed up to process
+  renaming (and optional input-value renaming); ``1 - orbits/states``
+  bounds the savings of a pid-symmetry quotient.  Optimistic bound:
+  object states embedding pids are not rewritten (see
+  :mod:`repro.obs.fingerprint`).
+
+The audit is deliberately inert: it is off unless an auditor is passed,
+the disabled path costs the explorer one ``None`` check per node (the
+bench guard in ``benchmarks/bench_e10_runtime.py`` pins this), it never
+touches verdicts, and it charges no fault budget — its replay probes are
+attributed as replay in step telemetry.  All output is deterministic:
+two audits of the same spec render byte-identical reports (no wall
+clock, no iteration-order dependence).
+
+Surfaces: ``repro audit`` (CLI table / ``--html``), the ``audit_summary``
+event consumed by :mod:`repro.obs.metrics` (``audit_*`` gauges, also in
+Prometheus exposition), ``/status`` in :mod:`repro.obs.live`, the run
+ledger (``repro runs compare`` diffs audit summaries), and informational
+reduction-headroom rows in the E5/E10 experiment suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import events as _obs_events
+from repro.obs.fingerprint import canonical_fingerprint, configuration_fingerprint
+
+
+@dataclass
+class DepthStats:
+    """Visit/revisit counts at one DFS depth."""
+
+    visits: int = 0
+    revisits: int = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.revisits / self.visits if self.visits else 0.0
+
+
+@dataclass
+class PairStats:
+    """Tally of classified adjacent decision pairs (distinct contexts)."""
+
+    checked: int = 0
+    commuting: int = 0
+    by_class: Dict[str, int] = field(default_factory=dict)
+    truncated: bool = False  # the max_pairs cap cut sampling short
+
+    @property
+    def commuting_fraction(self) -> float:
+        return self.commuting / self.checked if self.checked else 0.0
+
+
+class StateAuditor:
+    """Online redundancy profiler attached to one exploration.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.runtime.system.SystemSpec` under exploration,
+        needed for commuting-pair replay probes.  May be left ``None``;
+        the explorer binds its own spec on attach (:meth:`bind`), and
+        without a spec pair sampling is skipped.
+    value_alphabet:
+        Input values whose consistent renaming should collapse symmetry
+        orbits (e.g. the proposed values).  Optional; without it the
+        orbit estimate quotients by process renaming only.
+    max_pairs:
+        Cap on distinct adjacent pairs classified (each costs up to two
+        prefix replays).  Hitting the cap sets ``pairs.truncated``.
+    pair_stride:
+        Classify every ``pair_stride``-th candidate pair position
+        (deterministic systematic sample; 1 = every candidate).
+    """
+
+    def __init__(
+        self,
+        spec: Any = None,
+        value_alphabet: Optional[Sequence[Any]] = None,
+        max_pairs: int = 256,
+        pair_stride: int = 1,
+    ):
+        self.spec = spec
+        self.value_alphabet = list(value_alphabet) if value_alphabet else None
+        self.max_pairs = max_pairs
+        self.pair_stride = max(1, pair_stride)
+        self.configurations = 0
+        self.revisits = 0
+        self.executions = 0
+        self.pairs = PairStats()
+        self.depths: Dict[int, DepthStats] = {}
+        self._seen: Dict[str, int] = {}
+        self._orbits: set = set()
+        self._pair_cursor = 0
+        self._pair_cache: Dict[Tuple[Tuple[int, int], ...], str] = {}
+
+    def bind(self, spec: Any) -> None:
+        """Adopt ``spec`` for pair probes if none was given."""
+        if self.spec is None:
+            self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Explorer hooks
+    # ------------------------------------------------------------------
+    def observe_configuration(self, system: Any, depth: int) -> None:
+        """Fingerprint one visited configuration (called once per DFS
+        node, interior and leaf alike)."""
+        self.configurations += 1
+        stats = self.depths.get(depth)
+        if stats is None:
+            stats = self.depths[depth] = DepthStats()
+        stats.visits += 1
+        fingerprint = configuration_fingerprint(system)
+        count = self._seen.get(fingerprint, 0)
+        self._seen[fingerprint] = count + 1
+        if count:
+            self.revisits += 1
+            stats.revisits += 1
+        self._orbits.add(canonical_fingerprint(system, self.value_alphabet))
+
+    def observe_execution(self, execution: Any) -> None:
+        """Sample adjacent decision pairs from one completed execution."""
+        # Imported here, not at module level: repro.obs must stay
+        # importable from the runtime/faults layers this analysis sits on.
+        from repro.analysis.commutativity import (
+            PAIR_COMMUTE,
+            PAIR_SAME_PROCESS,
+            classify_adjacent_pair,
+        )
+
+        self.executions += 1
+        if self.spec is None:
+            return
+        decisions = execution.full_decisions
+        for index in range(len(decisions) - 1):
+            if decisions[index][0] == decisions[index + 1][0]:
+                continue  # program order — not a reorderable pair
+            self._pair_cursor += 1
+            if (self._pair_cursor - 1) % self.pair_stride:
+                continue
+            key = tuple(decisions[: index + 2])
+            if key in self._pair_cache:
+                continue  # shared prefix already classified this context
+            if self.pairs.checked >= self.max_pairs:
+                self.pairs.truncated = True
+                return
+            verdict = classify_adjacent_pair(self.spec, decisions, index)
+            self._pair_cache[key] = verdict
+            if verdict == PAIR_SAME_PROCESS:  # pragma: no cover — filtered above
+                continue
+            self.pairs.checked += 1
+            self.pairs.by_class[verdict] = self.pairs.by_class.get(verdict, 0) + 1
+            if verdict == PAIR_COMMUTE:
+                self.pairs.commuting += 1
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def distinct_states(self) -> int:
+        return len(self._seen)
+
+    @property
+    def distinct_orbits(self) -> int:
+        return len(self._orbits)
+
+    @property
+    def revisit_ratio(self) -> float:
+        return self.revisits / self.configurations if self.configurations else 0.0
+
+    @property
+    def orbit_savings(self) -> float:
+        """Fraction of distinct states a pid-symmetry quotient would merge
+        away (optimistic bound — see module docstring)."""
+        if not self._seen:
+            return 0.0
+        return 1.0 - len(self._orbits) / len(self._seen)
+
+    def summary(self) -> Dict[str, Any]:
+        """The headline numbers, rounded so serialization is stable."""
+        summary: Dict[str, Any] = {
+            "configurations": self.configurations,
+            "distinct_states": self.distinct_states,
+            "revisits": self.revisits,
+            "revisit_ratio": round(self.revisit_ratio, 4),
+            "distinct_orbits": self.distinct_orbits,
+            "orbit_savings": round(self.orbit_savings, 4),
+            "pairs_checked": self.pairs.checked,
+            "pairs_commuting": self.pairs.commuting,
+            "commuting_fraction": round(self.pairs.commuting_fraction, 4),
+            "executions": self.executions,
+        }
+        if self.pairs.truncated:
+            summary["pairs_truncated"] = True
+        return summary
+
+    def depth_rows(self) -> List[Tuple[int, int, int, float]]:
+        """``(depth, visits, revisits, ratio)`` rows in depth order."""
+        return [
+            (depth, stats.visits, stats.revisits, round(stats.ratio, 4))
+            for depth, stats in sorted(self.depths.items())
+        ]
+
+    def emit_summary(self) -> None:
+        """Publish one ``audit_summary`` event (metrics gauges, live
+        ``/status``) when the event bus is enabled."""
+        if not _obs_events.is_enabled():
+            return
+        payload = self.summary()
+        payload["depths"] = {
+            str(depth): [stats.visits, stats.revisits]
+            for depth, stats in sorted(self.depths.items())
+        }
+        payload["pair_classes"] = {
+            name: self.pairs.by_class[name] for name in sorted(self.pairs.by_class)
+        }
+        _obs_events.emit("audit_summary", **payload)
+
+
+# ----------------------------------------------------------------------
+# Running and rendering
+# ----------------------------------------------------------------------
+def run_audit(
+    spec: Any,
+    *,
+    max_depth: int = 200,
+    max_crashes: int = 0,
+    value_alphabet: Optional[Sequence[Any]] = None,
+    max_pairs: int = 256,
+    pair_stride: int = 1,
+    explorer_kwargs: Optional[Dict[str, Any]] = None,
+) -> Tuple[StateAuditor, Any]:
+    """Explore ``spec`` exhaustively with an attached auditor.
+
+    Returns ``(auditor, explorer)`` after draining the walk — the
+    explorer is returned so callers can read ``stats`` / ``interrupted``.
+    """
+    from repro.runtime.explorer import Explorer
+
+    auditor = StateAuditor(
+        spec,
+        value_alphabet=value_alphabet,
+        max_pairs=max_pairs,
+        pair_stride=pair_stride,
+    )
+    explorer = Explorer(
+        spec,
+        max_depth=max_depth,
+        strict=False,
+        max_crashes=max_crashes,
+        auditor=auditor,
+        **(explorer_kwargs or {}),
+    )
+    for _execution in explorer.executions():
+        pass
+    return auditor, explorer
+
+
+def render_table(auditor: StateAuditor, label: str = "") -> str:
+    """Deterministic plain-text audit report (the ``repro audit`` body)."""
+    summary = auditor.summary()
+    title = f"state-space audit{f' — {label}' if label else ''}"
+    lines = [title, "-" * len(title)]
+    rows = [
+        ("executions", f"{summary['executions']}"),
+        ("configurations visited", f"{summary['configurations']}"),
+        ("distinct states", f"{summary['distinct_states']}"),
+        (
+            "revisit ratio (cache headroom)",
+            f"{summary['revisit_ratio']:.4f}",
+        ),
+        ("distinct orbits", f"{summary['distinct_orbits']}"),
+        (
+            "orbit savings (symmetry headroom)",
+            f"{summary['orbit_savings']:.4f}",
+        ),
+        (
+            "adjacent pairs classified",
+            f"{summary['pairs_checked']}"
+            + (" (sampling capped)" if summary.get("pairs_truncated") else ""),
+        ),
+        (
+            "commuting fraction (DPOR headroom)",
+            f"{summary['commuting_fraction']:.4f}",
+        ),
+    ]
+    width = max(len(name) for name, _value in rows)
+    lines.extend(f"{name.ljust(width)}  {value}" for name, value in rows)
+    if auditor.pairs.by_class:
+        lines.append("")
+        lines.append("pair classes")
+        for name in sorted(auditor.pairs.by_class):
+            lines.append(f"  {name}: {auditor.pairs.by_class[name]}")
+    depth_rows = auditor.depth_rows()
+    if depth_rows:
+        lines.append("")
+        lines.append("revisit ratio by depth")
+        lines.append(" depth  visits  revisits  ratio")
+        for depth, visits, revisits, ratio in depth_rows:
+            lines.append(
+                f"{depth:6d}  {visits:6d}  {revisits:8d}  {ratio:.4f}"
+            )
+    return "\n".join(lines)
+
+
+def ledger_summary(auditor: StateAuditor) -> Dict[str, Any]:
+    """The compact audit record attached to run-ledger entries and
+    compared by ``repro runs compare``."""
+    summary = auditor.summary()
+    return {
+        key: summary[key]
+        for key in (
+            "configurations",
+            "distinct_states",
+            "revisit_ratio",
+            "commuting_fraction",
+            "orbit_savings",
+        )
+    }

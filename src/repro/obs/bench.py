@@ -26,6 +26,15 @@ times are pure noise on shared CI runners, so seconds-based comparison
 only fires above ``--min-seconds`` (both runs).  Unknown keys and benches
 present on only one side are reported but never fail the comparison, so
 the trajectory can grow new benches freely.
+
+Beyond the pairwise gate there is a committed *trajectory*:
+``benchmarks/BENCH_history.jsonl`` holds one ``repro-bench-history/1``
+line per recorded run (CI appends one per merge, labelled with the
+commit).  ``repro bench-compare NEW.json --record-history
+--history-label abc123`` appends the candidate's summary;
+``--history`` prints the per-bench trend.  Entries carry no wall-clock
+timestamp — the label (commit sha) is the ordering key, and the file is
+append-only, so identical inputs always produce identical lines.
 """
 
 from __future__ import annotations
@@ -38,9 +47,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 SCHEMA = "repro-bench/1"
 
+HISTORY_SCHEMA = "repro-bench-history/1"
+
 #: The committed perf baseline, relative to the repository root (where CI
 #: and developers run the CLI from).
 DEFAULT_BASELINE = os.path.join("benchmarks", "BENCH_baseline.json")
+
+#: The committed bench trajectory, one JSON line per recorded run.
+DEFAULT_HISTORY = os.path.join("benchmarks", "BENCH_history.jsonl")
 
 
 def default_baseline_path() -> str:
@@ -126,6 +140,101 @@ def compare_benches(
     return lines, regressions
 
 
+#: Per-bench metrics worth tracking across runs.  Everything else in a
+#: bench entry is run-local detail and stays out of the trajectory.
+_HISTORY_METRICS = (
+    "seconds",
+    "steps",
+    "steps_per_sec",
+    "obs_overhead_ratio",
+    "audit_overhead_ratio",
+)
+
+
+def history_entry(
+    benches: Dict[str, Dict[str, Any]], label: str = ""
+) -> Dict[str, Any]:
+    """One trajectory line for a BENCH_runtime.json ``benches`` mapping.
+
+    Deliberately carries no wall-clock timestamp (determinism doctrine:
+    identical inputs must serialize identically); the ``label`` —
+    typically the commit sha CI passes — is the ordering key.
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+    for name in sorted(benches):
+        metrics: Dict[str, float] = {}
+        for key in _HISTORY_METRICS:
+            value = _metric(benches[name], key)
+            if value is not None:
+                metrics[key] = value
+        summary[name] = metrics
+    return {"schema": HISTORY_SCHEMA, "label": str(label), "benches": summary}
+
+
+def append_history(path: str, entry: Dict[str, Any]) -> None:
+    """Append one trajectory line to ``path`` (created if missing)."""
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError as error:
+        raise BenchFileError(f"cannot append to {path}: {error}") from error
+
+
+def read_history(path: str) -> List[Dict[str, Any]]:
+    """Read a BENCH_history.jsonl trajectory, oldest entry first.
+
+    Lines that are not ``repro-bench-history/1`` objects are skipped, so
+    a trajectory survives hand edits and schema growth.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw_lines = handle.readlines()
+    except OSError as error:
+        raise BenchFileError(f"cannot read {path}: {error}") from error
+    entries: List[Dict[str, Any]] = []
+    for line in raw_lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(payload, dict) and isinstance(payload.get("benches"), dict):
+            entries.append(payload)
+    return entries
+
+
+def render_history(entries: List[Dict[str, Any]]) -> List[str]:
+    """Per-bench trend lines, oldest entry first, benches sorted."""
+    if not entries:
+        return ["bench history: empty"]
+    lines = [f"bench history ({len(entries)} entries):"]
+    names = sorted({name for entry in entries for name in entry["benches"]})
+    for name in names:
+        lines.append(f"  {name}:")
+        for entry in entries:
+            metrics = entry["benches"].get(name)
+            if not isinstance(metrics, dict):
+                continue
+            label = str(entry.get("label", "")) or "(unlabelled)"
+            parts: List[str] = []
+            seconds = _metric(metrics, "seconds")
+            if seconds is not None:
+                parts.append(f"{seconds:.3f}s")
+            rate = _metric(metrics, "steps_per_sec")
+            if rate is not None:
+                parts.append(f"{rate:,.0f} steps/s")
+            for extra in ("obs_overhead_ratio", "audit_overhead_ratio"):
+                ratio = _metric(metrics, extra)
+                if ratio is not None:
+                    parts.append(f"{extra.replace('_ratio', '')} {ratio:.2f}x")
+            lines.append(
+                f"    {label}: " + (", ".join(parts) if parts else "no metrics")
+            )
+    return lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench-compare",
@@ -150,6 +259,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="ignore wall-time regressions when either run is below this "
         "(jitter floor, default 0.01s)",
     )
+    parser.add_argument(
+        "--history", nargs="?", const=DEFAULT_HISTORY, default=None,
+        metavar="FILE",
+        help="print the per-bench trend from a BENCH_history.jsonl "
+        f"trajectory (default {DEFAULT_HISTORY})",
+    )
+    parser.add_argument(
+        "--record-history", nargs="?", const=DEFAULT_HISTORY, default=None,
+        metavar="FILE",
+        help="append the candidate run's summary to the trajectory before "
+        "printing it (CI passes --history-label \"$GITHUB_SHA\")",
+    )
+    parser.add_argument(
+        "--history-label", default="",
+        help="label for the --record-history entry (typically a commit sha)",
+    )
     args = parser.parse_args(argv)
     old_path, new_path = args.old, args.new
     if new_path is None:
@@ -166,6 +291,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     for line in lines:
         print(line)
+    if args.record_history is not None:
+        try:
+            append_history(
+                args.record_history, history_entry(new, label=args.history_label)
+            )
+        except BenchFileError as error:
+            print(f"bench-compare: {error}", file=sys.stderr)
+            return 2
+        print(f"recorded history entry in {args.record_history}", file=sys.stderr)
+    if args.history is not None:
+        try:
+            entries = read_history(args.history)
+        except BenchFileError as error:
+            print(f"bench-compare: {error}", file=sys.stderr)
+            return 2
+        print()
+        for line in render_history(entries):
+            print(line)
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0%}:",
               file=sys.stderr)

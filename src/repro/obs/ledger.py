@@ -286,7 +286,7 @@ def render_show(record: Dict[str, Any]) -> str:
         "run_id", "parent_run_id", "command", "argv", "started_at",
         "duration_seconds", "exit_code", "verdict", "describe",
         "executions", "interrupted", "budget", "budget_trips",
-        "checkpoint", "artifacts", "witnesses",
+        "checkpoint", "artifacts", "witnesses", "audit",
     ]
     keys = [k for k in preferred if k in record]
     keys += [k for k in sorted(record) if k not in keys and k != "format"]
@@ -299,6 +299,46 @@ def render_show(record: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _compare_audit(
+    audit_a: Any, audit_b: Any
+) -> List[str]:
+    """Audit-summary comparison lines for :func:`compare_runs`.
+
+    Records written before the audit existed (or runs without it) carry
+    no ``audit`` key — comparison lines appear only when at least one
+    side has one, and a missing side renders as ``—`` rather than
+    erroring, so old ledgers keep comparing cleanly.
+    """
+    if not isinstance(audit_a, dict):
+        audit_a = None
+    if not isinstance(audit_b, dict):
+        audit_b = None
+    if audit_a is None and audit_b is None:
+        return []
+
+    def fmt(audit: Optional[Dict[str, Any]], key: str) -> str:
+        if audit is None or key not in audit:
+            return "—"
+        value = audit[key]
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    lines = ["audit:"]
+    for key, label in (
+        ("configurations", "configurations"),
+        ("distinct_states", "distinct states"),
+        ("revisit_ratio", "revisit ratio"),
+        ("commuting_fraction", "commuting fraction"),
+        ("orbit_savings", "orbit savings"),
+    ):
+        value_a, value_b = fmt(audit_a, key), fmt(audit_b, key)
+        if value_a == "—" and value_b == "—":
+            continue
+        lines.append(f"  {label}: {value_a} vs {value_b}")
+    return lines
+
+
 def compare_runs(
     a: Dict[str, Any], b: Dict[str, Any]
 ) -> Tuple[List[str], bool]:
@@ -306,7 +346,9 @@ def compare_runs(
 
     Covers identity (commands, resume relationship), verdicts/exit
     codes, timings (with relative delta) and work counts; artifact paths
-    are listed when they differ.
+    are listed when they differ, and state-audit summaries (revisit
+    ratio, commuting fraction, orbit savings) are compared when either
+    run carries one (records predating the field are tolerated).
     """
     lines: List[str] = []
     id_a, id_b = a.get("run_id", "A"), b.get("run_id", "B")
@@ -340,6 +382,7 @@ def compare_runs(
         va, vb = a.get(key), b.get(key)
         if va != vb:
             lines.append(f"{key}: {va} vs {vb}")
+    lines.extend(_compare_audit(a.get("audit"), b.get("audit")))
     arts_a, arts_b = a.get("artifacts") or {}, b.get("artifacts") or {}
     if arts_a != arts_b:
         lines.append(f"artifacts: A {json.dumps(arts_a)} | B {json.dumps(arts_b)}")

@@ -9,9 +9,12 @@ ephemeral port on 127.0.0.1, printed at startup).  Three endpoints:
     span stack, live counters (steps, schedules, runs, states, faults),
     verdict tallies, the latest explorer heartbeat (executions done,
     frontier size, execution rate, coverage and ETA — absent until the
-    first heartbeat), suite progress, budget state, last checkpoint, and
+    first heartbeat), suite progress, budget state, last checkpoint,
     the witness bundles captured so far (``witnesses`` — path, kind,
-    source per archived deciding execution; absent until one exists).
+    source per archived deciding execution; absent until one exists),
+    and the state-audit summary (``audit`` — revisit ratio, commuting
+    fraction, orbit savings; absent until an ``audit_summary`` event
+    arrives, see :mod:`repro.obs.audit`).
 ``GET /metrics``
     The process-wide metrics registry rendered by
     :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus` — the
@@ -80,6 +83,7 @@ class StatusBoard:
         self._checkpoint: Optional[Dict[str, Any]] = None
         self._budget_trip: Optional[str] = None
         self._witnesses: List[Dict[str, Any]] = []
+        self._audit: Optional[Dict[str, Any]] = None
 
     # -- event bus subscriber -----------------------------------------
     def __call__(self, name: str, fields: Dict[str, Any]) -> None:
@@ -113,6 +117,8 @@ class StatusBoard:
                 self._checkpoint = dict(fields)
             elif name == "budget_exhausted":
                 self._budget_trip = str(fields.get("reason", "exhausted"))
+            elif name == "audit_summary":
+                self._audit = dict(fields)
             elif name == "witness_captured":
                 self._witnesses.append(
                     {
@@ -146,6 +152,8 @@ class StatusBoard:
                 payload["checkpoint"] = dict(self._checkpoint)
             if self._witnesses:
                 payload["witnesses"] = [dict(w) for w in self._witnesses]
+            if self._audit is not None:
+                payload["audit"] = dict(self._audit)
         budget = get_active_budget()
         if budget is not None:
             payload["budget"] = {

@@ -40,6 +40,13 @@ name                      kind        meaning
 ``explore_eta_seconds``   gauge       estimated seconds to completion
 ``explore_coverage``      gauge       estimated fraction of the tree done
 ``suite_experiments_completed``  gauge  experiments finished so far
+``audit_configurations``  gauge       configurations visited by the state audit
+``audit_distinct_states``  gauge      distinct configuration fingerprints
+``audit_revisit_ratio``   gauge       state-cache headroom (``repro audit``)
+``audit_distinct_orbits``  gauge      distinct pid-symmetry orbit estimates
+``audit_orbit_savings``   gauge       symmetry-reduction headroom
+``audit_pairs_checked``   gauge       adjacent pairs classified by the audit
+``audit_commuting_fraction``  gauge   DPOR headroom (commuting pair fraction)
 ========================  ==========  ==========================================
 
 Histograms use the fixed exponential bucket ladder :data:`BUCKET_BOUNDS`
@@ -381,6 +388,20 @@ class MetricsRegistry:
             self.counter(
                 "witnesses_captured_total", kind=fields.get("kind", "unknown")
             ).inc()
+        elif name == "audit_summary":
+            for field_name, gauge_name in (
+                ("configurations", "audit_configurations"),
+                ("distinct_states", "audit_distinct_states"),
+                ("revisit_ratio", "audit_revisit_ratio"),
+                ("distinct_orbits", "audit_distinct_orbits"),
+                ("orbit_savings", "audit_orbit_savings"),
+                ("pairs_checked", "audit_pairs_checked"),
+                ("commuting_fraction", "audit_commuting_fraction"),
+                ("executions", "audit_executions"),
+            ):
+                value = fields.get(field_name)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    self.gauge(gauge_name).set(value)
         elif name == "witness_shrunk":
             self.histogram("witness_shrink_steps").observe(
                 _num(fields.get("removed"))

@@ -6,9 +6,13 @@ stream) into one dependency-free HTML file: inline CSS, no scripts, no
 external fetches — safe to attach to a CI run or mail around.  Exposed
 on the CLI as ``repro stats TRACE --html out.html``.
 
-Sections: verdict summary, span waterfall, top-N step tables, bucketed
-distributions (schedule depth, run steps, frontier branching), and the
-replay-overhead account.
+Sections: verdict summary, exploration coverage, state-audit headroom
+(when the trace carries an ``audit_summary`` event), span waterfall,
+top-N step tables, bucketed distributions (schedule depth, run steps,
+frontier branching), and the replay-overhead account.
+:func:`render_audit_html` additionally renders the standalone
+``repro audit --html`` report straight from a
+:class:`~repro.obs.audit.StateAuditor`.
 
 The waterfall has no wall-clock timestamps to draw from (events are
 deliberately unstamped so identical runs produce identical traces);
@@ -138,6 +142,109 @@ def _coverage_section(registry: MetricsRegistry) -> List[str]:
         "explore_heartbeat — heuristic, not a bound.</p>"
     )
     return out
+
+
+def _audit_section(registry: MetricsRegistry) -> List[str]:
+    """State-space audit headroom as carried by ``audit_*`` gauges.
+
+    Present in replayed traces whenever the run emitted an
+    ``audit_summary`` event (``repro audit``, or any exploration with an
+    attached :class:`~repro.obs.audit.StateAuditor`).
+    """
+    gauges = registry.snapshot()["gauges"]
+    if "audit_configurations" not in gauges:
+        return []
+    rows: List[Tuple[str, str]] = [
+        ("configurations visited", f"{gauges['audit_configurations']:,}"),
+        ("distinct states", f"{gauges.get('audit_distinct_states', 0):,}"),
+        (
+            "revisit ratio (state-cache headroom)",
+            f"{gauges.get('audit_revisit_ratio', 0.0):.1%}",
+        ),
+        ("distinct orbits", f"{gauges.get('audit_distinct_orbits', 0):,}"),
+        (
+            "orbit savings (symmetry headroom)",
+            f"{gauges.get('audit_orbit_savings', 0.0):.1%}",
+        ),
+        ("adjacent pairs classified", f"{gauges.get('audit_pairs_checked', 0):,}"),
+        (
+            "commuting fraction (DPOR headroom)",
+            f"{gauges.get('audit_commuting_fraction', 0.0):.1%}",
+        ),
+    ]
+    out = ["<h2>State-space audit</h2>", "<table>"]
+    for label, value in rows:
+        out.append(
+            f"<tr><td>{escape(label)}</td>"
+            f'<td class="num">{escape(value)}</td></tr>'
+        )
+    out.append("</table>")
+    out.append(
+        '<p class="muted">redundancy a state cache / DPOR / pid-symmetry '
+        "quotient would eliminate — estimators, not sound reductions "
+        "(see docs/OBSERVABILITY.md, “State-space audit”).</p>"
+    )
+    return out
+
+
+def render_audit_html(auditor: Any, title: str = "repro state-space audit") -> str:
+    """Standalone audit report (``repro audit --html``): the headroom
+    table plus the per-depth revisit histogram, deterministic bytes."""
+    summary = auditor.summary()
+    body: List[str] = [f"<h1>{escape(title)}</h1>"]
+    rows: List[Tuple[str, str]] = [
+        ("executions", f"{summary['executions']:,}"),
+        ("configurations visited", f"{summary['configurations']:,}"),
+        ("distinct states", f"{summary['distinct_states']:,}"),
+        ("revisit ratio (state-cache headroom)", f"{summary['revisit_ratio']:.1%}"),
+        ("distinct orbits", f"{summary['distinct_orbits']:,}"),
+        ("orbit savings (symmetry headroom)", f"{summary['orbit_savings']:.1%}"),
+        (
+            "adjacent pairs classified",
+            f"{summary['pairs_checked']:,}"
+            + (" (sampling capped)" if summary.get("pairs_truncated") else ""),
+        ),
+        (
+            "commuting fraction (DPOR headroom)",
+            f"{summary['commuting_fraction']:.1%}",
+        ),
+    ]
+    body.append("<h2>Reduction headroom</h2>")
+    body.append("<table>")
+    for label, value in rows:
+        body.append(
+            f"<tr><td>{escape(label)}</td>"
+            f'<td class="num">{escape(value)}</td></tr>'
+        )
+    body.append("</table>")
+    depth_rows = auditor.depth_rows()
+    if depth_rows:
+        body.append("<h2>Revisit ratio by depth</h2>")
+        body.append("<table>")
+        body.append(
+            '<tr><th class="num">depth</th><th class="num">visits</th>'
+            '<th class="num">revisits</th><th class="num">ratio</th></tr>'
+        )
+        for depth, visits, revisits, ratio in depth_rows:
+            body.append(
+                f'<tr><td class="num">{depth}</td>'
+                f'<td class="num">{visits:,}</td>'
+                f'<td class="num">{revisits:,}</td>'
+                f'<td class="num">{ratio:.1%}</td></tr>'
+            )
+        body.append("</table>")
+    body.append(
+        '<p class="muted">estimators for the ROADMAP hot-loop reductions '
+        "(state cache / DPOR / pid symmetry) — see docs/OBSERVABILITY.md, "
+        "“State-space audit”.</p>"
+    )
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{escape(title)}</title>"
+        f"<style>{_CSS}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )
 
 
 def _waterfall_section(profiler: Profiler, max_rows: int = 60) -> List[str]:
@@ -333,6 +440,7 @@ def render_html(
         body.append(f'<p class="muted">{escape(" · ".join(meta_bits))}</p>')
     body.extend(_summary_section(registry, profiler))
     body.extend(_coverage_section(registry))
+    body.extend(_audit_section(registry))
     body.extend(_waterfall_section(profiler))
     body.extend(_steps_tables_section(registry))
     body.extend(_distributions_section(registry))

@@ -53,7 +53,6 @@ archived witness (see docs/EXPLAIN.md).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from contextlib import contextmanager
@@ -62,6 +61,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 from repro.fsutil import ensure_parent
 from repro.obs import events as _events
 from repro.obs import ledger as _ledger
+from repro.obs.fingerprint import content_id
 from repro.runtime.execution import Execution
 from repro.runtime.system import SystemSpec
 from repro.runtime.trace_io import replay_trace, trace_to_dict
@@ -136,18 +136,19 @@ def witness_id(record: Dict[str, Any]) -> str:
 
     Two captures of the same deciding execution (same schedule, same
     outcome) share an id regardless of label/reason wording, so the
-    store can deduplicate by file name.
+    store can deduplicate by file name.  Hashing goes through
+    :func:`repro.obs.fingerprint.content_id` — the same convention the
+    state audit uses — so bundle ids and audit state hashes cannot
+    drift apart.
     """
     trace = record.get("trace", {})
-    basis = json.dumps(
+    return content_id(
         [
             trace.get("decisions", []),
             trace.get("crashes", []),
             trace.get("fingerprint", ""),
-        ],
-        separators=(",", ":"),
+        ]
     )
-    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:12]
 
 
 def write_witness(path: str, records: List[Dict[str, Any]]) -> str:

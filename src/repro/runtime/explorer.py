@@ -32,6 +32,7 @@ from __future__ import annotations
 import time
 from dataclasses import asdict, dataclass
 from typing import (
+    Any,
     Callable,
     Iterable,
     Iterator,
@@ -143,6 +144,13 @@ class Explorer:
         histogram, execution rate, and the coverage/ETA estimate (see
         :mod:`repro.obs.coverage`).  Only emitted while the event bus is
         enabled; ``0.0`` emits one per execution (used by tests).
+    auditor:
+        Optional :class:`~repro.obs.audit.StateAuditor` observing the
+        walk: every visited configuration (for revisit/orbit counting)
+        and every completed execution (for commuting-pair sampling).
+        Purely observational — the walk order, the yielded executions,
+        and every verdict are identical with and without it; when unset
+        (the default) the hooks cost one ``None`` check per node.
     """
 
     def __init__(
@@ -157,6 +165,7 @@ class Explorer:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1000,
         heartbeat_interval: float = 0.5,
+        auditor: Optional[Any] = None,
     ):
         self.spec = spec
         self.max_depth = max_depth
@@ -170,6 +179,9 @@ class Explorer:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.heartbeat_interval = heartbeat_interval
+        self.auditor = auditor
+        if auditor is not None and hasattr(auditor, "bind"):
+            auditor.bind(spec)
         self.stats = ExplorationStatistics()
         #: Reason the walk stopped early (budget exhaustion), or ``None``.
         self.interrupted: Optional[str] = None
@@ -427,6 +439,8 @@ class Explorer:
             system = self._replay(prefix, fresh=1 if prefix else 0)
             self.stats.max_depth_seen = max(self.stats.max_depth_seen, len(prefix))
             branches = self._branches(system, prefix)
+            if self.auditor is not None:
+                self.auditor.observe_configuration(system, depth=len(prefix))
             if observed:
                 _obs_events.emit(
                     "frontier", depth=len(prefix), branches=len(branches)
@@ -463,7 +477,10 @@ class Explorer:
                 if now - self._last_heartbeat >= self.heartbeat_interval:
                     self._last_heartbeat = now
                     self._heartbeat(now)
-            yield system.finalize()
+            execution = system.finalize()
+            if self.auditor is not None:
+                self.auditor.observe_execution(execution)
+            yield execution
         self._stack = []
         if self.checkpoint_path is not None:
             self.write_checkpoint()  # empty frontier marks completion

@@ -136,6 +136,41 @@ class System:
         """True when no process can take another step."""
         return not self.enabled_pids()
 
+    def configuration(self) -> Dict[str, Any]:
+        """Structured snapshot naming the current configuration.
+
+        The substrate for content-addressed state identity (audit today,
+        state caching later — see :mod:`repro.obs.fingerprint`).  Shared
+        state is the object states (``repr``-encoded, sorted by name).
+        Process control state is extensional: a generator cannot be
+        serialized, but it is a deterministic function of its program
+        (fixed per pid) and the responses delivered to it, so
+        ``(status, delivered responses, pending operation)`` names it
+        exactly.  Crashes are covered through the ``"crashed"`` status,
+        so configurations on crash branches never alias crash-free ones.
+        """
+        responses: Dict[int, List[str]] = {p.pid: [] for p in self.processes}
+        for step in self.trace.steps:
+            responses[step.pid].append(repr(step.response))
+        return {
+            "objects": {
+                name: repr(state)
+                for name, state in sorted(self.object_states.items())
+            },
+            "processes": [
+                {
+                    "status": process.status.value,
+                    "responses": responses[process.pid],
+                    "pending": (
+                        str(process.pending_operation)
+                        if process.pending_operation is not None
+                        else ""
+                    ),
+                }
+                for process in self.processes
+            ],
+        }
+
     # ------------------------------------------------------------------
     # Transitions
     # ------------------------------------------------------------------

@@ -5,11 +5,16 @@ import json
 import pytest
 
 from repro.obs.bench import (
+    HISTORY_SCHEMA,
     SCHEMA,
     BenchFileError,
+    append_history,
     compare_benches,
+    history_entry,
     load_bench_file,
     main,
+    read_history,
+    render_history,
 )
 
 
@@ -150,3 +155,97 @@ class TestCliMain:
         assert os.environ.get("REPRO_BENCH_BASELINE") is None
         benches = load_bench_file(default_baseline_path())
         assert benches, "committed baseline must list benches"
+
+
+class TestHistory:
+    def test_entry_keeps_only_trajectory_metrics(self):
+        benches = {
+            "bench_walk": {
+                "seconds": 0.5,
+                "steps": 100,
+                "steps_per_sec": 200.0,
+                "obs_overhead_ratio": 1.3,
+                "free_form_extra": "dropped",
+            }
+        }
+        entry = history_entry(benches, label="abc123")
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["label"] == "abc123"
+        assert entry["benches"]["bench_walk"] == {
+            "seconds": 0.5,
+            "steps": 100.0,
+            "steps_per_sec": 200.0,
+            "obs_overhead_ratio": 1.3,
+        }
+        assert "timestamp" not in entry  # determinism: no wall clock
+
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(str(path), history_entry(BASELINE, label="one"))
+        append_history(str(path), history_entry(BASELINE, label="two"))
+        entries = read_history(str(path))
+        assert [entry["label"] for entry in entries] == ["one", "two"]
+
+    def test_identical_entries_serialize_identically(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(str(path), history_entry(BASELINE, label="x"))
+        append_history(str(path), history_entry(BASELINE, label="x"))
+        first, second = path.read_text().splitlines()
+        assert first == second
+
+    def test_read_skips_foreign_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(str(path), history_entry(BASELINE, label="keep"))
+        with open(path, "a") as handle:
+            handle.write("not json\n")
+            handle.write('{"schema": "other/1"}\n')
+        entries = read_history(str(path))
+        assert len(entries) == 1 and entries[0]["label"] == "keep"
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(BenchFileError):
+            read_history(str(tmp_path / "missing.jsonl"))
+
+    def test_render_lists_benches_sorted_with_labels(self):
+        entries = [
+            history_entry(BASELINE, label="old"),
+            history_entry(BASELINE, label="new"),
+        ]
+        lines = render_history(entries)
+        assert lines[0].startswith("bench history (2 entries)")
+        text = "\n".join(lines)
+        assert "bench_throughput:" in text and "bench_walk:" in text
+        assert text.index("old: ") < text.index("new: ", text.index("old: "))
+
+    def test_render_empty(self):
+        assert render_history([]) == ["bench history: empty"]
+
+    def test_cli_record_and_print(self, tmp_path, capsys):
+        old = write_bench_file(tmp_path / "old.json", BASELINE)
+        new = write_bench_file(tmp_path / "new.json", BASELINE)
+        history = str(tmp_path / "history.jsonl")
+        assert main(
+            [old, new, "--record-history", history,
+             "--history-label", "sha1", "--history", history]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "recorded history entry" in captured.err
+        assert "bench history (1 entries)" in captured.out
+        assert "sha1:" in captured.out
+        entries = read_history(history)
+        assert entries[0]["label"] == "sha1"
+
+    def test_cli_unreadable_history_exits_two(self, tmp_path, capsys):
+        old = write_bench_file(tmp_path / "old.json", BASELINE)
+        assert main(
+            [old, old, "--history", str(tmp_path / "nope.jsonl")]
+        ) == 2
+        assert "bench-compare:" in capsys.readouterr().err
+
+    def test_committed_history_is_loadable(self):
+        """The repository ships benchmarks/BENCH_history.jsonl seeded from
+        the committed baseline; CI appends to it."""
+        from repro.obs.bench import DEFAULT_HISTORY
+
+        entries = read_history(DEFAULT_HISTORY)
+        assert entries and entries[0]["label"] == "baseline"
