@@ -53,10 +53,21 @@ Commands
 ``runs list|show|compare``
     Inspect the persistent run ledger (``.repro/runs.jsonl``): every run
     command appends one record (run id, argv, verdict, duration, budget
-    trips, checkpoint, artifact, and witness paths).  ``show RUN_ID``
-    prints one record in full, ``compare A B`` diffs verdicts/timings
-    between two runs (abbreviated run ids accepted; exit 1 when verdicts
-    disagree).
+    trips, checkpoint, artifact, and witness paths).  ``list --json``
+    emits the records as a JSON array and ``--verdict PROVED`` filters
+    (also REFUTED/INCONCLUSIVE/ERROR), so scripts never screen-scrape
+    the table.  ``show RUN_ID`` prints one record in full, ``compare A
+    B`` diffs verdicts/timings between two runs (abbreviated run ids
+    accepted; exit 1 when verdicts disagree).
+``serve [--port P] [--host H] [--max-workers N] [--max-retries N]
+[--data-dir DIR]``
+    The standing multi-run verdict service: accepts exploration jobs
+    over HTTP (``POST /jobs``), runs each in a supervised subprocess
+    worker with tracing/witnesses/checkpointing enabled, resumes crashed
+    workers from their last checkpoint, and serves job status, SSE event
+    streams, aggregated metrics, the ledger, witness lane views, and an
+    HTML dashboard.  SIGINT/SIGTERM drain gracefully (running jobs
+    checkpoint and become resumable).  See docs/SERVICE.md.
 ``explain WITNESS.jsonl | RUN_ID``
     Replay an archived witness bundle (or the witnesses recorded by a
     ledger run), ddmin-shrink it to a 1-minimal schedule that still
@@ -99,6 +110,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from math import ceil
 
 from repro.faults.budget import Budget, active_budget
@@ -495,6 +507,15 @@ def _ledger_records(args):
 
 def cmd_runs_list(args) -> int:
     path, records = _ledger_records(args)
+    if args.verdict is not None:
+        try:
+            records = run_ledger.filter_by_verdict(records, args.verdict)
+        except ValueError as error:
+            print(f"runs list: {error}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(run_ledger.render_json(records, limit=args.limit))
+        return 0
     if not records:
         print(f"no runs recorded in {path}")
         return 0
@@ -522,6 +543,56 @@ def cmd_explain(args) -> int:
         html_out=args.html,
         ledger_path=args.ledger,
     )
+
+
+def cmd_serve(args) -> int:
+    """The ``repro serve`` daemon: run until SIGINT/SIGTERM, then drain.
+
+    Lazy import keeps daemon-only machinery out of every other command's
+    startup path.
+    """
+    import signal as _signal
+
+    from repro.obs.service import serve_service
+
+    try:
+        session = serve_service(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            max_workers=args.max_workers,
+            max_retries=args.max_retries,
+        )
+    except OSError as error:
+        print(f"repro serve: cannot start: {error}", file=sys.stderr)
+        return 2
+    stop = threading.Event()
+
+    def _request_stop(_signum, _frame) -> None:
+        stop.set()
+
+    previous = {
+        sig: _signal.signal(sig, _request_stop)
+        for sig in (_signal.SIGINT, _signal.SIGTERM)
+    }
+    print(f"repro serve: dashboard at {session.url('/')}", file=sys.stderr)
+    print(
+        f"repro serve: data dir {session.manager.data_dir} "
+        f"({args.max_workers} worker(s), {args.max_retries} retries per job)",
+        file=sys.stderr,
+    )
+    try:
+        stop.wait()
+        print(
+            "repro serve: draining (running jobs checkpoint and stop; "
+            "resume them by resubmitting)",
+            file=sys.stderr,
+        )
+    finally:
+        for sig, handler in previous.items():
+            _signal.signal(sig, handler)
+        session.close()
+    return 0
 
 
 def cmd_runs_compare(args) -> int:
@@ -805,6 +876,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20, metavar="N",
         help="show at most the N most recent runs (default 20)",
     )
+    runs_list.add_argument(
+        "--json", action="store_true",
+        help="emit the records as a JSON array instead of the table "
+        "(every key, machine-readable)",
+    )
+    runs_list.add_argument(
+        "--verdict", metavar="VERDICT", default=None,
+        help="only runs with this verdict "
+        "(PROVED, REFUTED, INCONCLUSIVE, or ERROR; case-insensitive)",
+    )
     for runs_parser, handler in (
         (runs_list, cmd_runs_list),
         (runs_show, cmd_runs_show),
@@ -817,6 +898,36 @@ def build_parser() -> argparse.ArgumentParser:
         runs_parser.set_defaults(
             func=handler, handles_obs_flags=True, skip_ledger_record=True
         )
+
+    serve = sub.add_parser(
+        "serve",
+        help="standing multi-run verdict service (job queue over HTTP, "
+        "crash-resuming workers, dashboard)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="listen port (default: ephemeral, printed at startup)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="listen address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--max-workers", type=int, default=2, metavar="N",
+        help="exploration jobs run concurrently (default 2)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="crash-resume attempts per job before ERROR (default 2)",
+    )
+    serve.add_argument(
+        "--data-dir", default=".repro/service", metavar="DIR",
+        help="root for job dirs, the service ledger, and witness bundles "
+        "(default .repro/service)",
+    )
+    serve.set_defaults(
+        func=cmd_serve, handles_obs_flags=True, skip_ledger_record=True
+    )
     return parser
 
 

@@ -134,6 +134,22 @@ def write_checkpoint(
         )
 
 
+def peek_checkpoint(path: str) -> Optional[Checkpoint]:
+    """Tolerant :func:`read_checkpoint` for supervisors: ``None`` on any
+    missing, unreadable, or malformed file.
+
+    ``repro serve`` restarts crashed workers from their last checkpoint;
+    a worker killed before its first checkpoint (no file) or while the
+    path is otherwise unusable should fall back to a fresh start, not
+    take the daemon down.  Library callers that *own* a checkpoint keep
+    the strict reader — for them corruption is a real error.
+    """
+    try:
+        return read_checkpoint(path)
+    except (OSError, ProtocolError):
+        return None
+
+
 def read_checkpoint(path: str) -> Checkpoint:
     """Parse a checkpoint file, validating the format marker.
 

@@ -1,0 +1,610 @@
+"""The job queue behind ``repro serve``: supervised exploration workers.
+
+A *job* is one exploration request (task, n, k, max_crashes, budget,
+…) accepted over ``POST /jobs`` and executed by a worker **subprocess**
+running the ordinary CLI::
+
+    python -m repro explore --task T --n N --k K [--max-crashes F]
+        --checkpoint <job dir>/checkpoint.jsonl --checkpoint-every E
+        --trace-out <job dir>/trace-<attempt>.jsonl
+        --witness-dir <data dir>/witnesses --ledger <data dir>/runs.jsonl
+
+Workers being processes (not threads) buys three things at once: the
+GIL never couples explorations, a crashing worker cannot corrupt the
+daemon, and every observability artifact (trace, checkpoint, ledger
+record, witness bundle) lands on disk in the exact formats the rest of
+the toolchain already reads.
+
+Supervision: :class:`JobManager` runs ``max_workers`` daemon threads,
+each popping queued jobs and waiting on its worker process.  Exit codes
+0/1/3 are **final verdicts** (the ledger's proved/refuted/inconclusive
+mapping); anything else — a signal, an unhandled exception — is a
+*crash*.  A crashed worker is restarted from the job's last
+``repro-checkpoint/1`` file when one exists (``--resume``, so the retry
+visits exactly the executions the dead worker had not yet yielded, and
+its ledger record links the dead run via ``parent_run_id``), or from
+scratch when none was written yet.  After ``max_retries`` crashes the
+job lands as ERROR.  Draining (SIGINT/SIGTERM on the daemon) interrupts
+running workers with SIGINT — the CLI's existing handler flushes a
+final checkpoint — and marks their jobs INTERRUPTED, resumable by a
+future submission.
+
+Everything the HTTP side needs is exposed as snapshots: job state under
+one lock, progress by tailing the worker's JSONL trace for
+``explore_heartbeat`` events (:class:`TraceTail` — file reads only,
+never a lock a worker could hold).  See docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.checkpoint import peek_checkpoint
+from repro.fsutil import ensure_parent
+from repro.obs import ledger as run_ledger
+
+# -- job states --------------------------------------------------------
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"  # final: worker returned a verdict exit code (0/1/3)
+ERROR = "error"  # final: crashed more than max_retries times
+INTERRUPTED = "interrupted"  # daemon drained; checkpoint left behind
+
+FINAL_STATES = (DONE, ERROR)
+
+#: Worker exit codes that are verdicts, not crashes (see
+#: :data:`repro.obs.ledger.EXIT_VERDICTS`; 2 = error is deliberately
+#: absent — an erroring worker is supervised like a crash).
+VERDICT_EXITS = {0: "proved", 1: "refuted", 3: "inconclusive"}
+
+
+@dataclass
+class JobSpec:
+    """A validated exploration request (the ``POST /jobs`` body).
+
+    ``seed`` is recorded provenance for the upcoming randomized-scheduler
+    ensembles (ROADMAP adversary-models item); the current exhaustive
+    explorer does not consume it.
+    """
+
+    task: str = "set-consensus"
+    n: int = 2
+    k: int = 1
+    max_crashes: int = 0
+    max_depth: int = 60
+    deadline: Optional[float] = None
+    max_steps: Optional[int] = None
+    checkpoint_every: int = 100
+    seed: Optional[int] = None
+    label: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if value is not None and value != ""
+        }
+
+
+def known_tasks() -> List[str]:
+    """The task names a job may name — the CLI's own explore registry,
+    imported lazily so this module never circularly imports the CLI."""
+    from repro.__main__ import EXPLORE_TASKS
+
+    return sorted(EXPLORE_TASKS)
+
+
+def validate_spec(payload: Any) -> JobSpec:
+    """Parse and validate a ``POST /jobs`` body into a :class:`JobSpec`.
+
+    Strict on purpose: unknown keys, unknown tasks, and out-of-range
+    values raise ``ValueError`` with a message fit for an HTTP 400 body —
+    a silently-defaulted typo would burn hours of worker time on the
+    wrong instance.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("job spec must be a JSON object")
+    spec = JobSpec()
+    unknown = set(payload) - set(spec.__dict__)
+    if unknown:
+        raise ValueError(
+            "unknown job spec key(s): " + ", ".join(sorted(unknown))
+        )
+    tasks = known_tasks()
+    spec.task = str(payload.get("task", spec.task))
+    if spec.task not in tasks:
+        raise ValueError(
+            f"unknown task {spec.task!r}; expected one of {', '.join(tasks)}"
+        )
+    for key, minimum in (
+        ("n", 1), ("k", 1), ("max_crashes", 0), ("max_depth", 1),
+        ("checkpoint_every", 1), ("max_steps", 1), ("seed", 0),
+    ):
+        if key not in payload or payload[key] is None:
+            continue
+        value = payload[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"job spec {key!r} must be an integer")
+        if value < minimum:
+            raise ValueError(f"job spec {key!r} must be >= {minimum}, got {value}")
+        setattr(spec, key, value)
+    if payload.get("deadline") is not None:
+        deadline = payload["deadline"]
+        if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+            raise ValueError("job spec 'deadline' must be a number of seconds")
+        if deadline <= 0:
+            raise ValueError(f"job spec 'deadline' must be > 0, got {deadline}")
+        spec.deadline = float(deadline)
+    if "label" in payload:
+        if not isinstance(payload["label"], str):
+            raise ValueError("job spec 'label' must be a string")
+        spec.label = payload["label"]
+    return spec
+
+
+class TraceTail:
+    """Incremental reader over a job's per-attempt trace files.
+
+    Tracks the latest ``explore_heartbeat`` (and a few other landmark
+    events) without re-reading bytes already seen.  Handler threads call
+    :meth:`poll` on demand; a cheap substring prefilter keeps the cost
+    proportional to interesting lines, not to the step-event firehose.
+    Thread-safe via its own lock — never a lock any worker holds.
+    """
+
+    _INTERESTING = (
+        b'"explore_heartbeat"',
+        b'"checkpoint_written"',
+        b'"exploration_interrupted"',
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._file_index = 0
+        self._offset = 0
+        self.lines = 0
+        self.heartbeat: Optional[Dict[str, Any]] = None
+        self.last_checkpoint: Optional[Dict[str, Any]] = None
+        self.interrupted: Optional[str] = None
+
+    def poll(self, paths: List[str], chunk_limit: int = 8 << 20) -> None:
+        """Consume new complete lines from ``paths`` (attempt order)."""
+        with self._lock:
+            while self._file_index < len(paths):
+                path = paths[self._file_index]
+                consumed = self._consume(path, chunk_limit)
+                # Advance to the next attempt's file only once it exists —
+                # the current one can no longer grow then.
+                if consumed or self._file_index + 1 >= len(paths):
+                    break
+                self._file_index += 1
+                self._offset = 0
+
+    def _consume(self, path: str, chunk_limit: int) -> bool:
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read(chunk_limit)
+        except OSError:
+            return False
+        if not chunk:
+            return False
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return False  # a partial line mid-write; retry next poll
+        data, self._offset = chunk[: end + 1], self._offset + end + 1
+        for line in data.splitlines():
+            self.lines += 1
+            if not any(marker in line for marker in self._INTERESTING):
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            event = record.get("event")
+            record.pop("i", None)
+            record.pop("event", None)
+            if event == "explore_heartbeat":
+                self.heartbeat = record
+            elif event == "checkpoint_written":
+                self.last_checkpoint = record
+            elif event == "exploration_interrupted":
+                self.interrupted = str(record.get("reason", "interrupted"))
+        return True
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            out: Dict[str, Any] = {"trace_lines": self.lines}
+            if self.heartbeat is not None:
+                out["explore"] = dict(self.heartbeat)
+            if self.last_checkpoint is not None:
+                out["checkpoint"] = dict(self.last_checkpoint)
+            if self.interrupted is not None:
+                out["interrupted"] = self.interrupted
+            return out
+
+
+@dataclass
+class Job:
+    """One submitted exploration and everything known about it."""
+
+    id: str
+    spec: JobSpec
+    job_dir: str
+    state: str = QUEUED
+    attempts: int = 0
+    verdict: Optional[str] = None
+    error: Optional[str] = None
+    #: Ledger run ids of the attempts, in order.  A killed attempt's id
+    #: is recovered from the checkpoint header it left behind; the final
+    #: attempt's from the checkpoint it writes on completion.
+    run_ids: List[str] = field(default_factory=list)
+    exit_codes: List[int] = field(default_factory=list)
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    pid: Optional[int] = None
+    drain_requested: bool = False
+    tail: TraceTail = field(default_factory=TraceTail)
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.job_dir, "checkpoint.jsonl")
+
+    @property
+    def worker_log(self) -> str:
+        return os.path.join(self.job_dir, "worker.log")
+
+    def trace_path(self, attempt: int) -> str:
+        return os.path.join(self.job_dir, f"trace-{attempt}.jsonl")
+
+    def trace_paths(self) -> List[str]:
+        return [self.trace_path(a) for a in range(1, self.attempts + 1)]
+
+
+def _iso(stamp: Optional[float]) -> Optional[str]:
+    if stamp is None:
+        return None
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(stamp))
+
+
+class JobManager:
+    """Bounded worker pool executing jobs as supervised subprocesses.
+
+    All mutation happens under one lock; readers get copies.  Worker
+    threads only *wait* on their subprocess outside the lock, so HTTP
+    handler snapshots can never be blocked by a running exploration.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        max_workers: int = 2,
+        max_retries: int = 2,
+        worker_prefix: Optional[List[str]] = None,
+    ):
+        self.data_dir = os.path.abspath(data_dir)
+        self.jobs_dir = os.path.join(self.data_dir, "jobs")
+        self.ledger_path = os.path.join(self.data_dir, "runs.jsonl")
+        self.witness_dir = os.path.join(self.data_dir, "witnesses")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.witness_dir, exist_ok=True)
+        self.max_workers = max(1, int(max_workers))
+        self.max_retries = max(0, int(max_retries))
+        #: Command that becomes a worker when job argv is appended —
+        #: overridable by tests to simulate permanently-crashing workers.
+        self.worker_prefix = worker_prefix or [sys.executable, "-m", "repro"]
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: List[str] = []
+        self._jobs: Dict[str, Job] = {}
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._draining = False
+        self._closed = False
+        self._seq = self._initial_seq()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-job-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self.max_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _initial_seq(self) -> int:
+        """Continue job numbering across daemon restarts on one data dir."""
+        highest = 0
+        try:
+            for name in os.listdir(self.jobs_dir):
+                if name.startswith("job-"):
+                    try:
+                        highest = max(highest, int(name[4:].split("-")[0]))
+                    except ValueError:
+                        continue
+        except OSError:
+            pass
+        return highest
+
+    # -- submission ----------------------------------------------------
+    def submit(self, payload: Any) -> Dict[str, Any]:
+        """Validate and enqueue a job; returns its snapshot.
+
+        Raises ``ValueError`` on a bad spec and ``RuntimeError`` once the
+        manager is draining (the HTTP layer maps those to 400/503).
+        """
+        spec = validate_spec(payload)
+        with self._lock:
+            if self._draining:
+                raise RuntimeError("service is draining; not accepting jobs")
+            self._seq += 1
+            job_id = f"job-{self._seq:04d}"
+            job = Job(
+                id=job_id,
+                spec=spec,
+                job_dir=os.path.join(self.jobs_dir, job_id),
+            )
+            os.makedirs(job.job_dir, exist_ok=True)
+            self._jobs[job_id] = job
+            self._queue.append(job_id)
+            self._wakeup.notify()
+            return self._snapshot_locked(job)
+
+    # -- worker side ---------------------------------------------------
+    def worker_argv(self, job: Job, resume: bool) -> List[str]:
+        """The CLI argv (after the ``repro`` prefix) for one attempt."""
+        spec = job.spec
+        if resume:
+            argv = ["explore", "--resume", job.checkpoint_path]
+        else:
+            argv = [
+                "explore",
+                "--task", spec.task,
+                "--n", str(spec.n),
+                "--k", str(spec.k),
+                "--max-depth", str(spec.max_depth),
+                "--max-crashes", str(spec.max_crashes),
+            ]
+        argv += [
+            "--checkpoint", job.checkpoint_path,
+            "--checkpoint-every", str(spec.checkpoint_every),
+            "--trace-out", job.trace_path(job.attempts),
+            "--witness-dir", self.witness_dir,
+            "--ledger", self.ledger_path,
+        ]
+        if spec.deadline is not None:
+            argv += ["--deadline", str(spec.deadline)]
+        if spec.max_steps is not None:
+            argv += ["--max-steps", str(spec.max_steps)]
+        return argv
+
+    def _worker_env(self) -> Dict[str, str]:
+        """Worker environment: guarantee ``repro`` is importable even
+        when the daemon runs from a source tree."""
+        import repro
+
+        env = dict(os.environ)
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing else package_root
+        )
+        return env
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._queue:
+                    return
+                job_id = self._queue.pop(0)
+                job = self._jobs[job_id]
+                job.state = RUNNING
+                job.started_at = time.time()
+            try:
+                self._run_job(job)
+            except Exception as error:  # supervisor bugs land as ERROR, loudly
+                with self._lock:
+                    job.state = ERROR
+                    job.error = f"supervisor failure: {error!r}"
+                    job.finished_at = time.time()
+
+    def _run_job(self, job: Job) -> None:
+        crashes = 0
+        while True:
+            checkpoint = peek_checkpoint(job.checkpoint_path)
+            resume = checkpoint is not None and not checkpoint.done
+            if checkpoint is not None and checkpoint.run_id:
+                with self._lock:
+                    if checkpoint.run_id not in job.run_ids:
+                        # The dead attempt's ledger id survives only in the
+                        # checkpoint header it flushed — record it so the
+                        # resume chain is visible even though the killed
+                        # worker never wrote its own ledger record.
+                        job.run_ids.append(checkpoint.run_id)
+            if checkpoint is not None and checkpoint.done:
+                # Nothing left to explore: the dead worker finished the
+                # walk but was killed before exiting cleanly.
+                self._finish(job, verdict="proved", exit_code=0)
+                return
+            with self._lock:
+                job.attempts += 1
+                attempt = job.attempts
+            argv = self.worker_prefix + self.worker_argv(job, resume=resume)
+            ensure_parent(job.worker_log)
+            with open(job.worker_log, "a", encoding="utf-8") as log:
+                log.write(f"--- attempt {attempt}: {' '.join(argv)}\n")
+                log.flush()
+                try:
+                    proc = subprocess.Popen(
+                        argv,
+                        stdout=log,
+                        stderr=subprocess.STDOUT,
+                        env=self._worker_env(),
+                        cwd=self.data_dir,
+                    )
+                except OSError as error:
+                    with self._lock:
+                        job.state = ERROR
+                        job.error = f"cannot spawn worker: {error}"
+                        job.finished_at = time.time()
+                    return
+                with self._lock:
+                    job.pid = proc.pid
+                    self._procs[job.id] = proc
+                try:
+                    returncode = proc.wait()
+                finally:
+                    with self._lock:
+                        job.pid = None
+                        self._procs.pop(job.id, None)
+            with self._lock:
+                job.exit_codes.append(returncode)
+                drained = job.drain_requested
+            final = peek_checkpoint(job.checkpoint_path)
+            if final is not None and final.run_id:
+                with self._lock:
+                    if final.run_id not in job.run_ids:
+                        job.run_ids.append(final.run_id)
+            if drained:
+                with self._lock:
+                    job.state = INTERRUPTED
+                    job.error = "daemon drained; resume from the checkpoint"
+                    job.finished_at = time.time()
+                return
+            if returncode in VERDICT_EXITS:
+                self._finish(
+                    job,
+                    verdict=VERDICT_EXITS[returncode],
+                    exit_code=returncode,
+                )
+                return
+            crashes += 1
+            if crashes > self.max_retries:
+                with self._lock:
+                    job.state = ERROR
+                    job.error = (
+                        f"worker crashed {crashes} time(s) "
+                        f"(last exit {returncode}); retries exhausted"
+                    )
+                    job.finished_at = time.time()
+                return
+            # else: loop — resume from the checkpoint if one exists.
+
+    def _finish(self, job: Job, verdict: str, exit_code: int) -> None:
+        with self._lock:
+            job.state = DONE
+            job.verdict = verdict
+            job.finished_at = time.time()
+            if not job.exit_codes or job.exit_codes[-1] != exit_code:
+                job.exit_codes.append(exit_code)
+
+    # -- reading -------------------------------------------------------
+    def _snapshot_locked(self, job: Job) -> Dict[str, Any]:
+        snap: Dict[str, Any] = {
+            "id": job.id,
+            "spec": job.spec.as_dict(),
+            "state": job.state,
+            "attempts": job.attempts,
+            "run_ids": list(job.run_ids),
+            "exit_codes": list(job.exit_codes),
+            "submitted_at": _iso(job.submitted_at),
+            "started_at": _iso(job.started_at),
+            "finished_at": _iso(job.finished_at),
+            "job_dir": job.job_dir,
+        }
+        if job.verdict is not None:
+            snap["verdict"] = job.verdict
+        if job.error is not None:
+            snap["error"] = job.error
+        if job.pid is not None:
+            snap["pid"] = job.pid
+        return snap
+
+    def job_snapshot(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """One job's full status, heartbeat-fed progress included."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            snap = self._snapshot_locked(job)
+            traces = job.trace_paths()
+            tail = job.tail
+        tail.poll(traces)  # file reads; outside the manager lock
+        snap.update(tail.snapshot())
+        return snap
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            jobs = [self._snapshot_locked(j) for j in self._jobs.values()]
+        return sorted(jobs, key=lambda j: j["id"])
+
+    def counts(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """(jobs per state, verdict tallies of DONE jobs) for /metrics."""
+        states = {s: 0 for s in (QUEUED, RUNNING, DONE, ERROR, INTERRUPTED)}
+        verdicts: Dict[str, int] = {}
+        with self._lock:
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+                if job.verdict is not None:
+                    verdicts[job.verdict] = verdicts.get(job.verdict, 0) + 1
+        return states, verdicts
+
+    def read_ledger(self) -> Tuple[List[Dict[str, Any]], int]:
+        """The daemon's ledger (every worker appends here)."""
+        return run_ledger.read_ledger(self.ledger_path)
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    # -- lifecycle -----------------------------------------------------
+    def drain(self, timeout: float = 15.0) -> None:
+        """Stop accepting jobs, interrupt running workers, join threads.
+
+        Running workers get SIGINT — the explore CLI's handler flushes a
+        final checkpoint and exits 3 — and their jobs become
+        INTERRUPTED.  Workers that ignore SIGINT past ``timeout`` are
+        killed.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._draining = True
+            self._closed = True
+            for job_id, proc in list(self._procs.items()):
+                self._jobs[job_id].drain_requested = True
+                try:
+                    proc.send_signal(signal.SIGINT)
+                except OSError:
+                    pass
+            self._wakeup.notify_all()
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = max(0.1, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+        with self._lock:
+            stragglers = list(self._procs.values())
+        for proc in stragglers:
+            try:
+                proc.kill()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)

@@ -242,6 +242,39 @@ def _fmt_duration(value: Any) -> str:
     return f"{value:.2f}s"
 
 
+#: The ledger's verdict vocabulary (the values of :data:`EXIT_VERDICTS`).
+VERDICTS = ("proved", "refuted", "inconclusive", "error")
+
+
+def filter_by_verdict(
+    records: List[Dict[str, Any]], verdict: str
+) -> List[Dict[str, Any]]:
+    """Records whose verdict matches (case-insensitive).
+
+    Shared by ``repro runs list --verdict`` and the service's
+    ``GET /runs?verdict=`` so scripts and the daemon agree on what
+    counts as, say, a PROVED run.  Unknown verdict strings raise
+    ``ValueError`` rather than silently matching nothing.
+    """
+    wanted = verdict.strip().lower()
+    if wanted not in VERDICTS:
+        raise ValueError(
+            f"unknown verdict {verdict!r}; expected one of "
+            + ", ".join(v.upper() for v in VERDICTS)
+        )
+    return [
+        r for r in records if str(r.get("verdict", "")).lower() == wanted
+    ]
+
+
+def render_json(records: List[Dict[str, Any]], limit: int = 0) -> str:
+    """The ledger as a JSON array (``repro runs list --json``) — records
+    verbatim, newest last, so scripts get every key the table elides."""
+    if limit and len(records) > limit:
+        records = records[-limit:]
+    return json.dumps(records, indent=2, default=repr)
+
+
 def render_list(records: List[Dict[str, Any]], limit: int = 0) -> str:
     """Aligned table of the ledger, newest last (the append order)."""
     if not records:

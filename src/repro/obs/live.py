@@ -32,6 +32,12 @@ snapshots under a lock).
 Lifecycle: :func:`serve` starts the server and subscribes the feeds;
 :meth:`LiveSession.close` unsubscribes, shuts the server down, and joins
 its threads — called from the CLI's ``finally``, it also runs on SIGINT.
+
+The building blocks here are deliberately reusable: the multi-run
+``repro serve`` daemon (:mod:`repro.obs.service`) shares
+:class:`SnapshotHandler` (JSON/text responses with ``Cache-Control:
+no-store``), :class:`EventRing`, and :func:`parse_tail_count` rather
+than reimplementing them.
 """
 
 from __future__ import annotations
@@ -189,11 +195,66 @@ class EventRing:
             return len(self._events)
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes /status, /metrics, /events.  The server instance carries
-    the board/registry/ring (set by :class:`LiveSession`)."""
+def parse_tail_count(
+    query: Dict[str, List[str]], key: str = "n", default: int = 100
+) -> int:
+    """Parse a ``?n=`` tail-length query parameter, strictly.
+
+    Live endpoints are queried by scripts as much as by humans; a typo'd
+    ``?n=abc`` silently treated as the default hides the caller's bug.
+    Non-integer, zero, or negative values raise ``ValueError`` (mapped to
+    HTTP 400 by the handlers) — only a well-formed positive count passes.
+    """
+    raw = query.get(key, [str(default)])[0]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"query parameter {key!r} must be an integer, got {raw!r}")
+    if value <= 0:
+        raise ValueError(f"query parameter {key!r} must be positive, got {value}")
+    return value
+
+
+class SnapshotHandler(BaseHTTPRequestHandler):
+    """Shared HTTP plumbing for the live and service endpoints.
+
+    Subclasses route in ``do_GET``/``do_POST`` and respond through
+    :meth:`_send_json` / :meth:`_send_text` / :meth:`_send_json_error`.
+    Every response carries ``Cache-Control: no-store``: these are live
+    snapshots, and a proxy replaying yesterday's frontier would be worse
+    than an error.
+    """
 
     server_version = "repro-live/1"
+
+    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+        self._send_text(
+            json.dumps(payload, default=repr, indent=2) + "\n",
+            "application/json",
+            status=status,
+        )
+
+    def _send_json_error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _send_text(
+        self, body: str, content_type: str, status: int = 200
+    ) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep the observed run's stdout/stderr clean
+
+
+class _Handler(SnapshotHandler):
+    """Routes /status, /metrics, /events.  The server instance carries
+    the board/registry/ring (set by :class:`LiveSession`)."""
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         parsed = urlparse(self.path)
@@ -202,11 +263,11 @@ class _Handler(BaseHTTPRequestHandler):
         elif parsed.path == "/metrics":
             self._send_text(self._render_metrics(), "text/plain; version=0.0.4")
         elif parsed.path == "/events":
-            query = parse_qs(parsed.query)
             try:
-                n = int(query.get("n", ["100"])[0])
-            except ValueError:
-                n = 100
+                n = parse_tail_count(parse_qs(parsed.query))
+            except ValueError as error:
+                self._send_json_error(400, str(error))
+                return
             ring: EventRing = self.server.ring  # type: ignore[attr-defined]
             self._send_json({"events": ring.tail(n), "buffered": len(ring)})
         else:
@@ -223,23 +284,6 @@ class _Handler(BaseHTTPRequestHandler):
             except RuntimeError:
                 time.sleep(0.005)
         return registry.render_prometheus()
-
-    def _send_json(self, payload: Dict[str, Any]) -> None:
-        self._send_text(
-            json.dumps(payload, default=repr, indent=2) + "\n",
-            "application/json",
-        )
-
-    def _send_text(self, body: str, content_type: str) -> None:
-        data = body.encode("utf-8")
-        self.send_response(200)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
-
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass  # keep the observed run's stdout/stderr clean
 
 
 class LiveSession:

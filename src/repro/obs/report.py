@@ -57,6 +57,11 @@ td.num, th.num { text-align: right; }
 .ok { color: #2e7d32; } .bad { color: #c62828; font-weight: 600; }
 """
 
+#: The report stylesheet, exported for other HTML surfaces (the
+#: ``repro serve`` dashboard) so every page in the toolchain shares one
+#: visual language.
+BASE_CSS = _CSS
+
 
 def _fmt(value: float) -> str:
     return format(value, ".6g")

@@ -1,0 +1,289 @@
+"""Unit tests for the ``repro serve`` job queue (:mod:`repro.obs.jobs`).
+
+Fake workers (``worker_prefix`` pointing at tiny ``python -c`` scripts
+that ignore the explore argv) keep these tests fast and deterministic;
+the real worker protocol end-to-end — actual explorations, SIGKILL,
+checkpoint resume — lives in ``tests/integration/test_service.py``.
+"""
+
+import json
+import os
+import sys
+import time
+
+import pytest
+
+from repro.obs import jobs
+from repro.obs.jobs import JobManager, TraceTail, validate_spec
+
+
+def fake_worker(script: str):
+    """A worker_prefix whose process runs ``script`` (explore argv lands
+    in sys.argv and is ignored)."""
+    return [sys.executable, "-c", script]
+
+
+def wait_final(manager, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        snap = manager.job_snapshot(job_id)
+        if snap["state"] in jobs.FINAL_STATES:
+            return snap
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} not final: {manager.job_snapshot(job_id)}")
+
+
+class TestValidateSpec:
+    def test_defaults_and_known_task(self):
+        spec = validate_spec({"task": "consensus", "n": 3, "k": 1})
+        assert spec.task == "consensus"
+        assert spec.n == 3 and spec.k == 1
+        assert spec.max_crashes == 0
+
+    def test_rejects_unknown_task_and_keys(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            validate_spec({"task": "frobnicate"})
+        with pytest.raises(ValueError, match="unknown job spec key"):
+            validate_spec({"task": "consensus", "frobs": 1})
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"n": 0},
+            {"k": "two"},
+            {"max_crashes": -1},
+            {"deadline": 0},
+            {"deadline": "soon"},
+            {"max_steps": True},
+            {"label": 7},
+            ["not", "an", "object"],
+        ],
+    )
+    def test_rejects_bad_values(self, payload):
+        with pytest.raises(ValueError):
+            validate_spec(payload)
+
+    def test_seed_recorded_as_provenance(self):
+        spec = validate_spec({"task": "consensus", "seed": 42})
+        assert spec.seed == 42
+        assert spec.as_dict()["seed"] == 42
+
+
+class TestTraceTail:
+    def write(self, path, events):
+        with open(path, "a", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+
+    def test_keeps_latest_heartbeat_only(self, tmp_path):
+        trace = str(tmp_path / "trace-1.jsonl")
+        self.write(trace, [
+            {"event": "step", "pid": 0},
+            {"event": "explore_heartbeat", "executions": 5, "frontier": 2},
+            {"event": "explore_heartbeat", "executions": 9, "frontier": 1},
+        ])
+        tail = TraceTail()
+        tail.poll([trace])
+        snap = tail.snapshot()
+        assert snap["explore"]["executions"] == 9
+        assert snap["trace_lines"] == 3
+
+    def test_incremental_and_partial_lines(self, tmp_path):
+        trace = str(tmp_path / "trace-1.jsonl")
+        self.write(trace, [{"event": "explore_heartbeat", "executions": 1}])
+        tail = TraceTail()
+        tail.poll([trace])
+        # A partial line mid-write is not consumed...
+        with open(trace, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "explore_heartbeat", "exec')
+        tail.poll([trace])
+        assert tail.snapshot()["explore"]["executions"] == 1
+        # ...and is picked up once completed.
+        with open(trace, "a", encoding="utf-8") as handle:
+            handle.write('utions": 2}\n')
+        tail.poll([trace])
+        assert tail.snapshot()["explore"]["executions"] == 2
+
+    def test_advances_across_attempt_files(self, tmp_path):
+        first = str(tmp_path / "trace-1.jsonl")
+        second = str(tmp_path / "trace-2.jsonl")
+        self.write(first, [{"event": "explore_heartbeat", "executions": 3}])
+        tail = TraceTail()
+        tail.poll([first])
+        self.write(second, [{"event": "explore_heartbeat", "executions": 8}])
+        tail.poll([first, second])
+        tail.poll([first, second])
+        assert tail.snapshot()["explore"]["executions"] == 8
+
+    def test_corrupt_lines_are_counted_not_fatal(self, tmp_path):
+        trace = str(tmp_path / "trace-1.jsonl")
+        with open(trace, "w", encoding="utf-8") as handle:
+            handle.write('{"event": "explore_heartbeat" broken\n')
+            handle.write(json.dumps(
+                {"event": "explore_heartbeat", "executions": 4}) + "\n")
+        tail = TraceTail()
+        tail.poll([trace])
+        snap = tail.snapshot()
+        assert snap["explore"]["executions"] == 4
+        assert snap["trace_lines"] == 2
+
+
+class TestJobManager:
+    def manager(self, tmp_path, script, **kwargs):
+        kwargs.setdefault("max_workers", 2)
+        kwargs.setdefault("max_retries", 1)
+        return JobManager(
+            str(tmp_path / "data"),
+            worker_prefix=fake_worker(script),
+            **kwargs,
+        )
+
+    def test_verdict_exit_codes_finish_the_job(self, tmp_path):
+        manager = self.manager(tmp_path, "raise SystemExit(0)")
+        try:
+            job = manager.submit({"task": "consensus"})
+            snap = wait_final(manager, job["id"])
+            assert snap["state"] == "done"
+            assert snap["verdict"] == "proved"
+            assert snap["attempts"] == 1
+            assert snap["exit_codes"] == [0]
+        finally:
+            manager.drain(timeout=5)
+
+    def test_inconclusive_exit_is_final_not_a_crash(self, tmp_path):
+        manager = self.manager(tmp_path, "raise SystemExit(3)")
+        try:
+            snap = wait_final(
+                manager, manager.submit({"task": "consensus"})["id"]
+            )
+            assert snap["state"] == "done"
+            assert snap["verdict"] == "inconclusive"
+            assert snap["attempts"] == 1
+        finally:
+            manager.drain(timeout=5)
+
+    def test_crashing_worker_lands_error_after_retries(self, tmp_path):
+        manager = self.manager(
+            tmp_path, "raise SystemExit(9)", max_retries=2
+        )
+        try:
+            snap = wait_final(
+                manager, manager.submit({"task": "consensus"})["id"]
+            )
+            assert snap["state"] == "error"
+            assert "retries exhausted" in snap["error"]
+            assert snap["attempts"] == 3  # first try + 2 retries
+            assert snap["exit_codes"] == [9, 9, 9]
+        finally:
+            manager.drain(timeout=5)
+
+    def test_crash_resumes_from_checkpoint(self, tmp_path):
+        """First attempt flushes a checkpoint (with its run id) and dies;
+        the supervisor's second attempt runs --resume and the dead
+        attempt's run id is recovered from the checkpoint header."""
+        script = (
+            "import sys\n"
+            "from repro.faults.checkpoint import write_checkpoint\n"
+            "ck = sys.argv[sys.argv.index('--checkpoint') + 1]\n"
+            "import os\n"
+            "if os.path.exists(ck):\n"
+            "    sys.exit(0)\n"
+            "write_checkpoint(ck, n_processes=2, frontier=[[(0, 0)]],\n"
+            "                 executions=1, run_id='dead-attempt')\n"
+            "sys.exit(9)\n"
+        )
+        manager = self.manager(tmp_path, script)
+        try:
+            snap = wait_final(
+                manager, manager.submit({"task": "consensus"})["id"]
+            )
+            assert snap["state"] == "done"
+            assert snap["attempts"] == 2
+            assert snap["run_ids"][0] == "dead-attempt"
+            log = open(
+                os.path.join(snap["job_dir"], "worker.log"),
+                encoding="utf-8",
+            ).read()
+            attempt2 = log.split("--- attempt 2")[1]
+            assert "--resume" in attempt2
+        finally:
+            manager.drain(timeout=5)
+
+    def test_done_checkpoint_short_circuits_to_proved(self, tmp_path):
+        """A worker killed after finishing the walk but before exiting
+        leaves an empty-frontier checkpoint — no pointless rerun."""
+        script = (
+            "import sys\n"
+            "from repro.faults.checkpoint import write_checkpoint\n"
+            "ck = sys.argv[sys.argv.index('--checkpoint') + 1]\n"
+            "write_checkpoint(ck, n_processes=2, frontier=[],\n"
+            "                 executions=7, run_id='finished-run')\n"
+            "sys.exit(9)\n"
+        )
+        manager = self.manager(tmp_path, script)
+        try:
+            snap = wait_final(
+                manager, manager.submit({"task": "consensus"})["id"]
+            )
+            assert snap["state"] == "done"
+            assert snap["verdict"] == "proved"
+            assert snap["attempts"] == 1  # the short-circuit spawns nothing
+            assert "finished-run" in snap["run_ids"]
+        finally:
+            manager.drain(timeout=5)
+
+    def test_concurrent_jobs_and_counts(self, tmp_path):
+        manager = self.manager(
+            tmp_path, "import time; time.sleep(0.2); raise SystemExit(0)"
+        )
+        try:
+            ids = [
+                manager.submit({"task": "consensus"})["id"] for _ in range(4)
+            ]
+            assert ids == [f"job-{i:04d}" for i in range(1, 5)]
+            for job_id in ids:
+                assert wait_final(manager, job_id)["verdict"] == "proved"
+            states, verdicts = manager.counts()
+            assert states["done"] == 4
+            assert verdicts == {"proved": 4}
+        finally:
+            manager.drain(timeout=5)
+
+    def test_job_numbering_survives_restart(self, tmp_path):
+        manager = self.manager(tmp_path, "raise SystemExit(0)")
+        try:
+            wait_final(manager, manager.submit({"task": "consensus"})["id"])
+        finally:
+            manager.drain(timeout=5)
+        again = self.manager(tmp_path, "raise SystemExit(0)")
+        try:
+            assert again.submit({"task": "consensus"})["id"] == "job-0002"
+        finally:
+            again.drain(timeout=5)
+
+    def test_drain_interrupts_running_and_refuses_new(self, tmp_path):
+        manager = self.manager(
+            tmp_path, "import time\ntime.sleep(60)\nraise SystemExit(0)",
+            max_workers=1,
+        )
+        job = manager.submit({"task": "consensus"})
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if manager.job_snapshot(job["id"])["state"] == "running":
+                break
+            time.sleep(0.02)
+        manager.drain(timeout=10)
+        snap = manager.job_snapshot(job["id"])
+        assert snap["state"] == "interrupted"
+        with pytest.raises(RuntimeError, match="draining"):
+            manager.submit({"task": "consensus"})
+        assert manager.draining
+
+    def test_bad_spec_never_creates_a_job(self, tmp_path):
+        manager = self.manager(tmp_path, "raise SystemExit(0)")
+        try:
+            with pytest.raises(ValueError):
+                manager.submit({"task": "consensus", "n": -2})
+            assert manager.list_jobs() == []
+        finally:
+            manager.drain(timeout=5)

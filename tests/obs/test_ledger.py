@@ -179,3 +179,116 @@ class TestRunsSubcommands:
         )
         assert code == 0
         assert "(=)" in capsys.readouterr().out
+
+
+class TestVerdictFilterAndJson:
+    RECORDS = [
+        {"format": ledger.FORMAT, "run_id": "a", "verdict": "proved"},
+        {"format": ledger.FORMAT, "run_id": "b", "verdict": "refuted"},
+        {"format": ledger.FORMAT, "run_id": "c", "verdict": "proved"},
+        {"format": ledger.FORMAT, "run_id": "d", "verdict": "error"},
+    ]
+
+    def test_filter_is_case_insensitive(self):
+        proved = ledger.filter_by_verdict(self.RECORDS, "PROVED")
+        assert [r["run_id"] for r in proved] == ["a", "c"]
+        assert ledger.filter_by_verdict(self.RECORDS, "refuted") \
+            == [self.RECORDS[1]]
+
+    def test_filter_unknown_verdict_raises(self):
+        with pytest.raises(ValueError, match="unknown verdict"):
+            ledger.filter_by_verdict(self.RECORDS, "maybe")
+
+    def test_render_json_roundtrips_and_limits(self):
+        parsed = json.loads(ledger.render_json(self.RECORDS, limit=2))
+        assert [r["run_id"] for r in parsed] == ["c", "d"]
+        assert json.loads(ledger.render_json([])) == []
+
+    def seed_ledger(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        for record in self.RECORDS:
+            ledger.append_record(path, record)
+        return path
+
+    def test_cli_list_json(self, tmp_path, capsys):
+        path = self.seed_ledger(tmp_path)
+        assert main(["runs", "list", "--json", "--ledger", path]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert [r["run_id"] for r in parsed] == ["a", "b", "c", "d"]
+        assert all(r["format"] == ledger.FORMAT for r in parsed)
+
+    def test_cli_list_json_with_verdict_filter(self, tmp_path, capsys):
+        path = self.seed_ledger(tmp_path)
+        assert main(
+            ["runs", "list", "--json", "--verdict", "PROVED", "--ledger", path]
+        ) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert [r["run_id"] for r in parsed] == ["a", "c"]
+
+    def test_cli_list_verdict_filters_table(self, tmp_path, capsys):
+        path = self.seed_ledger(tmp_path)
+        assert main(
+            ["runs", "list", "--verdict", "error", "--ledger", path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "d" in out and "proved" not in out
+
+    def test_cli_list_unknown_verdict_exits_2(self, tmp_path, capsys):
+        path = self.seed_ledger(tmp_path)
+        assert main(
+            ["runs", "list", "--verdict", "bogus", "--ledger", path]
+        ) == 2
+        assert "unknown verdict" in capsys.readouterr().err
+
+    def test_cli_list_empty_json_is_valid(self, tmp_path, capsys):
+        path = str(tmp_path / "absent.jsonl")
+        assert main(["runs", "list", "--json", "--ledger", path]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+
+class TestConcurrentAppends:
+    def test_two_processes_never_tear_a_line(self, tmp_path):
+        """The O_APPEND contract: two processes hammering append_record
+        concurrently produce only whole lines — read_ledger sees every
+        record and zero corrupt lines."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        package_root = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        path = str(tmp_path / "runs.jsonl")
+        count = 200
+        script = (
+            "import sys\n"
+            "from repro.obs import ledger\n"
+            "path, tag, count = sys.argv[1], sys.argv[2], int(sys.argv[3])\n"
+            "for i in range(count):\n"
+            "    ledger.append_record(path, {\n"
+            "        'format': ledger.FORMAT,\n"
+            "        'run_id': f'{tag}-{i}',\n"
+            # Padding makes a torn write overwhelmingly likely to split a
+            # line if O_APPEND atomicity were ever lost.
+            "        'pad': 'x' * 512,\n"
+            "    })\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, path, tag, str(count)],
+                env=env,
+            )
+            for tag in ("alpha", "beta")
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+        records, skipped = ledger.read_ledger(path)
+        assert skipped == 0
+        assert len(records) == 2 * count
+        ids = {r["run_id"] for r in records}
+        assert ids == {f"{tag}-{i}" for tag in ("alpha", "beta")
+                       for i in range(count)}

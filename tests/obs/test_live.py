@@ -93,6 +93,30 @@ class TestEndpoints:
         finally:
             session.close()
 
+    @pytest.mark.parametrize("bad", ["abc", "0", "-3", "1.5"])
+    def test_events_bad_tail_count_is_http_400(self, bad):
+        """Non-integer, zero, or negative ?n= is a client error with a
+        JSON body — never a traceback or a silently-defaulted 200."""
+        session = serve(command="t", argv=[], registry=MetricsRegistry())
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(session.url(f"/events?n={bad}"))
+            assert excinfo.value.code == 400
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert "must be" in payload["error"]
+        finally:
+            session.close()
+
+    def test_all_endpoints_send_no_store(self):
+        """Live snapshots must never be cached by an intermediary."""
+        session = serve(command="t", argv=[], registry=MetricsRegistry())
+        try:
+            for path in ("/status", "/metrics", "/events?n=5"):
+                with urllib.request.urlopen(session.url(path), timeout=5) as r:
+                    assert r.headers["Cache-Control"] == "no-store", path
+        finally:
+            session.close()
+
     def test_close_is_idempotent_and_leaves_no_threads(self):
         before = threading.active_count()
         session = serve(command="t", argv=[], registry=MetricsRegistry())
