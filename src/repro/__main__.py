@@ -11,10 +11,11 @@ Commands
 ``check N K``
     Model-check O(N, K)'s headline claims live (consensus, exhaustive or
     sampled set consensus) and print the verdict.
-``explore [--task T] [--n N] [--k K] [--max-crashes F] [--checkpoint FILE]
-[--resume FILE]``
+``explore [--task T] [--n N] [--k K] [--max-crashes F] [--max-recoveries R]
+[--checkpoint FILE] [--resume FILE]``
     Drive the exhaustive explorer directly: enumerate every execution
-    (optionally every crash timing with ``--max-crashes``), periodically
+    (optionally every crash timing with ``--max-crashes``, and every
+    crash-recovery timing with ``--max-recoveries``), periodically
     checkpointing the DFS frontier.  An interrupted run (SIGINT, budget)
     flushes a final checkpoint and exits 3; ``--resume FILE`` continues
     it, visiting exactly the executions the interrupted run had not yet
@@ -261,6 +262,7 @@ def cmd_explore(args) -> int:
             max_depth=args.max_depth,
             strict=False,
             max_crashes=args.max_crashes,
+            max_recoveries=args.max_recoveries,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
         )
@@ -271,7 +273,8 @@ def cmd_explore(args) -> int:
     run_ledger.annotate(
         describe=(
             f"exhaustive(task={task}, n={n}, k={k}, "
-            f"max_crashes={explorer.max_crashes})"
+            f"max_crashes={explorer.max_crashes}, "
+            f"max_recoveries={explorer.max_recoveries})"
         ),
         checkpoint=explorer.checkpoint_path,
     )
@@ -297,13 +300,15 @@ def cmd_explore(args) -> int:
         executions=explorer.total_executions,
         steps=stats.steps_total,
         faults_injected=stats.faults_injected,
+        recoveries=stats.recoveries_injected,
         interrupted=explorer.interrupted,
     )
     print(
         f"{explorer.total_executions} executions "
         f"({stats.executions} this run), max depth {stats.max_depth_seen}, "
         f"{stats.steps_on_path} on-path + {stats.steps_replayed} replayed "
-        f"steps, {stats.faults_injected} faults injected"
+        f"steps, {stats.faults_injected} faults injected, "
+        f"{stats.recoveries_injected} recoveries"
     )
     if explorer.interrupted is not None:
         where = (
@@ -339,13 +344,15 @@ def cmd_audit(args) -> int:
     run_ledger.annotate(
         describe=(
             f"audit(task={args.task}, n={args.n}, k={args.k}, "
-            f"max_crashes={args.max_crashes})"
+            f"max_crashes={args.max_crashes}, "
+            f"max_recoveries={args.max_recoveries})"
         )
     )
     auditor, explorer = run_audit(
         spec,
         max_depth=args.max_depth,
         max_crashes=args.max_crashes,
+        max_recoveries=args.max_recoveries,
         value_alphabet=inputs,
         max_pairs=args.max_pairs,
         pair_stride=args.pair_stride,
@@ -354,6 +361,8 @@ def cmd_audit(args) -> int:
     label = f"{args.task} O({args.n},{args.k})"
     if args.max_crashes:
         label += f", max_crashes={args.max_crashes}"
+    if args.max_recoveries:
+        label += f", max_recoveries={args.max_recoveries}"
     # stdout carries only the deterministic table: CI byte-compares two
     # invocations, so anything run-specific goes to stderr.
     print(render_table(auditor, label=label))
@@ -721,6 +730,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also branch on crashing up to F processes at every point",
     )
     explore.add_argument(
+        "--max-recoveries", type=int, default=0,
+        help="also branch on reviving up to R crashed processes with "
+        "amnesia (crash-recovery adversary)",
+    )
+    explore.add_argument(
         "--checkpoint", metavar="FILE", default=None,
         help="periodically write the DFS frontier here (atomic)",
     )
@@ -751,6 +765,11 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument(
         "--max-crashes", type=int, default=0,
         help="also branch on crashing up to F processes at every point",
+    )
+    audit.add_argument(
+        "--max-recoveries", type=int, default=0,
+        help="also branch on reviving up to R crashed processes with "
+        "amnesia (crash-recovery adversary)",
     )
     audit.add_argument(
         "--max-pairs", type=int, default=256, metavar="N",

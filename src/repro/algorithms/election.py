@@ -15,6 +15,14 @@ computationally equivalent, and the protocols here make that concrete:
   (everyone else learns it lost, but not who won).  Useful as the
   canonical example of a task *weaker* than strong election yet not
   register-solvable.
+* :func:`announce_election_spec` — the same self-knowledge election with
+  a separate *announce* write after the test-and-set, opening a crash
+  window between winning and telling anyone.  Under crash-stop the extra
+  step changes nothing; under crash-recovery it is the canonical
+  power-separation example (experiment E11): a winner that crashes in
+  the window and recovers amnesiac re-reads its own old win as a rival's
+  and concludes it lost — unless the TAS is the *recoverable*,
+  caller-keyed variant.
 
 The ring protocol does **not** solve the strong variant across groups:
 an adopted group winner need not have elected itself.  The test suite
@@ -33,6 +41,8 @@ from repro.algorithms.set_consensus_from_family import (
     ring_spread_port,
 )
 from repro.core.family import HierarchyObjectSpec
+from repro.objects.recoverable import RecoverableTestAndSetSpec
+from repro.objects.register import RegisterSpec
 from repro.objects.rmw import TestAndSetSpec
 from repro.runtime.ops import invoke
 from repro.runtime.system import SystemSpec
@@ -79,3 +89,43 @@ def tas_chain_election_spec(participants: int) -> SystemSpec:
         return ("leader" if lost == 0 else "lost", pid)
 
     return build_spec({"t": TestAndSetSpec()}, program, list(range(participants)))
+
+
+def announce_election_spec(
+    participants: int, variant: str = "tas"
+) -> SystemSpec:
+    """Self-knowledge election with an announce step after the TAS.
+
+    Each process test-and-sets ``t``, then writes its verdict into the
+    announce register ``r`` before returning ``"L"`` (leader) or ``"F"``
+    (follower).  The announce write is what gives the crash-recovery
+    adversary its window: a process can win the TAS, crash before the
+    write, and restart amnesiac.
+
+    ``variant`` selects the shared primitive: ``"tas"`` is the plain
+    :class:`~repro.objects.rmw.TestAndSetSpec` (correct under crash-stop
+    only), ``"recoverable-tas"`` the caller-keyed
+    :class:`~repro.objects.recoverable.RecoverableTestAndSetSpec` whose
+    idempotent re-win restores correctness under crash-recovery.
+    """
+    if variant not in ("tas", "recoverable-tas"):
+        raise ValueError(
+            f"unknown election variant {variant!r}; "
+            "expected 'tas' or 'recoverable-tas'"
+        )
+    recoverable = variant == "recoverable-tas"
+
+    def program(pid: int, _value) -> Generator:
+        if recoverable:
+            lost = yield invoke("t", "test_and_set", pid)
+        else:
+            lost = yield invoke("t", "test_and_set")
+        verdict = "L" if lost == 0 else "F"
+        yield invoke("r", "write", verdict)
+        return verdict
+
+    objects = {
+        "t": RecoverableTestAndSetSpec() if recoverable else TestAndSetSpec(),
+        "r": RegisterSpec(),
+    }
+    return build_spec(objects, program, list(range(participants)))

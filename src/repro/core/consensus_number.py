@@ -32,6 +32,10 @@ from repro.objects.rmw import (
     TestAndSetSpec,
 )
 from repro.objects.generic_rmw import GenericRMWSpec
+from repro.objects.recoverable import (
+    PersistentRegisterSpec,
+    RecoverableTestAndSetSpec,
+)
 from repro.objects.set_consensus import SetConsensusSpec
 from repro.objects.snapshot import AtomicSnapshotSpec
 from repro.objects.sticky import StickyBitSpec, StickyRegisterSpec
@@ -47,6 +51,11 @@ KNOWN_CONSENSUS_NUMBERS: Dict[type, Any] = {
     DoorwaySpec: 1,
     AtomicSnapshotSpec: 1,
     TestAndSetSpec: 2,
+    # Recoverable variants keep their base objects' synchronization
+    # power: durability changes the fault model, not the consensus
+    # hierarchy (Golab–Ramaraju recoverable mutual exclusion line).
+    RecoverableTestAndSetSpec: 2,
+    PersistentRegisterSpec: 1,
     SwapSpec: 2,
     FetchAndAddSpec: 2,
     QueueSpec: 2,

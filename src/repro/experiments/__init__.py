@@ -18,6 +18,9 @@ E8        The topology of immediate snapshot: the explorer recovers the
 E9        Substrate linearizability (snapshot from registers; universal
           construction)
 E10       Simulator/model-checker performance envelope
+E11       Crash-recovery adversary: TAS election safe under crash-stop,
+          refuted under crash-recovery with amnesia, restored by the
+          recoverable TAS variant
 ========  ==========================================================
 
 (The automated critical-configuration walk is part of E3.)
@@ -40,6 +43,7 @@ from repro.experiments.suite import (
     run_e8_subdivision,
     run_e9_substrate,
     run_e10_runtime,
+    run_e11_recovery,
 )
 
 __all__ = [
@@ -55,4 +59,5 @@ __all__ = [
     "run_e8_subdivision",
     "run_e9_substrate",
     "run_e10_runtime",
+    "run_e11_recovery",
 ]

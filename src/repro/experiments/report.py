@@ -68,6 +68,10 @@ DESCRIPTIONS = {
     "specs.",
     "E10": "Performance envelope of the simulator and the exhaustive "
     "explorer.",
+    "E11": "Crash-recovery adversary: the TAS election is safe when "
+    "crashed processes stay dead, refuted once they may come back with "
+    "amnesia (shared objects persist, private state resets), and restored "
+    "by the recoverable TAS variant.",
 }
 
 

@@ -796,6 +796,120 @@ def run_e10_runtime() -> List[ExperimentRow]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# E11 — crash-recovery adversary: a power separation
+# ----------------------------------------------------------------------
+def run_e11_recovery() -> List[ExperimentRow]:
+    """Crash-stop vs crash-recovery separate on leader election.
+
+    Test-and-set election with an announce step is correct under the
+    crash-stop adversary (``max_crashes=1``): a crashed loser changes
+    nothing, and a crashed winner means not everyone finishes.  Under
+    crash-recovery with amnesia (``max_recoveries=1``) the winner can die
+    in the window between winning the TAS and announcing, come back with
+    its program state wiped, re-run the TAS, read its *own* stale win as
+    a loss, and report follower — zero leaders even though every process
+    finishes.  Substituting the recoverable TAS (which re-grants the win
+    to its recorded owner) restores correctness under the same adversary.
+    """
+    from repro.algorithms.election import announce_election_spec
+
+    def no_unique_leader(execution) -> bool:
+        if not execution.all_done():
+            return False
+        return list(execution.outputs.values()).count("L") != 1
+
+    rows = []
+
+    # (a) Crash-stop: safe.  One crash, no comebacks.
+    explorer = Explorer(announce_election_spec(2), max_crashes=1)
+    violations = sum(1 for e in explorer.executions() if no_unique_leader(e))
+    rows.append(
+        ExperimentRow(
+            experiment="E11",
+            setting="TAS election, N=2, crash-stop (f=1)",
+            claimed="exactly one leader whenever all finish",
+            measured=(
+                f"{explorer.stats.executions} executions, "
+                f"{violations} violations"
+            ),
+            ok=violations == 0,
+            detail={"executions": explorer.stats.executions},
+        )
+    )
+
+    # (b) Crash-recovery: the same election breaks — the universal claim
+    # is refuted, so the experiment *asserts the anomaly exists* (the
+    # E3/E6 convention for expected refutations) and archives the first
+    # zero-leader execution as a counterexample witness.
+    explorer = Explorer(
+        announce_election_spec(2), max_crashes=1, max_recoveries=1
+    )
+    counterexamples = 0
+    first = None
+    for execution in explorer.executions():
+        if no_unique_leader(execution):
+            counterexamples += 1
+            if first is None:
+                first = execution
+    witness_path = None
+    if first is not None:
+        witness_path = _obs_witness.capture(
+            first,
+            kind=_obs_witness.KIND_COUNTEREXAMPLE,
+            source="suite.e11_recovery",
+            reason="amnesiac TAS winner re-runs, reads its own stale win "
+            "as a loss, and reports follower: zero leaders",
+            spec={"builder": "announce-election", "n": 2, "variant": "tas"},
+            predicate={"name": "unique-leader-violated"},
+            label="E11 crash-recovery refutation: zero-leader anomaly",
+        )
+    rows.append(
+        ExperimentRow(
+            experiment="E11",
+            setting="TAS election, N=2, crash-recovery (f=1, r=1)",
+            claimed="unique-leader claim REFUTED: zero-leader runs exist",
+            measured=(
+                f"{explorer.stats.executions} executions, "
+                f"{counterexamples} counterexamples, "
+                f"{explorer.stats.recoveries_injected} recoveries injected"
+            ),
+            ok=counterexamples > 0,
+            detail={
+                "executions": explorer.stats.executions,
+                "counterexamples": counterexamples,
+                "recoveries_injected": explorer.stats.recoveries_injected,
+            },
+            witness=witness_path,
+        )
+    )
+
+    # (c) Recoverable TAS under the identical adversary: correctness is
+    # restored, because the object re-grants the win to its recorded
+    # owner when the amnesiac winner retries.
+    explorer = Explorer(
+        announce_election_spec(2, variant="recoverable-tas"),
+        max_crashes=1,
+        max_recoveries=1,
+    )
+    violations = sum(1 for e in explorer.executions() if no_unique_leader(e))
+    rows.append(
+        ExperimentRow(
+            experiment="E11",
+            setting="recoverable-TAS election, N=2, crash-recovery (f=1, r=1)",
+            claimed="exactly one leader whenever all finish",
+            measured=(
+                f"{explorer.stats.executions} executions, "
+                f"{violations} violations, "
+                f"{explorer.stats.recoveries_injected} recoveries injected"
+            ),
+            ok=violations == 0,
+            detail={"executions": explorer.stats.executions},
+        )
+    )
+    return rows
+
+
 #: Experiment id -> runner, in report order.
 EXPERIMENTS: Dict[str, Callable[[], List[ExperimentRow]]] = {
     "E1": run_e1_consensus,
@@ -808,6 +922,7 @@ EXPERIMENTS: Dict[str, Callable[[], List[ExperimentRow]]] = {
     "E8": run_e8_subdivision,
     "E9": run_e9_substrate,
     "E10": run_e10_runtime,
+    "E11": run_e11_recovery,
 }
 
 

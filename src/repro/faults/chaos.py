@@ -10,7 +10,11 @@ too large to enumerate, the chaos adversary *samples* the same space:
 * **adversarial stalls** — with probability ``stall_probability``, freeze
   a random enabled process for a geometric burst of decisions (up to
   ``max_stall``), starving it the way a real adversary starves the
-  process whose progress would be most useful.
+  process whose progress would be most useful;
+* **recoveries** — with probability ``recover_probability`` (default 0.0,
+  i.e. pure crash-stop), revive a random crashed process with amnesia
+  (bounded by ``max_recoveries``), sampling the crash-recovery adversary
+  that ``Explorer(max_recoveries=r)`` enumerates exhaustively.
 
 Crash bookkeeping is derived from the *system* (crashed statuses), never
 from scheduler-local mutable state, so one instance drives many fresh
@@ -41,11 +45,15 @@ class ChaosScheduler(Scheduler):
         max_crashes: int = 1,
         max_stall: int = 8,
         crashable_pids: Optional[Iterable[int]] = None,
+        recover_probability: float = 0.0,
+        max_recoveries: int = 1,
     ):
         if not 0.0 <= crash_probability <= 1.0:
             raise ValueError("crash_probability must be in [0, 1]")
         if not 0.0 <= stall_probability <= 1.0:
             raise ValueError("stall_probability must be in [0, 1]")
+        if not 0.0 <= recover_probability <= 1.0:
+            raise ValueError("recover_probability must be in [0, 1]")
         if max_stall < 1:
             raise ValueError("max_stall must be >= 1")
         self.seed = seed
@@ -56,6 +64,8 @@ class ChaosScheduler(Scheduler):
         self.crashable_pids = (
             None if crashable_pids is None else frozenset(crashable_pids)
         )
+        self.recover_probability = recover_probability
+        self.max_recoveries = max_recoveries
         self._rng = random.Random(seed)
         #: pid -> decisions the process remains frozen for.
         self._stalled: Dict[int, int] = {}
@@ -66,15 +76,41 @@ class ChaosScheduler(Scheduler):
             if self.crashable_pids is None
             else f", crashable={sorted(self.crashable_pids)}"
         )
+        # Pure crash-stop instances keep their historical provenance
+        # string, so traces archived before the recovery model replay
+        # against an unchanged description.
+        recovery = (
+            f", recover_p={self.recover_probability:g}, "
+            f"max_recoveries={self.max_recoveries}"
+            if self.recover_probability
+            else ""
+        )
         return (
             f"{type(self).__name__}(seed={self.seed}, "
             f"crash_p={self.crash_probability:g}, "
             f"stall_p={self.stall_probability:g}, "
             f"max_crashes={self.max_crashes}, "
-            f"max_stall={self.max_stall}{crashable})"
+            f"max_stall={self.max_stall}{crashable}{recovery})"
         )
 
     def next_pid(self, system) -> Optional[int]:
+        # Recovery roll first: revive a random crashed process with
+        # amnesia, so even a fully-crashed system can come back.  Gated
+        # on the probability so the default (0.0, pure crash-stop)
+        # consumes no RNG — seeded runs from before the recovery model
+        # reproduce bit-for-bit.
+        if self.recover_probability:
+            crashed_pids = [
+                process.pid
+                for process in system.processes
+                if process.status is ProcessStatus.CRASHED
+            ]
+            if (
+                crashed_pids
+                and len(system.trace.recoveries) < self.max_recoveries
+                and self._rng.random() < self.recover_probability
+            ):
+                system.recover(self._rng.choice(crashed_pids))
         enabled = system.enabled_pids()
         if not enabled:
             return None

@@ -7,23 +7,31 @@ so an interrupted ``repro explore`` (SIGINT, deadline, step budget) can
 pick up exactly where it stopped — the resumed run visits precisely the
 executions the interrupted one had not yet yielded.
 
-Format (``repro-checkpoint/1``): JSONL with one header object followed by
+Format (``repro-checkpoint/2``): JSONL with one header object followed by
 one object per pending prefix, written atomically (temp file +
 ``os.replace``) so a checkpoint on disk is always complete::
 
-    {"format": "repro-checkpoint/1", "n_processes": 2, "frontier": 3,
-     "executions": 17, "max_depth": 60, "max_crashes": 1, "stats": {...},
-     "spec": {...}}
+    {"format": "repro-checkpoint/2", "n_processes": 2, "frontier": 3,
+     "executions": 17, "max_depth": 60, "max_crashes": 1,
+     "max_recoveries": 1, "stats": {...}, "spec": {...}}
     {"prefix": [[0, 0], [1, 0]]}
     {"prefix": [[0, 0], [1, -1]]}
     ...
 
 Decisions are ``[pid, choice]`` pairs; choice ``-1`` is the crash
-sentinel (see :data:`repro.runtime.execution.CRASH_CHOICE`).  Prefixes
-are listed bottom-of-stack first; the resumed explorer processes them
-top-of-stack (last line) first, preserving DFS order.  The optional
-``spec`` object is opaque provenance for CLI reconstruction — the
-library validates only ``n_processes``.
+sentinel and ``-2`` the recovery sentinel (see
+:data:`repro.runtime.execution.CRASH_CHOICE` /
+:data:`repro.runtime.execution.RECOVER_CHOICE`).  Prefixes are listed
+bottom-of-stack first; the resumed explorer processes them top-of-stack
+(last line) first, preserving DFS order.  The optional ``spec`` object
+is opaque provenance for CLI reconstruction — the library validates only
+``n_processes``.
+
+Version 2 added ``max_recoveries`` so a resumed run re-arms the
+crash-recovery budget exactly; the reader still accepts
+``repro-checkpoint/1`` files (``max_recoveries`` defaults to 0 — the
+count-equality resume guarantee is unaffected because a v1 frontier was
+produced without recovery branches).
 
 Writing a checkpoint emits a ``checkpoint_written`` event (path,
 frontier size, executions completed) through :mod:`repro.obs`.
@@ -41,7 +49,10 @@ from repro.errors import ProtocolError
 from repro.fsutil import ensure_parent
 from repro.obs import events as _obs_events
 
-FORMAT = "repro-checkpoint/1"
+FORMAT = "repro-checkpoint/2"
+
+#: Older format markers :func:`read_checkpoint` still understands.
+LEGACY_FORMATS = ("repro-checkpoint/1",)
 
 Decision = Tuple[int, int]
 
@@ -57,6 +68,8 @@ class Checkpoint:
     executions: int = 0
     max_depth: int = 0
     max_crashes: int = 0
+    #: Recovery budget of the interrupted run (0 for v1 files).
+    max_recoveries: int = 0
     #: Statistics snapshot of the interrupted run (informational).
     stats: Dict[str, Any] = field(default_factory=dict)
     #: Opaque spec provenance written by the producer (e.g. the CLI).
@@ -78,6 +91,7 @@ def write_checkpoint(
     executions: int = 0,
     max_depth: int = 0,
     max_crashes: int = 0,
+    max_recoveries: int = 0,
     stats: Optional[Dict[str, Any]] = None,
     spec: Optional[Dict[str, Any]] = None,
     run_id: Optional[str] = None,
@@ -96,6 +110,7 @@ def write_checkpoint(
         "executions": executions,
         "max_depth": max_depth,
         "max_crashes": max_crashes,
+        "max_recoveries": max_recoveries,
         "stats": dict(stats or {}),
         "spec": dict(spec or {}),
     }
@@ -166,7 +181,10 @@ def read_checkpoint(path: str) -> Checkpoint:
         header = json.loads(lines[0])
     except json.JSONDecodeError as error:
         raise ProtocolError(f"checkpoint {path!r}: corrupt header: {error}") from None
-    if not isinstance(header, dict) or header.get("format") != FORMAT:
+    if not isinstance(header, dict) or (
+        header.get("format") != FORMAT
+        and header.get("format") not in LEGACY_FORMATS
+    ):
         raise ProtocolError(
             f"checkpoint {path!r}: unsupported format "
             f"{header.get('format') if isinstance(header, dict) else header!r}; "
@@ -194,6 +212,7 @@ def read_checkpoint(path: str) -> Checkpoint:
         executions=int(header.get("executions", 0)),
         max_depth=int(header.get("max_depth", 0)),
         max_crashes=int(header.get("max_crashes", 0)),
+        max_recoveries=int(header.get("max_recoveries", 0)),
         stats=dict(header.get("stats") or {}),
         spec=dict(header.get("spec") or {}),
         run_id=header.get("run_id"),

@@ -8,10 +8,15 @@ by CI and usable locally as a quick health check:
    every run);
 2. an exhaustive crash-timing enumeration with ``Explorer(max_crashes=1)``
    writing a checkpoint file (uploaded as a CI artifact), verifying the
-   checkpoint reads back complete.
+   checkpoint reads back complete;
+3. a scripted crash-then-recover run of the announce election: the TAS
+   winner dies before announcing and comes back amnesiac, the
+   zero-leader anomaly must reproduce exactly, and the metrics registry
+   must account both the crash (``faults_injected``) and the revival
+   (``recoveries_total``).
 
-Exit code 0 on success, 1 on a containment violation, 2 on a checkpoint
-round-trip problem.
+Exit code 0 on success, 1 on a containment/recovery violation, 2 on a
+checkpoint round-trip problem.
 """
 
 from __future__ import annotations
@@ -20,9 +25,13 @@ import argparse
 import sys
 
 from repro.algorithms.bg_simulation import simulation_spec, write_scan_protocol
+from repro.algorithms.election import announce_election_spec
 from repro.faults.chaos import ChaosScheduler
 from repro.faults.checkpoint import read_checkpoint
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.execution import CRASH_CHOICE, RECOVER_CHOICE
 from repro.runtime.explorer import Explorer
+from repro.runtime.scheduler import ScriptedScheduler
 
 
 def main(argv=None) -> int:
@@ -135,6 +144,43 @@ def _run(args) -> int:
         f"exhaustive timings: {explorer.total_executions} executions, "
         f"{explorer.stats.faults_injected} crash branches, worst blocked "
         f"{worst}; checkpoint {args.checkpoint} complete"
+    )
+
+    # Phase 3: crash-then-recover — the announce election's TAS winner
+    # dies in the window before announcing and comes back amnesiac.  The
+    # zero-leader anomaly must reproduce deterministically, and the
+    # metrics registry must see both fault events.
+    registry = MetricsRegistry()
+    registry.install()
+    try:
+        spec = announce_election_spec(2)
+        script = [
+            (0, 0),              # p0 wins the TAS...
+            (0, CRASH_CHOICE),   # ...dies before announcing...
+            (0, RECOVER_CHOICE), # ...and comes back with amnesia.
+            (0, 0), (0, 0),      # amnesiac re-run: TAS now reads 1 -> 'F'
+            (1, 0), (1, 0),      # p1 loses normally -> 'F'
+        ]
+        execution = spec.run(ScriptedScheduler(script), max_steps=100)
+    finally:
+        registry.uninstall()
+    if execution.outputs != {0: "F", 1: "F"}:
+        print(
+            "FAIL: crash-then-recover run did not reproduce the "
+            f"zero-leader anomaly (outputs: {execution.outputs})"
+        )
+        return 1
+    faults = registry.counter_total("faults_injected")
+    recoveries = registry.counter_total("recoveries_total")
+    if faults < 1 or recoveries < 1:
+        print(
+            "FAIL: metrics missed fault events "
+            f"(faults_injected={faults}, recoveries_total={recoveries})"
+        )
+        return 1
+    print(
+        "crash-then-recover: zero-leader anomaly reproduced, "
+        f"faults_injected={faults}, recoveries_total={recoveries}"
     )
     return 0
 

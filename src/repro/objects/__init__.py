@@ -11,7 +11,9 @@ consensus-hierarchy literature:
 * consensus number n — the deterministic n-bounded consensus object;
 * consensus number infinity — compare-and-swap, sticky bits;
 * nondeterministic (m, j)-set-consensus objects (the classical task-derived
-  objects the paper's deterministic family is measured against).
+  objects the paper's deterministic family is measured against);
+* recoverable variants (caller-keyed test-and-set, persistent register)
+  that keep their power under the crash-recovery adversary.
 """
 
 from repro.objects.base import DeterministicObjectSpec, ObjectSpec
@@ -34,6 +36,10 @@ from repro.objects.generic_rmw import (
 from repro.objects.sticky import StickyBitSpec, StickyRegisterSpec
 from repro.objects.consensus_object import NConsensusSpec
 from repro.objects.set_consensus import SetConsensusSpec
+from repro.objects.recoverable import (
+    PersistentRegisterSpec,
+    RecoverableTestAndSetSpec,
+)
 
 __all__ = [
     "ObjectSpec",
@@ -57,4 +63,6 @@ __all__ = [
     "StickyRegisterSpec",
     "NConsensusSpec",
     "SetConsensusSpec",
+    "RecoverableTestAndSetSpec",
+    "PersistentRegisterSpec",
 ]

@@ -45,10 +45,18 @@ class ObjectSpec:
         spec returning several outcomes is a bug and raises).
     hang_on_misuse:
         If True, the runtime parks misusing processes instead of raising.
+    recoverable:
+        Declared usefulness under the crash-*recovery* adversary: a
+        recoverable object's operations stay meaningful when the caller
+        may crash mid-protocol and retry them amnesiac (typically by
+        making the decisive operation idempotent per caller).  Object
+        state always survives crashes — this flag is about the *protocol
+        contract*, not persistence (see :mod:`repro.objects.recoverable`).
     """
 
     deterministic: bool = False
     hang_on_misuse: bool = False
+    recoverable: bool = False
 
     def initial_state(self) -> Any:
         raise NotImplementedError

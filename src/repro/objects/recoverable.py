@@ -1,0 +1,93 @@
+"""Recoverable objects: primitives that stay useful under crash-recovery.
+
+Under the crash-*stop* adversary an object's power is measured against
+processes that die silently and never return.  The crash-*recovery*
+adversary (``Explorer(max_recoveries=...)``) is strictly nastier: a
+process can win a race, crash before telling anyone, and come back with
+amnesia — it re-runs its protocol from scratch against shared state its
+former life already mutated.  A plain test-and-set is the canonical
+casualty: the revenant re-calls ``test_and_set()``, reads 1 (its *own*
+old win), and concludes it lost.  Now nobody thinks they won.
+
+Recoverable variants close the gap by making the decisive operation
+*idempotent per caller* — the shape used throughout the recoverable
+objects literature (cf. Golab–Ramaraju's recoverable mutual exclusion and
+Ovens' recoverable consensus hierarchy, see PAPERS.md): the object
+remembers *who* won, not just *that* someone won, so an amnesiac winner
+re-wins.  Object state itself always survives crashes in this model
+(shared memory is non-volatile); what these specs add is the protocol
+contract, advertised via the :attr:`~repro.objects.base.ObjectSpec.
+recoverable` flag.
+
+Experiment E11 (:mod:`repro.experiments.suite`) uses these to exhibit the
+power separation end to end: leader election on a plain TAS is PROVED
+under crash-stop, REFUTED under crash-recovery, and PROVED again once
+:class:`RecoverableTestAndSetSpec` is substituted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.objects.base import DeterministicObjectSpec
+
+State = Optional[int]  # winner pid, or None while unclaimed
+
+
+class RecoverableTestAndSetSpec(DeterministicObjectSpec):
+    """Test-and-set keyed by caller: idempotent re-win after amnesia.
+
+    ``test_and_set(caller)`` returns the old bit like a plain TAS (0 to
+    the winner, 1 to losers) but records the winner's pid, and returns 0
+    *again* to the recorded winner on every retry — so a process that won,
+    crashed, and recovered re-learns that it won instead of mistaking its
+    own past for a rival's.  Losers still always see 1.
+
+    State: the winner's pid, or ``None`` while unclaimed.  ``read()``
+    returns the plain bit (0/1); ``winner()`` exposes the recorded pid.
+    """
+
+    recoverable = True
+
+    def initial_state(self) -> State:
+        return None
+
+    def do_test_and_set(self, state: State, caller: int) -> Tuple[int, State]:
+        if state is None:
+            return 0, caller
+        if state == caller:
+            return 0, state
+        return 1, state
+
+    def do_read(self, state: State) -> Tuple[int, State]:
+        return (0 if state is None else 1), state
+
+    def do_winner(self, state: State) -> Tuple[State, State]:
+        return state, state
+
+
+class PersistentRegisterSpec(DeterministicObjectSpec):
+    """Read/write register, recoverable for free.
+
+    Registers need no special construction to survive crash-recovery:
+    reads and writes are individually idempotent, and a recovered writer
+    repeating a write is indistinguishable from a slow writer.  Provided
+    as the explicit consensus-number-1 baseline of the recoverable
+    hierarchy, so experiments can name the contract they rely on instead
+    of silently assuming it of :class:`~repro.objects.register.
+    RegisterSpec`.
+    """
+
+    recoverable = True
+
+    def __init__(self, initial: Any = None):
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        return self.initial
+
+    def do_read(self, state: Any) -> Tuple[Any, Any]:
+        return state, state
+
+    def do_write(self, state: Any, value: Any) -> Tuple[Any, Any]:
+        return None, value

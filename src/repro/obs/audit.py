@@ -246,6 +246,7 @@ def run_audit(
     *,
     max_depth: int = 200,
     max_crashes: int = 0,
+    max_recoveries: int = 0,
     value_alphabet: Optional[Sequence[Any]] = None,
     max_pairs: int = 256,
     pair_stride: int = 1,
@@ -269,6 +270,7 @@ def run_audit(
         max_depth=max_depth,
         strict=False,
         max_crashes=max_crashes,
+        max_recoveries=max_recoveries,
         auditor=auditor,
         **(explorer_kwargs or {}),
     )

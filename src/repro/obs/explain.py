@@ -8,7 +8,8 @@ two moves:
 
 1. **Shrink** — :func:`shrink_execution` runs Zeller-style delta
    debugging (:func:`ddmin`) over the witness's full decision sequence
-   (crash decisions included), replay-validating every candidate through
+   (fault decisions — crashes *and* recoveries — included), replay-
+   validating every candidate through
    :meth:`~repro.runtime.system.SystemSpec.replay` and keeping only
    subsequences that still satisfy the witness predicate.  The result is
    **1-minimal**: removing any single decision either breaks the replay
@@ -148,8 +149,10 @@ def shrink_execution(
     """ddmin a witness execution down to a 1-minimal refuting schedule.
 
     Candidates are subsequences of :attr:`Execution.full_decisions`, so
-    crash decisions shrink away exactly like step decisions when the
-    violation does not need them.  A candidate passes only if it still
+    fault decisions (crashes and recoveries) shrink away exactly like
+    step decisions when the violation does not need them — a recovery
+    whose crash was dropped replays as a no-op, so holes cannot corrupt
+    the candidate.  A candidate passes only if it still
     *replays* — dropping a decision routinely invalidates later ones
     (the pid is no longer enabled, the outcome index is out of range,
     the protocol trips over a hole in its own state), and any exception
@@ -202,7 +205,8 @@ def shrink_execution(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class StepView:
-    """One lane-diagram event: an atomic step or a crash-stop.
+    """One lane-diagram event: an atomic step, a crash-stop, or a
+    recovery.
 
     Everything is pre-stringified (args and responses as ``repr`` text)
     so views built live from an :class:`Execution` and views rebuilt
@@ -210,7 +214,7 @@ class StepView:
     identically.
     """
 
-    kind: str  # "step" | "crash"
+    kind: str  # "step" | "crash" | "recover"
     pid: int
     target: str = ""
     method: str = ""
@@ -220,7 +224,50 @@ class StepView:
     def cell(self) -> str:
         if self.kind == "crash":
             return "CRASH"
+        if self.kind == "recover":
+            return "RECOVER"
         return f"{self.target}.{self.method}({', '.join(self.args)}) -> {self.response}"
+
+
+class _FaultCursor:
+    """Interleaves ``(step_index, pid)`` crash and recovery records into
+    fault :class:`StepView` rows, in the same order
+    :func:`~repro.runtime.execution.merge_fault_decisions` emits them
+    (crashes of live pids first, then recoveries of crashed pids, per
+    step index) — so lane diagrams and replayed decision sequences
+    always agree on event order."""
+
+    def __init__(self, crashes, recoveries):
+        self.crashes = list(crashes)
+        self.recoveries = list(recoveries)
+        self.crashed: set = set()
+        self._ci = 0
+        self._ri = 0
+
+    def drain(self, at: float) -> List[StepView]:
+        views: List[StepView] = []
+        while True:
+            if (
+                self._ci < len(self.crashes)
+                and self.crashes[self._ci][0] <= at
+                and self.crashes[self._ci][1] not in self.crashed
+            ):
+                pid = self.crashes[self._ci][1]
+                self.crashed.add(pid)
+                views.append(StepView(kind="crash", pid=pid))
+                self._ci += 1
+                continue
+            if (
+                self._ri < len(self.recoveries)
+                and self.recoveries[self._ri][0] <= at
+                and self.recoveries[self._ri][1] in self.crashed
+            ):
+                pid = self.recoveries[self._ri][1]
+                self.crashed.discard(pid)
+                views.append(StepView(kind="recover", pid=pid))
+                self._ri += 1
+                continue
+            return views
 
 
 @dataclass
@@ -240,12 +287,9 @@ class WitnessView:
 def view_from_execution(execution: Execution) -> WitnessView:
     """Build the renderable view of a live (or replayed) execution."""
     views: List[StepView] = []
-    pending = 0
-    crashes = execution.crashes
+    faults = _FaultCursor(execution.crashes, execution.recoveries)
     for step in execution.steps:
-        while pending < len(crashes) and crashes[pending][0] <= step.index:
-            views.append(StepView(kind="crash", pid=crashes[pending][1]))
-            pending += 1
+        views.extend(faults.drain(step.index))
         views.append(
             StepView(
                 kind="step",
@@ -256,8 +300,7 @@ def view_from_execution(execution: Execution) -> WitnessView:
                 response=repr(step.response),
             )
         )
-    for _at, pid in crashes[pending:]:
-        views.append(StepView(kind="crash", pid=pid))
+    views.extend(faults.drain(float("inf")))
     try:
         history = history_from_execution(execution)
         if not history.events:
@@ -284,14 +327,15 @@ def view_from_record(record: Dict[str, Any]) -> WitnessView:
     since those need the replay's annotations.
     """
     views: List[StepView] = []
-    crashes = [(at, pid) for at, pid in record.get("trace", {}).get("crashes", [])]
-    pending = 0
+    trace = record.get("trace", {})
+    faults = _FaultCursor(
+        [(at, pid) for at, pid in trace.get("crashes", [])],
+        [(at, pid) for at, pid in trace.get("recoveries", [])],
+    )
     for index, (pid, target, method, args, response) in enumerate(
         record.get("steps", [])
     ):
-        while pending < len(crashes) and crashes[pending][0] <= index:
-            views.append(StepView(kind="crash", pid=crashes[pending][1]))
-            pending += 1
+        views.extend(faults.drain(index))
         views.append(
             StepView(
                 kind="step",
@@ -302,8 +346,7 @@ def view_from_record(record: Dict[str, Any]) -> WitnessView:
                 response=str(response),
             )
         )
-    for _at, pid in crashes[pending:]:
-        views.append(StepView(kind="crash", pid=pid))
+    views.extend(faults.drain(float("inf")))
     statuses = {
         int(pid): str(status) for pid, status in record.get("statuses", {}).items()
     }
@@ -346,10 +389,11 @@ def lane_diagram(view: WitnessView) -> str:
 
     Idle lanes show ``.`` at each tick so the eye can follow a process
     through time; crash rows mark the lane with ``CRASH`` and the lane
-    goes silent below.  After the event rows, each lane closes with the
-    process's outcome, and — when the logical-operation history is
-    available — the happens-before edges (transitive reduction) are
-    listed below the diagram.
+    goes silent below — until a ``RECOVER`` row revives it (the lane
+    resumes ticking, its program restarted from scratch).  After the
+    event rows, each lane closes with the process's outcome, and — when
+    the logical-operation history is available — the happens-before
+    edges (transitive reduction) are listed below the diagram.
     """
     pids = view.pids or sorted({v.pid for v in view.views})
     cells: List[Dict[int, str]] = [
@@ -392,6 +436,8 @@ def lane_diagram(view: WitnessView) -> str:
         event = view.views[index]
         if event.kind == "crash":
             crashed.add(event.pid)
+        elif event.kind == "recover":
+            crashed.discard(event.pid)
     lines.append(
         " " * index_width
         + "  "
@@ -425,6 +471,8 @@ table.lanes td.idle { color: #ccc; text-align: center; }
 table.lanes td.gone { background: #fafafa; }
 table.lanes td.crash { background: #fdecea; color: #c62828;
               font-weight: 600; }
+table.lanes td.recover { background: #e8f5e9; color: #2e7d32;
+              font-weight: 600; }
 table.lanes td.op { background: #eef3fb; }
 table.lanes tr.outcome td { border-top: 2px solid #bbb;
               font-weight: 600; }
@@ -454,6 +502,8 @@ def lanes_html(view: WitnessView, caption: str = "") -> str:
             if pid == event.pid:
                 if event.kind == "crash":
                     row.append('<td class="crash">CRASH</td>')
+                elif event.kind == "recover":
+                    row.append('<td class="recover">RECOVER</td>')
                 else:
                     row.append(f'<td class="op">{escape(event.cell())}</td>')
             elif pid in crashed:
@@ -464,6 +514,8 @@ def lanes_html(view: WitnessView, caption: str = "") -> str:
         out.append("".join(row))
         if event.kind == "crash":
             crashed.add(event.pid)
+        elif event.kind == "recover":
+            crashed.discard(event.pid)
     outcome = ['<tr class="outcome"><td></td>']
     for pid in pids:
         if pid in view.outputs:
@@ -500,9 +552,21 @@ def narrative(view: WitnessView) -> str:
     for index, event in enumerate(view.views):
         if event.kind == "crash":
             taken = counts.get(event.pid, 0)
+            returns = any(
+                later.kind == "recover" and later.pid == event.pid
+                for later in view.views[index + 1:]
+            )
+            fate = "it will come back" if returns else "it never moves again"
             lines.append(
                 f"{index:3d}. p{event.pid} crashes after taking {taken} "
-                f"step{'s' if taken != 1 else ''}; it never moves again."
+                f"step{'s' if taken != 1 else ''}; {fate}."
+            )
+            continue
+        if event.kind == "recover":
+            lines.append(
+                f"{index:3d}. p{event.pid} recovers with amnesia; its "
+                "program restarts from scratch while shared objects keep "
+                "their state."
             )
             continue
         counts[event.pid] = counts.get(event.pid, 0) + 1
@@ -590,9 +654,15 @@ def explain_record(
     shrink_result: Optional[ShrinkResult] = None
     if spec is not None and predicate is not None:
         execution = _witness.replay_witness(record, spec)  # fingerprint-checked
+        recoveries = (
+            f", {len(execution.recoveries)} recovery(ies)"
+            if execution.recoveries
+            else ""
+        )
         out(
             f"replayed: {len(execution.steps)} steps, "
-            f"{len(execution.crashes)} crash(es), fingerprint verified"
+            f"{len(execution.crashes)} crash(es){recoveries}, "
+            "fingerprint verified"
         )
         if shrink:
             shrink_result = shrink_execution(spec, execution, predicate)

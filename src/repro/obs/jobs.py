@@ -1,6 +1,6 @@
 """The job queue behind ``repro serve``: supervised exploration workers.
 
-A *job* is one exploration request (task, n, k, max_crashes, budget,
+A *job* is one exploration request (task, n, k, fault budgets, time/step budget,
 …) accepted over ``POST /jobs`` and executed by a worker **subprocess**
 running the ordinary CLI::
 
@@ -79,6 +79,7 @@ class JobSpec:
     n: int = 2
     k: int = 1
     max_crashes: int = 0
+    max_recoveries: int = 0
     max_depth: int = 60
     deadline: Optional[float] = None
     max_steps: Optional[int] = None
@@ -125,8 +126,9 @@ def validate_spec(payload: Any) -> JobSpec:
             f"unknown task {spec.task!r}; expected one of {', '.join(tasks)}"
         )
     for key, minimum in (
-        ("n", 1), ("k", 1), ("max_crashes", 0), ("max_depth", 1),
-        ("checkpoint_every", 1), ("max_steps", 1), ("seed", 0),
+        ("n", 1), ("k", 1), ("max_crashes", 0), ("max_recoveries", 0),
+        ("max_depth", 1), ("checkpoint_every", 1), ("max_steps", 1),
+        ("seed", 0),
     ):
         if key not in payload or payload[key] is None:
             continue
@@ -376,6 +378,7 @@ class JobManager:
                 "--k", str(spec.k),
                 "--max-depth", str(spec.max_depth),
                 "--max-crashes", str(spec.max_crashes),
+                "--max-recoveries", str(spec.max_recoveries),
             ]
         argv += [
             "--checkpoint", job.checkpoint_path,

@@ -407,7 +407,9 @@ def compare_runs(
             f"duration: {_fmt_duration(dur_a)} -> {_fmt_duration(dur_b)} "
             f"({delta:+.0%})"
         )
-    for key in ("executions", "steps", "faults_injected"):
+    # .get() keeps older records readable: a record written before a
+    # counter existed (e.g. "recoveries") compares as None, not a crash.
+    for key in ("executions", "steps", "faults_injected", "recoveries"):
         va, vb = a.get(key), b.get(key)
         if va is not None or vb is not None:
             lines.append(f"{key}: {va} vs {vb}")

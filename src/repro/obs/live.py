@@ -60,6 +60,7 @@ _COUNTED = {
     "schedule_explored": "schedules",
     "run_end": "runs",
     "crash": "faults",
+    "recover": "recoveries",
 }
 
 

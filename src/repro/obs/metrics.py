@@ -24,6 +24,7 @@ name                      kind        meaning
 ``states_visited``        counter     object states visited by analyses
 ``runs_by_verdict``       counter     solvability-checked runs, by verdict
 ``faults_injected``       counter     crash-stops applied (``crash`` events)
+``recoveries_total``      counter     crashed processes revived (``recover``)
 ``budget_exhausted_total``  counter   budget trips, by kind (deadline/steps)
 ``checkpoints_written_total``  counter  explorer checkpoints flushed
 ``explorations_interrupted``  counter  walks cut short by a budget
@@ -350,6 +351,8 @@ class MetricsRegistry:
             ).inc()
         elif name == "crash":
             self.counter("faults_injected").inc()
+        elif name == "recover":
+            self.counter("recoveries_total").inc()
         elif name == "budget_exhausted":
             self.counter(
                 "budget_exhausted_total", kind=fields.get("kind", "unknown")
@@ -474,7 +477,8 @@ class MetricsRegistry:
             )
         for name in ("decisions_total", "schedules_explored", "schedules_truncated",
                      "states_visited", "valency_executions", "faults_injected",
-                     "checkpoints_written_total", "explorations_interrupted"):
+                     "recoveries_total", "checkpoints_written_total",
+                     "explorations_interrupted"):
             total = self.counter_total(name)
             if total:
                 lines.append(f"{name}: {total}")

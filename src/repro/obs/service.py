@@ -212,6 +212,10 @@ def _job_row(snap: Dict[str, Any]) -> str:
         k=spec.get("k", "?"),
         f=spec.get("max_crashes", 0),
     )
+    # .get() keeps job records from before the crash-recovery model
+    # rendering; the budget shows only when a job actually set it.
+    if spec.get("max_recoveries"):
+        describe = describe[:-1] + f", r={spec['max_recoveries']})"
     explore = snap.get("explore") or {}
     progress = ""
     if "executions" in explore:

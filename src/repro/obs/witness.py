@@ -132,23 +132,25 @@ def witness_to_dict(
 
 
 def witness_id(record: Dict[str, Any]) -> str:
-    """Content digest of a witness: decisions + crashes + fingerprint.
+    """Content digest of a witness: decisions + faults + fingerprint.
 
     Two captures of the same deciding execution (same schedule, same
     outcome) share an id regardless of label/reason wording, so the
     store can deduplicate by file name.  Hashing goes through
     :func:`repro.obs.fingerprint.content_id` — the same convention the
     state audit uses — so bundle ids and audit state hashes cannot
-    drift apart.
+    drift apart.  Recovery records participate only when present, so
+    every pre-recovery bundle keeps its historical id.
     """
     trace = record.get("trace", {})
-    return content_id(
-        [
-            trace.get("decisions", []),
-            trace.get("crashes", []),
-            trace.get("fingerprint", ""),
-        ]
-    )
+    material = [
+        trace.get("decisions", []),
+        trace.get("crashes", []),
+        trace.get("fingerprint", ""),
+    ]
+    if trace.get("recoveries"):
+        material.append(trace["recoveries"])
+    return content_id(material)
 
 
 def write_witness(path: str, records: List[Dict[str, Any]]) -> str:
@@ -220,6 +222,14 @@ def _spec_partition_n_consensus(
     return partition_set_consensus_spec(int(n), list(inputs))
 
 
+def _spec_announce_election(
+    n: int, variant: str = "tas", **_ignored: Any
+) -> SystemSpec:
+    from repro.algorithms.election import announce_election_spec
+
+    return announce_election_spec(int(n), variant=str(variant))
+
+
 #: Named spec builders witnesses can reference in their ``spec`` dict.
 #: Keyed by the ``builder`` (or legacy ``task``) field; remaining fields
 #: are passed as keyword arguments.  Extend with
@@ -228,6 +238,7 @@ SPEC_BUILDERS: Dict[str, Callable[..., SystemSpec]] = {
     "set-consensus": _spec_set_consensus,
     "consensus": _spec_consensus,
     "n-consensus-partition": _spec_partition_n_consensus,
+    "announce-election": _spec_announce_election,
 }
 
 
@@ -271,6 +282,15 @@ def _predicate_distinct_outputs_at_least(
     return lambda execution: len(execution.distinct_outputs()) >= int(count)
 
 
+def _predicate_unique_leader_violated(**_ignored: Any) -> Callable[[Execution], bool]:
+    def violated(execution: Execution) -> bool:
+        if not execution.all_done():
+            return False
+        return list(execution.outputs.values()).count("L") != 1
+
+    return violated
+
+
 #: Named predicate builders witnesses can reference in their
 #: ``predicate`` dict.  The returned callable is the property the
 #: witness *decides* — the shrinker keeps it true while deleting
@@ -282,6 +302,9 @@ PREDICATE_BUILDERS: Dict[str, Callable[..., Callable[[Execution], bool]]] = {
     # At least N distinct decisions (existence witnesses, e.g. the
     # 2-consensus partition baseline forced to 3 at the Common2 point).
     "distinct-outputs-at-least": _predicate_distinct_outputs_at_least,
+    # All processes finished but the leader count is not exactly one —
+    # the REFUTED case of announce-election under crash-recovery (E11).
+    "unique-leader-violated": _predicate_unique_leader_violated,
 }
 
 
@@ -360,6 +383,7 @@ class WitnessStore:
                     source=source,
                     steps=len(execution.steps),
                     crashes=len(execution.crashes),
+                    recoveries=len(execution.recoveries),
                     fingerprint=record["trace"].get("fingerprint", ""),
                     reason=reason,
                 )

@@ -23,6 +23,82 @@ from repro.runtime.process import ProcessStatus
 #: trace files — a real outcome choice is never negative.
 CRASH_CHOICE = -1
 
+#: Sentinel ``choice`` marking a recovery decision: ``(pid,
+#: RECOVER_CHOICE)`` revives a crashed ``pid`` with its private/program
+#: state reset — shared objects are untouched (crash-recovery with
+#: amnesia).  A sibling of :data:`CRASH_CHOICE` everywhere decision
+#: sequences flow: replay, scripted scheduling, explorer branching, and
+#: archived traces.
+RECOVER_CHOICE = -2
+
+
+def merge_fault_decisions(
+    decisions: List[Tuple[int, int]],
+    crashes: List[Tuple[int, int]],
+    recoveries: List[Tuple[int, int]],
+) -> List[Tuple[int, int]]:
+    """Interleave step decisions with ``(step_index, pid)`` crash and
+    recovery records into one ``full_decisions``-shaped sequence.
+
+    Fault events sharing a step index are ordered by *liveness*: emit the
+    first pending crash whose pid is currently live, else the first
+    pending recovery whose pid is currently crashed, until the index
+    drains.  Cross-pid fault events at one index commute (they touch
+    disjoint processes and no shared state), so this canonical order
+    replays identically; same-pid chains (crash p, recover p, crash p
+    between the same two steps) are sequenced correctly by the tracking,
+    where a naive crashes-first merge would re-crash a dead process.
+
+    Raises ``ValueError`` when the records are inconsistent — a recovery
+    of a pid that is not crashed at that point, or a crash of a pid that
+    never recovered from its previous crash.  Records produced by a real
+    run never trip this; readers of untrusted files surface it as a
+    format error.
+    """
+    merged: List[Tuple[int, int]] = []
+    crashed: set = set()
+    ci = ri = 0
+
+    def drain(at) -> None:
+        nonlocal ci, ri
+        while True:
+            if (
+                ci < len(crashes)
+                and crashes[ci][0] <= at
+                and crashes[ci][1] not in crashed
+            ):
+                crashed.add(crashes[ci][1])
+                merged.append((crashes[ci][1], CRASH_CHOICE))
+                ci += 1
+                continue
+            if (
+                ri < len(recoveries)
+                and recoveries[ri][0] <= at
+                and recoveries[ri][1] in crashed
+            ):
+                crashed.discard(recoveries[ri][1])
+                merged.append((recoveries[ri][1], RECOVER_CHOICE))
+                ri += 1
+                continue
+            break
+
+    for index, (pid, choice) in enumerate(decisions):
+        drain(index)
+        merged.append((pid, choice))
+    drain(float("inf"))
+    if ri < len(recoveries):
+        raise ValueError(
+            f"recovery of pid {recoveries[ri][1]} at step "
+            f"{recoveries[ri][0]} references a process that is not "
+            "crashed at that point"
+        )
+    if ci < len(crashes):
+        raise ValueError(
+            f"crash of pid {crashes[ci][1]} at step {crashes[ci][0]} "
+            "references a process that is already crashed at that point"
+        )
+    return merged
+
 
 @dataclass(frozen=True)
 class StepRecord:
@@ -78,6 +154,11 @@ class Execution:
         ``step_index`` is the number of steps that had completed when the
         crash happened — crash timing is part of the execution record, so
         crashed runs replay exactly (see :attr:`full_decisions`).
+    recoveries:
+        ``(step_index, pid)`` pairs recording crash-recoveries, same
+        timing convention as ``crashes``.  A recovered process restarts
+        its program from scratch (amnesia); shared objects keep their
+        state.
     """
 
     steps: List[StepRecord] = field(default_factory=list)
@@ -85,6 +166,7 @@ class Execution:
     statuses: Dict[int, ProcessStatus] = field(default_factory=dict)
     annotations: List[Tuple[int, int, Annotation]] = field(default_factory=list)
     crashes: List[Tuple[int, int]] = field(default_factory=list)
+    recoveries: List[Tuple[int, int]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -103,26 +185,25 @@ class Execution:
 
     @property
     def full_decisions(self) -> List[Tuple[int, int]]:
-        """Decisions *including* crash-stops, in execution order: crash
-        entries appear as ``(pid, CRASH_CHOICE)`` at the position their
-        crash happened.  Feeding this to
-        :meth:`~repro.runtime.system.SystemSpec.replay` (or a
+        """Decisions *including* crash-stops and recoveries, in execution
+        order: fault entries appear as ``(pid, CRASH_CHOICE)`` /
+        ``(pid, RECOVER_CHOICE)`` at the position they happened.  Feeding
+        this to :meth:`~repro.runtime.system.SystemSpec.replay` (or a
         :class:`~repro.runtime.scheduler.ScriptedScheduler`) reproduces
         the execution exactly, crashed statuses included."""
-        merged: List[Tuple[int, int]] = []
-        pending = 0
-        for step in self.steps:
-            while pending < len(self.crashes) and self.crashes[pending][0] <= step.index:
-                merged.append((self.crashes[pending][1], CRASH_CHOICE))
-                pending += 1
-            merged.append((step.pid, step.choice))
-        for at, pid in self.crashes[pending:]:
-            merged.append((pid, CRASH_CHOICE))
-        return merged
+        return merge_fault_decisions(
+            [(s.pid, s.choice) for s in self.steps],
+            self.crashes,
+            self.recoveries,
+        )
 
     def crashed_pids(self) -> List[int]:
         """Pids that were crash-stopped, in crash order."""
         return [pid for _at, pid in self.crashes]
+
+    def recovered_pids(self) -> List[int]:
+        """Pids that were revived after a crash, in recovery order."""
+        return [pid for _at, pid in self.recoveries]
 
     def steps_by(self, pid: int) -> List[StepRecord]:
         """All steps taken by one process."""

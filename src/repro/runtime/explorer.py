@@ -17,7 +17,10 @@ Three robustness dimensions ride on the same walk (see docs/ROBUSTNESS.md):
 * **crash branching** (``max_crashes=f``): "crash pid p now" decisions are
   interleaved with scheduling decisions, so the enumeration covers every
   crash *timing*, not just crash sets dead from the start — the regime
-  where recoverable-power distinctions actually live;
+  where recoverable-power distinctions actually live.  Recovery
+  branching (``max_recoveries=r``) composes with it: "revive pid p with
+  amnesia now" becomes one more adversary decision, turning the walk
+  into the crash-*recovery* adversary;
 * **budgets**: a :class:`~repro.faults.budget.Budget` (explicit or the
   process-wide active one) stops the walk gracefully, leaving
   :attr:`Explorer.interrupted` set instead of raising;
@@ -49,10 +52,15 @@ from repro.faults.checkpoint import write_checkpoint as _write_checkpoint_file
 from repro.faults.verdict import Verdict
 from repro.obs import events as _obs_events
 from repro.obs.coverage import CoverageEstimator
-from repro.runtime.execution import CRASH_CHOICE, Execution
+from repro.runtime.execution import CRASH_CHOICE, RECOVER_CHOICE, Execution
+from repro.runtime.process import ProcessStatus
 from repro.runtime.system import System, SystemSpec
 
-Decision = Tuple[int, int]  # (pid, outcome choice) — choice CRASH_CHOICE = crash
+#: (pid, outcome choice) — CRASH_CHOICE = crash, RECOVER_CHOICE = recover
+Decision = Tuple[int, int]
+
+#: The fault sentinels, for "is this a fault decision" tests.
+FAULT_CHOICES = (CRASH_CHOICE, RECOVER_CHOICE)
 
 
 @dataclass
@@ -75,6 +83,7 @@ class ExplorationStatistics:
     max_depth_seen: int = 0
     truncated: int = 0  # executions cut off by the depth bound
     faults_injected: int = 0  # first-time crash decisions explored
+    recoveries_injected: int = 0  # first-time recovery decisions explored
 
     def merge(self, other: "ExplorationStatistics") -> None:
         self.executions += other.executions
@@ -83,6 +92,7 @@ class ExplorationStatistics:
         self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
         self.truncated += other.truncated
         self.faults_injected += other.faults_injected
+        self.recoveries_injected += other.recoveries_injected
 
     @property
     def steps_total(self) -> int:
@@ -129,6 +139,17 @@ class Explorer:
         ordered by pid, so each crash *set x timing* is enumerated once.
     crashable_pids:
         Restrict crash branches to these pids (default: all).
+    max_recoveries:
+        Recovery-branching budget (crash-recovery adversary): at every
+        configuration with a crashed process and fewer than this many
+        recoveries so far, a "recover pid p now" branch is explored in
+        addition to the scheduling and crash branches.  A recovered
+        process restarts its program with amnesia while shared objects
+        keep their state.  Composes with ``max_crashes`` (recoveries
+        only ever apply to processes a crash branch killed, so
+        ``crashable_pids`` bounds them transitively) and shares the
+        crash branches' canonical fault ordering, keeping the
+        enumeration duplicate-free.
     budget:
         Deadline/step :class:`~repro.faults.budget.Budget`.  Defaults to
         the process-wide active budget at enumeration time.  When the
@@ -161,6 +182,7 @@ class Explorer:
         pid_filter: Optional[Callable[[System, List[int]], List[int]]] = None,
         max_crashes: int = 0,
         crashable_pids: Optional[Iterable[int]] = None,
+        max_recoveries: int = 0,
         budget: Optional[Budget] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1000,
@@ -175,6 +197,7 @@ class Explorer:
         self.crashable_pids = (
             None if crashable_pids is None else frozenset(crashable_pids)
         )
+        self.max_recoveries = max_recoveries
         self.budget = budget
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
@@ -224,6 +247,7 @@ class Explorer:
             )
         kwargs.setdefault("max_depth", checkpoint.max_depth or 200)
         kwargs.setdefault("max_crashes", checkpoint.max_crashes)
+        kwargs.setdefault("max_recoveries", checkpoint.max_recoveries)
         explorer = cls(spec, **kwargs)
         explorer._initial_frontier = [list(p) for p in checkpoint.frontier]
         explorer.resumed_executions = checkpoint.executions
@@ -233,7 +257,16 @@ class Explorer:
     # Enumeration
     # ------------------------------------------------------------------
     def executions(self) -> Iterator[Execution]:
-        """Yield every maximal execution (all processes quiescent)."""
+        """Yield every maximal execution (all processes quiescent).
+
+        Under recovery branching (``max_recoveries > 0``) a quiescent
+        configuration that still holds crashed processes is yielded as a
+        maximal execution *and* expanded through its recovery branches:
+        reviving a dead process is the adversary's option, never its
+        obligation, so the crash-stop outcome ("they stay dead") remains
+        part of the enumerated space — ``max_recoveries=r`` strictly
+        subsumes ``max_recoveries=0``.
+        """
         if self._initial_frontier is not None:
             yield from self._walk_frontier(self._initial_frontier)
         else:
@@ -335,6 +368,7 @@ class Explorer:
             executions=self.total_executions,
             max_depth=self.max_depth,
             max_crashes=self.max_crashes,
+            max_recoveries=self.max_recoveries,
             stats=asdict(self.stats),
             spec=self._spec_meta,
             run_id=self.run_id,
@@ -365,6 +399,11 @@ class Explorer:
                 if index >= replayed:
                     self.stats.faults_injected += 1
                 continue
+            if choice == RECOVER_CHOICE:
+                system.recover(pid)
+                if index >= replayed:
+                    self.stats.recoveries_injected += 1
+                continue
             system.replaying = index < replayed
             system.step(pid, choice)
             if index < replayed:
@@ -390,21 +429,44 @@ class Explorer:
                 branches.append((pid, 0))
             else:
                 branches.extend((pid, c) for c in range(n))
+        if self.max_crashes or self.max_recoveries:
+            # Canonical fault ordering: fault decisions (crash or recover)
+            # on distinct pids commute when back-to-back — both orders
+            # leave identical (step_index, pid) fault records, hence
+            # identical executions — so a run of consecutive fault
+            # decisions is explored in non-decreasing pid order only and
+            # each fault multiset lands at each timing exactly once.
+            # Same-pid immediate repeats are excluded by liveness (a
+            # crashed pid is not enabled, a recovered pid is not crashed),
+            # so on crash-only exploration this degenerates to the old
+            # strictly-increasing-pid rule.
+            min_fault_pid = 0
+            if prefix and prefix[-1][1] in FAULT_CHOICES:
+                min_fault_pid = prefix[-1][0]
         if self.max_crashes:
             crashes_so_far = sum(1 for _pid, c in prefix if c == CRASH_CHOICE)
             if crashes_so_far < self.max_crashes:
-                # Canonical ordering: a run of back-to-back crash decisions
-                # is explored in ascending pid order only, so each crash
-                # set lands at each timing exactly once.
-                min_pid = 0
-                if prefix and prefix[-1][1] == CRASH_CHOICE:
-                    min_pid = prefix[-1][0] + 1
                 for pid in enabled:
-                    if pid < min_pid:
+                    if pid < min_fault_pid:
                         continue
                     if self.crashable_pids is not None and pid not in self.crashable_pids:
                         continue
                     branches.append((pid, CRASH_CHOICE))
+        if self.max_recoveries:
+            recoveries_so_far = sum(
+                1 for _pid, c in prefix if c == RECOVER_CHOICE
+            )
+            if recoveries_so_far < self.max_recoveries:
+                # Like crash branches, recovery branches ignore any
+                # pid_filter: a pinned schedule still explores every
+                # recovery timing along it.  Only crashed processes can
+                # recover, so crashable_pids bounds these transitively.
+                for process in system.processes:
+                    if process.status is not ProcessStatus.CRASHED:
+                        continue
+                    if process.pid < min_fault_pid:
+                        continue
+                    branches.append((process.pid, RECOVER_CHOICE))
         return branches
 
     def _walk(self, prefix: Sequence[Decision]) -> Iterator[Execution]:
@@ -450,8 +512,16 @@ class Explorer:
                 self._branch_nodes += 1
                 for decision in reversed(branches):
                     stack.append(prefix + [decision])
-                continue
-            if branches:  # depth bound hit with work remaining
+                # A quiescent configuration whose only branches are
+                # recoveries is *also* maximal: the adversary may decline
+                # to revive anyone, so the crash-stop outcome stays in
+                # the enumeration.  Fall through and yield it in addition
+                # to its recovery children.
+                if any(choice != RECOVER_CHOICE for _pid, choice in branches):
+                    continue
+                if observed:
+                    _obs_events.emit("schedule_explored", depth=len(prefix))
+            elif branches:  # depth bound hit with work remaining
                 self.stats.truncated += 1
                 if observed:
                     _obs_events.emit("schedule_truncated", depth=len(prefix))
@@ -526,6 +596,7 @@ class Explorer:
             elapsed=round(elapsed, 3),
             max_depth_seen=self.stats.max_depth_seen,
             faults_injected=self.stats.faults_injected,
+            recoveries_injected=self.stats.recoveries_injected,
             **estimate,
         )
 

@@ -112,6 +112,27 @@ class Process:
             self.status = ProcessStatus.CRASHED
             self._pending = None
 
+    def recover(self) -> None:
+        """Revive a crashed process with amnesia: the program restarts
+        from scratch (the old generator and its in-flight operation are
+        gone), while shared objects — owned by the system, not the
+        process — keep whatever state the crash left behind.
+
+        ``steps_taken`` is deliberately *not* reset: it is a runtime
+        odometer (wait-freedom metrics count every step the process ever
+        took), not program state.  Only valid from ``CRASHED``.
+        """
+        if self.status is not ProcessStatus.CRASHED:
+            raise ProtocolError(
+                f"cannot recover process {self.pid} in status "
+                f"{self.status.value}; only crashed processes recover"
+            )
+        self.status = ProcessStatus.PENDING
+        self.output = None
+        self._generator = None
+        self._pending = None
+        self.fresh_annotations.clear()
+
     def block(self) -> None:
         """Park the process forever (object-misuse 'hang' semantics)."""
         self.status = ProcessStatus.BLOCKED

@@ -16,7 +16,7 @@ import random
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SchedulingError
-from repro.runtime.execution import CRASH_CHOICE
+from repro.runtime.execution import CRASH_CHOICE, RECOVER_CHOICE
 
 
 class Scheduler:
@@ -94,7 +94,9 @@ class ScriptedScheduler(Scheduler):
     as produced by :attr:`~repro.runtime.execution.Execution.decisions` /
     :attr:`~repro.runtime.execution.Execution.full_decisions` — entries
     whose choice is :data:`~repro.runtime.execution.CRASH_CHOICE` crash
-    the pid instead of stepping it, so crashed runs replay exactly.
+    the pid instead of stepping it, and
+    :data:`~repro.runtime.execution.RECOVER_CHOICE` entries revive it
+    with amnesia, so faulty runs replay exactly.
     When the script is exhausted the run stops (useful for driving a system
     into a specific intermediate configuration).
     """
@@ -119,6 +121,9 @@ class ScriptedScheduler(Scheduler):
             self._cursor += 1
             if choice == CRASH_CHOICE:
                 system.crash(pid)
+                continue
+            if choice == RECOVER_CHOICE:
+                system.recover(pid)
                 continue
             self._pending_choice = choice
             return pid

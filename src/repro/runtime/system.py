@@ -22,7 +22,12 @@ from repro.errors import (
 )
 from repro.faults.budget import get_active_budget
 from repro.obs import events as _obs_events
-from repro.runtime.execution import CRASH_CHOICE, Execution, StepRecord
+from repro.runtime.execution import (
+    CRASH_CHOICE,
+    RECOVER_CHOICE,
+    Execution,
+    StepRecord,
+)
 from repro.runtime.ops import Operation
 from repro.runtime.process import Process, ProcessStatus, ProgramFactory
 
@@ -64,11 +69,15 @@ class SystemSpec:
         decision sequence (e.g. from :attr:`Execution.decisions` or
         :attr:`Execution.full_decisions`).  A choice of
         :data:`~repro.runtime.execution.CRASH_CHOICE` crash-stops the
-        pid instead of stepping it, so crashed runs replay exactly."""
+        pid instead of stepping it, and
+        :data:`~repro.runtime.execution.RECOVER_CHOICE` revives it with
+        amnesia — so faulty runs replay exactly."""
         system = self.build()
         for pid, choice in decisions:
             if choice == CRASH_CHOICE:
                 system.crash(pid)
+            elif choice == RECOVER_CHOICE:
+                system.recover(pid)
             else:
                 system.step(pid, choice)
         return system
@@ -148,10 +157,22 @@ class System:
         ``(status, delivered responses, pending operation)`` names it
         exactly.  Crashes are covered through the ``"crashed"`` status,
         so configurations on crash branches never alias crash-free ones.
+        A recovered generator only ever saw the responses delivered
+        *since its last recovery*, so earlier incarnations' responses are
+        excluded — the recovery count disambiguates the rest (two
+        configurations differing only in dead history name the same
+        reachable future, which is exactly what state identity is for).
         """
+        last_recovery: Dict[int, int] = {}
+        for at, pid in self.trace.recoveries:
+            last_recovery[pid] = at
         responses: Dict[int, List[str]] = {p.pid: [] for p in self.processes}
         for step in self.trace.steps:
-            responses[step.pid].append(repr(step.response))
+            if step.index >= last_recovery.get(step.pid, 0):
+                responses[step.pid].append(repr(step.response))
+        recovery_counts: Dict[int, int] = {}
+        for _at, pid in self.trace.recoveries:
+            recovery_counts[pid] = recovery_counts.get(pid, 0) + 1
         return {
             "objects": {
                 name: repr(state)
@@ -165,6 +186,13 @@ class System:
                         str(process.pending_operation)
                         if process.pending_operation is not None
                         else ""
+                    ),
+                    # Key present only on recovered processes, so
+                    # crash-stop configurations keep their exact shape.
+                    **(
+                        {"recoveries": recovery_counts[process.pid]}
+                        if process.pid in recovery_counts
+                        else {}
                     ),
                 }
                 for process in self.processes
@@ -254,6 +282,22 @@ class System:
         if _obs_events.is_enabled():
             _obs_events.emit("crash", pid=pid, at_step=len(self.trace.steps))
 
+    def recover(self, pid: int) -> None:
+        """Revive crashed process ``pid`` with amnesia: its program
+        restarts from scratch (re-primed to its first operation) while
+        shared objects keep their state.  A no-op on processes that are
+        not crashed, mirroring :meth:`crash`'s no-op tolerance so
+        schedulers may re-assert a recovery without corrupting the
+        trace's recovery record."""
+        process = self.processes[pid]
+        if process.status is not ProcessStatus.CRASHED:
+            return
+        process.recover()
+        self.trace.recoveries.append((len(self.trace.steps), pid))
+        self._prime_and_drain(process)
+        if _obs_events.is_enabled():
+            _obs_events.emit("recover", pid=pid, at_step=len(self.trace.steps))
+
     def run(self, scheduler, max_steps: int = 100_000, budget=None) -> Execution:
         """Drive the system with ``scheduler`` until quiescence or budget.
 
@@ -278,11 +322,20 @@ class System:
                     interrupted = True
                     break
             enabled = self.enabled_pids()
-            if not enabled:
+            if not enabled and not any(
+                p.status is ProcessStatus.CRASHED for p in self.processes
+            ):
                 break
+            # With crashed processes around the scheduler is still
+            # consulted even when nothing is enabled — a crash-recovery
+            # scheduler may revive someone; every bundled scheduler
+            # returns None on an empty enabled set, ending the run.
             pid = scheduler.next_pid(self)
             if pid is None:
                 break
+            # Recompute after next_pid: a scheduler may crash or revive
+            # processes as a side effect, shrinking or growing the set.
+            enabled = self.enabled_pids()
             if pid not in enabled:
                 raise SchedulingError(
                     f"scheduler chose disabled process {pid} (enabled: {enabled})"

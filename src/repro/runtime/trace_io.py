@@ -21,7 +21,7 @@ import json
 from typing import Any, Dict, Optional
 
 from repro.errors import ProtocolError
-from repro.runtime.execution import Execution
+from repro.runtime.execution import Execution, merge_fault_decisions
 from repro.runtime.system import SystemSpec
 
 #: Format marker for forwards compatibility.  New *optional* keys (like
@@ -58,6 +58,10 @@ def trace_to_dict(
     replay re-applies them at the same points — the fingerprint covers
     the resulting CRASHED statuses, so a reader that ignored the key
     would fail loudly rather than silently resurrect dead processes.
+    Crash-*recovery* runs additionally carry a ``recoveries`` key with
+    the same ``[step_index, pid]`` shape (again present only when
+    non-empty); replay revives those pids with amnesia at the recorded
+    points, and the fingerprint covers the post-recovery outcome.
     """
     meta: Dict[str, Any] = {"monotonic_steps": len(execution.steps)}
     if scheduler is not None:
@@ -73,6 +77,8 @@ def trace_to_dict(
     }
     if execution.crashes:
         payload["crashes"] = [[at, pid] for at, pid in execution.crashes]
+    if execution.recoveries:
+        payload["recoveries"] = [[at, pid] for at, pid in execution.recoveries]
     return payload
 
 
@@ -93,9 +99,12 @@ def replay_trace(spec: SystemSpec, trace: Dict[str, Any]) -> Execution:
 
     Verifies the format marker, the process count, and — after replay —
     the outcome fingerprint, so silent divergence between the archived
-    run and the current code is impossible.  Optional keys (``meta`` and
-    any future additions within ``repro-trace/1``) are ignored, so newer
-    files remain readable by older code.
+    run and the current code is impossible.  Fault records are checked
+    for internal consistency before replay: a ``recoveries`` entry for a
+    pid that is not crashed at that point (or a double crash) raises
+    :class:`ProtocolError` rather than replaying garbage.  Optional keys
+    (``meta`` and any future additions within ``repro-trace/1``) are
+    ignored, so newer files remain readable by older code.
     """
     if trace.get("format") != FORMAT:
         raise ProtocolError(
@@ -109,7 +118,12 @@ def replay_trace(spec: SystemSpec, trace: Dict[str, Any]) -> Execution:
         )
     decisions = [(pid, choice) for pid, choice in trace["decisions"]]
     crashes = [(at, pid) for at, pid in trace.get("crashes", [])]
-    execution = spec.replay(_merge_crashes(decisions, crashes)).finalize()
+    recoveries = [(at, pid) for at, pid in trace.get("recoveries", [])]
+    try:
+        full = merge_fault_decisions(decisions, crashes, recoveries)
+    except ValueError as error:
+        raise ProtocolError(f"trace is internally inconsistent: {error}") from None
+    execution = spec.replay(full).finalize()
     recorded = trace.get("fingerprint")
     if recorded is not None and recorded != _fingerprint(execution):
         raise ProtocolError(
@@ -122,23 +136,6 @@ def replay_trace(spec: SystemSpec, trace: Dict[str, Any]) -> Execution:
 def load_trace_json(spec: SystemSpec, payload: str) -> Execution:
     """Parse JSON and replay (see :func:`replay_trace`)."""
     return replay_trace(spec, json.loads(payload))
-
-
-def _merge_crashes(decisions, crashes):
-    """Interleave step decisions with ``(step_index, pid)`` crash records
-    into a single :attr:`Execution.full_decisions`-shaped sequence."""
-    from repro.runtime.execution import CRASH_CHOICE
-
-    merged = []
-    pending = 0
-    for index, (pid, choice) in enumerate(decisions):
-        while pending < len(crashes) and crashes[pending][0] <= index:
-            merged.append((crashes[pending][1], CRASH_CHOICE))
-            pending += 1
-        merged.append((pid, choice))
-    for _at, pid in crashes[pending:]:
-        merged.append((pid, CRASH_CHOICE))
-    return merged
 
 
 def _fingerprint(execution: Execution) -> str:

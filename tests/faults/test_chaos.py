@@ -71,6 +71,86 @@ class TestCrashBehaviour:
                 assert status in (ProcessStatus.DONE, ProcessStatus.CRASHED)
 
 
+class TestRecoveries:
+    def test_recoveries_happen_under_high_probabilities(self):
+        revived = False
+        for seed in range(40):
+            execution = busy_spec().run(
+                ChaosScheduler(
+                    seed=seed,
+                    crash_probability=0.5,
+                    recover_probability=0.8,
+                    max_crashes=2,
+                    max_recoveries=2,
+                )
+            )
+            if execution.recoveries:
+                revived = True
+                assert set(execution.recovered_pids()) <= set(
+                    execution.crashed_pids()
+                )
+        assert revived
+
+    def test_max_recoveries_respected(self):
+        for seed in range(30):
+            execution = busy_spec().run(
+                ChaosScheduler(
+                    seed=seed,
+                    crash_probability=0.9,
+                    recover_probability=1.0,
+                    max_crashes=3,
+                    max_recoveries=1,
+                )
+            )
+            assert len(execution.recoveries) <= 1
+
+    def test_same_seed_reproduces_recovery_timing(self):
+        runs = []
+        for _ in range(2):
+            scheduler = ChaosScheduler(
+                seed=11,
+                crash_probability=0.4,
+                recover_probability=0.7,
+                max_recoveries=2,
+            )
+            execution = busy_spec().run(scheduler)
+            runs.append(
+                (
+                    execution.schedule,
+                    tuple(execution.crashes),
+                    tuple(execution.recoveries),
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_default_recover_probability_consumes_no_rng(self):
+        """With recover_probability left at 0.0 the recovery roll is
+        skipped entirely, so pre-recovery seeded runs reproduce
+        bit-for-bit (explicit 0.0 and the default agree)."""
+        default = busy_spec().run(ChaosScheduler(seed=6, crash_probability=0.3))
+        explicit = busy_spec().run(
+            ChaosScheduler(seed=6, crash_probability=0.3, recover_probability=0.0)
+        )
+        assert default.schedule == explicit.schedule
+        assert default.crashes == explicit.crashes
+
+    def test_recovered_process_can_finish(self):
+        done_after_rebirth = False
+        for seed in range(60):
+            execution = busy_spec().run(
+                ChaosScheduler(
+                    seed=seed,
+                    crash_probability=0.4,
+                    recover_probability=0.9,
+                    max_recoveries=1,
+                )
+            )
+            for pid in execution.recovered_pids():
+                if execution.statuses[pid] is ProcessStatus.DONE:
+                    done_after_rebirth = True
+        assert done_after_rebirth
+
+
 class TestStalls:
     def test_stalls_never_deadlock(self):
         # Very aggressive stalling must still complete the run.
@@ -91,6 +171,8 @@ class TestValidation:
             {"crash_probability": 1.5},
             {"stall_probability": 2.0},
             {"max_stall": 0},
+            {"recover_probability": -0.5},
+            {"recover_probability": 1.1},
         ],
     )
     def test_bad_parameters_rejected(self, kwargs):
@@ -115,3 +197,16 @@ class TestDescribe:
 
     def test_describe_without_crashable_restriction(self):
         assert "crashable" not in ChaosScheduler(seed=0).describe()
+
+    def test_describe_omits_recovery_params_when_disabled(self):
+        """Pure crash-stop instances keep their historical provenance
+        string — archived traces replay against an unchanged describe."""
+        assert "recover" not in ChaosScheduler(seed=0).describe()
+
+    def test_describe_includes_recovery_params_when_enabled(self):
+        scheduler = ChaosScheduler(
+            seed=2, recover_probability=0.25, max_recoveries=3
+        )
+        assert scheduler.describe().endswith(
+            "recover_p=0.25, max_recoveries=3)"
+        )

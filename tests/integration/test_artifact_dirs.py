@@ -68,8 +68,10 @@ class TestFlagsCreateParents:
             ["explore", "--task", "consensus", "--n", "2", "--k", "1",
              "--checkpoint", str(checkpoint)]
         ) == 0
+        from repro.faults.checkpoint import FORMAT
+
         header = json.loads(checkpoint.read_text().splitlines()[0])
-        assert header["format"] == "repro-checkpoint/1"
+        assert header["format"] == FORMAT
 
 
 class TestStatsCorruptInput:

@@ -17,6 +17,7 @@ from repro.experiments import (
     run_e8_subdivision,
     run_e9_substrate,
     run_e10_runtime,
+    run_e11_recovery,
 )
 from repro.experiments.rows import ExperimentRow, render_table
 
@@ -57,6 +58,27 @@ class TestExperimentSuite:
 
     def test_e10(self):
         assert_all_ok(run_e10_runtime())
+
+    def test_e11(self):
+        assert_all_ok(run_e11_recovery())
+
+    def test_e11_triad_tells_the_power_separation_story(self, tmp_path):
+        from repro.obs.witness import capture_witnesses
+
+        with capture_witnesses(str(tmp_path)):
+            rows = run_e11_recovery()
+        assert len(rows) == 3
+        crash_stop, crash_recovery, recoverable = rows
+        assert "crash-stop" in crash_stop.setting
+        assert "REFUTED" in crash_recovery.claimed
+        assert "recoverable" in recoverable.setting
+        assert "0 violations" not in crash_recovery.measured
+        assert crash_recovery.witness
+
+    def test_e11_byte_stable_across_invocations(self):
+        first = [row.markdown() for row in run_e11_recovery()]
+        second = [row.markdown() for row in run_e11_recovery()]
+        assert first == second
 
 
 class TestRowRendering:

@@ -302,3 +302,42 @@ class TestEndpoints:
         assert excinfo.value.code == 503
         session.close()
         session.close()  # idempotent
+
+
+class TestJobRowRendering:
+    """Dashboard job rows must render specs from any era (unit-level,
+    no server needed)."""
+
+    def snap(self, spec):
+        return {
+            "id": "j1",
+            "spec": spec,
+            "state": "done",
+            "verdict": "proved",
+            "attempts": 1,
+        }
+
+    def test_tolerates_spec_predating_recoveries(self):
+        from repro.obs.service import _job_row
+
+        row = _job_row(
+            self.snap({"task": "consensus", "n": 2, "k": 1, "max_crashes": 1})
+        )
+        assert "consensus(n=2, k=1, f=1)" in row
+        assert "r=" not in row
+
+    def test_renders_recovery_budget_when_set(self):
+        from repro.obs.service import _job_row
+
+        row = _job_row(
+            self.snap(
+                {
+                    "task": "consensus",
+                    "n": 2,
+                    "k": 1,
+                    "max_crashes": 1,
+                    "max_recoveries": 1,
+                }
+            )
+        )
+        assert "consensus(n=2, k=1, f=1, r=1)" in row

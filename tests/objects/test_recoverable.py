@@ -1,0 +1,108 @@
+"""Unit tests for recoverable object variants: caller-keyed TAS and the
+persistent register baseline."""
+
+from repro.objects.base import ObjectSpec
+from repro.objects.recoverable import (
+    PersistentRegisterSpec,
+    RecoverableTestAndSetSpec,
+)
+from repro.objects.register import RegisterSpec
+from repro.objects.rmw import TestAndSetSpec
+from repro.runtime.execution import CRASH_CHOICE, RECOVER_CHOICE
+from repro.runtime.explorer import Explorer
+from repro.runtime.ops import invoke
+from repro.runtime.scheduler import ScriptedScheduler
+from repro.runtime.system import SystemSpec
+
+
+class TestRecoverableTestAndSet:
+    def test_first_caller_wins_and_is_recorded(self):
+        spec = RecoverableTestAndSetSpec()
+        response, state = spec.apply_one(None, "test_and_set", (3,))
+        assert response == 0 and state == 3
+
+    def test_other_callers_lose(self):
+        spec = RecoverableTestAndSetSpec()
+        response, state = spec.apply_one(3, "test_and_set", (7,))
+        assert response == 1 and state == 3
+
+    def test_winner_rewins_idempotently(self):
+        """The amnesia contract: the recorded winner sees 0 on every
+        retry, so a revenant re-learns its own victory."""
+        spec = RecoverableTestAndSetSpec()
+        response, state = spec.apply_one(3, "test_and_set", (3,))
+        assert response == 0 and state == 3
+
+    def test_read_exposes_plain_bit_and_winner_the_pid(self):
+        spec = RecoverableTestAndSetSpec()
+        assert spec.apply_one(None, "read", ()) == (0, None)
+        assert spec.apply_one(4, "read", ()) == (1, 4)
+        assert spec.apply_one(4, "winner", ()) == (4, 4)
+        assert spec.apply_one(None, "winner", ()) == (None, None)
+
+    def test_recoverable_flag(self):
+        assert RecoverableTestAndSetSpec.recoverable
+        assert PersistentRegisterSpec.recoverable
+        assert not TestAndSetSpec.recoverable
+        assert not RegisterSpec.recoverable
+        # Default contract on the base class: crash-stop only.
+        assert ObjectSpec.recoverable is False
+
+    def test_exactly_one_perceived_winner_under_crash_recovery(self):
+        """Exhaustively: with one crash and one revival allowed, the set
+        of processes that ever observed a win has size exactly one —
+        the separation that plain TAS fails (E11)."""
+
+        def program(pid):
+            def run():
+                lost = yield invoke("t", "test_and_set", pid)
+                return "W" if lost == 0 else "l"
+
+            return run
+
+        spec = SystemSpec(
+            {"t": RecoverableTestAndSetSpec()},
+            [program(p) for p in range(2)],
+        )
+        explorer = Explorer(spec, max_crashes=1, max_recoveries=1)
+        for execution in explorer.executions():
+            if not execution.all_done():
+                continue
+            assert list(execution.outputs.values()).count("W") == 1
+        assert explorer.stats.recoveries_injected > 0
+
+
+class TestPersistentRegister:
+    def test_read_write(self):
+        spec = PersistentRegisterSpec()
+        assert spec.initial_state() is None
+        response, state = spec.apply_one(None, "write", ("x",))
+        assert response is None and state == "x"
+        assert spec.apply_one("x", "read", ()) == ("x", "x")
+
+    def test_initial_value(self):
+        assert PersistentRegisterSpec(initial=9).initial_state() == 9
+
+    def test_state_survives_writer_crash_recovery(self):
+        def program(pid):
+            def run():
+                yield invoke("r", "write", pid)
+                seen = yield invoke("r", "read")
+                return seen
+
+            return run
+
+        spec = SystemSpec(
+            {"r": PersistentRegisterSpec()}, [program(0), program(1)]
+        )
+        script = [
+            (0, 0),               # p0 writes 0
+            (0, CRASH_CHOICE),
+            (1, 0),               # p1 overwrites with 1
+            (0, RECOVER_CHOICE),
+            (0, 0), (0, 0),       # reborn p0: write 0, read 0
+            (1, 0),               # p1 reads 0
+        ]
+        execution = spec.run(ScriptedScheduler(script))
+        assert execution.outputs == {0: 0, 1: 0}
+        assert execution.recovered_pids() == [0]

@@ -176,6 +176,61 @@ class TestViews:
         assert "p1 crashes after taking 0 steps" in text
         assert "p1 crashed before deciding." in text
 
+    def test_recovery_events_interleave(self):
+        view = WitnessView(
+            views=[
+                StepView(kind="step", pid=0, target="t", method="tas",
+                         args=(), response="0"),
+                StepView(kind="crash", pid=0),
+                StepView(kind="recover", pid=0),
+                StepView(kind="step", pid=0, target="t", method="tas",
+                         args=(), response="1"),
+            ],
+            pids=[0, 1],
+            outputs={0: "'F'"},
+            statuses={0: "done", 1: "pending"},
+        )
+        diagram = lane_diagram(view)
+        assert "CRASH" in diagram and "RECOVER" in diagram
+        # The reborn process's steps land back in its own lane.
+        recover_line = next(
+            line for line in diagram.splitlines() if "RECOVER" in line
+        )
+        assert recover_line.index("RECOVER") < len(diagram.splitlines()[0])
+        text = narrative(view)
+        assert "it will come back" in text
+        assert "p0 recovers with amnesia" in text
+        assert "shared objects keep their state" in text
+
+    def test_crash_without_recovery_reads_as_permanent(self):
+        view = WitnessView(
+            views=[StepView(kind="crash", pid=1)],
+            pids=[0, 1],
+            outputs={},
+            statuses={0: "pending", 1: "crashed"},
+        )
+        text = narrative(view)
+        assert "it never moves again" in text
+
+    def test_live_view_carries_recovery_events(self):
+        from repro.algorithms.election import announce_election_spec
+        from repro.runtime.execution import CRASH_CHOICE, RECOVER_CHOICE
+        from repro.runtime.scheduler import ScriptedScheduler
+
+        execution = announce_election_spec(2).run(
+            ScriptedScheduler(
+                [(0, 0), (0, CRASH_CHOICE), (0, RECOVER_CHOICE),
+                 (0, 0), (0, 0), (1, 0), (1, 0)]
+            )
+        )
+        view = view_from_execution(execution)
+        kinds = [v.kind for v in view.views]
+        assert kinds.count("crash") == 1
+        assert kinds.count("recover") == 1
+        assert kinds.index("crash") < kinds.index("recover")
+        html = lanes_html(view)
+        assert '<td class="recover">RECOVER</td>' in html
+
 
 class TestRenderers:
     def view(self):

@@ -68,6 +68,26 @@ class TestValidateSpec:
         assert spec.seed == 42
         assert spec.as_dict()["seed"] == 42
 
+    def test_max_recoveries_accepted_and_forwarded(self, tmp_path):
+        spec = validate_spec(
+            {"task": "consensus", "max_crashes": 1, "max_recoveries": 1}
+        )
+        assert spec.max_recoveries == 1
+        assert spec.as_dict()["max_recoveries"] == 1
+        manager = JobManager(str(tmp_path / "data"), max_workers=0)
+        job = jobs.Job(id="j1", spec=spec, job_dir=str(tmp_path / "j1"))
+        argv = manager.worker_argv(job, resume=False)
+        assert "--max-recoveries" in argv
+        assert argv[argv.index("--max-recoveries") + 1] == "1"
+
+    def test_max_recoveries_defaults_to_zero(self):
+        spec = validate_spec({"task": "consensus"})
+        assert spec.max_recoveries == 0
+
+    def test_negative_max_recoveries_rejected(self):
+        with pytest.raises(ValueError):
+            validate_spec({"task": "consensus", "max_recoveries": -1})
+
 
 class TestTraceTail:
     def write(self, path, events):

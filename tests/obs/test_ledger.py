@@ -169,6 +169,33 @@ class TestRunsSubcommands:
         assert "chain: B resumes A's checkpoint" in out
         assert "inconclusive vs proved (DIFFERS)" in out
 
+    def test_compare_tolerates_records_predating_recoveries(self, capsys):
+        """Ledger records written before the crash-recovery model have no
+        ``recoveries`` key; comparing them against new records must not
+        crash (mirrors the ``audit`` key handling)."""
+        old = {
+            "format": ledger.FORMAT,
+            "run_id": "old",
+            "verdict": "proved",
+            "executions": 24,
+            "faults_injected": 3,
+        }
+        new = {
+            "format": ledger.FORMAT,
+            "run_id": "new",
+            "verdict": "proved",
+            "executions": 96,
+            "faults_injected": 3,
+            "recoveries": 32,
+        }
+        lines, agree = ledger.compare_runs(old, new)
+        assert agree
+        assert "recoveries: None vs 32" in lines
+        # Two pre-recovery records: the counter is absent on both sides
+        # and the line is simply omitted.
+        lines, _ = ledger.compare_runs(old, dict(old, run_id="old2"))
+        assert not any(line.startswith("recoveries:") for line in lines)
+
     def test_compare_exit_0_when_verdicts_agree(self, tmp_path, capsys):
         path, _ = self.run_explore(tmp_path)
         self.run_explore(tmp_path)

@@ -206,6 +206,36 @@ class TestEventConsumption:
         registry.consume_event("some_future_event", {"x": 1})
         assert registry.is_empty()
 
+    def test_fault_events_feed_both_counters(self):
+        registry = MetricsRegistry()
+        registry.consume_event("crash", {"pid": 0, "at_step": 3})
+        registry.consume_event("recover", {"pid": 0, "at_step": 5})
+        registry.consume_event("crash", {"pid": 1, "at_step": 7})
+        assert registry.counter_total("faults_injected") == 2
+        assert registry.counter_total("recoveries_total") == 1
+
+    def test_live_run_with_recovery_counts_events(self):
+        """An installed registry sees the system's crash and recover
+        events end to end, not just synthetic consume_event calls."""
+        from repro.runtime.execution import CRASH_CHOICE, RECOVER_CHOICE
+        from repro.runtime.scheduler import ScriptedScheduler
+
+        registry = MetricsRegistry()
+        registry.install()
+        try:
+            two_process_spec().run(
+                ScriptedScheduler(
+                    [(0, 0), (0, CRASH_CHOICE), (0, RECOVER_CHOICE),
+                     (0, 0), (0, 0), (1, 0), (1, 0)]
+                )
+            )
+        finally:
+            registry.uninstall()
+        assert registry.counter_total("faults_injected") == 1
+        assert registry.counter_total("recoveries_total") == 1
+        digest = registry.digest()
+        assert "recoveries_total: 1" in digest
+
     def test_live_collection_matches_replay(self, tmp_path):
         """The live-subscribed registry and a replay of the JSONL file must
         agree — the trace is a complete account of the run."""

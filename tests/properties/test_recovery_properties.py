@@ -1,0 +1,113 @@
+"""Property-based tests of crash-recovery semantics (hypothesis).
+
+Two contracts from the crash-recovery model:
+
+* **replay fidelity** — any ``full_decisions`` sequence containing
+  recovery decisions replays to an identical outcome: same configuration
+  fingerprint, same fault records, same outputs;
+* **shrinker soundness** — ddmin over decision sequences that include
+  recovery decisions preserves predicate truth and stays 1-minimal (a
+  recovery whose crash was dropped replays as a no-op, so holes cannot
+  corrupt a candidate).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.helpers import build_spec
+from repro.faults.chaos import ChaosScheduler
+from repro.obs.explain import shrink_execution
+from repro.obs.fingerprint import configuration_fingerprint
+from repro.objects.register import RegisterSpec
+from repro.runtime.ops import invoke
+from repro.runtime.trace_io import load_trace_json, trace_to_json
+
+N_PROCESSES = 3
+
+
+def busy_spec():
+    def program(pid, _value):
+        for _ in range(3):
+            yield invoke("r", "write", pid)
+            yield invoke("r", "read")
+        return pid
+
+    return build_spec({"r": RegisterSpec()}, program, [None] * N_PROCESSES)
+
+
+def chaotic_run(seed):
+    scheduler = ChaosScheduler(
+        seed=seed,
+        crash_probability=0.15,
+        stall_probability=0.05,
+        recover_probability=0.6,
+        max_crashes=2,
+        max_recoveries=2,
+    )
+    return busy_spec().run(scheduler)
+
+
+class TestReplayFidelity:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_full_decisions_replay_matches_fingerprint(self, seed):
+        original = chaotic_run(seed)
+        replays = [
+            busy_spec().replay(original.full_decisions) for _ in range(2)
+        ]
+        fingerprints = {configuration_fingerprint(s) for s in replays}
+        assert len(fingerprints) == 1
+        replayed = replays[0].finalize()
+        assert replayed.crashes == original.crashes
+        assert replayed.recoveries == original.recoveries
+        assert replayed.statuses == original.statuses
+        assert replayed.outputs == original.outputs
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_recoveries_survive_json_round_trip(self, seed):
+        original = chaotic_run(seed)
+        payload = trace_to_json(original)
+        replayed = load_trace_json(busy_spec(), payload)
+        assert replayed.recoveries == original.recoveries
+        assert replayed.crashes == original.crashes
+        assert replayed.outputs == original.outputs
+
+
+class TestShrinkerWithRecoveries:
+    def predicate(self, execution):
+        return bool(execution.recoveries) and execution.all_done()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_shrink_preserves_truth_and_one_minimality(self, seed):
+        original = chaotic_run(seed)
+        if not self.predicate(original):
+            return  # this seed produced no recovery — nothing to shrink
+        result = shrink_execution(busy_spec(), original, self.predicate)
+        assert self.predicate(result.execution)
+        assert result.min_length <= len(original.full_decisions)
+        # Independent 1-minimality check over replay, recovery decisions
+        # included: dropping any single decision must break the predicate
+        # (or the replay itself).
+        for index in range(len(result.decisions)):
+            candidate = (
+                result.decisions[:index] + result.decisions[index + 1:]
+            )
+            if not candidate:
+                continue
+            try:
+                reduced = busy_spec().replay(candidate).finalize()
+            except Exception:
+                continue
+            assert not self.predicate(reduced)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_shrink_is_deterministic(self, seed):
+        original = chaotic_run(seed)
+        if not self.predicate(original):
+            return
+        first = shrink_execution(busy_spec(), original, self.predicate)
+        second = shrink_execution(busy_spec(), original, self.predicate)
+        assert first.decisions == second.decisions

@@ -56,6 +56,42 @@ class TestRoundTrip:
         assert checkpoint.spec == {"task": "consensus", "n": 3}
         assert not checkpoint.done
 
+    def test_max_recoveries_round_trips(self, tmp_path):
+        path = str(tmp_path / "cp.jsonl")
+        write_checkpoint(
+            path,
+            n_processes=2,
+            frontier=[[(0, 0), (0, -1), (0, -2)]],
+            executions=3,
+            max_crashes=1,
+            max_recoveries=1,
+        )
+        checkpoint = read_checkpoint(path)
+        assert checkpoint.max_crashes == 1
+        assert checkpoint.max_recoveries == 1
+        assert checkpoint.frontier == [[(0, 0), (0, -1), (0, -2)]]
+
+    def test_legacy_v1_checkpoint_still_reads(self, tmp_path):
+        """Files written before the recovery model (repro-checkpoint/1)
+        load with max_recoveries=0 — their frontier was enumerated with
+        no recovery branches, so resuming recovery-free is exact."""
+        path = tmp_path / "cp.jsonl"
+        header = {
+            "format": "repro-checkpoint/1",
+            "n_processes": 2,
+            "frontier": 1,
+            "executions": 4,
+            "max_crashes": 1,
+        }
+        path.write_text(
+            json.dumps(header) + "\n"
+            + json.dumps({"prefix": [[0, 0], [1, -1]]}) + "\n"
+        )
+        checkpoint = read_checkpoint(str(path))
+        assert checkpoint.max_crashes == 1
+        assert checkpoint.max_recoveries == 0
+        assert checkpoint.frontier == [[(0, 0), (1, -1)]]
+
     def test_empty_frontier_is_done(self, tmp_path):
         path = str(tmp_path / "cp.jsonl")
         write_checkpoint(path, n_processes=2, frontier=[], executions=6)
@@ -158,6 +194,39 @@ class TestResume:
         remaining = {tuple(e.full_decisions) for e in resumed.executions()}
         assert visited | remaining == everything
         assert not (visited & remaining)
+
+    def test_resume_with_recoveries(self, tmp_path):
+        """The count-equality guarantee holds with recovery branches: an
+        interrupted crash-recovery walk plus its resume visit exactly the
+        executions of one uninterrupted walk."""
+        path = str(tmp_path / "cp.jsonl")
+        spec = steps_spec(n_processes=2, n_steps=2)
+        everything = {
+            tuple(e.full_decisions)
+            for e in Explorer(
+                spec, max_crashes=1, max_recoveries=1
+            ).executions()
+        }
+        assert any(
+            choice == -2 for full in everything for _pid, choice in full
+        )
+        interrupted = Explorer(
+            spec,
+            max_crashes=1,
+            max_recoveries=1,
+            budget=Budget(max_steps=150),
+            checkpoint_path=path,
+        )
+        visited = {tuple(e.full_decisions) for e in interrupted.executions()}
+        assert interrupted.interrupted
+        checkpoint = read_checkpoint(path)
+        resumed = Explorer.from_checkpoint(spec, checkpoint)
+        # max_recoveries restored from the checkpoint when not overridden.
+        assert resumed.max_recoveries == 1
+        remaining = {tuple(e.full_decisions) for e in resumed.executions()}
+        assert visited | remaining == everything
+        assert not (visited & remaining)
+        assert resumed.total_executions == len(everything)
 
     def test_from_checkpoint_validates_process_count(self):
         checkpoint = Checkpoint(n_processes=5, frontier=[[]])

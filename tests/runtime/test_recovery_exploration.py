@@ -1,0 +1,226 @@
+"""Tests for the crash-recovery adversary: ``RECOVER_CHOICE`` decisions,
+``merge_fault_decisions``, amnesia semantics, and explorer branching with
+``max_recoveries``."""
+
+import pytest
+
+from repro.objects.register import RegisterSpec
+from repro.runtime.execution import (
+    CRASH_CHOICE,
+    RECOVER_CHOICE,
+    merge_fault_decisions,
+)
+from repro.runtime.explorer import Explorer
+from repro.runtime.ops import invoke
+from repro.runtime.process import ProcessStatus
+from repro.runtime.scheduler import ScriptedScheduler
+from repro.runtime.system import SystemSpec
+
+FAULTS = (CRASH_CHOICE, RECOVER_CHOICE)
+
+
+def two_step_spec(n_processes: int = 2):
+    def program(pid):
+        def run():
+            yield invoke("r", "write", pid)
+            seen = yield invoke("r", "read")
+            return seen
+
+        return run
+
+    return SystemSpec({"r": RegisterSpec()}, [program(p) for p in range(n_processes)])
+
+
+class TestSentinels:
+    def test_recover_choice_is_distinct_negative_sentinel(self):
+        assert RECOVER_CHOICE == -2
+        assert RECOVER_CHOICE != CRASH_CHOICE
+        assert RECOVER_CHOICE < 0  # never a real outcome choice
+
+
+class TestMergeFaultDecisions:
+    def test_crash_precedes_recovery_at_same_index(self):
+        merged = merge_fault_decisions(
+            [(1, 0)], crashes=[(0, 0)], recoveries=[(0, 0)]
+        )
+        assert merged == [(0, CRASH_CHOICE), (0, RECOVER_CHOICE), (1, 0)]
+
+    def test_same_pid_chain_sequences_by_liveness(self):
+        # crash p0, recover p0, crash p0 again — all between the same two
+        # steps.  A naive crashes-first merge would re-crash a dead pid.
+        merged = merge_fault_decisions(
+            [], crashes=[(0, 0), (0, 0)], recoveries=[(0, 0)]
+        )
+        assert merged == [
+            (0, CRASH_CHOICE),
+            (0, RECOVER_CHOICE),
+            (0, CRASH_CHOICE),
+        ]
+
+    def test_cross_pid_faults_drain_in_record_order(self):
+        merged = merge_fault_decisions(
+            [(2, 0)], crashes=[(0, 0), (0, 1)], recoveries=[(0, 1)]
+        )
+        assert merged == [
+            (0, CRASH_CHOICE),
+            (1, CRASH_CHOICE),
+            (1, RECOVER_CHOICE),
+            (2, 0),
+        ]
+
+    def test_recovery_of_never_crashed_pid_raises(self):
+        with pytest.raises(ValueError, match="not.*crashed"):
+            merge_fault_decisions([(0, 0)], crashes=[], recoveries=[(0, 1)])
+
+    def test_double_crash_raises(self):
+        with pytest.raises(ValueError, match="already crashed"):
+            merge_fault_decisions(
+                [], crashes=[(0, 0), (0, 0)], recoveries=[]
+            )
+
+
+class TestRecoverySemantics:
+    def test_amnesia_restarts_program_but_keeps_shared_state(self):
+        script = [
+            (0, 0),               # p0 writes 0
+            (0, CRASH_CHOICE),
+            (0, RECOVER_CHOICE),
+            (1, 0), (1, 0),       # p1 writes 1, reads 1
+            (0, 0), (0, 0),       # reborn p0 re-runs: writes 0, reads 0
+        ]
+        execution = two_step_spec().run(ScriptedScheduler(script))
+        assert execution.outputs == {0: 0, 1: 1}
+        assert execution.statuses[0] is ProcessStatus.DONE
+        assert execution.crashes == [(1, 0)]
+        assert execution.recoveries == [(1, 0)]
+        assert execution.recovered_pids() == [0]
+        # The reborn process re-did its write from scratch: the register
+        # saw p0's write twice (restart), not a resumed continuation.
+        writes = [s for s in execution.steps if s.operation.method == "write"]
+        assert [s.pid for s in writes] == [0, 1, 0]
+
+    def test_recover_is_noop_on_live_process(self):
+        system = two_step_spec().replay([(0, 0)])
+        system.recover(0)  # running, not crashed
+        assert system.trace.recoveries == []
+
+    def test_recover_is_noop_on_done_process(self):
+        system = two_step_spec().replay([(0, 0), (0, 0)])
+        system.recover(0)
+        assert system.trace.recoveries == []
+        assert system.trace.outputs[0] == 0
+
+    def test_full_decisions_replay_reproduces_recoveries(self):
+        script = [
+            (0, 0),
+            (0, CRASH_CHOICE),
+            (0, RECOVER_CHOICE),
+            (1, 0), (1, 0),
+            (0, 0), (0, 0),
+        ]
+        original = two_step_spec().run(ScriptedScheduler(script))
+        replayed = two_step_spec().replay(original.full_decisions).finalize()
+        assert replayed.full_decisions == original.full_decisions
+        assert replayed.recoveries == original.recoveries
+        assert replayed.statuses == original.statuses
+        assert replayed.outputs == original.outputs
+
+
+class TestRecoveryBranching:
+    def test_zero_recoveries_matches_crash_only_enumeration(self):
+        crash_only = {
+            tuple(e.full_decisions)
+            for e in Explorer(two_step_spec(), max_crashes=1).executions()
+        }
+        with_mode = {
+            tuple(e.full_decisions)
+            for e in Explorer(
+                two_step_spec(), max_crashes=1, max_recoveries=0
+            ).executions()
+        }
+        assert crash_only == with_mode == {
+            tuple(e.full_decisions)
+            for e in Explorer(
+                two_step_spec(), max_crashes=1, max_recoveries=1
+            ).executions()
+            if not e.recoveries
+        }
+
+    def test_recovery_requires_a_prior_crash(self):
+        explorer = Explorer(two_step_spec(), max_crashes=1, max_recoveries=1)
+        saw_recovery = False
+        for execution in explorer.executions():
+            crashed = set()
+            for pid, choice in execution.full_decisions:
+                if choice == CRASH_CHOICE:
+                    assert pid not in crashed
+                    crashed.add(pid)
+                elif choice == RECOVER_CHOICE:
+                    saw_recovery = True
+                    assert pid in crashed
+                    crashed.discard(pid)
+        assert saw_recovery
+
+    def test_recovered_process_can_finish(self):
+        finished_after_rebirth = [
+            e
+            for e in Explorer(
+                two_step_spec(), max_crashes=1, max_recoveries=1
+            ).executions()
+            if e.recoveries
+            and all(
+                e.statuses[pid] is ProcessStatus.DONE
+                for pid in e.recovered_pids()
+            )
+        ]
+        assert finished_after_rebirth
+
+    def test_no_duplicate_executions(self):
+        seen = set()
+        explorer = Explorer(two_step_spec(), max_crashes=2, max_recoveries=2)
+        for execution in explorer.executions():
+            key = tuple(execution.full_decisions)
+            assert key not in seen, f"duplicate execution {key}"
+            seen.add(key)
+
+    def test_commuting_fault_orders_explored_once(self):
+        """Canonical fault ordering (non-decreasing pids within a run of
+        consecutive fault decisions) prunes commuting permutations: every
+        (steps, crash records, recovery records) triple appears exactly
+        once even with three processes and mixed fault budgets."""
+        seen = set()
+        explorer = Explorer(two_step_spec(3), max_crashes=2, max_recoveries=1)
+        for execution in explorer.executions():
+            key = (
+                tuple(execution.decisions),
+                tuple(execution.crashes),
+                tuple(execution.recoveries),
+            )
+            assert key not in seen, f"duplicate execution {key}"
+            seen.add(key)
+
+    def test_recoveries_injected_stat_counts_branches(self):
+        explorer = Explorer(two_step_spec(), max_crashes=1, max_recoveries=1)
+        total = sum(len(e.recoveries) for e in explorer.executions())
+        assert explorer.stats.recoveries_injected > 0
+        assert total > 0
+
+    def test_max_recoveries_caps_revivals(self):
+        explorer = Explorer(two_step_spec(), max_crashes=2, max_recoveries=1)
+        for execution in explorer.executions():
+            assert len(execution.recoveries) <= 1
+
+    def test_deterministic_enumeration_order(self):
+        first = [
+            tuple(e.full_decisions)
+            for e in Explorer(
+                two_step_spec(), max_crashes=1, max_recoveries=1
+            ).executions()
+        ]
+        second = [
+            tuple(e.full_decisions)
+            for e in Explorer(
+                two_step_spec(), max_crashes=1, max_recoveries=1
+            ).executions()
+        ]
+        assert first == second

@@ -122,6 +122,77 @@ class TestMetadata:
         assert describe_scheduler(Bare()) == "Bare"
 
 
+class TestRecoveries:
+    def election_run(self):
+        from repro.algorithms.election import announce_election_spec
+        from repro.runtime.execution import CRASH_CHOICE, RECOVER_CHOICE
+
+        script = [
+            (0, 0),
+            (0, CRASH_CHOICE),
+            (0, RECOVER_CHOICE),
+            (0, 0), (0, 0),
+            (1, 0), (1, 0),
+        ]
+        spec = announce_election_spec(2)
+        return spec, spec.run(ScriptedScheduler(script))
+
+    def test_recoveries_round_trip(self):
+        spec, execution = self.election_run()
+        trace = trace_to_dict(execution, label="zero-leader")
+        assert trace["recoveries"] == [[1, 0]]
+        from repro.algorithms.election import announce_election_spec
+
+        replayed = replay_trace(announce_election_spec(2), trace)
+        assert replayed.recoveries == execution.recoveries
+        assert replayed.crashes == execution.crashes
+        assert replayed.outputs == execution.outputs == {0: "F", 1: "F"}
+        assert replayed.statuses == execution.statuses
+
+    def test_recovery_free_traces_carry_no_key(self):
+        """Files from recovery-free runs are byte-identical to the ones
+        older code wrote: the ``recoveries`` key appears only when
+        non-empty."""
+        spec = family_fixture()
+        execution = spec.run(RandomScheduler(3))
+        trace = trace_to_dict(execution)
+        assert "recoveries" not in trace
+
+    def test_stale_fingerprint_with_recoveries_rejected(self):
+        """Strict read: a trace carrying recovery records whose
+        fingerprint no longer matches the replayed outcome is refused —
+        silently resurrecting processes against a drifted spec would be
+        worse than failing."""
+        spec, execution = self.election_run()
+        trace = trace_to_dict(execution)
+        trace["fingerprint"] = "0:done:'L'|1:done:'F'"
+        from repro.algorithms.election import announce_election_spec
+
+        with pytest.raises(ProtocolError, match="diverges"):
+            replay_trace(announce_election_spec(2), trace)
+
+    def test_recovery_of_never_crashed_pid_rejected(self):
+        """A corrupt trace whose recoveries reference a pid with no prior
+        crash fails with a clear format error, not a replay-time crash."""
+        spec, execution = self.election_run()
+        trace = trace_to_dict(execution)
+        del trace["crashes"]
+        from repro.algorithms.election import announce_election_spec
+
+        with pytest.raises(ProtocolError, match="internally inconsistent"):
+            replay_trace(announce_election_spec(2), trace)
+
+    def test_recovery_records_must_be_consistent_even_unfingerprinted(self):
+        spec, execution = self.election_run()
+        trace = trace_to_dict(execution)
+        del trace["crashes"]
+        del trace["fingerprint"]
+        from repro.algorithms.election import announce_election_spec
+
+        with pytest.raises(ProtocolError, match="internally inconsistent"):
+            replay_trace(announce_election_spec(2), trace)
+
+
 class TestGuards:
     def test_format_marker_checked(self):
         spec = family_fixture()
