@@ -279,8 +279,11 @@ def cmd_explore(args) -> int:
         checkpoint=explorer.checkpoint_path,
     )
     try:
-        for _execution in explorer.executions():
-            pass
+        # A span of its own (under the root "command" span) so a stitched
+        # job trace separates exploration proper from CLI setup/teardown.
+        with span("explore", task=task, n=n, k=k):
+            for _execution in explorer.executions():
+                pass
     except KeyboardInterrupt:
         run_ledger.annotate(
             interrupted="SIGINT", executions=explorer.total_executions
@@ -550,6 +553,18 @@ def cmd_explain(args) -> int:
         args.target,
         shrink=not args.no_shrink,
         html_out=args.html,
+        ledger_path=args.ledger,
+    )
+
+
+def cmd_trace_show(args) -> int:
+    from repro.obs.trace_view import run_trace_show
+
+    return run_trace_show(
+        args.target,
+        html_out=args.html,
+        jsonl_out=args.jsonl,
+        as_json=args.json,
         ledger_path=args.ledger,
     )
 
@@ -917,6 +932,44 @@ def build_parser() -> argparse.ArgumentParser:
         runs_parser.set_defaults(
             func=handler, handles_obs_flags=True, skip_ledger_record=True
         )
+
+    trace = sub.add_parser(
+        "trace", help="inspect stitched causal traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_sub.add_parser(
+        "show",
+        help="stitch a job's daemon + worker traces (or a ledger run's "
+        "resume chain) and print the critical-path waterfall",
+    )
+    trace_show.add_argument(
+        "target",
+        help="a service job directory (containing trace-daemon.jsonl / "
+        "trace-N.jsonl), a single trace file, or a ledger run id "
+        "(unique prefix accepted; its whole resume chain is stitched)",
+    )
+    trace_show.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="also write the waterfall as a standalone HTML page",
+    )
+    trace_show.add_argument(
+        "--jsonl", metavar="FILE", default=None,
+        help="also write the stitched tree as flat JSONL "
+        "(repro-stitched-trace/1)",
+    )
+    trace_show.add_argument(
+        "--json", action="store_true",
+        help="print the stitched tree as JSON instead of the ASCII "
+        "waterfall",
+    )
+    trace_show.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="resolve run-id targets against this ledger instead of the "
+        "default",
+    )
+    trace_show.set_defaults(
+        func=cmd_trace_show, handles_obs_flags=True, skip_ledger_record=True
+    )
 
     serve = sub.add_parser(
         "serve",

@@ -22,6 +22,7 @@ checkpoint round-trip problem.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.algorithms.bg_simulation import simulation_spec, write_scan_protocol
@@ -42,8 +43,11 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7, help="chaos base seed")
     parser.add_argument("--runs", type=int, default=10, help="chaos runs")
     parser.add_argument(
-        "--checkpoint", metavar="FILE", default="fault-smoke-checkpoint.jsonl",
-        help="checkpoint file written by the exhaustive phase",
+        "--checkpoint", metavar="FILE",
+        default=os.path.join(".repro", "fault-smoke-checkpoint.jsonl"),
+        help="checkpoint file written by the exhaustive phase "
+        "(default .repro/fault-smoke-checkpoint.jsonl — under the repro "
+        "scratch dir, not the CWD)",
     )
     parser.add_argument(
         "--serve", nargs="?", const=0, type=int, default=None, metavar="PORT",

@@ -1,13 +1,15 @@
-"""Content-addressed hashing shared by witness bundles and the state audit.
+"""Content-addressed hashing shared by witnesses, the state audit, and spans.
 
-One hashing convention, two consumers.  :mod:`repro.obs.witness` names
+One hashing convention, three consumers.  :mod:`repro.obs.witness` names
 bundle files by a digest of the deciding execution;
 :mod:`repro.obs.audit` fingerprints every *configuration* the explorer
-visits to measure how much of the schedule tree revisits known states.
-Keeping both on the same helper means bundle ids and audit state hashes
-cannot drift apart — and the configuration fingerprint defined here is
-the exact key a future state-fingerprint cache would use (see ROADMAP,
-"make the hot loop 10x faster").
+visits to measure how much of the schedule tree revisits known states;
+:mod:`repro.obs.spans` mints deterministic span/trace ids from
+:func:`content_id` so causal traces stitch identically live and on
+replay.  Keeping all three on the same helper means bundle ids, audit
+state hashes, and span ids cannot drift apart — and the configuration
+fingerprint defined here is the exact key a future state-fingerprint
+cache would use (see ROADMAP, "make the hot loop 10x faster").
 
 A configuration is hashed from its structured snapshot
 (:meth:`repro.runtime.system.System.configuration`): shared-object states

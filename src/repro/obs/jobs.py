@@ -33,6 +33,15 @@ Everything the HTTP side needs is exposed as snapshots: job state under
 one lock, progress by tailing the worker's JSONL trace for
 ``explore_heartbeat`` events (:class:`TraceTail` — file reads only,
 never a lock a worker could hold).  See docs/SERVICE.md.
+
+Causal tracing: every job also gets a daemon-side trace
+(``trace-daemon.jsonl``, written by :class:`JobTrace`) holding the spans
+only the supervisor can see — the job envelope, ``queue_wait``, each
+``attempt_N``, and the ``resume_gap`` between a crash and its resume.
+Each attempt's span id is exported to the worker via the
+``REPRO_TRACEPARENT`` environment variable, so the worker's own spans
+root under their attempt; :mod:`repro.obs.trace_view` stitches the lot
+into one causal tree per job.
 """
 
 from __future__ import annotations
@@ -49,7 +58,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.faults.checkpoint import peek_checkpoint
 from repro.fsutil import ensure_parent
+from repro.obs import fingerprint as _fingerprint
 from repro.obs import ledger as run_ledger
+from repro.obs import trace_view as _trace_view
+from repro.obs.spans import TRACEPARENT_ENV, derive_span_id, format_traceparent
 
 # -- job states --------------------------------------------------------
 QUEUED = "queued"
@@ -236,6 +248,82 @@ class TraceTail:
             return out
 
 
+class JobTrace:
+    """Daemon-side span writer for one job.
+
+    Appends the same ``span_start``/``span_end`` JSONL records a
+    worker's ``--trace-out`` sink writes, so
+    :mod:`repro.obs.trace_view` stitches daemon and worker files without
+    special cases.  Identity is deterministic — ``trace_id`` is the
+    content address of the job id, span ids come from
+    :func:`repro.obs.spans.derive_span_id` — while ``seconds`` on
+    ``span_end`` is measured wall time (the only non-deterministic field
+    in the trace, and the one the waterfall exists to show).  A span
+    whose ``finish`` never comes (daemon killed mid-job) is simply left
+    open; the stitcher renders it unclosed.  Write failures are
+    swallowed: tracing must never take down the supervisor.
+    """
+
+    def __init__(self, path: str, job_id: str):
+        self.path = path
+        self.trace_id = _fingerprint.content_id({"job": job_id})
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._count = 0
+        #: open spans: span_id -> (name, parent_id, perf_counter start)
+        self._open: Dict[str, Tuple[str, Optional[str], float]] = {}
+
+    def begin(
+        self, name: str, parent_id: Optional[str] = None, **fields: Any
+    ) -> str:
+        with self._lock:
+            span_id = derive_span_id(name, self._seq, self.trace_id, parent_id)
+            self._seq += 1
+            self._open[span_id] = (name, parent_id, time.perf_counter())
+            self._emit(
+                "span_start",
+                span=name,
+                span_id=span_id,
+                parent_id=parent_id,
+                trace_id=self.trace_id,
+                **fields,
+            )
+        return span_id
+
+    def finish(
+        self, span_id: Optional[str], error: Optional[str] = None
+    ) -> None:
+        """Close an open span (no-op for ``None`` or an unknown id, so
+        callers need not track which error path already closed what)."""
+        if span_id is None:
+            return
+        with self._lock:
+            opened = self._open.pop(span_id, None)
+            if opened is None:
+                return
+            name, parent_id, started = opened
+            self._emit(
+                "span_end",
+                span=name,
+                seconds=time.perf_counter() - started,
+                error=error,
+                span_id=span_id,
+                parent_id=parent_id,
+                trace_id=self.trace_id,
+            )
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        # Caller holds self._lock (keeps "i" ordered with the spans).
+        record: Dict[str, Any] = {"i": self._count, "event": event}
+        record.update(fields)
+        self._count += 1
+        try:
+            with open(ensure_parent(self.path), "a", encoding="utf-8") as f:
+                f.write(json.dumps(record, default=repr) + "\n")
+        except OSError:
+            pass
+
+
 @dataclass
 class Job:
     """One submitted exploration and everything known about it."""
@@ -258,10 +346,18 @@ class Job:
     pid: Optional[int] = None
     drain_requested: bool = False
     tail: TraceTail = field(default_factory=TraceTail)
+    #: Daemon-side causal trace (None only for hand-built test Jobs).
+    trace: Optional[JobTrace] = None
+    job_span: Optional[str] = None
+    queue_span: Optional[str] = None
 
     @property
     def checkpoint_path(self) -> str:
         return os.path.join(self.job_dir, "checkpoint.jsonl")
+
+    @property
+    def daemon_trace_path(self) -> str:
+        return os.path.join(self.job_dir, _trace_view.DAEMON_TRACE)
 
     @property
     def worker_log(self) -> str:
@@ -314,6 +410,8 @@ class JobManager:
         self._procs: Dict[str, subprocess.Popen] = {}
         self._draining = False
         self._closed = False
+        #: stitched-trace cache: job id -> (per-file sizes key, trace)
+        self._trace_cache: Dict[str, Tuple[Any, _trace_view.StitchedTrace]] = {}
         self._seq = self._initial_seq()
         self._threads = [
             threading.Thread(
@@ -359,6 +457,13 @@ class JobManager:
                 job_dir=os.path.join(self.jobs_dir, job_id),
             )
             os.makedirs(job.job_dir, exist_ok=True)
+            job.trace = JobTrace(job.daemon_trace_path, job_id)
+            job.job_span = job.trace.begin(
+                "job", job=job_id, task=spec.task, n=spec.n, k=spec.k
+            )
+            job.queue_span = job.trace.begin(
+                "queue_wait", parent_id=job.job_span
+            )
             self._jobs[job_id] = job
             self._queue.append(job_id)
             self._wakeup.notify()
@@ -419,6 +524,8 @@ class JobManager:
                 job = self._jobs[job_id]
                 job.state = RUNNING
                 job.started_at = time.time()
+            if job.trace is not None:
+                job.trace.finish(job.queue_span)
             try:
                 self._run_job(job)
             except Exception as error:  # supervisor bugs land as ERROR, loudly
@@ -426,9 +533,13 @@ class JobManager:
                     job.state = ERROR
                     job.error = f"supervisor failure: {error!r}"
                     job.finished_at = time.time()
+                if job.trace is not None:
+                    job.trace.finish(job.job_span, error="supervisor_failure")
 
     def _run_job(self, job: Job) -> None:
         crashes = 0
+        trace = job.trace
+        resume_span: Optional[str] = None
         while True:
             checkpoint = peek_checkpoint(job.checkpoint_path)
             resume = checkpoint is not None and not checkpoint.done
@@ -443,11 +554,28 @@ class JobManager:
             if checkpoint is not None and checkpoint.done:
                 # Nothing left to explore: the dead worker finished the
                 # walk but was killed before exiting cleanly.
+                if trace is not None:
+                    trace.finish(resume_span)
                 self._finish(job, verdict="proved", exit_code=0)
                 return
             with self._lock:
                 job.attempts += 1
                 attempt = job.attempts
+            attempt_span: Optional[str] = None
+            env = self._worker_env()
+            if trace is not None:
+                # The resume gap ends the instant the next attempt begins.
+                trace.finish(resume_span)
+                resume_span = None
+                attempt_span = trace.begin(
+                    f"attempt_{attempt}",
+                    parent_id=job.job_span,
+                    resume=resume,
+                )
+                # Root the worker's whole trace under this attempt span.
+                env[TRACEPARENT_ENV] = format_traceparent(
+                    trace.trace_id, attempt_span
+                )
             argv = self.worker_prefix + self.worker_argv(job, resume=resume)
             ensure_parent(job.worker_log)
             with open(job.worker_log, "a", encoding="utf-8") as log:
@@ -458,7 +586,7 @@ class JobManager:
                         argv,
                         stdout=log,
                         stderr=subprocess.STDOUT,
-                        env=self._worker_env(),
+                        env=env,
                         cwd=self.data_dir,
                     )
                 except OSError as error:
@@ -466,6 +594,9 @@ class JobManager:
                         job.state = ERROR
                         job.error = f"cannot spawn worker: {error}"
                         job.finished_at = time.time()
+                    if trace is not None:
+                        trace.finish(attempt_span, error="spawn_failed")
+                        trace.finish(job.job_span, error="spawn_failed")
                     return
                 with self._lock:
                     job.pid = proc.pid
@@ -476,6 +607,15 @@ class JobManager:
                     with self._lock:
                         job.pid = None
                         self._procs.pop(job.id, None)
+            if trace is not None:
+                trace.finish(
+                    attempt_span,
+                    error=(
+                        None
+                        if returncode in VERDICT_EXITS
+                        else f"exit_{returncode}"
+                    ),
+                )
             with self._lock:
                 job.exit_codes.append(returncode)
                 drained = job.drain_requested
@@ -489,6 +629,8 @@ class JobManager:
                     job.state = INTERRUPTED
                     job.error = "daemon drained; resume from the checkpoint"
                     job.finished_at = time.time()
+                if trace is not None:
+                    trace.finish(job.job_span, error="interrupted")
                 return
             if returncode in VERDICT_EXITS:
                 self._finish(
@@ -506,8 +648,18 @@ class JobManager:
                         f"(last exit {returncode}); retries exhausted"
                     )
                     job.finished_at = time.time()
+                if trace is not None:
+                    trace.finish(job.job_span, error="retries_exhausted")
                 return
-            # else: loop — resume from the checkpoint if one exists.
+            # else: loop — resume from the checkpoint if one exists.  The
+            # gap between the crash and the respawn is real wall time the
+            # job loses; span it so the waterfall shows it.
+            if trace is not None:
+                resume_span = trace.begin(
+                    "resume_gap",
+                    parent_id=job.job_span,
+                    after_attempt=attempt,
+                )
 
     def _finish(self, job: Job, verdict: str, exit_code: int) -> None:
         with self._lock:
@@ -516,6 +668,8 @@ class JobManager:
             job.finished_at = time.time()
             if not job.exit_codes or job.exit_codes[-1] != exit_code:
                 job.exit_codes.append(exit_code)
+        if job.trace is not None:
+            job.trace.finish(job.job_span)
 
     # -- reading -------------------------------------------------------
     def _snapshot_locked(self, job: Job) -> Dict[str, Any]:
@@ -571,6 +725,58 @@ class JobManager:
     def read_ledger(self) -> Tuple[List[Dict[str, Any]], int]:
         """The daemon's ledger (every worker appends here)."""
         return run_ledger.read_ledger(self.ledger_path)
+
+    def stitched_trace(self, job_id: str) -> Optional[_trace_view.StitchedTrace]:
+        """The job's stitched causal trace (daemon + all worker attempts),
+        or ``None`` for an unknown job.
+
+        Cached per job, keyed on the trace files and their sizes, so
+        repeated dashboard/metrics reads of a finished job stitch once —
+        and a still-running job restitches only when its traces grew.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            job_dir = job.job_dir
+        files = _trace_view.job_dir_trace_files(job_dir)
+        key = []
+        for path in files:
+            try:
+                key.append((path, os.path.getsize(path)))
+            except OSError:
+                key.append((path, -1))
+        cache_key = tuple(key)
+        with self._lock:
+            cached = self._trace_cache.get(job_id)
+            if cached is not None and cached[0] == cache_key:
+                return cached[1]
+        trace = _trace_view.stitch_files(files)  # file reads; no lock held
+        with self._lock:
+            self._trace_cache[job_id] = (cache_key, trace)
+        return trace
+
+    def trace_totals(self) -> Tuple[int, Dict[str, float]]:
+        """``(stitched span count, self-seconds per span name)`` summed
+        over finished jobs — the ``trace_spans_total`` /
+        ``span_self_seconds`` Prometheus samples.  Finished jobs only:
+        their traces are immutable, so this is one cache hit per job."""
+        with self._lock:
+            final_ids = sorted(
+                job.id
+                for job in self._jobs.values()
+                if job.state in FINAL_STATES
+            )
+        total = 0
+        self_seconds: Dict[str, float] = {}
+        for job_id in final_ids:
+            trace = self.stitched_trace(job_id)
+            if trace is None:
+                continue
+            total += trace.span_count
+            for name, seconds in trace.self_seconds_by_name().items():
+                self_seconds[name] = self_seconds.get(name, 0.0) + seconds
+        return total, self_seconds
 
     @property
     def draining(self) -> bool:

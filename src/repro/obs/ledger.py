@@ -143,6 +143,49 @@ def find_record(
     return matches[-1]
 
 
+def resume_chain(
+    records: List[Dict[str, Any]], run_id: str
+) -> List[Dict[str, Any]]:
+    """The full resume chain through ``run_id``, oldest first.
+
+    Walks ``parent_run_id`` links backwards from the given run and then
+    forwards (records whose ``parent_run_id`` names the current run), so
+    any link of a multi-session exploration resolves the whole chain.
+    A parent id with no surviving record (a SIGKILLed worker writes its
+    run id only into the checkpoint header, never the ledger) terminates
+    the backward walk rather than erroring — the missing attempt still
+    shows up in the next record's ``parent_run_id`` field.
+
+    Raises ``ValueError`` (via :func:`find_record`) when ``run_id`` is
+    unknown or an ambiguous prefix.
+    """
+    record = find_record(records, run_id)
+    by_id = {r.get("run_id"): r for r in records if r.get("run_id")}
+    chain = [record]
+    seen = {record.get("run_id")}
+    current = record
+    while True:  # backwards to the chain's oldest surviving record
+        parent = current.get("parent_run_id")
+        if not parent or parent in seen or parent not in by_id:
+            break
+        current = by_id[parent]
+        seen.add(parent)
+        chain.insert(0, current)
+    current = record
+    while True:  # forwards to the newest resume
+        successors = [
+            r for r in records
+            if r.get("parent_run_id") == current.get("run_id")
+            and r.get("run_id") not in seen
+        ]
+        if not successors:
+            break
+        current = successors[0]
+        seen.add(current.get("run_id"))
+        chain.append(current)
+    return chain
+
+
 # ----------------------------------------------------------------------
 # The current run (CLI wiring)
 # ----------------------------------------------------------------------

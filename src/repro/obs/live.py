@@ -6,7 +6,9 @@ ephemeral port on 127.0.0.1, printed at startup).  Three endpoints:
 
 ``GET /status``
     JSON snapshot of the run: command and argv, run id, uptime, open
-    span stack, live counters (steps, schedules, runs, states, faults),
+    span stack, per-span duration breakdown (``spans`` — count and total
+    seconds per span name, closed spans only),
+    live counters (steps, schedules, runs, states, faults),
     verdict tallies, the latest explorer heartbeat (executions done,
     frontier size, execution rate, coverage and ETA — absent until the
     first heartbeat), suite progress, budget state, last checkpoint,
@@ -84,6 +86,8 @@ class StatusBoard:
         self._started = time.monotonic()
         self._counters: Dict[str, int] = {}
         self._spans: List[str] = []
+        #: closed-span totals: name -> [count, total seconds]
+        self._span_totals: Dict[str, List[float]] = {}
         self._verdicts: Dict[str, int] = {}
         self._heartbeat: Optional[Dict[str, Any]] = None
         self._suite: Optional[Dict[str, Any]] = None
@@ -113,6 +117,13 @@ class StatusBoard:
                         if self._spans[index] == span:
                             del self._spans[index]
                             break
+                seconds = fields.get("seconds")
+                if isinstance(seconds, (int, float)) and not isinstance(
+                    seconds, bool
+                ):
+                    total = self._span_totals.setdefault(span, [0, 0.0])
+                    total[0] += 1
+                    total[1] += float(seconds)
             elif name == "run_verdict":
                 verdict = str(fields.get("verdict", "unknown"))
                 self._verdicts[verdict] = self._verdicts.get(verdict, 0) + 1
@@ -151,6 +162,15 @@ class StatusBoard:
                 "counters": dict(self._counters),
                 "verdicts": dict(self._verdicts),
             }
+            if self._span_totals:
+                # Per-phase duration breakdown (closed spans only): how
+                # the command's wall time splits across its span names.
+                payload["spans"] = {
+                    name: {"count": int(count), "seconds": round(seconds, 6)}
+                    for name, (count, seconds) in sorted(
+                        self._span_totals.items()
+                    )
+                }
             if self._heartbeat is not None:
                 payload["explore"] = dict(self._heartbeat)
             if self._suite is not None:

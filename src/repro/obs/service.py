@@ -29,6 +29,12 @@ Endpoints
     one ``data:`` line per bus event).  ``?follow=0`` dumps what exists
     and closes (CI-friendly); the default follows until the job reaches
     a final state.
+``GET /jobs/<id>/trace``
+    The job's stitched causal trace (daemon spans + every worker
+    attempt, joined on span ids by :mod:`repro.obs.trace_view`).
+    JSON tree by default; ``?format=html`` renders the waterfall page,
+    ``?format=text`` the byte-stable ASCII waterfall ``repro trace
+    show`` prints.
 ``GET /metrics``
     Daemon-wide Prometheus text: uptime, jobs per state, per-job
     executions/rate gauges, ledger verdict tallies, witness count.
@@ -57,6 +63,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.obs import explain as _explain
 from repro.obs import ledger as _ledger
+from repro.obs import trace_view as _trace_view
 from repro.obs import witness as _witness
 from repro.obs.jobs import FINAL_STATES, JobManager
 from repro.obs.live import EventRing, SnapshotHandler, parse_tail_count
@@ -187,6 +194,22 @@ def render_service_metrics(manager: JobManager, ring: EventRing) -> str:
         "Witness bundles archived under the data dir.",
         [("", len(_list_witnesses(manager.witness_dir)))],
     )
+    span_total, span_self = manager.trace_totals()
+    gauge(
+        "repro_service_trace_spans_total",
+        "Spans in the stitched causal traces of finished jobs.",
+        [("", span_total)],
+    )
+    if span_self:
+        gauge(
+            "repro_service_span_self_seconds",
+            "Self time (excluding children) per span name, summed over "
+            "finished jobs' stitched traces.",
+            [
+                (f'{{span="{name}"}}', round(seconds, 6))
+                for name, seconds in sorted(span_self.items())
+            ],
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -195,6 +218,7 @@ def render_service_metrics(manager: JobManager, ring: EventRing) -> str:
 # ----------------------------------------------------------------------
 _DASH_CSS = (
     BASE_CSS
+    + _trace_view.WATERFALL_CSS
     + """
 .state-queued { color: #777; } .state-running { color: #1565c0; }
 .state-done { color: #2e7d32; } .state-error { color: #c62828; }
@@ -234,6 +258,7 @@ def _job_row(snap: Dict[str, Any]) -> str:
         f"<td>{verdict or '—'}</td>"
         f"<td class=\"num\">{snap.get('attempts', 0)}</td>"
         f"<td>{escape(progress) or '—'}</td>"
+        f"<td><a href=\"/jobs/{escape(snap['id'])}/trace?format=html\">trace</a></td>"
         "</tr>"
     )
 
@@ -262,7 +287,8 @@ def render_dashboard(manager: JobManager, ring: EventRing) -> str:
     if jobs:
         parts.append(
             "<table><tr><th>job</th><th>instance</th><th>state</th>"
-            "<th>verdict</th><th class=\"num\">attempts</th><th>progress</th></tr>"
+            "<th>verdict</th><th class=\"num\">attempts</th><th>progress</th>"
+            "<th>trace</th></tr>"
         )
         parts.extend(_job_row(snap) for snap in jobs)
         parts.append("</table>")
@@ -272,6 +298,19 @@ def render_dashboard(manager: JobManager, ring: EventRing) -> str:
             "<pre><code>curl -X POST localhost:PORT/jobs -d "
             "'{\"task\": \"consensus\", \"n\": 2, \"k\": 1}'</code></pre>"
         )
+    # Waterfall of the most recently finished job: the causal timeline
+    # (queue wait → attempts → resume gaps → worker phases) at a glance.
+    finished = [j for j in jobs if j.get("state") in FINAL_STATES]
+    if finished:
+        latest = max(finished, key=lambda j: str(j.get("finished_at") or ""))
+        trace = manager.stitched_trace(latest["id"])
+        if trace is not None and trace.spans:
+            parts.append(
+                f"<h2>Trace — {escape(latest['id'])} "
+                f"<a href=\"/jobs/{escape(latest['id'])}/trace?format=html\">"
+                "(full page)</a></h2>"
+            )
+            parts.append(_trace_view.waterfall_section(trace, max_rows=40))
     parts.append("<h2>Recent runs</h2>")
     if records:
         parts.append(
@@ -373,6 +412,8 @@ class ServiceHandler(SnapshotHandler):
                 self._get_job(parts[1])
             elif parts[0] == "jobs" and len(parts) == 3 and parts[2] == "events":
                 self._stream_job_events(parts[1], query)
+            elif parts[0] == "jobs" and len(parts) == 3 and parts[2] == "trace":
+                self._get_job_trace(parts[1], query)
             elif parsed.path == "/metrics":
                 self._send_text(
                     render_service_metrics(self.manager, self.server.ring),  # type: ignore[attr-defined]
@@ -406,6 +447,30 @@ class ServiceHandler(SnapshotHandler):
             self._send_json_error(404, f"no job {job_id!r}")
             return
         self._send_json(snapshot)
+
+    def _get_job_trace(self, job_id: str, query: Dict[str, List[str]]) -> None:
+        """``GET /jobs/<id>/trace``: the stitched causal tree."""
+        trace = self.manager.stitched_trace(job_id)
+        if trace is None:
+            self._send_json_error(404, f"no job {job_id!r}")
+            return
+        fmt = query.get("format", ["json"])[0]
+        if fmt == "html":
+            self._send_text(
+                _trace_view.waterfall_page(trace, title=f"trace — {job_id}"),
+                "text/html; charset=utf-8",
+            )
+        elif fmt == "text":
+            self._send_text(
+                _trace_view.render_ascii(trace) + "\n",
+                "text/plain; charset=utf-8",
+            )
+        elif fmt == "json":
+            self._send_json(_trace_view.trace_as_dict(trace))
+        else:
+            self._send_json_error(
+                400, f"unknown trace format {fmt!r} (json, text, html)"
+            )
 
     def _get_daemon_events(self, query: Dict[str, List[str]]) -> None:
         try:

@@ -15,23 +15,144 @@ Usage::
 
 Spans nest; :func:`current_span` exposes the innermost open span, and
 each ``span_*`` event carries its nesting ``depth``.
+
+Causal identity
+---------------
+Every span carries three ids (emitted on both ``span_*`` events):
+
+``span_id``
+    Content address of ``(trace_id, parent_id, sequence, name)`` via
+    :func:`repro.obs.fingerprint.content_id` — the sequence number is
+    the process's trace-local span counter.  No wall clock, no RNG:
+    two identical runs mint identical ids, so a live trace and its
+    replay stitch into the same tree.
+``parent_id``
+    The enclosing open span's id — or, for the outermost span, the
+    parent adopted from the ``REPRO_TRACEPARENT`` environment variable
+    (``<trace_id>-<span_id>``, Dapper/W3C-traceparent style).  That is
+    how a ``repro serve`` worker subprocess roots its whole trace under
+    the daemon's per-attempt span (see :mod:`repro.obs.jobs`).
+``trace_id``
+    Inherited from ``REPRO_TRACEPARENT`` when present; otherwise the
+    first span of the process names the trace (its own ``span_id``).
+
+:mod:`repro.obs.trace_view` stitches the resulting JSONL traces from a
+daemon and all its worker attempts into one causal tree.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import events as _events
+from repro.obs import fingerprint as _fingerprint
 from repro.obs import metrics as _metrics
 
+#: Environment variable carrying trace context across process spawns
+#: (``<trace_id>-<parent_span_id>``; see :func:`format_traceparent`).
+TRACEPARENT_ENV = "REPRO_TRACEPARENT"
+
+#: Hex digits in a span/trace id (:func:`fingerprint.content_id` default).
+ID_LENGTH = 12
+
 _stack: List["Span"] = []
+
+
+def derive_span_id(
+    name: str, seq: int, trace_id: Optional[str], parent_id: Optional[str]
+) -> str:
+    """Deterministic span id: content address of the identity tuple.
+
+    ``seq`` is the minting process's trace-local counter, so ids within
+    one process never collide; two *processes* sharing a trace (e.g. a
+    crashed worker and its resume) both count from zero but hang off
+    different parent spans, and the parent id in the hash keeps their
+    subtrees distinct.
+    """
+    return _fingerprint.content_id(
+        {"name": name, "parent": parent_id, "seq": seq, "trace": trace_id},
+        length=ID_LENGTH,
+    )
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """Serialize trace context for ``REPRO_TRACEPARENT``."""
+    return f"{trace_id}-{span_id}"
+
+
+def parse_traceparent(text: Optional[str]) -> Optional[Tuple[str, str]]:
+    """Parse ``<trace_id>-<span_id>``; ``None`` on anything malformed.
+
+    Tolerant on purpose: a worker started with a corrupt variable runs
+    un-parented rather than refusing to run.
+    """
+    if not text:
+        return None
+    parts = text.strip().split("-")
+    if len(parts) != 2 or not all(parts):
+        return None
+    return parts[0], parts[1]
+
+
+class TraceContext:
+    """The process-wide trace identity: trace id, adopted root parent,
+    and the monotonically increasing span sequence counter."""
+
+    __slots__ = ("trace_id", "root_parent_id", "seq")
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        root_parent_id: Optional[str] = None,
+    ):
+        self.trace_id = trace_id
+        self.root_parent_id = root_parent_id
+        self.seq = 0
+
+    @classmethod
+    def from_environment(cls) -> "TraceContext":
+        parsed = parse_traceparent(os.environ.get(TRACEPARENT_ENV))
+        if parsed is None:
+            return cls()
+        return cls(trace_id=parsed[0], root_parent_id=parsed[1])
+
+    def allocate(self, name: str, parent_id: Optional[str]) -> str:
+        """Mint the next span id; the first span names an unnamed trace."""
+        span_id = derive_span_id(name, self.seq, self.trace_id, parent_id)
+        self.seq += 1
+        if self.trace_id is None:
+            self.trace_id = span_id
+        return span_id
+
+
+_context: Optional[TraceContext] = None
+
+
+def trace_context() -> TraceContext:
+    """The process trace context, created from the environment on first
+    use (so importing this module never reads ``os.environ``)."""
+    global _context
+    if _context is None:
+        _context = TraceContext.from_environment()
+    return _context
+
+
+def reset_trace_context() -> None:
+    """Drop the process trace context (tests; re-reads the environment
+    on the next span)."""
+    global _context
+    _context = None
 
 
 class Span:
     """One timed phase.  Use via the :func:`span` factory."""
 
-    __slots__ = ("name", "fields", "registry", "seconds", "_start")
+    __slots__ = (
+        "name", "fields", "registry", "seconds", "_start",
+        "span_id", "parent_id", "trace_id",
+    )
 
     def __init__(
         self,
@@ -44,18 +165,41 @@ class Span:
         self.registry = registry
         self.seconds: Optional[float] = None
         self._start: Optional[float] = None
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.trace_id: Optional[str] = None
 
     def __enter__(self) -> "Span":
+        context = trace_context()
+        self.parent_id = (
+            _stack[-1].span_id if _stack else context.root_parent_id
+        )
+        self.span_id = context.allocate(self.name, self.parent_id)
+        self.trace_id = context.trace_id
         self._start = time.perf_counter()
         _stack.append(self)
         if _events.is_enabled():
             _events.emit(
-                "span_start", span=self.name, depth=len(_stack) - 1, **self.fields
+                "span_start",
+                span=self.name,
+                depth=len(_stack) - 1,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                trace_id=self.trace_id,
+                **self.fields,
             )
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        assert self._start is not None, "span exited without entering"
+        if self._start is None:
+            # Exited without entering (a misuse an `assert` would catch
+            # only until `python -O` strips it): report, don't corrupt.
+            _events.emit(
+                "span_error",
+                span=self.name,
+                reason="exited without entering",
+            )
+            return
         self.seconds = time.perf_counter() - self._start
         if _stack and _stack[-1] is self:
             _stack.pop()
@@ -77,6 +221,9 @@ class Span:
                 seconds=self.seconds,
                 depth=len(_stack),
                 error=exc_type.__name__ if exc_type is not None else None,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                trace_id=self.trace_id,
                 **self.fields,
             )
 

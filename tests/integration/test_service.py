@@ -66,7 +66,9 @@ def prom_values(text, metric):
 
 
 class TestAcceptance:
-    def test_three_jobs_one_killed_resume_chain_and_metrics(self, tmp_path):
+    def test_three_jobs_one_killed_resume_chain_and_metrics(
+        self, tmp_path, capsys
+    ):
         session = serve_service(
             str(tmp_path / "data"), max_workers=3, max_retries=2
         )
@@ -148,6 +150,63 @@ class TestAcceptance:
             # The resumed exploration's executions line up: resume
             # visits exactly what the dead worker had not yet yielded.
             assert by_id[resumed_id]["executions"] == 21720
+
+            # -- causal trace: one stitched tree for the killed job ----
+            tree = get_json(session.url(f"/jobs/{job_c['id']}/trace"))
+            assert tree["orphans"] == 0
+            (root,) = tree["tree"]
+            assert root["span"] == "job"
+            child_names = [c["span"] for c in root["children"]]
+            assert child_names == [
+                "queue_wait", "attempt_1", "resume_gap", "attempt_2",
+            ]
+            by_name = {c["span"]: c for c in root["children"]}
+            # the killed attempt carries the SIGKILL exit, unclosed
+            # worker spans parented beneath it; the resumed attempt's
+            # worker tree closed cleanly.
+            assert by_name["attempt_1"]["error"] == "exit_-9"
+            for attempt in ("attempt_1", "attempt_2"):
+                (worker_root,) = by_name[attempt]["children"]
+                assert worker_root["span"] == "command"
+                assert worker_root["parent_id"] == by_name[attempt]["span_id"]
+                descendants = worker_root["children"]
+                assert any(d["span"] == "explore" for d in descendants)
+            killed_worker = by_name["attempt_1"]["children"][0]
+            assert killed_worker.get("unclosed") is True
+            resumed_worker = by_name["attempt_2"]["children"][0]
+            assert "unclosed" not in resumed_worker
+
+            # `repro trace show` is byte-identical across invocations.
+            from repro.__main__ import main as cli_main
+
+            job_dir = str(tmp_path / "data" / "jobs" / job_c["id"])
+            capsys.readouterr()
+            assert cli_main(["trace", "show", job_dir]) == 0
+            first = capsys.readouterr().out
+            assert cli_main(["trace", "show", job_dir]) == 0
+            second = capsys.readouterr().out
+            assert first == second
+            for landmark in (
+                "queue_wait", "attempt_1", "attempt_2", "resume_gap",
+            ):
+                assert landmark in first
+
+            # /metrics trace_spans_total agrees with the stitched trees.
+            _status, metrics, _headers = get(session.url("/metrics"))
+            span_total = prom_values(
+                metrics, "repro_service_trace_spans_total"
+            )
+            expected = sum(
+                get_json(session.url(f"/jobs/{j['id']}/trace"))["spans"]
+                for j in (job_a, job_b, job_c)
+            )
+            assert span_total[""] == float(expected)
+            assert tree["spans"] <= expected
+            self_seconds = prom_values(
+                metrics, "repro_service_span_self_seconds"
+            )
+            assert '{span="queue_wait"}' in self_seconds
+            assert '{span="explore"}' in self_seconds
         finally:
             session.close()
 
@@ -267,6 +326,32 @@ class TestEndpoints:
         assert any(e.get("event") == "schedule_explored" for e in events)
         assert "event: end" in body
         assert json.loads(data_lines[-1][len("data: "):])["verdict"] == "proved"
+
+    def test_trace_endpoint_formats(self, session):
+        final = self.finished_job(session)
+        tree = get_json(session.url(f"/jobs/{final['id']}/trace"))
+        assert tree["spans"] > 0
+        assert tree["tree"][0]["span"] == "job"
+        _status, text, _headers = get(
+            session.url(f"/jobs/{final['id']}/trace?format=text")
+        )
+        assert "queue_wait" in text
+        _status, html, _headers = get(
+            session.url(f"/jobs/{final['id']}/trace?format=html")
+        )
+        assert 'class="wf"' in html
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(session.url(f"/jobs/{final['id']}/trace?format=nope"))
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(session.url("/jobs/job-9999/trace"))
+        assert excinfo.value.code == 404
+
+    def test_dashboard_embeds_waterfall_for_finished_job(self, session):
+        self.finished_job(session)
+        _status, html, _headers = get(session.url("/"))
+        assert 'class="wf"' in html
+        assert "queue_wait" in html
 
     def test_witness_endpoints_serve_and_sanitize(self, session, tmp_path):
         from tests.integration.test_cli import TestWitnessAndExplain

@@ -1,21 +1,33 @@
-"""Tests for spans and the rate-limited progress reporter."""
+"""Tests for spans (timing + causal identity) and the progress reporter."""
 
 import io
 
 import pytest
 
 from repro.obs import events
+from repro.obs import spans as spans_mod
 from repro.obs.events import RingBufferSink
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import ProgressReporter
-from repro.obs.spans import current_span, span
+from repro.obs.spans import (
+    TRACEPARENT_ENV,
+    current_span,
+    derive_span_id,
+    format_traceparent,
+    parse_traceparent,
+    reset_trace_context,
+    span,
+)
 
 
 @pytest.fixture(autouse=True)
-def clean_bus():
+def clean_bus(monkeypatch):
+    monkeypatch.delenv(TRACEPARENT_ENV, raising=False)
+    reset_trace_context()
     events.set_sink(None)
     yield
     events.set_sink(None)
+    reset_trace_context()
 
 
 class TestSpans:
@@ -47,12 +59,21 @@ class TestSpans:
                     pass
         names = [name for name, _ in sink.events]
         assert names == ["span_start", "span_start", "span_end", "span_end"]
+        outer_start = sink.events[0][1]
         inner_start = sink.events[1][1]
-        assert inner_start == {"span": "inner", "depth": 1, "n": 3}
+        assert inner_start["span"] == "inner"
+        assert inner_start["depth"] == 1
+        assert inner_start["n"] == 3
+        # causal identity: the inner span is parented under the outer
+        # one and shares its trace (named by the first span).
+        assert inner_start["parent_id"] == outer_start["span_id"]
+        assert inner_start["trace_id"] == outer_start["span_id"]
+        assert outer_start["parent_id"] is None
         inner_end = sink.events[2][1]
         assert inner_end["span"] == "inner"
         assert inner_end["seconds"] >= 0
         assert inner_end["error"] is None
+        assert inner_end["span_id"] == inner_start["span_id"]
 
     def test_no_double_count_when_registry_is_installed(self):
         """A bus-installed registry gets phase_seconds via the span_end
@@ -81,6 +102,125 @@ class TestSpans:
         assert end[0]["error"] == "ValueError"
         assert current_span() is None
         assert registry.histogram("phase_seconds", span="failing").count == 1
+
+
+class TestSpanIdentity:
+    """The deterministic id scheme and cross-process context adoption."""
+
+    def _events(self):
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        with events.use_sink(sink):
+            with span("command", registry=registry, command="explore"):
+                with span("explore", registry=registry, n=2, k=1):
+                    pass
+        return sink.events
+
+    def test_ids_are_deterministic_across_processes_in_spirit(self):
+        """Two identical runs (fresh trace context each) mint identical
+        ids — the property that lets live and replayed traces stitch."""
+        first = self._events()
+        reset_trace_context()
+        second = self._events()
+        strip = lambda fields: {
+            k: v for k, v in fields.items() if k != "seconds"
+        }
+        assert [(n, strip(f)) for n, f in first] == [
+            (n, strip(f)) for n, f in second
+        ]
+
+    def test_derive_span_id_separates_same_seq_under_different_parents(self):
+        """Two worker attempts share a trace and both count from zero;
+        their distinct attempt-span parents keep the ids distinct."""
+        a = derive_span_id("command", 0, "trace", "attempt-1-id")
+        b = derive_span_id("command", 0, "trace", "attempt-2-id")
+        assert a != b
+
+    def test_traceparent_roundtrip_and_malformed(self):
+        text = format_traceparent("aaa", "bbb")
+        assert parse_traceparent(text) == ("aaa", "bbb")
+        for bad in (None, "", "no-dash-count-3-x", "onlyone", "-", "a-", "-b"):
+            assert parse_traceparent(bad) is None
+
+    def test_environment_adoption(self, monkeypatch):
+        """A worker started with REPRO_TRACEPARENT roots its outermost
+        span under the daemon's attempt span, in the daemon's trace."""
+        monkeypatch.setenv(TRACEPARENT_ENV, "trace123-parent456")
+        reset_trace_context()
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        with events.use_sink(sink):
+            with span("command", registry=registry):
+                pass
+        start = sink.events[0][1]
+        assert start["trace_id"] == "trace123"
+        assert start["parent_id"] == "parent456"
+
+    def test_malformed_environment_runs_unparented(self, monkeypatch):
+        monkeypatch.setenv(TRACEPARENT_ENV, "garbage")
+        reset_trace_context()
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        with events.use_sink(sink):
+            with span("command", registry=registry):
+                pass
+        start = sink.events[0][1]
+        assert start["parent_id"] is None
+        assert start["trace_id"] == start["span_id"]
+
+
+class TestSpanMisuseTolerance:
+    """Degradation paths: out-of-order exits, unentered exits, and
+    current_span() across exceptions must never corrupt the stack."""
+
+    def test_out_of_order_exit_keeps_stack_consistent(self):
+        registry = MetricsRegistry()
+        outer = span("outer", registry=registry)
+        inner = span("inner", registry=registry)
+        outer.__enter__()
+        inner.__enter__()
+        # Close the *outer* span first — inner is still on the stack.
+        outer.__exit__(None, None, None)
+        assert current_span() is inner
+        inner.__exit__(None, None, None)
+        assert current_span() is None
+        assert outer.seconds is not None and inner.seconds is not None
+
+    def test_exit_without_enter_emits_span_error(self):
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        with events.use_sink(sink):
+            phase = span("never-entered", registry=registry)
+            # No assert, no exception, no stack corruption — a span_error
+            # event instead (asserts would vanish under python -O).
+            phase.__exit__(None, None, None)
+        assert phase.seconds is None
+        assert current_span() is None
+        errors = [f for n, f in sink.events if n == "span_error"]
+        assert errors == [
+            {"span": "never-entered", "reason": "exited without entering"}
+        ]
+        assert registry.histogram("phase_seconds", span="never-entered").count == 0
+
+    def test_double_exit_is_tolerated(self):
+        registry = MetricsRegistry()
+        with span("once", registry=registry) as phase:
+            pass
+        first_seconds = phase.seconds
+        phase.__exit__(None, None, None)  # stale exit: stack unaffected
+        assert current_span() is None
+        assert phase.seconds is not None and phase.seconds >= first_seconds
+
+    def test_current_span_restored_after_nested_exception(self):
+        registry = MetricsRegistry()
+        with span("outer", registry=registry) as outer:
+            with pytest.raises(RuntimeError):
+                with span("inner", registry=registry):
+                    assert current_span() is not outer
+                    raise RuntimeError("boom")
+            # the failing inner span unwound cleanly
+            assert current_span() is outer
+        assert current_span() is None
 
 
 class FakeClock:

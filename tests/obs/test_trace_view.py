@@ -1,0 +1,296 @@
+"""Tests for the trace stitcher: tree building, critical path, renderers,
+run-id resolution, and byte stability."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import trace_view
+from repro.obs.ledger import resume_chain
+from repro.obs.trace_view import (
+    DAEMON_TRACE,
+    job_dir_trace_files,
+    render_ascii,
+    run_trace_files,
+    run_trace_show,
+    stitch_files,
+    stitched_jsonl_lines,
+    trace_as_dict,
+    waterfall_page,
+    waterfall_section,
+)
+
+
+def write_trace(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for index, record in enumerate(records):
+            handle.write(json.dumps({"i": index, **record}) + "\n")
+    return path
+
+
+def span_start(name, span_id, parent_id, trace_id="T", **fields):
+    return {
+        "event": "span_start", "span": name, "span_id": span_id,
+        "parent_id": parent_id, "trace_id": trace_id, **fields,
+    }
+
+
+def span_end(name, span_id, parent_id, seconds, error=None, trace_id="T"):
+    return {
+        "event": "span_end", "span": name, "span_id": span_id,
+        "parent_id": parent_id, "trace_id": trace_id,
+        "seconds": seconds, "error": error,
+    }
+
+
+@pytest.fixture
+def job_dir(tmp_path):
+    """A synthetic kill-resume job: daemon trace, a killed attempt whose
+    worker spans never closed, and a clean second attempt."""
+    write_trace(tmp_path / DAEMON_TRACE, [
+        span_start("job", "J", None, job="job-0001"),
+        span_start("queue_wait", "Q", "J"),
+        span_end("queue_wait", "Q", "J", 0.5),
+        span_start("attempt_1", "A1", "J"),
+        span_end("attempt_1", "A1", "J", 2.0, error="exit_-9"),
+        span_start("resume_gap", "G", "J"),
+        span_end("resume_gap", "G", "J", 0.1),
+        span_start("attempt_2", "A2", "J"),
+        span_end("attempt_2", "A2", "J", 3.0),
+        span_end("job", "J", None, 5.6),
+    ])
+    write_trace(tmp_path / "trace-1.jsonl", [
+        span_start("command", "C1", "A1"),
+        span_start("explore", "E1", "C1"),
+        # SIGKILLed: neither span ever ends.
+    ])
+    write_trace(tmp_path / "trace-2.jsonl", [
+        span_start("command", "C2", "A2"),
+        span_start("explore", "E2", "C2"),
+        span_end("explore", "E2", "C2", 2.5),
+        span_end("command", "C2", "A2", 2.9),
+    ])
+    return tmp_path
+
+
+class TestStitching:
+    def test_file_discovery_orders_daemon_then_attempts(self, job_dir):
+        files = job_dir_trace_files(str(job_dir))
+        assert [os.path.basename(p) for p in files] == [
+            DAEMON_TRACE, "trace-1.jsonl", "trace-2.jsonl",
+        ]
+        # attempt numbering is numeric, not lexicographic
+        write_trace(job_dir / "trace-10.jsonl", [])
+        files = job_dir_trace_files(str(job_dir))
+        assert os.path.basename(files[-1]) == "trace-10.jsonl"
+
+    def test_tree_shape_and_parentage(self, job_dir):
+        trace = stitch_files(job_dir_trace_files(str(job_dir)))
+        assert trace.span_count == 9
+        assert trace.trace_id == "T"
+        assert trace.orphans == 0 and trace.dropped == 0
+        (root,) = trace.roots
+        assert root.name == "job"
+        assert [c.name for c in root.children] == [
+            "queue_wait", "attempt_1", "resume_gap", "attempt_2",
+        ]
+        # every worker span hangs under its attempt span
+        attempt_1, attempt_2 = root.children[1], root.children[3]
+        assert [c.name for c in attempt_1.children] == ["command"]
+        assert [c.name for c in attempt_2.children] == ["command"]
+        assert attempt_1.children[0].children[0].name == "explore"
+
+    def test_unclosed_spans_get_child_durations(self, job_dir):
+        trace = stitch_files(job_dir_trace_files(str(job_dir)))
+        killed_command = trace.find("command")[0]
+        assert not killed_command.closed
+        assert killed_command.seconds is None
+        assert killed_command.effective == 0.0  # no closed descendants
+
+    def test_self_time_subtracts_children(self, job_dir):
+        trace = stitch_files(job_dir_trace_files(str(job_dir)))
+        attempt_2 = [n for n in trace.spans if n.name == "attempt_2"][0]
+        assert attempt_2.self_seconds == pytest.approx(3.0 - 2.9)
+        explore = [n for n in trace.find("explore") if n.closed][0]
+        assert explore.self_seconds == pytest.approx(2.5)
+
+    def test_critical_path_follows_dominant_child(self, job_dir):
+        trace = stitch_files(job_dir_trace_files(str(job_dir)))
+        critical = [n.name for n in trace.walk() if n.critical]
+        # attempt_2 (3.0s) dominates attempt_1 (2.0s) and queue_wait
+        assert critical == ["job", "attempt_2", "command", "explore"]
+
+    def test_orphan_spans_become_roots(self, tmp_path):
+        write_trace(tmp_path / DAEMON_TRACE, [
+            span_start("stray", "S", "never-seen"),
+            span_end("stray", "S", "never-seen", 1.0),
+        ])
+        trace = stitch_files(job_dir_trace_files(str(tmp_path)))
+        assert trace.orphans == 1
+        assert [r.name for r in trace.roots] == ["stray"]
+
+    def test_records_without_ids_are_counted_not_guessed(self, tmp_path):
+        write_trace(tmp_path / DAEMON_TRACE, [
+            {"event": "span_start", "span": "old-style", "depth": 0},
+            span_start("new", "N", None),
+            span_end("new", "N", None, 1.0),
+        ])
+        trace = stitch_files(job_dir_trace_files(str(tmp_path)))
+        assert trace.span_count == 1
+        assert trace.dropped == 1
+
+    def test_unreadable_files_are_skipped(self, job_dir):
+        files = job_dir_trace_files(str(job_dir)) + [
+            str(job_dir / "nonexistent.jsonl")
+        ]
+        trace = stitch_files(files)
+        assert trace.span_count == 9
+        assert len(trace.sources) == 3
+
+
+class TestRendering:
+    def test_ascii_waterfall_is_byte_stable(self, job_dir):
+        files = job_dir_trace_files(str(job_dir))
+        first = render_ascii(stitch_files(files))
+        second = render_ascii(stitch_files(files))
+        assert first == second
+        assert "queue_wait" in first and "resume_gap" in first
+        assert "[unclosed]" in first and "[exit_-9]" in first
+        assert "*" in first  # critical path marker
+
+    def test_html_waterfall_embeds_and_wraps(self, job_dir):
+        trace = stitch_files(job_dir_trace_files(str(job_dir)))
+        section = waterfall_section(trace)
+        assert 'class="wf"' in section and 'class="bar crit"' in section
+        assert "<html" not in section
+        page = waterfall_page(trace, "trace — job-0001")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "trace — job-0001" in page
+
+    def test_dict_and_jsonl_exports(self, job_dir):
+        trace = stitch_files(job_dir_trace_files(str(job_dir)))
+        tree = trace_as_dict(trace)
+        assert tree["spans"] == 9
+        assert tree["tree"][0]["span"] == "job"
+        lines = stitched_jsonl_lines(trace)
+        header = json.loads(lines[0])
+        assert header["format"] == "repro-stitched-trace/1"
+        assert header["spans"] == 9
+        assert len(lines) == 1 + 9
+        flat = [json.loads(line) for line in lines[1:]]
+        assert flat[0]["span"] == "job"
+        assert all("children" not in record for record in flat)
+
+    def test_empty_trace_renders_placeholder(self):
+        trace = stitch_files([])
+        assert render_ascii(trace) == "(no spans found)"
+        assert "no spans" in waterfall_section(trace)
+
+
+LEDGER_FORMAT = "repro-ledger/1"
+
+
+def ledger_record(run_id, parent=None, trace_out=None):
+    record = {"format": LEDGER_FORMAT, "run_id": run_id}
+    if parent:
+        record["parent_run_id"] = parent
+    if trace_out:
+        record["artifacts"] = {"trace_out": trace_out}
+    return record
+
+
+class TestResumeChainResolution:
+    def test_resume_chain_walks_both_directions(self):
+        records = [
+            ledger_record("aaa"),
+            ledger_record("bbb", parent="aaa"),
+            ledger_record("ccc", parent="bbb"),
+            ledger_record("zzz"),  # unrelated
+        ]
+        for start in ("aaa", "bbb", "ccc"):
+            chain = resume_chain(records, start)
+            assert [r["run_id"] for r in chain] == ["aaa", "bbb", "ccc"]
+
+    def test_resume_chain_tolerates_missing_parent_record(self):
+        # A SIGKILLed attempt leaves no ledger record: the resume names
+        # it as parent, but the chain just starts at the survivor.
+        records = [ledger_record("resumed", parent="dead-attempt")]
+        chain = resume_chain(records, "resumed")
+        assert [r["run_id"] for r in chain] == ["resumed"]
+
+    def test_resume_chain_unknown_id_raises(self):
+        with pytest.raises(ValueError):
+            resume_chain([ledger_record("aaa")], "nope")
+
+    def test_run_trace_files_resolves_relative_to_ledger_dir(self, tmp_path):
+        trace_a = write_trace(tmp_path / "a.jsonl", [span_start("x", "X", None)])
+        records = [
+            ledger_record("aaa", trace_out="a.jsonl"),
+            ledger_record("bbb", parent="aaa"),  # no trace artifact
+        ]
+        files = run_trace_files(records, "bbb", ledger_dir=str(tmp_path))
+        assert files == [os.path.join(str(tmp_path), "a.jsonl")]
+        assert os.path.isfile(trace_a)
+
+
+class TestTraceShowCommand:
+    def test_job_dir_target_prints_waterfall(self, job_dir, capsys):
+        assert run_trace_show(str(job_dir)) == 0
+        out = capsys.readouterr().out
+        assert "queue_wait" in out and "attempt_2" in out
+
+    def test_output_is_byte_identical_across_invocations(self, job_dir, capsys):
+        assert run_trace_show(str(job_dir)) == 0
+        first = capsys.readouterr().out
+        assert run_trace_show(str(job_dir)) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_unknown_target_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-such-thing")
+        ledger = str(tmp_path / "runs.jsonl")
+        with open(ledger, "w", encoding="utf-8"):
+            pass
+        assert run_trace_show(missing, ledger_path=ledger) == 2
+        assert "trace show:" in capsys.readouterr().err
+
+    def test_empty_job_dir_exits_2(self, tmp_path, capsys):
+        assert run_trace_show(str(tmp_path)) == 2
+        assert "no trace files" in capsys.readouterr().err
+
+    def test_html_and_jsonl_outputs(self, job_dir, tmp_path, capsys):
+        html = str(tmp_path / "out" / "waterfall.html")
+        jsonl = str(tmp_path / "out" / "stitched.jsonl")
+        assert run_trace_show(str(job_dir), html_out=html, jsonl_out=jsonl) == 0
+        with open(html, encoding="utf-8") as handle:
+            assert 'class="wf"' in handle.read()
+        with open(jsonl, encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        assert header["format"] == trace_view.STITCHED_FORMAT
+        capsys.readouterr()
+
+    def test_json_mode(self, job_dir, capsys):
+        assert run_trace_show(str(job_dir), as_json=True) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] == 9
+
+    def test_run_id_target_via_ledger(self, tmp_path, capsys):
+        trace_file = write_trace(tmp_path / "run-trace.jsonl", [
+            span_start("command", "C", None),
+            span_end("command", "C", None, 1.0),
+        ])
+        ledger = tmp_path / "runs.jsonl"
+        with open(ledger, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                ledger_record("abc123", trace_out=str(trace_file))
+            ) + "\n")
+        assert run_trace_show("abc123", ledger_path=str(ledger)) == 0
+        assert "command" in capsys.readouterr().out
+
+    def test_run_id_without_trace_artifacts_exits_2(self, tmp_path, capsys):
+        ledger = tmp_path / "runs.jsonl"
+        with open(ledger, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(ledger_record("abc123")) + "\n")
+        assert run_trace_show("abc123", ledger_path=str(ledger)) == 2
+        assert "no --trace-out" in capsys.readouterr().err
