@@ -172,6 +172,71 @@ def test_e10_audit_overhead(bench_telemetry):
     assert ratio < 25, f"audit overhead exploded: {ratio:.1f}x"
 
 
+def test_e10_execset_overhead(bench_telemetry):
+    """Execution-set digest cost guard: the same exhaustive walk with no
+    recorder (what every Explorer constructed in code gets by default)
+    and with an :class:`~repro.obs.execset.ExecutionSetRecorder`
+    attached (what ``repro explore`` enables by default).  The disabled
+    hook is one ``None`` check per maximal execution and must stay free;
+    the enabled path pays one id hash plus two fingerprint hashes per
+    execution (the canonical fingerprint is cached per distinct final
+    configuration), and its ratio is recorded so future PRs can see
+    digest-emission drift — the same bar as the PR-1 obs guard.
+    """
+    from repro.obs.execset import ExecutionSetRecorder
+
+    inputs = [f"v{i}" for i in range(5)]
+    spec = set_consensus_spec(1, 3, inputs)  # 120 executions, fast
+
+    def walk(recorder=None):
+        explorer = Explorer(spec, max_depth=8, execset=recorder)
+        return sum(1 for _ in explorer.executions()), recorder
+
+    walk()  # warm-up
+
+    def timed(make_recorder, repeat=5):
+        best = float("inf")
+        count = 0
+        recorder = None
+        for _ in range(repeat):
+            start = time.perf_counter()
+            count, recorder = walk(make_recorder())
+            best = min(best, time.perf_counter() - start)
+        return best, count, recorder
+
+    disabled_seconds, count, _ = timed(lambda: None)
+    enabled_seconds, recorded_count, recorder = timed(
+        lambda: ExecutionSetRecorder(
+            spec_meta={"task": "set-consensus", "n": 1, "k": 3},
+            value_alphabet=inputs,
+        )
+    )
+
+    ratio = enabled_seconds / disabled_seconds if disabled_seconds else float("inf")
+    disabled_rate = count / disabled_seconds if disabled_seconds else float("inf")
+    print(
+        f"\nexecset overhead: disabled {disabled_seconds:.4f}s "
+        f"({disabled_rate:,.0f} executions/s), enabled {enabled_seconds:.4f}s, "
+        f"ratio {ratio:.2f}x, digest {recorder.digest[:16]}"
+    )
+    assert count == 120 and recorded_count == 120
+    assert recorder.total_records == 120
+    bench_telemetry(
+        steps=count,
+        seconds=disabled_seconds,
+        execset_overhead_ratio=ratio,
+        execset_seconds=enabled_seconds,
+    )
+    # Off in code must mean free: the recorder hook is one None check per
+    # maximal execution, so the disabled walk stays in the E10 envelope.
+    assert disabled_rate > 200, (
+        f"disabled-path rate fell to {disabled_rate:,.0f} executions/s"
+    )
+    # The enabled path pays hashing per execution; a blow-up beyond this
+    # bound means the id fast path or the canonical cache broke.
+    assert ratio < 25, f"execset overhead exploded: {ratio:.1f}x"
+
+
 def test_e10_linearizability_checker_width(benchmark):
     """Checker cost on a register history with 8 concurrent operations."""
     events = []

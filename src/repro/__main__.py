@@ -12,14 +12,34 @@ Commands
     Model-check O(N, K)'s headline claims live (consensus, exhaustive or
     sampled set consensus) and print the verdict.
 ``explore [--task T] [--n N] [--k K] [--max-crashes F] [--max-recoveries R]
-[--checkpoint FILE] [--resume FILE]``
+[--checkpoint FILE] [--resume FILE] [--execset-out FILE] [--no-execset]
+[--selfcheck]``
     Drive the exhaustive explorer directly: enumerate every execution
     (optionally every crash timing with ``--max-crashes``, and every
     crash-recovery timing with ``--max-recoveries``), periodically
     checkpointing the DFS frontier.  An interrupted run (SIGINT, budget)
     flushes a final checkpoint and exits 3; ``--resume FILE`` continues
     it, visiting exactly the executions the interrupted run had not yet
-    yielded.
+    yielded.  By default every run also records its execution *set* as a
+    content-addressed ``repro-execset/1`` digest stream (default path
+    ``.repro/execsets/<run-id>.jsonl``, override with ``--execset-out``,
+    disable with ``--no-execset``) — the artifact ``repro diff``
+    compares.  ``--selfcheck`` runs the exploration twice (fresh, and
+    interrupted-then-resumed from a mid-run checkpoint) and verifies
+    set-equality of the two digests, exit 1 on any difference.
+``diff A B [--json] [--html OUT.html] [--ledger FILE]``
+    Compare two explorations as *sets of executions*: operands are
+    ``repro-execset/1`` file paths or ledger run ids (unique prefixes
+    accepted; a run id pulls in its whole resume chain, merged).
+    Reports set-digest equality, the set difference with example
+    executions, verdicts, per-depth visit histograms, audit summaries,
+    and wall-clock/throughput; a set difference is explained by
+    replaying a minimal missing execution into an ``obs/explain`` lane
+    diagram pinpointing the first diverging decision.  Exit 0 same
+    set + same verdict, 1 same verdict but different set (legitimate
+    for sound reductions), 2 verdict divergence, 3 usage.  Output is
+    deterministic: two invocations over the same targets are
+    byte-identical (stdout and ``--html``).
 ``audit [--task T] [--n N] [--k K] [--max-crashes F] [--html OUT.html]``
     Exhaustively explore an instance with the state-space redundancy
     profiler attached and print the reduction-headroom table: revisit
@@ -215,10 +235,68 @@ EXPLORE_TASKS = {
 }
 
 
+def _explore_execset_recorder(args, task, n, k, inputs, checkpoint=None):
+    """Build the explore command's execution-set recorder (default-on).
+
+    The stream lands at ``--execset-out`` or
+    ``.repro/execsets/<run-id>.jsonl``; a resumed run seeds its rolling
+    digest from the checkpoint header's digest-so-far (legacy headers
+    carry none — the digest then covers only the new records and
+    ``repro diff`` reports the merged claim as partial).
+    """
+    import os
+
+    from repro.obs.execset import ExecutionSetRecorder, default_dir
+
+    if args.no_execset:
+        return None
+    recorder = run_ledger.current_run()
+    run_tag = (
+        recorder.run_id if recorder is not None else run_ledger.new_run_id()
+    )
+    path = args.execset_out or os.path.join(default_dir(), f"{run_tag}.jsonl")
+    base = checkpoint.execset if checkpoint is not None else None
+    return ExecutionSetRecorder(
+        path=path,
+        spec_meta={"task": task, "n": n, "k": k},
+        value_alphabet=inputs,
+        base_digest=(base or {}).get("digest"),
+        base_records=(base or {}).get("records", 0),
+    )
+
+
+def _write_execset(execset) -> None:
+    """Flush the digest stream (also annotates the run ledger); a write
+    failure must not turn a finished exploration into an error."""
+    if execset is None:
+        return
+    try:
+        path = execset.write()
+    except (OSError, ValueError) as error:
+        print(f"explore: cannot write execset stream: {error}",
+              file=sys.stderr)
+        return
+    from repro.obs.execset import short_digest
+
+    print(
+        f"execution-set digest {short_digest(execset.merged_digest)} "
+        f"over {execset.total_records} executions -> {path}"
+    )
+
+
 def cmd_explore(args) -> int:
     from repro.errors import ProtocolError
     from repro.runtime.explorer import Explorer
 
+    if args.selfcheck:
+        if args.resume:
+            print(
+                "explore: --selfcheck runs its own interrupt/resume cycle "
+                "and cannot be combined with --resume",
+                file=sys.stderr,
+            )
+            return 2
+        return _explore_selfcheck(args)
     if args.resume:
         try:
             checkpoint = read_checkpoint(args.resume)
@@ -241,13 +319,17 @@ def cmd_explore(args) -> int:
         task = checkpoint.spec.get("task", args.task)
         n = int(checkpoint.spec.get("n", args.n))
         k = int(checkpoint.spec.get("k", args.k))
-        spec = EXPLORE_TASKS[task](n, k)
+        spec, inputs = _audit_spec(task, n, k)
+        execset = _explore_execset_recorder(
+            args, task, n, k, inputs, checkpoint=checkpoint
+        )
         explorer = Explorer.from_checkpoint(
             spec,
             checkpoint,
             strict=False,
             checkpoint_path=args.checkpoint or args.resume,
             checkpoint_every=args.checkpoint_every,
+            execset=execset,
         )
         print(
             f"resuming {task} O({n},{k}) from {args.resume}: "
@@ -256,7 +338,8 @@ def cmd_explore(args) -> int:
         )
     else:
         task, n, k = args.task, args.n, args.k
-        spec = EXPLORE_TASKS[task](n, k)
+        spec, inputs = _audit_spec(task, n, k)
+        execset = _explore_execset_recorder(args, task, n, k, inputs)
         explorer = Explorer(
             spec,
             max_depth=args.max_depth,
@@ -265,6 +348,7 @@ def cmd_explore(args) -> int:
             max_recoveries=args.max_recoveries,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
+            execset=execset,
         )
     explorer.set_spec_meta(task=task, n=n, k=k)
     recorder = run_ledger.current_run()
@@ -297,6 +381,9 @@ def cmd_explore(args) -> int:
             )
         else:
             print("\ninterrupted (no --checkpoint configured; progress lost)")
+        # The partial set is still a valid shard: its digest folds into
+        # the resumed run's through the checkpoint header.
+        _write_execset(execset)
         return 3
     stats = explorer.stats
     run_ledger.annotate(
@@ -306,6 +393,7 @@ def cmd_explore(args) -> int:
         recoveries=stats.recoveries_injected,
         interrupted=explorer.interrupted,
     )
+    _write_execset(execset)
     print(
         f"{explorer.total_executions} executions "
         f"({stats.executions} this run), max depth {stats.max_depth_seen}, "
@@ -324,6 +412,159 @@ def cmd_explore(args) -> int:
     if explorer.checkpoint_path is not None:
         print(f"complete — checkpoint {explorer.checkpoint_path} marks done")
     return 0
+
+
+def _explore_selfcheck(args) -> int:
+    """``repro explore --selfcheck``: fresh vs interrupted-and-resumed.
+
+    Runs the exploration once to completion, then a second time that is
+    cut off halfway, checkpointed, and resumed — and verifies the two
+    visited exactly the same *set* of executions (digest equality plus
+    an explicit id-set comparison, upgrading the old count-equality
+    resume guarantee).  Exit 0 on SET-EQUAL, 1 on any difference.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.execset import ExecutionSetRecorder, short_digest
+    from repro.runtime.explorer import Explorer
+
+    task, n, k = args.task, args.n, args.k
+    spec, inputs = _audit_spec(task, n, k)
+    spec_meta = {"task": task, "n": n, "k": k}
+
+    def build(recorder, **kwargs):
+        return Explorer(
+            spec,
+            max_depth=args.max_depth,
+            strict=False,
+            max_crashes=args.max_crashes,
+            max_recoveries=args.max_recoveries,
+            execset=recorder,
+            **kwargs,
+        )
+
+    run_ledger.annotate(
+        describe=(
+            f"selfcheck(task={task}, n={n}, k={k}, "
+            f"max_crashes={args.max_crashes}, "
+            f"max_recoveries={args.max_recoveries})"
+        )
+    )
+    with span("explore-selfcheck", task=task, n=n, k=k):
+        # Pass 1: the reference run, straight through.
+        fresh = ExecutionSetRecorder(
+            spec_meta=spec_meta, value_alphabet=inputs
+        )
+        reference = build(fresh)
+        for _execution in reference.executions():
+            pass
+        total = reference.stats.executions
+        print(f"selfcheck: exploration has {total} executions")
+
+        # Pass 2a: same exploration, interrupted halfway...
+        first = ExecutionSetRecorder(
+            spec_meta=spec_meta, value_alphabet=inputs
+        )
+        interrupted = build(first)
+        cutoff = max(1, total // 2)
+        iterator = interrupted.executions()
+        count = 0
+        for _execution in iterator:
+            count += 1
+            if count >= cutoff:
+                break
+        iterator.close()
+        descriptor, checkpoint_path = tempfile.mkstemp(
+            prefix="repro-selfcheck-", suffix=".ckpt"
+        )
+        os.close(descriptor)
+        try:
+            interrupted.write_checkpoint(checkpoint_path)
+            checkpoint = read_checkpoint(checkpoint_path)
+            # ...pass 2b: resumed from the checkpoint, digest seeded
+            # from its header — exactly the production resume path.
+            second = ExecutionSetRecorder(
+                spec_meta=spec_meta,
+                value_alphabet=inputs,
+                base_digest=(checkpoint.execset or {}).get("digest"),
+                base_records=(checkpoint.execset or {}).get("records", 0),
+            )
+            resumed = Explorer.from_checkpoint(
+                spec, checkpoint, strict=False, execset=second
+            )
+            for _execution in resumed.executions():
+                pass
+        finally:
+            try:
+                os.unlink(checkpoint_path)
+            except OSError:
+                pass
+
+    fresh_ids = {record["id"] for record in fresh.records}
+    resumed_ids = {record["id"] for record in first.records} | {
+        record["id"] for record in second.records
+    }
+    print(
+        f"selfcheck: fresh digest   {short_digest(fresh.digest)} "
+        f"({len(fresh_ids)} executions)"
+    )
+    print(
+        f"selfcheck: resumed digest {short_digest(second.merged_digest)} "
+        f"({len(first.records)} before interrupt + "
+        f"{len(second.records)} after resume)"
+    )
+    digests_equal = fresh.digest == second.merged_digest
+    sets_equal = fresh_ids == resumed_ids
+    run_ledger.annotate(
+        executions=total,
+        selfcheck="set-equal" if (digests_equal and sets_equal) else "set-differs",
+        execset={"digest": fresh.digest, "records": len(fresh_ids)},
+    )
+    if digests_equal and sets_equal:
+        print(
+            "selfcheck: SET-EQUAL — the resumed run visited exactly the "
+            "executions the fresh run did"
+        )
+        return 0
+    for label, ids in (
+        ("fresh only", sorted(fresh_ids - resumed_ids)),
+        ("resumed only", sorted(resumed_ids - fresh_ids)),
+    ):
+        if ids:
+            shown = ", ".join(ids[:5]) + (", ..." if len(ids) > 5 else "")
+            print(f"selfcheck: {label}: {len(ids)} execution(s): {shown}")
+    if digests_equal and not sets_equal:
+        print("selfcheck: digests collide but id sets differ — corrupt records?")
+    print("selfcheck: SET-DIFFERS — resume is not visiting the same executions")
+    return 1
+
+
+def cmd_diff(args) -> int:
+    from repro.obs import diff as obs_diff
+
+    try:
+        report = obs_diff.diff_targets(
+            args.target_a,
+            args.target_b,
+            ledger_path=args.ledger,
+            explain=not args.no_explain,
+        )
+    except (ValueError, OSError) as error:
+        print(f"diff: {error}", file=sys.stderr)
+        return obs_diff.EXIT_USAGE
+    if args.html is not None:
+        try:
+            with open(ensure_parent(args.html), "w", encoding="utf-8") as handle:
+                handle.write(obs_diff.render_html(report))
+        except OSError as error:
+            print(f"diff: cannot write {args.html}: {error}", file=sys.stderr)
+            return obs_diff.EXIT_USAGE
+    if args.json:
+        print(obs_diff.render_json_report(report))
+    else:
+        print(obs_diff.render_table(report))
+    return int(report["exit_code"])
 
 
 def _audit_spec(task: str, n: int, k: int):
@@ -763,6 +1004,22 @@ def build_parser() -> argparse.ArgumentParser:
         "the checkpoint; updated checkpoints go back to the same file "
         "unless --checkpoint overrides)",
     )
+    explore.add_argument(
+        "--execset-out", metavar="FILE.jsonl", default=None,
+        help="write the execution-set digest stream here (default "
+        ".repro/execsets/<run-id>.jsonl; compare streams with "
+        "'repro diff')",
+    )
+    explore.add_argument(
+        "--no-execset", action="store_true",
+        help="do not record the execution-set digest stream",
+    )
+    explore.add_argument(
+        "--selfcheck", action="store_true",
+        help="run the exploration twice — fresh, and interrupted-then-"
+        "resumed from a mid-run checkpoint — and verify both visited "
+        "exactly the same execution set (exit 1 on any difference)",
+    )
     explore.set_defaults(func=cmd_explore)
 
     audit = sub.add_parser(
@@ -892,6 +1149,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.set_defaults(
         func=cmd_explain, handles_obs_flags=True, skip_ledger_record=True
+    )
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two runs as sets of executions (digest, set "
+        "difference, verdicts); exit 0 same set, 1 different set, "
+        "2 verdict divergence",
+    )
+    diff.add_argument(
+        "target_a", metavar="A",
+        help="a repro-execset/1 file, or a ledger run id (unique prefix "
+        "accepted; its whole resume chain is merged)",
+    )
+    diff.add_argument(
+        "target_b", metavar="B",
+        help="the run to compare against (same forms as A)",
+    )
+    diff.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of the table",
+    )
+    diff.add_argument(
+        "--html", metavar="OUT.html", default=None,
+        help="also write the report (with the divergence lane view) as "
+        "a self-contained HTML page",
+    )
+    diff.add_argument(
+        "--no-explain", action="store_true",
+        help="skip replaying a missing execution for the divergence "
+        "lane exhibit",
+    )
+    diff.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="resolve run-id operands against this ledger instead of "
+        "the default",
+    )
+    diff.set_defaults(
+        func=cmd_diff, handles_obs_flags=True, skip_ledger_record=True
     )
 
     runs = sub.add_parser(

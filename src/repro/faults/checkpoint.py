@@ -33,6 +33,14 @@ crash-recovery budget exactly; the reader still accepts
 count-equality resume guarantee is unaffected because a v1 frontier was
 produced without recovery branches).
 
+The optional ``execset`` header entry carries the interrupted run's
+execution-set digest-so-far (``{"digest": <64 hex>, "records": N}``, see
+:mod:`repro.obs.execset`), so a resumed run's *merged* digest is
+well-defined: the resumer seeds its recorder from this entry and its
+footer covers the whole multi-session exploration.  Headers written
+before the entry existed read back as ``execset=None`` — ``repro diff``
+reports such digests as ``n/a`` rather than erroring.
+
 Writing a checkpoint emits a ``checkpoint_written`` event (path,
 frontier size, executions completed) through :mod:`repro.obs`.
 """
@@ -77,6 +85,10 @@ class Checkpoint:
     #: Ledger id of the run that wrote this checkpoint (``None`` for
     #: library-driven explorations) — the parent link of a resume chain.
     run_id: Optional[str] = None
+    #: Execution-set digest-so-far (``{"digest": ..., "records": ...}``)
+    #: of the interrupted run, or ``None`` for legacy headers and runs
+    #: without a recorder attached (see :mod:`repro.obs.execset`).
+    execset: Optional[Dict[str, Any]] = None
 
     @property
     def done(self) -> bool:
@@ -95,6 +107,7 @@ def write_checkpoint(
     stats: Optional[Dict[str, Any]] = None,
     spec: Optional[Dict[str, Any]] = None,
     run_id: Optional[str] = None,
+    execset: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Atomically write a checkpoint file.
 
@@ -116,6 +129,8 @@ def write_checkpoint(
     }
     if run_id is not None:
         header["run_id"] = run_id
+    if execset is not None:
+        header["execset"] = dict(execset)
     ensure_parent(os.path.abspath(path))
     directory = os.path.dirname(os.path.abspath(path)) or "."
     descriptor, temp_path = tempfile.mkstemp(
@@ -216,4 +231,9 @@ def read_checkpoint(path: str) -> Checkpoint:
         stats=dict(header.get("stats") or {}),
         spec=dict(header.get("spec") or {}),
         run_id=header.get("run_id"),
+        execset=(
+            dict(header["execset"])
+            if isinstance(header.get("execset"), dict)
+            else None
+        ),
     )

@@ -1,0 +1,492 @@
+"""Execution-set digests: the set of runs behind a verdict, as an artifact.
+
+Every verdict the explorer produces is a claim about a *set of
+executions* — Gafni's "captured by a set of runs" framing made literal.
+Until now that set existed only as a scalar count; two runs that visited
+the same *number* of executions could silently have visited different
+executions (the exact failure mode frontier sharding and DPOR-style
+reductions must be audited against).  This module turns execution-set
+identity into a content-addressed, persisted, diffable artifact.
+
+Format (``repro-execset/1``): JSONL with one header object, one compact
+record per maximal execution, and one footer object::
+
+    {"format": "repro-execset/1", "spec": {"task": "set-consensus", ...}}
+    {"id": "9f2c01d4a8b3", "depth": 7, "decisions": [[0,0],[1,-1],...],
+     "config": "5b1d9e0a7c4f2e61", "canonical": "e61a...", "distinct": 1,
+     "done": false, "crashes": 1, "recoveries": 0}
+    ...
+    {"format": "repro-execset/1", "footer": true, "records": 42,
+     "digest": "<64 hex>", "base_digest": null, "base_records": 0,
+     "merged_digest": "<64 hex>", "total_records": 42}
+
+Per-record fields:
+
+``id``
+    :func:`repro.obs.fingerprint.content_id` over the execution's
+    ``full_decisions`` + ``crashes`` + ``recoveries`` — the same material
+    (and hashing convention) as witness bundle ids, so an execution's
+    identity is invariant between live capture and replayed capture.
+``decisions``
+    The ``full_decisions`` sequence itself (crash/recovery sentinels
+    inline), so a missing execution can be replayed through
+    :meth:`~repro.runtime.system.SystemSpec.replay` and rendered by
+    :mod:`repro.obs.explain` when two runs diverge.
+``config`` / ``canonical``
+    The final configuration's exact and pid-symmetry-quotiented
+    fingerprints (:mod:`repro.obs.fingerprint`).
+``depth`` / ``distinct`` / ``done`` / ``crashes`` / ``recoveries``
+    Decision depth and the execution's verdict contribution: how many
+    distinct values were decided, whether every process finished, and
+    the fault counts.
+
+Records are written sorted by ``id`` and carry no wall-clock, so two
+identical explorations produce byte-identical files.  The footer digest
+is **order-independent**: the XOR of the full sha256 of each distinct
+record id.  XOR over a *set* of ids makes shard digests mergeable
+without ordering guarantees — the digest of a disjoint union is the XOR
+of the shard digests, and any permutation of the records folds to the
+same value.  A resumed run seeds its digest from the checkpoint header's
+``execset`` entry (see :mod:`repro.faults.checkpoint`), so
+``merged_digest`` covers the whole multi-session exploration while
+``digest`` covers only this file's records.
+
+``repro diff`` (:mod:`repro.obs.diff`) consumes these files (directly or
+through the run ledger) and compares two runs on set identity, not just
+counts — the acceptance instrument for the ROADMAP's sharding and
+DPOR/symmetry items.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.fsutil import ensure_parent
+from repro.obs import events as _events
+from repro.obs import ledger as _ledger
+from repro.obs.fingerprint import (
+    FINGERPRINT_LENGTH,
+    canonical_body,
+    content_digest,
+    content_id,
+    stable_json,
+)
+
+FORMAT = "repro-execset/1"
+
+#: Default directory for ``repro explore``'s digest streams, next to the
+#: run ledger and witness bundles.
+DEFAULT_DIR = os.path.join(".repro", "execsets")
+
+
+def default_dir() -> str:
+    """Directory for default-named streams: ``$REPRO_EXECSET_DIR`` when
+    set (the test suite points it at a tmpdir, mirroring
+    ``$REPRO_LEDGER``), else :data:`DEFAULT_DIR`."""
+    return os.environ.get("REPRO_EXECSET_DIR") or DEFAULT_DIR
+
+#: The empty set's digest: 256 zero bits, as hex.
+ZERO_DIGEST = "0" * 64
+
+#: Hex digits of the digest surfaced in tables, ledgers, and dashboards
+#: (the full 64-hex value is kept in files and JSON for comparisons).
+SHORT_DIGEST_LENGTH = 16
+
+
+def execution_id(execution: Any) -> str:
+    """Content address of one maximal execution.
+
+    Hashes ``full_decisions`` + ``crashes`` + ``recoveries`` through
+    :func:`~repro.obs.fingerprint.content_id` — the witness-id material —
+    so live and replayed captures of the same execution share an id.
+    The raw tuple sequences are hashed directly: JSON serializes tuples
+    and lists identically, so the id matches the list form persisted in
+    the stream without per-execution list rebuilding (this runs once per
+    maximal execution on the explorer hot path).
+    """
+    return content_id(
+        [execution.full_decisions, execution.crashes, execution.recoveries]
+    )
+
+
+def fold_digest(digest_hex: str, record_id: str) -> str:
+    """Fold one record id into a rolling set digest (XOR of sha256s).
+
+    XOR is commutative and associative, so any permutation of the same
+    records folds to the same digest — the property the merge and
+    resume paths rely on.
+    """
+    return format(
+        int(digest_hex, 16) ^ int(content_digest(record_id), 16), "064x"
+    )
+
+
+def set_digest(ids: Iterable[str]) -> str:
+    """The order-independent digest of a *set* of record ids.
+
+    Duplicates are folded once: the digest names the set, not the
+    multiset, so overlapping shards merge to the digest of their union.
+    """
+    accumulator = int(ZERO_DIGEST, 16)
+    seen = set()
+    for record_id in ids:
+        if record_id in seen:
+            continue
+        seen.add(record_id)
+        accumulator ^= int(content_digest(record_id), 16)
+    return format(accumulator, "064x")
+
+
+def merge_digests(a: str, b: str) -> str:
+    """Digest of a disjoint union, from the two shard digests."""
+    return format(int(a, 16) ^ int(b, 16), "064x")
+
+
+def short_digest(digest_hex: Optional[str]) -> str:
+    """Display form of a digest (``n/a`` for ``None``)."""
+    if not digest_hex:
+        return "n/a"
+    return str(digest_hex)[:SHORT_DIGEST_LENGTH]
+
+
+def record_for(
+    execution: Any, system: Optional[Any] = None,
+    value_alphabet: Optional[List[Any]] = None,
+    canonical_cache: Optional[Dict[str, str]] = None,
+    record_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build one ``repro-execset/1`` record from a maximal execution.
+
+    ``system`` is the live (or replayed) :class:`~repro.runtime.system.
+    System` at the execution's final configuration; when given, the
+    record carries its exact and canonical fingerprints.  One
+    ``configuration()`` snapshot feeds both hashes.
+
+    ``canonical_cache`` maps full config digests to canonical
+    fingerprints.  Many executions funnel into few final configurations
+    (a 720-execution set-consensus walk reaches only 48), and the
+    canonical body — the symmetry quotient — is by far the costliest
+    hash, so the recorder keys it by the exact digest it computes
+    anyway.  ``record_id`` skips rehashing when the caller already
+    computed :func:`execution_id`.
+    """
+    # full_decisions is a merge-on-access property — fetch it once.
+    decisions = execution.full_decisions
+    crashes = execution.crashes
+    recoveries = execution.recoveries
+    if record_id is None:
+        record_id = content_id([decisions, crashes, recoveries])
+    record: Dict[str, Any] = {
+        "id": record_id,
+        "depth": len(decisions),
+        "decisions": decisions,
+        "distinct": len(execution.distinct_outputs()),
+        "done": execution.all_done(),
+        "crashes": len(crashes),
+        "recoveries": len(recoveries),
+    }
+    if system is not None:
+        snapshot = system.configuration()
+        config = content_digest(stable_json(snapshot))
+        record["config"] = config[:FINGERPRINT_LENGTH]
+        canonical = (
+            canonical_cache.get(config)
+            if canonical_cache is not None
+            else None
+        )
+        if canonical is None:
+            canonical = content_digest(
+                canonical_body(snapshot, value_alphabet)
+            )[:FINGERPRINT_LENGTH]
+            if canonical_cache is not None:
+                canonical_cache[config] = canonical
+        record["canonical"] = canonical
+    return record
+
+
+# ----------------------------------------------------------------------
+# The recorder (attachable to an Explorer)
+# ----------------------------------------------------------------------
+class ExecutionSetRecorder:
+    """Accumulates one run's execution-set records and rolling digest.
+
+    Attach to an :class:`~repro.runtime.explorer.Explorer` via its
+    ``execset`` parameter: :meth:`observe` is called once per maximal
+    execution with the live system still at its final configuration.
+    Purely observational — the walk order and every verdict are
+    identical with and without it; when unset the hook costs one
+    ``None`` check per execution.
+
+    ``base_digest``/``base_records`` seed a resumed run from its
+    checkpoint header's digest-so-far, making ``merged_digest`` cover
+    the whole multi-session exploration.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        spec_meta: Optional[Dict[str, Any]] = None,
+        value_alphabet: Optional[List[Any]] = None,
+        base_digest: Optional[str] = None,
+        base_records: int = 0,
+    ):
+        self.path = path
+        self.spec_meta = dict(spec_meta or {})
+        self.value_alphabet = value_alphabet
+        self.base_digest = base_digest
+        self.base_records = int(base_records)
+        self.records: List[Dict[str, Any]] = []
+        self._digest = int(ZERO_DIGEST, 16)
+        self._seen: set = set()
+        self._canonical_cache: Dict[str, str] = {}
+
+    def observe(self, execution: Any, system: Optional[Any] = None) -> None:
+        """Fold one maximal execution into the set (hot-path hook)."""
+        record = record_for(
+            execution,
+            system=system,
+            value_alphabet=self.value_alphabet,
+            canonical_cache=self._canonical_cache,
+        )
+        record_id = record["id"]
+        if record_id in self._seen:
+            return
+        self._seen.add(record_id)
+        self.records.append(record)
+        self._digest ^= int(content_digest(record_id), 16)
+
+    # -- digests -------------------------------------------------------
+    @property
+    def digest(self) -> str:
+        """Digest of this run's own records only."""
+        return format(self._digest, "064x")
+
+    @property
+    def merged_digest(self) -> str:
+        """Digest including the resumed base (equals :attr:`digest` for
+        a fresh run)."""
+        if self.base_digest:
+            return merge_digests(self.base_digest, self.digest)
+        return self.digest
+
+    @property
+    def total_records(self) -> int:
+        return self.base_records + len(self.records)
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """The digest-so-far carried in checkpoint headers, so a resumed
+        run's merged digest is well-defined."""
+        return {"digest": self.merged_digest, "records": self.total_records}
+
+    def ledger_summary(self) -> Dict[str, Any]:
+        """The ``execset`` field recorded in the run ledger."""
+        summary: Dict[str, Any] = {
+            "digest": self.merged_digest,
+            "records": self.total_records,
+        }
+        if self.path:
+            summary["path"] = self.path
+        return summary
+
+    # -- persistence ---------------------------------------------------
+    def write(self, path: Optional[str] = None) -> str:
+        """Atomically write the ``repro-execset/1`` file.
+
+        Records are sorted by id and the file carries no wall-clock, so
+        two identical explorations write byte-identical artifacts.
+        Emits an ``execset_digest`` event (digest, record counts, path)
+        when the bus is enabled.
+        """
+        destination = path or self.path
+        if destination is None:
+            raise ValueError("no execset path configured")
+        header: Dict[str, Any] = {"format": FORMAT, "spec": self.spec_meta}
+        if self.base_digest:
+            header["base_digest"] = self.base_digest
+            header["base_records"] = self.base_records
+        footer = {
+            "format": FORMAT,
+            "footer": True,
+            "records": len(self.records),
+            "digest": self.digest,
+            "base_digest": self.base_digest,
+            "base_records": self.base_records,
+            "merged_digest": self.merged_digest,
+            "total_records": self.total_records,
+        }
+        ensure_parent(os.path.abspath(destination))
+        directory = os.path.dirname(os.path.abspath(destination)) or "."
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".execset-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(header, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+                for record in sorted(self.records, key=lambda r: r["id"]):
+                    handle.write(
+                        json.dumps(
+                            record, sort_keys=True, separators=(",", ":")
+                        )
+                        + "\n"
+                    )
+                handle.write(
+                    json.dumps(footer, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+            os.replace(temp_path, destination)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self.path = destination
+        _ledger.annotate(execset=self.ledger_summary())
+        if _events.is_enabled():
+            _events.emit(
+                "execset_digest",
+                digest=short_digest(self.merged_digest),
+                records=len(self.records),
+                total_records=self.total_records,
+                path=destination,
+            )
+        return destination
+
+
+# ----------------------------------------------------------------------
+# Reading and merging
+# ----------------------------------------------------------------------
+@dataclass
+class ExecSetFile:
+    """A parsed ``repro-execset/1`` file."""
+
+    path: str
+    header: Dict[str, Any] = field(default_factory=dict)
+    #: ``id -> record``, duplicates collapsed.
+    records: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    footer: Dict[str, Any] = field(default_factory=dict)
+    skipped: int = 0
+
+    @property
+    def spec(self) -> Dict[str, Any]:
+        return dict(self.header.get("spec") or {})
+
+    @property
+    def own_digest(self) -> str:
+        """Digest recomputed from the records actually present."""
+        return set_digest(self.records)
+
+    @property
+    def merged_digest(self) -> Optional[str]:
+        """The footer's whole-exploration digest (recomputed own digest
+        folded with the declared base when the footer is missing)."""
+        declared = self.footer.get("merged_digest")
+        if isinstance(declared, str) and declared:
+            return declared
+        base = self.header.get("base_digest")
+        if isinstance(base, str) and base:
+            return merge_digests(base, self.own_digest)
+        return self.own_digest
+
+    @property
+    def base_records(self) -> int:
+        value = self.footer.get("base_records", self.header.get("base_records"))
+        return int(value) if isinstance(value, int) else 0
+
+    @property
+    def partial(self) -> bool:
+        """True when the file's records do not cover the whole digest
+        (a resumed run whose parent file is elsewhere)."""
+        return self.base_records > 0
+
+    @property
+    def consistent(self) -> bool:
+        """True when the footer's own-records digest matches the records
+        actually read back (an integrity check on the artifact)."""
+        declared = self.footer.get("digest")
+        if not isinstance(declared, str) or not declared:
+            return True  # no footer to check against (truncated write)
+        return declared == self.own_digest
+
+
+def read_execset(path: str) -> ExecSetFile:
+    """Parse an execset file, tolerantly.
+
+    Same tolerance as the ledger and witness readers: lines that fail to
+    parse are skipped and counted.  Raises ``OSError`` only when the
+    file itself cannot be read.
+    """
+    parsed = ExecSetFile(path=path)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                parsed.skipped += 1
+                continue
+            if not isinstance(record, dict):
+                parsed.skipped += 1
+                continue
+            if record.get("format") == FORMAT:
+                if record.get("footer"):
+                    parsed.footer = record
+                else:
+                    parsed.header = record
+                continue
+            record_id = record.get("id")
+            if not isinstance(record_id, str) or not record_id:
+                parsed.skipped += 1
+                continue
+            parsed.records.setdefault(record_id, record)
+    return parsed
+
+
+def peek_footer(path: str) -> Optional[Dict[str, Any]]:
+    """Tolerant footer read for dashboards: the last line's footer
+    object, or ``None`` on any missing/unreadable/malformed file."""
+    try:
+        with open(path, "rb") as handle:
+            try:
+                handle.seek(-4096, os.SEEK_END)
+            except OSError:
+                handle.seek(0)
+            tail = handle.read().decode("utf-8", "replace")
+    except OSError:
+        return None
+    for line in reversed(tail.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if isinstance(record, dict) and record.get("footer"):
+            return record
+        return None
+    return None
+
+
+def merge_records(
+    files: Iterable[ExecSetFile],
+) -> Tuple[Dict[str, Dict[str, Any]], str]:
+    """Union the records of several shards: ``(records, digest)``.
+
+    Deduplicates by id, so overlapping shards merge to the union's
+    digest — the property the Hypothesis suite pins.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for parsed in files:
+        for record_id, record in parsed.records.items():
+            merged.setdefault(record_id, record)
+    return merged, set_digest(merged)

@@ -369,6 +369,9 @@ class Job:
     def trace_paths(self) -> List[str]:
         return [self.trace_path(a) for a in range(1, self.attempts + 1)]
 
+    def execset_path(self, attempt: int) -> str:
+        return os.path.join(self.job_dir, f"execset-{attempt}.jsonl")
+
 
 def _iso(stamp: Optional[float]) -> Optional[str]:
     if stamp is None:
@@ -491,6 +494,7 @@ class JobManager:
             "--trace-out", job.trace_path(job.attempts),
             "--witness-dir", self.witness_dir,
             "--ledger", self.ledger_path,
+            "--execset-out", job.execset_path(job.attempts),
         ]
         if spec.deadline is not None:
             argv += ["--deadline", str(spec.deadline)]

@@ -26,6 +26,13 @@ The ``witnesses`` key (present when the run captured any) lists the
 each is a replayable deciding execution that ``repro explain RUN_ID``
 can shrink and render.
 
+The ``execset`` key (present when the run recorded an execution-set
+digest, see :mod:`repro.obs.execset`) carries
+``{"digest": <64 hex>, "records": N, "path": ...}`` — the
+content-addressed identity of the set of executions behind the verdict.
+``repro runs compare`` prints digest equality alongside its verdict and
+audit lines, and ``repro diff`` resolves run ids to these files.
+
 Appends are atomic: a record is a single ``os.write`` to an
 ``O_APPEND`` descriptor, so concurrent runs interleave whole lines, never
 fragments.  Unknown keys are preserved by readers; corrupt lines are
@@ -157,22 +164,41 @@ def resume_chain(
     shows up in the next record's ``parent_run_id`` field.
 
     Raises ``ValueError`` (via :func:`find_record`) when ``run_id`` is
-    unknown or an ambiguous prefix.
+    unknown or an ambiguous prefix, and when the ledger holds a cyclic
+    or self-referential ``parent_run_id`` chain — a corrupt (or
+    hand-edited) ledger must be reported, not walked forever.  Both
+    walks are additionally bounded by the ledger size, so no input can
+    loop.
     """
     record = find_record(records, run_id)
     by_id = {r.get("run_id"): r for r in records if r.get("run_id")}
     chain = [record]
     seen = {record.get("run_id")}
     current = record
-    while True:  # backwards to the chain's oldest surviving record
+    for _ in range(len(records)):  # backwards to the oldest survivor
         parent = current.get("parent_run_id")
-        if not parent or parent in seen or parent not in by_id:
+        if not parent or parent not in by_id:
             break
+        if parent in seen:
+            cycle = [str(r.get("run_id")) for r in chain] + [str(parent)]
+            raise ValueError(
+                f"run {run_id!r}: cyclic parent_run_id chain in the "
+                "ledger: " + " -> ".join(reversed(cycle))
+            )
         current = by_id[parent]
         seen.add(parent)
         chain.insert(0, current)
+    else:
+        raise ValueError(
+            f"run {run_id!r}: parent_run_id chain longer than the ledger "
+            "— cyclic records?"
+        )
     current = record
-    while True:  # forwards to the newest resume
+    for _ in range(len(records)):  # forwards to the newest resume
+        # A falsy current id would make every parent-less record look
+        # like a successor (None == None); corrupt records cannot chain.
+        if not current.get("run_id"):
+            break
         successors = [
             r for r in records
             if r.get("parent_run_id") == current.get("run_id")
@@ -183,6 +209,11 @@ def resume_chain(
         current = successors[0]
         seen.add(current.get("run_id"))
         chain.append(current)
+    else:
+        raise ValueError(
+            f"run {run_id!r}: resume chain longer than the ledger "
+            "— cyclic records?"
+        )
     return chain
 
 
@@ -362,7 +393,7 @@ def render_show(record: Dict[str, Any]) -> str:
         "run_id", "parent_run_id", "command", "argv", "started_at",
         "duration_seconds", "exit_code", "verdict", "describe",
         "executions", "interrupted", "budget", "budget_trips",
-        "checkpoint", "artifacts", "witnesses", "audit",
+        "checkpoint", "artifacts", "witnesses", "audit", "execset",
     ]
     keys = [k for k in preferred if k in record]
     keys += [k for k in sorted(record) if k not in keys and k != "format"]
@@ -415,6 +446,43 @@ def _compare_audit(
     return lines
 
 
+def _compare_execset(execset_a: Any, execset_b: Any) -> List[str]:
+    """Execution-set digest comparison lines for :func:`compare_runs`.
+
+    Same tolerance contract as :func:`_compare_audit`: records written
+    before digests existed (or runs without a recorder) render as
+    ``n/a`` and never error, and no lines appear when neither side has
+    one.  Digest equality is the set-identity statement — two runs with
+    equal digests visited the same executions, whatever the order.
+    """
+    if not isinstance(execset_a, dict):
+        execset_a = None
+    if not isinstance(execset_b, dict):
+        execset_b = None
+    if execset_a is None and execset_b is None:
+        return []
+
+    def digest(execset: Optional[Dict[str, Any]]) -> Optional[str]:
+        if execset is None:
+            return None
+        value = execset.get("digest")
+        return str(value) if value else None
+
+    digest_a, digest_b = digest(execset_a), digest(execset_b)
+    if digest_a and digest_b:
+        marker = "SAME SET" if digest_a == digest_b else "DIFFERS"
+    else:
+        marker = "n/a"
+    short_a = digest_a[:16] if digest_a else "n/a"
+    short_b = digest_b[:16] if digest_b else "n/a"
+    lines = [f"execset digest: {short_a} vs {short_b} ({marker})"]
+    records_a = execset_a.get("records") if execset_a else None
+    records_b = execset_b.get("records") if execset_b else None
+    if records_a is not None or records_b is not None:
+        lines.append(f"execset records: {records_a} vs {records_b}")
+    return lines
+
+
 def compare_runs(
     a: Dict[str, Any], b: Dict[str, Any]
 ) -> Tuple[List[str], bool]:
@@ -422,9 +490,10 @@ def compare_runs(
 
     Covers identity (commands, resume relationship), verdicts/exit
     codes, timings (with relative delta) and work counts; artifact paths
-    are listed when they differ, and state-audit summaries (revisit
-    ratio, commuting fraction, orbit savings) are compared when either
-    run carries one (records predating the field are tolerated).
+    are listed when they differ, and execution-set digests and
+    state-audit summaries (revisit ratio, commuting fraction, orbit
+    savings) are compared when either run carries one (records
+    predating the fields are tolerated as ``n/a``/``—``).
     """
     lines: List[str] = []
     id_a, id_b = a.get("run_id", "A"), b.get("run_id", "B")
@@ -460,6 +529,7 @@ def compare_runs(
         va, vb = a.get(key), b.get(key)
         if va != vb:
             lines.append(f"{key}: {va} vs {vb}")
+    lines.extend(_compare_execset(a.get("execset"), b.get("execset")))
     lines.extend(_compare_audit(a.get("audit"), b.get("audit")))
     arts_a, arts_b = a.get("artifacts") or {}, b.get("artifacts") or {}
     if arts_a != arts_b:

@@ -16,7 +16,9 @@ ephemeral port on 127.0.0.1, printed at startup).  Three endpoints:
     source per archived deciding execution; absent until one exists),
     and the state-audit summary (``audit`` — revisit ratio, commuting
     fraction, orbit savings; absent until an ``audit_summary`` event
-    arrives, see :mod:`repro.obs.audit`).
+    arrives, see :mod:`repro.obs.audit`).  The execution-set digest
+    (``execset`` — digest, record counts, stream path) appears once an
+    ``execset_digest`` event arrives (see :mod:`repro.obs.execset`).
 ``GET /metrics``
     The process-wide metrics registry rendered by
     :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus` — the
@@ -95,6 +97,7 @@ class StatusBoard:
         self._budget_trip: Optional[str] = None
         self._witnesses: List[Dict[str, Any]] = []
         self._audit: Optional[Dict[str, Any]] = None
+        self._execset: Optional[Dict[str, Any]] = None
 
     # -- event bus subscriber -----------------------------------------
     def __call__(self, name: str, fields: Dict[str, Any]) -> None:
@@ -137,6 +140,8 @@ class StatusBoard:
                 self._budget_trip = str(fields.get("reason", "exhausted"))
             elif name == "audit_summary":
                 self._audit = dict(fields)
+            elif name == "execset_digest":
+                self._execset = dict(fields)
             elif name == "witness_captured":
                 self._witnesses.append(
                     {
@@ -181,6 +186,8 @@ class StatusBoard:
                 payload["witnesses"] = [dict(w) for w in self._witnesses]
             if self._audit is not None:
                 payload["audit"] = dict(self._audit)
+            if self._execset is not None:
+                payload["execset"] = dict(self._execset)
         budget = get_active_budget()
         if budget is not None:
             payload["budget"] = {

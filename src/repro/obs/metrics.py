@@ -48,6 +48,9 @@ name                      kind        meaning
 ``audit_orbit_savings``   gauge       symmetry-reduction headroom
 ``audit_pairs_checked``   gauge       adjacent pairs classified by the audit
 ``audit_commuting_fraction``  gauge   DPOR headroom (commuting pair fraction)
+``execset_records``       gauge       execution-set records in this run's stream
+``execset_total_records``  gauge      records incl. the resumed base (execset)
+``execset_streams_written_total``  counter  execset digest streams flushed
 ========================  ==========  ==========================================
 
 Histograms use the fixed exponential bucket ladder :data:`BUCKET_BOUNDS`
@@ -405,6 +408,15 @@ class MetricsRegistry:
                 value = fields.get(field_name)
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
                     self.gauge(gauge_name).set(value)
+        elif name == "execset_digest":
+            for field_name, gauge_name in (
+                ("records", "execset_records"),
+                ("total_records", "execset_total_records"),
+            ):
+                value = fields.get(field_name)
+                if isinstance(value, int) and not isinstance(value, bool):
+                    self.gauge(gauge_name).set(value)
+            self.counter("execset_streams_written_total").inc()
         elif name == "witness_shrunk":
             self.histogram("witness_shrink_steps").observe(
                 _num(fields.get("removed"))

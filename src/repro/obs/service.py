@@ -11,8 +11,9 @@ Endpoints
 ---------
 ``GET /``
     Self-contained HTML dashboard: job table (state, verdict, attempts,
-    progress), recent ledger rows, witness index.  Plain refreshable
-    HTML — no JavaScript framework, same stylesheet as ``repro report``.
+    progress), recent ledger rows with their execution-set digests,
+    witness index.  Plain refreshable HTML — no JavaScript framework,
+    same stylesheet as ``repro report``.
 ``POST /jobs``
     Submit a job.  Body: JSON object with ``task`` (an explore task
     name), ``n``, ``k``, ``max_crashes``, ``max_depth``, ``deadline``,
@@ -37,7 +38,9 @@ Endpoints
     show`` prints.
 ``GET /metrics``
     Daemon-wide Prometheus text: uptime, jobs per state, per-job
-    executions/rate gauges, ledger verdict tallies, witness count.
+    executions/rate gauges, ledger verdict tallies, witness count, and
+    ``repro_execset_*`` gauges (streams, records, digest labels) peeked
+    from each job's newest execution-set file.
 ``GET /runs`` / ``GET /runs/<id>``
     The daemon's ledger as JSON; ``?verdict=PROVED`` filters (same
     vocabulary as ``repro runs list --verdict``).
@@ -61,6 +64,7 @@ from http.server import ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs import execset as _execset
 from repro.obs import explain as _explain
 from repro.obs import ledger as _ledger
 from repro.obs import trace_view as _trace_view
@@ -109,6 +113,29 @@ def _list_witnesses(witness_dir: str) -> List[Dict[str, Any]]:
             continue
         entries.append({"id": name[: -len(".jsonl")], "bytes": size})
     return entries
+
+
+def _job_execset_footers(manager: JobManager) -> List[Tuple[str, Dict[str, Any]]]:
+    """``(job_id, footer)`` for each job's newest execution-set stream.
+
+    Peeks footers (:func:`repro.obs.execset.peek_footer`) rather than
+    parsing whole files — a dashboard refresh must stay cheap even when
+    jobs explored millions of executions.  Jobs whose workers predate
+    the execset format, or whose stream is still mid-write (no footer
+    yet), are simply absent.
+    """
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    for job in manager.list_jobs():
+        attempts = int(job.get("attempts", 0) or 0)
+        for attempt in range(attempts, 0, -1):
+            path = os.path.join(
+                manager.jobs_dir, job["id"], f"execset-{attempt}.jsonl"
+            )
+            footer = _execset.peek_footer(path)
+            if footer is not None:
+                out.append((job["id"], footer))
+                break
+    return out
 
 
 def render_service_metrics(manager: JobManager, ring: EventRing) -> str:
@@ -194,6 +221,36 @@ def render_service_metrics(manager: JobManager, ring: EventRing) -> str:
         "Witness bundles archived under the data dir.",
         [("", len(_list_witnesses(manager.witness_dir)))],
     )
+    execsets = _job_execset_footers(manager)
+    gauge(
+        "repro_execset_streams",
+        "Jobs with a completed execution-set digest stream.",
+        [("", len(execsets))],
+    )
+    if execsets:
+        record_samples: List[Tuple[str, Any]] = []
+        digest_samples: List[Tuple[str, Any]] = []
+        for job_id, footer in execsets:
+            total = footer.get("total_records", footer.get("records", 0))
+            record_samples.append((f'{{job="{job_id}"}}', total))
+            digest = _execset.short_digest(
+                footer.get("merged_digest") or footer.get("digest")
+            )
+            digest_samples.append(
+                (f'{{job="{job_id}",digest="{digest}"}}', 1)
+            )
+        gauge(
+            "repro_execset_records",
+            "Distinct executions in the job's newest execset stream "
+            "(including any resumed-from base).",
+            record_samples,
+        )
+        gauge(
+            "repro_execset_digest_info",
+            "Execution-set digest per job; the digest is the label, the "
+            "value is always 1.",
+            digest_samples,
+        )
     span_total, span_self = manager.trace_totals()
     gauge(
         "repro_service_trace_spans_total",
@@ -315,17 +372,22 @@ def render_dashboard(manager: JobManager, ring: EventRing) -> str:
     if records:
         parts.append(
             "<table><tr><th>run id</th><th>command</th><th>verdict</th>"
-            "<th class=\"num\">executions</th><th>resumes</th></tr>"
+            "<th class=\"num\">executions</th><th>execset</th><th>resumes</th></tr>"
         )
         for record in records[-15:]:
             verdict = str(record.get("verdict", "?"))
             cls = "ok" if verdict == "proved" else ("bad" if verdict == "error" else "")
+            execset_note = record.get("execset")
+            digest = _execset.short_digest(
+                execset_note.get("digest") if isinstance(execset_note, dict) else None
+            )
             parts.append(
                 "<tr>"
                 f"<td><code>{escape(str(record.get('run_id', '?')))}</code></td>"
                 f"<td>{escape(str(record.get('command', '?')))}</td>"
                 f"<td class=\"{cls}\">{escape(verdict)}</td>"
                 f"<td class=\"num\">{escape(str(record.get('executions', '—')))}</td>"
+                f"<td><code>{escape(digest)}</code></td>"
                 f"<td>{escape(str(record.get('parent_run_id', '') or '—'))}</td>"
                 "</tr>"
             )

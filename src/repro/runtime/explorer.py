@@ -172,6 +172,14 @@ class Explorer:
         Purely observational — the walk order, the yielded executions,
         and every verdict are identical with and without it; when unset
         (the default) the hooks cost one ``None`` check per node.
+    execset:
+        Optional :class:`~repro.obs.execset.ExecutionSetRecorder`
+        folding every maximal execution into a content-addressed
+        execution-set digest (see :mod:`repro.obs.execset`).  Observed
+        at the final configuration, before the execution is yielded;
+        its digest-so-far rides along in checkpoints so resumed runs
+        merge cleanly.  Purely observational, same contract as
+        ``auditor``; one ``None`` check per execution when unset.
     """
 
     def __init__(
@@ -188,6 +196,7 @@ class Explorer:
         checkpoint_every: int = 1000,
         heartbeat_interval: float = 0.5,
         auditor: Optional[Any] = None,
+        execset: Optional[Any] = None,
     ):
         self.spec = spec
         self.max_depth = max_depth
@@ -205,6 +214,7 @@ class Explorer:
         self.auditor = auditor
         if auditor is not None and hasattr(auditor, "bind"):
             auditor.bind(spec)
+        self.execset = execset
         self.stats = ExplorationStatistics()
         #: Reason the walk stopped early (budget exhaustion), or ``None``.
         self.interrupted: Optional[str] = None
@@ -372,6 +382,11 @@ class Explorer:
             stats=asdict(self.stats),
             spec=self._spec_meta,
             run_id=self.run_id,
+            execset=(
+                self.execset.checkpoint_state()
+                if self.execset is not None
+                else None
+            ),
         )
         return destination
 
@@ -536,6 +551,16 @@ class Explorer:
             self.stats.executions += 1
             self._leaf_depth_sum += len(prefix)
             since_checkpoint += 1
+            execution = system.finalize()
+            if self.auditor is not None:
+                self.auditor.observe_execution(execution)
+            if self.execset is not None:
+                # Must precede the checkpoint write below: a checkpoint
+                # that counts this execution must also carry it in its
+                # digest-so-far, or a crash landing between the two
+                # leaves a permanent hole in the resumed run's set (the
+                # prefix is already off the frontier).
+                self.execset.observe(execution, system)
             if (
                 self.checkpoint_path is not None
                 and since_checkpoint >= self.checkpoint_every
@@ -547,9 +572,6 @@ class Explorer:
                 if now - self._last_heartbeat >= self.heartbeat_interval:
                     self._last_heartbeat = now
                     self._heartbeat(now)
-            execution = system.finalize()
-            if self.auditor is not None:
-                self.auditor.observe_execution(execution)
             yield execution
         self._stack = []
         if self.checkpoint_path is not None:

@@ -14,9 +14,12 @@ def _ledger_in_tmp(tmp_path, monkeypatch):
     The CLI records every invocation in ``.repro/runs.jsonl`` by default;
     without this, every ``main([...])`` call in the suite would append to
     a ledger inside the working tree.  Tests that care about the ledger
-    override the path explicitly (``--ledger``) or read this one.
+    override the path explicitly (``--ledger``) or read this one.  The
+    explore command's default-on execution-set stream gets the same
+    treatment via ``REPRO_EXECSET_DIR``.
     """
     monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "test-runs.jsonl"))
+    monkeypatch.setenv("REPRO_EXECSET_DIR", str(tmp_path / "execsets"))
 
 
 @pytest.fixture

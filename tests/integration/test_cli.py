@@ -339,6 +339,140 @@ class TestWitnessAndExplain:
         assert "table.lanes" in report  # LANES_CSS included
 
 
+class TestExecsetAndDiff:
+    """The ``explore`` digest stream and the ``repro diff`` gate."""
+
+    def explore(self, tmp_path, out, *extra):
+        return main(
+            ["explore", "--task", "consensus", "--n", "2", "--k", "1",
+             "--execset-out", str(out), "--no-ledger", *extra]
+        )
+
+    def test_explore_writes_digest_stream_by_default(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_EXECSET_DIR", str(tmp_path / "sets"))
+        assert main(
+            ["explore", "--task", "consensus", "--n", "2", "--k", "1",
+             "--no-ledger"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "execution-set digest" in out
+        files = list((tmp_path / "sets").glob("*.jsonl"))
+        assert len(files) == 1
+
+    def test_no_execset_disables(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECSET_DIR", str(tmp_path / "sets"))
+        assert main(
+            ["explore", "--task", "consensus", "--n", "2", "--k", "1",
+             "--no-ledger", "--no-execset"]
+        ) == 0
+        assert "execution-set digest" not in capsys.readouterr().out
+        assert not (tmp_path / "sets").exists()
+
+    def test_diff_identical_runs_exit_0_byte_stable(self, tmp_path, capsys):
+        assert self.explore(tmp_path, tmp_path / "a.jsonl") == 0
+        assert self.explore(tmp_path, tmp_path / "b.jsonl") == 0
+        assert (tmp_path / "a.jsonl").read_bytes() == \
+            (tmp_path / "b.jsonl").read_bytes()
+        capsys.readouterr()
+        assert main(
+            ["diff", str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "SAME SET" in first
+        assert main(
+            ["diff", str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]
+        ) == 0
+        assert capsys.readouterr().out == first
+
+    def test_diff_truncated_run_exit_1_with_explanation(
+        self, tmp_path, capsys
+    ):
+        assert self.explore(tmp_path, tmp_path / "full.jsonl") == 0
+        assert self.explore(
+            tmp_path, tmp_path / "short.jsonl", "--max-depth", "1"
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["diff", str(tmp_path / "full.jsonl"),
+             str(tmp_path / "short.jsonl")]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "only in A" in out
+        assert "first divergence" in out
+
+    def test_diff_json_and_html(self, tmp_path, capsys):
+        assert self.explore(tmp_path, tmp_path / "a.jsonl") == 0
+        assert self.explore(tmp_path, tmp_path / "b.jsonl") == 0
+        capsys.readouterr()
+        html_path = tmp_path / "diff.html"
+        assert main(
+            ["diff", str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"),
+             "--json", "--html", str(html_path)]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["exit_code"] == 0
+        assert report["digest"]["equal"] is True
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_diff_unknown_target_exits_3(self, tmp_path, capsys):
+        assert main(
+            ["diff", "no-such-thing", "also-missing",
+             "--ledger", str(tmp_path / "absent.jsonl")]
+        ) == 3
+        assert "diff:" in capsys.readouterr().err
+
+    def test_selfcheck_set_equal_exit_0(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECSET_DIR", str(tmp_path / "sets"))
+        assert main(
+            ["explore", "--task", "consensus", "--n", "2", "--k", "1",
+             "--no-ledger", "--selfcheck"]
+        ) == 0
+        assert "selfcheck: SET-EQUAL" in capsys.readouterr().out
+
+    def test_selfcheck_rejects_resume(self, tmp_path, capsys):
+        assert main(
+            ["explore", "--selfcheck", "--resume",
+             str(tmp_path / "ck.jsonl"), "--no-ledger"]
+        ) == 2
+        assert "--selfcheck" in capsys.readouterr().err
+
+    def test_resumed_run_merges_digest(self, tmp_path, capsys):
+        """Interrupt, resume, and the merged digest equals the digest
+        of one uninterrupted run — set equality across sessions."""
+        ledger_path = tmp_path / "runs.jsonl"
+        checkpoint = tmp_path / "ck.jsonl"
+        common = ["explore", "--task", "set-consensus", "--n", "1",
+                  "--k", "1", "--ledger", str(ledger_path)]
+        assert main(
+            common + ["--execset-out", str(tmp_path / "full.jsonl")]
+        ) == 0
+        assert main(
+            common + ["--execset-out", str(tmp_path / "part1.jsonl"),
+                      "--checkpoint", str(checkpoint),
+                      "--checkpoint-every", "1", "--max-steps", "2"]
+        ) == 3
+        assert main(
+            common + ["--execset-out", str(tmp_path / "part2.jsonl"),
+                      "--resume", str(checkpoint)]
+        ) == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in ledger_path.read_text().splitlines()
+        ]
+        full, _, resumed = records
+        assert resumed["execset"]["digest"] == full["execset"]["digest"]
+        # And the ledger-resolved chain diffs clean against the file.
+        assert main(
+            ["diff", resumed["run_id"], str(tmp_path / "full.jsonl"),
+             "--ledger", str(ledger_path)]
+        ) == 0
+        assert "SAME SET" in capsys.readouterr().out
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -133,6 +133,12 @@ class TestAcceptance:
             assert by_id[resumed_id]["parent_run_id"] == dead_id
             assert by_id[resumed_id]["verdict"] == "proved"
 
+            # The resumed run's ledger record carries the merged
+            # execution-set digest, seeded across the SIGKILL from the
+            # checkpoint header's digest-so-far.
+            assert by_id[resumed_id]["execset"]["records"] == 21720
+            assert len(by_id[resumed_id]["execset"]["digest"]) == 64
+
             # /metrics verdict tallies match the ledger.
             _status, metrics, _headers = get(session.url("/metrics"))
             tallies = prom_values(metrics, "repro_service_runs_total")
@@ -311,6 +317,31 @@ class TestEndpoints:
         assert "consensus(n=2, k=1" in html
         assert final["run_ids"][0] in html
         assert "1 done" in html
+
+    def test_execset_stream_surfaced_in_metrics_and_dashboard(self, session):
+        final = self.finished_job(session)
+        runs = get_json(session.url("/runs"))["runs"]
+        (record,) = [r for r in runs if r["run_id"] == final["run_ids"][-1]]
+        digest = record["execset"]["digest"]
+        assert len(digest) == 64
+        # The worker's stream file sits in the job dir, one per attempt.
+        assert record["execset"]["path"].endswith(
+            f"{final['id']}/execset-1.jsonl"
+        )
+        _status, metrics, _headers = get(session.url("/metrics"))
+        streams = prom_values(metrics, "repro_execset_streams")
+        assert streams[""] == 1.0
+        records_gauge = prom_values(metrics, "repro_execset_records")
+        assert records_gauge[f'{{job="{final["id"]}"}}'] == float(
+            record["execset"]["records"]
+        )
+        digest_info = prom_values(metrics, "repro_execset_digest_info")
+        assert (
+            f'{{job="{final["id"]}",digest="{digest[:16]}"}}' in digest_info
+        )
+        # The dashboard's recent-runs table shows the short digest.
+        _status, html, _headers = get(session.url("/"))
+        assert digest[:16] in html
 
     def test_sse_dump_ends_with_final_state(self, session):
         final = self.finished_job(session)

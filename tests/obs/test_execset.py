@@ -1,0 +1,259 @@
+"""Tests for execution-set digest streams (``repro.obs.execset``)."""
+
+import json
+
+import pytest
+
+from repro.algorithms.set_consensus_from_family import consensus_spec
+from repro.obs import execset
+from repro.obs import ledger
+from repro.runtime.explorer import Explorer
+
+INPUTS = ["v0", "v1"]
+
+
+def tiny_spec():
+    """2-process consensus from O(2, 1): small, fault-free, fast."""
+    return consensus_spec(2, 1, INPUTS)
+
+
+def explore_all(execset_recorder=None, max_depth=200):
+    explorer = Explorer(
+        tiny_spec(), max_depth=max_depth, strict=False,
+        execset=execset_recorder,
+    )
+    return list(explorer.executions())
+
+
+@pytest.fixture(autouse=True)
+def _no_dangling_recorder():
+    ledger.abandon_run()
+    yield
+    ledger.abandon_run()
+
+
+class TestDigestAlgebra:
+    def test_empty_set_is_zero(self):
+        assert execset.set_digest([]) == execset.ZERO_DIGEST
+
+    def test_order_independent(self):
+        ids = ["aa", "bb", "cc"]
+        assert execset.set_digest(ids) == execset.set_digest(reversed(ids))
+
+    def test_duplicates_do_not_double_fold(self):
+        assert execset.set_digest(["aa", "bb", "aa"]) == \
+            execset.set_digest(["aa", "bb"])
+
+    def test_fold_is_involutive(self):
+        """XOR folding the same id twice cancels — the property that
+        makes overlap-tolerant merging possible at all."""
+        once = execset.fold_digest(execset.ZERO_DIGEST, "aa")
+        assert execset.fold_digest(once, "aa") == execset.ZERO_DIGEST
+
+    def test_merge_of_disjoint_shards_is_union(self):
+        a, b = ["aa", "bb"], ["cc"]
+        assert execset.merge_digests(
+            execset.set_digest(a), execset.set_digest(b)
+        ) == execset.set_digest(a + b)
+
+    def test_short_digest_handles_missing(self):
+        assert execset.short_digest(None) == "n/a"
+        assert execset.short_digest("") == "n/a"
+        assert execset.short_digest("ab" * 32) == "ab" * (
+            execset.SHORT_DIGEST_LENGTH // 2
+        )
+
+
+class TestExecutionId:
+    def test_live_equals_replayed(self):
+        spec = tiny_spec()
+        execution = explore_all()[0]
+        replayed = spec.replay(execution.full_decisions).finalize()
+        assert execset.execution_id(replayed) == \
+            execset.execution_id(execution)
+
+    def test_distinct_executions_distinct_ids(self):
+        ids = {execset.execution_id(e) for e in explore_all()}
+        assert len(ids) == len(explore_all())
+
+
+class TestRecordFor:
+    def test_fields(self):
+        spec = tiny_spec()
+        execution = explore_all()[0]
+        system = spec.replay(execution.full_decisions)
+        system.finalize()
+        record = execset.record_for(
+            execution, system=system, value_alphabet=INPUTS
+        )
+        assert record["id"] == execset.execution_id(execution)
+        assert record["depth"] == len(execution.full_decisions)
+        # Tuples in memory, arrays on disk: JSON writes both identically.
+        assert [list(d) for d in record["decisions"]] == [
+            [pid, choice] for pid, choice in execution.full_decisions
+        ]
+        assert record["distinct"] == len(execution.distinct_outputs())
+        assert record["done"] is True
+        assert record["crashes"] == 0 and record["recoveries"] == 0
+        assert len(record["config"]) == execset.FINGERPRINT_LENGTH
+        assert len(record["canonical"]) == execset.FINGERPRINT_LENGTH
+
+    def test_without_system_omits_fingerprints(self):
+        record = execset.record_for(explore_all()[0])
+        assert "config" not in record and "canonical" not in record
+
+
+class TestRecorderRoundtrip:
+    def write_stream(self, tmp_path, name="a.jsonl", **kwargs):
+        recorder = execset.ExecutionSetRecorder(
+            path=str(tmp_path / name),
+            spec_meta={"task": "consensus", "n": 2, "k": 1},
+            value_alphabet=INPUTS,
+            **kwargs,
+        )
+        explore_all(execset_recorder=recorder)
+        recorder.write()
+        return recorder
+
+    def test_roundtrip_and_consistency(self, tmp_path):
+        recorder = self.write_stream(tmp_path)
+        parsed = execset.read_execset(str(tmp_path / "a.jsonl"))
+        assert parsed.spec == {"task": "consensus", "n": 2, "k": 1}
+        assert parsed.own_digest == recorder.digest
+        assert parsed.merged_digest == recorder.merged_digest
+        assert set(parsed.records) == {r["id"] for r in recorder.records}
+        assert parsed.consistent
+        assert not parsed.partial
+        assert parsed.skipped == 0
+
+    def test_observe_dedupes(self, tmp_path):
+        recorder = execset.ExecutionSetRecorder(path=str(tmp_path / "d.jsonl"))
+        spec = tiny_spec()
+        execution = explore_all()[0]
+        system = spec.replay(execution.full_decisions)
+        system.finalize()
+        recorder.observe(execution, system)
+        recorder.observe(execution, system)
+        assert recorder.total_records == 1
+
+    def test_byte_stable(self, tmp_path):
+        """Identical explorations write byte-identical artifacts — the
+        file embeds no run id, path, or wall-clock."""
+        self.write_stream(tmp_path, "one.jsonl")
+        self.write_stream(tmp_path, "two.jsonl")
+        assert (tmp_path / "one.jsonl").read_bytes() == \
+            (tmp_path / "two.jsonl").read_bytes()
+
+    def test_base_digest_folds_into_merged(self, tmp_path):
+        full = self.write_stream(tmp_path, "full.jsonl")
+        # Pretend the first half came from a previous session.
+        half_ids = [r["id"] for r in full.records[: len(full.records) // 2]]
+        base = execset.set_digest(half_ids)
+        resumed = execset.ExecutionSetRecorder(
+            path=str(tmp_path / "resumed.jsonl"),
+            base_digest=base,
+            base_records=len(half_ids),
+        )
+        spec = tiny_spec()
+        for record in full.records[len(half_ids):]:
+            decisions = [tuple(d) for d in record["decisions"]]
+            system = spec.replay(decisions)
+            resumed.observe(system.finalize(), system)
+        assert resumed.merged_digest == full.digest
+        parsed = execset.read_execset(str(resumed.write()))
+        assert parsed.partial
+        assert parsed.merged_digest == full.digest
+        assert parsed.base_records == len(half_ids)
+
+    def test_checkpoint_state_and_ledger_summary(self, tmp_path):
+        recorder = self.write_stream(tmp_path)
+        state = recorder.checkpoint_state()
+        assert state == {
+            "digest": recorder.merged_digest,
+            "records": recorder.total_records,
+        }
+        summary = recorder.ledger_summary()
+        assert summary["digest"] == recorder.merged_digest
+        assert summary["records"] == recorder.total_records
+        assert summary["path"].endswith("a.jsonl")
+
+    def test_write_annotates_active_run(self, tmp_path):
+        ledger.begin_run(
+            str(tmp_path / "runs.jsonl"), "explore", ["explore"]
+        )
+        self.write_stream(tmp_path)
+        record = ledger.finish_run(0)
+        assert record["execset"]["records"] > 0
+        assert len(record["execset"]["digest"]) == 64
+
+
+class TestTolerantReads:
+    def test_read_skips_junk_lines(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text(
+            json.dumps({"format": execset.FORMAT, "spec": {}}) + "\n"
+            "{broken\n"
+            + json.dumps({"id": "aa", "depth": 1, "decisions": [[0, 0]]})
+            + "\n[1, 2]\n"
+        )
+        parsed = execset.read_execset(str(path))
+        assert set(parsed.records) == {"aa"}
+        assert parsed.skipped == 2
+        assert not parsed.footer
+        # No footer to check against: vacuously consistent (a truncated
+        # write is reported through ``footer``/``skipped``, not here).
+        assert parsed.consistent
+
+    def test_inconsistent_when_footer_disagrees(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"format": execset.FORMAT, "spec": {}}) + "\n"
+            + json.dumps({"id": "aa", "depth": 1, "decisions": [[0, 0]]})
+            + "\n"
+            + json.dumps(
+                {"format": execset.FORMAT, "footer": True, "records": 1,
+                 "digest": "f" * 64}
+            )
+            + "\n"
+        )
+        assert not execset.read_execset(str(path)).consistent
+
+    def test_peek_footer_missing_file(self, tmp_path):
+        assert execset.peek_footer(str(tmp_path / "absent.jsonl")) is None
+
+    def test_peek_footer_reads_last_line(self, tmp_path):
+        recorder = execset.ExecutionSetRecorder(path=str(tmp_path / "p.jsonl"))
+        spec = tiny_spec()
+        execution = explore_all()[0]
+        system = spec.replay(execution.full_decisions)
+        system.finalize()
+        recorder.observe(execution, system)
+        recorder.write()
+        footer = execset.peek_footer(str(tmp_path / "p.jsonl"))
+        assert footer["footer"] is True
+        assert footer["records"] == 1
+        assert footer["merged_digest"] == recorder.merged_digest
+
+    def test_merge_records_union_with_overlap(self, tmp_path):
+        executions = explore_all()
+        third = max(1, len(executions) // 3)
+        spec = tiny_spec()
+
+        def shard(name, chunk):
+            recorder = execset.ExecutionSetRecorder(
+                path=str(tmp_path / name)
+            )
+            for execution in chunk:
+                system = spec.replay(execution.full_decisions)
+                system.finalize()
+                recorder.observe(execution, system)
+            recorder.write()
+            return execset.read_execset(str(tmp_path / name))
+
+        # Overlapping shards: the middle third appears in both.
+        a = shard("a.jsonl", executions[: 2 * third])
+        b = shard("b.jsonl", executions[third:])
+        records, digest = execset.merge_records([a, b])
+        all_ids = {execset.execution_id(e) for e in executions}
+        assert set(records) == all_ids
+        assert digest == execset.set_digest(all_ids)

@@ -80,6 +80,19 @@ class TestValidateSpec:
         assert "--max-recoveries" in argv
         assert argv[argv.index("--max-recoveries") + 1] == "1"
 
+    def test_execset_stream_always_requested(self, tmp_path):
+        """Every worker attempt writes a digest stream into the job dir
+        (numbered per attempt, like trace files), fresh and resumed."""
+        spec = validate_spec({"task": "consensus"})
+        manager = JobManager(str(tmp_path / "data"), max_workers=0)
+        job = jobs.Job(id="j1", spec=spec, job_dir=str(tmp_path / "j1"))
+        job.attempts = 2
+        for resume in (False, True):
+            argv = manager.worker_argv(job, resume=resume)
+            assert "--execset-out" in argv
+            assert argv[argv.index("--execset-out") + 1] == \
+                job.execset_path(2)
+
     def test_max_recoveries_defaults_to_zero(self):
         spec = validate_spec({"task": "consensus"})
         assert spec.max_recoveries == 0

@@ -208,6 +208,81 @@ class TestRunsSubcommands:
         assert "(=)" in capsys.readouterr().out
 
 
+class TestResumeChainGuards:
+    """A corrupt (or hand-edited) ledger with cyclic ``parent_run_id``
+    links must be reported, never walked forever."""
+
+    @staticmethod
+    def record(run_id, parent=None):
+        out = {"format": ledger.FORMAT, "run_id": run_id}
+        if parent is not None:
+            out["parent_run_id"] = parent
+        return out
+
+    def test_linear_chain_resolves_from_any_link(self):
+        records = [
+            self.record("aa"),
+            self.record("bb", parent="aa"),
+            self.record("cc", parent="bb"),
+        ]
+        for link in ("aa", "bb", "cc"):
+            chain = ledger.resume_chain(records, link)
+            assert [r["run_id"] for r in chain] == ["aa", "bb", "cc"]
+
+    def test_self_referential_record_raises(self):
+        records = [self.record("aa", parent="aa")]
+        with pytest.raises(ValueError, match="cyclic parent_run_id"):
+            ledger.resume_chain(records, "aa")
+
+    def test_two_cycle_raises_and_names_the_cycle(self):
+        records = [
+            self.record("aa", parent="bb"),
+            self.record("bb", parent="aa"),
+        ]
+        with pytest.raises(ValueError, match="aa -> bb|bb -> aa"):
+            ledger.resume_chain(records, "aa")
+
+    def test_missing_parent_terminates_quietly(self):
+        """A SIGKILLed worker's run id exists only in the checkpoint
+        header; the survivor's dangling parent link is not an error."""
+        records = [self.record("bb", parent="gone")]
+        chain = ledger.resume_chain(records, "bb")
+        assert [r["run_id"] for r in chain] == ["bb"]
+
+
+class TestCompareExecset:
+    def test_digest_line_same_and_differs(self):
+        base = {"format": ledger.FORMAT, "verdict": "proved"}
+        a = dict(base, run_id="a",
+                 execset={"digest": "ab" * 32, "records": 7})
+        same = dict(base, run_id="s",
+                    execset={"digest": "ab" * 32, "records": 7})
+        lines, _ = ledger.compare_runs(a, same)
+        assert any("(SAME SET)" in line for line in lines)
+        different = dict(base, run_id="d",
+                         execset={"digest": "cd" * 32, "records": 7})
+        lines, agree = ledger.compare_runs(a, different)
+        assert agree  # verdicts still match; only the set differs
+        assert any("(DIFFERS)" in line and "execset digest" in line
+                   for line in lines)
+        assert any(line.startswith("execset records: 7 vs 7")
+                   for line in lines)
+
+    def test_predigest_records_compare_as_na(self):
+        """Records written before the execset format have no digest:
+        the comparison degrades to n/a instead of crashing."""
+        base = {"format": ledger.FORMAT, "verdict": "proved"}
+        old = dict(base, run_id="old")
+        new = dict(base, run_id="new",
+                   execset={"digest": "ab" * 32, "records": 7})
+        lines, _ = ledger.compare_runs(old, new)
+        assert any("n/a" in line and "execset digest" in line
+                   for line in lines)
+        # Two pre-digest records: the line is simply omitted.
+        lines, _ = ledger.compare_runs(old, dict(old, run_id="old2"))
+        assert not any("execset" in line for line in lines)
+
+
 class TestVerdictFilterAndJson:
     RECORDS = [
         {"format": ledger.FORMAT, "run_id": "a", "verdict": "proved"},

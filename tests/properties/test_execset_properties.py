@@ -1,0 +1,117 @@
+"""Property-based tests of execution-set digests: order independence,
+shard-merge laws, and live-vs-replayed id invariance."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.set_consensus_from_family import set_consensus_spec
+from repro.obs.execset import (
+    ZERO_DIGEST,
+    execution_id,
+    fold_digest,
+    merge_digests,
+    set_digest,
+)
+from repro.runtime.explorer import Explorer
+
+ids = st.text(
+    alphabet="0123456789abcdef", min_size=1, max_size=24
+)
+id_lists = st.lists(ids, max_size=30)
+
+
+def spec_11():
+    """O(1, 1) full occupancy: 3 processes, 6 maximal executions."""
+    return set_consensus_spec(1, 1, ["v0", "v1", "v2"])
+
+
+#: All maximal executions of the tiny spec, computed once per import.
+EXECUTIONS = list(Explorer(spec_11(), max_depth=20).executions())
+
+
+class TestDigestLaws:
+    @given(id_lists, st.randoms())
+    @settings(max_examples=100)
+    def test_order_independence(self, values, rng):
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert set_digest(shuffled) == set_digest(values)
+
+    @given(id_lists)
+    @settings(max_examples=100)
+    def test_multiplicity_independence(self, values):
+        """The digest names the set, not the multiset."""
+        assert set_digest(values + values) == set_digest(values)
+        assert set_digest(values) == set_digest(set(values))
+
+    @given(id_lists, st.integers(0, 30))
+    @settings(max_examples=100)
+    def test_disjoint_shard_merge_is_union(self, values, cut):
+        distinct = sorted(set(values))
+        cut = min(cut, len(distinct))
+        a, b = distinct[:cut], distinct[cut:]
+        assert merge_digests(set_digest(a), set_digest(b)) == \
+            set_digest(distinct)
+
+    @given(id_lists)
+    @settings(max_examples=100)
+    def test_incremental_fold_matches_batch(self, values):
+        rolling = ZERO_DIGEST
+        for value in sorted(set(values)):
+            rolling = fold_digest(rolling, value)
+        assert rolling == set_digest(values)
+
+    @given(id_lists, ids)
+    @settings(max_examples=100)
+    def test_fold_out_equals_set_without(self, values, extra):
+        """Folding an id out of a digest (XOR again) yields the digest
+        of the set without it — the algebra resumed runs rely on."""
+        base = set(values) - {extra}
+        with_extra = fold_digest(set_digest(base), extra)
+        assert fold_digest(with_extra, extra) == set_digest(base)
+
+    @given(id_lists)
+    @settings(max_examples=50)
+    def test_distinct_sets_rarely_collide(self, values):
+        """Dropping any one element changes the digest (XOR of sha256s
+        collides only if sha256 does)."""
+        distinct = sorted(set(values))
+        whole = set_digest(distinct)
+        for index in range(len(distinct)):
+            assert set_digest(
+                distinct[:index] + distinct[index + 1:]
+            ) != whole
+
+
+class TestExecutionIdInvariance:
+    @given(st.integers(0, len(EXECUTIONS) - 1))
+    @settings(max_examples=len(EXECUTIONS), deadline=None)
+    def test_live_equals_replayed(self, index):
+        """An execution's id is the same whether captured live by the
+        explorer or rebuilt via SystemSpec.replay from its decisions —
+        the invariant that makes cross-run diffs meaningful."""
+        execution = EXECUTIONS[index]
+        replayed = spec_11().replay(execution.full_decisions).finalize()
+        assert execution_id(replayed) == execution_id(execution)
+
+    def test_whole_set_digest_invariant_under_replay(self):
+        live = set_digest(execution_id(e) for e in EXECUTIONS)
+        spec = spec_11()
+        replayed = set_digest(
+            execution_id(spec.replay(e.full_decisions).finalize())
+            for e in EXECUTIONS
+        )
+        assert live == replayed
+
+    @given(st.randoms())
+    @settings(max_examples=20, deadline=None)
+    def test_exploration_digest_independent_of_shard_split(self, rng):
+        """Partition the frontier arbitrarily (with overlap): merged
+        shard digests equal the whole exploration's digest."""
+        all_ids = [execution_id(e) for e in EXECUTIONS]
+        cut = rng.randint(0, len(all_ids))
+        overlap = rng.randint(0, len(all_ids) - cut) if cut else 0
+        shard_a = all_ids[: cut + overlap]
+        shard_b = all_ids[cut:]
+        combined = dict.fromkeys(shard_a + shard_b)
+        assert set_digest(combined) == set_digest(all_ids)

@@ -92,6 +92,31 @@ class TestRoundTrip:
         assert checkpoint.max_recoveries == 0
         assert checkpoint.frontier == [[(0, 0), (1, -1)]]
 
+    def test_execset_digest_round_trips(self, tmp_path):
+        """The header carries the execution-set digest-so-far, so a
+        resumed run's merged digest is well-defined."""
+        path = str(tmp_path / "cp.jsonl")
+        state = {"digest": "ab" * 32, "records": 17}
+        write_checkpoint(
+            path, n_processes=2, frontier=[[(0, 0)]], execset=state
+        )
+        assert read_checkpoint(path).execset == state
+
+    def test_header_without_execset_reads_none(self, tmp_path):
+        """Checkpoints from before the execset format (and any header
+        with a malformed entry) resume with no base digest — the diff
+        side then reports the merged claim as partial, not an error."""
+        path = str(tmp_path / "cp.jsonl")
+        write_checkpoint(path, n_processes=2, frontier=[[(0, 0)]])
+        assert read_checkpoint(path).execset is None
+        header = json.loads((tmp_path / "cp.jsonl").read_text().splitlines()[0])
+        header["execset"] = "not-a-dict"
+        lines = (tmp_path / "cp.jsonl").read_text().splitlines()
+        (tmp_path / "cp.jsonl").write_text(
+            "\n".join([json.dumps(header)] + lines[1:]) + "\n"
+        )
+        assert read_checkpoint(path).execset is None
+
     def test_empty_frontier_is_done(self, tmp_path):
         path = str(tmp_path / "cp.jsonl")
         write_checkpoint(path, n_processes=2, frontier=[], executions=6)
